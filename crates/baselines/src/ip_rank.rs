@@ -1,0 +1,148 @@
+//! Impact-ranking comparators (Fig. 4b / Fig. 5 / Fig. 12).
+//!
+//! §2.4 contrasts two ways of ordering ⟨cloud location, BGP path⟩
+//! issues for attention: by the number of problematic IP-/24s (prior
+//! work's spatial-aggregate importance, e.g. WhyHigh), or by the true
+//! *impact* — affected clients × duration. Ranked by impact, 20% of
+//! tuples cover ~80% of cumulative impact; ranked by prefix count it
+//! takes ~60% — a 3× difference that motivates BlameIt's client-time
+//! product.
+
+use std::collections::HashSet;
+
+use blameit_topology::{CloudLocId, PathId, Prefix24};
+
+/// One ⟨location, path⟩ issue with its measured footprint.
+#[derive(Clone, Debug)]
+pub struct ImpactRecord {
+    /// Cloud location.
+    pub loc: CloudLocId,
+    /// Middle path.
+    pub path: PathId,
+    /// Problematic /24s observed in the issue.
+    pub p24s: HashSet<Prefix24>,
+    /// Ground-truth impact: affected clients × duration (client-time).
+    pub impact: f64,
+}
+
+/// Orders records by problematic-prefix count, descending (the prior-
+/// work ranking).
+pub fn rank_by_prefix_count(records: &mut [ImpactRecord]) {
+    records.sort_by(|a, b| {
+        b.p24s
+            .len()
+            .cmp(&a.p24s.len())
+            .then_with(|| (a.loc, a.path).cmp(&(b.loc, b.path)))
+    });
+}
+
+/// Orders records by impact, descending (the oracle/impact ranking).
+pub fn rank_by_impact(records: &mut [ImpactRecord]) {
+    records.sort_by(|a, b| {
+        b.impact
+            .partial_cmp(&a.impact)
+            .unwrap()
+            .then_with(|| (a.loc, a.path).cmp(&(b.loc, b.path)))
+    });
+}
+
+/// The cumulative-impact curve for an ordering: point `i` is
+/// `(fraction of tuples ≤ i, fraction of total impact covered)`.
+pub fn cumulative_impact_curve(ordered: &[ImpactRecord]) -> Vec<(f64, f64)> {
+    let total: f64 = ordered.iter().map(|r| r.impact).sum();
+    if total <= 0.0 || ordered.is_empty() {
+        return Vec::new();
+    }
+    let n = ordered.len() as f64;
+    let mut acc = 0.0;
+    ordered
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            acc += r.impact;
+            ((i + 1) as f64 / n, acc / total)
+        })
+        .collect()
+}
+
+/// The fraction of tuples needed (under the given ordering) to cover
+/// `coverage` of the total impact. Returns 1.0 if never reached.
+pub fn tuples_needed_for_coverage(ordered: &[ImpactRecord], coverage: f64) -> f64 {
+    for (frac_tuples, frac_impact) in cumulative_impact_curve(ordered) {
+        if frac_impact >= coverage {
+            return frac_tuples;
+        }
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: u32, n_p24s: u32, impact: f64) -> ImpactRecord {
+        ImpactRecord {
+            loc: CloudLocId(0),
+            path: PathId(path),
+            p24s: (0..n_p24s).map(|i| Prefix24::from_block(path * 100 + i)).collect(),
+            impact,
+        }
+    }
+
+    #[test]
+    fn fig5_example_orderings_differ() {
+        // Paper Fig. 5: tuple #1 has 3 prefixes, impact 350; tuple #2
+        // has 1 prefix, impact 2000.
+        let mut by_prefix = vec![rec(1, 3, 350.0), rec(2, 1, 2000.0)];
+        rank_by_prefix_count(&mut by_prefix);
+        assert_eq!(by_prefix[0].path, PathId(1));
+        let mut by_impact = vec![rec(1, 3, 350.0), rec(2, 1, 2000.0)];
+        rank_by_impact(&mut by_impact);
+        assert_eq!(by_impact[0].path, PathId(2));
+    }
+
+    #[test]
+    fn impact_ranking_dominates_coverage() {
+        // Heavy-tailed impacts uncorrelated with prefix counts: the
+        // impact ranking must reach 80% coverage with fewer tuples.
+        let mut records = Vec::new();
+        for i in 0..100u32 {
+            let impact = if i < 10 { 1000.0 } else { 10.0 };
+            // Prefix counts anti-correlated with impact.
+            let p24s = if i < 10 { 1 } else { 5 };
+            records.push(rec(i, p24s, impact));
+        }
+        let mut a = records.clone();
+        rank_by_impact(&mut a);
+        let mut b = records;
+        rank_by_prefix_count(&mut b);
+        let need_impact = tuples_needed_for_coverage(&a, 0.8);
+        let need_prefix = tuples_needed_for_coverage(&b, 0.8);
+        assert!(
+            need_impact < need_prefix / 2.0,
+            "impact {need_impact} vs prefix {need_prefix}"
+        );
+    }
+
+    #[test]
+    fn curve_monotone_and_complete() {
+        let mut records: Vec<_> = (0..20).map(|i| rec(i, i + 1, (i + 1) as f64)).collect();
+        rank_by_impact(&mut records);
+        let curve = cumulative_impact_curve(&records);
+        assert_eq!(curve.len(), 20);
+        let mut prev = (0.0, 0.0);
+        for p in &curve {
+            assert!(p.0 > prev.0 && p.1 >= prev.1);
+            prev = *p;
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(cumulative_impact_curve(&[]).is_empty());
+        let zero = vec![rec(1, 1, 0.0)];
+        assert!(cumulative_impact_curve(&zero).is_empty());
+        assert_eq!(tuples_needed_for_coverage(&zero, 0.8), 1.0);
+    }
+}

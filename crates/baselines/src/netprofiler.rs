@@ -1,0 +1,189 @@
+//! NetProfiler-style peer-cooperation diagnosis.
+//!
+//! NetProfiler (Padmanabhan, Ramabhadran & Padhye, IPTPS'05) diagnoses
+//! wide-area problems by having *peers* compare end-to-end performance
+//! along shared attributes (same ISP, same prefix, same destination):
+//! if everyone sharing an attribute degrades together, the attribute is
+//! implicated. §7 calls BlameIt's passive phase "closest to
+//! NetProfiler", with BlameIt differing in scale and in the selective
+//! active probing layered on top.
+//!
+//! This implementation groups bad quartets by each attribute the
+//! clients share — client AS, announced prefix, serving location, and
+//! BGP path — and blames the attribute(s) whose member badness rate
+//! crosses a threshold. Unlike Algorithm 1 there is **no hierarchy**
+//! (no cloud-first elimination), so a single incident commonly
+//! implicates several overlapping attributes at once; the experiments
+//! measure that over-blaming against BlameIt's single verdict.
+
+use blameit::EnrichedQuartet;
+use blameit_topology::{Asn, CloudLocId, IpPrefix, PathId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An attribute shared by a set of clients.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Attribute {
+    /// All clients of one access AS.
+    ClientAs(Asn),
+    /// All clients in one announced prefix.
+    Prefix(IpPrefix),
+    /// All clients served by one cloud location.
+    Location(CloudLocId),
+    /// All clients sharing one middle path.
+    Path(PathId),
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribute::ClientAs(a) => write!(f, "client:{a}"),
+            Attribute::Prefix(p) => write!(f, "prefix:{p}"),
+            Attribute::Location(l) => write!(f, "location:{l}"),
+            Attribute::Path(p) => write!(f, "path:{p}"),
+        }
+    }
+}
+
+/// One implicated attribute with its badness statistics.
+#[derive(Clone, Debug)]
+pub struct Implication {
+    /// The shared attribute.
+    pub attribute: Attribute,
+    /// Members observed this window.
+    pub members: usize,
+    /// Members whose quartet was bad.
+    pub bad_members: usize,
+}
+
+impl Implication {
+    /// Fraction of members that degraded together.
+    pub fn badness_rate(&self) -> f64 {
+        self.bad_members as f64 / self.members as f64
+    }
+}
+
+/// NetProfiler-style analysis over one bucket of enriched quartets:
+/// every attribute whose members degrade together (rate ≥ `threshold`,
+/// with ≥ `min_members` members) is implicated.
+pub fn implicate(
+    quartets: &[EnrichedQuartet],
+    threshold: f64,
+    min_members: usize,
+) -> Vec<Implication> {
+    let mut groups: HashMap<Attribute, (usize, usize)> = HashMap::new();
+    for q in quartets {
+        for attr in [
+            Attribute::ClientAs(q.info.origin),
+            Attribute::Prefix(q.info.prefix),
+            Attribute::Location(q.obs.loc),
+            Attribute::Path(q.info.path),
+        ] {
+            let e = groups.entry(attr).or_default();
+            e.0 += 1;
+            if q.bad {
+                e.1 += 1;
+            }
+        }
+    }
+    let mut out: Vec<Implication> = groups
+        .into_iter()
+        .filter(|(_, (n, bad))| *n >= min_members && *bad as f64 / *n as f64 >= threshold)
+        .map(|(attribute, (members, bad_members))| Implication {
+            attribute,
+            members,
+            bad_members,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.badness_rate()
+            .partial_cmp(&a.badness_rate())
+            .unwrap()
+            .then_with(|| a.attribute.cmp(&b.attribute))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blameit::RouteInfo;
+    use blameit_simnet::{QuartetObs, TimeBucket};
+    use blameit_topology::{MetroId, Prefix24, Region};
+
+    fn q(loc: u16, block: u32, path: u32, origin: u32, prefix_base: u32, bad: bool) -> EnrichedQuartet {
+        EnrichedQuartet {
+            obs: QuartetObs {
+                loc: CloudLocId(loc),
+                p24: Prefix24::from_block(block),
+                mobile: false,
+                bucket: TimeBucket(0),
+                n: 20,
+                mean_rtt_ms: if bad { 200.0 } else { 20.0 },
+            },
+            info: RouteInfo {
+                path: PathId(path),
+                middle: vec![Asn(1000 + path)],
+                origin: Asn(origin),
+                metro: MetroId(0),
+                region: Region::Europe,
+                prefix: IpPrefix::new(prefix_base << 12, 20),
+            },
+            bad,
+        }
+    }
+
+    #[test]
+    fn shared_isp_degradation_implicates_the_isp() {
+        // AS100's clients all degrade, across two locations and paths.
+        let mut quartets = vec![
+            q(0, 1, 1, 100, 1, true),
+            q(0, 2, 1, 100, 1, true),
+            q(1, 3, 2, 100, 2, true),
+            q(1, 4, 2, 100, 2, true),
+        ];
+        // Healthy bystanders sharing the locations and paths.
+        for i in 10u32..30 {
+            quartets.push(q((i % 2) as u16, i, 1 + (i % 2), 200 + i, 3 + i, false));
+        }
+        let imps = implicate(&quartets, 0.9, 3);
+        assert!(imps
+            .iter()
+            .any(|i| i.attribute == Attribute::ClientAs(Asn(100))));
+        // The shared locations are NOT implicated (bystanders fine).
+        assert!(!imps
+            .iter()
+            .any(|i| matches!(i.attribute, Attribute::Location(_))));
+    }
+
+    #[test]
+    fn overlapping_attributes_over_blame() {
+        // One prefix's clients degrade; the prefix, its AS, and its
+        // path are all implicated — NetProfiler cannot pick one, which
+        // is the ambiguity BlameIt's hierarchy resolves.
+        let quartets: Vec<_> = (0..6).map(|i| q(0, i, 7, 300, 5, true)).collect();
+        let imps = implicate(&quartets, 0.8, 3);
+        let kinds: Vec<_> = imps.iter().map(|i| i.attribute).collect();
+        assert!(kinds.contains(&Attribute::ClientAs(Asn(300))));
+        assert!(kinds.contains(&Attribute::Path(PathId(7))));
+        assert!(kinds.contains(&Attribute::Location(CloudLocId(0))));
+        assert!(imps.len() >= 3, "multiple overlapping implications: {imps:?}");
+    }
+
+    #[test]
+    fn min_members_filters_thin_groups() {
+        let quartets = vec![q(0, 1, 1, 100, 1, true), q(0, 2, 2, 101, 2, true)];
+        assert!(implicate(&quartets, 0.8, 3).is_empty());
+    }
+
+    #[test]
+    fn ranking_by_badness_rate() {
+        let mut quartets: Vec<_> = (0..10).map(|i| q(0, i, 1, 100, 1, true)).collect();
+        quartets.extend((10..20).map(|i| q(0, i, 2, 200, 2, i < 18)));
+        let imps = implicate(&quartets, 0.5, 5);
+        assert!(!imps.is_empty());
+        for w in imps.windows(2) {
+            assert!(w[0].badness_rate() >= w[1].badness_rate() - 1e-12);
+        }
+    }
+}

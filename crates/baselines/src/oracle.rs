@@ -1,0 +1,215 @@
+//! The impact oracle: ground-truth middle-segment issues.
+//!
+//! Plays the role of the paper's oracle in Fig. 12 ("we are able to
+//! prioritize the traceroutes as good as an oracle"): it reads the
+//! simulator's fault schedule directly and computes each middle-segment
+//! issue's *true* client-time product — affected clients × duration —
+//! which BlameIt's estimated prioritization is scored against.
+
+use crate::ip_rank::ImpactRecord;
+use blameit_simnet::{FaultId, FaultTarget, TimeRange, World, BUCKET_SECS};
+use blameit_topology::{Asn, CloudLocId, PathId, Prefix24};
+use std::collections::{HashMap, HashSet};
+
+/// One ground-truth middle-segment issue.
+#[derive(Clone, Debug)]
+pub struct OracleIssue {
+    /// The underlying fault.
+    pub fault: FaultId,
+    /// The faulty middle AS.
+    pub asn: Asn,
+    /// Most-affected cloud location (by client population).
+    pub loc: CloudLocId,
+    /// Representative middle path through the faulty AS.
+    pub path: PathId,
+    /// True affected client population (sum over affected /24s).
+    pub affected_clients: f64,
+    /// Duration in 5-minute buckets (rounded up, ≥ 1).
+    pub duration_buckets: u32,
+    /// Affected /24s.
+    pub p24s: HashSet<Prefix24>,
+}
+
+impl OracleIssue {
+    /// The true client-time product.
+    pub fn client_time_product(&self) -> f64 {
+        self.affected_clients * self.duration_buckets as f64
+    }
+
+    /// Converts to an [`ImpactRecord`] for ranking comparisons.
+    pub fn to_impact_record(&self) -> ImpactRecord {
+        ImpactRecord {
+            loc: self.loc,
+            path: self.path,
+            p24s: self.p24s.clone(),
+            impact: self.client_time_product(),
+        }
+    }
+}
+
+/// Extracts every middle-segment fault active in `range` with its true
+/// footprint: which clients' primary routes traverse the faulty AS (at
+/// the fault's midpoint), honoring path-scoped faults.
+pub fn middle_issues(world: &World, range: TimeRange) -> Vec<OracleIssue> {
+    let topo = world.topology();
+    let mut out = Vec::new();
+    for f in world.faults().faults() {
+        let FaultTarget::MiddleAs { asn, via_path } = f.target else {
+            continue;
+        };
+        if f.end() <= range.start || f.start >= range.end {
+            continue;
+        }
+        let mid_t = blameit_simnet::SimTime(f.start.secs() + f.duration_secs / 2);
+        let mut p24s = HashSet::new();
+        let mut affected_clients = 0.0;
+        let mut per_loc: HashMap<CloudLocId, f64> = HashMap::new();
+        let mut rep_path: Option<PathId> = via_path;
+        for c in &topo.clients {
+            let route = world.route_at(c.primary_loc, c, mid_t);
+            if via_path.is_some_and(|p| p != route.path_id) {
+                continue;
+            }
+            if !topo.paths.get(route.path_id).middle.contains(&asn) {
+                continue;
+            }
+            p24s.insert(c.p24);
+            affected_clients += c.population as f64;
+            *per_loc.entry(c.primary_loc).or_default() += c.population as f64;
+            rep_path.get_or_insert(route.path_id);
+        }
+        if p24s.is_empty() {
+            continue; // fault on a path nobody uses
+        }
+        let loc = *per_loc
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+            .map(|(l, _)| l)
+            .unwrap();
+        out.push(OracleIssue {
+            fault: f.id,
+            asn,
+            loc,
+            path: rep_path.expect("set when p24s nonempty"),
+            affected_clients,
+            duration_buckets: (f.duration_secs as u32).div_ceil(BUCKET_SECS as u32).max(1),
+            p24s,
+        });
+    }
+    out
+}
+
+/// All oracle issues as impact records.
+pub fn impact_records(world: &World, range: TimeRange) -> Vec<ImpactRecord> {
+    middle_issues(world, range)
+        .iter()
+        .map(OracleIssue::to_impact_record)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blameit_simnet::{Fault, FaultRates, SimTime, World, WorldConfig};
+
+    fn quiet_world(seed: u64) -> World {
+        let mut cfg = WorldConfig::tiny(1, seed);
+        cfg.fault_rates = FaultRates {
+            cloud_per_loc_day: 0.0,
+            middle_per_as_day: 0.0,
+            client_as_per_day: 0.0,
+            client_prefix_per_k_day: 0.0,
+            middle_path_scoped_frac: 0.0,
+        };
+        cfg.churn_rate_per_day = 0.0;
+        World::new(cfg)
+    }
+
+    fn middle_as_of_first_client(w: &World) -> (Asn, PathId) {
+        for c in &w.topology().clients {
+            let r = w.route_at(c.primary_loc, c, SimTime(0));
+            if let Some(m) = w.topology().paths.get(r.path_id).middle.first() {
+                return (*m, r.path_id);
+            }
+        }
+        panic!("no middle AS");
+    }
+
+    #[test]
+    fn oracle_extracts_injected_fault() {
+        let mut w = quiet_world(3);
+        let (asn, _) = middle_as_of_first_client(&w);
+        w.add_faults(vec![Fault {
+            id: FaultId(0),
+            target: FaultTarget::MiddleAs { asn, via_path: None },
+            start: SimTime(10_000),
+            duration_secs: 3_000,
+            added_ms: 60.0,
+        }]);
+        let issues = middle_issues(&w, TimeRange::days(1));
+        assert_eq!(issues.len(), 1);
+        let i = &issues[0];
+        assert_eq!(i.asn, asn);
+        assert_eq!(i.duration_buckets, 10);
+        assert!(i.affected_clients > 0.0);
+        assert!(!i.p24s.is_empty());
+        assert!(i.client_time_product() > 0.0);
+        let rec = i.to_impact_record();
+        assert_eq!(rec.p24s.len(), i.p24s.len());
+    }
+
+    #[test]
+    fn path_scoped_fault_has_smaller_footprint() {
+        let w0 = quiet_world(5);
+        let (asn, path) = middle_as_of_first_client(&w0);
+        let mut w_all = w0.clone();
+        w_all.add_faults(vec![Fault {
+            id: FaultId(0),
+            target: FaultTarget::MiddleAs { asn, via_path: None },
+            start: SimTime(10_000),
+            duration_secs: 3_000,
+            added_ms: 60.0,
+        }]);
+        let mut w_scoped = w0.clone();
+        w_scoped.add_faults(vec![Fault {
+            id: FaultId(0),
+            target: FaultTarget::MiddleAs { asn, via_path: Some(path) },
+            start: SimTime(10_000),
+            duration_secs: 3_000,
+            added_ms: 60.0,
+        }]);
+        let all = &middle_issues(&w_all, TimeRange::days(1))[0];
+        let scoped = &middle_issues(&w_scoped, TimeRange::days(1))[0];
+        assert!(scoped.p24s.len() <= all.p24s.len());
+        assert!(scoped.p24s.is_subset(&all.p24s));
+        assert_eq!(scoped.path, path);
+    }
+
+    #[test]
+    fn faults_outside_range_ignored() {
+        let mut w = quiet_world(7);
+        let (asn, _) = middle_as_of_first_client(&w);
+        w.add_faults(vec![Fault {
+            id: FaultId(0),
+            target: FaultTarget::MiddleAs { asn, via_path: None },
+            start: SimTime::from_days(3),
+            duration_secs: 3_000,
+            added_ms: 60.0,
+        }]);
+        assert!(middle_issues(&w, TimeRange::days(1)).is_empty());
+    }
+
+    #[test]
+    fn non_middle_faults_ignored() {
+        let mut w = quiet_world(9);
+        let loc = w.topology().cloud_locations[0].id;
+        w.add_faults(vec![Fault {
+            id: FaultId(0),
+            target: FaultTarget::CloudLocation(loc),
+            start: SimTime(1000),
+            duration_secs: 3_000,
+            added_ms: 100.0,
+        }]);
+        assert!(middle_issues(&w, TimeRange::days(1)).is_empty());
+    }
+}

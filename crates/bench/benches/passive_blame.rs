@@ -1,0 +1,30 @@
+//! Criterion bench: Algorithm 1 over a bucket of enriched quartets.
+
+use blameit::{assign_blames, enrich_bucket, BadnessThresholds, BlameConfig, ExpectedRttLearner, RttKey, WorldBackend};
+use blameit_simnet::{TimeBucket, World, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let world = World::new(WorldConfig::tiny(1, 7));
+    let thresholds = BadnessThresholds::default_for(&world);
+    let backend = WorldBackend::new(&world);
+    let quartets = enrich_bucket(&backend, TimeBucket(150), &thresholds);
+    // Seed the learner so both aggregate branches execute.
+    let mut learner = ExpectedRttLearner::new(1);
+    let cfg = BlameConfig::default();
+    for q in &quartets {
+        learner.observe(RttKey::Cloud(q.obs.loc, q.obs.mobile), 0, 30.0);
+        learner.observe(RttKey::Middle(cfg.grouping.key(&q.info), q.obs.mobile), 0, 30.0);
+    }
+
+    let mut g = c.benchmark_group("passive_blame");
+    g.throughput(Throughput::Elements(quartets.len() as u64));
+    g.bench_function(format!("algorithm1_{}_quartets", quartets.len()), |b| {
+        b.iter(|| black_box(assign_blames(&quartets, &learner, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

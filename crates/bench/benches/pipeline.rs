@@ -1,0 +1,34 @@
+//! Criterion bench: one end-to-end 15-minute BlameIt analysis tick.
+
+use blameit::{BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit_simnet::{SimTime, TimeRange, World, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let world = World::new(WorldConfig::tiny(2, 11));
+    let thresholds = BadnessThresholds::default_for(&world);
+    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+    let backend_ro = WorldBackend::new(&world);
+    engine.warmup(
+        &backend_ro,
+        TimeRange::new(SimTime::ZERO, SimTime::from_days(1)),
+        2,
+    );
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    g.bench_function("engine_tick_15min", |b| {
+        b.iter_batched(
+            || (engine.clone(), WorldBackend::new(&world)),
+            |(mut e, mut backend)| {
+                black_box(e.tick(&mut backend, SimTime::from_days(1).bucket()))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

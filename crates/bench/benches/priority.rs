@@ -1,0 +1,52 @@
+//! Criterion bench: client-time-product ranking of middle issues.
+
+use blameit::{prioritize, select_within_budget, ClientCountHistory, DurationHistory, MiddleIssue, MiddleKey};
+use blameit_simnet::TimeBucket;
+use blameit_topology::rng::DetRng;
+use blameit_topology::{CloudLocId, PathId, Prefix24};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn synth_issues(n: usize, seed: u64) -> Vec<MiddleIssue> {
+    let mut rng = DetRng::new(seed);
+    (0..n)
+        .map(|i| MiddleIssue {
+            loc: CloudLocId(rng.below(30) as u16),
+            path: PathId(i as u32),
+            middle_key: MiddleKey::Path(PathId(i as u32)),
+            bucket: TimeBucket(600),
+            elapsed_buckets: 1 + rng.below(40) as u32,
+            current_clients: rng.below(100_000),
+            affected_p24s: vec![Prefix24::from_block(i as u32)],
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut durations = DurationHistory::new();
+    let mut rng = DetRng::new(5);
+    for i in 0..500u32 {
+        durations.record(PathId(i % 64), 1 + rng.below(60) as u32);
+    }
+    let clients = ClientCountHistory::new();
+
+    let mut g = c.benchmark_group("priority");
+    for n in [100usize, 2_000] {
+        let issues = synth_issues(n, 9);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("rank_{n}_issues"), |b| {
+            b.iter_batched(
+                || issues.clone(),
+                |is| {
+                    let ranked = prioritize(is, &durations, &clients);
+                    black_box(select_within_budget(&ranked, 5).len())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: RTT-record → quartet aggregation throughput
+//! (the analytics-cluster hot path of §6.1).
+
+use blameit::aggregate_records;
+use blameit_simnet::{RttRecord, SimTime};
+use blameit_topology::rng::DetRng;
+use blameit_topology::{CloudLocId, Prefix24};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn synth_records(n: usize, seed: u64) -> Vec<RttRecord> {
+    let mut rng = DetRng::new(seed);
+    (0..n)
+        .map(|_| RttRecord {
+            loc: CloudLocId(rng.below(30) as u16),
+            p24: Prefix24::from_block(rng.below(5_000) as u32),
+            mobile: rng.chance(0.3),
+            at: SimTime(rng.below(3_600)),
+            rtt_ms: rng.range_f64(5.0, 300.0),
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quartet_agg");
+    for n in [10_000usize, 100_000] {
+        let records = synth_records(n, 42);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("aggregate_{n}"), |b| {
+            b.iter_batched(
+                || records.clone(),
+                |r| black_box(aggregate_records(&r)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: topology generation and valley-free path search.
+
+use blameit_topology::{Topology, TopologyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    g.sample_size(10);
+    g.bench_function("generate_tiny_topology", |b| {
+        b.iter(|| black_box(Topology::generate(TopologyConfig::tiny(3))))
+    });
+
+    let topo = Topology::generate(TopologyConfig::tiny(3));
+    let src = topo.graph.pops_of(topo.cloud_asn).next().unwrap().id;
+    let dst = topo
+        .graph
+        .pops()
+        .iter()
+        .rev()
+        .find(|p| topo.as_info(p.asn).unwrap().role.is_access())
+        .unwrap()
+        .id;
+    g.bench_function("shortest_path_valley_free", |b| {
+        b.iter(|| black_box(topo.graph.shortest_path(src, dst)))
+    });
+    g.bench_function("diverse_paths_k3", |b| {
+        b.iter(|| black_box(topo.graph.diverse_paths(src, dst, 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: per-AS traceroute diffing and culprit selection.
+
+use blameit::diff_contributions;
+use blameit_topology::rng::DetRng;
+use blameit_topology::Asn;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn synth_contributions(hops: usize, seed: u64) -> Vec<(Asn, f64)> {
+    let mut rng = DetRng::new(seed);
+    (0..hops)
+        .map(|i| (Asn(100 + i as u32), rng.range_f64(0.5, 20.0)))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traceroute_diff");
+    for hops in [4usize, 8, 16] {
+        let base = synth_contributions(hops, 1);
+        let mut cur = synth_contributions(hops, 1);
+        cur[hops / 2].1 += 60.0; // the faulty AS
+        g.throughput(Throughput::Elements(hops as u64));
+        g.bench_function(format!("diff_{hops}_hops"), |b| {
+            b.iter(|| black_box(diff_contributions(&base, &cur)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Passive-phase confusion matrix: Algorithm 1 verdicts vs the
+//! simulator's ground truth, per quartet.
+//!
+//! Not a paper figure, but the diagnostic behind §6.3/§6.4: every bad
+//! quartet's verdict is scored against the injected fault (or
+//! congestion) that actually caused it. Rows are ground-truth
+//! segments, columns BlameIt verdicts.
+
+use blameit::{BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit_bench::{fmt, Args, Scale};
+use blameit_simnet::{SimTime, TimeRange};
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.u64("seed", 2019);
+    let days = args.u64("days", 3);
+    let warmup_days = args.u64("warmup", 2).min(days.saturating_sub(1));
+    let scale = args.scale(Scale::Small);
+
+    fmt::banner("Confusion", "Algorithm 1 verdicts vs ground truth");
+    let world = blameit_bench::organic_world(scale, days, seed);
+    let thresholds = BadnessThresholds::default_for(&world);
+    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+    let mut backend = WorldBackend::new(&world);
+    engine.warmup(
+        &backend,
+        TimeRange::new(SimTime::ZERO, SimTime::from_days(warmup_days)),
+        2,
+    );
+    let eval = TimeRange::new(SimTime::from_days(warmup_days), SimTime::from_days(days));
+    let mut blames = Vec::new();
+    for out in engine.run(&mut backend, eval) {
+        blames.extend(out.blames);
+    }
+    let matrix = blameit_bench::score_blames(&world, &blames);
+    println!("{matrix}");
+}

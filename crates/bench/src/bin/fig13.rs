@@ -1,0 +1,158 @@
+//! Figure 13: active-phase localization accuracy vs background probing
+//! frequency, with and without BGP-churn-triggered probes.
+//!
+//! Paper shape: accuracy degrades as background probes become rarer
+//! (baselines go stale, especially across path changes); churn
+//! triggers recover most of it. The paper's sweet spot: once per 12 h
+//! plus churn triggers retains ≈93% accuracy at 72× fewer probes than
+//! 10-minute continuous probing.
+
+use blameit::{Backend, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit_bench::{fmt, Args, Scale};
+use blameit_simnet::{Segment, SimTime, TimeRange, World};
+
+struct Cell {
+    period_secs: u64,
+    churn: bool,
+    accuracy: f64,
+    localized: u64,
+    probes_per_day: f64,
+    background_per_day: f64,
+}
+
+fn run_cell(world: &World, period_secs: u64, churn: bool, warmup_days: u64, days: u64) -> Cell {
+    let thresholds = BadnessThresholds::default_for(world);
+    let mut cfg = BlameItConfig::new(thresholds);
+    cfg.background_period_secs = period_secs;
+    cfg.churn_triggered = churn;
+    let mut engine = BlameItEngine::new(cfg);
+    let mut backend = WorldBackend::new(world);
+    engine.warmup(
+        &backend,
+        TimeRange::new(SimTime::ZERO, SimTime::from_days(warmup_days - 1)),
+        2,
+    );
+    // One unscored burn-in day: the paper's system runs in steady
+    // state, with background baselines already in place.
+    let burn_in = TimeRange::new(
+        SimTime::from_days(warmup_days - 1),
+        SimTime::from_days(warmup_days),
+    );
+    for _ in engine.run(&mut backend, burn_in) {}
+    backend.reset_probes();
+    engine.background_probes_total = 0;
+    engine.on_demand_probes_total = 0;
+    let eval = TimeRange::new(SimTime::from_days(warmup_days), SimTime::from_days(days));
+
+    let mut attempted = 0u64;
+    let mut correct = 0u64;
+    for out in engine.run(&mut backend, eval) {
+        for l in &out.localizations {
+            let Some(client) = world.topology().client(l.probed_p24) else {
+                continue;
+            };
+            let gt = world.ground_truth(l.issue.issue.loc, client, l.probed_at);
+            // Only score issues whose ground truth is a middle fault.
+            let Some(culprit) = gt.culprit.filter(|c| c.segment == Segment::Middle) else {
+                continue;
+            };
+            attempted += 1;
+            if l.culprit == Some(culprit.asn) {
+                correct += 1;
+            }
+        }
+    }
+    let eval_days = (days - warmup_days) as f64;
+    Cell {
+        period_secs,
+        churn,
+        accuracy: if attempted == 0 {
+            0.0
+        } else {
+            correct as f64 / attempted as f64
+        },
+        localized: attempted,
+        probes_per_day: backend.probes_issued() as f64 / eval_days,
+        background_per_day: engine.background_probes_total as f64 / eval_days,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.u64("seed", 2019);
+    let days = args.u64("days", 5);
+    let warmup_days = args.u64("warmup", 2).min(days.saturating_sub(1));
+    let scale = args.scale(Scale::Small);
+
+    fmt::banner(
+        "Figure 13",
+        "Localization accuracy vs background probing frequency (± churn triggers)",
+    );
+    let world = blameit_bench::organic_world(scale, days, seed);
+
+    let periods: [(u64, &str); 5] = [
+        (600, "10 min"),
+        (3_600, "1 h"),
+        (21_600, "6 h"),
+        (43_200, "12 h"),
+        (86_400, "24 h"),
+    ];
+    println!(
+        "{:>8} {:>7} {:>10} {:>10} {:>14} {:>10}",
+        "period", "churn", "accuracy", "scored", "probes/day", "bg/day"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for churn in [true, false] {
+        for (p, label) in periods {
+            let c = run_cell(&world, p, churn, warmup_days, days);
+            println!(
+                "{:>8} {:>7} {:>9.1}% {:>10} {:>14.0} {:>10.0}",
+                label,
+                if churn { "yes" } else { "no" },
+                100.0 * c.accuracy,
+                c.localized,
+                c.probes_per_day,
+                c.background_per_day
+            );
+            cells.push(c);
+        }
+    }
+
+    // Shape checks.
+    let find = |p: u64, churn: bool| cells.iter().find(|c| c.period_secs == p && c.churn == churn).unwrap();
+    let fast = find(600, true);
+    let sweet = find(43_200, true);
+    let sweet_nochurn = find(43_200, false);
+    let slow_nochurn = find(86_400, false);
+    println!();
+    println!(
+        "12h+churn accuracy {} vs 10min {}  [paper: 93% at the sweet spot]",
+        fmt::pct(sweet.accuracy),
+        fmt::pct(fast.accuracy)
+    );
+    println!(
+        "churn triggers help at 12 h: {} vs {} without → {}",
+        fmt::pct(sweet.accuracy),
+        fmt::pct(sweet_nochurn.accuracy),
+        if sweet.accuracy >= sweet_nochurn.accuracy { "HOLDS" } else { "check" }
+    );
+    println!(
+        "degradation with rarer probing (no churn): 10min {} → 24h {}",
+        fmt::pct(find(600, false).accuracy),
+        fmt::pct(slow_nochurn.accuracy),
+    );
+    println!(
+        "  (known deviation: the paper's accuracy falls steeply toward 24 h because real\n\
+         \x20  Internet baselines drift continuously; the simulator's baselines are more\n\
+         \x20  stationary, so the frequency axis is muted — the sweet-spot accuracy and the\n\
+         \x20  churn-trigger benefit are the reproduced effects)"
+    );
+    println!(
+        "background probe saving 12h vs 10min continuous: {:.0}×  [paper: 72×]",
+        find(600, false).background_per_day / sweet_nochurn.background_per_day.max(1.0)
+    );
+    println!(
+        "total probe saving 12h+churn vs 10min full coverage: {:.0}×",
+        fast.probes_per_day / sweet.probes_per_day.max(1.0)
+    );
+}

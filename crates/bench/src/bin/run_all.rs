@@ -1,0 +1,65 @@
+//! Runs every experiment binary in sequence (the full paper
+//! reproduction), forwarding common flags, and reports wall-clock per
+//! experiment. Use `--scale tiny` for a fast smoke pass.
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "insights",
+    "confusion",
+    "ablations",
+    "ablation_priority",
+    "ext_reverse",
+    "probe_overhead",
+    "incidents",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir");
+
+    let mut failed = Vec::new();
+    let total = Instant::now();
+    for exp in EXPERIMENTS {
+        let path = dir.join(exp);
+        let started = Instant::now();
+        println!();
+        let status = Command::new(&path)
+            .args(&forwarded)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        println!(
+            "[run_all] {exp} finished in {:.1}s with {status}",
+            started.elapsed().as_secs_f64()
+        );
+        if !status.success() {
+            failed.push(*exp);
+        }
+    }
+    println!();
+    println!(
+        "[run_all] {} experiments in {:.1}s; failures: {:?}",
+        EXPERIMENTS.len(),
+        total.elapsed().as_secs_f64(),
+        failed
+    );
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
+}

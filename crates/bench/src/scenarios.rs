@@ -1,0 +1,501 @@
+//! Standard seeded scenarios for the experiment harness.
+//!
+//! Every figure/table binary builds its world here so scales and seeds
+//! stay consistent and each experiment is reproducible from its
+//! default seed. The incident suite re-creates the paper's §6.3
+//! validation set: 88 scripted incidents (including the five named
+//! case studies) with known ground truth.
+
+use blameit::BadnessThresholds;
+use blameit_simnet::{
+    Fault, FaultId, FaultRates, FaultTarget, Segment, SimTime, TimeRange, World, WorldConfig,
+};
+use blameit_topology::rng::DetRng;
+use blameit_topology::{Asn, CloudLocId, Region, TopologyConfig};
+
+/// World scale for experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// ~400 client /24s (unit-test speed).
+    Tiny,
+    /// ~1500 client /24s (figure regeneration; minutes-long runs).
+    Small,
+    /// Paper-shaped default (~5000 /24s).
+    Default,
+}
+
+impl Scale {
+    /// Topology configuration at this scale.
+    pub fn topology(self, seed: u64) -> TopologyConfig {
+        match self {
+            Scale::Tiny => TopologyConfig::tiny(seed),
+            Scale::Small => TopologyConfig {
+                seed,
+                broadband_per_metro: 3,
+                mobile_per_metro: 1,
+                prefixes_per_access: (2, 3),
+                prefix_len: (20, 21),
+                ..TopologyConfig::default()
+            },
+            Scale::Default => TopologyConfig {
+                seed,
+                ..TopologyConfig::default()
+            },
+        }
+    }
+}
+
+/// A world with organic (generated) faults and churn — the standard
+/// measurement-study setting.
+pub fn organic_world(scale: Scale, days: u64, seed: u64) -> World {
+    let cfg = WorldConfig {
+        topology: scale.topology(seed ^ 0x7090),
+        ..WorldConfig::new(days, seed)
+    };
+    World::new(cfg)
+}
+
+/// A world with *no* generated faults and no churn: scenarios inject
+/// their own.
+pub fn quiet_world(scale: Scale, days: u64, seed: u64) -> World {
+    let mut cfg = WorldConfig {
+        topology: scale.topology(seed ^ 0x7090),
+        ..WorldConfig::new(days, seed)
+    };
+    cfg.fault_rates = FaultRates {
+        cloud_per_loc_day: 0.0,
+        middle_per_as_day: 0.0,
+        client_as_per_day: 0.0,
+        client_prefix_per_k_day: 0.0,
+        middle_path_scoped_frac: 0.0,
+    };
+    cfg.churn_rate_per_day = 0.0;
+    World::new(cfg)
+}
+
+/// One scripted incident with ground truth, for the §6.3 validation.
+#[derive(Clone, Debug)]
+pub struct IncidentScenario {
+    /// Short name (the five case studies carry the paper's names).
+    pub name: String,
+    /// The injected fault.
+    pub fault: Fault,
+    /// Expected coarse blame.
+    pub expected_segment: Segment,
+    /// Expected culprit AS.
+    pub expected_asn: Asn,
+    /// Locations where the incident should be visible (empty = any).
+    pub visible_at: Vec<CloudLocId>,
+}
+
+impl IncidentScenario {
+    /// The incident's active window.
+    pub fn window(&self) -> TimeRange {
+        TimeRange::new(self.fault.start, self.fault.end())
+    }
+}
+
+/// Builds the 88-incident validation suite over a (quiet) world:
+/// 5 named case studies patterned on §6.3 plus 83 generated incidents
+/// mixing cloud, middle (AS-wide and path-scoped) and client faults.
+/// Incidents are serialized — each starts ≥ 30 minutes after the
+/// previous one *ends* — so every one can be scored in isolation, as
+/// the paper's individually-investigated incidents were. All are long
+/// (≥ 45 min) and strong — they model *investigated* incidents, which
+/// are exactly the long-lived, high-impact tail (§2.3).
+pub fn incident_suite(world: &World, start_day: u64, seed: u64) -> Vec<IncidentScenario> {
+    let topo = world.topology();
+    // Investigated incidents are the strong, unambiguous ones (the
+    // paper's case 5 is an 18× RTT jump); scale client-fault magnitudes
+    // to the region's badness target so every affected /24 breaches it
+    // at its nearest location, not just dual-homed secondaries.
+    let thresholds = BadnessThresholds::default_for(world);
+    let region_of_as = |asn: Asn| -> Region {
+        topo.clients
+            .iter()
+            .find(|c| c.origin == asn)
+            .map(|c| c.region)
+            .unwrap_or(Region::Europe)
+    };
+    let client_fault_ms = |asn: Asn, rng: &mut DetRng| -> f64 {
+        let thr = thresholds.get(region_of_as(asn), false);
+        (thr * rng.range_f64(0.9, 1.3)).max(80.0)
+    };
+    let mut rng = DetRng::from_keys(seed, &[0x88]);
+    let mut out: Vec<IncidentScenario> = Vec::new();
+    let mut t = SimTime::from_days(start_day);
+    fn advance(t: &mut SimTime, rng: &mut DetRng) -> SimTime {
+        let cur = *t;
+        *t = *t + 3_600 + rng.below(1_800);
+        cur
+    }
+    fn settle(t: &mut SimTime, out: &[IncidentScenario], rng: &mut DetRng) {
+        if let Some(last) = out.last() {
+            let gap_end = last.fault.end() + 1_800 + rng.below(1_800);
+            if gap_end > *t {
+                *t = gap_end;
+            }
+        }
+    }
+
+    let loc_in = |region: Region, rng: &mut DetRng| -> CloudLocId {
+        let locs: Vec<CloudLocId> = topo
+            .cloud_locations
+            .iter()
+            .filter(|l| l.region == region)
+            .map(|l| l.id)
+            .collect();
+        *rng.pick(&locs)
+    };
+    // A broadband client AS serving a given region (any if None). The
+    // paper's investigated client incidents are broadband ISPs (case 5
+    // is a fixed-line ISP); cellular thresholds are loose enough that a
+    // moderate fault can stay under them at the nearest location.
+    // Share of each location's clients belonging to one access AS —
+    // a client AS holding most of a small edge location's traffic is
+    // indistinguishable from the location itself under hierarchical
+    // elimination (Azure locations serve thousands of ASes; our
+    // simulated ones serve a handful).
+    let mut client_loc_share: std::collections::HashMap<Asn, f64> =
+        std::collections::HashMap::new();
+    {
+        let mut per_loc_total: std::collections::HashMap<CloudLocId, u32> =
+            std::collections::HashMap::new();
+        let mut per_loc_as: std::collections::HashMap<(CloudLocId, Asn), u32> =
+            std::collections::HashMap::new();
+        for c in &topo.clients {
+            *per_loc_total.entry(c.primary_loc).or_default() += 1;
+            *per_loc_as.entry((c.primary_loc, c.origin)).or_default() += 1;
+        }
+        for ((loc, asn), n) in per_loc_as {
+            let total = per_loc_total[&loc];
+            if total >= 6 {
+                let share = n as f64 / total as f64;
+                let e = client_loc_share.entry(asn).or_default();
+                *e = e.max(share);
+            }
+        }
+    }
+    let client_as = |region: Option<Region>, rng: &mut DetRng| -> Asn {
+        let ases: Vec<Asn> = topo
+            .clients
+            .iter()
+            .filter(|c| !c.mobile)
+            .filter(|c| region.is_none_or(|r| c.region == r))
+            .filter(|c| client_loc_share.get(&c.origin).copied().unwrap_or(0.0) < 0.6)
+            .map(|c| c.origin)
+            .collect();
+        *rng.pick(&ases)
+    };
+    // Share of each location's clients whose primary route crosses a
+    // given AS — the paper's regime has no middle AS carrying ≥80% of
+    // a location's traffic (each Azure edge is served by many
+    // transits); exclude overconcentrated ASes from the suite, since
+    // hierarchical elimination cannot tell them from the cloud itself.
+    let mut loc_share: std::collections::HashMap<Asn, f64> = std::collections::HashMap::new();
+    {
+        let mut per_loc_total: std::collections::HashMap<CloudLocId, u32> =
+            std::collections::HashMap::new();
+        let mut per_loc_as: std::collections::HashMap<(CloudLocId, Asn), u32> =
+            std::collections::HashMap::new();
+        for c in &topo.clients {
+            *per_loc_total.entry(c.primary_loc).or_default() += 1;
+            let route = &topo.routes_for(c.primary_loc, c).options[0];
+            for asn in &topo.paths.get(route.path_id).middle {
+                *per_loc_as.entry((c.primary_loc, *asn)).or_default() += 1;
+            }
+        }
+        for ((loc, asn), n) in per_loc_as {
+            let total = per_loc_total[&loc];
+            if total >= 6 {
+                let share = n as f64 / total as f64;
+                let e = loc_share.entry(asn).or_default();
+                *e = e.max(share);
+            }
+        }
+    }
+    // A middle AS actually traversed by someone's primary route and
+    // not blanketing any location.
+    let middle_as = |region_hint: Option<Region>, rng: &mut DetRng| -> Asn {
+        let mut ases: Vec<Asn> = Vec::new();
+        for c in &topo.clients {
+            if region_hint.is_some_and(|r| c.region != r) {
+                continue;
+            }
+            let route = &topo.routes_for(c.primary_loc, c).options[0];
+            ases.extend(topo.paths.get(route.path_id).middle.iter().copied());
+        }
+        ases.sort();
+        ases.dedup();
+        let diverse: Vec<Asn> = ases
+            .iter()
+            .copied()
+            .filter(|a| loc_share.get(a).copied().unwrap_or(0.0) < 0.55)
+            .collect();
+        let pool = if diverse.is_empty() { &ases } else { &diverse };
+        assert!(!pool.is_empty(), "no middle AS for {region_hint:?}");
+        *rng.pick(pool)
+    };
+
+    // ── The five named case studies (§6.3) ──────────────────────────
+    // 1) "Maintenance in Brazil": unfinished maintenance inside the
+    //    cloud location; lasted days.
+    {
+        let loc = loc_in(Region::Brazil, &mut rng);
+        let start = advance(&mut t, &mut rng);
+        t = t + 2 * 86_400; // the next incident waits out the two days
+        out.push(IncidentScenario {
+            name: "case1-brazil-maintenance".into(),
+            fault: Fault {
+                id: FaultId(0),
+                target: FaultTarget::CloudLocation(loc),
+                start,
+                duration_secs: 2 * 86_400,
+                added_ms: 70.0,
+            },
+            expected_segment: Segment::Cloud,
+            expected_asn: topo.cloud_asn,
+            visible_at: vec![loc],
+        });
+    }
+    // 2) "Peering fault": a widespread middle-AS issue hitting many US
+    //    clients on all paths through the AS.
+    {
+        settle(&mut t, &out, &mut rng);
+        let asn = middle_as(Some(Region::UnitedStates), &mut rng);
+        out.push(IncidentScenario {
+            name: "case2-us-peering-fault".into(),
+            fault: Fault {
+                id: FaultId(0),
+                target: FaultTarget::MiddleAs { asn, via_path: None },
+                start: advance(&mut t, &mut rng),
+                duration_secs: 4 * 3_600,
+                added_ms: 55.0,
+            },
+            expected_segment: Segment::Middle,
+            expected_asn: asn,
+            visible_at: vec![],
+        });
+    }
+    // 3) "Cloud overload in Australia": median RTT 25 → 82 ms from
+    //    server CPU overload.
+    {
+        settle(&mut t, &out, &mut rng);
+        let loc = loc_in(Region::Australia, &mut rng);
+        out.push(IncidentScenario {
+            name: "case3-australia-overload".into(),
+            fault: Fault {
+                id: FaultId(0),
+                target: FaultTarget::CloudLocation(loc),
+                start: advance(&mut t, &mut rng),
+                duration_secs: 3 * 3_600,
+                added_ms: 57.0,
+            },
+            expected_segment: Segment::Cloud,
+            expected_asn: topo.cloud_asn,
+            visible_at: vec![loc],
+        });
+    }
+    // 4) "Traffic shift from East Asia": clients rerouted through a
+    //    poorly-connected transit — a path-scoped middle inflation.
+    {
+        settle(&mut t, &out, &mut rng);
+        let asn = middle_as(Some(Region::EastAsia), &mut rng);
+        out.push(IncidentScenario {
+            name: "case4-east-asia-shift".into(),
+            fault: Fault {
+                id: FaultId(0),
+                target: FaultTarget::MiddleAs { asn, via_path: None },
+                start: advance(&mut t, &mut rng),
+                duration_secs: 5 * 3_600,
+                added_ms: 90.0,
+            },
+            expected_segment: Segment::Middle,
+            expected_asn: asn,
+            visible_at: vec![],
+        });
+    }
+    // 5) "Client ISP issues in Italy": median 9 → 161 ms from an
+    //    unannounced maintenance inside the client ISP.
+    {
+        settle(&mut t, &out, &mut rng);
+        let asn = client_as(Some(Region::Europe), &mut rng);
+        out.push(IncidentScenario {
+            name: "case5-client-isp-maintenance".into(),
+            fault: Fault {
+                id: FaultId(0),
+                target: FaultTarget::ClientAs(asn),
+                start: advance(&mut t, &mut rng),
+                duration_secs: 6 * 3_600,
+                added_ms: client_fault_ms(asn, &mut rng).max(152.0),
+            },
+            expected_segment: Segment::Client,
+            expected_asn: asn,
+            visible_at: vec![],
+        });
+    }
+
+    // ── 83 generated incidents ──────────────────────────────────────
+    while out.len() < 88 {
+        settle(&mut t, &out, &mut rng);
+        let kind = rng.below(3);
+        let duration_secs = rng.range_u64(2_700, 4 * 3_600);
+        let start = advance(&mut t, &mut rng);
+        let scenario = match kind {
+            0 => {
+                let loc = *rng.pick(
+                    &topo
+                        .cloud_locations
+                        .iter()
+                        .map(|l| l.id)
+                        .collect::<Vec<_>>(),
+                );
+                IncidentScenario {
+                    name: format!("gen{}-cloud-{loc}", out.len()),
+                    fault: Fault {
+                        id: FaultId(0),
+                        target: FaultTarget::CloudLocation(loc),
+                        start,
+                        duration_secs,
+                        added_ms: rng.range_f64(50.0, 150.0),
+                    },
+                    expected_segment: Segment::Cloud,
+                    expected_asn: topo.cloud_asn,
+                    visible_at: vec![loc],
+                }
+            }
+            1 => {
+                let asn = middle_as(None, &mut rng);
+                IncidentScenario {
+                    name: format!("gen{}-middle-{asn}", out.len()),
+                    fault: Fault {
+                        id: FaultId(0),
+                        target: FaultTarget::MiddleAs { asn, via_path: None },
+                        start,
+                        duration_secs,
+                        added_ms: rng.range_f64(50.0, 150.0),
+                    },
+                    expected_segment: Segment::Middle,
+                    expected_asn: asn,
+                    visible_at: vec![],
+                }
+            }
+            _ => {
+                let asn = client_as(None, &mut rng);
+                let added = client_fault_ms(asn, &mut rng);
+                IncidentScenario {
+                    name: format!("gen{}-client-{asn}", out.len()),
+                    fault: Fault {
+                        id: FaultId(0),
+                        target: FaultTarget::ClientAs(asn),
+                        start,
+                        duration_secs,
+                        added_ms: added,
+                    },
+                    expected_segment: Segment::Client,
+                    expected_asn: asn,
+                    visible_at: vec![],
+                }
+            }
+        };
+        out.push(scenario);
+    }
+    out
+}
+
+/// The end of the last incident in a suite (for sizing the world).
+pub fn suite_end(suite: &[IncidentScenario]) -> SimTime {
+    suite
+        .iter()
+        .map(|s| s.fault.end())
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_88_incidents_with_case_studies() {
+        let w = quiet_world(Scale::Tiny, 1, 7);
+        let suite = incident_suite(&w, 2, 7);
+        assert_eq!(suite.len(), 88);
+        let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        for case in [
+            "case1-brazil-maintenance",
+            "case2-us-peering-fault",
+            "case3-australia-overload",
+            "case4-east-asia-shift",
+            "case5-client-isp-maintenance",
+        ] {
+            assert!(names.contains(&case), "{case} missing");
+        }
+        // Every category represented.
+        for seg in [Segment::Cloud, Segment::Middle, Segment::Client] {
+            assert!(suite.iter().any(|s| s.expected_segment == seg));
+        }
+    }
+
+    #[test]
+    fn incidents_do_not_overlap() {
+        let w = quiet_world(Scale::Tiny, 1, 9);
+        let mut suite = incident_suite(&w, 2, 9);
+        suite.sort_by_key(|s| s.fault.start);
+        for pair in suite.windows(2) {
+            assert!(
+                pair[1].fault.start >= pair[0].fault.end() + 1_800,
+                "{} overlaps {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn suite_deterministic() {
+        let w = quiet_world(Scale::Tiny, 1, 11);
+        let a = incident_suite(&w, 2, 11);
+        let b = incident_suite(&w, 2, 11);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.fault.start, y.fault.start);
+            assert_eq!(x.expected_asn, y.expected_asn);
+        }
+    }
+
+    #[test]
+    fn expected_asns_consistent_with_targets() {
+        let w = quiet_world(Scale::Tiny, 1, 13);
+        for s in incident_suite(&w, 2, 13) {
+            match s.fault.target {
+                FaultTarget::CloudLocation(_) => {
+                    assert_eq!(s.expected_segment, Segment::Cloud);
+                    assert_eq!(s.expected_asn, w.topology().cloud_asn);
+                }
+                FaultTarget::MiddleAs { asn, .. } => {
+                    assert_eq!(s.expected_segment, Segment::Middle);
+                    assert_eq!(s.expected_asn, asn);
+                    let role = w.topology().as_info(asn).unwrap().role;
+                    assert!(role.is_middle());
+                }
+                FaultTarget::ClientAs(asn) => {
+                    assert_eq!(s.expected_segment, Segment::Client);
+                    assert_eq!(s.expected_asn, asn);
+                    assert!(w.topology().as_info(asn).unwrap().role.is_access());
+                }
+                FaultTarget::ClientPrefix(_) | FaultTarget::MiddleAsReverse { .. } => {
+                    unreachable!("suite never uses prefix or reverse faults")
+                }
+            }
+        }
+        let _ = blameit_topology::AsRole::Tier1;
+    }
+
+    #[test]
+    fn quiet_world_truly_quiet() {
+        let w = quiet_world(Scale::Tiny, 2, 15);
+        assert!(w.faults().is_empty());
+        assert!(w.churn_events(TimeRange::days(2)).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Smoke tests: every experiment binary must run to completion at tiny
+//! scale and print its identifying banner. Guards the harness against
+//! bit-rot without the cost of full-scale runs.
+
+use std::process::Command;
+
+fn run(bin: &str, extra: &[&str]) -> String {
+    let mut cmd = Command::new(bin);
+    cmd.args(["--scale", "tiny", "--seed", "7"]).args(extra);
+    let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn table_binaries() {
+    let out = run(env!("CARGO_BIN_EXE_table1"), &[]);
+    assert!(out.contains("Impact-prioritized probes"));
+    let out = run(env!("CARGO_BIN_EXE_table2"), &[]);
+    assert!(out.contains("# RTT measurements"));
+}
+
+#[test]
+fn measurement_figures() {
+    let out = run(env!("CARGO_BIN_EXE_fig2"), &["--days", "1"]);
+    assert!(out.contains("non-mobile bad%"));
+    let out = run(env!("CARGO_BIN_EXE_fig3"), &["--days", "2"]);
+    assert!(out.contains("usa-bad%"));
+    let out = run(env!("CARGO_BIN_EXE_fig4a"), &[]);
+    assert!(out.contains("incidents observed"));
+    let out = run(env!("CARGO_BIN_EXE_fig4b"), &["--days", "1"]);
+    assert!(out.contains("tuples needed for 80% impact"));
+    let out = run(env!("CARGO_BIN_EXE_fig6"), &[]);
+    assert!(out.contains("BGP path"));
+}
+
+#[test]
+fn engine_figures() {
+    let out = run(env!("CARGO_BIN_EXE_fig8"), &["--days", "4", "--warmup", "1"]);
+    assert!(out.contains("cloud%"));
+    let out = run(env!("CARGO_BIN_EXE_fig9"), &["--warmup", "1", "--eval", "1"]);
+    assert!(out.contains("region"));
+    let out = run(env!("CARGO_BIN_EXE_fig10"), &["--days", "3", "--warmup", "1"]);
+    assert!(out.contains("category middle"));
+    let out = run(env!("CARGO_BIN_EXE_fig11"), &["--days", "2", "--warmup", "1"]);
+    assert!(out.contains("corroboration"));
+    let out = run(env!("CARGO_BIN_EXE_fig12"), &["--days", "3", "--warmup", "1"]);
+    assert!(out.contains("top-5% coverage"));
+}
+
+#[test]
+fn fig13_short() {
+    let out = run(env!("CARGO_BIN_EXE_fig13"), &["--days", "3", "--warmup", "2"]);
+    assert!(out.contains("12h+churn accuracy"));
+}
+
+#[test]
+fn validations() {
+    let out = run(env!("CARGO_BIN_EXE_insights"), &["--days", "1"]);
+    assert!(out.contains("Insight-1"));
+    let out = run(env!("CARGO_BIN_EXE_confusion"), &["--days", "2", "--warmup", "1"]);
+    assert!(out.contains("decisive accuracy"));
+    let out = run(env!("CARGO_BIN_EXE_probe_overhead"), &["--days", "2", "--warmup", "1"]);
+    assert!(out.contains("Trinocular"));
+    let out = run(env!("CARGO_BIN_EXE_ext_reverse"), &["--trials", "20"]);
+    assert!(out.contains("forward + reverse accuracy"));
+}
+
+#[test]
+fn ablation_binaries() {
+    let out = run(env!("CARGO_BIN_EXE_ablations"), &["--warmup", "1"]);
+    assert!(out.contains("tau=0.8"));
+    let out = run(
+        env!("CARGO_BIN_EXE_ablation_priority"),
+        &["--days", "3", "--warmup", "1"],
+    );
+    assert!(out.contains("impact-ranked"));
+}
+
+// `incidents` at tiny scale takes minutes (88 serialized incidents);
+// exercised by run_all and CI-style full passes instead.

@@ -1,0 +1,12 @@
+//! `blameit` binary entry point: parse argv, dispatch, print.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match blameit_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Active phase: localize a middle-segment blame to one culprit AS.
+//!
+//! §5.2: compare an on-demand traceroute (taken during the incident)
+//! against the background baseline for the same (location, path). Each
+//! AS's *contribution* is the difference between consecutive per-AS
+//! cumulative RTTs; the AS whose contribution rose the most is the
+//! culprit. The paper's example: hops at 4/6/8/9 ms become
+//! 4/60/62/64 ms → m1's contribution went from 2 ms to 56 ms.
+
+use blameit_simnet::Traceroute;
+use blameit_topology::Asn;
+
+/// Per-AS comparison row of a traceroute diff.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AsDelta {
+    /// The AS.
+    pub asn: Asn,
+    /// Baseline contribution (ms); 0 when the AS was absent from the
+    /// baseline (path change).
+    pub baseline_ms: f64,
+    /// Current contribution (ms); 0 when absent now.
+    pub current_ms: f64,
+}
+
+impl AsDelta {
+    /// Contribution increase.
+    pub fn delta_ms(&self) -> f64 {
+        self.current_ms - self.baseline_ms
+    }
+}
+
+/// Result of diffing a live traceroute against its baseline.
+#[derive(Clone, Debug)]
+pub struct TracrouteDiffResult {
+    /// Per-AS rows, in current-path order (baseline-only ASes appended).
+    pub rows: Vec<AsDelta>,
+    /// The AS with the largest material increase, if any.
+    pub culprit: Option<Asn>,
+}
+
+/// Minimum contribution increase (ms) to name a culprit. Smaller
+/// deltas are measurement noise.
+pub const MIN_CULPRIT_DELTA_MS: f64 = 5.0;
+
+/// Diffs per-AS contribution lists (as produced by
+/// [`Traceroute::as_contributions`]).
+///
+/// The paper's India example (§5.2): hops at 4/6/8/9 ms become
+/// 4/60/62/64 ms, so `m1`'s contribution rose from 2 ms to 56 ms:
+///
+/// ```
+/// use blameit::diff_contributions;
+/// use blameit_topology::Asn;
+/// let base = [(Asn(8075), 4.0), (Asn(1), 2.0), (Asn(2), 2.0), (Asn(30), 1.0)];
+/// let cur  = [(Asn(8075), 4.0), (Asn(1), 56.0), (Asn(2), 2.0), (Asn(30), 2.0)];
+/// assert_eq!(diff_contributions(&base, &cur).culprit, Some(Asn(1)));
+/// ```
+pub fn diff_contributions(baseline: &[(Asn, f64)], current: &[(Asn, f64)]) -> TracrouteDiffResult {
+    diff_contributions_with_floor(baseline, current, |_| MIN_CULPRIT_DELTA_MS)
+}
+
+/// Like [`diff_contributions`], with a per-AS minimum delta. The
+/// engine raises the floor on the *client* AS when the on-demand probe
+/// targets a different /24 than the baseline probe: their last miles
+/// differ, and that difference lands entirely in the client hop's
+/// contribution.
+pub fn diff_contributions_with_floor(
+    baseline: &[(Asn, f64)],
+    current: &[(Asn, f64)],
+    floor_ms: impl Fn(Asn) -> f64,
+) -> TracrouteDiffResult {
+    // Sum repeated AS appearances (path may visit an AS once, but be
+    // robust to folding from unresponsive hops).
+    let fold = |xs: &[(Asn, f64)]| -> Vec<(Asn, f64)> {
+        let mut out: Vec<(Asn, f64)> = Vec::new();
+        for (a, ms) in xs {
+            match out.iter_mut().find(|(b, _)| b == a) {
+                Some((_, acc)) => *acc += ms,
+                None => out.push((*a, *ms)),
+            }
+        }
+        out
+    };
+    let base = fold(baseline);
+    let cur = fold(current);
+
+    let mut rows: Vec<AsDelta> = Vec::new();
+    for (a, ms) in &cur {
+        let b = base.iter().find(|(x, _)| x == a).map_or(0.0, |(_, v)| *v);
+        rows.push(AsDelta {
+            asn: *a,
+            baseline_ms: b,
+            current_ms: *ms,
+        });
+    }
+    for (a, ms) in &base {
+        if !cur.iter().any(|(x, _)| x == a) {
+            rows.push(AsDelta {
+                asn: *a,
+                baseline_ms: *ms,
+                current_ms: 0.0,
+            });
+        }
+    }
+
+    let culprit = rows
+        .iter()
+        .filter(|r| r.delta_ms() >= floor_ms(r.asn))
+        .max_by(|a, b| a.delta_ms().partial_cmp(&b.delta_ms()).unwrap())
+        .map(|r| r.asn);
+
+    TracrouteDiffResult { rows, culprit }
+}
+
+/// Diffs two traceroutes directly.
+pub fn diff_traceroutes(baseline: &Traceroute, current: &Traceroute) -> TracrouteDiffResult {
+    diff_contributions(&baseline.as_contributions(), &current.as_contributions())
+}
+
+/// Combines a forward diff with a (client-coordinated) reverse diff —
+/// the §5.1 extension. Routing asymmetry means a reverse-path fault is
+/// invisible to the forward probe's per-hop structure (it shows up as
+/// a uniform shift, which diffs onto the first hop); the reverse probe
+/// sees it at the right AS. The culprit is the largest per-AS increase
+/// across both directions.
+pub fn combine_directional_diffs(
+    forward: &TracrouteDiffResult,
+    reverse: &TracrouteDiffResult,
+) -> Option<Asn> {
+    let best = |d: &TracrouteDiffResult| {
+        d.rows
+            .iter()
+            .filter(|r| r.delta_ms() >= MIN_CULPRIT_DELTA_MS)
+            .max_by(|a, b| a.delta_ms().partial_cmp(&b.delta_ms()).unwrap())
+            .map(|r| (r.asn, r.delta_ms()))
+    };
+    match (best(forward), best(reverse)) {
+        (Some((fa, fd)), Some((ra, rd))) => Some(if fd >= rd { fa } else { ra }),
+        (Some((fa, _)), None) => Some(fa),
+        (None, Some((ra, _))) => Some(ra),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contributions(pairs: &[(u32, f64)]) -> Vec<(Asn, f64)> {
+        pairs.iter().map(|(a, ms)| (Asn(*a), *ms)).collect()
+    }
+
+    #[test]
+    fn paper_india_example() {
+        // Path X - m1 - m2 - c; background hops 4, 6, 8, 9 ms →
+        // contributions 4, 2, 2, 1. During the incident: 4, 60, 62,
+        // 64 ms → contributions 4, 56, 2, 2.
+        let base = contributions(&[(10, 4.0), (1, 2.0), (2, 2.0), (30, 1.0)]);
+        let cur = contributions(&[(10, 4.0), (1, 56.0), (2, 2.0), (30, 2.0)]);
+        let d = diff_contributions(&base, &cur);
+        assert_eq!(d.culprit, Some(Asn(1)));
+        let m1 = d.rows.iter().find(|r| r.asn == Asn(1)).unwrap();
+        assert!((m1.delta_ms() - 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_culprit_below_noise_floor() {
+        let base = contributions(&[(10, 4.0), (1, 2.0)]);
+        let cur = contributions(&[(10, 5.0), (1, 4.0)]);
+        let d = diff_contributions(&base, &cur);
+        assert_eq!(d.culprit, None, "2 ms wiggle is not a fault");
+    }
+
+    #[test]
+    fn new_as_after_path_change_gets_full_contribution() {
+        // Path changed: AS2 replaced by AS3 with a large contribution —
+        // the traffic-shift case (§6.3 case 4) shows up as a new AS
+        // carrying the inflation.
+        let base = contributions(&[(10, 4.0), (2, 3.0), (30, 1.0)]);
+        let cur = contributions(&[(10, 4.0), (3, 80.0), (30, 1.0)]);
+        let d = diff_contributions(&base, &cur);
+        assert_eq!(d.culprit, Some(Asn(3)));
+        // The vanished AS is present with current 0.
+        let gone = d.rows.iter().find(|r| r.asn == Asn(2)).unwrap();
+        assert_eq!(gone.current_ms, 0.0);
+        assert_eq!(gone.baseline_ms, 3.0);
+    }
+
+    #[test]
+    fn repeated_as_contributions_fold() {
+        let base = contributions(&[(10, 4.0), (1, 2.0), (10, 1.0)]);
+        let cur = contributions(&[(10, 4.0), (1, 30.0), (10, 1.0)]);
+        let d = diff_contributions(&base, &cur);
+        assert_eq!(d.culprit, Some(Asn(1)));
+        let ten = d.rows.iter().find(|r| r.asn == Asn(10)).unwrap();
+        assert!((ten.baseline_ms - 5.0).abs() < 1e-9);
+        assert!((ten.current_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let d = diff_contributions(&[], &[]);
+        assert!(d.rows.is_empty());
+        assert_eq!(d.culprit, None);
+        // Only current: whole path is "new".
+        let d2 = diff_contributions(&[], &contributions(&[(1, 50.0)]));
+        assert_eq!(d2.culprit, Some(Asn(1)));
+    }
+
+    #[test]
+    fn combined_diff_prefers_the_larger_direction() {
+        let fwd = diff_contributions(
+            &contributions(&[(10, 4.0), (1, 2.0)]),
+            &contributions(&[(10, 4.0), (1, 12.0)]), // +10 at AS1
+        );
+        let rev = diff_contributions(
+            &contributions(&[(30, 3.0), (2, 2.0)]),
+            &contributions(&[(30, 3.0), (2, 72.0)]), // +70 at AS2
+        );
+        assert_eq!(combine_directional_diffs(&fwd, &rev), Some(Asn(2)));
+        assert_eq!(combine_directional_diffs(&rev, &fwd), Some(Asn(2)));
+        let clean = diff_contributions(
+            &contributions(&[(10, 4.0)]),
+            &contributions(&[(10, 4.0)]),
+        );
+        assert_eq!(combine_directional_diffs(&fwd, &clean), Some(Asn(1)));
+        assert_eq!(combine_directional_diffs(&clean, &clean), None);
+    }
+
+    #[test]
+    fn culprit_is_largest_increase_not_largest_value() {
+        // AS10 is always slow (100 ms) but unchanged; AS2 rose by 20 ms.
+        let base = contributions(&[(10, 100.0), (2, 2.0)]);
+        let cur = contributions(&[(10, 100.0), (2, 22.0)]);
+        let d = diff_contributions(&base, &cur);
+        assert_eq!(d.culprit, Some(Asn(2)));
+    }
+}

@@ -1,0 +1,161 @@
+//! The data-plane abstraction BlameIt runs against.
+//!
+//! In production (paper Fig. 7) BlameIt consumes: the RTT collector
+//! stream, the IP→AS and BGP tables, an IBGP churn feed, and a
+//! traceroute agent at each edge. [`Backend`] bundles those five
+//! capabilities behind one trait so the engine, the baselines, and the
+//! experiment harness all run against the same interface;
+//! [`WorldBackend`] implements it over the simulator, counting every
+//! traceroute issued (probe volume is a headline metric: BlameIt
+//! claims 72× fewer probes than an active-only solution, §6.5).
+
+use blameit_simnet::{QuartetObs, SimTime, TimeBucket, TimeRange, Traceroute, World};
+use blameit_topology::bgp::BgpChurnEvent;
+use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24, Region};
+
+/// Routing metadata for one (location, client /24) pair at an instant —
+/// what the paper's "IP-AS Table" and "BGP Table" joins provide.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteInfo {
+    /// Interned middle path (the BlameIt middle-segment key).
+    pub path: PathId,
+    /// The middle ASes, cloud→client order (copy of the interned path).
+    pub middle: Vec<Asn>,
+    /// Client (origin) AS.
+    pub origin: Asn,
+    /// Client home metro.
+    pub metro: MetroId,
+    /// Client region (drives the badness threshold).
+    pub region: Region,
+    /// BGP-announced prefix covering the /24.
+    pub prefix: IpPrefix,
+}
+
+/// Everything BlameIt needs from the serving infrastructure.
+pub trait Backend {
+    /// All quartet observations recorded in a bucket.
+    fn quartets_in(&self, bucket: TimeBucket) -> Vec<QuartetObs>;
+
+    /// Routing metadata for a (location, /24) pair at `at`; `None` for
+    /// unknown clients.
+    fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo>;
+
+    /// Issues a traceroute (counted!). `None` for unknown targets.
+    fn traceroute(&mut self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute>;
+
+    /// IBGP-listener churn events within a range.
+    fn churn_events(&self, range: TimeRange) -> Vec<BgpChurnEvent>;
+
+    /// All cloud edge locations.
+    fn cloud_locations(&self) -> Vec<CloudLocId>;
+
+    /// Total traceroutes issued so far through this backend.
+    fn probes_issued(&self) -> u64;
+}
+
+/// [`Backend`] over a simulated [`World`], with probe accounting.
+#[derive(Debug)]
+pub struct WorldBackend<'w> {
+    world: &'w World,
+    probes: u64,
+}
+
+impl<'w> WorldBackend<'w> {
+    /// Wraps a world.
+    pub fn new(world: &'w World) -> Self {
+        WorldBackend { world, probes: 0 }
+    }
+
+    /// The wrapped world (for evaluation-side ground-truth queries).
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// Resets the probe counter (e.g. after a warm-up phase).
+    pub fn reset_probes(&mut self) {
+        self.probes = 0;
+    }
+}
+
+impl Backend for WorldBackend<'_> {
+    fn quartets_in(&self, bucket: TimeBucket) -> Vec<QuartetObs> {
+        self.world.quartets_in(bucket)
+    }
+
+    fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo> {
+        let topo = self.world.topology();
+        let c = topo.client(p24)?;
+        let route = self.world.route_at(loc, c, at);
+        Some(RouteInfo {
+            path: route.path_id,
+            middle: topo.paths.get(route.path_id).middle.clone(),
+            origin: c.origin,
+            metro: c.metro,
+            region: c.region,
+            prefix: topo.announced_prefix(c).prefix,
+        })
+    }
+
+    fn traceroute(&mut self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute> {
+        self.probes += 1;
+        self.world.traceroute(loc, p24, at)
+    }
+
+    fn churn_events(&self, range: TimeRange) -> Vec<BgpChurnEvent> {
+        self.world.churn_events(range)
+    }
+
+    fn cloud_locations(&self) -> Vec<CloudLocId> {
+        self.world
+            .topology()
+            .cloud_locations
+            .iter()
+            .map(|c| c.id)
+            .collect()
+    }
+
+    fn probes_issued(&self) -> u64 {
+        self.probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blameit_simnet::WorldConfig;
+
+    #[test]
+    fn world_backend_roundtrip() {
+        let w = World::new(WorldConfig::tiny(1, 4));
+        let mut b = WorldBackend::new(&w);
+        let c = &w.topology().clients[0];
+        let info = b
+            .route_info(c.primary_loc, c.p24, SimTime(600))
+            .expect("known client");
+        assert_eq!(info.origin, c.origin);
+        assert_eq!(info.region, c.region);
+        assert!(info.prefix.covers_24(c.p24));
+        // Middle matches the interned path.
+        assert_eq!(
+            info.middle,
+            w.topology().paths.get(info.path).middle
+        );
+        assert_eq!(b.probes_issued(), 0);
+        assert!(b.traceroute(c.primary_loc, c.p24, SimTime(600)).is_some());
+        assert!(b.traceroute(c.primary_loc, Prefix24::from_block(0xFFFFFF), SimTime(0)).is_none());
+        // Failed lookups still count: the probe was sent.
+        assert_eq!(b.probes_issued(), 2);
+        b.reset_probes();
+        assert_eq!(b.probes_issued(), 0);
+    }
+
+    #[test]
+    fn backend_lists_locations() {
+        let w = World::new(WorldConfig::tiny(1, 4));
+        let b = WorldBackend::new(&w);
+        assert_eq!(
+            b.cloud_locations().len(),
+            w.topology().cloud_locations.len()
+        );
+    }
+}

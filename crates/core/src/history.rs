@@ -1,0 +1,421 @@
+//! Historical learning: expected RTTs, incident durations, client counts.
+//!
+//! Three learners feed BlameIt's decisions:
+//!
+//! * [`ExpectedRttLearner`] — §4.3: the *expected* RTT of each cloud
+//!   location and each middle segment, learned as the median of the
+//!   last 14 days of quartet means, split by device class. Algorithm 1
+//!   compares against these (not the badness thresholds!) so that a
+//!   left-shifted distribution is caught even when only part of it
+//!   crosses the threshold (the paper's 40 ms vs 50 ms example).
+//! * [`DurationHistory`] — §5.3(a): per-BGP-path empirical incident
+//!   durations, from which the expected *remaining* duration
+//!   `E[T | lasted t]` is computed (mean residual life).
+//! * [`ClientCountHistory`] — §5.3(b): per-(path, time-of-day) client
+//!   volume over the past 3 days, the predictor of how many clients an
+//!   ongoing issue will impact.
+
+use crate::grouping::MiddleKey;
+use blameit_simnet::TimeBucket;
+use blameit_topology::rng::DetRng;
+use blameit_topology::{CloudLocId, PathId};
+use std::collections::{HashMap, VecDeque};
+
+/// Key of an expected-RTT series.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RttKey {
+    /// A cloud location (`c.expected-RTT`), per device class.
+    Cloud(CloudLocId, bool),
+    /// A middle segment (`b.expected-RTT`), per device class.
+    Middle(MiddleKey, bool),
+}
+
+/// Rolling per-day reservoirs with a windowed median, one per key.
+#[derive(Clone, Debug)]
+pub struct ExpectedRttLearner {
+    window_days: u32,
+    day_cap: usize,
+    map: HashMap<RttKey, VecDeque<(u32, Vec<f64>)>>,
+    /// Per-(key, day) observation counts, for reservoir replacement.
+    counts: HashMap<RttKey, u64>,
+    /// Median cache, refreshed once per key per day: recomputing the
+    /// window median on every lookup is an O(window · log) sort per
+    /// quartet and dominates month-long runs; the paper's expected
+    /// values are day-granular anyway (the median of the last 14
+    /// *days*).
+    cache: std::cell::RefCell<HashMap<RttKey, (u32, Option<f64>)>>,
+    rng: DetRng,
+    latest_day: u32,
+}
+
+impl ExpectedRttLearner {
+    /// A learner with the paper's 14-day window.
+    pub fn new(seed: u64) -> Self {
+        Self::with_window(14, seed)
+    }
+
+    /// A learner with a custom window (days) — for ablations.
+    pub fn with_window(window_days: u32, seed: u64) -> Self {
+        assert!(window_days >= 1, "window must be at least one day");
+        ExpectedRttLearner {
+            window_days,
+            day_cap: 64,
+            map: HashMap::new(),
+            counts: HashMap::new(),
+            cache: std::cell::RefCell::new(HashMap::new()),
+            rng: DetRng::from_keys(seed, &[0xE59E]),
+            latest_day: 0,
+        }
+    }
+
+    /// Records one quartet-mean RTT for a key on a day. Days must be
+    /// fed in non-decreasing order (the pipeline runs forward in time).
+    pub fn observe(&mut self, key: RttKey, day: u32, rtt_ms: f64) {
+        self.latest_day = self.latest_day.max(day);
+        let series = self.map.entry(key).or_default();
+        match series.back_mut() {
+            Some((d, values)) if *d == day => {
+                let seen = self.counts.entry(key).or_insert(0);
+                *seen += 1;
+                if values.len() < self.day_cap {
+                    values.push(rtt_ms);
+                } else {
+                    // Reservoir replacement keeps the day's sample
+                    // uniform without unbounded memory.
+                    let j = self.rng.below(*seen);
+                    if (j as usize) < self.day_cap {
+                        values[j as usize] = rtt_ms;
+                    }
+                }
+            }
+            _ => {
+                debug_assert!(series.back().is_none_or(|(d, _)| *d < day));
+                series.push_back((day, vec![rtt_ms]));
+                self.counts.insert(key, 1);
+                // Evict days that fell out of the window.
+                while series
+                    .front()
+                    .is_some_and(|(d, _)| *d + self.window_days <= day)
+                {
+                    series.pop_front();
+                }
+            }
+        }
+    }
+
+    /// The learned expected RTT: the median of all retained values
+    /// within the window ending at the latest observed day. `None` if
+    /// the key has never been observed in the window.
+    ///
+    /// The value is cached per (key, day): within a day, additional
+    /// observations do not move the reported median (matching the
+    /// day-granular "median of the last 14 days" of §4.3, and keeping
+    /// lookups O(1) on the hot path).
+    pub fn expected(&self, key: RttKey) -> Option<f64> {
+        if let Some((day, cached)) = self.cache.borrow().get(&key) {
+            if *day == self.latest_day {
+                return *cached;
+            }
+        }
+        let value = self.compute_expected(key);
+        self.cache
+            .borrow_mut()
+            .insert(key, (self.latest_day, value));
+        value
+    }
+
+    fn compute_expected(&self, key: RttKey) -> Option<f64> {
+        let series = self.map.get(&key)?;
+        let cutoff = self.latest_day.saturating_sub(self.window_days - 1);
+        let mut all: Vec<f64> = series
+            .iter()
+            .filter(|(d, _)| *d >= cutoff)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return None;
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(crate::stats::quantile_sorted(&all, 0.5))
+    }
+
+    /// Number of keys being tracked.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Empirical incident durations per BGP path, with a global fallback.
+#[derive(Clone, Debug, Default)]
+pub struct DurationHistory {
+    per_path: HashMap<PathId, VecDeque<u32>>,
+    global: VecDeque<u32>,
+    cap: usize,
+}
+
+impl DurationHistory {
+    /// History retaining up to 512 incidents per path (and globally
+    /// 8192).
+    pub fn new() -> Self {
+        DurationHistory {
+            per_path: HashMap::new(),
+            global: VecDeque::new(),
+            cap: 512,
+        }
+    }
+
+    /// Records a *completed* incident's duration in 5-minute buckets.
+    pub fn record(&mut self, path: PathId, duration_buckets: u32) {
+        let q = self.per_path.entry(path).or_default();
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(duration_buckets);
+        if self.global.len() == self.cap * 16 {
+            self.global.pop_front();
+        }
+        self.global.push_back(duration_buckets);
+    }
+
+    /// Expected *additional* buckets given the issue has already lasted
+    /// `elapsed` buckets: the mean residual life over the path's
+    /// history (global history if the path has fewer than 10 samples or
+    /// nothing in its history survives past `elapsed`). Returns 1.0
+    /// when no history is informative — the conservative "it might end
+    /// next bucket" guess.
+    pub fn expected_remaining(&self, path: PathId, elapsed: u32) -> f64 {
+        let residual = |ds: &VecDeque<u32>| -> Option<f64> {
+            let survivors: Vec<u32> = ds.iter().copied().filter(|d| *d > elapsed).collect();
+            if survivors.is_empty() {
+                None
+            } else {
+                Some(
+                    survivors.iter().map(|d| (d - elapsed) as f64).sum::<f64>()
+                        / survivors.len() as f64,
+                )
+            }
+        };
+        let per_path = self
+            .per_path
+            .get(&path)
+            .filter(|ds| ds.len() >= 10)
+            .and_then(residual);
+        per_path
+            .or_else(|| residual(&self.global))
+            .unwrap_or(1.0)
+    }
+
+    /// Total incidents recorded (globally).
+    pub fn total_recorded(&self) -> usize {
+        self.global.len()
+    }
+}
+
+/// Per-(path, time-of-day) client-volume history over a few days.
+#[derive(Clone, Debug)]
+pub struct ClientCountHistory {
+    window_days: u32,
+    map: HashMap<(PathId, u16), VecDeque<(u32, u64)>>,
+}
+
+impl ClientCountHistory {
+    /// The paper's 3-day window.
+    pub fn new() -> Self {
+        Self::with_window(3)
+    }
+
+    /// Custom window (days).
+    pub fn with_window(window_days: u32) -> Self {
+        assert!(window_days >= 1);
+        ClientCountHistory {
+            window_days,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Records the client volume seen on a path in a bucket.
+    pub fn record(&mut self, path: PathId, bucket: TimeBucket, clients: u64) {
+        let key = (path, bucket.slot_in_day() as u16);
+        let day = bucket.day();
+        let q = self.map.entry(key).or_default();
+        match q.back_mut() {
+            Some((d, c)) if *d == day => *c += clients,
+            _ => q.push_back((day, clients)),
+        }
+        while q.front().is_some_and(|(d, _)| *d + self.window_days < day) {
+            q.pop_front();
+        }
+    }
+
+    /// Predicts the client volume for a path in a bucket: the mean of
+    /// the same time-of-day slot over the past `window_days` days
+    /// (strictly before the bucket's own day). `None` with no history.
+    pub fn predict(&self, path: PathId, bucket: TimeBucket) -> Option<f64> {
+        let key = (path, bucket.slot_in_day() as u16);
+        let day = bucket.day();
+        let q = self.map.get(&key)?;
+        let lo = day.saturating_sub(self.window_days);
+        let vals: Vec<u64> = q
+            .iter()
+            .filter(|(d, _)| *d >= lo && *d < day)
+            .map(|(_, c)| *c)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<u64>() as f64 / vals.len() as f64)
+        }
+    }
+}
+
+impl Default for ClientCountHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud_key() -> RttKey {
+        RttKey::Cloud(CloudLocId(1), false)
+    }
+
+    #[test]
+    fn expected_rtt_median_of_window() {
+        let mut l = ExpectedRttLearner::new(1);
+        for day in 0..5 {
+            for v in [10.0, 20.0, 30.0] {
+                l.observe(cloud_key(), day, v);
+            }
+        }
+        assert_eq!(l.expected(cloud_key()), Some(20.0));
+        assert_eq!(l.expected(RttKey::Cloud(CloudLocId(9), false)), None);
+    }
+
+    #[test]
+    fn expected_rtt_window_evicts_old_days() {
+        let mut l = ExpectedRttLearner::with_window(3, 1);
+        l.observe(cloud_key(), 0, 100.0);
+        l.observe(cloud_key(), 10, 10.0);
+        l.observe(cloud_key(), 11, 20.0);
+        // Day 0 fell out of the 3-day window ending at day 11.
+        assert_eq!(l.expected(cloud_key()), Some(15.0));
+    }
+
+    #[test]
+    fn expected_rtt_tracks_shift() {
+        // §4.3's example: history says ~40 ms; after a fault RTTs rise.
+        // The learned value must reflect the historical median.
+        let mut l = ExpectedRttLearner::new(2);
+        for day in 0..14 {
+            for i in 0..20 {
+                l.observe(cloud_key(), day, 35.0 + (i as f64) * 0.5); // 35–45 ms
+            }
+        }
+        let e = l.expected(cloud_key()).unwrap();
+        assert!((38.0..42.0).contains(&e), "expected ≈40, got {e}");
+    }
+
+    #[test]
+    fn reservoir_caps_memory_but_stays_representative() {
+        let mut l = ExpectedRttLearner::new(3);
+        // 10_000 observations on one day, uniform 0..100.
+        for i in 0..10_000 {
+            l.observe(cloud_key(), 0, (i % 100) as f64);
+        }
+        let e = l.expected(cloud_key()).unwrap();
+        assert!((30.0..70.0).contains(&e), "median of uniform ≈50, got {e}");
+    }
+
+    #[test]
+    fn mobile_and_nonmobile_learned_separately() {
+        let mut l = ExpectedRttLearner::new(4);
+        l.observe(RttKey::Cloud(CloudLocId(0), false), 0, 20.0);
+        l.observe(RttKey::Cloud(CloudLocId(0), true), 0, 60.0);
+        assert_eq!(l.expected(RttKey::Cloud(CloudLocId(0), false)), Some(20.0));
+        assert_eq!(l.expected(RttKey::Cloud(CloudLocId(0), true)), Some(60.0));
+        assert_eq!(l.num_keys(), 2);
+    }
+
+    #[test]
+    fn duration_mean_residual_life() {
+        let mut h = DurationHistory::new();
+        let path = PathId(1);
+        for d in [1u32, 1, 1, 1, 1, 1, 1, 2, 10, 20] {
+            h.record(path, d);
+        }
+        // At elapsed 0: mean of durations = (7+2+10+20)/10 = 3.9.
+        let e0 = h.expected_remaining(path, 0);
+        assert!((e0 - 3.9).abs() < 1e-9, "{e0}");
+        // At elapsed 2: survivors {10, 20} → mean residual (8+18)/2 = 13.
+        let e2 = h.expected_remaining(path, 2);
+        assert!((e2 - 13.0).abs() < 1e-9, "{e2}");
+        // Long-lived issues are expected to continue longer — the
+        // long-tail property BlameIt exploits (§5.3).
+        assert!(e2 > e0);
+    }
+
+    #[test]
+    fn duration_falls_back_to_global() {
+        let mut h = DurationHistory::new();
+        // Path 1 has few samples; global gets them all plus more.
+        for d in [5u32, 5, 5] {
+            h.record(PathId(1), d);
+        }
+        for d in [2u32; 20] {
+            h.record(PathId(2), d);
+        }
+        // Path 3 unknown → global history (mixture of 5s and 2s).
+        let e = h.expected_remaining(PathId(3), 0);
+        assert!((2.0..5.0).contains(&e), "{e}");
+        // Path 1 has <10 samples → also global.
+        let e1 = h.expected_remaining(PathId(1), 0);
+        assert_eq!(e, e1);
+        // No survivors anywhere → conservative 1.0.
+        assert_eq!(h.expected_remaining(PathId(1), 100), 1.0);
+        // Empty history entirely.
+        assert_eq!(DurationHistory::new().expected_remaining(PathId(9), 3), 1.0);
+    }
+
+    #[test]
+    fn client_count_same_slot_prev_days() {
+        let mut h = ClientCountHistory::new();
+        let path = PathId(7);
+        let slot = 100u32;
+        for day in 0..3 {
+            let b = TimeBucket(day * blameit_simnet::BUCKETS_PER_DAY + slot);
+            h.record(path, b, 100 + day as u64 * 20); // 100, 120, 140
+        }
+        let target = TimeBucket(3 * blameit_simnet::BUCKETS_PER_DAY + slot);
+        let p = h.predict(path, target).unwrap();
+        assert!((p - 120.0).abs() < 1e-9, "{p}");
+        // A different slot has no history.
+        let other = TimeBucket(3 * blameit_simnet::BUCKETS_PER_DAY + slot + 1);
+        assert_eq!(h.predict(path, other), None);
+    }
+
+    #[test]
+    fn client_count_excludes_same_day() {
+        let mut h = ClientCountHistory::new();
+        let path = PathId(7);
+        let b = TimeBucket(5 * blameit_simnet::BUCKETS_PER_DAY + 10);
+        h.record(path, b, 999);
+        // Same-day observation must not feed the prediction for itself.
+        assert_eq!(h.predict(path, b), None);
+        let next_day = TimeBucket(6 * blameit_simnet::BUCKETS_PER_DAY + 10);
+        assert_eq!(h.predict(path, next_day), Some(999.0));
+    }
+
+    #[test]
+    fn client_count_accumulates_within_day() {
+        let mut h = ClientCountHistory::new();
+        let path = PathId(1);
+        let b = TimeBucket(10);
+        h.record(path, b, 50);
+        h.record(path, b, 25);
+        let next_day = TimeBucket(blameit_simnet::BUCKETS_PER_DAY + 10);
+        assert_eq!(h.predict(path, next_day), Some(75.0));
+    }
+}

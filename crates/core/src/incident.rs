@@ -1,0 +1,256 @@
+//! Incident tracking: merging consecutive bad buckets.
+//!
+//! The paper measures incident *persistence* as the number of
+//! consecutive 5-minute buckets a key stays bad (§2.3, Fig. 4a;
+//! Fig. 10 splits durations by blame category). [`IncidentTracker`]
+//! maintains open incidents per key, closes them when the key turns
+//! good (or stops reporting), and hands completed durations to the
+//! duration history that powers probe prioritization (§5.3).
+
+use blameit_simnet::TimeBucket;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A completed run of consecutive bad buckets for one key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Incident<K> {
+    /// The key (e.g. ⟨/24, location, device⟩ or ⟨location, path⟩).
+    pub key: K,
+    /// First bad bucket.
+    pub start: TimeBucket,
+    /// Number of consecutive bad buckets (≥ 1).
+    pub buckets: u32,
+}
+
+impl<K> Incident<K> {
+    /// Exclusive end bucket.
+    pub fn end(&self) -> TimeBucket {
+        self.start.plus(self.buckets)
+    }
+}
+
+/// An incident still open at the current bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenIncident {
+    /// First bad bucket.
+    pub start: TimeBucket,
+    /// Consecutive bad buckets so far (≥ 1).
+    pub buckets: u32,
+}
+
+impl OpenIncident {
+    /// Buckets elapsed so far — the `t` of the paper's `P(T | t)`.
+    pub fn elapsed(&self) -> u32 {
+        self.buckets
+    }
+}
+
+/// Tracks runs of consecutive bad buckets per key.
+///
+/// ```
+/// use blameit::IncidentTracker;
+/// use blameit_simnet::TimeBucket;
+/// let mut t: IncidentTracker<&str> = IncidentTracker::new();
+/// t.observe(TimeBucket(0), ["path7"]);
+/// t.observe(TimeBucket(1), ["path7"]);
+/// let closed = t.observe(TimeBucket(2), []);
+/// assert_eq!(closed[0].buckets, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncidentTracker<K: Eq + Hash + Clone> {
+    open: HashMap<K, OpenIncident>,
+    last_bucket: Option<TimeBucket>,
+}
+
+impl<K: Eq + Hash + Clone> Default for IncidentTracker<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> IncidentTracker<K> {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        IncidentTracker {
+            open: HashMap::new(),
+            last_bucket: None,
+        }
+    }
+
+    /// Feeds one bucket's set of bad keys; buckets must be fed in
+    /// strictly increasing order. Returns the incidents that *closed*
+    /// (keys bad last bucket but not this one, or keys whose badness
+    /// was non-contiguous).
+    ///
+    /// # Panics
+    /// Panics if `bucket` is not after the previously fed bucket.
+    pub fn observe(&mut self, bucket: TimeBucket, bad_keys: impl IntoIterator<Item = K>) -> Vec<Incident<K>> {
+        if let Some(last) = self.last_bucket {
+            assert!(bucket > last, "buckets must be fed in increasing order");
+        }
+        let contiguous = self.last_bucket.is_some_and(|l| l.plus(1) == bucket);
+        self.last_bucket = Some(bucket);
+
+        let mut closed = Vec::new();
+        let mut still_bad: HashMap<K, OpenIncident> = HashMap::new();
+        for key in bad_keys {
+            // Callers feed one entry per bad quartet; a key repeats for
+            // every quartet sharing the segment. Only the first sighting
+            // in a bucket may advance (or open) the incident — a repeat
+            // must not reset the accumulated run.
+            if still_bad.contains_key(&key) {
+                continue;
+            }
+            match self.open.remove(&key) {
+                Some(mut inc) if contiguous => {
+                    inc.buckets += 1;
+                    still_bad.insert(key, inc);
+                }
+                Some(inc) => {
+                    // Gap in the feed: the old run is over.
+                    closed.push(Incident {
+                        key: key.clone(),
+                        start: inc.start,
+                        buckets: inc.buckets,
+                    });
+                    still_bad.insert(
+                        key,
+                        OpenIncident {
+                            start: bucket,
+                            buckets: 1,
+                        },
+                    );
+                }
+                None => {
+                    still_bad.insert(
+                        key,
+                        OpenIncident {
+                            start: bucket,
+                            buckets: 1,
+                        },
+                    );
+                }
+            }
+        }
+        // Whatever remains in `open` turned good: close it.
+        for (key, inc) in self.open.drain() {
+            closed.push(Incident {
+                key,
+                start: inc.start,
+                buckets: inc.buckets,
+            });
+        }
+        self.open = still_bad;
+        closed
+    }
+
+    /// Closes everything (end of run). Returns the final incidents.
+    pub fn finish(&mut self) -> Vec<Incident<K>> {
+        let mut closed: Vec<Incident<K>> = self
+            .open
+            .drain()
+            .map(|(key, inc)| Incident {
+                key,
+                start: inc.start,
+                buckets: inc.buckets,
+            })
+            .collect();
+        closed.sort_by_key(|i| i.start);
+        closed
+    }
+
+    /// The open incident for a key, if any.
+    pub fn open_incident(&self, key: &K) -> Option<&OpenIncident> {
+        self.open.get(key)
+    }
+
+    /// Number of currently open incidents.
+    pub fn num_open(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_run_closes_when_good() {
+        let mut t: IncidentTracker<u32> = IncidentTracker::new();
+        assert!(t.observe(TimeBucket(0), [1]).is_empty());
+        assert!(t.observe(TimeBucket(1), [1]).is_empty());
+        assert_eq!(t.open_incident(&1).unwrap().elapsed(), 2);
+        let closed = t.observe(TimeBucket(2), []);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0], Incident { key: 1, start: TimeBucket(0), buckets: 2 });
+        assert_eq!(closed[0].end(), TimeBucket(2));
+        assert_eq!(t.num_open(), 0);
+    }
+
+    #[test]
+    fn interleaved_keys() {
+        let mut t: IncidentTracker<u32> = IncidentTracker::new();
+        t.observe(TimeBucket(0), [1, 2]);
+        let closed = t.observe(TimeBucket(1), [2]);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].key, 1);
+        let closed = t.observe(TimeBucket(2), [1]);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].key, 2);
+        assert_eq!(closed[0].buckets, 2);
+    }
+
+    #[test]
+    fn gap_in_feed_splits_runs() {
+        let mut t: IncidentTracker<u32> = IncidentTracker::new();
+        t.observe(TimeBucket(0), [1]);
+        // Bucket 1 was never fed — the run cannot be contiguous.
+        let closed = t.observe(TimeBucket(2), [1]);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].buckets, 1);
+        assert_eq!(t.open_incident(&1).unwrap().start, TimeBucket(2));
+    }
+
+    #[test]
+    fn finish_flushes_open() {
+        let mut t: IncidentTracker<&str> = IncidentTracker::new();
+        t.observe(TimeBucket(5), ["a", "b"]);
+        t.observe(TimeBucket(6), ["a", "b"]);
+        let mut closed = t.finish();
+        closed.sort_by_key(|i| i.key);
+        assert_eq!(closed.len(), 2);
+        assert!(closed.iter().all(|i| i.buckets == 2 && i.start == TimeBucket(5)));
+        assert_eq!(t.num_open(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn rejects_time_travel() {
+        let mut t: IncidentTracker<u32> = IncidentTracker::new();
+        t.observe(TimeBucket(5), [1]);
+        t.observe(TimeBucket(5), [1]);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_bucket_are_one_incident() {
+        let mut t: IncidentTracker<u32> = IncidentTracker::new();
+        t.observe(TimeBucket(0), [1, 1, 1]);
+        assert_eq!(t.num_open(), 1);
+        let closed = t.observe(TimeBucket(1), []);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].buckets, 1);
+    }
+
+    #[test]
+    fn duplicate_keys_do_not_reset_elapsed() {
+        // Regression: a key appearing once per bad quartet must still
+        // accumulate consecutive buckets.
+        let mut t: IncidentTracker<u32> = IncidentTracker::new();
+        for b in 0..10 {
+            t.observe(TimeBucket(b), [1, 1, 1, 1]);
+        }
+        assert_eq!(t.open_incident(&1).unwrap().elapsed(), 10);
+        let closed = t.observe(TimeBucket(10), []);
+        assert_eq!(closed[0].buckets, 10);
+    }
+}

@@ -1,0 +1,152 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The paper validates its quartet granularity by randomly splitting a
+//! quartet's RTT samples in two and checking that a KS test cannot
+//! distinguish the halves (§2.1) — i.e. a quartet is statistically
+//! homogeneous. This module provides that test.
+
+/// Result of a two-sample KS test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic: the supremum distance between the two
+    /// empirical CDFs.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution approximation).
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// True if the samples are distinguishable at significance `alpha`.
+    pub fn rejects_same_distribution(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample KS test. Returns `None` if either sample is empty.
+///
+/// ```
+/// use blameit::ks_two_sample;
+/// let a: Vec<f64> = (0..100).map(f64::from).collect();
+/// let b: Vec<f64> = (0..100).map(|i| f64::from(i) + 80.0).collect();
+/// assert!(ks_two_sample(&a, &b).unwrap().rejects_same_distribution(0.01));
+/// assert!(!ks_two_sample(&a, &a).unwrap().rejects_same_distribution(0.05));
+/// ```
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+
+    let (na, nb) = (sa.len(), sb.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while ia < na && ib < nb {
+        let xa = sa[ia];
+        let xb = sb[ib];
+        let x = xa.min(xb);
+        while ia < na && sa[ia] <= x {
+            ia += 1;
+        }
+        while ib < nb && sb[ib] <= x {
+            ib += 1;
+        }
+        let fa = ia as f64 / na as f64;
+        let fb = ib as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+
+    let n_eff = (na as f64 * nb as f64) / (na + nb) as f64;
+    let lambda = (n_eff.sqrt() + 0.12 + 0.11 / n_eff.sqrt()) * d;
+    Some(KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²)` (Numerical Recipes).
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blameit_topology::rng::DetRng;
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn identical_samples_not_rejected() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let r = ks_two_sample(&a, &a).unwrap();
+        assert!(r.statistic < 1e-9);
+        assert!(r.p_value > 0.99);
+        assert!(!r.rejects_same_distribution(0.05));
+    }
+
+    #[test]
+    fn same_distribution_usually_passes() {
+        let mut rng = DetRng::new(5);
+        let mut rejections = 0;
+        let trials = 100;
+        for _ in 0..trials {
+            let a: Vec<f64> = (0..80).map(|_| rng.normal()).collect();
+            let b: Vec<f64> = (0..80).map(|_| rng.normal()).collect();
+            if ks_two_sample(&a, &b).unwrap().rejects_same_distribution(0.05) {
+                rejections += 1;
+            }
+        }
+        // Type-I error should be near 5%.
+        assert!(rejections <= 12, "{rejections}/{trials} rejections");
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut rng = DetRng::new(6);
+        let a: Vec<f64> = (0..200).map(|_| rng.normal()).collect();
+        let b: Vec<f64> = (0..200).map(|_| rng.normal() + 1.0).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.rejects_same_distribution(0.01), "p={}", r.p_value);
+        assert!(r.statistic > 0.3);
+    }
+
+    #[test]
+    fn statistic_bounds() {
+        let r = ks_two_sample(&[1.0, 2.0], &[10.0, 20.0]).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-9, "disjoint supports → D = 1");
+        assert!(r.p_value < 0.5);
+    }
+
+    #[test]
+    fn sf_monotone() {
+        let mut prev = 1.0;
+        for i in 1..40 {
+            let l = i as f64 * 0.1;
+            let v = kolmogorov_sf(l);
+            assert!(v <= prev + 1e-12, "sf must be non-increasing");
+            assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! # blameit — WAN latency fault localization
+//!
+//! A full reimplementation of **BlameIt** (Yuchen Jin et al., *Zooming
+//! in on Wide-area Latencies to a Global Cloud Provider*, SIGCOMM
+//! 2019): a two-phase system that localizes client-to-cloud RTT
+//! degradations to the faulty AS using passively collected TCP
+//! handshake RTTs plus a frugal, impact-prioritized budget of active
+//! traceroutes.
+//!
+//! ## Architecture (paper Fig. 7)
+//!
+//! ```text
+//!  RTT stream ──► quartets ──► Algorithm 1 ──► cloud / middle / client
+//!  (Backend)      (quartet)    (passive)        │        │
+//!                                               ▼        ▼
+//!                                         alerts   prioritized probes
+//!                                        (report)  (priority + active)
+//!                                                        │
+//!                    background baselines ◄── scheduler ─┘
+//!                    (background)              (periodic + BGP churn)
+//! ```
+//!
+//! * [`backend`] — the data-plane trait (RTT stream, routing tables,
+//!   traceroute agent, IBGP feed) + the simulator binding.
+//! * [`quartet`] — ⟨/24, location, device, 5-min⟩ aggregation,
+//!   enrichment, the ≥10-sample floor, split-half KS validation.
+//! * [`thresholds`] — region/device badness targets (§2.1).
+//! * [`history`] — learned expected RTTs (14-day medians, §4.3),
+//!   per-path incident-duration history, client-count history (§5.3).
+//! * [`grouping`] — middle-segment granularities: BGP path / atom /
+//!   prefix / ⟨AS, Metro⟩ (§4.2, Fig. 6, Fig. 11).
+//! * [`passive`] — Algorithm 1: hierarchical cloud→middle→client
+//!   elimination with `insufficient`/`ambiguous` outcomes.
+//! * [`active`] — traceroute diffing and culprit-AS selection (§5.2).
+//! * [`priority`] — client-time-product ranking and per-location probe
+//!   budgets (§5.3).
+//! * [`background`] — periodic + churn-triggered baseline probes and
+//!   the baseline store (§5.4).
+//! * [`incident`] — consecutive-bad-bucket tracking (§2.3).
+//! * [`pipeline`] — the 15-minute [`pipeline::BlameItEngine`] tying it
+//!   together (§6.1).
+//! * [`report`] — blame-fraction tallies (Fig. 8/9).
+//! * [`stats`], [`ks`] — numeric utilities.
+
+pub mod active;
+pub mod backend;
+pub mod background;
+pub mod grouping;
+pub mod history;
+pub mod incident;
+pub mod ks;
+pub mod passive;
+pub mod pipeline;
+pub mod priority;
+pub mod quartet;
+pub mod report;
+pub mod stats;
+pub mod thresholds;
+
+pub use active::{
+    combine_directional_diffs, diff_contributions, diff_contributions_with_floor,
+    diff_traceroutes, AsDelta, TracrouteDiffResult,
+};
+pub use backend::{Backend, RouteInfo, WorldBackend};
+pub use background::{BackgroundScheduler, BaselineEntry, BaselineStore, ProbeTarget};
+pub use grouping::{MiddleGrouping, MiddleKey};
+pub use history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
+pub use incident::{Incident, IncidentTracker, OpenIncident};
+pub use ks::{ks_two_sample, KsResult};
+pub use passive::{assign_blames, AggregateStats, Blame, BlameConfig, BlameResult};
+pub use pipeline::{Alert, BlameItConfig, BlameItEngine, MiddleLocalization, TickOutput};
+pub use priority::{prioritize, select_within_budget, MiddleIssue, PrioritizedIssue};
+pub use quartet::{
+    aggregate_records, enrich_bucket, enrich_bucket_min_samples, split_half_ks, EnrichedQuartet,
+    MIN_SAMPLES,
+};
+pub use report::{tally, tally_by_day, tally_by_region, BlameCounts};
+pub use thresholds::BadnessThresholds;

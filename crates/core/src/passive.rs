@@ -1,0 +1,476 @@
+//! Algorithm 1: coarse-grained fault localization from passive data.
+//!
+//! For every bad quartet (mean RTT above the region/device badness
+//! threshold), blame is assigned by hierarchical elimination, exactly
+//! following the paper's Algorithm 1:
+//!
+//! 1. **Cloud** — if the cloud location has > 5 quartets this bucket
+//!    and ≥ τ of them exceed the location's *learned* expected RTT
+//!    (14-day median, §4.3). Starting from the cloud exploits
+//!    Insight-2: simultaneous badness across hundreds of /24s is far
+//!    more likely one cloud fault than many client faults.
+//! 2. **Middle** — else, if the quartet's middle segment (BGP path by
+//!    default) has > 5 quartets and ≥ τ of them exceed the segment's
+//!    learned expected RTT.
+//! 3. **Ambiguous** — else, if the same /24 saw *good* RTT to another
+//!    cloud location in the same bucket (no conclusive blame).
+//! 4. **Client** — otherwise.
+//!
+//! With too few quartets at step 1 or 2 the verdict is
+//! **Insufficient**. Bad fractions are *unweighted* by sample counts:
+//! a handful of chatty good /24s must not mask many quiet bad ones
+//! (§4.2).
+
+use crate::grouping::{MiddleGrouping, MiddleKey};
+use crate::history::{ExpectedRttLearner, RttKey};
+use crate::quartet::EnrichedQuartet;
+use blameit_simnet::QuartetObs;
+use blameit_topology::{Asn, CloudLocId, PathId, Region};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Coarse blame verdict for a bad quartet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Blame {
+    /// The cloud's own network/servers.
+    Cloud,
+    /// The middle segment (localize further with the active phase).
+    Middle,
+    /// The client's ISP / last mile.
+    Client,
+    /// The /24 saw good RTT to another location at the same time.
+    Ambiguous,
+    /// Too few quartets in the relevant aggregate to decide.
+    Insufficient,
+}
+
+impl Blame {
+    /// All verdicts, in report order.
+    pub const ALL: [Blame; 5] = [
+        Blame::Cloud,
+        Blame::Middle,
+        Blame::Client,
+        Blame::Ambiguous,
+        Blame::Insufficient,
+    ];
+}
+
+impl fmt::Display for Blame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Blame::Cloud => "cloud",
+            Blame::Middle => "middle",
+            Blame::Client => "client",
+            Blame::Ambiguous => "ambiguous",
+            Blame::Insufficient => "insufficient",
+        })
+    }
+}
+
+/// Algorithm 1 parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BlameConfig {
+    /// Bad-fraction threshold τ (paper: 0.8).
+    pub tau: f64,
+    /// Aggregates with at most this many quartets are "insufficient"
+    /// (paper: 5).
+    pub min_aggregate_quartets: usize,
+    /// Middle-segment grouping strategy.
+    pub grouping: MiddleGrouping,
+    /// A quartet counts toward an aggregate's bad fraction when its
+    /// mean exceeds `expected × expected_margin`. At Azure's aggregate
+    /// sizes (hundreds of thousands of /24s per location) comparing
+    /// strictly against the median is safe; at simulation scale the
+    /// small margin keeps the ~50% of quartets that naturally sit just
+    /// above their median from tripping τ through noise.
+    pub expected_margin: f64,
+}
+
+impl Default for BlameConfig {
+    fn default() -> Self {
+        BlameConfig {
+            tau: 0.8,
+            min_aggregate_quartets: 5,
+            grouping: MiddleGrouping::BgpPath,
+            expected_margin: 1.1,
+        }
+    }
+}
+
+/// One bad quartet's verdict, with the keys needed downstream.
+#[derive(Clone, Debug)]
+pub struct BlameResult {
+    /// The quartet observation.
+    pub obs: QuartetObs,
+    /// Its middle path.
+    pub path: PathId,
+    /// Its middle-segment group key under the configured grouping.
+    pub middle_key: MiddleKey,
+    /// Client AS.
+    pub origin: Asn,
+    /// Client region.
+    pub region: Region,
+    /// The verdict.
+    pub blame: Blame,
+}
+
+/// Per-aggregate statistics computed during blame assignment, exposed
+/// for reporting and confidence calculations (§6.3 case 5 reports the
+/// "proportion of quartets blamed in each category").
+#[derive(Clone, Debug, Default)]
+pub struct AggregateStats {
+    /// Quartet count and above-expected count per cloud location.
+    pub cloud: HashMap<CloudLocId, (usize, usize)>,
+    /// Quartet count and above-expected count per middle key.
+    pub middle: HashMap<MiddleKey, (usize, usize)>,
+}
+
+impl AggregateStats {
+    /// Bad fraction for a location (0 with no quartets).
+    pub fn cloud_bad_fraction(&self, loc: CloudLocId) -> f64 {
+        match self.cloud.get(&loc) {
+            Some((n, bad)) if *n > 0 => *bad as f64 / *n as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Bad fraction for a middle key (0 with no quartets).
+    pub fn middle_bad_fraction(&self, key: MiddleKey) -> f64 {
+        match self.middle.get(&key) {
+            Some((n, bad)) if *n > 0 => *bad as f64 / *n as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Runs Algorithm 1 over one bucket's enriched quartets. Returns a
+/// verdict for every **bad** quartet plus the aggregate statistics.
+///
+/// `expected` must have been fed prior history (the learner is *not*
+/// updated here; the pipeline owns that, and updates it only after
+/// blame assignment so the current bucket never sees its own data).
+pub fn assign_blames(
+    quartets: &[EnrichedQuartet],
+    expected: &ExpectedRttLearner,
+    cfg: &BlameConfig,
+) -> (Vec<BlameResult>, AggregateStats) {
+    let mut stats = AggregateStats::default();
+
+    // Aggregate pass: count quartets and above-expected quartets per
+    // cloud location and per middle key. A quartet with no learned
+    // expectation yet counts toward the total but not the bad count
+    // (conservative: unlearned keys can't produce cloud/middle blame).
+    for q in quartets {
+        let loc_entry = stats.cloud.entry(q.obs.loc).or_default();
+        loc_entry.0 += 1;
+        if let Some(exp) = expected.expected(RttKey::Cloud(q.obs.loc, q.obs.mobile)) {
+            if q.obs.mean_rtt_ms > exp * cfg.expected_margin {
+                loc_entry.1 += 1;
+            }
+        }
+        let key = cfg.grouping.key(&q.info);
+        let mid_entry = stats.middle.entry(key).or_default();
+        mid_entry.0 += 1;
+        if let Some(exp) = expected.expected(RttKey::Middle(key, q.obs.mobile)) {
+            if q.obs.mean_rtt_ms > exp * cfg.expected_margin {
+                mid_entry.1 += 1;
+            }
+        }
+    }
+
+    // (p24, mobile) pairs that saw good RTT somewhere this bucket.
+    let good_elsewhere: HashSet<(u32, bool, CloudLocId)> = quartets
+        .iter()
+        .filter(|q| !q.bad)
+        .map(|q| (q.obs.p24.block(), q.obs.mobile, q.obs.loc))
+        .collect();
+    let has_good_to_other_loc = |q: &EnrichedQuartet| {
+        good_elsewhere
+            .iter()
+            .any(|(blk, mob, loc)| *blk == q.obs.p24.block() && *mob == q.obs.mobile && *loc != q.obs.loc)
+    };
+
+    let min_q = cfg.min_aggregate_quartets;
+    let mut out = Vec::new();
+    for q in quartets {
+        if !q.bad {
+            continue;
+        }
+        let key = cfg.grouping.key(&q.info);
+        let (cloud_n, cloud_bad) = stats.cloud[&q.obs.loc];
+        let (mid_n, mid_bad) = stats.middle[&key];
+        let blame = if cloud_n <= min_q {
+            Blame::Insufficient
+        } else if cloud_bad as f64 / cloud_n as f64 >= cfg.tau {
+            Blame::Cloud
+        } else if mid_n <= min_q {
+            Blame::Insufficient
+        } else if mid_bad as f64 / mid_n as f64 >= cfg.tau {
+            Blame::Middle
+        } else if has_good_to_other_loc(q) {
+            Blame::Ambiguous
+        } else {
+            Blame::Client
+        };
+        out.push(BlameResult {
+            obs: q.obs,
+            path: q.info.path,
+            middle_key: key,
+            origin: q.info.origin,
+            region: q.info.region,
+            blame,
+        });
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::RouteInfo;
+    use blameit_simnet::TimeBucket;
+    use blameit_topology::{IpPrefix, MetroId, Prefix24};
+
+    /// Builds an enriched quartet by hand.
+    fn q(
+        loc: u16,
+        block: u32,
+        path: u32,
+        origin: u32,
+        mean: f64,
+        bad: bool,
+    ) -> EnrichedQuartet {
+        EnrichedQuartet {
+            obs: QuartetObs {
+                loc: CloudLocId(loc),
+                p24: Prefix24::from_block(block),
+                mobile: false,
+                bucket: TimeBucket(0),
+                n: 30,
+                mean_rtt_ms: mean,
+            },
+            info: RouteInfo {
+                path: PathId(path),
+                middle: vec![Asn(1000 + path)],
+                origin: Asn(origin),
+                metro: MetroId(0),
+                region: Region::Europe,
+                prefix: IpPrefix::new(block << 8, 20),
+            },
+            bad,
+        }
+    }
+
+    /// Learner with expected 40 ms for every key that appears.
+    fn learner_with_40(quartets: &[EnrichedQuartet], cfg: &BlameConfig) -> ExpectedRttLearner {
+        let mut l = ExpectedRttLearner::new(1);
+        for qq in quartets {
+            l.observe(RttKey::Cloud(qq.obs.loc, qq.obs.mobile), 0, 40.0);
+            l.observe(
+                RttKey::Middle(cfg.grouping.key(&qq.info), qq.obs.mobile),
+                0,
+                40.0,
+            );
+        }
+        l
+    }
+
+    #[test]
+    fn cloud_blame_when_whole_location_shifts() {
+        let cfg = BlameConfig::default();
+        // 10 quartets to loc 0, all above the 40 ms expectation; one is
+        // formally "bad" (above its threshold).
+        let mut quartets: Vec<EnrichedQuartet> =
+            (0..9).map(|i| q(0, i, i, 100 + i, 55.0, false)).collect();
+        quartets.push(q(0, 9, 9, 109, 80.0, true));
+        let l = learner_with_40(&quartets, &cfg);
+        let (res, stats) = assign_blames(&quartets, &l, &cfg);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].blame, Blame::Cloud);
+        assert!((stats.cloud_bad_fraction(CloudLocId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn middle_blame_when_only_path_shifts() {
+        let cfg = BlameConfig::default();
+        let mut quartets = Vec::new();
+        // Path 1: 8 quartets, all elevated; two formally bad.
+        for i in 0..8 {
+            quartets.push(q(0, i, 1, 100, 70.0, i < 2));
+        }
+        // Other paths to the same loc: healthy (so cloud fraction low).
+        for i in 8..40 {
+            quartets.push(q(0, i, 2 + i, 200 + i, 30.0, false));
+        }
+        let l = learner_with_40(&quartets, &cfg);
+        let (res, _) = assign_blames(&quartets, &l, &cfg);
+        assert_eq!(res.len(), 2);
+        for r in &res {
+            assert_eq!(r.blame, Blame::Middle, "{:?}", r);
+            assert_eq!(r.path, PathId(1));
+        }
+    }
+
+    #[test]
+    fn client_blame_when_isolated() {
+        let cfg = BlameConfig::default();
+        let mut quartets = Vec::new();
+        // One bad quartet on a path shared with healthy peers.
+        quartets.push(q(0, 0, 1, 100, 90.0, true));
+        for i in 1..10 {
+            quartets.push(q(0, i, 1, 100 + i, 30.0, false));
+        }
+        for i in 10..40 {
+            quartets.push(q(0, i, 2, 200, 30.0, false));
+        }
+        let l = learner_with_40(&quartets, &cfg);
+        let (res, _) = assign_blames(&quartets, &l, &cfg);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].blame, Blame::Client);
+    }
+
+    #[test]
+    fn ambiguous_when_good_elsewhere() {
+        let cfg = BlameConfig::default();
+        let mut quartets = Vec::new();
+        // Bad to loc 0 …
+        quartets.push(q(0, 0, 1, 100, 90.0, true));
+        // … but the same /24 is good to loc 1 at the same time.
+        quartets.push(q(1, 0, 5, 100, 20.0, false));
+        for i in 1..10 {
+            quartets.push(q(0, i, 1, 100 + i, 30.0, false));
+        }
+        for i in 10..30 {
+            quartets.push(q(1, i, 5, 300, 20.0, false));
+        }
+        let l = learner_with_40(&quartets, &cfg);
+        let (res, _) = assign_blames(&quartets, &l, &cfg);
+        let mine = res
+            .iter()
+            .find(|r| r.obs.loc == CloudLocId(0) && r.obs.p24 == Prefix24::from_block(0))
+            .unwrap();
+        assert_eq!(mine.blame, Blame::Ambiguous);
+    }
+
+    #[test]
+    fn insufficient_when_aggregate_too_small() {
+        let cfg = BlameConfig::default();
+        // Only 3 quartets at the location: below the >5 requirement.
+        let quartets = vec![
+            q(0, 0, 1, 100, 90.0, true),
+            q(0, 1, 1, 101, 30.0, false),
+            q(0, 2, 1, 102, 30.0, false),
+        ];
+        let l = learner_with_40(&quartets, &cfg);
+        let (res, _) = assign_blames(&quartets, &l, &cfg);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].blame, Blame::Insufficient);
+    }
+
+    #[test]
+    fn insufficient_when_path_aggregate_small() {
+        let cfg = BlameConfig::default();
+        let mut quartets = Vec::new();
+        // Location has plenty of healthy quartets on other paths.
+        for i in 0..20 {
+            quartets.push(q(0, i, 2, 200, 30.0, false));
+        }
+        // The bad quartet's own path has only 2 quartets.
+        quartets.push(q(0, 100, 1, 100, 90.0, true));
+        quartets.push(q(0, 101, 1, 100, 30.0, false));
+        let l = learner_with_40(&quartets, &cfg);
+        let (res, _) = assign_blames(&quartets, &l, &cfg);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].blame, Blame::Insufficient);
+    }
+
+    #[test]
+    fn paper_4_3_example_expected_rtt_disambiguates() {
+        // §4.3: threshold 50 ms; historical RTTs uniform [35, 45] →
+        // expected ≈ 40 ms. After a cloud fault RTTs become uniform
+        // [40, 70]: only 1/3 exceed the 50 ms *threshold*, but all
+        // exceed the 40 ms *expected* value → blame lands on cloud.
+        let cfg = BlameConfig::default();
+        let mut l = ExpectedRttLearner::new(7);
+        let n = 30;
+        for i in 0..n {
+            let rtt = 35.0 + 10.0 * (i as f64 / (n - 1) as f64);
+            l.observe(RttKey::Cloud(CloudLocId(0), false), 0, rtt);
+        }
+        // Post-fault quartets: uniform [40, 70]; bad = above 50 ms.
+        let mut quartets = Vec::new();
+        for i in 0..n {
+            let rtt = 40.0 + 30.0 * (i as f64 / (n - 1) as f64);
+            let bad = rtt > 50.0;
+            quartets.push(q(0, i as u32, i as u32, 100 + i as u32, rtt, bad));
+            l.observe(RttKey::Middle(cfg.grouping.key(&quartets[i].info), false), 0, 39.0);
+        }
+        let (res, stats) = assign_blames(&quartets, &l, &cfg);
+        assert!(!res.is_empty());
+        assert!(
+            stats.cloud_bad_fraction(CloudLocId(0)) >= cfg.tau,
+            "all post-fault RTTs exceed the learned 40 ms"
+        );
+        for r in &res {
+            assert_eq!(r.blame, Blame::Cloud);
+        }
+        // Counter-check: using the raw 50 ms threshold as the
+        // comparison value (the naive design) would NOT cross τ.
+        let above_threshold =
+            quartets.iter().filter(|qq| qq.obs.mean_rtt_ms > 50.0).count() as f64 / n as f64;
+        assert!(above_threshold < cfg.tau);
+    }
+
+    #[test]
+    fn good_quartets_get_no_verdict() {
+        let cfg = BlameConfig::default();
+        let quartets: Vec<_> = (0..10).map(|i| q(0, i, 1, 100, 30.0, false)).collect();
+        let l = learner_with_40(&quartets, &cfg);
+        let (res, _) = assign_blames(&quartets, &l, &cfg);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn unlearned_keys_cannot_blame_cloud_or_middle() {
+        let cfg = BlameConfig::default();
+        let quartets: Vec<_> = (0..10).map(|i| q(0, i, 1, 100, 90.0, true)).collect();
+        let l = ExpectedRttLearner::new(1); // empty
+        let (res, _) = assign_blames(&quartets, &l, &cfg);
+        // With no expectations, the bad fractions stay 0 → falls to
+        // client (no good-elsewhere evidence).
+        for r in &res {
+            assert_eq!(r.blame, Blame::Client);
+        }
+    }
+
+    #[test]
+    fn cloud_checked_before_middle() {
+        // When both the location AND the path are fully shifted, blame
+        // must land on the cloud (hierarchical elimination order) —
+        // this is what kept the Australia overload (§6.3 case 3) from
+        // being misblamed on the shared BGP paths.
+        let cfg = BlameConfig::default();
+        let quartets: Vec<_> = (0..10).map(|i| q(0, i, 1, 100, 90.0, true)).collect();
+        let l = learner_with_40(&quartets, &cfg);
+        let (res, _) = assign_blames(&quartets, &l, &cfg);
+        for r in &res {
+            assert_eq!(r.blame, Blame::Cloud);
+        }
+    }
+
+    #[test]
+    fn tau_boundary_is_inclusive() {
+        let cfg = BlameConfig::default();
+        // Exactly 8 of 10 above expected → fraction 0.8 ≥ τ → cloud.
+        let mut quartets = Vec::new();
+        for i in 0..8 {
+            quartets.push(q(0, i, i, 100, 55.0, i == 0));
+        }
+        quartets.push(q(0, 8, 8, 108, 30.0, false));
+        quartets.push(q(0, 9, 9, 109, 30.0, false));
+        let l = learner_with_40(&quartets, &cfg);
+        let (res, stats) = assign_blames(&quartets, &l, &cfg);
+        assert!((stats.cloud_bad_fraction(CloudLocId(0)) - 0.8).abs() < 1e-9);
+        assert_eq!(res[0].blame, Blame::Cloud);
+    }
+}

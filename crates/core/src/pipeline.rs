@@ -1,0 +1,721 @@
+//! The end-to-end BlameIt engine.
+//!
+//! Mirrors the production workflow of §3.3/§6.1 (Fig. 7): RTTs stream
+//! in from the edge; an analytics job runs every 15 minutes (3 buckets)
+//! assigning coarse blame to every bad quartet; middle-segment issues
+//! are prioritized by client-time product and probed on-demand within a
+//! budget; background traceroutes (periodic + churn-triggered) maintain
+//! the per-path baselines the diffs compare against; and the top issues
+//! become operator alerts.
+//!
+//! The engine is generic over [`Backend`], so it runs identically over
+//! the simulator (with ground truth available for scoring) or any other
+//! data plane.
+
+use crate::active::{diff_contributions_with_floor, TracrouteDiffResult, MIN_CULPRIT_DELTA_MS};
+use crate::backend::Backend;
+use crate::background::{BackgroundScheduler, BaselineStore, ProbeTarget};
+use crate::grouping::MiddleKey;
+use crate::history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
+use crate::incident::IncidentTracker;
+use crate::passive::{assign_blames, Blame, BlameConfig, BlameResult};
+use crate::priority::{prioritize, select_within_budget, MiddleIssue, PrioritizedIssue};
+use crate::quartet::{enrich_bucket, EnrichedQuartet};
+use crate::thresholds::BadnessThresholds;
+use blameit_simnet::{SimTime, TimeBucket, TimeRange};
+use blameit_topology::{Asn, CloudLocId, PathId, Prefix24};
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct BlameItConfig {
+    /// Algorithm 1 parameters.
+    pub blame: BlameConfig,
+    /// Badness thresholds (region × device).
+    pub thresholds: BadnessThresholds,
+    /// On-demand traceroutes allowed per cloud location per tick.
+    pub probe_budget_per_loc: usize,
+    /// Background probe period per (location, path), seconds
+    /// (paper default: twice a day).
+    pub background_period_secs: u64,
+    /// Issue background probes on IBGP churn events.
+    pub churn_triggered: bool,
+    /// Buckets per analysis tick (paper: 3 = 15 minutes).
+    pub tick_buckets: u32,
+    /// Maximum operator alerts emitted per tick.
+    pub max_alerts: usize,
+    /// Seed for the expected-RTT reservoir.
+    pub seed: u64,
+}
+
+impl BlameItConfig {
+    /// Paper-faithful defaults around the given thresholds.
+    pub fn new(thresholds: BadnessThresholds) -> Self {
+        BlameItConfig {
+            blame: BlameConfig::default(),
+            thresholds,
+            probe_budget_per_loc: 5,
+            background_period_secs: 43_200,
+            churn_triggered: true,
+            tick_buckets: 3,
+            max_alerts: 10,
+            seed: 0x0B1A_3E17,
+        }
+    }
+}
+
+/// The result of actively localizing one middle-segment issue.
+#[derive(Clone, Debug)]
+pub struct MiddleLocalization {
+    /// The prioritized issue that was probed.
+    pub issue: PrioritizedIssue,
+    /// When the on-demand probe ran.
+    pub probed_at: SimTime,
+    /// The /24 probed.
+    pub probed_p24: Prefix24,
+    /// Per-AS diff against the background baseline; `None` if no
+    /// baseline existed for the path yet.
+    pub diff: Option<TracrouteDiffResult>,
+    /// The culprit AS, if the diff names one.
+    pub culprit: Option<Asn>,
+}
+
+/// An operator alert (the auto-filed ticket of §6.1).
+#[derive(Clone, Debug)]
+pub struct Alert {
+    /// Tick this alert was raised in (first bucket).
+    pub bucket: TimeBucket,
+    /// Coarse blame.
+    pub blame: Blame,
+    /// Cloud location involved.
+    pub loc: CloudLocId,
+    /// Middle path (for middle blames).
+    pub path: Option<PathId>,
+    /// Client AS (for client blames).
+    pub client_as: Option<Asn>,
+    /// Actively-localized culprit AS, when available.
+    pub culprit: Option<Asn>,
+    /// Affected connections (sum of quartet samples).
+    pub impacted_connections: u64,
+    /// Affected distinct /24s.
+    pub impacted_p24s: usize,
+    /// Fraction of the relevant aggregate's quartets agreeing with the
+    /// verdict (the paper's §6.3 case-5 "confidence").
+    pub confidence: f64,
+}
+
+/// Output of one engine tick.
+#[derive(Clone, Debug, Default)]
+pub struct TickOutput {
+    /// Per-bad-quartet verdicts across the tick's buckets.
+    pub blames: Vec<BlameResult>,
+    /// Active-phase localizations performed this tick.
+    pub localizations: Vec<MiddleLocalization>,
+    /// Operator alerts (top issues by impact).
+    pub alerts: Vec<Alert>,
+    /// All middle issues this tick ranked by client-time product,
+    /// *before* the probe budget was applied (for prioritization
+    /// studies, Fig. 12).
+    pub ranked_issues: Vec<PrioritizedIssue>,
+    /// On-demand probes issued this tick.
+    pub on_demand_probes: u64,
+    /// Background probes issued this tick.
+    pub background_probes: u64,
+}
+
+/// Gap (buckets) under which two badness runs on one (location, path)
+/// count as the same episode (8 hours: spans an overnight lull).
+const EPISODE_GAP_BUCKETS: u32 = 96;
+
+/// The BlameIt engine: all state for continuous operation.
+#[derive(Clone, Debug)]
+pub struct BlameItEngine {
+    cfg: BlameItConfig,
+    expected: ExpectedRttLearner,
+    durations: DurationHistory,
+    client_hist: ClientCountHistory,
+    incidents: IncidentTracker<(CloudLocId, PathId)>,
+    baselines: BaselineStore,
+    scheduler: BackgroundScheduler,
+    /// Representative probe target per (loc, path), refreshed from
+    /// observed traffic.
+    rep_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    /// The /24 each stored baseline was measured toward — on-demand
+    /// probes must target the same /24 for a comparable diff.
+    baseline_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    /// (location, announced prefix) pairs observed carrying traffic;
+    /// churn events for anything else are not ours to probe.
+    monitored_prefixes: std::collections::HashSet<(CloudLocId, blameit_topology::IpPrefix)>,
+    /// Badness *episodes* per (loc, path): (first bad bucket, last bad
+    /// bucket), where runs separated by less than [`EPISODE_GAP_BUCKETS`]
+    /// merge. Incidents fragment overnight when traffic (and thus
+    /// quartets) thins out; the diff must still compare against a
+    /// baseline predating the whole episode, and background probing
+    /// must not re-baseline inside one.
+    episodes: HashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
+    churn_cursor: SimTime,
+    /// Lifetime probe counters.
+    pub on_demand_probes_total: u64,
+    /// Lifetime background probe count.
+    pub background_probes_total: u64,
+}
+
+impl BlameItEngine {
+    /// A fresh engine.
+    pub fn new(cfg: BlameItConfig) -> Self {
+        let scheduler = BackgroundScheduler::new(cfg.background_period_secs, cfg.churn_triggered);
+        BlameItEngine {
+            expected: ExpectedRttLearner::new(cfg.seed),
+            durations: DurationHistory::new(),
+            client_hist: ClientCountHistory::new(),
+            incidents: IncidentTracker::new(),
+            baselines: BaselineStore::new(),
+            scheduler,
+            rep_p24: HashMap::new(),
+            baseline_p24: HashMap::new(),
+            monitored_prefixes: std::collections::HashSet::new(),
+            episodes: HashMap::new(),
+            churn_cursor: SimTime::ZERO,
+            on_demand_probes_total: 0,
+            background_probes_total: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BlameItConfig {
+        &self.cfg
+    }
+
+    /// The learned expected-RTT store (read access for reporting).
+    pub fn expected_rtts(&self) -> &ExpectedRttLearner {
+        &self.expected
+    }
+
+    /// The duration history (read access).
+    pub fn duration_history(&self) -> &DurationHistory {
+        &self.durations
+    }
+
+    /// The baseline store (read access).
+    pub fn baselines(&self) -> &BaselineStore {
+        &self.baselines
+    }
+
+    /// The client-count history (read access).
+    pub fn client_history(&self) -> &ClientCountHistory {
+        &self.client_hist
+    }
+
+    /// Feeds history (expected RTTs, client counts) from telemetry
+    /// without issuing probes — the 14 days of learning Algorithm 1
+    /// expects before blame assignment is trusted. `sample_every`
+    /// strides the buckets for speed (1 = every bucket; stride > 1
+    /// trades fidelity for time and is fine for the medians).
+    pub fn warmup<B: Backend>(&mut self, backend: &B, range: TimeRange, sample_every: u32) {
+        assert!(sample_every >= 1);
+        self.churn_cursor = range.end;
+        // Incident-duration prior: track runs of path-level badness
+        // (≥ half of a path's quartets above threshold) so the
+        // client-time-product estimator has history from day one
+        // (§5.3a: "P(T|t) … based on historical fault durations").
+        // Only meaningful without striding — runs need contiguity.
+        let mut tracker: IncidentTracker<(CloudLocId, PathId)> = IncidentTracker::new();
+        for (i, bucket) in range.buckets().enumerate() {
+            if !(i as u32).is_multiple_of(sample_every) {
+                continue;
+            }
+            let enriched = enrich_bucket(backend, bucket, &self.cfg.thresholds);
+            if sample_every == 1 {
+                let mut per_path: HashMap<(CloudLocId, PathId), (u32, u32)> = HashMap::new();
+                for q in &enriched {
+                    let e = per_path.entry((q.obs.loc, q.info.path)).or_default();
+                    e.0 += 1;
+                    if q.bad {
+                        e.1 += 1;
+                    }
+                }
+                let bad_keys = per_path
+                    .into_iter()
+                    .filter(|(_, (n, bad))| *n >= 3 && *bad * 2 >= *n)
+                    .map(|(k, _)| k);
+                for inc in tracker.observe(bucket, bad_keys) {
+                    self.durations.record(inc.key.1, inc.buckets);
+                }
+            }
+            self.learn_from(&enriched, bucket);
+        }
+        for inc in tracker.finish() {
+            self.durations.record(inc.key.1, inc.buckets);
+        }
+    }
+
+    /// Internal: update learners from one bucket's quartets.
+    fn learn_from(&mut self, enriched: &[EnrichedQuartet], bucket: TimeBucket) {
+        let day = bucket.day();
+        let mut per_path_clients: HashMap<PathId, u64> = HashMap::new();
+        for q in enriched {
+            self.expected.observe(
+                RttKey::Cloud(q.obs.loc, q.obs.mobile),
+                day,
+                q.obs.mean_rtt_ms,
+            );
+            let key = self.cfg.blame.grouping.key(&q.info);
+            self.expected
+                .observe(RttKey::Middle(key, q.obs.mobile), day, q.obs.mean_rtt_ms);
+            *per_path_clients.entry(q.info.path).or_default() += q.obs.n as u64;
+            self.rep_p24
+                .entry((q.obs.loc, q.info.path))
+                .or_insert(q.obs.p24);
+            self.monitored_prefixes.insert((q.obs.loc, q.info.prefix));
+        }
+        for (path, clients) in per_path_clients {
+            self.client_hist.record(path, bucket, clients);
+        }
+    }
+
+    /// Runs one 15-minute analysis tick starting at `start`, consuming
+    /// `cfg.tick_buckets` buckets of telemetry.
+    pub fn tick<B: Backend>(&mut self, backend: &mut B, start: TimeBucket) -> TickOutput {
+        let mut out = TickOutput::default();
+        let probes_before = backend.probes_issued();
+
+        // Per-(loc, path) accumulation of middle-segment badness for
+        // issue construction, plus per-aggregate alert statistics.
+        let mut middle_acc: HashMap<(CloudLocId, PathId), MiddleAcc> = HashMap::new();
+        let mut alert_acc: HashMap<AlertKey, AlertAcc> = HashMap::new();
+
+        for i in 0..self.cfg.tick_buckets {
+            let bucket = start.plus(i);
+            let enriched = enrich_bucket(backend, bucket, &self.cfg.thresholds);
+            let (blames, stats) = assign_blames(&enriched, &self.expected, &self.cfg.blame);
+
+            // Incident continuity for middle issues.
+            let bad_middle: Vec<(CloudLocId, PathId)> = blames
+                .iter()
+                .filter(|b| b.blame == Blame::Middle)
+                .map(|b| (b.obs.loc, b.path))
+                .collect();
+            for key in &bad_middle {
+                self.episodes
+                    .entry(*key)
+                    .and_modify(|(start, last)| {
+                        if bucket.0 - last.0 > EPISODE_GAP_BUCKETS {
+                            *start = bucket;
+                        }
+                        *last = bucket;
+                    })
+                    .or_insert((bucket, bucket));
+            }
+            for inc in self.incidents.observe(bucket, bad_middle) {
+                self.durations.record(inc.key.1, inc.buckets);
+            }
+
+            for b in &blames {
+                // Aggregate for alerts.
+                let akey = match b.blame {
+                    Blame::Cloud => AlertKey::Cloud(b.obs.loc),
+                    Blame::Middle => AlertKey::Middle(b.obs.loc, b.path),
+                    Blame::Client => AlertKey::Client(b.origin),
+                    Blame::Ambiguous | Blame::Insufficient => continue,
+                };
+                let acc = alert_acc.entry(akey).or_default();
+                acc.connections += b.obs.n as u64;
+                acc.p24s.insert(b.obs.p24);
+                acc.bucket = bucket;
+                acc.confidence = match b.blame {
+                    Blame::Cloud => stats.cloud_bad_fraction(b.obs.loc),
+                    Blame::Middle => stats.middle_bad_fraction(b.middle_key),
+                    _ => 1.0,
+                };
+
+                if b.blame == Blame::Middle {
+                    let m = middle_acc.entry((b.obs.loc, b.path)).or_default();
+                    m.clients += b.obs.n as u64;
+                    m.bucket = bucket;
+                    m.middle_key = Some(b.middle_key);
+                    if !m.p24s.contains(&b.obs.p24) {
+                        m.p24s.push(b.obs.p24);
+                    }
+                }
+            }
+
+            // Learn only after assignment: the bucket never sees its
+            // own data in the expected values.
+            self.learn_from(&enriched, bucket);
+            out.blames.extend(blames);
+        }
+
+        // Build and prioritize middle issues.
+        let issues: Vec<MiddleIssue> = middle_acc
+            .into_iter()
+            .map(|((loc, path), m)| {
+                let elapsed = self
+                    .incidents
+                    .open_incident(&(loc, path))
+                    .map_or(1, |o| o.elapsed());
+                MiddleIssue {
+                    loc,
+                    path,
+                    middle_key: m.middle_key.unwrap_or(MiddleKey::Path(path)),
+                    bucket: m.bucket,
+                    elapsed_buckets: elapsed,
+                    current_clients: m.clients,
+                    affected_p24s: m.p24s,
+                }
+            })
+            .collect();
+        let ranked = prioritize(issues, &self.durations, &self.client_hist);
+        let selected: Vec<PrioritizedIssue> = select_within_budget(&ranked, self.cfg.probe_budget_per_loc)
+            .into_iter()
+            .cloned()
+            .collect();
+        out.ranked_issues = ranked;
+
+        // On-demand probes, while the issue is live (the probe runs
+        // within the tick; we time it at the issue's bucket midpoint).
+        let mut culprit_by_issue: HashMap<(CloudLocId, PathId), Asn> = HashMap::new();
+        for p in selected {
+            let probe_at = p.issue.bucket.mid();
+            // Probe an *affected* /24 (§5.3 targets the clients of the
+            // issue). Its last mile may differ from the /24 the
+            // background baseline was measured toward; that difference
+            // lands in the client hop, so the client AS gets a raised
+            // culprit floor in the diff below.
+            let p24 = p.issue.affected_p24s[0];
+            let client_origin = backend
+                .route_info(p.issue.loc, p24, probe_at)
+                .map(|i| i.origin);
+            let tr = backend.traceroute(p.issue.loc, p24, probe_at);
+            self.on_demand_probes_total += 1;
+            out.on_demand_probes += 1;
+            // Diff against the newest baseline that predates the whole
+            // badness *episode* (gap-tolerant): a mid-incident baseline
+            // already carries the inflation (§5.2 compares against the
+            // pre-fault picture), and overnight detection gaps must not
+            // fool the lookup into using one.
+            let incident_start = self
+                .episodes
+                .get(&(p.issue.loc, p.issue.path))
+                .map(|(start, _)| start.start())
+                .unwrap_or_else(|| {
+                    p.issue
+                        .bucket
+                        .minus(p.issue.elapsed_buckets.saturating_sub(1))
+                        .start()
+                });
+            // Detection lags the fault (τ must be breached, activity
+            // must suffice, and a tick must run); pad the lookup so a
+            // baseline taken shortly before *detection* — but possibly
+            // after the true onset — is not trusted.
+            let incident_start = incident_start - 9 * blameit_simnet::BUCKET_SECS;
+            let diff = tr.as_ref().and_then(|t| {
+                self.baselines
+                    .get_before(p.issue.loc, p.issue.path, incident_start)
+                    .or_else(|| self.baselines.oldest(p.issue.loc, p.issue.path))
+                    .map(|base| {
+                        diff_contributions_with_floor(
+                            &base.contributions,
+                            &t.as_contributions(),
+                            |asn| {
+                                if Some(asn) == client_origin {
+                                    // Covers the last-mile spread between
+                                    // the probed /24 and the baseline's
+                                    // /24 (up to ~32 ms for cellular) plus
+                                    // evening-congestion variation.
+                                    55.0
+                                } else {
+                                    MIN_CULPRIT_DELTA_MS
+                                }
+                            },
+                        )
+                    })
+            });
+            let culprit = diff.as_ref().and_then(|d| d.culprit);
+            if let Some(c) = culprit {
+                culprit_by_issue.insert((p.issue.loc, p.issue.path), c);
+            }
+            out.localizations.push(MiddleLocalization {
+                probed_at: probe_at,
+                probed_p24: p24,
+                diff,
+                culprit,
+                issue: p,
+            });
+        }
+
+        // Background probes: periodic + churn-triggered.
+        let now = start.plus(self.cfg.tick_buckets).start();
+        let periodic: Vec<ProbeTarget> = self
+            .rep_p24
+            .iter()
+            .map(|((loc, path), p24)| ProbeTarget {
+                loc: *loc,
+                path: *path,
+                p24: *p24,
+            })
+            .collect();
+        let churn_targets: Vec<ProbeTarget> = if self.cfg.churn_triggered {
+            // Robust to ticks scheduled before the warmup cursor (the
+            // caller's business, but never a panic).
+            backend
+                .churn_events(TimeRange::new(self.churn_cursor, now.max(self.churn_cursor)))
+                .iter()
+                .filter_map(|e| {
+                    // Only prefixes that actually send traffic to this
+                    // location are monitored; churn on a (location,
+                    // prefix) pair nobody uses does not merit a probe.
+                    if !self.monitored_prefixes.contains(&(e.loc, e.prefix)) {
+                        return None;
+                    }
+                    // Reuse the /24 the path's baselines were measured
+                    // toward when there is one, so they stay
+                    // comparable; otherwise adopt the prefix's first.
+                    let p24 = self
+                        .baseline_p24
+                        .get(&(e.loc, e.new_path))
+                        .copied()
+                        .or_else(|| e.prefix.iter_24s().next())?;
+                    Some(ProbeTarget {
+                        loc: e.loc,
+                        path: e.new_path,
+                        p24,
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.churn_cursor = now;
+        let now_bucket = now.bucket();
+        for t in self.scheduler.due(now, &periodic, &churn_targets) {
+            // Never re-baseline a path inside (or shortly after) a
+            // badness episode: the measurement would carry the
+            // inflation and evict the healthy pre-incident picture the
+            // diff needs (§5.2).
+            let in_episode = self
+                .episodes
+                .get(&(t.loc, t.path))
+                .is_some_and(|(_, last)| now_bucket.0.saturating_sub(last.0) <= EPISODE_GAP_BUCKETS);
+            if in_episode {
+                continue;
+            }
+            if let Some(tr) = backend.traceroute(t.loc, t.p24, now) {
+                // Key by the path actually live at probe time.
+                let live_path = backend
+                    .route_info(t.loc, t.p24, now)
+                    .map_or(t.path, |i| i.path);
+                self.baselines.update(t.loc, live_path, &tr);
+                self.baseline_p24.insert((t.loc, live_path), t.p24);
+            }
+            self.background_probes_total += 1;
+            out.background_probes += 1;
+        }
+        debug_assert_eq!(
+            backend.probes_issued() - probes_before,
+            out.on_demand_probes + out.background_probes
+        );
+
+        // Alerts: top issues by impacted connections.
+        let mut alerts: Vec<Alert> = alert_acc
+            .into_iter()
+            .map(|(key, acc)| {
+                let (blame, loc, path, client_as) = match key {
+                    AlertKey::Cloud(loc) => (Blame::Cloud, loc, None, None),
+                    AlertKey::Middle(loc, path) => (Blame::Middle, loc, Some(path), None),
+                    AlertKey::Client(origin) => {
+                        (Blame::Client, CloudLocId(0), None, Some(origin))
+                    }
+                };
+                let culprit = match (blame, path) {
+                    (Blame::Middle, Some(p)) => culprit_by_issue.get(&(loc, p)).copied(),
+                    (Blame::Client, _) => client_as,
+                    _ => None,
+                };
+                Alert {
+                    bucket: acc.bucket,
+                    blame,
+                    loc,
+                    path,
+                    client_as,
+                    culprit,
+                    impacted_connections: acc.connections,
+                    impacted_p24s: acc.p24s.len(),
+                    confidence: acc.confidence,
+                }
+            })
+            .collect();
+        alerts.sort_by(|a, b| {
+            b.impacted_connections
+                .cmp(&a.impacted_connections)
+                .then_with(|| (a.loc, a.path, a.client_as).cmp(&(b.loc, b.path, b.client_as)))
+        });
+        alerts.truncate(self.cfg.max_alerts);
+        out.alerts = alerts;
+        out
+    }
+
+    /// Convenience: runs ticks across a whole range, returning every
+    /// tick's output.
+    pub fn run<B: Backend>(&mut self, backend: &mut B, range: TimeRange) -> Vec<TickOutput> {
+        let mut outs = Vec::new();
+        let buckets: Vec<TimeBucket> = range.buckets().collect();
+        let mut i = 0usize;
+        while i + self.cfg.tick_buckets as usize <= buckets.len() {
+            outs.push(self.tick(backend, buckets[i]));
+            i += self.cfg.tick_buckets as usize;
+        }
+        outs
+    }
+}
+
+#[derive(Default)]
+struct MiddleAcc {
+    clients: u64,
+    p24s: Vec<Prefix24>,
+    bucket: TimeBucket,
+    middle_key: Option<MiddleKey>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum AlertKey {
+    Cloud(CloudLocId),
+    Middle(CloudLocId, PathId),
+    Client(Asn),
+}
+
+#[derive(Default)]
+struct AlertAcc {
+    connections: u64,
+    p24s: std::collections::HashSet<Prefix24>,
+    bucket: TimeBucket,
+    confidence: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::WorldBackend;
+    use blameit_simnet::{Fault, FaultId, FaultTarget, World, WorldConfig};
+
+    /// A tiny world with a long cloud fault at one location starting
+    /// day 2, engine warmed on day 0–1.
+    fn scenario() -> (World, CloudLocId) {
+        let mut cfg = WorldConfig::tiny(3, 71);
+        // Disable random faults: the scenario controls everything.
+        cfg.fault_rates = blameit_simnet::FaultRates {
+            cloud_per_loc_day: 0.0,
+            middle_per_as_day: 0.0,
+            client_as_per_day: 0.0,
+            client_prefix_per_k_day: 0.0,
+            middle_path_scoped_frac: 0.0,
+        };
+        let mut w = World::new(cfg);
+        // Fault the busiest location so aggregates are rich.
+        let mut counts: HashMap<CloudLocId, usize> = HashMap::new();
+        for c in &w.topology().clients {
+            *counts.entry(c.primary_loc).or_default() += 1;
+        }
+        let loc = *counts.iter().max_by_key(|(_, n)| **n).unwrap().0;
+        w.add_faults(vec![Fault {
+            id: FaultId(0),
+            target: FaultTarget::CloudLocation(loc),
+            start: blameit_simnet::SimTime::from_days(2),
+            duration_secs: 6 * 3600,
+            added_ms: 120.0,
+        }]);
+        (w, loc)
+    }
+
+    #[test]
+    fn engine_blames_cloud_fault_and_alerts() {
+        let (w, loc) = scenario();
+        let th = BadnessThresholds::default_for(&w);
+        let mut engine = BlameItEngine::new(BlameItConfig::new(th));
+        let mut backend = WorldBackend::new(&w);
+        // Warm up on the fault-free days (stride 2 for speed).
+        engine.warmup(&backend, TimeRange::new(SimTime::ZERO, SimTime::from_days(2)), 2);
+
+        // Analyze the first 30 minutes of the fault.
+        let start = SimTime::from_days(2).bucket();
+        let mut cloud_blames = 0usize;
+        let mut total_blames = 0usize;
+        let mut saw_cloud_alert = false;
+        for k in 0..2 {
+            let out = engine.tick(&mut backend, start.plus(k * 3));
+            for b in &out.blames {
+                if b.obs.loc == loc {
+                    total_blames += 1;
+                    if b.blame == Blame::Cloud {
+                        cloud_blames += 1;
+                    }
+                }
+            }
+            if out
+                .alerts
+                .iter()
+                .any(|a| a.blame == Blame::Cloud && a.loc == loc && a.confidence >= 0.8)
+            {
+                saw_cloud_alert = true;
+            }
+        }
+        assert!(total_blames > 0, "the 120 ms fault must breach thresholds");
+        assert!(
+            cloud_blames as f64 / total_blames as f64 > 0.9,
+            "{cloud_blames}/{total_blames} blamed on cloud"
+        );
+        assert!(saw_cloud_alert, "a high-confidence cloud alert must fire");
+    }
+
+    #[test]
+    fn engine_probe_budget_respected() {
+        let (w, _) = scenario();
+        let th = BadnessThresholds::default_for(&w);
+        let mut cfg = BlameItConfig::new(th);
+        cfg.probe_budget_per_loc = 2;
+        let mut engine = BlameItEngine::new(cfg);
+        let mut backend = WorldBackend::new(&w);
+        engine.warmup(&backend, TimeRange::new(SimTime::ZERO, SimTime::from_days(1)), 4);
+        let out = engine.tick(&mut backend, SimTime::from_days(2).bucket());
+        // On-demand probes per location ≤ budget.
+        let mut per_loc: HashMap<CloudLocId, u64> = HashMap::new();
+        for l in &out.localizations {
+            *per_loc.entry(l.issue.issue.loc).or_default() += 1;
+        }
+        for (loc, n) in per_loc {
+            assert!(n <= 2, "{loc} got {n} probes");
+        }
+    }
+
+    #[test]
+    fn background_probes_fire_and_build_baselines() {
+        let (w, _) = scenario();
+        let th = BadnessThresholds::default_for(&w);
+        let mut engine = BlameItEngine::new(BlameItConfig::new(th));
+        let mut backend = WorldBackend::new(&w);
+        engine.warmup(&backend, TimeRange::new(SimTime::ZERO, SimTime::from_days(1)), 4);
+        assert!(engine.baselines().is_empty());
+        let out = engine.tick(&mut backend, SimTime::from_days(1).bucket());
+        assert!(out.background_probes > 0, "first tick baselines every known path");
+        assert!(!engine.baselines().is_empty());
+        // Immediately after, periodic probes are not due again.
+        let out2 = engine.tick(&mut backend, SimTime::from_days(1).bucket().plus(3));
+        assert!(
+            out2.background_probes < out.background_probes / 2,
+            "periodic probes must not re-fire within the period ({} then {})",
+            out.background_probes,
+            out2.background_probes
+        );
+    }
+
+    #[test]
+    fn run_covers_range_in_ticks() {
+        let (w, _) = scenario();
+        let th = BadnessThresholds::default_for(&w);
+        let mut engine = BlameItEngine::new(BlameItConfig::new(th));
+        let mut backend = WorldBackend::new(&w);
+        let range = TimeRange::new(SimTime::from_days(1), SimTime::from_days(1) + 3 * 3600);
+        let outs = engine.run(&mut backend, range);
+        assert_eq!(outs.len(), 12, "3 h / 15 min = 12 ticks");
+    }
+}

@@ -1,0 +1,228 @@
+//! Quartets: enrichment, aggregation, and validity checks.
+//!
+//! The quartet — ⟨client /24, cloud location, device class, 5-minute
+//! bucket⟩ — is BlameIt's unit of analysis (§2.1). This module turns
+//! raw telemetry into the enriched quartets Algorithm 1 consumes:
+//! joined with routing metadata, classified good/bad against the
+//! region-specific threshold, and filtered to the paper's minimum of
+//! 10 RTT samples.
+
+use crate::backend::{Backend, RouteInfo};
+use crate::ks::{ks_two_sample, KsResult};
+use crate::thresholds::BadnessThresholds;
+use blameit_simnet::{QuartetObs, RttRecord, TimeBucket};
+use blameit_topology::rng::DetRng;
+use std::collections::HashMap;
+
+/// Minimum RTT samples for a quartet to be trusted (§2.1).
+pub const MIN_SAMPLES: u32 = 10;
+
+/// A quartet observation joined with routing metadata and classified
+/// against its badness threshold.
+#[derive(Clone, Debug)]
+pub struct EnrichedQuartet {
+    /// The underlying observation.
+    pub obs: QuartetObs,
+    /// Routing metadata at the quartet's bucket.
+    pub info: RouteInfo,
+    /// True if `obs.mean_rtt_ms` breaches the region/device threshold.
+    pub bad: bool,
+}
+
+impl EnrichedQuartet {
+    /// The badness threshold that applied.
+    pub fn threshold(&self, thresholds: &BadnessThresholds) -> f64 {
+        thresholds.get(self.info.region, self.obs.mobile)
+    }
+}
+
+/// Enriches all quartets of a bucket: joins routing metadata, drops
+/// quartets below [`MIN_SAMPLES`], classifies good/bad.
+pub fn enrich_bucket<B: Backend>(
+    backend: &B,
+    bucket: TimeBucket,
+    thresholds: &BadnessThresholds,
+) -> Vec<EnrichedQuartet> {
+    enrich_bucket_min_samples(backend, bucket, thresholds, MIN_SAMPLES)
+}
+
+/// [`enrich_bucket`] with an explicit sample floor (for ablations).
+pub fn enrich_bucket_min_samples<B: Backend>(
+    backend: &B,
+    bucket: TimeBucket,
+    thresholds: &BadnessThresholds,
+    min_samples: u32,
+) -> Vec<EnrichedQuartet> {
+    backend
+        .quartets_in(bucket)
+        .into_iter()
+        .filter(|q| q.n >= min_samples)
+        .filter_map(|obs| {
+            let info = backend.route_info(obs.loc, obs.p24, bucket.mid())?;
+            let bad = obs.mean_rtt_ms > thresholds.get(info.region, obs.mobile);
+            Some(EnrichedQuartet { obs, info, bad })
+        })
+        .collect()
+}
+
+/// Groups raw RTT records into quartet observations (the aggregation
+/// the analytics cluster performs on the collector stream, §6.1).
+pub fn aggregate_records(records: &[RttRecord]) -> Vec<QuartetObs> {
+    #[derive(Default)]
+    struct Acc {
+        n: u32,
+        sum: f64,
+    }
+    let mut map: HashMap<_, Acc> = HashMap::new();
+    for r in records {
+        let key = (r.loc, r.p24, r.mobile, r.at.bucket());
+        let a = map.entry(key).or_default();
+        a.n += 1;
+        a.sum += r.rtt_ms;
+    }
+    let mut out: Vec<QuartetObs> = map
+        .into_iter()
+        .map(|((loc, p24, mobile, bucket), a)| QuartetObs {
+            loc,
+            p24,
+            mobile,
+            bucket,
+            n: a.n,
+            mean_rtt_ms: a.sum / a.n as f64,
+        })
+        .collect();
+    out.sort_by_key(|q| (q.bucket, q.loc, q.p24, q.mobile));
+    out
+}
+
+/// The paper's §2.1 homogeneity check: randomly split one quartet's RTT
+/// samples into two halves and KS-test them. Returns `None` when there
+/// are fewer than 2·[`MIN_SAMPLES`] samples (split halves too small to
+/// test meaningfully).
+pub fn split_half_ks(rtts: &[f64], seed: u64) -> Option<KsResult> {
+    if rtts.len() < 2 * MIN_SAMPLES as usize {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..rtts.len()).collect();
+    let mut rng = DetRng::from_keys(seed, &[0x59117]);
+    rng.shuffle(&mut idx);
+    let half = rtts.len() / 2;
+    let a: Vec<f64> = idx[..half].iter().map(|i| rtts[*i]).collect();
+    let b: Vec<f64> = idx[half..].iter().map(|i| rtts[*i]).collect();
+    ks_two_sample(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::WorldBackend;
+    use blameit_simnet::{SimTime, World, WorldConfig};
+    use blameit_topology::{CloudLocId, Prefix24};
+
+    fn world() -> World {
+        World::new(WorldConfig::tiny(1, 41))
+    }
+
+    #[test]
+    fn enrich_applies_sample_floor() {
+        let w = world();
+        let b = WorldBackend::new(&w);
+        let th = BadnessThresholds::uniform(1e9); // nothing is bad
+        let bucket = TimeBucket(140);
+        let enriched = enrich_bucket(&b, bucket, &th);
+        assert!(!enriched.is_empty());
+        for q in &enriched {
+            assert!(q.obs.n >= MIN_SAMPLES);
+            assert!(!q.bad);
+        }
+        // The floor actually drops something.
+        let raw = b.quartets_in(bucket);
+        let small = raw.iter().filter(|q| q.n < MIN_SAMPLES).count();
+        assert!(small > 0, "tiny world should have small quartets");
+        assert_eq!(enriched.len(), raw.len() - small);
+    }
+
+    #[test]
+    fn enrich_classifies_badness() {
+        let w = world();
+        let b = WorldBackend::new(&w);
+        let all_bad = enrich_bucket(&b, TimeBucket(140), &BadnessThresholds::uniform(0.0));
+        assert!(all_bad.iter().all(|q| q.bad));
+        let none_bad = enrich_bucket(&b, TimeBucket(140), &BadnessThresholds::uniform(1e9));
+        assert!(none_bad.iter().all(|q| !q.bad));
+    }
+
+    #[test]
+    fn aggregate_records_groups_by_key() {
+        let mk = |loc: u16, block: u32, secs: u64, rtt: f64| RttRecord {
+            loc: CloudLocId(loc),
+            p24: Prefix24::from_block(block),
+            mobile: false,
+            at: SimTime(secs),
+            rtt_ms: rtt,
+        };
+        let recs = vec![
+            mk(0, 1, 10, 10.0),
+            mk(0, 1, 20, 20.0),
+            mk(0, 1, 400, 40.0), // next bucket
+            mk(1, 1, 10, 99.0),  // different loc
+            mk(0, 2, 10, 7.0),   // different /24
+        ];
+        let qs = aggregate_records(&recs);
+        assert_eq!(qs.len(), 4);
+        let q0 = qs
+            .iter()
+            .find(|q| q.loc == CloudLocId(0) && q.p24 == Prefix24::from_block(1) && q.bucket == TimeBucket(0))
+            .unwrap();
+        assert_eq!(q0.n, 2);
+        assert!((q0.mean_rtt_ms - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_matches_simulator_quartets() {
+        let w = world();
+        let bucket = TimeBucket(150);
+        for c in w.topology().clients.iter().take(30) {
+            let recs = w.rtt_records(c.primary_loc, c, bucket);
+            if recs.is_empty() {
+                continue;
+            }
+            let qs = aggregate_records(&recs);
+            assert_eq!(qs.len(), 1);
+            assert_eq!(qs[0].n as usize, recs.len());
+        }
+    }
+
+    #[test]
+    fn split_half_ks_on_real_quartet() {
+        let w = world();
+        let bucket = TimeBucket(150);
+        // Find a populous quartet; its split halves should be
+        // indistinguishable (the §2.1 validation).
+        let mut tested = 0;
+        for c in &w.topology().clients {
+            let recs = w.rtt_records(c.primary_loc, c, bucket);
+            if recs.len() < 40 {
+                continue;
+            }
+            let rtts: Vec<f64> = recs.iter().map(|r| r.rtt_ms).collect();
+            let ks = split_half_ks(&rtts, 1).unwrap();
+            assert!(
+                !ks.rejects_same_distribution(0.01),
+                "quartet halves differ: p={}",
+                ks.p_value
+            );
+            tested += 1;
+            if tested >= 5 {
+                break;
+            }
+        }
+        assert!(tested > 0, "no populous quartet found");
+    }
+
+    #[test]
+    fn split_half_ks_needs_enough_samples() {
+        assert!(split_half_ks(&[1.0; 19], 1).is_none());
+        assert!(split_half_ks(&[1.0; 20], 1).is_some());
+    }
+}

@@ -1,0 +1,340 @@
+//! Reporting: blame fractions and breakdowns.
+//!
+//! §6.2's production views: blame-category fractions over time
+//! (Fig. 8), per-region breakdowns (Fig. 9), and per-category duration
+//! distributions (Fig. 10). These aggregations are pure functions over
+//! [`BlameResult`]s so the experiment harness and operators' reports
+//! share one implementation.
+
+use crate::active::TracrouteDiffResult;
+use crate::passive::{Blame, BlameResult};
+use crate::pipeline::{Alert, MiddleLocalization};
+use blameit_topology::Region;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Counts per blame category.
+///
+/// ```
+/// use blameit::{Blame, BlameCounts};
+/// let mut c = BlameCounts::new();
+/// c.add(Blame::Middle);
+/// c.add(Blame::Middle);
+/// c.add(Blame::Client);
+/// assert!((c.fraction(Blame::Middle) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlameCounts {
+    counts: [u64; Blame::ALL.len()],
+}
+
+impl BlameCounts {
+    /// An empty tally.
+    pub fn new() -> Self {
+        BlameCounts::default()
+    }
+
+    /// Adds one verdict.
+    pub fn add(&mut self, blame: Blame) {
+        let i = Blame::ALL.iter().position(|b| *b == blame).unwrap();
+        self.counts[i] += 1;
+    }
+
+    /// Count for one category.
+    pub fn count(&self, blame: Blame) -> u64 {
+        let i = Blame::ALL.iter().position(|b| *b == blame).unwrap();
+        self.counts[i]
+    }
+
+    /// Total verdicts tallied.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction for one category (0 when empty).
+    pub fn fraction(&self, blame: Blame) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(blame) as f64 / t as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &BlameCounts) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+impl fmt::Display for BlameCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in Blame::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str("  ")?;
+            }
+            write!(f, "{b}={:.1}%", 100.0 * self.fraction(*b))?;
+        }
+        Ok(())
+    }
+}
+
+/// Tallies blame results overall.
+pub fn tally(results: &[BlameResult]) -> BlameCounts {
+    let mut c = BlameCounts::new();
+    for r in results {
+        c.add(r.blame);
+    }
+    c
+}
+
+/// Tallies per region (Fig. 9's view).
+pub fn tally_by_region(results: &[BlameResult]) -> HashMap<Region, BlameCounts> {
+    let mut out: HashMap<Region, BlameCounts> = HashMap::new();
+    for r in results {
+        out.entry(r.region).or_default().add(r.blame);
+    }
+    out
+}
+
+/// Tallies per day (Fig. 8's view).
+pub fn tally_by_day(results: &[BlameResult]) -> HashMap<u32, BlameCounts> {
+    let mut out: HashMap<u32, BlameCounts> = HashMap::new();
+    for r in results {
+        out.entry(r.obs.bucket.day()).or_default().add(r.blame);
+    }
+    out
+}
+
+/// Renders one operator ticket for an alert — the auto-filed
+/// investigation ticket of §6.1 ("the detailed outputs of BlameIt are
+/// auto-included in these tickets for ease of investigation"), as
+/// Markdown. `localization` carries the active-phase diff when the
+/// alert's middle issue was probed.
+pub fn render_ticket(alert: &Alert, localization: Option<&MiddleLocalization>) -> String {
+    let mut out = String::new();
+    let severity = match alert.blame {
+        Blame::Cloud => "P1 (cloud-internal)",
+        Blame::Middle => "P2 (peering/transit)",
+        Blame::Client => "P3 (client ISP — informational)",
+        Blame::Ambiguous | Blame::Insufficient => "P4 (monitor)",
+    };
+    writeln!(out, "## [{}] {} latency issue", severity, alert.blame).unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "* first observed: {}", alert.bucket).unwrap();
+    writeln!(out, "* cloud location: {}", alert.loc).unwrap();
+    if let Some(p) = alert.path {
+        writeln!(out, "* middle BGP path: {p}").unwrap();
+    }
+    if let Some(a) = alert.client_as {
+        writeln!(out, "* client AS: {a}").unwrap();
+    }
+    writeln!(
+        out,
+        "* impact: {} connections across {} client /24s",
+        alert.impacted_connections, alert.impacted_p24s
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "* confidence: {:.0}% of the aggregate's quartets agree",
+        100.0 * alert.confidence
+    )
+    .unwrap();
+    match alert.culprit {
+        Some(c) => writeln!(out, "* **culprit AS: {c}**").unwrap(),
+        None => writeln!(out, "* culprit AS: not yet localized").unwrap(),
+    }
+    if let Some(l) = localization {
+        writeln!(out).unwrap();
+        writeln!(
+            out,
+            "### Active localization (probe at {}, target {})",
+            l.probed_at, l.probed_p24
+        )
+        .unwrap();
+        match &l.diff {
+            Some(d) => {
+                writeln!(out).unwrap();
+                write_diff_table(&mut out, d);
+            }
+            None => writeln!(out, "
+no pre-incident baseline was available").unwrap(),
+        }
+    }
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "routing: {}",
+        match alert.blame {
+            Blame::Cloud => "cloud networking / server on-call",
+            Blame::Middle => "peering & transit team",
+            Blame::Client => "no internal action; notify account/partner team if recurring",
+            _ => "hold — insufficient evidence",
+        }
+    )
+    .unwrap();
+    out
+}
+
+/// Renders a per-AS contribution diff as a Markdown table.
+fn write_diff_table(out: &mut String, d: &TracrouteDiffResult) {
+    writeln!(out, "| AS | baseline (ms) | now (ms) | Δ (ms) |").unwrap();
+    writeln!(out, "|---|---|---|---|").unwrap();
+    for r in &d.rows {
+        writeln!(
+            out,
+            "| {} | {:.1} | {:.1} | {:+.1} |",
+            r.asn,
+            r.baseline_ms,
+            r.current_ms,
+            r.delta_ms()
+        )
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::MiddleKey;
+    use crate::pipeline::Alert;
+    use blameit_simnet::{QuartetObs, TimeBucket};
+    use blameit_topology::{Asn, CloudLocId, PathId, Prefix24};
+
+    fn result(blame: Blame, region: Region, day: u32) -> BlameResult {
+        BlameResult {
+            obs: QuartetObs {
+                loc: CloudLocId(0),
+                p24: Prefix24::from_block(1),
+                mobile: false,
+                bucket: TimeBucket(day * blameit_simnet::BUCKETS_PER_DAY),
+                n: 10,
+                mean_rtt_ms: 100.0,
+            },
+            path: PathId(0),
+            middle_key: MiddleKey::Path(PathId(0)),
+            origin: Asn(1),
+            region,
+            blame,
+        }
+    }
+
+    #[test]
+    fn counts_and_fractions() {
+        let mut c = BlameCounts::new();
+        for _ in 0..3 {
+            c.add(Blame::Middle);
+        }
+        c.add(Blame::Cloud);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.count(Blame::Middle), 3);
+        assert!((c.fraction(Blame::Middle) - 0.75).abs() < 1e-12);
+        assert_eq!(c.fraction(Blame::Client), 0.0);
+        assert_eq!(BlameCounts::new().fraction(Blame::Cloud), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = BlameCounts::new();
+        a.add(Blame::Cloud);
+        let mut b = BlameCounts::new();
+        b.add(Blame::Cloud);
+        b.add(Blame::Client);
+        a.merge(&b);
+        assert_eq!(a.count(Blame::Cloud), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn region_and_day_tallies() {
+        let results = vec![
+            result(Blame::Middle, Region::India, 0),
+            result(Blame::Middle, Region::India, 0),
+            result(Blame::Client, Region::UnitedStates, 1),
+        ];
+        let by_region = tally_by_region(&results);
+        assert_eq!(by_region[&Region::India].count(Blame::Middle), 2);
+        assert_eq!(by_region[&Region::UnitedStates].count(Blame::Client), 1);
+        let by_day = tally_by_day(&results);
+        assert_eq!(by_day[&0].total(), 2);
+        assert_eq!(by_day[&1].total(), 1);
+        let all = tally(&results);
+        assert_eq!(all.total(), 3);
+    }
+
+    #[test]
+    fn ticket_renders_all_sections() {
+        use crate::active::{diff_contributions};
+        use crate::grouping::MiddleKey;
+        use crate::priority::{MiddleIssue, PrioritizedIssue};
+        use crate::pipeline::MiddleLocalization;
+        use blameit_simnet::SimTime;
+        use blameit_topology::{CloudLocId, PathId, Prefix24};
+
+        let alert = Alert {
+            bucket: TimeBucket(12),
+            blame: Blame::Middle,
+            loc: CloudLocId(3),
+            path: Some(PathId(7)),
+            client_as: None,
+            culprit: Some(Asn(112)),
+            impacted_connections: 4200,
+            impacted_p24s: 17,
+            confidence: 0.93,
+        };
+        let diff = diff_contributions(
+            &[(Asn(100), 4.0), (Asn(112), 2.0), (Asn(200), 1.0)],
+            &[(Asn(100), 4.0), (Asn(112), 58.0), (Asn(200), 1.0)],
+        );
+        let localization = MiddleLocalization {
+            issue: PrioritizedIssue {
+                issue: MiddleIssue {
+                    loc: CloudLocId(3),
+                    path: PathId(7),
+                    middle_key: MiddleKey::Path(PathId(7)),
+                    bucket: TimeBucket(12),
+                    elapsed_buckets: 4,
+                    current_clients: 4200,
+                    affected_p24s: vec![Prefix24::from_block(9)],
+                },
+                expected_remaining_buckets: 6.0,
+                predicted_clients: 4100.0,
+                client_time_product: 24_600.0,
+            },
+            probed_at: SimTime(3_750),
+            probed_p24: Prefix24::from_block(9),
+            diff: Some(diff),
+            culprit: Some(Asn(112)),
+        };
+        let t = render_ticket(&alert, Some(&localization));
+        assert!(t.contains("P2 (peering/transit)"), "{t}");
+        assert!(t.contains("culprit AS: AS112"));
+        assert!(t.contains("| AS112 | 2.0 | 58.0 | +56.0 |"), "{t}");
+        assert!(t.contains("peering & transit team"));
+
+        // Client ticket without localization.
+        let client_alert = Alert {
+            blame: Blame::Client,
+            path: None,
+            client_as: Some(Asn(150)),
+            culprit: Some(Asn(150)),
+            ..alert
+        };
+        let t2 = render_ticket(&client_alert, None);
+        assert!(t2.contains("P3"));
+        assert!(t2.contains("client AS: AS150"));
+        assert!(t2.contains("no internal action"));
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let mut c = BlameCounts::new();
+        c.add(Blame::Cloud);
+        let s = c.to_string();
+        assert!(s.contains("cloud=100.0%"), "{s}");
+    }
+}

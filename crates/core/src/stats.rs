@@ -1,0 +1,138 @@
+//! Small statistics helpers used across BlameIt.
+
+/// Mean of a slice; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Median of a slice (average of middle pair for even lengths);
+/// `None` for empty input. Does not require sorted input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Quantile via linear interpolation on the sorted copy; `q` in
+/// `[0, 1]`. `None` for empty input.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&v, q))
+}
+
+/// Quantile of an already-sorted slice (linear interpolation).
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]` or the slice is empty.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Sample variance (n − 1 denominator); `None` for fewer than 2 points.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Evaluation points of an empirical CDF: returns `(x, F(x))` pairs at
+/// each distinct sorted sample, suitable for printing figure series.
+pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    let n = v.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, x) in v.iter().enumerate() {
+        let f = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some((lx, lf)) if *lx == *x => *lf = f,
+            _ => out.push((*x, f)),
+        }
+    }
+    out
+}
+
+/// Fraction of samples satisfying a predicate.
+pub fn fraction<T>(xs: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|x| pred(x)).count() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_basic() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert!((quantile(&xs, 0.25).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_bad_q() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn variance_basic() {
+        assert_eq!(variance(&[1.0]), None);
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((v - 4.571428).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ecdf_steps() {
+        let pts = ecdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 0.25));
+        assert_eq!(pts[1], (2.0, 0.75));
+        assert_eq!(pts[2], (3.0, 1.0));
+        assert!(ecdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn fraction_basic() {
+        assert_eq!(fraction(&[1, 2, 3, 4], |x| *x % 2 == 0), 0.5);
+        assert_eq!(fraction::<i32>(&[], |_| true), 0.0);
+    }
+}

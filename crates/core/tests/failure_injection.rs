@@ -1,0 +1,158 @@
+//! Failure injection: the engine must stay correct when the data plane
+//! misbehaves — traceroutes time out, telemetry goes missing, routing
+//! lookups fail. Production telemetry pipelines do all of these (§6.1
+//! describes storage-bucket ordering loss as one real quirk).
+
+use blameit::{
+    Backend, BadnessThresholds, BlameItConfig, BlameItEngine, RouteInfo, WorldBackend,
+};
+use blameit_simnet::{QuartetObs, SimTime, TimeBucket, TimeRange, Traceroute, World, WorldConfig};
+use blameit_topology::bgp::BgpChurnEvent;
+use blameit_topology::rng::DetRng;
+use blameit_topology::{CloudLocId, Prefix24};
+
+/// A backend wrapper that drops traceroutes, hides buckets of
+/// telemetry, and fails routing lookups, each with configured
+/// probability (deterministically, per call site).
+struct FlakyBackend<'w> {
+    inner: WorldBackend<'w>,
+    rng: std::cell::RefCell<DetRng>,
+    drop_traceroute: f64,
+    drop_bucket: f64,
+    drop_route_info: f64,
+}
+
+impl<'w> FlakyBackend<'w> {
+    fn new(world: &'w World, seed: u64) -> Self {
+        FlakyBackend {
+            inner: WorldBackend::new(world),
+            rng: std::cell::RefCell::new(DetRng::from_keys(seed, &[0xF1A2])),
+            drop_traceroute: 0.5,
+            drop_bucket: 0.2,
+            drop_route_info: 0.1,
+        }
+    }
+}
+
+impl Backend for FlakyBackend<'_> {
+    fn quartets_in(&self, bucket: TimeBucket) -> Vec<QuartetObs> {
+        if self.rng.borrow_mut().chance(self.drop_bucket) {
+            return Vec::new(); // a whole bucket of telemetry lost
+        }
+        self.inner.quartets_in(bucket)
+    }
+
+    fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo> {
+        if self.rng.borrow_mut().chance(self.drop_route_info) {
+            return None; // BGP/IP-AS join failed for this row
+        }
+        self.inner.route_info(loc, p24, at)
+    }
+
+    fn traceroute(&mut self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute> {
+        if self.rng.borrow_mut().chance(self.drop_traceroute) {
+            // Probe still costs (the packet was sent), result lost.
+            let _ = self.inner.traceroute(loc, p24, at);
+            return None;
+        }
+        self.inner.traceroute(loc, p24, at)
+    }
+
+    fn churn_events(&self, range: TimeRange) -> Vec<BgpChurnEvent> {
+        self.inner.churn_events(range)
+    }
+
+    fn cloud_locations(&self) -> Vec<CloudLocId> {
+        self.inner.cloud_locations()
+    }
+
+    fn probes_issued(&self) -> u64 {
+        self.inner.probes_issued()
+    }
+}
+
+#[test]
+fn engine_survives_flaky_data_plane() {
+    let world = World::new(WorldConfig::tiny(2, 55));
+    let thresholds = BadnessThresholds::default_for(&world);
+    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+    let mut backend = FlakyBackend::new(&world, 3);
+
+    engine.warmup(&backend, TimeRange::days(1), 2);
+    let start = SimTime::from_days(1);
+    let outs = engine.run(&mut backend, TimeRange::new(start, start + 6 * 3600));
+    assert_eq!(outs.len(), 24, "every tick must complete despite flakiness");
+
+    // It still produces verdicts from the telemetry that did arrive…
+    let total_blames: usize = outs.iter().map(|o| o.blames.len()).sum();
+    assert!(total_blames > 0, "some telemetry must survive a 20% bucket loss");
+    // …and whatever localizations happen carry coherent structure.
+    for out in &outs {
+        for l in &out.localizations {
+            if let Some(d) = &l.diff {
+                assert!(!d.rows.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn missing_telemetry_does_not_fabricate_blame() {
+    // A backend returning nothing at all: the engine must emit nothing.
+    struct NullBackend;
+    impl Backend for NullBackend {
+        fn quartets_in(&self, _: TimeBucket) -> Vec<QuartetObs> {
+            Vec::new()
+        }
+        fn route_info(&self, _: CloudLocId, _: Prefix24, _: SimTime) -> Option<RouteInfo> {
+            None
+        }
+        fn traceroute(&mut self, _: CloudLocId, _: Prefix24, _: SimTime) -> Option<Traceroute> {
+            None
+        }
+        fn churn_events(&self, _: TimeRange) -> Vec<BgpChurnEvent> {
+            Vec::new()
+        }
+        fn cloud_locations(&self) -> Vec<CloudLocId> {
+            Vec::new()
+        }
+        fn probes_issued(&self) -> u64 {
+            0
+        }
+    }
+
+    let world = World::new(WorldConfig::tiny(1, 1));
+    let thresholds = BadnessThresholds::default_for(&world);
+    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+    let mut backend = NullBackend;
+    engine.warmup(&backend, TimeRange::days(1), 1);
+    // Ticks scheduled before the warmup cursor must still be handled
+    // gracefully (no churn-range panic), and produce nothing.
+    let outs = engine.run(&mut backend, TimeRange::new(SimTime::ZERO, SimTime(3 * 3600)));
+    for out in outs {
+        assert!(out.blames.is_empty());
+        assert!(out.alerts.is_empty());
+        assert!(out.localizations.is_empty());
+        assert_eq!(out.on_demand_probes, 0);
+    }
+}
+
+#[test]
+fn dropped_route_info_drops_the_quartet_not_the_bucket() {
+    let world = World::new(WorldConfig::tiny(1, 9));
+    let thresholds = BadnessThresholds::default_for(&world);
+    let full = WorldBackend::new(&world);
+    let mut flaky = FlakyBackend::new(&world, 4);
+    flaky.drop_bucket = 0.0;
+    flaky.drop_route_info = 0.3;
+
+    let bucket = TimeBucket(150);
+    let all = blameit::enrich_bucket(&full, bucket, &thresholds);
+    let partial = blameit::enrich_bucket(&flaky, bucket, &thresholds);
+    assert!(!partial.is_empty());
+    assert!(partial.len() < all.len(), "{} !< {}", partial.len(), all.len());
+    // Every surviving quartet carries real metadata.
+    for q in &partial {
+        assert!(world.topology().client(q.obs.p24).is_some());
+    }
+}

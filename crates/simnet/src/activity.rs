@@ -1,0 +1,185 @@
+//! Client activity: who connects, when, and how much.
+//!
+//! Drives two effects the paper measures: the diurnal badness pattern of
+//! Fig. 3 (nights are *worse* because off-work connections come from
+//! home ISPs rather than well-provisioned enterprise networks, §2.2)
+//! and the impact skew of §2.4 (the affected-client count of an issue
+//! depends on how many clients were active during it).
+
+use crate::time::{local_hour, SimTime};
+use blameit_topology::gen::ClientBlock;
+use blameit_topology::rng::DetRng;
+use blameit_topology::Topology;
+
+/// Tunable activity parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ActivityModel {
+    /// Expected TCP connections per active client per 5-minute bucket
+    /// at the diurnal peak.
+    pub conns_per_client_bucket: f64,
+    /// Fraction of a block's primary-location volume that also flows to
+    /// its secondary location (if it has one).
+    pub secondary_volume_frac: f64,
+}
+
+impl Default for ActivityModel {
+    fn default() -> Self {
+        ActivityModel {
+            conns_per_client_bucket: 0.6,
+            secondary_volume_frac: 0.25,
+        }
+    }
+}
+
+impl ActivityModel {
+    /// Relative activity level in `[0, 1]` for a client class at a
+    /// local solar hour.
+    ///
+    /// * Enterprise blocks peak during working hours and go nearly
+    ///   silent on weekends.
+    /// * Home broadband peaks in the evening.
+    /// * Mobile is flatter with an evening lean.
+    pub fn diurnal_factor(lh: f64, weekend: bool, enterprise: bool, mobile: bool) -> f64 {
+        if enterprise {
+            let base = if (8.0..18.0).contains(&lh) { 1.0 } else { 0.08 };
+            return if weekend { base * 0.12 } else { base };
+        }
+        if mobile {
+            let base: f64 = match lh {
+                h if (0.0..6.0).contains(&h) => 0.22,
+                h if (6.0..9.0).contains(&h) => 0.6,
+                h if (9.0..17.0).contains(&h) => 0.75,
+                h if (17.0..23.0).contains(&h) => 0.95,
+                _ => 0.45,
+            };
+            return if weekend { (base * 1.15).min(1.0) } else { base };
+        }
+        // Home broadband.
+        let base: f64 = match lh {
+            h if (0.0..6.0).contains(&h) => 0.12,
+            h if (6.0..9.0).contains(&h) => 0.35,
+            h if (9.0..17.0).contains(&h) => 0.4,
+            h if (17.0..19.0).contains(&h) => 0.75,
+            h if (19.0..23.0).contains(&h) => 1.0,
+            _ => 0.5,
+        };
+        if weekend {
+            (base + 0.25).min(1.0)
+        } else {
+            base
+        }
+    }
+
+    /// Expected connections from a block to its *primary* location in
+    /// the bucket containing `t`.
+    pub fn expected_connections(&self, topo: &Topology, c: &ClientBlock, t: SimTime) -> f64 {
+        let lon = topo.metro(c.metro).location.lon;
+        let lh = local_hour(t, lon);
+        let f = Self::diurnal_factor(lh, t.is_weekend(), c.enterprise, c.mobile);
+        c.population as f64 * f * self.conns_per_client_bucket
+    }
+
+    /// Samples the connection count to a location: Poisson around the
+    /// expectation (scaled down for the secondary location).
+    pub fn sample_connections(
+        &self,
+        topo: &Topology,
+        c: &ClientBlock,
+        t: SimTime,
+        secondary: bool,
+        rng: &mut DetRng,
+    ) -> u32 {
+        let mut mean = self.expected_connections(topo, c, t);
+        if secondary {
+            mean *= self.secondary_volume_frac;
+        }
+        rng.poisson(mean).min(100_000) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blameit_topology::TopologyConfig;
+
+    #[test]
+    fn enterprise_peaks_in_work_hours() {
+        let work = ActivityModel::diurnal_factor(11.0, false, true, false);
+        let night = ActivityModel::diurnal_factor(2.0, false, true, false);
+        let weekend = ActivityModel::diurnal_factor(11.0, true, true, false);
+        assert!(work > 5.0 * night);
+        assert!(work > 5.0 * weekend);
+    }
+
+    #[test]
+    fn home_peaks_in_evening() {
+        let evening = ActivityModel::diurnal_factor(20.0, false, false, false);
+        let work = ActivityModel::diurnal_factor(11.0, false, false, false);
+        let night = ActivityModel::diurnal_factor(3.0, false, false, false);
+        assert!(evening > work);
+        assert!(work > night);
+        assert!((0.0..=1.0).contains(&evening));
+    }
+
+    #[test]
+    fn weekend_shifts_home_up_enterprise_down() {
+        let home_wd = ActivityModel::diurnal_factor(14.0, false, false, false);
+        let home_we = ActivityModel::diurnal_factor(14.0, true, false, false);
+        assert!(home_we > home_wd);
+        let ent_wd = ActivityModel::diurnal_factor(14.0, false, true, false);
+        let ent_we = ActivityModel::diurnal_factor(14.0, true, true, false);
+        assert!(ent_we < ent_wd);
+    }
+
+    #[test]
+    fn factors_bounded() {
+        for lh in 0..24 {
+            for (weekend, ent, mob) in [
+                (false, false, false),
+                (true, false, false),
+                (false, true, false),
+                (true, true, false),
+                (false, false, true),
+                (true, false, true),
+            ] {
+                let f = ActivityModel::diurnal_factor(lh as f64 + 0.5, weekend, ent, mob);
+                assert!((0.0..=1.0).contains(&f), "lh={lh} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_connections_scale_with_population() {
+        let topo = blameit_topology::Topology::generate(TopologyConfig::tiny(2));
+        let m = ActivityModel::default();
+        let c = &topo.clients[0];
+        let mut big = c.clone();
+        big.population = c.population * 10;
+        let t = SimTime::from_hours(20);
+        let base = m.expected_connections(&topo, c, t);
+        let more = m.expected_connections(&topo, &big, t);
+        assert!((more / base - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn secondary_volume_reduced() {
+        let topo = blameit_topology::Topology::generate(TopologyConfig::tiny(2));
+        let m = ActivityModel::default();
+        // Pick a populous block so Poisson noise doesn't swamp the signal.
+        let c = topo
+            .clients
+            .iter()
+            .max_by_key(|c| c.population)
+            .unwrap();
+        let t = SimTime::from_hours(20);
+        let mut sum_p = 0u64;
+        let mut sum_s = 0u64;
+        for i in 0..200 {
+            let mut r1 = DetRng::from_keys(1, &[i]);
+            let mut r2 = DetRng::from_keys(2, &[i]);
+            sum_p += m.sample_connections(&topo, c, t, false, &mut r1) as u64;
+            sum_s += m.sample_connections(&topo, c, t, true, &mut r2) as u64;
+        }
+        assert!(sum_s * 2 < sum_p, "secondary {sum_s} vs primary {sum_p}");
+    }
+}

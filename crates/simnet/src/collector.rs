@@ -1,0 +1,204 @@
+//! RTT collector streams and dataset summaries.
+//!
+//! Mirrors the production pipeline of §6.1: cloud locations emit RTT
+//! streams that are aggregated centrally. [`QuartetStream`] walks a
+//! time range bucket by bucket, yielding each bucket's quartets — the
+//! input BlameIt's periodic analysis job consumes. [`DatasetSummary`]
+//! produces Table-2-style corpus statistics.
+
+use crate::measure::{QuartetObs, RttRecord};
+use crate::time::{TimeBucket, TimeRange};
+use crate::world::World;
+use blameit_topology::CloudLocId;
+use std::collections::HashSet;
+
+/// Streaming iterator over the quartets of consecutive buckets.
+///
+/// Memory stays bounded by one bucket's worth of quartets; a month-long
+/// range never materializes at once.
+pub struct QuartetStream<'w> {
+    world: &'w World,
+    buckets: Box<dyn Iterator<Item = TimeBucket> + 'w>,
+}
+
+impl<'w> QuartetStream<'w> {
+    /// Streams all buckets of `range`.
+    pub fn new(world: &'w World, range: TimeRange) -> Self {
+        QuartetStream {
+            world,
+            buckets: Box::new(range.buckets()),
+        }
+    }
+}
+
+impl Iterator for QuartetStream<'_> {
+    type Item = (TimeBucket, Vec<QuartetObs>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let b = self.buckets.next()?;
+        Some((b, self.world.quartets_in(b)))
+    }
+}
+
+/// Per-location RTT record stream — the paper's "RTT Collector" at one
+/// edge site (Fig. 7): every TCP-handshake RTT the location records,
+/// bucket by bucket, sample level. Heavier than [`QuartetStream`]'s
+/// pre-aggregated fast path; use it when individual samples matter
+/// (e.g. the §2.1 split-half KS validation).
+pub struct LocationRecordStream<'w> {
+    world: &'w World,
+    loc: CloudLocId,
+    buckets: Box<dyn Iterator<Item = TimeBucket> + 'w>,
+}
+
+impl<'w> LocationRecordStream<'w> {
+    /// Streams every record the location collects over `range`.
+    pub fn new(world: &'w World, loc: CloudLocId, range: TimeRange) -> Self {
+        LocationRecordStream {
+            world,
+            loc,
+            buckets: Box::new(range.buckets()),
+        }
+    }
+}
+
+impl Iterator for LocationRecordStream<'_> {
+    type Item = (TimeBucket, Vec<RttRecord>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let b = self.buckets.next()?;
+        let mut records = Vec::new();
+        for c in &self.world.topology().clients {
+            if c.primary_loc == self.loc || c.secondary_loc == Some(self.loc) {
+                records.extend(self.world.rtt_records(self.loc, c, b));
+            }
+        }
+        records.sort_by_key(|r| (r.at, r.p24));
+        Some((b, records))
+    }
+}
+
+/// Corpus statistics in the shape of the paper's Table 2.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DatasetSummary {
+    /// Total RTT measurements (sum of quartet sample counts).
+    pub rtt_measurements: u64,
+    /// Distinct client /24s observed.
+    pub client_p24s: usize,
+    /// Distinct BGP-announced prefixes observed.
+    pub bgp_prefixes: usize,
+    /// Distinct client ASes observed.
+    pub client_ases: usize,
+    /// Distinct client metros observed.
+    pub client_metros: usize,
+    /// Distinct middle BGP paths traversed.
+    pub bgp_paths: usize,
+    /// Cloud locations serving traffic.
+    pub cloud_locations: usize,
+    /// Quartets observed.
+    pub quartets: u64,
+    /// Buckets covered.
+    pub buckets: u32,
+}
+
+impl DatasetSummary {
+    /// Scans `range` and accumulates the summary. This walks every
+    /// bucket; use short ranges or sampled summaries for large worlds.
+    pub fn collect(world: &World, range: TimeRange) -> DatasetSummary {
+        let mut s = DatasetSummary::default();
+        let mut p24s = HashSet::new();
+        let mut prefixes = HashSet::new();
+        let mut ases = HashSet::new();
+        let mut metros = HashSet::new();
+        let mut paths = HashSet::new();
+        let mut locs = HashSet::new();
+        for (_, quartets) in QuartetStream::new(world, range) {
+            s.buckets += 1;
+            for q in quartets {
+                s.quartets += 1;
+                s.rtt_measurements += q.n as u64;
+                let c = world.topology().client(q.p24).expect("known client");
+                p24s.insert(q.p24);
+                prefixes.insert(world.topology().announced_prefix(c).prefix);
+                ases.insert(c.origin);
+                metros.insert(c.metro);
+                locs.insert(q.loc);
+                let route = world.route_at(q.loc, c, q.bucket.mid());
+                paths.insert(route.path_id);
+            }
+        }
+        s.client_p24s = p24s.len();
+        s.bgp_prefixes = prefixes.len();
+        s.client_ases = ases.len();
+        s.client_metros = metros.len();
+        s.bgp_paths = paths.len();
+        s.cloud_locations = locs.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn stream_covers_range() {
+        let w = World::new(WorldConfig::tiny(1, 3));
+        let r = TimeRange::new(crate::time::SimTime(0), crate::time::SimTime(3 * 300));
+        let chunks: Vec<_> = QuartetStream::new(&w, r).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].0, TimeBucket(0));
+        assert_eq!(chunks[2].0, TimeBucket(2));
+    }
+
+    #[test]
+    fn summary_counts_consistent() {
+        let w = World::new(WorldConfig::tiny(1, 5));
+        // Two hours of data.
+        let r = TimeRange::new(crate::time::SimTime(0), crate::time::SimTime(2 * 3600));
+        let s = DatasetSummary::collect(&w, r);
+        assert_eq!(s.buckets, 24);
+        assert!(s.quartets > 0);
+        assert!(s.rtt_measurements >= s.quartets, "each quartet has ≥1 sample");
+        assert!(s.client_p24s > 0);
+        assert!(s.client_p24s <= w.topology().clients.len());
+        assert!(s.bgp_prefixes <= w.topology().prefixes.len());
+        assert!(s.client_metros <= w.topology().metros.len());
+        assert!(s.cloud_locations <= w.topology().cloud_locations.len());
+        assert!(s.bgp_paths > 0);
+    }
+
+    #[test]
+    fn location_stream_matches_quartets() {
+        let w = World::new(WorldConfig::tiny(1, 21));
+        let loc = w.topology().cloud_locations[0].id;
+        let r = TimeRange::new(crate::time::SimTime(150 * 300), crate::time::SimTime(152 * 300));
+        for (bucket, records) in LocationRecordStream::new(&w, loc, r) {
+            // Record counts agree with the quartet fast path.
+            let quartet_total: u32 = w
+                .quartets_in(bucket)
+                .iter()
+                .filter(|q| q.loc == loc)
+                .map(|q| q.n)
+                .sum();
+            assert_eq!(records.len() as u32, quartet_total, "{bucket}");
+            // All records belong to this location and bucket.
+            for rec in &records {
+                assert_eq!(rec.loc, loc);
+                assert_eq!(rec.at.bucket(), bucket);
+            }
+            // Sorted by time.
+            for w2 in records.windows(2) {
+                assert!(w2[0].at <= w2[1].at);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_deterministic() {
+        let w = World::new(WorldConfig::tiny(1, 8));
+        let r = TimeRange::new(crate::time::SimTime(0), crate::time::SimTime(3600));
+        assert_eq!(DatasetSummary::collect(&w, r), DatasetSummary::collect(&w, r));
+    }
+}

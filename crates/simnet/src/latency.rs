@@ -1,0 +1,352 @@
+//! The per-segment latency model.
+//!
+//! A TCP handshake RTT decomposes into the paper's three segments
+//! (§3.1): **cloud** (server + the cloud AS's own network), **middle**
+//! (the BGP-path ASes), and **client** (the client ISP plus the last
+//! mile). The model computes each component from the topology's route
+//! geometry plus class-dependent last-mile delay, and adds a
+//! time-varying evening-congestion term for home broadband — the
+//! mechanism behind the paper's "nights are worse, and BlameIt blames
+//! the client ISP at night" observation (§2.2).
+
+use crate::time::{local_hour, SimTime};
+use blameit_topology::bgp::RouteOption;
+use blameit_topology::gen::ClientBlock;
+use blameit_topology::rng::DetRng;
+use blameit_topology::{CloudLocId, Topology};
+
+/// An RTT split into the three coarse segments (milliseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SegRtt {
+    /// Cloud segment: server processing + cloud AS network.
+    pub cloud_ms: f64,
+    /// Middle segment: all ASes between cloud and client AS.
+    pub middle_ms: f64,
+    /// Client segment: client AS + last mile.
+    pub client_ms: f64,
+}
+
+impl SegRtt {
+    /// Total RTT.
+    pub fn total(&self) -> f64 {
+        self.cloud_ms + self.middle_ms + self.client_ms
+    }
+
+    /// Component for one segment.
+    pub fn get(&self, seg: crate::fault::Segment) -> f64 {
+        match seg {
+            crate::fault::Segment::Cloud => self.cloud_ms,
+            crate::fault::Segment::Middle => self.middle_ms,
+            crate::fault::Segment::Client => self.client_ms,
+        }
+    }
+}
+
+/// Tunable latency parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyModel {
+    /// Per-sample multiplicative log-normal noise σ.
+    pub noise_sigma: f64,
+    /// Probability a single sample is a heavy outlier (retransmission,
+    /// scheduling hiccup).
+    pub spike_prob: f64,
+    /// Magnitude scale of a spike, in multiples of the baseline RTT.
+    pub spike_scale: f64,
+    /// Scale of home-broadband evening congestion (ms, multiplied by a
+    /// per-(block, day) heavy-tailed severity).
+    pub evening_congestion_ms: f64,
+    /// Probability that a path carries a day-long internal reroute
+    /// ("drift") inside one of its middle ASes on a given day.
+    pub path_drift_prob: f64,
+    /// Drift magnitude range (ms, added round-trip).
+    pub path_drift_ms: (f64, f64),
+    /// Seed for the model's deterministic per-block draws.
+    pub seed: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            noise_sigma: 0.06,
+            spike_prob: 0.008,
+            spike_scale: 3.0,
+            evening_congestion_ms: 7.0,
+            path_drift_prob: 0.35,
+            path_drift_ms: (4.0, 22.0),
+            seed: 0x1A7E_11C9,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Deterministic last-mile one-way-ish delay for a block (ms,
+    /// already counted as its full round-trip contribution): broadband
+    /// ≈ 4–14 ms, enterprise ≈ 1–6 ms, cellular ≈ 18–50 ms — cellular
+    /// clients are why the paper's thresholds are device-type-specific
+    /// (§2.1).
+    pub fn last_mile_ms(&self, c: &ClientBlock) -> f64 {
+        let mut rng = DetRng::from_keys(self.seed, &[0x1A57, c.p24.block() as u64]);
+        if c.mobile {
+            rng.range_f64(18.0, 50.0)
+        } else if c.enterprise {
+            rng.range_f64(1.0, 6.0)
+        } else {
+            rng.range_f64(4.0, 14.0)
+        }
+    }
+
+    /// Evening-congestion addition to the client segment at instant
+    /// `t` (0 outside evening hours; 0 for enterprise blocks). The
+    /// severity is heavy-tailed per (block, day): most evenings are
+    /// mildly worse, some are much worse — enough to push a fraction of
+    /// home-ISP quartets past the badness threshold at night (Fig. 3).
+    pub fn evening_congestion(&self, topo: &Topology, c: &ClientBlock, t: SimTime) -> f64 {
+        if c.enterprise {
+            return 0.0;
+        }
+        let lon = topo.metro(c.metro).location.lon;
+        let lh = local_hour(t, lon);
+        // Ramp 18→20h, full 20→23h, ramp down to 24h.
+        let window = if (18.0..20.0).contains(&lh) {
+            (lh - 18.0) / 2.0
+        } else if (20.0..23.0).contains(&lh) {
+            1.0
+        } else if (23.0..24.0).contains(&lh) {
+            24.0 - lh
+        } else {
+            0.0
+        };
+        if window == 0.0 {
+            return 0.0;
+        }
+        let mut rng = DetRng::from_keys(
+            self.seed,
+            &[0xC016, c.p24.block() as u64, t.day() as u64],
+        );
+        // Only a subset of last miles actually congest on a given
+        // evening; a universal bump would make *every* quartet of a
+        // location cross its median at night, which would read as a
+        // cloud-wide shift to Algorithm 1 (and does not match reality).
+        if !rng.chance(0.25) {
+            return 0.0;
+        }
+        let severity = rng.lognormal(0.3, 0.9); // heavy-tailed severity
+        let scale = if c.mobile { 0.6 } else { 1.0 };
+        self.evening_congestion_ms * severity * scale * window
+    }
+
+    /// Day-long internal reroute inside one middle AS of a route:
+    /// real backbones shift traffic across their own links daily
+    /// without any BGP event, which is what makes *stale* traceroute
+    /// baselines decay (Fig. 13's accuracy-vs-frequency trade-off).
+    /// Deterministic per (path, day); returns the drifted AS and the
+    /// added round-trip milliseconds.
+    pub fn path_drift(&self, route: &RouteOption, t: SimTime) -> Option<(blameit_topology::Asn, f64)> {
+        if route.as_hops.len() <= 2 {
+            return None; // no middle AS to drift
+        }
+        let mut rng = DetRng::from_keys(
+            self.seed,
+            &[0xD81F7, route.path_id.0 as u64, t.day() as u64],
+        );
+        if !rng.chance(self.path_drift_prob) {
+            return None;
+        }
+        let middle = &route.as_hops[1..route.as_hops.len() - 1];
+        let pick = middle[rng.index(middle.len())].asn;
+        let ms = rng.range_f64(self.path_drift_ms.0, self.path_drift_ms.1);
+        Some((pick, ms))
+    }
+
+    /// The fault-free segmented RTT for a (location, client) pair over
+    /// a concrete route at instant `t`.
+    pub fn baseline(
+        &self,
+        topo: &Topology,
+        loc: CloudLocId,
+        c: &ClientBlock,
+        route: &RouteOption,
+        t: SimTime,
+    ) -> SegRtt {
+        let cl = topo.cloud_location(loc);
+        // First hop is the cloud AS: its cumulative one-way latency is
+        // the cloud's network contribution on this path.
+        let cloud_exit = route.as_hops.first().map_or(0.0, |h| h.cum_oneway_ms);
+        let middle_oneway = route.middle_oneway_ms();
+        let client_oneway =
+            route.total_oneway_ms - cloud_exit - middle_oneway;
+        let drift_ms = self.path_drift(route, t).map_or(0.0, |(_, ms)| ms);
+        SegRtt {
+            cloud_ms: cl.base_cloud_ms + 2.0 * cloud_exit,
+            middle_ms: 2.0 * middle_oneway + drift_ms,
+            client_ms: 2.0 * client_oneway + self.last_mile_ms(c) + self.evening_congestion(topo, c, t),
+        }
+    }
+
+    /// Draws one RTT sample around a (possibly fault-inflated) mean.
+    pub fn sample_rtt(&self, mean_ms: f64, rng: &mut DetRng) -> f64 {
+        let mut v = mean_ms * rng.lognormal(0.0, self.noise_sigma);
+        if rng.chance(self.spike_prob) {
+            v += mean_ms * self.spike_scale * rng.f64();
+        }
+        v.max(0.1)
+    }
+
+    /// The mean of `n` samples, without drawing them individually: the
+    /// sample mean of i.i.d. log-normal noise concentrates as
+    /// `1 + N(0, σ/√n)`, and the spike term adds its expectation. Used
+    /// by the fast quartet path; statistically consistent with
+    /// averaging [`LatencyModel::sample_rtt`] draws.
+    pub fn quartet_mean_rtt(&self, mean_ms: f64, n: u32, rng: &mut DetRng) -> f64 {
+        assert!(n > 0, "quartet with zero samples");
+        let noise = 1.0 + rng.normal() * self.noise_sigma / (n as f64).sqrt();
+        let spike_mean = self.spike_prob * self.spike_scale * 0.5;
+        (mean_ms * (noise + spike_mean)).max(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Segment;
+    use blameit_topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::generate(TopologyConfig::tiny(3))
+    }
+
+    #[test]
+    fn segrtt_total_and_get() {
+        let s = SegRtt {
+            cloud_ms: 3.0,
+            middle_ms: 10.0,
+            client_ms: 7.0,
+        };
+        assert!((s.total() - 20.0).abs() < 1e-12);
+        assert_eq!(s.get(Segment::Cloud), 3.0);
+        assert_eq!(s.get(Segment::Middle), 10.0);
+        assert_eq!(s.get(Segment::Client), 7.0);
+    }
+
+    #[test]
+    fn last_mile_ranges_by_class() {
+        let t = topo();
+        let m = LatencyModel::default();
+        for c in &t.clients {
+            let lm = m.last_mile_ms(c);
+            if c.mobile {
+                assert!((18.0..50.0).contains(&lm), "mobile {lm}");
+            } else if c.enterprise {
+                assert!((1.0..6.0).contains(&lm), "enterprise {lm}");
+            } else {
+                assert!((4.0..14.0).contains(&lm), "home {lm}");
+            }
+            // Deterministic.
+            assert_eq!(lm, m.last_mile_ms(c));
+        }
+    }
+
+    #[test]
+    fn baseline_positive_and_consistent_with_route() {
+        let t = topo();
+        let m = LatencyModel::default();
+        for c in t.clients.iter().take(40) {
+            let ro = t.routes_for(c.primary_loc, c);
+            let seg = m.baseline(&t, c.primary_loc, c, &ro.options[0], SimTime::from_hours(10));
+            assert!(seg.cloud_ms > 0.0);
+            assert!(seg.middle_ms >= 0.0);
+            assert!(seg.client_ms > 0.0);
+            // RTT must be at least twice the one-way route latency.
+            assert!(seg.total() >= 2.0 * ro.options[0].total_oneway_ms - 1e-9);
+        }
+    }
+
+    #[test]
+    fn evening_congestion_only_in_evening() {
+        let t = topo();
+        let m = LatencyModel::default();
+        let c = t
+            .clients
+            .iter()
+            .find(|c| !c.enterprise && !c.mobile)
+            .unwrap();
+        let lon = t.metro(c.metro).location.lon;
+        // Find a UTC time whose local hour is ~21 and one at ~10.
+        let mut evening = None;
+        let mut morning = None;
+        for h in 0..24 {
+            let tt = SimTime::from_hours(h);
+            let lh = local_hour(tt, lon);
+            if (20.5..22.5).contains(&lh) {
+                evening = Some(tt);
+            }
+            if (9.5..11.5).contains(&lh) {
+                morning = Some(tt);
+            }
+        }
+        let (evening, morning) = (evening.unwrap(), morning.unwrap());
+        // Congestion is gated per (block, day): some home block must
+        // show it this evening, and nobody shows it mid-morning.
+        let congested = t
+            .clients
+            .iter()
+            .filter(|c| !c.enterprise && !c.mobile)
+            .any(|c| m.evening_congestion(&t, c, evening) > 0.0);
+        assert!(congested, "no block congested this evening");
+        assert_eq!(m.evening_congestion(&t, c, morning), 0.0);
+    }
+
+    #[test]
+    fn enterprise_has_no_evening_congestion() {
+        let t = topo();
+        let m = LatencyModel::default();
+        if let Some(c) = t.clients.iter().find(|c| c.enterprise) {
+            for h in 0..24 {
+                assert_eq!(m.evening_congestion(&t, c, SimTime::from_hours(h)), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_rtt_statistics() {
+        let m = LatencyModel::default();
+        let mut rng = DetRng::new(77);
+        let n = 50_000;
+        let mean_target = 40.0;
+        let sum: f64 = (0..n).map(|_| m.sample_rtt(mean_target, &mut rng)).sum();
+        let got = sum / n as f64;
+        // Mean within a few percent (spikes push it slightly up).
+        assert!((38.0..44.0).contains(&got), "{got}");
+    }
+
+    #[test]
+    fn quartet_mean_agrees_with_sample_mean() {
+        let m = LatencyModel::default();
+        let mean = 55.0;
+        let n = 30u32;
+        // Average the fast path over many draws vs averaging samples.
+        let mut fast_sum = 0.0;
+        let mut slow_sum = 0.0;
+        for i in 0..2000u64 {
+            let mut r1 = DetRng::from_keys(1, &[i]);
+            let mut r2 = DetRng::from_keys(2, &[i]);
+            fast_sum += m.quartet_mean_rtt(mean, n, &mut r1);
+            let s: f64 = (0..n).map(|_| m.sample_rtt(mean, &mut r2)).sum();
+            slow_sum += s / n as f64;
+        }
+        let fast = fast_sum / 2000.0;
+        let slow = slow_sum / 2000.0;
+        assert!(
+            (fast - slow).abs() / slow < 0.02,
+            "fast {fast} vs slow {slow}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn quartet_mean_rejects_zero() {
+        let m = LatencyModel::default();
+        let mut rng = DetRng::new(1);
+        m.quartet_mean_rtt(10.0, 0, &mut rng);
+    }
+}

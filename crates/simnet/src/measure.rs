@@ -1,0 +1,99 @@
+//! Measurement records: what the cloud's telemetry pipeline sees.
+//!
+//! Azure records the TCP handshake RTT of every client connection at
+//! the serving edge (§2.1). [`RttRecord`] is one such measurement;
+//! [`QuartetObs`] is the pre-aggregated form (the simulator's fast
+//! path) carrying exactly the statistics BlameIt's Algorithm 1
+//! consumes: the sample count and the mean RTT of a ⟨/24, location,
+//! device class, 5-minute bucket⟩ quartet.
+
+use crate::time::{SimTime, TimeBucket};
+use blameit_topology::{CloudLocId, Prefix24};
+
+/// One TCP-handshake RTT measurement recorded at a cloud location.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RttRecord {
+    /// Serving cloud location.
+    pub loc: CloudLocId,
+    /// Client /24.
+    pub p24: Prefix24,
+    /// True for cellular clients.
+    pub mobile: bool,
+    /// Connection time.
+    pub at: SimTime,
+    /// Handshake RTT in milliseconds.
+    pub rtt_ms: f64,
+}
+
+/// Aggregated measurements for one quartet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuartetObs {
+    /// Serving cloud location.
+    pub loc: CloudLocId,
+    /// Client /24.
+    pub p24: Prefix24,
+    /// True for cellular clients.
+    pub mobile: bool,
+    /// The 5-minute bucket.
+    pub bucket: TimeBucket,
+    /// Number of RTT samples aggregated.
+    pub n: u32,
+    /// Mean RTT across the samples, in milliseconds.
+    pub mean_rtt_ms: f64,
+}
+
+impl QuartetObs {
+    /// Aggregates raw records into a quartet observation. Returns
+    /// `None` for an empty slice. All records must share the same
+    /// (loc, p24, mobile) key and fall in the same bucket.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the records disagree on the key.
+    pub fn from_records(records: &[RttRecord]) -> Option<QuartetObs> {
+        let first = records.first()?;
+        let bucket = first.at.bucket();
+        debug_assert!(records.iter().all(|r| r.loc == first.loc
+            && r.p24 == first.p24
+            && r.mobile == first.mobile
+            && r.at.bucket() == bucket));
+        let sum: f64 = records.iter().map(|r| r.rtt_ms).sum();
+        Some(QuartetObs {
+            loc: first.loc,
+            p24: first.p24,
+            mobile: first.mobile,
+            bucket,
+            n: records.len() as u32,
+            mean_rtt_ms: sum / records.len() as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rtt: f64, secs: u64) -> RttRecord {
+        RttRecord {
+            loc: CloudLocId(1),
+            p24: Prefix24::from_block(10),
+            mobile: false,
+            at: SimTime(secs),
+            rtt_ms: rtt,
+        }
+    }
+
+    #[test]
+    fn aggregate_mean() {
+        let recs = vec![rec(10.0, 5), rec(20.0, 100), rec(30.0, 299)];
+        let q = QuartetObs::from_records(&recs).unwrap();
+        assert_eq!(q.n, 3);
+        assert!((q.mean_rtt_ms - 20.0).abs() < 1e-12);
+        assert_eq!(q.bucket, TimeBucket(0));
+        assert_eq!(q.loc, CloudLocId(1));
+    }
+
+    #[test]
+    fn empty_gives_none() {
+        assert!(QuartetObs::from_records(&[]).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulated traceroutes.
+//!
+//! BlameIt's active phase issues `tracert` from cloud edge servers to
+//! client IPs and compares per-AS latency contributions before and
+//! during an incident (§5.2). The simulator reproduces what such a
+//! traceroute would observe over the currently-live route: one hop per
+//! AS (the last responding router inside that AS), with the cumulative
+//! RTT at that hop, fault inflations applied to every hop at or beyond
+//! the faulty segment, per-hop noise, and occasionally unresponsive
+//! hops (filtered ICMP).
+
+use crate::fault::Segment;
+use crate::time::SimTime;
+use blameit_topology::{Asn, CloudLocId, MetroId, Prefix24};
+
+/// One AS-level hop of a traceroute.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracerouteHop {
+    /// The AS this hop's router belongs to.
+    pub asn: Asn,
+    /// Metro of the responding router.
+    pub metro: MetroId,
+    /// Measured RTT to this hop in milliseconds; meaningless when
+    /// `responded` is false.
+    pub rtt_ms: f64,
+    /// False if the router did not answer (ICMP filtered/rate-limited).
+    pub responded: bool,
+    /// Segment this hop belongs to (cloud AS, middle, or client AS).
+    pub segment: Segment,
+}
+
+/// A completed traceroute from a cloud location toward a client /24.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Traceroute {
+    /// Probing location.
+    pub loc: CloudLocId,
+    /// Target client block.
+    pub p24: Prefix24,
+    /// When the probe ran.
+    pub at: SimTime,
+    /// AS-level hops, cloud first, client last.
+    pub hops: Vec<TracerouteHop>,
+}
+
+impl Traceroute {
+    /// Per-AS latency *contributions*: for each responding hop, its RTT
+    /// minus the RTT of the previous responding hop (the first hop
+    /// contributes its full RTT). This is exactly the quantity the
+    /// paper differences against the background baseline to find the
+    /// culprit AS (§5.2's example: m1's contribution rose from
+    /// (6−4)=2 ms to (60−4)=56 ms).
+    pub fn as_contributions(&self) -> Vec<(Asn, f64)> {
+        let mut out = Vec::with_capacity(self.hops.len());
+        let mut prev = 0.0;
+        for h in &self.hops {
+            if !h.responded {
+                continue;
+            }
+            out.push((h.asn, h.rtt_ms - prev));
+            prev = h.rtt_ms;
+        }
+        out
+    }
+
+    /// RTT at the final responding hop (end-to-end), if any.
+    pub fn end_to_end_ms(&self) -> Option<f64> {
+        self.hops.iter().rev().find(|h| h.responded).map(|h| h.rtt_ms)
+    }
+
+    /// The ordered list of ASes observed (responding hops only).
+    pub fn as_path(&self) -> Vec<Asn> {
+        self.hops
+            .iter()
+            .filter(|h| h.responded)
+            .map(|h| h.asn)
+            .collect()
+    }
+}
+
+/// Traceroute observation noise parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TracerouteNoise {
+    /// Per-hop additive RTT noise σ (ms).
+    pub hop_sigma_ms: f64,
+    /// Probability a middle hop does not respond.
+    pub non_response_prob: f64,
+}
+
+impl Default for TracerouteNoise {
+    fn default() -> Self {
+        TracerouteNoise {
+            hop_sigma_ms: 0.4,
+            non_response_prob: 0.03,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(hops: Vec<(u32, f64, bool)>) -> Traceroute {
+        Traceroute {
+            loc: CloudLocId(0),
+            p24: Prefix24::from_block(1),
+            at: SimTime(0),
+            hops: hops
+                .into_iter()
+                .map(|(a, rtt, ok)| TracerouteHop {
+                    asn: Asn(a),
+                    metro: MetroId(0),
+                    rtt_ms: rtt,
+                    responded: ok,
+                    segment: Segment::Middle,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn contributions_are_hop_deltas() {
+        // The paper's India example: 4, 6, 8, 9 ms hops.
+        let t = tr(vec![(1, 4.0, true), (2, 6.0, true), (3, 8.0, true), (4, 9.0, true)]);
+        let c = t.as_contributions();
+        assert_eq!(c.len(), 4);
+        assert!((c[0].1 - 4.0).abs() < 1e-9);
+        assert!((c[1].1 - 2.0).abs() < 1e-9);
+        assert!((c[2].1 - 2.0).abs() < 1e-9);
+        assert!((c[3].1 - 1.0).abs() < 1e-9);
+        assert_eq!(t.end_to_end_ms(), Some(9.0));
+    }
+
+    #[test]
+    fn unresponsive_hop_folds_into_next() {
+        let t = tr(vec![(1, 4.0, true), (2, 0.0, false), (3, 8.0, true)]);
+        let c = t.as_contributions();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].0, Asn(1));
+        // AS3's contribution absorbs the silent AS2.
+        assert!((c[1].1 - 4.0).abs() < 1e-9);
+        assert_eq!(t.as_path(), vec![Asn(1), Asn(3)]);
+    }
+
+    #[test]
+    fn all_unresponsive_yields_nothing() {
+        let t = tr(vec![(1, 0.0, false), (2, 0.0, false)]);
+        assert!(t.as_contributions().is_empty());
+        assert_eq!(t.end_to_end_ms(), None);
+        assert!(t.as_path().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Tests for the §5.1 extension: reverse routing, reverse-direction
+//! faults, and client-coordinated reverse traceroutes.
+
+use blameit_simnet::{Fault, FaultId, FaultRates, FaultTarget, SimTime, World, WorldConfig};
+
+fn quiet_world(seed: u64) -> World {
+    let mut cfg = WorldConfig::tiny(2, seed);
+    cfg.fault_rates = FaultRates {
+        cloud_per_loc_day: 0.0,
+        middle_per_as_day: 0.0,
+        client_as_per_day: 0.0,
+        client_prefix_per_k_day: 0.0,
+        middle_path_scoped_frac: 0.0,
+    };
+    cfg.churn_rate_per_day = 0.0;
+    World::new(cfg)
+}
+
+#[test]
+fn reverse_route_is_deterministic_and_sometimes_differs() {
+    let w = quiet_world(3);
+    let t = SimTime::from_hours(10);
+    let mut asymmetric = 0;
+    let mut total = 0;
+    for c in &w.topology().clients {
+        let f = w.route_at(c.primary_loc, c, t);
+        let r1 = w.reverse_route_at(c.primary_loc, c, t);
+        let r2 = w.reverse_route_at(c.primary_loc, c, t);
+        assert_eq!(r1.path_id, r2.path_id, "reverse choice must be deterministic");
+        total += 1;
+        if r1.path_id != f.path_id || r1.total_oneway_ms != f.total_oneway_ms {
+            asymmetric += 1;
+        }
+    }
+    let frac = asymmetric as f64 / total as f64;
+    assert!(
+        (0.1..0.6).contains(&frac),
+        "~40% of multi-option routes should be asymmetric; got {frac}"
+    );
+}
+
+#[test]
+fn reverse_fault_inflates_rtt_but_not_forward_hop_structure() {
+    let w0 = quiet_world(5);
+    // A client whose reverse path has a middle AS.
+    let t = SimTime::from_hours(30);
+    let (c, asn) = w0
+        .topology()
+        .clients
+        .iter()
+        .find_map(|c| {
+            let rev = w0.reverse_route_at(c.primary_loc, c, t);
+            w0.topology()
+                .paths
+                .get(rev.path_id)
+                .middle
+                .first()
+                .map(|a| (c.clone(), *a))
+        })
+        .expect("some reverse path has a middle AS");
+
+    let mut w = w0.clone();
+    w.add_faults(vec![Fault {
+        id: FaultId(0),
+        target: FaultTarget::MiddleAsReverse { asn },
+        start: SimTime::from_hours(28),
+        duration_secs: 8 * 3_600,
+        added_ms: 75.0,
+    }]);
+
+    // Ground truth sees the inflation as a middle issue.
+    let gt = w.ground_truth(c.primary_loc, &c, t);
+    assert!(
+        gt.middle_infl.iter().any(|(a, ms, _)| *a == asn && *ms >= 75.0),
+        "reverse fault must inflate the handshake RTT"
+    );
+
+    // The forward traceroute inflates uniformly: every responding hop
+    // rose by ~the fault, so per-AS deltas beyond the first hop are
+    // small.
+    let before = w0.traceroute(c.primary_loc, c.p24, t).unwrap();
+    let after = w.traceroute(c.primary_loc, c.p24, t).unwrap();
+    let d_first = after.hops[0].rtt_ms - before.hops[0].rtt_ms;
+    let d_last = after.end_to_end_ms().unwrap() - before.end_to_end_ms().unwrap();
+    assert!(d_first > 60.0, "first hop already carries the reply delay: {d_first}");
+    assert!((d_last - d_first).abs() < 15.0, "shift is uniform: {d_first} vs {d_last}");
+
+    // The reverse traceroute localizes it: the faulty AS's contribution
+    // rises by ~the fault.
+    let rev_before = w0.reverse_traceroute(c.primary_loc, c.p24, t).unwrap();
+    let rev_after = w.reverse_traceroute(c.primary_loc, c.p24, t).unwrap();
+    let contrib = |tr: &blameit_simnet::Traceroute| -> f64 {
+        tr.as_contributions()
+            .iter()
+            .filter(|(a, _)| *a == asn)
+            .map(|(_, ms)| *ms)
+            .sum()
+    };
+    let delta = contrib(&rev_after) - contrib(&rev_before);
+    assert!(
+        (delta - 75.0).abs() < 20.0,
+        "reverse probe pins the faulty AS: delta {delta}"
+    );
+}
+
+#[test]
+fn reverse_traceroute_runs_client_first() {
+    let w = quiet_world(7);
+    let c = &w.topology().clients[0];
+    let t = SimTime::from_hours(12);
+    let tr = w.reverse_traceroute(c.primary_loc, c.p24, t).unwrap();
+    assert_eq!(tr.hops.first().unwrap().asn, c.origin, "first hop is the client AS");
+    assert_eq!(
+        tr.hops.last().unwrap().asn,
+        w.topology().cloud_asn,
+        "last hop reaches the cloud"
+    );
+    // RTTs are positive and the endpoints responded.
+    assert!(tr.hops.first().unwrap().responded);
+    assert!(tr.hops.last().unwrap().responded);
+    for h in &tr.hops {
+        assert!(h.rtt_ms > 0.0);
+    }
+    // Unknown prefix → None.
+    assert!(w
+        .reverse_traceroute(c.primary_loc, blameit_topology::Prefix24::from_block(0xFFFFFF), t)
+        .is_none());
+}

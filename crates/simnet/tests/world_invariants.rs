@@ -1,0 +1,131 @@
+//! Whole-world invariants: the simulator's telemetry, traceroutes, and
+//! ground truth must agree with each other across seeds.
+
+use blameit_simnet::{Segment, SimTime, TimeBucket, World, WorldConfig};
+
+fn worlds() -> impl Iterator<Item = World> {
+    [11u64, 22, 33].into_iter().map(|s| World::new(WorldConfig::tiny(1, s)))
+}
+
+#[test]
+fn quartet_means_center_on_ground_truth() {
+    for w in worlds() {
+        let bucket = TimeBucket(150);
+        let mut rel_errors = Vec::new();
+        for q in w.quartets_in(bucket) {
+            let c = w.topology().client(q.p24).unwrap();
+            let gt = w.ground_truth(q.loc, c, bucket.mid());
+            if q.n >= 20 {
+                rel_errors.push((q.mean_rtt_ms - gt.inflated_total_ms()).abs() / gt.inflated_total_ms());
+            }
+        }
+        assert!(!rel_errors.is_empty());
+        let mean_err = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;
+        assert!(
+            mean_err < 0.05,
+            "quartet means must track ground truth: mean rel err {mean_err}"
+        );
+    }
+}
+
+#[test]
+fn traceroute_end_to_end_tracks_ground_truth() {
+    for w in worlds() {
+        let t = SimTime::from_hours(30);
+        let mut checked = 0;
+        for c in w.topology().clients.iter().take(60) {
+            let gt = w.ground_truth(c.primary_loc, c, t);
+            let tr = w.traceroute(c.primary_loc, c.p24, t).unwrap();
+            let e2e = tr.end_to_end_ms().unwrap();
+            // Traceroute RTT ≈ handshake RTT (modulo the server-stack
+            // and per-hop noise terms).
+            let expect = gt.inflated_total_ms();
+            assert!(
+                (e2e - expect).abs() < 0.15 * expect + 5.0,
+                "traceroute {e2e} vs ground truth {expect}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+}
+
+#[test]
+fn ground_truth_culprit_matches_inflations() {
+    for w in worlds() {
+        let mut with_culprit = 0;
+        for bucket in [50u32, 150, 250] {
+            let bucket = TimeBucket(bucket);
+            for q in w.quartets_in(bucket) {
+                let c = w.topology().client(q.p24).unwrap();
+                let gt = w.ground_truth(q.loc, c, bucket.mid());
+                let total = gt.total_inflation_ms();
+                if let Some(culprit) = gt.culprit {
+                    with_culprit += 1;
+                    assert!(total >= 5.0, "culprit implies material inflation");
+                    assert!((0.0..=1.0 + 1e-9).contains(&gt.dominant_fraction));
+                    // The culprit's own contribution is the max.
+                    let client_total = gt.client_fault_infl_ms + gt.congestion_ms;
+                    let max_middle = gt
+                        .middle_infl
+                        .iter()
+                        .map(|m| m.1)
+                        .fold(0.0f64, f64::max);
+                    let winner = match culprit.segment {
+                        Segment::Cloud => gt.cloud_infl_ms,
+                        Segment::Middle => max_middle,
+                        Segment::Client => client_total,
+                    };
+                    assert!(
+                        winner >= gt.cloud_infl_ms.max(max_middle).max(client_total) - 1e-9,
+                        "culprit segment must carry the largest inflation"
+                    );
+                } else {
+                    assert!(total < 5.0 || gt.dominant_fraction <= 1.0);
+                }
+            }
+        }
+        assert!(with_culprit > 0, "faulty worlds must show culprits somewhere");
+    }
+}
+
+#[test]
+fn secondary_connections_share_client_segment_faults() {
+    // A client-AS fault must inflate the client's quartets at *both*
+    // of its locations (the reason dual-homing doesn't make client
+    // faults "ambiguous" wholesale).
+    use blameit_simnet::{Fault, FaultId, FaultTarget};
+    let mut w = World::new(WorldConfig::tiny(1, 44));
+    let c = w
+        .topology()
+        .clients
+        .iter()
+        .find(|c| c.secondary_loc.is_some())
+        .expect("a dual-homed client exists")
+        .clone();
+    w.add_faults(vec![Fault {
+        id: FaultId(0),
+        target: FaultTarget::ClientAs(c.origin),
+        start: SimTime(0),
+        duration_secs: 86_400,
+        added_ms: 90.0,
+    }]);
+    let t = SimTime::from_hours(12);
+    let gt_primary = w.ground_truth(c.primary_loc, &c, t);
+    let gt_secondary = w.ground_truth(c.secondary_loc.unwrap(), &c, t);
+    assert!(gt_primary.client_fault_infl_ms >= 90.0);
+    assert!(gt_secondary.client_fault_infl_ms >= 90.0);
+}
+
+#[test]
+fn cloned_world_is_identical() {
+    let w = World::new(WorldConfig::tiny(1, 55));
+    let w2 = w.clone();
+    let b = TimeBucket(100);
+    assert_eq!(w.quartets_in(b), w2.quartets_in(b));
+    let c = &w.topology().clients[0];
+    assert_eq!(
+        w.traceroute(c.primary_loc, c.p24, SimTime(777)),
+        w2.traceroute(c.primary_loc, c.p24, SimTime(777))
+    );
+}

@@ -1,0 +1,133 @@
+//! Autonomous systems.
+//!
+//! The paper localizes faults at AS granularity: the *cloud* AS, the
+//! *client* AS (the client's ISP), and the *middle* ASes in between
+//! (§3.1). The synthetic topology assigns every AS a [`AsRole`] that
+//! drives how the generator connects it and how the latency model and
+//! fault injector treat it.
+
+use std::fmt;
+
+/// An autonomous-system number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The raw AS number.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// The structural role an AS plays in the synthetic Internet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AsRole {
+    /// The cloud provider itself (the paper's "cloud segment"). There is
+    /// exactly one in a topology.
+    Cloud,
+    /// A global tier-1 backbone present in many metros worldwide.
+    Tier1,
+    /// A regional transit provider connecting access ISPs to tier-1s.
+    Transit,
+    /// A broadband access ISP serving non-mobile clients in one or two
+    /// metros. Its clients use home or enterprise broadband.
+    AccessBroadband,
+    /// A cellular carrier serving mobile clients.
+    AccessMobile,
+}
+
+impl AsRole {
+    /// True for roles that terminate client prefixes (the paper's
+    /// "client segment").
+    pub fn is_access(self) -> bool {
+        matches!(self, AsRole::AccessBroadband | AsRole::AccessMobile)
+    }
+
+    /// True for roles that can appear in the middle segment of a path.
+    pub fn is_middle(self) -> bool {
+        matches!(self, AsRole::Tier1 | AsRole::Transit)
+    }
+}
+
+impl fmt::Display for AsRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AsRole::Cloud => "cloud",
+            AsRole::Tier1 => "tier1",
+            AsRole::Transit => "transit",
+            AsRole::AccessBroadband => "access-broadband",
+            AsRole::AccessMobile => "access-mobile",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of one AS in the topology.
+#[derive(Clone, Debug)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Human-readable name, e.g. `"transit-eu-2"`.
+    pub name: String,
+    /// Structural role.
+    pub role: AsRole,
+    /// Per-AS processing latency added at each traversal, in
+    /// milliseconds (router queueing/processing; small for tier-1s,
+    /// larger for access ISPs).
+    pub hop_latency_ms: f64,
+}
+
+impl AsInfo {
+    /// Convenience constructor.
+    pub fn new(asn: Asn, name: impl Into<String>, role: AsRole, hop_latency_ms: f64) -> Self {
+        AsInfo {
+            asn,
+            name: name.into(),
+            role,
+            hop_latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_display() {
+        assert_eq!(Asn(8075).to_string(), "AS8075");
+        assert_eq!(format!("{:?}", Asn(1)), "AS1");
+    }
+
+    #[test]
+    fn role_predicates() {
+        assert!(AsRole::AccessBroadband.is_access());
+        assert!(AsRole::AccessMobile.is_access());
+        assert!(!AsRole::Cloud.is_access());
+        assert!(AsRole::Tier1.is_middle());
+        assert!(AsRole::Transit.is_middle());
+        assert!(!AsRole::AccessBroadband.is_middle());
+        assert!(!AsRole::Cloud.is_middle());
+    }
+
+    #[test]
+    fn asinfo_constructor() {
+        let info = AsInfo::new(Asn(64512), "transit-na-1", AsRole::Transit, 1.5);
+        assert_eq!(info.asn, Asn(64512));
+        assert_eq!(info.name, "transit-na-1");
+        assert_eq!(info.role, AsRole::Transit);
+        assert!((info.hop_latency_ms - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Cloud edge locations.
+//!
+//! Azure serves clients from "hundreds of network edge locations
+//! worldwide" (§1). Each [`CloudLocation`] here is one such edge site:
+//! a PoP of the cloud AS in some metro, terminating TCP connections and
+//! recording handshake RTTs. Clients reach the *nearest* location via
+//! anycast (the paper's footnote 2); the assignment itself is computed
+//! during topology generation from path latencies.
+
+use crate::geo::{MetroId, Region};
+use std::fmt;
+
+/// Identifier of a cloud edge location (index into
+/// [`crate::Topology::cloud_locations`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CloudLocId(pub u16);
+
+impl fmt::Display for CloudLocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cloud{}", self.0)
+    }
+}
+
+/// One cloud edge site.
+#[derive(Clone, Debug)]
+pub struct CloudLocation {
+    /// Identifier.
+    pub id: CloudLocId,
+    /// Human-readable name, e.g. `"edge-us-east-0"`.
+    pub name: String,
+    /// Metro hosting the site.
+    pub metro: MetroId,
+    /// Region of the metro (denormalized for convenience).
+    pub region: Region,
+    /// Baseline intra-cloud + server contribution to the handshake RTT,
+    /// in milliseconds. Cloud-segment faults (e.g. the Australia server
+    /// overload in §6.3) inflate this.
+    pub base_cloud_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(CloudLocId(3).to_string(), "cloud3");
+    }
+
+    #[test]
+    fn construct() {
+        let c = CloudLocation {
+            id: CloudLocId(0),
+            name: "edge-us-east-0".into(),
+            metro: MetroId(0),
+            region: Region::UnitedStates,
+            base_cloud_ms: 3.0,
+        };
+        assert_eq!(c.id, CloudLocId(0));
+        assert!(c.base_cloud_ms > 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Geography: regions, metros, and distance-derived baseline RTT.
+//!
+//! The paper's badness thresholds are *region-specific* (§2.1) and its
+//! evaluation slices results by region (Fig. 2, Fig. 9). The synthetic
+//! world uses eight regions with a handful of metro areas each; the
+//! speed of light in fiber over the great-circle distance between two
+//! metros gives the propagation component of link latency.
+
+use std::fmt;
+
+/// A world region, mirroring the regions in the paper's Fig. 2 / Fig. 9.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Region {
+    /// United States (the paper notes its aggressive RTT targets).
+    UnitedStates,
+    /// Western & central Europe.
+    Europe,
+    /// China.
+    China,
+    /// India.
+    India,
+    /// Brazil / South America.
+    Brazil,
+    /// Australia / Oceania.
+    Australia,
+    /// East Asia outside China (Japan, Korea, SE Asia).
+    EastAsia,
+    /// Africa & Middle East.
+    Africa,
+}
+
+impl Region {
+    /// All regions, in a fixed order used for reports.
+    pub const ALL: [Region; 8] = [
+        Region::UnitedStates,
+        Region::Europe,
+        Region::China,
+        Region::India,
+        Region::Brazil,
+        Region::Australia,
+        Region::EastAsia,
+        Region::Africa,
+    ];
+
+    /// Stable index of this region in [`Region::ALL`].
+    pub fn index(self) -> usize {
+        Region::ALL.iter().position(|r| *r == self).unwrap()
+    }
+
+    /// Short report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::UnitedStates => "USA",
+            Region::Europe => "Europe",
+            Region::China => "China",
+            Region::India => "India",
+            Region::Brazil => "Brazil",
+            Region::Australia => "Australia",
+            Region::EastAsia => "EastAsia",
+            Region::Africa => "Africa",
+        }
+    }
+
+    /// Relative maturity of the region's transit infrastructure in
+    /// `[0, 1]`; lower values make the generator schedule more
+    /// middle-segment faults there. The paper observes middle-segment
+    /// issues dominate in India, China and Brazil "likely due to the
+    /// still-evolving transit networks in these regions" (§6.2).
+    pub fn transit_maturity(self) -> f64 {
+        match self {
+            Region::UnitedStates => 0.95,
+            Region::Europe => 0.92,
+            Region::China => 0.55,
+            Region::India => 0.45,
+            Region::Brazil => 0.50,
+            Region::Australia => 0.85,
+            Region::EastAsia => 0.75,
+            Region::Africa => 0.60,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Identifier of a metro area within a [`crate::Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MetroId(pub u16);
+
+impl fmt::Display for MetroId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "metro{}", self.0)
+    }
+}
+
+/// A point on the globe (degrees).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Great-circle distance to `other` in kilometres (haversine,
+    /// spherical Earth of radius 6371 km).
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        const R: f64 = 6371.0;
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * R * a.sqrt().asin()
+    }
+
+    /// One-way propagation delay in milliseconds over fiber laid along
+    /// the great circle, with a 1.4× path-stretch factor for real cable
+    /// routes. Light in fiber travels at roughly 2/3 c ≈ 200 km/ms.
+    pub fn fiber_delay_ms(self, other: GeoPoint) -> f64 {
+        const KM_PER_MS: f64 = 200.0;
+        const STRETCH: f64 = 1.4;
+        self.distance_km(other) * STRETCH / KM_PER_MS
+    }
+}
+
+/// A metro area: the anchor for PoPs, cloud locations, and client homes.
+#[derive(Clone, Debug)]
+pub struct Metro {
+    /// Identifier (index into [`crate::Topology::metros`]).
+    pub id: MetroId,
+    /// Human-readable name, e.g. `"us-east"`.
+    pub name: String,
+    /// Region this metro belongs to.
+    pub region: Region,
+    /// Location on the globe.
+    pub location: GeoPoint,
+}
+
+/// The built-in metro catalogue: 26 metros across the 8 regions, with
+/// real-city coordinates so inter-metro latencies are plausible.
+pub fn builtin_metros() -> Vec<Metro> {
+    let spec: &[(&str, Region, f64, f64)] = &[
+        // United States
+        ("us-east", Region::UnitedStates, 38.9, -77.0), // Washington DC
+        ("us-west", Region::UnitedStates, 37.4, -122.1), // Bay Area
+        ("us-central", Region::UnitedStates, 41.9, -87.6), // Chicago
+        ("us-south", Region::UnitedStates, 32.8, -96.8), // Dallas
+        // Europe
+        ("eu-west", Region::Europe, 51.5, -0.1),   // London
+        ("eu-central", Region::Europe, 50.1, 8.7), // Frankfurt
+        ("eu-north", Region::Europe, 59.3, 18.1),  // Stockholm
+        ("eu-south", Region::Europe, 40.4, -3.7),  // Madrid
+        // China
+        ("cn-north", Region::China, 39.9, 116.4), // Beijing
+        ("cn-east", Region::China, 31.2, 121.5),  // Shanghai
+        ("cn-south", Region::China, 22.5, 114.1), // Shenzhen
+        // India
+        ("in-west", Region::India, 19.1, 72.9),  // Mumbai
+        ("in-south", Region::India, 13.1, 80.3), // Chennai
+        ("in-north", Region::India, 28.6, 77.2), // Delhi
+        // Brazil
+        ("br-south", Region::Brazil, -23.5, -46.6), // São Paulo
+        ("br-east", Region::Brazil, -22.9, -43.2),  // Rio de Janeiro
+        // Australia
+        ("au-east", Region::Australia, -33.9, 151.2),  // Sydney
+        ("au-southeast", Region::Australia, -37.8, 145.0), // Melbourne
+        // East Asia
+        ("ea-japan", Region::EastAsia, 35.7, 139.7),    // Tokyo
+        ("ea-korea", Region::EastAsia, 37.6, 127.0),    // Seoul
+        ("ea-southeast", Region::EastAsia, 1.35, 103.8), // Singapore
+        ("ea-hongkong", Region::EastAsia, 22.3, 114.2), // Hong Kong
+        // Africa & Middle East
+        ("af-south", Region::Africa, -33.9, 18.4), // Cape Town
+        ("af-north", Region::Africa, 30.0, 31.2),  // Cairo
+        ("me-central", Region::Africa, 25.2, 55.3), // Dubai
+        ("af-west", Region::Africa, 6.5, 3.4),     // Lagos
+    ];
+    spec.iter()
+        .enumerate()
+        .map(|(i, (name, region, lat, lon))| Metro {
+            id: MetroId(i as u16),
+            name: (*name).to_string(),
+            region: *region,
+            location: GeoPoint { lat: *lat, lon: *lon },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_regions_indexable() {
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn maturity_bounds() {
+        for r in Region::ALL {
+            let m = r.transit_maturity();
+            assert!((0.0..=1.0).contains(&m), "{r}: {m}");
+        }
+        // The paper's middle-heavy regions must be the least mature.
+        assert!(Region::India.transit_maturity() < Region::UnitedStates.transit_maturity());
+        assert!(Region::China.transit_maturity() < Region::Europe.transit_maturity());
+        assert!(Region::Brazil.transit_maturity() < Region::Australia.transit_maturity());
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // London ↔ New York is about 5570 km.
+        let london = GeoPoint { lat: 51.5, lon: -0.1 };
+        let nyc = GeoPoint { lat: 40.7, lon: -74.0 };
+        let d = london.distance_km(nyc);
+        assert!((5500.0..5700.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn fiber_delay_transatlantic() {
+        // One-way London ↔ NYC over fiber: ~35–45 ms with stretch.
+        let london = GeoPoint { lat: 51.5, lon: -0.1 };
+        let nyc = GeoPoint { lat: 40.7, lon: -74.0 };
+        let ms = london.fiber_delay_ms(nyc);
+        assert!((30.0..50.0).contains(&ms), "got {ms}");
+    }
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint { lat: 10.0, lon: 20.0 };
+        assert!(p.distance_km(p) < 1e-9);
+        assert!(p.fiber_delay_ms(p) < 1e-9);
+    }
+
+    #[test]
+    fn builtin_metros_cover_all_regions() {
+        let metros = builtin_metros();
+        assert!(metros.len() >= 20);
+        for r in Region::ALL {
+            assert!(
+                metros.iter().any(|m| m.region == r),
+                "region {r} has no metro"
+            );
+        }
+        // Ids are dense and ordered.
+        for (i, m) in metros.iter().enumerate() {
+            assert_eq!(m.id, MetroId(i as u16));
+        }
+        // Names are unique.
+        let mut names: Vec<_> = metros.iter().map(|m| m.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), metros.len());
+    }
+}

@@ -1,0 +1,357 @@
+//! IPv4 prefixes.
+//!
+//! BlameIt aggregates client measurements at the granularity of the IPv4
+//! `/24` block (the paper's "client IP /24", §2.1) and groups routes by
+//! BGP-announced prefixes of arbitrary length (§4.2). Two types mirror
+//! that split:
+//!
+//! * [`Prefix24`] — exactly a `/24`; the unit of quartet aggregation.
+//! * [`IpPrefix`] — a variable-length prefix (`/8` … `/32`); the unit of
+//!   BGP announcement.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 `/24` block, e.g. `203.0.113.0/24`.
+///
+/// Stored as the 24-bit block number (the address shifted right by 8),
+/// so consecutive block numbers are adjacent `/24`s. This is the key of
+/// the paper's *quartet* (§2.1) together with cloud location, device
+/// class and 5-minute bucket.
+///
+/// ```
+/// use blameit_topology::Prefix24;
+/// let p: Prefix24 = "203.0.113.0/24".parse().unwrap();
+/// assert!(p.contains(p.addr(42)));
+/// assert_eq!(p.to_string(), "203.0.113.0/24");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix24(u32);
+
+impl Prefix24 {
+    /// Builds a `/24` from its 24-bit block number.
+    ///
+    /// # Panics
+    /// Panics if `block` does not fit in 24 bits.
+    pub fn from_block(block: u32) -> Self {
+        assert!(block < (1 << 24), "/24 block number out of range: {block}");
+        Prefix24(block)
+    }
+
+    /// Builds the `/24` containing the given IPv4 address (as a `u32`).
+    pub fn containing(addr: u32) -> Self {
+        Prefix24(addr >> 8)
+    }
+
+    /// The 24-bit block number.
+    pub fn block(self) -> u32 {
+        self.0
+    }
+
+    /// The base (network) address of the block, as a `u32`.
+    pub fn base_addr(self) -> u32 {
+        self.0 << 8
+    }
+
+    /// An address inside the block at the given host offset (0–255).
+    pub fn addr(self, host: u8) -> u32 {
+        self.base_addr() | host as u32
+    }
+
+    /// True if `addr` falls inside this `/24`.
+    pub fn contains(self, addr: u32) -> bool {
+        addr >> 8 == self.0
+    }
+
+    /// The enclosing [`IpPrefix`] of length 24.
+    pub fn as_prefix(self) -> IpPrefix {
+        IpPrefix::new(self.base_addr(), 24)
+    }
+}
+
+impl fmt::Debug for Prefix24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Prefix24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.base_addr();
+        write!(
+            f,
+            "{}.{}.{}.0/24",
+            (a >> 24) & 0xff,
+            (a >> 16) & 0xff,
+            (a >> 8) & 0xff
+        )
+    }
+}
+
+/// Error returned when parsing a prefix from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(pub String);
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix24 {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let p: IpPrefix = s.parse()?;
+        if p.len() != 24 {
+            return Err(ParsePrefixError(format!("{s} is not a /24")));
+        }
+        Ok(Prefix24::containing(p.base()))
+    }
+}
+
+/// A variable-length IPv4 prefix, e.g. `131.107.0.0/16`.
+///
+/// Used for BGP announcements: access ISPs in the synthetic topology
+/// announce prefixes between `/14` and `/22`, each covering many client
+/// `/24`s — mirroring the paper's observation that BGP-announced blocks
+/// are coarser than the measurement granularity (§3.2, §4.2).
+///
+/// ```
+/// use blameit_topology::IpPrefix;
+/// let p: IpPrefix = "10.4.0.0/20".parse().unwrap();
+/// assert_eq!(p.num_24s(), 16);
+/// assert!(p.iter_24s().all(|b| p.covers_24(b)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IpPrefix {
+    base: u32,
+    len: u8,
+}
+
+impl IpPrefix {
+    /// Builds a prefix, masking `base` down to `len` bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(base: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length out of range: {len}");
+        IpPrefix {
+            base: base & Self::mask(len),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The network (base) address.
+    pub fn base(self) -> u32 {
+        self.base
+    }
+
+    /// The prefix length in bits.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True for the degenerate `/0` prefix (matches everything).
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// True if `addr` falls inside this prefix.
+    pub fn contains(self, addr: u32) -> bool {
+        addr & Self::mask(self.len) == self.base
+    }
+
+    /// True if this prefix fully contains `other` (is equal or coarser).
+    pub fn covers(self, other: IpPrefix) -> bool {
+        self.len <= other.len && self.contains(other.base)
+    }
+
+    /// True if this prefix fully contains the `/24` block.
+    pub fn covers_24(self, p24: Prefix24) -> bool {
+        self.len <= 24 && self.contains(p24.base_addr())
+    }
+
+    /// Number of `/24` blocks covered (0 if the prefix is longer than /24).
+    pub fn num_24s(self) -> u32 {
+        if self.len > 24 {
+            0
+        } else {
+            1u32 << (24 - self.len)
+        }
+    }
+
+    /// Iterates over the `/24` blocks covered by this prefix.
+    pub fn iter_24s(self) -> impl Iterator<Item = Prefix24> {
+        let first = self.base >> 8;
+        (first..first + self.num_24s()).map(Prefix24::from_block)
+    }
+
+    /// Splits this prefix into `2^bits` equal sub-prefixes.
+    ///
+    /// # Panics
+    /// Panics if `len + bits > 32`.
+    pub fn split(self, bits: u8) -> impl Iterator<Item = IpPrefix> {
+        let new_len = self.len + bits;
+        assert!(new_len <= 32, "cannot split /{} by {} bits", self.len, bits);
+        let step = 1u64 << (32 - new_len);
+        let base = self.base as u64;
+        (0..(1u64 << bits)).map(move |i| IpPrefix::new((base + i * step) as u32, new_len))
+    }
+}
+
+impl fmt::Debug for IpPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for IpPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.base;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            (a >> 24) & 0xff,
+            (a >> 16) & 0xff,
+            (a >> 8) & 0xff,
+            a & 0xff,
+            self.len
+        )
+    }
+}
+
+impl FromStr for IpPrefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePrefixError(s.to_string());
+        let (addr_s, len_s) = s.split_once('/').ok_or_else(err)?;
+        let len: u8 = len_s.parse().map_err(|_| err())?;
+        if len > 32 {
+            return Err(err());
+        }
+        let mut octets = addr_s.split('.');
+        let mut addr: u32 = 0;
+        for _ in 0..4 {
+            let o: u8 = octets.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            addr = (addr << 8) | o as u32;
+        }
+        if octets.next().is_some() {
+            return Err(err());
+        }
+        Ok(IpPrefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix24_roundtrip_block() {
+        let p = Prefix24::from_block(0x00CB_0071); // 203.0.113.0/24
+        assert_eq!(p.block(), 0x00CB_0071);
+        assert_eq!(p.base_addr(), 0xCB00_7100);
+        assert_eq!(p.to_string(), "203.0.113.0/24");
+    }
+
+    #[test]
+    fn prefix24_containing_and_contains() {
+        let addr = 0xCB00_7142; // 203.0.113.66
+        let p = Prefix24::containing(addr);
+        assert!(p.contains(addr));
+        assert!(p.contains(p.addr(0)));
+        assert!(p.contains(p.addr(255)));
+        assert!(!p.contains(addr + 256));
+    }
+
+    #[test]
+    fn prefix24_parse() {
+        let p: Prefix24 = "10.1.2.0/24".parse().unwrap();
+        assert_eq!(p.base_addr(), 0x0A01_0200);
+        assert!("10.1.2.0/23".parse::<Prefix24>().is_err());
+        assert!("10.1.2/24".parse::<Prefix24>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prefix24_block_overflow_panics() {
+        Prefix24::from_block(1 << 24);
+    }
+
+    #[test]
+    fn ipprefix_masks_base() {
+        let p = IpPrefix::new(0x0A01_02FF, 16);
+        assert_eq!(p.base(), 0x0A01_0000);
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn ipprefix_contains_and_covers() {
+        let p16: IpPrefix = "10.1.0.0/16".parse().unwrap();
+        let p20: IpPrefix = "10.1.16.0/20".parse().unwrap();
+        assert!(p16.covers(p20));
+        assert!(!p20.covers(p16));
+        assert!(p16.covers(p16));
+        assert!(p16.contains(0x0A01_FFFF));
+        assert!(!p16.contains(0x0A02_0000));
+    }
+
+    #[test]
+    fn ipprefix_num_24s_and_iter() {
+        let p20: IpPrefix = "10.1.16.0/20".parse().unwrap();
+        assert_eq!(p20.num_24s(), 16);
+        let blocks: Vec<_> = p20.iter_24s().collect();
+        assert_eq!(blocks.len(), 16);
+        assert_eq!(blocks[0].to_string(), "10.1.16.0/24");
+        assert_eq!(blocks[15].to_string(), "10.1.31.0/24");
+        for b in &blocks {
+            assert!(p20.covers_24(*b));
+        }
+    }
+
+    #[test]
+    fn ipprefix_longer_than_24_covers_no_24s() {
+        let p26 = IpPrefix::new(0x0A01_0200, 26);
+        assert_eq!(p26.num_24s(), 0);
+        assert!(!p26.covers_24(Prefix24::containing(0x0A01_0200)));
+    }
+
+    #[test]
+    fn ipprefix_split() {
+        let p16: IpPrefix = "10.1.0.0/16".parse().unwrap();
+        let halves: Vec<_> = p16.split(1).collect();
+        assert_eq!(halves.len(), 2);
+        assert_eq!(halves[0].to_string(), "10.1.0.0/17");
+        assert_eq!(halves[1].to_string(), "10.1.128.0/17");
+        let quads: Vec<_> = p16.split(2).collect();
+        assert_eq!(quads.len(), 4);
+        assert!(p16.covers(quads[3]));
+    }
+
+    #[test]
+    fn ipprefix_zero_len() {
+        let p0 = IpPrefix::new(0x1234_5678, 0);
+        assert!(p0.is_empty());
+        assert!(p0.contains(0));
+        assert!(p0.contains(u32::MAX));
+    }
+
+    #[test]
+    fn ipprefix_parse_errors() {
+        for bad in ["10.1.0.0", "10.1.0.0/33", "10.1.0/16", "a.b.c.d/8", "10.1.0.0.0/16"] {
+            assert!(bad.parse::<IpPrefix>().is_err(), "{bad} should not parse");
+        }
+    }
+}

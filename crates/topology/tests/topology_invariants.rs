@@ -1,0 +1,126 @@
+//! Whole-topology invariants, checked across several generation seeds.
+
+use blameit_topology::{AsRole, Topology, TopologyConfig};
+
+fn seeds() -> impl Iterator<Item = Topology> {
+    [101u64, 202, 303].into_iter().map(|s| {
+        Topology::generate(TopologyConfig::tiny(s))
+    })
+}
+
+#[test]
+fn every_topology_is_fully_routable() {
+    for t in seeds() {
+        for c in &t.clients {
+            for loc in &t.cloud_locations {
+                let ro = t.routes_for(loc.id, c);
+                assert!(!ro.options.is_empty());
+                for opt in &ro.options {
+                    assert_eq!(opt.as_hops.first().unwrap().asn, t.cloud_asn);
+                    assert_eq!(opt.as_hops.last().unwrap().asn, c.origin);
+                    assert!(opt.total_oneway_ms.is_finite() && opt.total_oneway_ms > 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn middle_paths_contain_only_middle_roles() {
+    for t in seeds() {
+        for (_, path) in t.paths.iter() {
+            for asn in &path.middle {
+                let role = t.as_info(*asn).expect("known AS").role;
+                assert!(
+                    role.is_middle(),
+                    "middle path contains {asn} with role {role}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interned_paths_match_route_hops() {
+    for t in seeds() {
+        for c in t.clients.iter().take(60) {
+            for loc in t.cloud_locations.iter().take(5) {
+                let ro = t.routes_for(loc.id, c);
+                for opt in &ro.options {
+                    let middle: Vec<_> = opt
+                        .as_hops
+                        .iter()
+                        .skip(1)
+                        .take(opt.as_hops.len().saturating_sub(2))
+                        .map(|h| h.asn)
+                        .collect();
+                    assert_eq!(t.paths.get(opt.path_id).middle, middle);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn anycast_assignment_is_nearest() {
+    for t in seeds() {
+        for c in t.clients.iter().take(80) {
+            let primary_ms = t.routes_for(c.primary_loc, c).options[0].total_oneway_ms;
+            for loc in &t.cloud_locations {
+                assert!(
+                    primary_ms <= t.routes_for(loc.id, c).options[0].total_oneway_ms + 1e-9
+                );
+            }
+            if let Some(sec) = c.secondary_loc {
+                assert_ne!(sec, c.primary_loc);
+            }
+        }
+    }
+}
+
+#[test]
+fn as_inventory_is_consistent() {
+    for t in seeds() {
+        // Exactly one cloud AS.
+        assert_eq!(
+            t.ases.iter().filter(|a| a.role == AsRole::Cloud).count(),
+            1
+        );
+        assert_eq!(
+            t.ases.iter().find(|a| a.role == AsRole::Cloud).unwrap().asn,
+            t.cloud_asn
+        );
+        // Every AS with clients is access.
+        for c in &t.clients {
+            assert!(t.as_info(c.origin).unwrap().role.is_access());
+        }
+        // Every announced prefix belongs to an access AS and covers its
+        // clients.
+        for p in &t.prefixes {
+            assert!(t.as_info(p.origin).unwrap().role.is_access());
+        }
+        // AS numbers are unique.
+        let mut asns: Vec<_> = t.ases.iter().map(|a| a.asn).collect();
+        asns.sort();
+        asns.dedup();
+        assert_eq!(asns.len(), t.ases.len());
+    }
+}
+
+#[test]
+fn every_metro_served_and_every_location_serves() {
+    for t in seeds() {
+        for m in &t.metros {
+            assert!(
+                t.clients.iter().any(|c| c.metro == m.id),
+                "metro {} has no clients",
+                m.name
+            );
+        }
+        // Cloud locations sit at distinct metros.
+        let mut metros: Vec<_> = t.cloud_locations.iter().map(|l| l.metro).collect();
+        metros.sort();
+        metros.dedup();
+        assert_eq!(metros.len(), t.cloud_locations.len());
+    }
+}

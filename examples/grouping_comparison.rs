@@ -1,0 +1,115 @@
+//! Grouping comparison: why BlameIt groups middle segments by BGP path
+//! (§4.2, Fig. 6 and Fig. 11 in one walkthrough).
+//!
+//! For a single injected path-scoped middle fault, the four grouping
+//! granularities are compared on two axes:
+//! * how many RTT samples each aggregate pools (more samples → more
+//!   confident τ checks), and
+//! * whether Algorithm 1 lands on "middle" under each grouping.
+//!
+//! ```text
+//! cargo run --release --example grouping_comparison
+//! ```
+
+use blameit::{
+    assign_blames, enrich_bucket, Blame, BadnessThresholds, BlameConfig, ExpectedRttLearner,
+    MiddleGrouping, RttKey, WorldBackend,
+};
+use blameit_bench::{quiet_world, Scale};
+use blameit_simnet::{Fault, FaultId, FaultTarget, SimTime, TimeRange};
+
+fn main() {
+    let mut world = quiet_world(Scale::Tiny, 2, 11);
+    // Fault the busiest middle path (most client /24s behind it).
+    let mut path_pop: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+    for c in &world.topology().clients {
+        let r = world.route_at(c.primary_loc, c, SimTime::from_days(1));
+        if !world.topology().paths.get(r.path_id).middle.is_empty() {
+            *path_pop.entry(r.path_id).or_default() += 1;
+        }
+    }
+    let path = *path_pop
+        .iter()
+        .max_by_key(|(_, n)| **n)
+        .expect("a middle path exists")
+        .0;
+    let asn = world.topology().paths.get(path).middle[0];
+    world.add_faults(vec![Fault {
+        id: FaultId(0),
+        target: FaultTarget::MiddleAs { asn, via_path: Some(path) },
+        start: SimTime::from_days(1),
+        duration_secs: 24 * 3600,
+        added_ms: 120.0,
+    }]);
+    println!("injected: +120 ms on {asn}, scoped to {path}\n");
+
+    let thresholds = BadnessThresholds::default_for(&world);
+    let backend = WorldBackend::new(&world);
+    // Pick a mid-fault bucket where the path actually carries bad
+    // quartets (activity is diurnal).
+    let bucket = (1..286)
+        .step_by(12)
+        .map(|k| SimTime::from_days(1).bucket().plus(k))
+        .max_by_key(|b| {
+            enrich_bucket(&backend, *b, &thresholds)
+                .iter()
+                .filter(|q| q.info.path == path && q.bad)
+                .count()
+        })
+        .unwrap();
+
+    println!(
+        "{:<14} {:>18} {:>14} {:>12}",
+        "grouping", "faulted aggregate", "middle blames", "other/none"
+    );
+    for grouping in [
+        MiddleGrouping::BgpPrefix,
+        MiddleGrouping::BgpAtom,
+        MiddleGrouping::BgpPath,
+        MiddleGrouping::AsMetro,
+    ] {
+        let cfg = BlameConfig { grouping, ..BlameConfig::default() };
+        // Learn day-0 expectations under this grouping.
+        let mut learner = ExpectedRttLearner::new(1);
+        for b in TimeRange::days(1).buckets().step_by(4) {
+            for q in enrich_bucket(&backend, b, &thresholds) {
+                learner.observe(RttKey::Cloud(q.obs.loc, q.obs.mobile), b.day(), q.obs.mean_rtt_ms);
+                learner.observe(
+                    RttKey::Middle(cfg.grouping.key(&q.info), q.obs.mobile),
+                    b.day(),
+                    q.obs.mean_rtt_ms,
+                );
+            }
+        }
+        let quartets = enrich_bucket(&backend, bucket, &thresholds);
+        // Size of the aggregate containing the faulted path's quartets.
+        let agg_size = quartets
+            .iter()
+            .filter(|q| q.info.path == path)
+            .map(|q| cfg.grouping.key(&q.info))
+            .next()
+            .map(|key| {
+                quartets
+                    .iter()
+                    .filter(|q| cfg.grouping.key(&q.info) == key)
+                    .count()
+            })
+            .unwrap_or(0);
+        let (blames, _) = assign_blames(&quartets, &learner, &cfg);
+        let on_path: Vec<_> = blames.iter().filter(|b| b.path == path).collect();
+        let middle = on_path.iter().filter(|b| b.blame == Blame::Middle).count();
+        let other = on_path.len() - middle;
+        println!(
+            "{:<14} {:>18} {:>14} {:>12}",
+            grouping.label(),
+            agg_size,
+            middle,
+            other
+        );
+    }
+    println!(
+        "\nBGP-path grouping pools the most quartets per aggregate (Fig. 6), which is\n\
+         what lets the τ = 0.8 check fire reliably; ⟨AS, Metro⟩ mixes unrelated paths\n\
+         and dilutes the signal (Fig. 11)."
+    );
+}

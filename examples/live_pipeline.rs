@@ -1,0 +1,57 @@
+//! Live pipeline: stream one simulated day through the BlameIt engine
+//! tick by tick, printing a one-line operations dashboard per tick —
+//! what §6.1's production deployment feeds to network operators.
+//!
+//! ```text
+//! cargo run --release --example live_pipeline
+//! ```
+
+use blameit::{tally, Blame, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit_simnet::{SimTime, TimeRange, World, WorldConfig};
+
+fn main() {
+    let world = World::new(WorldConfig::tiny(2, 99));
+    let thresholds = BadnessThresholds::default_for(&world);
+    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+    let mut backend = WorldBackend::new(&world);
+
+    eprintln!("learning expected RTTs from day 0 …");
+    engine.warmup(&backend, TimeRange::days(1), 1);
+
+    println!(
+        "{:<16} {:>5} {:>6} {:>6} {:>6} {:>9} {:>7}  top alert",
+        "tick", "bad", "cloud", "middle", "client", "probes", "localized"
+    );
+    let day = TimeRange::new(SimTime::from_days(1), SimTime::from_days(2));
+    let mut total_blames = 0usize;
+    for out in engine.run(&mut backend, day) {
+        total_blames += out.blames.len();
+        // Quiet ticks stay quiet on the dashboard.
+        if out.blames.is_empty() {
+            continue;
+        }
+        let t = tally(&out.blames);
+        let first_bucket = out.blames[0].obs.bucket;
+        let top = out.alerts.first().map(|a| {
+            format!(
+                "{} at {} ({} conns)",
+                a.blame, a.loc, a.impacted_connections
+            )
+        });
+        println!(
+            "{:<16} {:>5} {:>6} {:>6} {:>6} {:>9} {:>7}  {}",
+            first_bucket.start().to_string(),
+            t.total(),
+            t.count(Blame::Cloud),
+            t.count(Blame::Middle),
+            t.count(Blame::Client),
+            out.background_probes + out.on_demand_probes,
+            out.localizations.len(),
+            top.unwrap_or_default(),
+        );
+    }
+    println!(
+        "\nday summary: {} blame verdicts; {} background + {} on-demand probes total",
+        total_blames, engine.background_probes_total, engine.on_demand_probes_total
+    );
+}

@@ -1,0 +1,85 @@
+//! Probe budget planning: the client-time-product arithmetic of §5.3
+//! and Fig. 5, on hand-built issues.
+//!
+//! Two middle-segment issues compete for one traceroute:
+//! * issue A afflicts 3 prefixes × 10 users and historically ends fast;
+//! * issue B afflicts 1 prefix × 100 users and historically drags on.
+//!
+//! Prefix-count ranking (prior work) picks A; impact ranking picks B.
+//!
+//! ```text
+//! cargo run --release --example probe_budget_planning
+//! ```
+
+use blameit::{
+    prioritize, select_within_budget, ClientCountHistory, DurationHistory, MiddleIssue, MiddleKey,
+};
+use blameit_simnet::TimeBucket;
+use blameit_topology::{CloudLocId, PathId, Prefix24};
+
+fn main() {
+    // Historical incident durations per path (in 5-minute buckets):
+    // path A's issues last ~20 min, path B's ~30 min and longer.
+    let mut durations = DurationHistory::new();
+    for _ in 0..20 {
+        durations.record(PathId(1), 4);
+        durations.record(PathId(2), 6);
+    }
+
+    // Same-slot client volume over the past 3 days.
+    let mut clients = ClientCountHistory::new();
+    let slot = 100u32;
+    for day in 0..3u32 {
+        let b = TimeBucket(day * blameit_simnet::BUCKETS_PER_DAY + slot);
+        clients.record(PathId(1), b, 30); // 3 prefixes × 10 users
+        clients.record(PathId(2), b, 100); // 1 prefix × 100 users
+    }
+    let now = TimeBucket(3 * blameit_simnet::BUCKETS_PER_DAY + slot);
+
+    let issue_a = MiddleIssue {
+        loc: CloudLocId(0),
+        path: PathId(1),
+        middle_key: MiddleKey::Path(PathId(1)),
+        bucket: now,
+        elapsed_buckets: 2,
+        current_clients: 30,
+        affected_p24s: vec![
+            Prefix24::from_block(101),
+            Prefix24::from_block(102),
+            Prefix24::from_block(103),
+        ],
+    };
+    let issue_b = MiddleIssue {
+        loc: CloudLocId(0),
+        path: PathId(2),
+        middle_key: MiddleKey::Path(PathId(2)),
+        bucket: now,
+        elapsed_buckets: 2,
+        current_clients: 100,
+        affected_p24s: vec![Prefix24::from_block(200)],
+    };
+
+    println!("issue A: {} affected prefixes, ~30 clients, short history", issue_a.affected_p24s.len());
+    println!("issue B: {} affected prefix,  ~100 clients, long history\n", issue_b.affected_p24s.len());
+
+    let ranked = prioritize(vec![issue_a, issue_b], &durations, &clients);
+    println!("client-time-product ranking:");
+    for (i, p) in ranked.iter().enumerate() {
+        println!(
+            "  #{} path {}  E[remaining] = {:.1} buckets × predicted clients {:.0} = product {:.0}",
+            i + 1,
+            p.issue.path,
+            p.expected_remaining_buckets,
+            p.predicted_clients,
+            p.client_time_product,
+        );
+    }
+
+    let picked = select_within_budget(&ranked, 1);
+    println!(
+        "\nwith budget for ONE probe, BlameIt traceroutes path {} — the Fig. 5 answer\n(prefix-count ranking would have picked path {} with its {} prefixes)",
+        picked[0].issue.path,
+        ranked.iter().map(|p| &p.issue).max_by_key(|i| i.affected_p24s.len()).unwrap().path,
+        3,
+    );
+}

@@ -1,0 +1,24 @@
+//! # blameit-repro — reproduction suite root
+//!
+//! Umbrella package for the BlameIt reproduction (Jin et al., *Zooming
+//! in on Wide-area Latencies to a Global Cloud Provider*, SIGCOMM
+//! 2019). It hosts the runnable [examples](../examples) and the
+//! cross-crate integration tests; the functionality lives in the
+//! workspace crates:
+//!
+//! * [`blameit_topology`] — synthetic Internet (ASes, PoP graph, BGP).
+//! * [`blameit_simnet`] — deterministic telemetry simulator with
+//!   fault-schedule ground truth.
+//! * [`blameit`] — the BlameIt system itself (passive Algorithm 1 +
+//!   budgeted active phase).
+//! * [`blameit_baselines`] — comparator systems (tomography,
+//!   continuous traceroutes, Trinocular-style probing, prefix-count
+//!   ranking).
+//! * [`blameit_bench`] — the experiment harness regenerating every
+//!   table and figure of the paper.
+
+pub use blameit;
+pub use blameit_baselines;
+pub use blameit_bench;
+pub use blameit_simnet;
+pub use blameit_topology;

@@ -1,0 +1,87 @@
+//! Cross-crate integration: the comparator systems and BlameIt run over
+//! the same backend, and the paper's qualitative orderings hold.
+
+use blameit::{Backend, BadnessThresholds, BlameItConfig, BlameItEngine, ProbeTarget, WorldBackend};
+use blameit_baselines::{boolean_tomography, ActiveOnlyMonitor, TrinocularMonitor};
+use blameit_bench::{organic_world, Scale};
+use blameit_simnet::{SimTime, TimeRange};
+use std::collections::HashMap;
+
+fn targets(world: &blameit_simnet::World) -> Vec<ProbeTarget> {
+    let mut map: HashMap<_, ProbeTarget> = HashMap::new();
+    for c in &world.topology().clients {
+        let route = world.route_at(c.primary_loc, c, SimTime::ZERO);
+        map.entry((c.primary_loc, route.path_id)).or_insert(ProbeTarget {
+            loc: c.primary_loc,
+            path: route.path_id,
+            p24: c.p24,
+        });
+    }
+    map.into_values().collect()
+}
+
+#[test]
+fn probe_budgets_order_as_in_the_paper() {
+    let world = organic_world(Scale::Tiny, 3, 31);
+    let targets = targets(&world);
+    let day = TimeRange::new(SimTime::from_days(2), SimTime::from_days(3));
+
+    // BlameIt, steady state.
+    let thresholds = BadnessThresholds::default_for(&world);
+    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+    let mut backend = WorldBackend::new(&world);
+    engine.warmup(&backend, TimeRange::days(1), 2);
+    for _ in engine.run(
+        &mut backend,
+        TimeRange::new(SimTime::from_days(1), SimTime::from_days(2)),
+    ) {}
+    let before = backend.probes_issued();
+    for _ in engine.run(&mut backend, day) {}
+    let blameit_day = backend.probes_issued() - before;
+
+    // Trinocular-style adaptive probing.
+    let mut tri_backend = WorldBackend::new(&world);
+    let mut tri = TrinocularMonitor::paper_default();
+    let tri_day = tri.run(&mut tri_backend, day, &targets);
+
+    // Continuous 10-minute probing.
+    let active_day = ActiveOnlyMonitor::new(600, 4).probes_per_day(targets.len());
+
+    assert!(
+        blameit_day < tri_day && tri_day < active_day,
+        "expected BlameIt ({blameit_day}) < Trinocular ({tri_day}) < active-only ({active_day})"
+    );
+    // The headline factor is an order of magnitude or more.
+    assert!(
+        active_day as f64 / blameit_day as f64 > 8.0,
+        "BlameIt must be ≥8× cheaper than continuous probing at tiny scale \
+         ({active_day} vs {blameit_day})"
+    );
+}
+
+#[test]
+fn tomography_is_more_ambiguous_than_blameit_on_sparse_buckets() {
+    use blameit::enrich_bucket;
+    let world = organic_world(Scale::Tiny, 1, 77);
+    let thresholds = BadnessThresholds::default_for(&world);
+    let backend = WorldBackend::new(&world);
+
+    // A sparse overnight bucket: thin coverage is where tomography
+    // struggles (§4.1).
+    let mut worst_unresolved: f64 = 0.0;
+    let mut buckets_with_bad = 0;
+    for b in TimeRange::days(1).buckets().step_by(24) {
+        let quartets = enrich_bucket(&backend, b, &thresholds);
+        if quartets.iter().filter(|q| q.bad).count() < 3 {
+            continue;
+        }
+        buckets_with_bad += 1;
+        let r = boolean_tomography(&quartets);
+        worst_unresolved = worst_unresolved.max(r.unresolved_fraction());
+    }
+    assert!(buckets_with_bad > 0, "need some bad buckets to compare");
+    assert!(
+        worst_unresolved > 0.0,
+        "boolean tomography should hit ambiguity somewhere in a day"
+    );
+}

@@ -1,0 +1,106 @@
+//! Integration test for §4.3: learned expected RTTs disambiguate cloud
+//! faults that the raw badness threshold would miss.
+//!
+//! The paper's worked example: threshold 50 ms, historical RTTs
+//! uniform [35, 45] ms (median 40), post-fault RTTs uniform
+//! [40, 70] ms. Against the *threshold* only 1/3 of quartets read bad
+//! (< τ = 0.8, no cloud blame); against the learned 40 ms median they
+//! all read elevated, and the cloud is blamed. Here the same effect is
+//! exercised through the full simulator: a moderate cloud fault that
+//! only pushes *some* quartets past the threshold still gets blamed on
+//! the cloud because every quartet exceeds its learned expectation.
+
+use blameit::{
+    assign_blames, enrich_bucket, Blame, BadnessThresholds, BlameConfig, ExpectedRttLearner,
+    RttKey, WorldBackend,
+};
+use blameit_bench::{quiet_world, Scale};
+use blameit_simnet::{Fault, FaultId, FaultTarget, SimTime, TimeBucket, TimeRange};
+
+#[test]
+fn learned_expectation_catches_partial_threshold_breach() {
+    let mut world = quiet_world(Scale::Tiny, 2, 777);
+
+    // Find the busiest (location, daytime bucket) pair for non-mobile
+    // traffic — activity is diurnal, so scan slots around the clock.
+    let thresholds = BadnessThresholds::default_for(&world);
+    let backend0 = WorldBackend::new(&world);
+    let mut best: Option<(blameit_topology::CloudLocId, TimeBucket, usize)> = None;
+    for slot in (24..288).step_by(48) {
+        let bucket = TimeBucket(slot);
+        let mut per_loc: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+        for q in enrich_bucket(&backend0, bucket, &thresholds) {
+            if !q.obs.mobile {
+                *per_loc.entry(q.obs.loc).or_default() += 1;
+            }
+        }
+        for (loc, n) in per_loc {
+            if best.is_none_or(|(_, _, b)| n > b) {
+                best = Some((loc, bucket, n));
+            }
+        }
+    }
+    let (loc, probe_bucket, _) = best.expect("some location has traffic");
+    let loc_quartets: Vec<f64> = enrich_bucket(&backend0, probe_bucket, &thresholds)
+        .into_iter()
+        .filter(|q| q.obs.loc == loc && !q.obs.mobile)
+        .map(|q| q.obs.mean_rtt_ms)
+        .collect();
+    assert!(loc_quartets.len() > 10, "need a busy location");
+    let typical = blameit::stats::median(&loc_quartets).unwrap();
+    let region = world.topology().cloud_location(loc).region;
+    let threshold = thresholds.get(region, false);
+    assert!(typical < threshold);
+    let added = ((threshold - typical) * 1.1).max(12.0);
+    world.add_faults(vec![Fault {
+        id: FaultId(0),
+        target: FaultTarget::CloudLocation(loc),
+        start: SimTime::from_days(1),
+        duration_secs: 86_400,
+        added_ms: added,
+    }]);
+
+    // Learn day-0 expected RTTs.
+    let backend = WorldBackend::new(&world);
+    let cfg = BlameConfig::default();
+    let mut learner = ExpectedRttLearner::new(1);
+    for bucket in TimeRange::days(1).buckets().step_by(2) {
+        for q in enrich_bucket(&backend, bucket, &thresholds) {
+            learner.observe(RttKey::Cloud(q.obs.loc, q.obs.mobile), bucket.day(), q.obs.mean_rtt_ms);
+            learner.observe(
+                RttKey::Middle(cfg.grouping.key(&q.info), q.obs.mobile),
+                bucket.day(),
+                q.obs.mean_rtt_ms,
+            );
+        }
+    }
+
+    // Mid-fault, same time-of-day slot as the calibration bucket so
+    // activity is comparable.
+    let bucket = SimTime::from_days(1).bucket().plus(probe_bucket.0);
+    let quartets = enrich_bucket(&backend, bucket, &thresholds);
+    let at_loc: Vec<_> = quartets.iter().filter(|q| q.obs.loc == loc).collect();
+    let bad_frac_by_threshold =
+        at_loc.iter().filter(|q| q.bad).count() as f64 / at_loc.len() as f64;
+    assert!(
+        bad_frac_by_threshold < 0.8,
+        "fault must be moderate for the test to be meaningful; got {bad_frac_by_threshold}"
+    );
+    assert!(
+        bad_frac_by_threshold > 0.0,
+        "some quartets must still breach the threshold"
+    );
+
+    let (blames, stats) = assign_blames(&quartets, &learner, &cfg);
+    // Against the learned expectation the whole location is shifted.
+    assert!(
+        stats.cloud_bad_fraction(loc) >= 0.8,
+        "learned expectation must expose the shift; got {}",
+        stats.cloud_bad_fraction(loc)
+    );
+    let at_loc_blames: Vec<_> = blames.iter().filter(|b| b.obs.loc == loc).collect();
+    assert!(!at_loc_blames.is_empty());
+    for b in &at_loc_blames {
+        assert_eq!(b.blame, Blame::Cloud, "{:?}", b.obs);
+    }
+}

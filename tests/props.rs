@@ -1,0 +1,103 @@
+//! Cross-crate property-based tests (proptest): invariants that must
+//! hold for arbitrary inputs, spanning the public APIs of the
+//! workspace crates.
+
+use blameit::{aggregate_records, diff_contributions, ks_two_sample};
+use blameit_simnet::{RttRecord, SimTime};
+use blameit_topology::{Asn, CloudLocId, IpPrefix, Prefix24};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = RttRecord> {
+    (0u16..8, 0u32..64, any::<bool>(), 0u64..3600, 1.0f64..500.0).prop_map(
+        |(loc, block, mobile, secs, rtt)| RttRecord {
+            loc: CloudLocId(loc),
+            p24: Prefix24::from_block(block),
+            mobile,
+            at: SimTime(secs),
+            rtt_ms: rtt,
+        },
+    )
+}
+
+proptest! {
+    /// Aggregation conserves samples and respects RTT bounds.
+    #[test]
+    fn aggregation_conserves_mass(records in proptest::collection::vec(arb_record(), 0..300)) {
+        let quartets = aggregate_records(&records);
+        let total: u64 = quartets.iter().map(|q| q.n as u64).sum();
+        prop_assert_eq!(total, records.len() as u64);
+        let lo = records.iter().map(|r| r.rtt_ms).fold(f64::INFINITY, f64::min);
+        let hi = records.iter().map(|r| r.rtt_ms).fold(f64::NEG_INFINITY, f64::max);
+        for q in &quartets {
+            prop_assert!(q.n >= 1);
+            prop_assert!(q.mean_rtt_ms >= lo - 1e-9 && q.mean_rtt_ms <= hi + 1e-9);
+        }
+        // Keys are unique.
+        let mut keys: Vec<_> = quartets.iter().map(|q| (q.loc, q.p24, q.mobile, q.bucket)).collect();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), quartets.len());
+    }
+
+    /// The traceroute diff is antisymmetric in its inputs and never
+    /// names a culprit below the floor.
+    #[test]
+    fn diff_antisymmetry(
+        contributions in proptest::collection::vec((100u32..140, 0.0f64..100.0), 1..12)
+    ) {
+        let a: Vec<(Asn, f64)> = contributions.iter().map(|(x, ms)| (Asn(*x), *ms)).collect();
+        let d = diff_contributions(&a, &a);
+        prop_assert!(d.culprit.is_none(), "identical traceroutes have no culprit");
+        for row in &d.rows {
+            prop_assert!(row.delta_ms().abs() < 1e-9);
+        }
+    }
+
+    /// Raising one AS's contribution by more than the floor names it.
+    #[test]
+    fn diff_names_the_raised_as(
+        contributions in proptest::collection::vec((100u32..200, 0.0f64..50.0), 1..10),
+        idx in 0usize..10,
+        bump in 10.0f64..200.0
+    ) {
+        // Dedup ASNs to keep one contribution each.
+        let mut base: Vec<(Asn, f64)> = Vec::new();
+        for (x, ms) in &contributions {
+            if !base.iter().any(|(a, _)| *a == Asn(*x)) {
+                base.push((Asn(*x), *ms));
+            }
+        }
+        let idx = idx % base.len();
+        let mut cur = base.clone();
+        cur[idx].1 += bump;
+        let d = diff_contributions(&base, &cur);
+        prop_assert_eq!(d.culprit, Some(base[idx].0));
+    }
+
+    /// KS of a sample against itself never rejects; the statistic is in
+    /// [0, 1]; and the test is symmetric.
+    #[test]
+    fn ks_properties(xs in proptest::collection::vec(0.0f64..1000.0, 1..200),
+                     ys in proptest::collection::vec(0.0f64..1000.0, 1..200)) {
+        let same = ks_two_sample(&xs, &xs).unwrap();
+        prop_assert!(same.statistic < 1e-9);
+        let r1 = ks_two_sample(&xs, &ys).unwrap();
+        let r2 = ks_two_sample(&ys, &xs).unwrap();
+        prop_assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r1.statistic));
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+    }
+
+    /// Prefix containment is consistent between the /24 and
+    /// variable-length views.
+    #[test]
+    fn prefix_containment_consistent(base in 0u32..=u32::MAX, len in 8u8..=24, host in any::<u8>()) {
+        let p = IpPrefix::new(base, len);
+        for p24 in p.iter_24s().take(4) {
+            prop_assert!(p.covers_24(p24));
+            prop_assert!(p.contains(p24.addr(host)));
+            prop_assert!(p.covers(p24.as_prefix()));
+        }
+        prop_assert_eq!(p.num_24s(), 1u32 << (24 - len));
+    }
+}
