@@ -48,7 +48,12 @@ impl ActiveOnlyMonitor {
 
     /// Advances the monitor over `range`, probing every due target on
     /// schedule. Returns probes issued during the call.
-    pub fn run<B: Backend>(&mut self, backend: &mut B, range: TimeRange, targets: &[ProbeTarget]) -> u64 {
+    pub fn run<B: Backend>(
+        &mut self,
+        backend: &mut B,
+        range: TimeRange,
+        targets: &[ProbeTarget],
+    ) -> u64 {
         let before = self.probes;
         let mut t = range.start;
         while t < range.end {
@@ -232,9 +237,7 @@ mod tests {
             assert!(*ms < 120.0, "{a} baseline {ms}");
         }
         // Unknown key → None.
-        assert!(m
-            .baseline(CloudLocId(999), PathId(12345))
-            .is_none());
+        assert!(m.baseline(CloudLocId(999), PathId(12345)).is_none());
         let _ = Prefix24::from_block(0);
     }
 }

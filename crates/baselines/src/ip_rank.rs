@@ -84,7 +84,9 @@ mod tests {
         ImpactRecord {
             loc: CloudLocId(0),
             path: PathId(path),
-            p24s: (0..n_p24s).map(|i| Prefix24::from_block(path * 100 + i)).collect(),
+            p24s: (0..n_p24s)
+                .map(|i| Prefix24::from_block(path * 100 + i))
+                .collect(),
             impact,
         }
     }

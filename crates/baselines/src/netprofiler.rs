@@ -111,7 +111,14 @@ mod tests {
     use blameit_simnet::{QuartetObs, TimeBucket};
     use blameit_topology::{MetroId, Prefix24, Region};
 
-    fn q(loc: u16, block: u32, path: u32, origin: u32, prefix_base: u32, bad: bool) -> EnrichedQuartet {
+    fn q(
+        loc: u16,
+        block: u32,
+        path: u32,
+        origin: u32,
+        prefix_base: u32,
+        bad: bool,
+    ) -> EnrichedQuartet {
         EnrichedQuartet {
             obs: QuartetObs {
                 loc: CloudLocId(loc),
@@ -167,7 +174,10 @@ mod tests {
         assert!(kinds.contains(&Attribute::ClientAs(Asn(300))));
         assert!(kinds.contains(&Attribute::Path(PathId(7))));
         assert!(kinds.contains(&Attribute::Location(CloudLocId(0))));
-        assert!(imps.len() >= 3, "multiple overlapping implications: {imps:?}");
+        assert!(
+            imps.len() >= 3,
+            "multiple overlapping implications: {imps:?}"
+        );
     }
 
     #[test]

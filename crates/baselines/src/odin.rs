@@ -126,9 +126,7 @@ pub fn sample_p24(world: &World, loc: CloudLocId, path: PathId, at: SimTime) -> 
         .topology()
         .clients
         .iter()
-        .find(|c| {
-            c.primary_loc == loc && world.route_at(loc, c, at).path_id == path
-        })
+        .find(|c| c.primary_loc == loc && world.route_at(loc, c, at).path_id == path)
         .map(|c| c.p24)
 }
 
@@ -189,7 +187,10 @@ mod tests {
             .unwrap();
         w.add_faults(vec![Fault {
             id: FaultId(0),
-            target: FaultTarget::MiddleAs { asn, via_path: None },
+            target: FaultTarget::MiddleAs {
+                asn,
+                via_path: None,
+            },
             start: SimTime(30_000),
             duration_secs: 7_200,
             added_ms: 80.0,

@@ -141,7 +141,10 @@ mod tests {
         let (asn, _) = middle_as_of_first_client(&w);
         w.add_faults(vec![Fault {
             id: FaultId(0),
-            target: FaultTarget::MiddleAs { asn, via_path: None },
+            target: FaultTarget::MiddleAs {
+                asn,
+                via_path: None,
+            },
             start: SimTime(10_000),
             duration_secs: 3_000,
             added_ms: 60.0,
@@ -165,7 +168,10 @@ mod tests {
         let mut w_all = w0.clone();
         w_all.add_faults(vec![Fault {
             id: FaultId(0),
-            target: FaultTarget::MiddleAs { asn, via_path: None },
+            target: FaultTarget::MiddleAs {
+                asn,
+                via_path: None,
+            },
             start: SimTime(10_000),
             duration_secs: 3_000,
             added_ms: 60.0,
@@ -173,7 +179,10 @@ mod tests {
         let mut w_scoped = w0.clone();
         w_scoped.add_faults(vec![Fault {
             id: FaultId(0),
-            target: FaultTarget::MiddleAs { asn, via_path: Some(path) },
+            target: FaultTarget::MiddleAs {
+                asn,
+                via_path: Some(path),
+            },
             start: SimTime(10_000),
             duration_secs: 3_000,
             added_ms: 60.0,
@@ -191,7 +200,10 @@ mod tests {
         let (asn, _) = middle_as_of_first_client(&w);
         w.add_faults(vec![Fault {
             id: FaultId(0),
-            target: FaultTarget::MiddleAs { asn, via_path: None },
+            target: FaultTarget::MiddleAs {
+                asn,
+                via_path: None,
+            },
             start: SimTime::from_days(3),
             duration_secs: 3_000,
             added_ms: 60.0,

@@ -98,10 +98,8 @@ pub fn boolean_tomography(quartets: &[EnrichedQuartet]) -> TomographyResult {
 
     // Greedy cover: repeatedly pick the candidate covering the most
     // uncovered bad paths (ties → smallest node, deterministically).
-    let mut uncovered: Vec<&Vec<SegmentNode>> = candidate_sets
-        .iter()
-        .filter(|c| !c.is_empty())
-        .collect();
+    let mut uncovered: Vec<&Vec<SegmentNode>> =
+        candidate_sets.iter().filter(|c| !c.is_empty()).collect();
     while !uncovered.is_empty() {
         let mut freq: HashMap<SegmentNode, usize> = HashMap::new();
         for cands in &uncovered {
@@ -198,7 +196,12 @@ mod tests {
         assert!(r
             .blamed
             .contains(&SegmentNode::Middle(MiddleKey::Path(PathId(7)))));
-        assert_eq!(r.blamed.len(), 1, "one segment explains all: {:?}", r.blamed);
+        assert_eq!(
+            r.blamed.len(),
+            1,
+            "one segment explains all: {:?}",
+            r.blamed
+        );
     }
 
     #[test]

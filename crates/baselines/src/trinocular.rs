@@ -74,7 +74,12 @@ impl TrinocularMonitor {
 
     /// Advances over `range`, probing each target per its adaptive
     /// schedule. Returns probes issued during the call.
-    pub fn run<B: Backend>(&mut self, backend: &mut B, range: TimeRange, targets: &[ProbeTarget]) -> u64 {
+    pub fn run<B: Backend>(
+        &mut self,
+        backend: &mut B,
+        range: TimeRange,
+        targets: &[ProbeTarget],
+    ) -> u64 {
         let before = self.probes;
         let mut t = range.start;
         while t < range.end {
@@ -180,7 +185,10 @@ mod tests {
         let mut b = WorldBackend::new(&w2);
         let mut m = TrinocularMonitor::new(600, 4800, 0.5);
         m.run(&mut b, TimeRange::days(1), &[t]);
-        assert!(m.anomalies_detected() >= 1, "the 300 ms jump must trip the detector");
+        assert!(
+            m.anomalies_detected() >= 1,
+            "the 300 ms jump must trip the detector"
+        );
     }
 
     #[test]

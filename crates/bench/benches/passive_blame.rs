@@ -1,6 +1,9 @@
 //! Criterion bench: Algorithm 1 over a bucket of enriched quartets.
 
-use blameit::{assign_blames, enrich_bucket, BadnessThresholds, BlameConfig, ExpectedRttLearner, RttKey, WorldBackend};
+use blameit::{
+    assign_blames, enrich_bucket, BadnessThresholds, BlameConfig, ExpectedRttLearner, RttKey,
+    WorldBackend,
+};
 use blameit_simnet::{TimeBucket, World, WorldConfig};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -15,7 +18,11 @@ fn bench(c: &mut Criterion) {
     let cfg = BlameConfig::default();
     for q in &quartets {
         learner.observe(RttKey::Cloud(q.obs.loc, q.obs.mobile), 0, 30.0);
-        learner.observe(RttKey::Middle(cfg.grouping.key(&q.info), q.obs.mobile), 0, 30.0);
+        learner.observe(
+            RttKey::Middle(cfg.grouping.key(&q.info), q.obs.mobile),
+            0,
+            30.0,
+        );
     }
 
     let mut g = c.benchmark_group("passive_blame");

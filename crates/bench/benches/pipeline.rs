@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("engine_tick_15min", |b| {
         b.iter_batched(
             || (engine.clone(), WorldBackend::new(&world)),
-            |(mut e, mut backend)| {
-                black_box(e.tick(&mut backend, SimTime::from_days(1).bucket()))
-            },
+            |(mut e, mut backend)| black_box(e.tick(&mut backend, SimTime::from_days(1).bucket())),
             criterion::BatchSize::LargeInput,
         )
     });

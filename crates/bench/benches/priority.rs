@@ -1,6 +1,8 @@
 //! Criterion bench: client-time-product ranking of middle issues.
 
-use blameit::{prioritize, select_within_budget, ClientCountHistory, DurationHistory, MiddleIssue, MiddleKey};
+use blameit::{
+    prioritize, select_within_budget, ClientCountHistory, DurationHistory, MiddleIssue, MiddleKey,
+};
 use blameit_simnet::TimeBucket;
 use blameit_topology::rng::DetRng;
 use blameit_topology::{CloudLocId, PathId, Prefix24};

@@ -50,14 +50,20 @@ impl Args {
     /// u64 with default.
     pub fn u64(&self, key: &str, default: u64) -> u64 {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
     /// f64 with default.
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 

@@ -149,6 +149,10 @@ fn main() {
     println!(
         "and approaches the oracle ceiling ({} of it): {}",
         fmt::pct(ranked_cov / oracle_cov.max(1e-9)),
-        if ranked_cov > 0.6 * oracle_cov { "HOLDS" } else { "check" }
+        if ranked_cov > 0.6 * oracle_cov {
+            "HOLDS"
+        } else {
+            "check"
+        }
     );
 }

@@ -14,7 +14,7 @@
 //! (how often BlameIt commits to a verdict at all).
 
 use blameit::{
-    assign_blames, enrich_bucket_min_samples, BadnessThresholds, BlameConfig, Blame,
+    assign_blames, enrich_bucket_min_samples, BadnessThresholds, Blame, BlameConfig,
     ExpectedRttLearner, RttKey, WorldBackend,
 };
 use blameit_bench::{fmt, organic_world, Args, ConfusionMatrix, Scale};
@@ -44,7 +44,11 @@ fn run_variant(
     // Warmup learning (strided).
     for bucket in TimeRange::days(warmup_days).buckets().step_by(2) {
         for q in enrich_bucket_min_samples(&backend, bucket, &thresholds, min_samples) {
-            learner.observe(RttKey::Cloud(q.obs.loc, q.obs.mobile), bucket.day(), q.obs.mean_rtt_ms);
+            learner.observe(
+                RttKey::Cloud(q.obs.loc, q.obs.mobile),
+                bucket.day(),
+                q.obs.mean_rtt_ms,
+            );
             learner.observe(
                 RttKey::Middle(cfg.grouping.key(&q.info), q.obs.mobile),
                 bucket.day(),
@@ -56,7 +60,10 @@ fn run_variant(
     // Eval day.
     let mut matrix = ConfusionMatrix::new();
     let mut ambiguous_or_insufficient = 0u64;
-    let eval = TimeRange::new(SimTime::from_days(warmup_days), SimTime::from_days(warmup_days + 1));
+    let eval = TimeRange::new(
+        SimTime::from_days(warmup_days),
+        SimTime::from_days(warmup_days + 1),
+    );
     for bucket in eval.buckets() {
         let quartets = enrich_bucket_min_samples(&backend, bucket, &thresholds, min_samples);
         let (blames, _) = assign_blames(&quartets, &learner, cfg);
@@ -74,7 +81,11 @@ fn run_variant(
         }
         // Keep learning forward, post-assignment.
         for q in &quartets {
-            learner.observe(RttKey::Cloud(q.obs.loc, q.obs.mobile), bucket.day(), q.obs.mean_rtt_ms);
+            learner.observe(
+                RttKey::Cloud(q.obs.loc, q.obs.mobile),
+                bucket.day(),
+                q.obs.mean_rtt_ms,
+            );
             learner.observe(
                 RttKey::Middle(cfg.grouping.key(&q.info), q.obs.mobile),
                 bucket.day(),
@@ -105,16 +116,40 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for tau in [0.5, 0.65, 0.8, 0.9, 0.99] {
-        let cfg = BlameConfig { tau, ..BlameConfig::default() };
-        rows.push(run_variant(&world, &cfg, 10, 14, warmup, format!("tau={tau}")));
+        let cfg = BlameConfig {
+            tau,
+            ..BlameConfig::default()
+        };
+        rows.push(run_variant(
+            &world,
+            &cfg,
+            10,
+            14,
+            warmup,
+            format!("tau={tau}"),
+        ));
     }
     for window in [1u32, 3, 14] {
         let cfg = BlameConfig::default();
-        rows.push(run_variant(&world, &cfg, 10, window, warmup, format!("window={window}d")));
+        rows.push(run_variant(
+            &world,
+            &cfg,
+            10,
+            window,
+            warmup,
+            format!("window={window}d"),
+        ));
     }
     for min_samples in [1u32, 10, 40] {
         let cfg = BlameConfig::default();
-        rows.push(run_variant(&world, &cfg, min_samples, 14, warmup, format!("min_samples={min_samples}")));
+        rows.push(run_variant(
+            &world,
+            &cfg,
+            min_samples,
+            14,
+            warmup,
+            format!("min_samples={min_samples}"),
+        ));
     }
 
     println!(

@@ -7,7 +7,9 @@
 //! curves here share the same duration law — the comparison point is
 //! the per-category long tail itself.
 
-use blameit::{Blame, BadnessThresholds, BlameItConfig, BlameItEngine, IncidentTracker, WorldBackend};
+use blameit::{
+    BadnessThresholds, Blame, BlameItConfig, BlameItEngine, IncidentTracker, WorldBackend,
+};
 use blameit_bench::{fmt, Args, Scale};
 use blameit_simnet::{SimTime, TimeRange};
 use blameit_topology::{CloudLocId, Prefix24};
@@ -58,7 +60,10 @@ fn main() {
             }
             for inc in tracker.observe(bucket, keys) {
                 if let Some(v) = votes.remove(&inc.key) {
-                    let (blame, _) = v.into_iter().max_by_key(|(b, n)| (*n, std::cmp::Reverse(*b))).unwrap();
+                    let (blame, _) = v
+                        .into_iter()
+                        .max_by_key(|(b, n)| (*n, std::cmp::Reverse(*b)))
+                        .unwrap();
                     per_cat.entry(blame).or_default().push(inc.buckets as f64);
                 }
             }
@@ -67,7 +72,10 @@ fn main() {
     }
     for inc in tracker.finish() {
         if let Some(v) = votes.remove(&inc.key) {
-            let (blame, _) = v.into_iter().max_by_key(|(b, n)| (*n, std::cmp::Reverse(*b))).unwrap();
+            let (blame, _) = v
+                .into_iter()
+                .max_by_key(|(b, n)| (*n, std::cmp::Reverse(*b)))
+                .unwrap();
             per_cat.entry(blame).or_default().push(inc.buckets as f64);
         }
     }
@@ -79,7 +87,11 @@ fn main() {
         if ds.is_empty() {
             continue;
         }
-        fmt::cdf(&format!("{cat} incident duration (5-min buckets)"), &blameit::stats::ecdf(&ds), 15);
+        fmt::cdf(
+            &format!("{cat} incident duration (5-min buckets)"),
+            &blameit::stats::ecdf(&ds),
+            15,
+        );
         let le1 = blameit::stats::fraction(&ds, |d| *d <= 1.0);
         let ge24 = blameit::stats::fraction(&ds, |d| *d >= 24.0);
         println!("    ≤5min {}  ≥2h {}", fmt::pct(le1), fmt::pct(ge24));

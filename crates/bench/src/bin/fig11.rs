@@ -10,7 +10,7 @@
 //! blamed segment's culprit AS matches the true one.
 
 use blameit::{
-    Blame, BadnessThresholds, BlameItConfig, BlameItEngine, MiddleGrouping, WorldBackend,
+    BadnessThresholds, Blame, BlameItConfig, BlameItEngine, MiddleGrouping, WorldBackend,
 };
 use blameit_bench::{fmt, Args, Scale};
 use blameit_simnet::{Segment, SimTime, TimeRange, World};
@@ -81,9 +81,21 @@ fn main() {
     let path_ratios = ratios(&world, MiddleGrouping::BgpPath, warmup_days, days);
     let asmetro_ratios = ratios(&world, MiddleGrouping::AsMetro, warmup_days, days);
 
-    println!("paths scored: {} (bgp-path), {} (as-metro)", path_ratios.len(), asmetro_ratios.len());
-    fmt::cdf("BlameIt with BGP-path grouping", &blameit::stats::ecdf(&path_ratios), 15);
-    fmt::cdf("BlameIt with <AS, Metro> grouping", &blameit::stats::ecdf(&asmetro_ratios), 15);
+    println!(
+        "paths scored: {} (bgp-path), {} (as-metro)",
+        path_ratios.len(),
+        asmetro_ratios.len()
+    );
+    fmt::cdf(
+        "BlameIt with BGP-path grouping",
+        &blameit::stats::ecdf(&path_ratios),
+        15,
+    );
+    fmt::cdf(
+        "BlameIt with <AS, Metro> grouping",
+        &blameit::stats::ecdf(&asmetro_ratios),
+        15,
+    );
 
     let perfect = |rs: &[f64]| blameit::stats::fraction(rs, |r| *r >= 0.999);
     let mean = |rs: &[f64]| blameit::stats::mean(rs).unwrap_or(0.0);

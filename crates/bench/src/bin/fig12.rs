@@ -47,8 +47,10 @@ fn main() {
     // A fault may span many (location, path) issues; the engine
     // estimates per issue, so a fault's estimate is the sum over its
     // issues of each issue's peak client-time product.
-    let mut per_issue: HashMap<FaultId, HashMap<(blameit_topology::CloudLocId, blameit_topology::PathId), f64>> =
-        HashMap::new();
+    let mut per_issue: HashMap<
+        FaultId,
+        HashMap<(blameit_topology::CloudLocId, blameit_topology::PathId), f64>,
+    > = HashMap::new();
     let mut max_elapsed: HashMap<FaultId, u32> = HashMap::new();
     let mut max_rem: HashMap<FaultId, f64> = HashMap::new();
     for out in engine.run(&mut backend, eval) {
@@ -90,7 +92,10 @@ fn main() {
         .into_iter()
         .map(|(f, m)| (f, m.values().sum()))
         .collect();
-    println!("middle issues detected & ranked by BlameIt: {}", estimates.len());
+    println!(
+        "middle issues detected & ranked by BlameIt: {}",
+        estimates.len()
+    );
 
     // Oracle ordering CDF.
     let mut by_true: Vec<(FaultId, f64)> = true_product.clone().into_iter().collect();
@@ -129,9 +134,15 @@ fn main() {
     let blameit_top5 = blameit_top5_impact / total;
 
     if args.get("debug").is_some() {
-        println!("top-10 true faults: (true_product, duration_buckets, est, max_elapsed, max_E[rem])");
+        println!(
+            "top-10 true faults: (true_product, duration_buckets, est, max_elapsed, max_E[rem])"
+        );
         for (f, p) in by_true.iter().take(10) {
-            let dur = oracle.iter().find(|i| i.fault == *f).map(|i| i.duration_buckets).unwrap_or(0);
+            let dur = oracle
+                .iter()
+                .find(|i| i.fault == *f)
+                .map(|i| i.duration_buckets)
+                .unwrap_or(0);
             println!(
                 "  {:?} true={:.0} dur={} est={:.0} elapsed={} rem={:.1}",
                 f,

@@ -119,7 +119,12 @@ fn main() {
     }
 
     // Shape checks.
-    let find = |p: u64, churn: bool| cells.iter().find(|c| c.period_secs == p && c.churn == churn).unwrap();
+    let find = |p: u64, churn: bool| {
+        cells
+            .iter()
+            .find(|c| c.period_secs == p && c.churn == churn)
+            .unwrap()
+    };
     let fast = find(600, true);
     let sweet = find(43_200, true);
     let sweet_nochurn = find(43_200, false);
@@ -134,7 +139,11 @@ fn main() {
         "churn triggers help at 12 h: {} vs {} without → {}",
         fmt::pct(sweet.accuracy),
         fmt::pct(sweet_nochurn.accuracy),
-        if sweet.accuracy >= sweet_nochurn.accuracy { "HOLDS" } else { "check" }
+        if sweet.accuracy >= sweet_nochurn.accuracy {
+            "HOLDS"
+        } else {
+            "check"
+        }
     );
     println!(
         "degradation with rarer probing (no churn): 10min {} → 24h {}",

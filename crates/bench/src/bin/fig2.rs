@@ -46,7 +46,10 @@ fn main() {
         }
     }
 
-    println!("{:>14} {:>16} {:>16}", "region", "non-mobile bad%", "mobile bad%");
+    println!(
+        "{:>14} {:>16} {:>16}",
+        "region", "non-mobile bad%", "mobile bad%"
+    );
     let mut usa_nm = 0.0;
     let mut others_nm: Vec<f64> = Vec::new();
     for r in Region::ALL {
@@ -73,7 +76,11 @@ fn main() {
     println!("elevated despite good infrastructure (aggressive targets).");
     println!(
         "USA non-mobile {usa_nm:.2}% vs other-region mean {mean_others:.2}% → USA elevated: {}",
-        if usa_nm > mean_others { "HOLDS" } else { "check thresholds" }
+        if usa_nm > mean_others {
+            "HOLDS"
+        } else {
+            "check thresholds"
+        }
     );
     // §2.2: "one-third of the cloud locations have at least 13% bad
     // quartets".

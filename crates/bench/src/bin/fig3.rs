@@ -19,7 +19,10 @@ fn main() {
     let days = args.u64("days", 7);
     let scale = args.scale(Scale::Small);
 
-    fmt::banner("Figure 3", "% bad quartets by hour over a week (USA; two ISPs)");
+    fmt::banner(
+        "Figure 3",
+        "% bad quartets by hour over a week (USA; two ISPs)",
+    );
     let world = blameit_bench::organic_world(scale, days, seed);
     let thresholds = BadnessThresholds::default_for(&world);
     let backend = WorldBackend::new(&world);
@@ -77,7 +80,13 @@ fn main() {
         }
     }
 
-    let pct = |(bad, tot): (u64, u64)| if tot == 0 { 0.0 } else { 100.0 * bad as f64 / tot as f64 };
+    let pct = |(bad, tot): (u64, u64)| {
+        if tot == 0 {
+            0.0
+        } else {
+            100.0 * bad as f64 / tot as f64
+        }
+    };
     println!("hour  usa-bad%  isp1-bad%  isp2-bad%   (isp1 = enterprise-heavy {:?}, isp2 = home-heavy {:?})", isp1, isp2);
     for h in 0..hours {
         println!(
@@ -123,7 +132,7 @@ fn main() {
             blameit::stats::variance(&vals).unwrap_or(0.0)
         };
         // Epoch is a Monday: weekend = days 5–6.
-        let weekday_var = day_variance(0, 5) ;
+        let weekday_var = day_variance(0, 5);
         let weekend_var = day_variance(5, 7);
         println!(
             "within-day variance weekdays {weekday_var:.2} vs weekend {weekend_var:.2} → diurnal pattern {} on weekends",

@@ -15,7 +15,10 @@ fn main() {
     let days = args.u64("days", 1);
     let scale = args.scale(Scale::Small);
 
-    fmt::banner("Figure 4a", "Persistence of bad-RTT incidents (5-min buckets)");
+    fmt::banner(
+        "Figure 4a",
+        "Persistence of bad-RTT incidents (5-min buckets)",
+    );
     let world = blameit_bench::organic_world(scale, days, seed);
     let thresholds = BadnessThresholds::default_for(&world);
     let backend = WorldBackend::new(&world);

@@ -54,6 +54,10 @@ fn main() {
     println!(
         "advantage {:.1}×  [paper: ~3×] → {}",
         ratio,
-        if ratio > 1.5 { "HOLDS" } else { "check impact skew" }
+        if ratio > 1.5 {
+            "HOLDS"
+        } else {
+            "check impact skew"
+        }
     );
 }

@@ -15,13 +15,19 @@ use blameit_bench::fmt;
 use blameit_topology::{CloudLocId, PathId, Prefix24};
 
 fn main() {
-    fmt::banner("Figure 5", "Ranking tuples by prefix count vs problem impact");
+    fmt::banner(
+        "Figure 5",
+        "Ranking tuples by prefix count vs problem impact",
+    );
 
     // The paper's timeline, as impact records.
     let tuple1 = ImpactRecord {
         loc: CloudLocId(0),
         path: PathId(1),
-        p24s: [1u32, 2, 3].iter().map(|b| Prefix24::from_block(*b)).collect(),
+        p24s: [1u32, 2, 3]
+            .iter()
+            .map(|b| Prefix24::from_block(*b))
+            .collect(),
         impact: 10.0 * 30.0 + 10.0 * 20.0 + 10.0 * 10.0, // 600 ≈ "350" band
     };
     let tuple2 = ImpactRecord {

@@ -47,7 +47,11 @@ fn main() {
         let cdf = blameit::stats::ecdf(&sharing);
         fmt::cdf(grouping.label(), &cdf, 15);
         let mean = blameit::stats::mean(&sharing).unwrap_or(0.0);
-        println!("    mean co-sharers under {}: {:.1}", grouping.label(), mean);
+        println!(
+            "    mean co-sharers under {}: {:.1}",
+            grouping.label(),
+            mean
+        );
         means.push(mean);
     }
 

@@ -5,7 +5,7 @@
 //! by scheduled maintenance, which we reproduce by injecting cloud
 //! maintenance faults on day 24.
 
-use blameit::{tally_by_day, Blame, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit::{tally_by_day, BadnessThresholds, Blame, BlameItConfig, BlameItEngine, WorldBackend};
 use blameit_bench::{fmt, Args, Scale};
 use blameit_simnet::{Fault, FaultId, FaultTarget, SimTime, TimeRange};
 
@@ -16,13 +16,21 @@ fn main() {
     let warmup_days = args.u64("warmup", 2).min(days.saturating_sub(1));
     let scale = args.scale(Scale::Small);
 
-    fmt::banner("Figure 8", "Blame fractions over one month (maintenance on day 24)");
+    fmt::banner(
+        "Figure 8",
+        "Blame fractions over one month (maintenance on day 24)",
+    );
     let mut world = blameit_bench::organic_world(scale, days, seed);
 
     // Scheduled maintenance: several cloud locations degraded for a few
     // hours on day 24 (matching the paper's day-24 cloud spike).
     if days > 24 {
-        let locs: Vec<_> = world.topology().cloud_locations.iter().map(|l| l.id).collect();
+        let locs: Vec<_> = world
+            .topology()
+            .cloud_locations
+            .iter()
+            .map(|l| l.id)
+            .collect();
         let maintenance: Vec<Fault> = locs
             .iter()
             .take(8)
@@ -89,12 +97,24 @@ fn main() {
             "day-24 cloud fraction {} vs other-day mean {} → maintenance spike: {}",
             fmt::pct(cloud_day24),
             fmt::pct(mean_other),
-            if cloud_day24 > 2.0 * mean_other { "HOLDS" } else { "check" }
+            if cloud_day24 > 2.0 * mean_other {
+                "HOLDS"
+            } else {
+                "check"
+            }
         );
     }
     println!(
         "middle ≥ client overall: {}   cloud small: {}",
-        if overall.fraction(Blame::Middle) >= overall.fraction(Blame::Client) { "HOLDS" } else { "INVERTED" },
-        if overall.fraction(Blame::Cloud) < 0.10 { "HOLDS" } else { "check" }
+        if overall.fraction(Blame::Middle) >= overall.fraction(Blame::Client) {
+            "HOLDS"
+        } else {
+            "INVERTED"
+        },
+        if overall.fraction(Blame::Cloud) < 0.10 {
+            "HOLDS"
+        } else {
+            "check"
+        }
     );
 }

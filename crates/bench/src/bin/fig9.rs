@@ -4,7 +4,9 @@
 //! Brazil (still-evolving transit networks) relative to mature regions
 //! like the USA; "insufficient"/"ambiguous" are a visible share.
 
-use blameit::{tally_by_region, Blame, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit::{
+    tally_by_region, BadnessThresholds, Blame, BlameItConfig, BlameItEngine, WorldBackend,
+};
 use blameit_bench::{fmt, Args, Scale};
 use blameit_simnet::{SimTime, TimeRange};
 use blameit_topology::Region;
@@ -20,7 +22,10 @@ fn main() {
     let eval_days = args.u64("eval", 3);
     let scale = args.scale(Scale::Small);
 
-    fmt::banner("Figure 9", "Blame fractions by region (paper: one day; see --eval)");
+    fmt::banner(
+        "Figure 9",
+        "Blame fractions by region (paper: one day; see --eval)",
+    );
     let world = blameit_bench::organic_world(scale, warmup_days + eval_days, seed);
     let thresholds = BadnessThresholds::default_for(&world);
     let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
@@ -76,6 +81,10 @@ fn main() {
         "mean middle fraction: IN/CN/BR {} vs US/EU/AU {} → middle-heavy immature transit: {}",
         fmt::pct(immature),
         fmt::pct(mature),
-        if immature > mature { "HOLDS" } else { "check fault-rate scaling" }
+        if immature > mature {
+            "HOLDS"
+        } else {
+            "check fault-rate scaling"
+        }
     );
 }

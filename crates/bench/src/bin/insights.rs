@@ -89,16 +89,32 @@ fn main() {
     }
 
     println!("bad quartets with material inflation sampled: {inflated}");
-    let i1 = if inflated == 0 { 0.0 } else { dominated as f64 / inflated as f64 };
+    let i1 = if inflated == 0 {
+        0.0
+    } else {
+        dominated as f64 / inflated as f64
+    };
     println!(
         "Insight-1: single cause ≥80% of inflation in {}  [paper: 93%] → {}",
         fmt::pct(i1),
-        if i1 > 0.8 { "HOLDS" } else { "check fault overlap rates" }
+        if i1 > 0.8 {
+            "HOLDS"
+        } else {
+            "check fault overlap rates"
+        }
     );
     println!();
     println!("location-wide badness events (≥80% of ≥20 /24s bad): {wide_bad}");
-    let i2 = if wide_bad == 0 { 1.0 } else { wide_bad_single as f64 / wide_bad as f64 };
-    let i2c = if wide_bad == 0 { 0.0 } else { wide_bad_cloud as f64 / wide_bad as f64 };
+    let i2 = if wide_bad == 0 {
+        1.0
+    } else {
+        wide_bad_single as f64 / wide_bad as f64
+    };
+    let i2c = if wide_bad == 0 {
+        0.0
+    } else {
+        wide_bad_cloud as f64 / wide_bad as f64
+    };
     println!(
         "Insight-2: explained by one shared (cloud/middle) failure in {}  [paper: 98%] → {}",
         fmt::pct(i2),

@@ -8,7 +8,9 @@
 //! All three run over the same target set (the (location, path) pairs
 //! that actually carry traffic), with probes counted by the backend.
 
-use blameit::{Backend, BadnessThresholds, BlameItConfig, BlameItEngine, ProbeTarget, WorldBackend};
+use blameit::{
+    Backend, BadnessThresholds, BlameItConfig, BlameItEngine, ProbeTarget, WorldBackend,
+};
 use blameit_baselines::{ActiveOnlyMonitor, TrinocularMonitor};
 use blameit_bench::{fmt, Args, Scale};
 use blameit_simnet::{SimTime, TimeRange};
@@ -21,7 +23,10 @@ fn main() {
     let warmup_days = args.u64("warmup", 2).min(days.saturating_sub(1));
     let scale = args.scale(Scale::Small);
 
-    fmt::banner("§6.5", "Probe overhead: BlameIt vs active-only vs Trinocular");
+    fmt::banner(
+        "§6.5",
+        "Probe overhead: BlameIt vs active-only vs Trinocular",
+    );
     let world = blameit_bench::organic_world(scale, days, seed);
     let eval = TimeRange::new(SimTime::from_days(warmup_days), SimTime::from_days(days));
     let eval_days = (days - warmup_days) as f64;
@@ -33,11 +38,13 @@ fn main() {
     for c in &topo.clients {
         for loc in [Some(c.primary_loc), c.secondary_loc].into_iter().flatten() {
             let route = world.route_at(loc, c, eval.start);
-            targets_map.entry((loc, route.path_id)).or_insert(ProbeTarget {
-                loc,
-                path: route.path_id,
-                p24: c.p24,
-            });
+            targets_map
+                .entry((loc, route.path_id))
+                .or_insert(ProbeTarget {
+                    loc,
+                    path: route.path_id,
+                    p24: c.p24,
+                });
         }
     }
     let targets: Vec<ProbeTarget> = targets_map.into_values().collect();
@@ -73,11 +80,26 @@ fn main() {
 
     println!();
     fmt::kv_table(&[
-        ("BlameIt probes/day (bg + on-demand)", format!("{blameit_per_day:.0}")),
-        ("  of which background", format!("{:.0}", engine.background_probes_total as f64 / eval_days)),
-        ("  of which on-demand", format!("{:.0}", engine.on_demand_probes_total as f64 / eval_days)),
-        ("active-only probes/day (10 min)", format!("{active_only_per_day:.0} (measured 2h×12 = {extrapolated:.0})")),
-        ("Trinocular-style probes/day", format!("{tri_per_day:.0} ({} anomalies)", tri.anomalies_detected())),
+        (
+            "BlameIt probes/day (bg + on-demand)",
+            format!("{blameit_per_day:.0}"),
+        ),
+        (
+            "  of which background",
+            format!("{:.0}", engine.background_probes_total as f64 / eval_days),
+        ),
+        (
+            "  of which on-demand",
+            format!("{:.0}", engine.on_demand_probes_total as f64 / eval_days),
+        ),
+        (
+            "active-only probes/day (10 min)",
+            format!("{active_only_per_day:.0} (measured 2h×12 = {extrapolated:.0})"),
+        ),
+        (
+            "Trinocular-style probes/day",
+            format!("{tri_per_day:.0} ({} anomalies)", tri.anomalies_detected()),
+        ),
     ]);
     println!();
     let bg_per_day = engine.background_probes_total as f64 / eval_days;

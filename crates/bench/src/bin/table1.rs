@@ -11,7 +11,13 @@ use blameit_bench::fmt;
 fn main() {
     fmt::banner("Table 1", "Desired properties vs prior solutions");
     let systems = [
-        "BlameIt", "Tomography", "EdgeFabric", "PlanetSeer", "iPlane", "Trinocular", "Odin",
+        "BlameIt",
+        "Tomography",
+        "EdgeFabric",
+        "PlanetSeer",
+        "iPlane",
+        "Trinocular",
+        "Odin",
         "WhyHigh",
     ];
     // (property, per-system ✓/✗ as in the paper, where it lives here)

@@ -78,7 +78,11 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:>10} | {:>8} {:>8} {:>8} {:>10} {:>12}", "gt\\blame", "cloud", "middle", "client", "ambiguous", "insufficient")?;
+        writeln!(
+            f,
+            "{:>10} | {:>8} {:>8} {:>8} {:>10} {:>12}",
+            "gt\\blame", "cloud", "middle", "client", "ambiguous", "insufficient"
+        )?;
         for gt in [Segment::Cloud, Segment::Middle, Segment::Client] {
             writeln!(
                 f,

@@ -39,7 +39,6 @@ impl Json {
         self
     }
 
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -61,9 +60,7 @@ impl Json {
                         '\n' => out.push_str("\\n"),
                         '\r' => out.push_str("\\r"),
                         '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            write!(out, "\\u{:04x}", c as u32).unwrap()
-                        }
+                        c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
                         c => out.push(c),
                     }
                 }

@@ -48,6 +48,7 @@ impl Scale {
 /// A world with organic (generated) faults and churn — the standard
 /// measurement-study setting.
 pub fn organic_world(scale: Scale, days: u64, seed: u64) -> World {
+    let _span = blameit_obs::span!("blameit::bench", "organic_world", days = days, seed = seed);
     let cfg = WorldConfig {
         topology: scale.topology(seed ^ 0x7090),
         ..WorldConfig::new(days, seed)
@@ -58,6 +59,7 @@ pub fn organic_world(scale: Scale, days: u64, seed: u64) -> World {
 /// A world with *no* generated faults and no churn: scenarios inject
 /// their own.
 pub fn quiet_world(scale: Scale, days: u64, seed: u64) -> World {
+    let _span = blameit_obs::span!("blameit::bench", "quiet_world", days = days, seed = seed);
     let mut cfg = WorldConfig {
         topology: scale.topology(seed ^ 0x7090),
         ..WorldConfig::new(days, seed)
@@ -104,6 +106,7 @@ impl IncidentScenario {
 /// (≥ 45 min) and strong — they model *investigated* incidents, which
 /// are exactly the long-lived, high-impact tail (§2.3).
 pub fn incident_suite(world: &World, start_day: u64, seed: u64) -> Vec<IncidentScenario> {
+    let _span = blameit_obs::span!("blameit::bench", "incident_suite", start_day = start_day);
     let topo = world.topology();
     // Investigated incidents are the strong, unambiguous ones (the
     // paper's case 5 is an 18× RTT jump); scale client-fault magnitudes
@@ -267,7 +270,10 @@ pub fn incident_suite(world: &World, start_day: u64, seed: u64) -> Vec<IncidentS
             name: "case2-us-peering-fault".into(),
             fault: Fault {
                 id: FaultId(0),
-                target: FaultTarget::MiddleAs { asn, via_path: None },
+                target: FaultTarget::MiddleAs {
+                    asn,
+                    via_path: None,
+                },
                 start: advance(&mut t, &mut rng),
                 duration_secs: 4 * 3_600,
                 added_ms: 55.0,
@@ -305,7 +311,10 @@ pub fn incident_suite(world: &World, start_day: u64, seed: u64) -> Vec<IncidentS
             name: "case4-east-asia-shift".into(),
             fault: Fault {
                 id: FaultId(0),
-                target: FaultTarget::MiddleAs { asn, via_path: None },
+                target: FaultTarget::MiddleAs {
+                    asn,
+                    via_path: None,
+                },
                 start: advance(&mut t, &mut rng),
                 duration_secs: 5 * 3_600,
                 added_ms: 90.0,
@@ -370,7 +379,10 @@ pub fn incident_suite(world: &World, start_day: u64, seed: u64) -> Vec<IncidentS
                     name: format!("gen{}-middle-{asn}", out.len()),
                     fault: Fault {
                         id: FaultId(0),
-                        target: FaultTarget::MiddleAs { asn, via_path: None },
+                        target: FaultTarget::MiddleAs {
+                            asn,
+                            via_path: None,
+                        },
                         start,
                         duration_secs,
                         added_ms: rng.range_f64(50.0, 150.0),

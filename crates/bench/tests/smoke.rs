@@ -41,21 +41,39 @@ fn measurement_figures() {
 
 #[test]
 fn engine_figures() {
-    let out = run(env!("CARGO_BIN_EXE_fig8"), &["--days", "4", "--warmup", "1"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig8"),
+        &["--days", "4", "--warmup", "1"],
+    );
     assert!(out.contains("cloud%"));
-    let out = run(env!("CARGO_BIN_EXE_fig9"), &["--warmup", "1", "--eval", "1"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig9"),
+        &["--warmup", "1", "--eval", "1"],
+    );
     assert!(out.contains("region"));
-    let out = run(env!("CARGO_BIN_EXE_fig10"), &["--days", "3", "--warmup", "1"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig10"),
+        &["--days", "3", "--warmup", "1"],
+    );
     assert!(out.contains("category middle"));
-    let out = run(env!("CARGO_BIN_EXE_fig11"), &["--days", "2", "--warmup", "1"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig11"),
+        &["--days", "2", "--warmup", "1"],
+    );
     assert!(out.contains("corroboration"));
-    let out = run(env!("CARGO_BIN_EXE_fig12"), &["--days", "3", "--warmup", "1"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig12"),
+        &["--days", "3", "--warmup", "1"],
+    );
     assert!(out.contains("top-5% coverage"));
 }
 
 #[test]
 fn fig13_short() {
-    let out = run(env!("CARGO_BIN_EXE_fig13"), &["--days", "3", "--warmup", "2"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig13"),
+        &["--days", "3", "--warmup", "2"],
+    );
     assert!(out.contains("12h+churn accuracy"));
 }
 
@@ -63,9 +81,15 @@ fn fig13_short() {
 fn validations() {
     let out = run(env!("CARGO_BIN_EXE_insights"), &["--days", "1"]);
     assert!(out.contains("Insight-1"));
-    let out = run(env!("CARGO_BIN_EXE_confusion"), &["--days", "2", "--warmup", "1"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_confusion"),
+        &["--days", "2", "--warmup", "1"],
+    );
     assert!(out.contains("decisive accuracy"));
-    let out = run(env!("CARGO_BIN_EXE_probe_overhead"), &["--days", "2", "--warmup", "1"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_probe_overhead"),
+        &["--days", "2", "--warmup", "1"],
+    );
     assert!(out.contains("Trinocular"));
     let out = run(env!("CARGO_BIN_EXE_ext_reverse"), &["--trials", "20"]);
     assert!(out.contains("forward + reverse accuracy"));

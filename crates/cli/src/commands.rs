@@ -44,6 +44,10 @@ COMMANDS:
              (--tickets N renders the first N alerts as operator tickets)
   inject     Inject one incident and investigate it end to end
   probe      Print one simulated traceroute
+  metrics    Run the engine and dump its metrics registry
+             (Prometheus text exposition; --json 1 for a JSON dump)
+  trace      Run engine ticks under tracing, print the span tree
+             (--ticks N for more than one tick; defaults to --scale tiny)
   help       This text
 
 COMMON FLAGS:
@@ -66,8 +70,12 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "analyze" => cmd_analyze(&args),
         "inject" => cmd_inject(&args),
         "probe" => cmd_probe(&args),
+        "metrics" => cmd_metrics(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(err(format!("unknown command {other:?}; try `blameit help`"))),
+        other => Err(err(format!(
+            "unknown command {other:?}; try `blameit help`"
+        ))),
     }
 }
 
@@ -152,9 +160,7 @@ fn cmd_routes(args: &Args) -> Result<String, CliError> {
     let topo = world.topology();
     let c = match args.get("p24") {
         Some(s) => {
-            let p24: Prefix24 = s
-                .parse()
-                .map_err(|e| err(format!("bad --p24: {e}")))?;
+            let p24: Prefix24 = s.parse().map_err(|e| err(format!("bad --p24: {e}")))?;
             topo.client(p24)
                 .ok_or_else(|| err(format!("{p24} is not a known client block")))?
         }
@@ -166,10 +172,18 @@ fn cmd_routes(args: &Args) -> Result<String, CliError> {
         "client {} — {} ({}, {}), population ~{}, {}",
         c.p24,
         c.origin,
-        topo.as_info(c.origin).map(|a| a.name.clone()).unwrap_or_default(),
+        topo.as_info(c.origin)
+            .map(|a| a.name.clone())
+            .unwrap_or_default(),
         c.region.label(),
         c.population,
-        if c.mobile { "cellular" } else if c.enterprise { "enterprise" } else { "home broadband" },
+        if c.mobile {
+            "cellular"
+        } else if c.enterprise {
+            "enterprise"
+        } else {
+            "home broadband"
+        },
     )
     .unwrap();
     writeln!(
@@ -321,7 +335,10 @@ fn parse_target(world: &World, s: &str) -> Result<(FaultTarget, Segment), CliErr
                     world.topology().cloud_locations.len()
                 )));
             }
-            Ok((FaultTarget::CloudLocation(CloudLocId(id as u16)), Segment::Cloud))
+            Ok((
+                FaultTarget::CloudLocation(CloudLocId(id as u16)),
+                Segment::Cloud,
+            ))
         }
         "middle" => {
             let info = world
@@ -331,7 +348,13 @@ fn parse_target(world: &World, s: &str) -> Result<(FaultTarget, Segment), CliErr
             if !info.role.is_middle() {
                 return Err(err(format!("AS{id} is {}, not a middle AS", info.role)));
             }
-            Ok((FaultTarget::MiddleAs { asn: Asn(id), via_path: None }, Segment::Middle))
+            Ok((
+                FaultTarget::MiddleAs {
+                    asn: Asn(id),
+                    via_path: None,
+                },
+                Segment::Middle,
+            ))
         }
         "client" => {
             let info = world
@@ -439,6 +462,65 @@ fn cmd_probe(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Builds a warmed-up engine over `world` and evaluates
+/// `[warmup_days, days)`; returns the engine for metric inspection.
+fn warmed_engine_run(world: &World, warmup_days: u64, days: u64) -> BlameItEngine {
+    let thresholds = BadnessThresholds::default_for(world);
+    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+    let mut backend = WorldBackend::new(world);
+    engine.warmup(&backend, TimeRange::days(warmup_days), 2);
+    engine.run(
+        &mut backend,
+        TimeRange::new(SimTime::from_days(warmup_days), SimTime::from_days(days)),
+    );
+    engine
+}
+
+fn cmd_metrics(args: &Args) -> Result<String, CliError> {
+    let days = args.u64("days", 2).max(2);
+    let warmup = args.u64("warmup", 1).min(days - 1);
+    let world = organic_world(args.scale(Scale::Small), days, args.u64("seed", 2019));
+    let engine = warmed_engine_run(&world, warmup, days);
+    let registry = engine.metrics().registry();
+    if args.get("json").is_some() {
+        Ok(format!("{}\n", registry.render_json()))
+    } else {
+        Ok(registry.render_prometheus())
+    }
+}
+
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let warmup = args.u64("warmup", 1).max(1);
+    let ticks = args.u64("ticks", 1).max(1) as u32;
+    let seed = args.u64("seed", 2019);
+    // Tiny by default: the tree prints one line per span, and a small
+    // world's first post-warmup tick issues hundreds of background
+    // traceroutes (one span each).
+    let world = organic_world(args.scale(Scale::Tiny), warmup + 1, seed);
+    let thresholds = BadnessThresholds::default_for(&world);
+    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+    let mut backend = WorldBackend::new(&world);
+    engine.warmup(&backend, TimeRange::days(warmup), 2);
+
+    let per_tick = engine.config().tick_buckets;
+    let first = SimTime::from_days(warmup).bucket();
+    let ring = blameit_obs::RingCollector::new(args.u64("events", 65_536) as usize);
+    blameit_obs::with_subscriber(ring.clone(), || {
+        for k in 0..ticks {
+            engine.tick(&mut backend, first.plus(k * per_tick));
+        }
+    });
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "span tree: {ticks} tick(s) from {first} (seed {seed}, durations are wall time)\n"
+    )
+    .unwrap();
+    out.push_str(&blameit_obs::render_tree(&ring.events()));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,13 +621,26 @@ mod tests {
             .find(|a| a.role.is_access())
             .unwrap()
             .asn;
-        assert!(run_s(&["inject", "--scale", "tiny", "--target", &format!("middle:{}", access.0)]).is_err());
+        assert!(run_s(&[
+            "inject",
+            "--scale",
+            "tiny",
+            "--target",
+            &format!("middle:{}", access.0)
+        ])
+        .is_err());
     }
 
     #[test]
     fn analyze_tickets_render() {
         let out = run_s(&[
-            "analyze", "--scale", "tiny", "--days", "2", "--tickets", "2",
+            "analyze",
+            "--scale",
+            "tiny",
+            "--days",
+            "2",
+            "--tickets",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("## ["), "a ticket heading renders: {out}");
@@ -555,13 +650,67 @@ mod tests {
     #[test]
     fn inject_cloud_produces_cloud_alerts() {
         let out = run_s(&[
-            "inject", "--scale", "tiny", "--target", "cloud:0", "--ms", "120", "--at-hour",
-            "26", "--hours", "2",
+            "inject",
+            "--scale",
+            "tiny",
+            "--target",
+            "cloud:0",
+            "--ms",
+            "120",
+            "--at-hour",
+            "26",
+            "--hours",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("injected +120 ms cloud fault"), "{out}");
         assert!(out.contains("cloud"), "{out}");
         assert!(out.contains("blame fractions"), "{out}");
+    }
+
+    #[test]
+    fn metrics_prometheus_exposition() {
+        let out = run_s(&["metrics", "--scale", "tiny", "--days", "2"]).unwrap();
+        assert!(out.contains("# TYPE blameit_ticks_total counter"), "{out}");
+        assert!(out.contains("blameit_quartets_processed_total"), "{out}");
+        assert!(
+            out.contains("blameit_stage_duration_us_bucket{stage=\"passive_blame\""),
+            "{out}"
+        );
+        assert!(out.contains("blameit_blames_total{segment="), "{out}");
+        // Populated from a real run: at least one tick happened.
+        let ticks_line = out
+            .lines()
+            .find(|l| l.starts_with("blameit_ticks_total "))
+            .expect("ticks sample present");
+        let n: u64 = ticks_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(n > 0, "{ticks_line}");
+    }
+
+    #[test]
+    fn metrics_json_mode() {
+        let out = run_s(&["metrics", "--scale", "tiny", "--days", "2", "--json", "1"]).unwrap();
+        assert!(out.trim_start().starts_with('['), "{out}");
+        assert!(out.trim_end().ends_with(']'), "{out}");
+        assert!(
+            out.contains("\"name\":\"blameit_tick_duration_us\""),
+            "{out}"
+        );
+        assert!(out.contains("\"p99\":"), "{out}");
+    }
+
+    #[test]
+    fn trace_renders_span_tree() {
+        let out = run_s(&["trace", "--ticks", "2"]).unwrap();
+        assert!(out.contains("span tree: 2 tick(s)"), "{out}");
+        assert!(out.contains("tick"), "{out}");
+        assert!(out.contains("passive_blame"), "{out}");
+        assert!(out.contains("ingest"), "{out}");
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub fn diff_contributions_with_floor(
     current: &[(Asn, f64)],
     floor_ms: impl Fn(Asn) -> f64,
 ) -> TracrouteDiffResult {
+    let _span = blameit_obs::span!(
+        "blameit::active",
+        "diff_contributions",
+        baseline_ases = baseline.len(),
+        current_ases = current.len(),
+    );
     // Sum repeated AS appearances (path may visit an AS once, but be
     // robust to folding from unresponsive hops).
     let fold = |xs: &[(Asn, f64)]| -> Vec<(Asn, f64)> {
@@ -219,10 +225,7 @@ mod tests {
         );
         assert_eq!(combine_directional_diffs(&fwd, &rev), Some(Asn(2)));
         assert_eq!(combine_directional_diffs(&rev, &fwd), Some(Asn(2)));
-        let clean = diff_contributions(
-            &contributions(&[(10, 4.0)]),
-            &contributions(&[(10, 4.0)]),
-        );
+        let clean = diff_contributions(&contributions(&[(10, 4.0)]), &contributions(&[(10, 4.0)]));
         assert_eq!(combine_directional_diffs(&fwd, &clean), Some(Asn(1)));
         assert_eq!(combine_directional_diffs(&clean, &clean), None);
     }

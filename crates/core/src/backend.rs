@@ -97,8 +97,16 @@ impl Backend for WorldBackend<'_> {
     }
 
     fn traceroute(&mut self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute> {
+        let mut span = blameit_obs::span!(
+            "blameit::backend",
+            "traceroute",
+            loc = loc.0,
+            at = at.secs()
+        );
         self.probes += 1;
-        self.world.traceroute(loc, p24, at)
+        let tr = self.world.traceroute(loc, p24, at);
+        span.record("hops", tr.as_ref().map_or(0, |t| t.hops.len()));
+        tr
     }
 
     fn churn_events(&self, range: TimeRange) -> Vec<BgpChurnEvent> {
@@ -136,13 +144,12 @@ mod tests {
         assert_eq!(info.region, c.region);
         assert!(info.prefix.covers_24(c.p24));
         // Middle matches the interned path.
-        assert_eq!(
-            info.middle,
-            w.topology().paths.get(info.path).middle
-        );
+        assert_eq!(info.middle, w.topology().paths.get(info.path).middle);
         assert_eq!(b.probes_issued(), 0);
         assert!(b.traceroute(c.primary_loc, c.p24, SimTime(600)).is_some());
-        assert!(b.traceroute(c.primary_loc, Prefix24::from_block(0xFFFFFF), SimTime(0)).is_none());
+        assert!(b
+            .traceroute(c.primary_loc, Prefix24::from_block(0xFFFFFF), SimTime(0))
+            .is_none());
         // Failed lookups still count: the probe was sent.
         assert_eq!(b.probes_issued(), 2);
         b.reset_probes();

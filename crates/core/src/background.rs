@@ -94,7 +94,12 @@ impl BaselineStore {
     /// The newest baseline strictly older than `before` — the
     /// pre-incident picture. `None` when every retained baseline was
     /// taken during (or after) the incident.
-    pub fn get_before(&self, loc: CloudLocId, path: PathId, before: SimTime) -> Option<&BaselineEntry> {
+    pub fn get_before(
+        &self,
+        loc: CloudLocId,
+        path: PathId,
+        before: SimTime,
+    ) -> Option<&BaselineEntry> {
         self.map
             .get(&(loc, path))?
             .iter()
@@ -112,7 +117,16 @@ impl BaselineStore {
     /// Age of the most recent baseline at `now` (seconds); `None` if
     /// absent.
     pub fn age_secs(&self, loc: CloudLocId, path: PathId, now: SimTime) -> Option<u64> {
-        self.get(loc, path).map(|e| now.secs().saturating_sub(e.at.secs()))
+        self.get(loc, path)
+            .map(|e| now.secs().saturating_sub(e.at.secs()))
+    }
+
+    /// The newest entry of every (location, path) pair — what the
+    /// staleness gauges summarize.
+    pub fn iter_newest(&self) -> impl Iterator<Item = ((CloudLocId, PathId), &BaselineEntry)> {
+        self.map
+            .iter()
+            .filter_map(|(k, q)| q.back().map(|e| (*k, e)))
     }
 
     /// Number of (location, path) keys with at least one baseline.
@@ -170,6 +184,12 @@ impl BackgroundScheduler {
         periodic_targets: &[ProbeTarget],
         churn_targets: &[ProbeTarget],
     ) -> Vec<ProbeTarget> {
+        let mut span = blameit_obs::span!(
+            "blameit::background",
+            "scheduler_due",
+            periodic = periodic_targets.len(),
+            churn = churn_targets.len(),
+        );
         let mut out: Vec<ProbeTarget> = Vec::new();
         for t in periodic_targets {
             let key = (t.loc, t.path);
@@ -191,6 +211,7 @@ impl BackgroundScheduler {
         for t in &out {
             self.last.insert((t.loc, t.path), now);
         }
+        span.record("due", out.len());
         out
     }
 }
@@ -276,7 +297,10 @@ mod tests {
         store.update(CloudLocId(0), PathId(7), &tr);
         let e = store.get(CloudLocId(0), PathId(7)).unwrap();
         assert_eq!(e.contributions, vec![(Asn(10), 4.0), (Asn(20), 5.0)]);
-        assert_eq!(store.age_secs(CloudLocId(0), PathId(7), SimTime(1500)), Some(1000));
+        assert_eq!(
+            store.age_secs(CloudLocId(0), PathId(7), SimTime(1500)),
+            Some(1000)
+        );
         assert!(store.get(CloudLocId(1), PathId(7)).is_none());
         assert_eq!(store.len(), 1);
 
@@ -286,9 +310,16 @@ mod tests {
         tr2.at = SimTime(2_000);
         tr2.hops[1].rtt_ms = 80.0;
         store.update(CloudLocId(0), PathId(7), &tr2);
-        assert_eq!(store.get(CloudLocId(0), PathId(7)).unwrap().at, SimTime(2_000));
-        let pre = store.get_before(CloudLocId(0), PathId(7), SimTime(1_800)).unwrap();
+        assert_eq!(
+            store.get(CloudLocId(0), PathId(7)).unwrap().at,
+            SimTime(2_000)
+        );
+        let pre = store
+            .get_before(CloudLocId(0), PathId(7), SimTime(1_800))
+            .unwrap();
         assert_eq!(pre.at, SimTime(500));
-        assert!(store.get_before(CloudLocId(0), PathId(7), SimTime(400)).is_none());
+        assert!(store
+            .get_before(CloudLocId(0), PathId(7), SimTime(400))
+            .is_none());
     }
 }

@@ -145,9 +145,18 @@ mod tests {
         // Path ⊇ Atom ⊇ Prefix: equal finer keys imply equal coarser keys.
         let a = info(4, 7, 1, "10.0.0.0/20");
         let b = info(4, 7, 1, "10.0.0.0/20");
-        assert_eq!(MiddleGrouping::BgpPrefix.key(&a), MiddleGrouping::BgpPrefix.key(&b));
-        assert_eq!(MiddleGrouping::BgpAtom.key(&a), MiddleGrouping::BgpAtom.key(&b));
-        assert_eq!(MiddleGrouping::BgpPath.key(&a), MiddleGrouping::BgpPath.key(&b));
+        assert_eq!(
+            MiddleGrouping::BgpPrefix.key(&a),
+            MiddleGrouping::BgpPrefix.key(&b)
+        );
+        assert_eq!(
+            MiddleGrouping::BgpAtom.key(&a),
+            MiddleGrouping::BgpAtom.key(&b)
+        );
+        assert_eq!(
+            MiddleGrouping::BgpPath.key(&a),
+            MiddleGrouping::BgpPath.key(&b)
+        );
     }
 
     #[test]

@@ -200,9 +200,7 @@ impl DurationHistory {
             .get(&path)
             .filter(|ds| ds.len() >= 10)
             .and_then(residual);
-        per_path
-            .or_else(|| residual(&self.global))
-            .unwrap_or(1.0)
+        per_path.or_else(|| residual(&self.global)).unwrap_or(1.0)
     }
 
     /// Total incidents recorded (globally).

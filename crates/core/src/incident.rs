@@ -84,7 +84,11 @@ impl<K: Eq + Hash + Clone> IncidentTracker<K> {
     ///
     /// # Panics
     /// Panics if `bucket` is not after the previously fed bucket.
-    pub fn observe(&mut self, bucket: TimeBucket, bad_keys: impl IntoIterator<Item = K>) -> Vec<Incident<K>> {
+    pub fn observe(
+        &mut self,
+        bucket: TimeBucket,
+        bad_keys: impl IntoIterator<Item = K>,
+    ) -> Vec<Incident<K>> {
         if let Some(last) = self.last_bucket {
             assert!(bucket > last, "buckets must be fed in increasing order");
         }
@@ -182,7 +186,14 @@ mod tests {
         assert_eq!(t.open_incident(&1).unwrap().elapsed(), 2);
         let closed = t.observe(TimeBucket(2), []);
         assert_eq!(closed.len(), 1);
-        assert_eq!(closed[0], Incident { key: 1, start: TimeBucket(0), buckets: 2 });
+        assert_eq!(
+            closed[0],
+            Incident {
+                key: 1,
+                start: TimeBucket(0),
+                buckets: 2
+            }
+        );
         assert_eq!(closed[0].end(), TimeBucket(2));
         assert_eq!(t.num_open(), 0);
     }
@@ -219,7 +230,9 @@ mod tests {
         let mut closed = t.finish();
         closed.sort_by_key(|i| i.key);
         assert_eq!(closed.len(), 2);
-        assert!(closed.iter().all(|i| i.buckets == 2 && i.start == TimeBucket(5)));
+        assert!(closed
+            .iter()
+            .all(|i| i.buckets == 2 && i.start == TimeBucket(5)));
         assert_eq!(t.num_open(), 0);
     }
 

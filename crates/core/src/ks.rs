@@ -113,7 +113,10 @@ mod tests {
         for _ in 0..trials {
             let a: Vec<f64> = (0..80).map(|_| rng.normal()).collect();
             let b: Vec<f64> = (0..80).map(|_| rng.normal()).collect();
-            if ks_two_sample(&a, &b).unwrap().rejects_same_distribution(0.05) {
+            if ks_two_sample(&a, &b)
+                .unwrap()
+                .rejects_same_distribution(0.05)
+            {
                 rejections += 1;
             }
         }
@@ -134,7 +137,10 @@ mod tests {
     #[test]
     fn statistic_bounds() {
         let r = ks_two_sample(&[1.0, 2.0], &[10.0, 20.0]).unwrap();
-        assert!((r.statistic - 1.0).abs() < 1e-9, "disjoint supports → D = 1");
+        assert!(
+            (r.statistic - 1.0).abs() < 1e-9,
+            "disjoint supports → D = 1"
+        );
         assert!(r.p_value < 0.5);
     }
 

@@ -40,6 +40,8 @@
 //! * [`pipeline`] — the 15-minute [`pipeline::BlameItEngine`] tying it
 //!   together (§6.1).
 //! * [`report`] — blame-fraction tallies (Fig. 8/9).
+//! * [`metrics`] — per-engine metric handles and the canonical stage
+//!   names of the tick profile (built on `blameit-obs`).
 //! * [`stats`], [`ks`] — numeric utilities.
 
 pub mod active;
@@ -49,6 +51,7 @@ pub mod grouping;
 pub mod history;
 pub mod incident;
 pub mod ks;
+pub mod metrics;
 pub mod passive;
 pub mod pipeline;
 pub mod priority;
@@ -58,8 +61,8 @@ pub mod stats;
 pub mod thresholds;
 
 pub use active::{
-    combine_directional_diffs, diff_contributions, diff_contributions_with_floor,
-    diff_traceroutes, AsDelta, TracrouteDiffResult,
+    combine_directional_diffs, diff_contributions, diff_contributions_with_floor, diff_traceroutes,
+    AsDelta, TracrouteDiffResult,
 };
 pub use backend::{Backend, RouteInfo, WorldBackend};
 pub use background::{BackgroundScheduler, BaselineEntry, BaselineStore, ProbeTarget};
@@ -67,12 +70,13 @@ pub use grouping::{MiddleGrouping, MiddleKey};
 pub use history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
 pub use incident::{Incident, IncidentTracker, OpenIncident};
 pub use ks::{ks_two_sample, KsResult};
+pub use metrics::EngineMetrics;
 pub use passive::{assign_blames, AggregateStats, Blame, BlameConfig, BlameResult};
 pub use pipeline::{Alert, BlameItConfig, BlameItEngine, MiddleLocalization, TickOutput};
 pub use priority::{prioritize, select_within_budget, MiddleIssue, PrioritizedIssue};
 pub use quartet::{
-    aggregate_records, enrich_bucket, enrich_bucket_min_samples, split_half_ks, EnrichedQuartet,
-    MIN_SAMPLES,
+    aggregate_records, enrich_bucket, enrich_bucket_min_samples, enrich_obs, split_half_ks,
+    EnrichedQuartet, MIN_SAMPLES,
 };
 pub use report::{tally, tally_by_day, tally_by_region, BlameCounts};
 pub use thresholds::BadnessThresholds;

@@ -1,0 +1,179 @@
+//! Engine metrics: named handles into a [`MetricsRegistry`].
+//!
+//! [`EngineMetrics`] looks every metric up once at engine construction
+//! and records through cached `Arc` handles afterwards, so the hot tick
+//! path never touches the registry lock. Each engine gets its own
+//! registry (shareable via [`BlameItEngine::metrics`]); the CLI and
+//! examples render it after a run.
+//!
+//! [`BlameItEngine::metrics`]: crate::pipeline::BlameItEngine::metrics
+
+use crate::passive::Blame;
+use blameit_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Canonical stage names, in pipeline order. These appear as the
+/// `stage` label on `blameit_stage_duration_us` and as the keys of
+/// `TickOutput::stage_timings`.
+pub mod stage {
+    /// Pulling raw quartet observations from the backend.
+    pub const INGEST: &str = "ingest";
+    /// Joining routing metadata, the ≥10-sample floor, badness
+    /// classification.
+    pub const AGGREGATION: &str = "quartet_aggregation";
+    /// Algorithm 1 (plus incident/episode bookkeeping and learning).
+    pub const PASSIVE: &str = "passive_blame";
+    /// Client-time-product ranking and budget selection.
+    pub const PRIORITY: &str = "priority_ranking";
+    /// On-demand traceroutes and baseline diffing.
+    pub const ACTIVE: &str = "active_localization";
+    /// Periodic + churn-triggered background probes and baseline
+    /// staleness accounting.
+    pub const BASELINE: &str = "baseline_refresh";
+
+    /// All stages, pipeline order.
+    pub const ALL: [&str; 6] = [INGEST, AGGREGATION, PASSIVE, PRIORITY, ACTIVE, BASELINE];
+}
+
+/// Cached handles for every metric the engine emits.
+///
+/// Cloning shares the underlying registry and instruments (handles are
+/// `Arc`s), which is what a cloned engine wants: one set of totals.
+#[derive(Clone, Debug)]
+pub struct EngineMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Engine ticks completed.
+    pub ticks: Arc<Counter>,
+    /// Enriched quartets processed by Algorithm 1.
+    pub quartets_processed: Arc<Counter>,
+    /// Blame verdicts by segment (`Blame::ALL` order).
+    blames: [Arc<Counter>; 5],
+    /// On-demand traceroutes issued.
+    pub on_demand_probes: Arc<Counter>,
+    /// Background traceroutes issued.
+    pub background_probes: Arc<Counter>,
+    /// Ranked middle issues dropped by the per-location probe budget.
+    pub probes_suppressed_budget: Arc<Counter>,
+    /// Background probes skipped because the path was inside a badness
+    /// episode.
+    pub probes_suppressed_episode: Arc<Counter>,
+    /// Operator alerts emitted.
+    pub alerts: Arc<Counter>,
+    /// Whole-tick wall time, microseconds.
+    pub tick_duration_us: Arc<Histogram>,
+    /// Per-stage wall time, microseconds (`stage::ALL` order).
+    stage_us: [Arc<Histogram>; 6],
+    /// Mean RTT of processed quartets, milliseconds.
+    pub quartet_rtt_ms: Arc<Histogram>,
+    /// (location, path) pairs with at least one stored baseline.
+    pub baselines_stored: Arc<Gauge>,
+    /// Age of the *freshest* baseline of the stalest pair, seconds.
+    pub baseline_staleness_max_secs: Arc<Gauge>,
+    /// Mean over pairs of the freshest baseline's age, seconds.
+    pub baseline_staleness_mean_secs: Arc<Gauge>,
+}
+
+impl EngineMetrics {
+    /// Registers (or re-attaches to) the engine metrics in `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> EngineMetrics {
+        let blames = Blame::ALL
+            .map(|b| registry.counter_with("blameit_blames_total", &[("segment", &b.to_string())]));
+        let stage_us = stage::ALL
+            .map(|s| registry.histogram_with("blameit_stage_duration_us", &[("stage", s)]));
+        EngineMetrics {
+            ticks: registry.counter("blameit_ticks_total"),
+            quartets_processed: registry.counter("blameit_quartets_processed_total"),
+            blames,
+            on_demand_probes: registry.counter("blameit_probes_on_demand_total"),
+            background_probes: registry.counter("blameit_probes_background_total"),
+            probes_suppressed_budget: registry
+                .counter_with("blameit_probes_suppressed_total", &[("reason", "budget")]),
+            probes_suppressed_episode: registry
+                .counter_with("blameit_probes_suppressed_total", &[("reason", "episode")]),
+            alerts: registry.counter("blameit_alerts_total"),
+            tick_duration_us: registry.histogram("blameit_tick_duration_us"),
+            stage_us,
+            quartet_rtt_ms: registry.histogram("blameit_quartet_rtt_ms"),
+            baselines_stored: registry.gauge("blameit_baselines_stored"),
+            baseline_staleness_max_secs: registry.gauge("blameit_baseline_staleness_max_secs"),
+            baseline_staleness_mean_secs: registry.gauge("blameit_baseline_staleness_mean_secs"),
+            registry,
+        }
+    }
+
+    /// The registry behind the handles.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The blame counter for one segment.
+    pub fn blame_counter(&self, blame: Blame) -> &Arc<Counter> {
+        let idx = Blame::ALL
+            .iter()
+            .position(|b| *b == blame)
+            .expect("Blame::ALL covers every variant");
+        &self.blames[idx]
+    }
+
+    /// Records a finished tick's stage profile into the duration
+    /// histograms.
+    pub fn observe_stage_timings(&self, timings: &blameit_obs::StageTimings) {
+        self.tick_duration_us.observe(as_us(timings.total()));
+        for (name, d) in timings.iter() {
+            if let Some(idx) = stage::ALL.iter().position(|s| *s == name) {
+                self.stage_us[idx].observe(as_us(d));
+            }
+        }
+    }
+}
+
+fn as_us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blame_counters_cover_every_variant() {
+        let m = EngineMetrics::new(Arc::new(MetricsRegistry::new()));
+        for b in Blame::ALL {
+            m.blame_counter(b).inc();
+        }
+        for b in Blame::ALL {
+            assert_eq!(m.blame_counter(b).get(), 1, "{b}");
+        }
+    }
+
+    #[test]
+    fn stage_timings_land_in_labeled_histograms() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let m = EngineMetrics::new(reg.clone());
+        let mut t = blameit_obs::StageTimings::new();
+        t.add(stage::INGEST, Duration::from_micros(100));
+        t.add(stage::PASSIVE, Duration::from_micros(300));
+        t.add("not-a-stage", Duration::from_micros(999));
+        t.set_total(Duration::from_micros(500));
+        m.observe_stage_timings(&t);
+        assert_eq!(m.tick_duration_us.count(), 1);
+        let ingest = reg.histogram_with("blameit_stage_duration_us", &[("stage", stage::INGEST)]);
+        assert_eq!(ingest.count(), 1);
+        assert!((ingest.sum() - 100.0).abs() < 1.0);
+        let passive = reg.histogram_with("blameit_stage_duration_us", &[("stage", stage::PASSIVE)]);
+        assert_eq!(passive.count(), 1);
+        // Unknown stage names are ignored, not registered.
+        let active = reg.histogram_with("blameit_stage_duration_us", &[("stage", stage::ACTIVE)]);
+        assert_eq!(active.count(), 0);
+    }
+
+    #[test]
+    fn same_registry_shares_instruments() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let a = EngineMetrics::new(reg.clone());
+        let b = EngineMetrics::new(reg);
+        a.ticks.inc();
+        assert_eq!(b.ticks.get(), 1);
+    }
+}

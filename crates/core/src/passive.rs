@@ -154,6 +154,11 @@ pub fn assign_blames(
     expected: &ExpectedRttLearner,
     cfg: &BlameConfig,
 ) -> (Vec<BlameResult>, AggregateStats) {
+    let mut span = blameit_obs::span!(
+        "blameit::passive",
+        "assign_blames",
+        quartets = quartets.len()
+    );
     let mut stats = AggregateStats::default();
 
     // Aggregate pass: count quartets and above-expected quartets per
@@ -185,9 +190,9 @@ pub fn assign_blames(
         .map(|q| (q.obs.p24.block(), q.obs.mobile, q.obs.loc))
         .collect();
     let has_good_to_other_loc = |q: &EnrichedQuartet| {
-        good_elsewhere
-            .iter()
-            .any(|(blk, mob, loc)| *blk == q.obs.p24.block() && *mob == q.obs.mobile && *loc != q.obs.loc)
+        good_elsewhere.iter().any(|(blk, mob, loc)| {
+            *blk == q.obs.p24.block() && *mob == q.obs.mobile && *loc != q.obs.loc
+        })
     };
 
     let min_q = cfg.min_aggregate_quartets;
@@ -221,6 +226,7 @@ pub fn assign_blames(
             blame,
         });
     }
+    span.record("verdicts", out.len());
     (out, stats)
 }
 
@@ -232,14 +238,7 @@ mod tests {
     use blameit_topology::{IpPrefix, MetroId, Prefix24};
 
     /// Builds an enriched quartet by hand.
-    fn q(
-        loc: u16,
-        block: u32,
-        path: u32,
-        origin: u32,
-        mean: f64,
-        bad: bool,
-    ) -> EnrichedQuartet {
+    fn q(loc: u16, block: u32, path: u32, origin: u32, mean: f64, bad: bool) -> EnrichedQuartet {
         EnrichedQuartet {
             obs: QuartetObs {
                 loc: CloudLocId(loc),
@@ -403,7 +402,11 @@ mod tests {
             let rtt = 40.0 + 30.0 * (i as f64 / (n - 1) as f64);
             let bad = rtt > 50.0;
             quartets.push(q(0, i as u32, i as u32, 100 + i as u32, rtt, bad));
-            l.observe(RttKey::Middle(cfg.grouping.key(&quartets[i].info), false), 0, 39.0);
+            l.observe(
+                RttKey::Middle(cfg.grouping.key(&quartets[i].info), false),
+                0,
+                39.0,
+            );
         }
         let (res, stats) = assign_blames(&quartets, &l, &cfg);
         assert!(!res.is_empty());
@@ -416,8 +419,11 @@ mod tests {
         }
         // Counter-check: using the raw 50 ms threshold as the
         // comparison value (the naive design) would NOT cross τ.
-        let above_threshold =
-            quartets.iter().filter(|qq| qq.obs.mean_rtt_ms > 50.0).count() as f64 / n as f64;
+        let above_threshold = quartets
+            .iter()
+            .filter(|qq| qq.obs.mean_rtt_ms > 50.0)
+            .count() as f64
+            / n as f64;
         assert!(above_threshold < cfg.tau);
     }
 

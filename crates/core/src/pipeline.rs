@@ -18,13 +18,16 @@ use crate::background::{BackgroundScheduler, BaselineStore, ProbeTarget};
 use crate::grouping::MiddleKey;
 use crate::history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
 use crate::incident::IncidentTracker;
+use crate::metrics::{stage, EngineMetrics};
 use crate::passive::{assign_blames, Blame, BlameConfig, BlameResult};
 use crate::priority::{prioritize, select_within_budget, MiddleIssue, PrioritizedIssue};
-use crate::quartet::{enrich_bucket, EnrichedQuartet};
+use crate::quartet::{enrich_bucket, enrich_obs, EnrichedQuartet, MIN_SAMPLES};
 use crate::thresholds::BadnessThresholds;
+use blameit_obs::{span, MetricsRegistry, StageClock, StageTimings};
 use blameit_simnet::{SimTime, TimeBucket, TimeRange};
 use blameit_topology::{Asn, CloudLocId, PathId, Prefix24};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -121,6 +124,9 @@ pub struct TickOutput {
     pub on_demand_probes: u64,
     /// Background probes issued this tick.
     pub background_probes: u64,
+    /// Where the tick spent its time, by pipeline stage
+    /// (see [`crate::metrics::stage`] for the stage names).
+    pub stage_timings: StageTimings,
 }
 
 /// Gap (buckets) under which two badness runs on one (location, path)
@@ -154,6 +160,7 @@ pub struct BlameItEngine {
     /// must not re-baseline inside one.
     episodes: HashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
     churn_cursor: SimTime,
+    metrics: EngineMetrics,
     /// Lifetime probe counters.
     pub on_demand_probes_total: u64,
     /// Lifetime background probe count.
@@ -161,10 +168,18 @@ pub struct BlameItEngine {
 }
 
 impl BlameItEngine {
-    /// A fresh engine.
+    /// A fresh engine with its own metrics registry.
     pub fn new(cfg: BlameItConfig) -> Self {
+        Self::with_metrics(cfg, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// A fresh engine recording into `registry` (shared registries let
+    /// several engines — or an engine plus its harness — publish one
+    /// exposition).
+    pub fn with_metrics(cfg: BlameItConfig, registry: Arc<MetricsRegistry>) -> Self {
         let scheduler = BackgroundScheduler::new(cfg.background_period_secs, cfg.churn_triggered);
         BlameItEngine {
+            metrics: EngineMetrics::new(registry),
             expected: ExpectedRttLearner::new(cfg.seed),
             durations: DurationHistory::new(),
             client_hist: ClientCountHistory::new(),
@@ -185,6 +200,12 @@ impl BlameItEngine {
     /// The configuration.
     pub fn config(&self) -> &BlameItConfig {
         &self.cfg
+    }
+
+    /// The engine's metric handles (the registry behind them renders
+    /// Prometheus text / JSON via [`EngineMetrics::registry`]).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
     }
 
     /// The learned expected-RTT store (read access for reporting).
@@ -277,6 +298,8 @@ impl BlameItEngine {
     /// Runs one 15-minute analysis tick starting at `start`, consuming
     /// `cfg.tick_buckets` buckets of telemetry.
     pub fn tick<B: Backend>(&mut self, backend: &mut B, start: TimeBucket) -> TickOutput {
+        let mut tick_span = span!("blameit::pipeline", "tick", start_bucket = start.0);
+        let mut clock = StageClock::start();
         let mut out = TickOutput::default();
         let probes_before = backend.probes_issued();
 
@@ -287,8 +310,32 @@ impl BlameItEngine {
 
         for i in 0..self.cfg.tick_buckets {
             let bucket = start.plus(i);
-            let enriched = enrich_bucket(backend, bucket, &self.cfg.thresholds);
+            let mut bucket_span = span!("blameit::pipeline", "bucket", bucket = bucket.0);
+            let obs = {
+                let _s = span!("blameit::pipeline", stage::INGEST);
+                backend.quartets_in(bucket)
+            };
+            clock.lap(stage::INGEST);
+            let enriched = {
+                let mut s = span!("blameit::pipeline", stage::AGGREGATION, raw = obs.len());
+                let e = enrich_obs(backend, obs, bucket, &self.cfg.thresholds, MIN_SAMPLES);
+                s.record("enriched", e.len());
+                e
+            };
+            clock.lap(stage::AGGREGATION);
+            let passive_span = span!(
+                "blameit::pipeline",
+                stage::PASSIVE,
+                quartets = enriched.len()
+            );
+            self.metrics.quartets_processed.add(enriched.len() as u64);
+            for q in &enriched {
+                self.metrics.quartet_rtt_ms.observe(q.obs.mean_rtt_ms);
+            }
             let (blames, stats) = assign_blames(&enriched, &self.expected, &self.cfg.blame);
+            for b in &blames {
+                self.metrics.blame_counter(b.blame).inc();
+            }
 
             // Incident continuity for middle issues.
             let bad_middle: Vec<(CloudLocId, PathId)> = blames
@@ -343,9 +390,14 @@ impl BlameItEngine {
             // Learn only after assignment: the bucket never sees its
             // own data in the expected values.
             self.learn_from(&enriched, bucket);
+            bucket_span.record("blames", blames.len());
             out.blames.extend(blames);
+            drop(passive_span);
+            clock.lap(stage::PASSIVE);
+            drop(bucket_span);
         }
 
+        let priority_span = span!("blameit::pipeline", stage::PRIORITY);
         // Build and prioritize middle issues.
         let issues: Vec<MiddleIssue> = middle_acc
             .into_iter()
@@ -366,14 +418,25 @@ impl BlameItEngine {
             })
             .collect();
         let ranked = prioritize(issues, &self.durations, &self.client_hist);
-        let selected: Vec<PrioritizedIssue> = select_within_budget(&ranked, self.cfg.probe_budget_per_loc)
-            .into_iter()
-            .cloned()
-            .collect();
+        let selected: Vec<PrioritizedIssue> =
+            select_within_budget(&ranked, self.cfg.probe_budget_per_loc)
+                .into_iter()
+                .cloned()
+                .collect();
+        self.metrics
+            .probes_suppressed_budget
+            .add((ranked.len() - selected.len()) as u64);
         out.ranked_issues = ranked;
+        drop(priority_span);
+        clock.lap(stage::PRIORITY);
 
         // On-demand probes, while the issue is live (the probe runs
         // within the tick; we time it at the issue's bucket midpoint).
+        let active_span = span!(
+            "blameit::pipeline",
+            stage::ACTIVE,
+            selected = selected.len()
+        );
         let mut culprit_by_issue: HashMap<(CloudLocId, PathId), Asn> = HashMap::new();
         for p in selected {
             let probe_at = p.issue.bucket.mid();
@@ -443,8 +506,12 @@ impl BlameItEngine {
                 issue: p,
             });
         }
+        self.metrics.on_demand_probes.add(out.on_demand_probes);
+        drop(active_span);
+        clock.lap(stage::ACTIVE);
 
         // Background probes: periodic + churn-triggered.
+        let baseline_span = span!("blameit::pipeline", stage::BASELINE);
         let now = start.plus(self.cfg.tick_buckets).start();
         let periodic: Vec<ProbeTarget> = self
             .rep_p24
@@ -459,7 +526,10 @@ impl BlameItEngine {
             // Robust to ticks scheduled before the warmup cursor (the
             // caller's business, but never a panic).
             backend
-                .churn_events(TimeRange::new(self.churn_cursor, now.max(self.churn_cursor)))
+                .churn_events(TimeRange::new(
+                    self.churn_cursor,
+                    now.max(self.churn_cursor),
+                ))
                 .iter()
                 .filter_map(|e| {
                     // Only prefixes that actually send traffic to this
@@ -496,8 +566,11 @@ impl BlameItEngine {
             let in_episode = self
                 .episodes
                 .get(&(t.loc, t.path))
-                .is_some_and(|(_, last)| now_bucket.0.saturating_sub(last.0) <= EPISODE_GAP_BUCKETS);
+                .is_some_and(|(_, last)| {
+                    now_bucket.0.saturating_sub(last.0) <= EPISODE_GAP_BUCKETS
+                });
             if in_episode {
+                self.metrics.probes_suppressed_episode.inc();
                 continue;
             }
             if let Some(tr) = backend.traceroute(t.loc, t.p24, now) {
@@ -511,6 +584,33 @@ impl BlameItEngine {
             self.background_probes_total += 1;
             out.background_probes += 1;
         }
+        self.metrics.background_probes.add(out.background_probes);
+        // Staleness of the newest baseline per (location, path): how
+        // out-of-date the active phase's comparison pictures are.
+        let mut stale_max = 0u64;
+        let mut stale_sum = 0u64;
+        let mut stale_n = 0u64;
+        for (_, e) in self.baselines.iter_newest() {
+            let age = now.secs().saturating_sub(e.at.secs());
+            stale_max = stale_max.max(age);
+            stale_sum += age;
+            stale_n += 1;
+        }
+        self.metrics
+            .baselines_stored
+            .set(self.baselines.len() as f64);
+        self.metrics
+            .baseline_staleness_max_secs
+            .set(stale_max as f64);
+        self.metrics
+            .baseline_staleness_mean_secs
+            .set(if stale_n == 0 {
+                0.0
+            } else {
+                stale_sum as f64 / stale_n as f64
+            });
+        drop(baseline_span);
+        clock.lap(stage::BASELINE);
         debug_assert_eq!(
             backend.probes_issued() - probes_before,
             out.on_demand_probes + out.background_probes
@@ -523,9 +623,7 @@ impl BlameItEngine {
                 let (blame, loc, path, client_as) = match key {
                     AlertKey::Cloud(loc) => (Blame::Cloud, loc, None, None),
                     AlertKey::Middle(loc, path) => (Blame::Middle, loc, Some(path), None),
-                    AlertKey::Client(origin) => {
-                        (Blame::Client, CloudLocId(0), None, Some(origin))
-                    }
+                    AlertKey::Client(origin) => (Blame::Client, CloudLocId(0), None, Some(origin)),
                 };
                 let culprit = match (blame, path) {
                     (Blame::Middle, Some(p)) => culprit_by_issue.get(&(loc, p)).copied(),
@@ -552,6 +650,13 @@ impl BlameItEngine {
         });
         alerts.truncate(self.cfg.max_alerts);
         out.alerts = alerts;
+
+        self.metrics.alerts.add(out.alerts.len() as u64);
+        self.metrics.ticks.inc();
+        out.stage_timings = clock.finish();
+        self.metrics.observe_stage_timings(&out.stage_timings);
+        tick_span.record("blames", out.blames.len());
+        tick_span.record("alerts", out.alerts.len());
         out
     }
 
@@ -634,7 +739,11 @@ mod tests {
         let mut engine = BlameItEngine::new(BlameItConfig::new(th));
         let mut backend = WorldBackend::new(&w);
         // Warm up on the fault-free days (stride 2 for speed).
-        engine.warmup(&backend, TimeRange::new(SimTime::ZERO, SimTime::from_days(2)), 2);
+        engine.warmup(
+            &backend,
+            TimeRange::new(SimTime::ZERO, SimTime::from_days(2)),
+            2,
+        );
 
         // Analyze the first 30 minutes of the fault.
         let start = SimTime::from_days(2).bucket();
@@ -675,7 +784,11 @@ mod tests {
         cfg.probe_budget_per_loc = 2;
         let mut engine = BlameItEngine::new(cfg);
         let mut backend = WorldBackend::new(&w);
-        engine.warmup(&backend, TimeRange::new(SimTime::ZERO, SimTime::from_days(1)), 4);
+        engine.warmup(
+            &backend,
+            TimeRange::new(SimTime::ZERO, SimTime::from_days(1)),
+            4,
+        );
         let out = engine.tick(&mut backend, SimTime::from_days(2).bucket());
         // On-demand probes per location ≤ budget.
         let mut per_loc: HashMap<CloudLocId, u64> = HashMap::new();
@@ -693,10 +806,17 @@ mod tests {
         let th = BadnessThresholds::default_for(&w);
         let mut engine = BlameItEngine::new(BlameItConfig::new(th));
         let mut backend = WorldBackend::new(&w);
-        engine.warmup(&backend, TimeRange::new(SimTime::ZERO, SimTime::from_days(1)), 4);
+        engine.warmup(
+            &backend,
+            TimeRange::new(SimTime::ZERO, SimTime::from_days(1)),
+            4,
+        );
         assert!(engine.baselines().is_empty());
         let out = engine.tick(&mut backend, SimTime::from_days(1).bucket());
-        assert!(out.background_probes > 0, "first tick baselines every known path");
+        assert!(
+            out.background_probes > 0,
+            "first tick baselines every known path"
+        );
         assert!(!engine.baselines().is_empty());
         // Immediately after, periodic probes are not due again.
         let out2 = engine.tick(&mut backend, SimTime::from_days(1).bucket().plus(3));

@@ -55,6 +55,7 @@ pub fn prioritize(
     durations: &DurationHistory,
     clients: &ClientCountHistory,
 ) -> Vec<PrioritizedIssue> {
+    let _span = blameit_obs::span!("blameit::priority", "prioritize", issues = issues.len());
     let mut out: Vec<PrioritizedIssue> = issues
         .into_iter()
         .map(|issue| {
@@ -198,7 +199,10 @@ mod tests {
         let ranked = prioritize(issues, &durations, &clients);
         let picked = select_within_budget(&ranked, 2);
         assert_eq!(picked.len(), 3);
-        let loc0 = picked.iter().filter(|p| p.issue.loc == CloudLocId(0)).count();
+        let loc0 = picked
+            .iter()
+            .filter(|p| p.issue.loc == CloudLocId(0))
+            .count();
         assert_eq!(loc0, 2, "location budget respected");
         // Highest-impact issues survive the cut.
         assert_eq!(picked[0].issue.path, PathId(1));

@@ -53,9 +53,26 @@ pub fn enrich_bucket_min_samples<B: Backend>(
     thresholds: &BadnessThresholds,
     min_samples: u32,
 ) -> Vec<EnrichedQuartet> {
-    backend
-        .quartets_in(bucket)
-        .into_iter()
+    enrich_obs(
+        backend,
+        backend.quartets_in(bucket),
+        bucket,
+        thresholds,
+        min_samples,
+    )
+}
+
+/// Enrichment over already-fetched observations. Splitting the backend
+/// fetch from the join/classify step lets the engine charge them to
+/// separate profile stages (ingest vs. quartet aggregation).
+pub fn enrich_obs<B: Backend>(
+    backend: &B,
+    obs: Vec<QuartetObs>,
+    bucket: TimeBucket,
+    thresholds: &BadnessThresholds,
+    min_samples: u32,
+) -> Vec<EnrichedQuartet> {
+    obs.into_iter()
         .filter(|q| q.n >= min_samples)
         .filter_map(|obs| {
             let info = backend.route_info(obs.loc, obs.p24, bucket.mid())?;
@@ -172,7 +189,11 @@ mod tests {
         assert_eq!(qs.len(), 4);
         let q0 = qs
             .iter()
-            .find(|q| q.loc == CloudLocId(0) && q.p24 == Prefix24::from_block(1) && q.bucket == TimeBucket(0))
+            .find(|q| {
+                q.loc == CloudLocId(0)
+                    && q.p24 == Prefix24::from_block(1)
+                    && q.bucket == TimeBucket(0)
+            })
             .unwrap();
         assert_eq!(q0.n, 2);
         assert!((q0.mean_rtt_ms - 15.0).abs() < 1e-12);

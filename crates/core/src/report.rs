@@ -161,8 +161,12 @@ pub fn render_ticket(alert: &Alert, localization: Option<&MiddleLocalization>) -
                 writeln!(out).unwrap();
                 write_diff_table(&mut out, d);
             }
-            None => writeln!(out, "
-no pre-incident baseline was available").unwrap(),
+            None => writeln!(
+                out,
+                "
+no pre-incident baseline was available"
+            )
+            .unwrap(),
         }
     }
     writeln!(out).unwrap();
@@ -268,10 +272,10 @@ mod tests {
 
     #[test]
     fn ticket_renders_all_sections() {
-        use crate::active::{diff_contributions};
+        use crate::active::diff_contributions;
         use crate::grouping::MiddleKey;
-        use crate::priority::{MiddleIssue, PrioritizedIssue};
         use crate::pipeline::MiddleLocalization;
+        use crate::priority::{MiddleIssue, PrioritizedIssue};
         use blameit_simnet::SimTime;
         use blameit_topology::{CloudLocId, PathId, Prefix24};
 

@@ -47,14 +47,18 @@ impl BadnessThresholds {
     /// `headroom`. The USA threshold is then multiplied by
     /// `usa_aggressiveness` (< 1) to reproduce the paper's aggressive
     /// US targets.
-    pub fn calibrate(world: &World, quantile_q: f64, headroom: f64, usa_aggressiveness: f64) -> Self {
+    pub fn calibrate(
+        world: &World,
+        quantile_q: f64,
+        headroom: f64,
+        usa_aggressiveness: f64,
+    ) -> Self {
         let topo = world.topology();
         let latency = &world.config().latency;
         // Midday UTC on day 0 is arbitrary but fixed; congestion is
         // excluded explicitly below.
         let t = SimTime::from_hours(12);
-        let mut samples: Vec<Vec<Vec<f64>>> =
-            vec![vec![Vec::new(), Vec::new()]; Region::ALL.len()];
+        let mut samples: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(), Vec::new()]; Region::ALL.len()];
         for c in &topo.clients {
             // Worst route option toward the primary location: BGP churn
             // legitimately parks prefixes on alternates for hours, and
@@ -158,9 +162,10 @@ mod tests {
         let w = World::new(WorldConfig::tiny(1, 29));
         let loose = BadnessThresholds::calibrate(&w, 0.95, 1.35, 1.0);
         let tight = BadnessThresholds::calibrate(&w, 0.95, 1.35, 0.82);
-        assert!(
-            tight.get(Region::UnitedStates, false) < loose.get(Region::UnitedStates, false)
+        assert!(tight.get(Region::UnitedStates, false) < loose.get(Region::UnitedStates, false));
+        assert_eq!(
+            tight.get(Region::Europe, false),
+            loose.get(Region::Europe, false)
         );
-        assert_eq!(tight.get(Region::Europe, false), loose.get(Region::Europe, false));
     }
 }

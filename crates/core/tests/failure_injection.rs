@@ -3,9 +3,7 @@
 //! lookups fail. Production telemetry pipelines do all of these (§6.1
 //! describes storage-bucket ordering loss as one real quirk).
 
-use blameit::{
-    Backend, BadnessThresholds, BlameItConfig, BlameItEngine, RouteInfo, WorldBackend,
-};
+use blameit::{Backend, BadnessThresholds, BlameItConfig, BlameItEngine, RouteInfo, WorldBackend};
 use blameit_simnet::{QuartetObs, SimTime, TimeBucket, TimeRange, Traceroute, World, WorldConfig};
 use blameit_topology::bgp::BgpChurnEvent;
 use blameit_topology::rng::DetRng;
@@ -85,7 +83,10 @@ fn engine_survives_flaky_data_plane() {
 
     // It still produces verdicts from the telemetry that did arrive…
     let total_blames: usize = outs.iter().map(|o| o.blames.len()).sum();
-    assert!(total_blames > 0, "some telemetry must survive a 20% bucket loss");
+    assert!(
+        total_blames > 0,
+        "some telemetry must survive a 20% bucket loss"
+    );
     // …and whatever localizations happen carry coherent structure.
     for out in &outs {
         for l in &out.localizations {
@@ -128,7 +129,10 @@ fn missing_telemetry_does_not_fabricate_blame() {
     engine.warmup(&backend, TimeRange::days(1), 1);
     // Ticks scheduled before the warmup cursor must still be handled
     // gracefully (no churn-range panic), and produce nothing.
-    let outs = engine.run(&mut backend, TimeRange::new(SimTime::ZERO, SimTime(3 * 3600)));
+    let outs = engine.run(
+        &mut backend,
+        TimeRange::new(SimTime::ZERO, SimTime(3 * 3600)),
+    );
     for out in outs {
         assert!(out.blames.is_empty());
         assert!(out.alerts.is_empty());
@@ -150,7 +154,12 @@ fn dropped_route_info_drops_the_quartet_not_the_bucket() {
     let all = blameit::enrich_bucket(&full, bucket, &thresholds);
     let partial = blameit::enrich_bucket(&flaky, bucket, &thresholds);
     assert!(!partial.is_empty());
-    assert!(partial.len() < all.len(), "{} !< {}", partial.len(), all.len());
+    assert!(
+        partial.len() < all.len(),
+        "{} !< {}",
+        partial.len(),
+        all.len()
+    );
     // Every surviving quartet carries real metadata.
     for q in &partial {
         assert!(world.topology().client(q.obs.p24).is_some());

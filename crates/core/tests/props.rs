@@ -1,42 +1,49 @@
-//! Property-based tests for BlameIt's core data structures.
+//! Property-based tests for BlameIt's core data structures, driven by
+//! the in-repo seeded harness in `blameit_topology::testkit`.
 
 use blameit::{
     assign_blames, BlameConfig, ClientCountHistory, DurationHistory, ExpectedRttLearner,
     IncidentTracker, RttKey,
 };
 use blameit_simnet::TimeBucket;
+use blameit_topology::testkit::check;
 use blameit_topology::{CloudLocId, PathId};
-use proptest::prelude::*;
 
-proptest! {
-    /// Statistics helpers: quantiles are monotone in q and bounded by
-    /// the sample extremes; the ECDF is a valid CDF.
-    #[test]
-    fn quantiles_monotone_bounded(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Statistics helpers: quantiles are monotone in q and bounded by the
+/// sample extremes; the ECDF is a valid CDF.
+#[test]
+fn quantiles_monotone_bounded() {
+    check("quantiles_monotone_bounded", 128, |rng| {
+        let n = rng.range_u64(1, 199) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=10 {
             let q = i as f64 / 10.0;
             let v = blameit::stats::quantile(&xs, q).unwrap();
-            prop_assert!(v >= prev - 1e-9);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= prev - 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
             prev = v;
         }
         let cdf = blameit::stats::ecdf(&xs);
         let mut last = 0.0;
         for (x, f) in &cdf {
-            prop_assert!(*f > last && *f <= 1.0 + 1e-12);
-            prop_assert!(*x >= lo && *x <= hi);
+            assert!(*f > last && *f <= 1.0 + 1e-12);
+            assert!(*x >= lo && *x <= hi);
             last = *f;
         }
-        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
-    }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    });
+}
 
-    /// The expected-RTT learner's output is always within the observed
-    /// value range and tracks the true median for in-window data.
-    #[test]
-    fn learner_bounded_by_observations(values in proptest::collection::vec(1.0f64..500.0, 1..300)) {
+/// The expected-RTT learner's output is always within the observed
+/// value range and tracks the true median for in-window data.
+#[test]
+fn learner_bounded_by_observations() {
+    check("learner_bounded_by_observations", 128, |rng| {
+        let n = rng.range_u64(1, 299) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.range_f64(1.0, 500.0)).collect();
         let mut l = ExpectedRttLearner::new(7);
         let key = RttKey::Cloud(CloudLocId(0), false);
         for v in &values {
@@ -45,14 +52,18 @@ proptest! {
         let e = l.expected(key).unwrap();
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9);
-    }
+        assert!(e >= lo - 1e-9 && e <= hi + 1e-9);
+    });
+}
 
-    /// Mean residual life is within the residual range of the
-    /// surviving durations.
-    #[test]
-    fn residual_life_bounded(durations in proptest::collection::vec(1u32..200, 10..100),
-                             elapsed in 0u32..100) {
+/// Mean residual life is within the residual range of the surviving
+/// durations.
+#[test]
+fn residual_life_bounded() {
+    check("residual_life_bounded", 128, |rng| {
+        let n = rng.range_u64(10, 99) as usize;
+        let durations: Vec<u32> = (0..n).map(|_| rng.range_u64(1, 199) as u32).collect();
+        let elapsed = rng.below(100) as u32;
         let mut h = DurationHistory::new();
         for d in &durations {
             h.record(PathId(1), *d);
@@ -60,18 +71,22 @@ proptest! {
         let survivors: Vec<u32> = durations.iter().copied().filter(|d| *d > elapsed).collect();
         let e = h.expected_remaining(PathId(1), elapsed);
         if survivors.is_empty() {
-            prop_assert_eq!(e, 1.0);
+            assert_eq!(e, 1.0);
         } else {
             let min_r = survivors.iter().map(|d| d - elapsed).min().unwrap() as f64;
             let max_r = survivors.iter().map(|d| d - elapsed).max().unwrap() as f64;
-            prop_assert!(e >= min_r - 1e-9 && e <= max_r + 1e-9);
+            assert!(e >= min_r - 1e-9 && e <= max_r + 1e-9);
         }
-    }
+    });
+}
 
-    /// Incident tracking conserves buckets: the total badness fed in
-    /// equals the sum of closed-incident durations.
-    #[test]
-    fn incident_durations_conserve_badness(pattern in proptest::collection::vec(any::<u8>(), 1..120)) {
+/// Incident tracking conserves buckets: the total badness fed in equals
+/// the sum of closed-incident durations.
+#[test]
+fn incident_durations_conserve_badness() {
+    check("incident_durations_conserve_badness", 128, |rng| {
+        let n = rng.range_u64(1, 119) as usize;
+        let pattern: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
         // Each byte's low 3 bits say which of 3 keys are bad that bucket.
         let mut tracker: IncidentTracker<u8> = IncidentTracker::new();
         let mut fed = [0u32; 3];
@@ -91,13 +106,17 @@ proptest! {
         for inc in tracker.finish() {
             closed_total[inc.key as usize] += inc.buckets;
         }
-        prop_assert_eq!(fed, closed_total);
-    }
+        assert_eq!(fed, closed_total);
+    });
+}
 
-    /// Client-count prediction is always within the min/max of the
-    /// recorded same-slot history.
-    #[test]
-    fn client_prediction_bounded(counts in proptest::collection::vec(0u64..1_000_000, 1..3)) {
+/// Client-count prediction is always within the min/max of the recorded
+/// same-slot history.
+#[test]
+fn client_prediction_bounded() {
+    check("client_prediction_bounded", 128, |rng| {
+        let n = rng.range_u64(1, 2) as usize;
+        let counts: Vec<u64> = (0..n).map(|_| rng.below(1_000_000)).collect();
         let mut h = ClientCountHistory::new();
         let slot = 77u32;
         for (day, c) in counts.iter().enumerate() {
@@ -108,17 +127,21 @@ proptest! {
         let p = h.predict(PathId(3), target).unwrap();
         let lo = *counts.iter().min().unwrap() as f64;
         let hi = *counts.iter().max().unwrap() as f64;
-        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
-    }
+        assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    });
+}
 
-    /// Algorithm 1 over an empty learner never blames cloud or middle
-    /// (no expectations → no aggregate can cross τ), and produces
-    /// exactly one verdict per bad quartet.
-    #[test]
-    fn algorithm1_conservative_without_history(n_bad in 0usize..30, n_good in 0usize..30) {
+/// Algorithm 1 over an empty learner never blames cloud or middle (no
+/// expectations → no aggregate can cross τ), and produces exactly one
+/// verdict per bad quartet.
+#[test]
+fn algorithm1_conservative_without_history() {
+    check("algorithm1_conservative_without_history", 64, |rng| {
         use blameit::{EnrichedQuartet, RouteInfo};
         use blameit_simnet::QuartetObs;
         use blameit_topology::{Asn, IpPrefix, MetroId, Prefix24, Region};
+        let n_bad = rng.below(30) as usize;
+        let n_good = rng.below(30) as usize;
         let mk = |i: usize, bad: bool| EnrichedQuartet {
             obs: QuartetObs {
                 loc: CloudLocId(0),
@@ -147,13 +170,13 @@ proptest! {
         }
         let learner = ExpectedRttLearner::new(1);
         let (blames, _) = assign_blames(&quartets, &learner, &BlameConfig::default());
-        prop_assert_eq!(blames.len(), n_bad);
+        assert_eq!(blames.len(), n_bad);
         for b in &blames {
-            prop_assert!(
+            assert!(
                 !matches!(b.blame, blameit::Blame::Cloud | blameit::Blame::Middle),
                 "{:?}",
                 b.blame
             );
         }
-    }
+    });
 }

@@ -1,0 +1,73 @@
+//! Minimal JSON string/number formatting shared by the metrics and
+//! tracing emitters. Only what the exposition formats need — this is
+//! an emitter, not a parser.
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` in a JSON-legal form (`NaN`/`±inf` become `null`,
+/// which JSON can actually represent).
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Integral values print without the exponent noise of `{:e}`.
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{}", v as i64));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> String {
+        let mut out = String::new();
+        push_json_str(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(s("plain"), "\"plain\"");
+        assert_eq!(s("a\"b"), "\"a\\\"b\"");
+        assert_eq!(s("a\\b"), "\"a\\\\b\"");
+        assert_eq!(s("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(s("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_json_legal() {
+        let mut out = String::new();
+        push_json_f64(&mut out, 3.0);
+        assert_eq!(out, "3");
+        out.clear();
+        push_json_f64(&mut out, 0.5);
+        assert_eq!(out, "0.5");
+        out.clear();
+        push_json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        push_json_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+    }
+}

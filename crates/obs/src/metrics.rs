@@ -1,0 +1,728 @@
+//! Lock-free metrics: counters, gauges, log-bucket histograms, and a
+//! named registry with Prometheus-text and JSON exposition.
+//!
+//! Everything here is `std`-only and wait-free on the hot path:
+//! recording a value is one or two atomic RMW operations, so metrics
+//! can sit inside the engine's per-quartet loops without perturbing the
+//! timings they measure. Rendering takes a registry lock but only
+//! readers (the CLI, a scrape endpoint) pay it.
+
+use crate::json::{push_json_f64, push_json_str};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64` (stored as bits in an atomic).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds to the value (CAS loop; gauges are low-frequency).
+    pub fn add(&self, d: f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + d).to_bits())
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets.
+pub const HIST_BUCKETS: usize = 96;
+/// Buckets per decade (so bounds grow by 10^(1/8) ≈ 1.33×).
+const BUCKETS_PER_DECADE: f64 = 8.0;
+/// Lower edge of bucket 0. With 96 buckets at 8/decade the histogram
+/// spans 1e-3 .. 1e9 — microseconds-to-hours when recording µs, and
+/// sub-millisecond-to-weeks when recording ms. Both the RTT-ms and
+/// tick-µs scales the engine records fit with headroom.
+const HIST_LO: f64 = 1e-3;
+
+/// A fixed-layout histogram with log-spaced buckets.
+///
+/// All histograms share one layout, so any two can [`merge`] and the
+/// exposition format needs no per-histogram schema. Values below the
+/// first bound clamp into bucket 0, values beyond the last into the
+/// final bucket; exact `count`/`sum`/`min`/`max` are kept alongside so
+/// clamping never corrupts the summary statistics.
+///
+/// [`merge`]: Histogram::merge_from
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    /// Sum of observed values, as f64 bits.
+    sum: AtomicU64,
+    /// Minimum observed, as f64 bits (+inf when empty).
+    min: AtomicU64,
+    /// Maximum observed, as f64 bits (-inf when empty).
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [(); HIST_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= HIST_LO {
+        return 0;
+    }
+    let idx = ((v / HIST_LO).log10() * BUCKETS_PER_DECADE).floor() as isize;
+    idx.clamp(0, HIST_BUCKETS as isize - 1) as usize
+}
+
+/// The *upper* bound of bucket `i` (inclusive, Prometheus `le` style).
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    HIST_LO * 10f64.powf((i as f64 + 1.0) / BUCKETS_PER_DECADE)
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation. Non-finite values are dropped.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+        let _ = self
+            .min
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v < f64::from_bits(bits)).then(|| v.to_bits())
+            });
+        let _ = self
+            .max
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v > f64::from_bits(bits)).then(|| v.to_bits())
+            });
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() / n as f64)
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count() > 0).then(|| f64::from_bits(self.min.load(Ordering::Relaxed)))
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count() > 0).then(|| f64::from_bits(self.max.load(Ordering::Relaxed)))
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) estimated from the bucket counts:
+    /// the geometric midpoint of the bucket containing the target rank,
+    /// clamped to the exact observed min/max. `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
+        }
+        // Rank of the target observation, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..HIST_BUCKETS {
+            seen += self.counts[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                let hi = bucket_upper_bound(i);
+                let lo = if i == 0 {
+                    HIST_LO
+                } else {
+                    bucket_upper_bound(i - 1)
+                };
+                let mid = (lo * hi).sqrt();
+                let (omin, omax) = (self.min().unwrap(), self.max().unwrap());
+                return Some(mid.clamp(omin, omax));
+            }
+        }
+        self.max()
+    }
+
+    /// p50 convenience.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// p90 convenience.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// p99 convenience.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Adds every observation of `other` into `self` (bucket-wise; all
+    /// histograms share one layout so this is exact at bucket
+    /// granularity).
+    pub fn merge_from(&self, other: &Histogram) {
+        for i in 0..HIST_BUCKETS {
+            let n = other.counts[i].load(Ordering::Relaxed);
+            if n > 0 {
+                self.counts[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let other_sum = other.sum();
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + other_sum).to_bits())
+            });
+        if let Some(m) = other.min() {
+            let _ = self
+                .min
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                    (m < f64::from_bits(bits)).then(|| m.to_bits())
+                });
+        }
+        if let Some(m) = other.max() {
+            let _ = self
+                .max
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                    (m > f64::from_bits(bits)).then(|| m.to_bits())
+                });
+        }
+    }
+
+    /// Snapshot of the non-empty buckets as `(upper_bound, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        (0..HIST_BUCKETS)
+            .filter_map(|i| {
+                let n = self.counts[i].load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper_bound(i), n))
+            })
+            .collect()
+    }
+}
+
+/// Label set: sorted `(key, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics.
+///
+/// Handles returned by [`counter`]/[`gauge`]/[`histogram`] are `Arc`s:
+/// look them up once, then record through the handle with no registry
+/// lock. The same `(name, labels)` always returns the same instance.
+///
+/// [`counter`]: MetricsRegistry::counter
+/// [`gauge`]: MetricsRegistry::gauge
+/// [`histogram`]: MetricsRegistry::histogram
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<(String, Labels), Metric>>,
+}
+
+fn to_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    fn entry<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+        select: impl FnOnce(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let key = (name.to_string(), to_labels(labels));
+        let mut map = self.metrics.lock().expect("metrics registry poisoned");
+        let m = map.entry(key).or_insert_with(make);
+        select(m).unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", m.kind()))
+    }
+
+    /// The counter `name` (no labels).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` is already registered as another kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.entry(
+            name,
+            labels,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge `name` (no labels).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` is already registered as another kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.entry(
+            name,
+            labels,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram `name` (no labels).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` is already registered as another kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.entry(
+            name,
+            labels,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    fn snapshot(&self) -> Vec<((String, Labels), Metric)> {
+        self.metrics
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Prometheus text exposition (one `# TYPE` line per metric name,
+    /// histograms as cumulative `_bucket{le=…}` + `_sum` + `_count`).
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for ((name, labels), metric) in &snap {
+            if *name != last_name {
+                out.push_str(&format!("# TYPE {name} {}\n", metric.kind()));
+                last_name = name.clone();
+            }
+            let label_str = |extra: Option<(&str, String)>| -> String {
+                let mut parts: Vec<String> =
+                    labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                if let Some((k, v)) = extra {
+                    parts.push(format!("{k}=\"{v}\""));
+                }
+                if parts.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", parts.join(","))
+                }
+            };
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{name}{} {}\n", label_str(None), c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{name}{} {}\n", label_str(None), g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (ub, n) in h.nonzero_buckets() {
+                        cum += n;
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cum}\n",
+                            label_str(Some(("le", format!("{ub:.6}"))))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{} {cum}\n",
+                        label_str(Some(("le", "+Inf".into())))
+                    ));
+                    out.push_str(&format!("{name}_sum{} {}\n", label_str(None), h.sum()));
+                    out.push_str(&format!("{name}_count{} {}\n", label_str(None), h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON dump: an array of metric objects with name, labels, kind,
+    /// and value (counters/gauges) or summary stats + buckets
+    /// (histograms).
+    pub fn render_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::from("[");
+        for (i, ((name, labels), metric)) in snap.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, name);
+            out.push_str(",\"kind\":");
+            push_json_str(&mut out, metric.kind());
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, k);
+                out.push(':');
+                push_json_str(&mut out, v);
+            }
+            out.push('}');
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(",\"value\":{}", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(",\"value\":");
+                    push_json_f64(&mut out, g.get());
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(",\"count\":{}", h.count()));
+                    out.push_str(",\"sum\":");
+                    push_json_f64(&mut out, h.sum());
+                    for (label, v) in [
+                        ("p50", h.p50()),
+                        ("p90", h.p90()),
+                        ("p99", h.p99()),
+                        ("min", h.min()),
+                        ("max", h.max()),
+                    ] {
+                        out.push_str(&format!(",\"{label}\":"));
+                        push_json_f64(&mut out, v.unwrap_or(f64::NAN));
+                    }
+                    out.push_str(",\"buckets\":[");
+                    for (j, (ub, n)) in h.nonzero_buckets().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str("{\"le\":");
+                        push_json_f64(&mut out, *ub);
+                        out.push_str(&format!(",\"count\":{n}}}"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-0.5);
+        assert!((g.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_log_spaced_and_exhaustive() {
+        // Bounds grow by exactly 10^(1/8) per bucket.
+        let ratio = bucket_upper_bound(1) / bucket_upper_bound(0);
+        assert!((ratio - 10f64.powf(1.0 / 8.0)).abs() < 1e-12);
+        // A value just under a bound lands below the bound's bucket; a
+        // value just over lands in it.
+        for i in [0usize, 7, 40, 94] {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_index(ub * 0.999), i, "below bound {i}");
+            assert_eq!(bucket_index(ub * 1.001), i + 1, "above bound {i}");
+        }
+        // Extremes clamp instead of panicking.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(1e300), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // dropped
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 10.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+        assert!((h.mean().unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64); // 1..=1000 ms-ish scale
+        }
+        let (p50, p90, p99) = (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // Log-bucket estimates: within one bucket width (10^(1/8) ≈ 1.33×).
+        assert!((370.0..680.0).contains(&p50), "p50 {p50}");
+        assert!((670.0..1000.1).contains(&p90), "p90 {p90}");
+        assert!(
+            p99 <= 1000.0 + 1e-9,
+            "p99 clamped to observed max, got {p99}"
+        );
+        assert_eq!(h.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(h.quantile(1.0).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.nonzero_buckets().is_empty());
+        // Merging an empty histogram is a no-op.
+        let other = Histogram::new();
+        other.observe(5.0);
+        other.merge_from(&h);
+        assert_eq!(other.count(), 1);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1.0, 10.0, 100.0] {
+            a.observe(v);
+        }
+        for v in [0.5, 2000.0] {
+            b.observe(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 5);
+        assert!((a.sum() - 2111.5).abs() < 1e-9);
+        assert_eq!(a.min(), Some(0.5));
+        assert_eq!(a.max(), Some(2000.0));
+        // Bucket counts merged too: total across buckets equals count.
+        let bucket_total: u64 = a.nonzero_buckets().iter().map(|(_, n)| n).sum();
+        assert_eq!(bucket_total, 5);
+        // Merging into an empty histogram reproduces the source.
+        let c = Histogram::new();
+        c.merge_from(&a);
+        assert_eq!(c.count(), a.count());
+        assert_eq!(c.min(), a.min());
+        assert_eq!(c.p90(), a.p90());
+    }
+
+    #[test]
+    fn concurrent_counter_increments() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits_total");
+        let h = reg.histogram("lat_ms");
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.observe((t * 10_000 + i) as f64 % 977.0 + 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|(_, n)| n).sum();
+        assert_eq!(bucket_total, 80_000, "no lost bucket increments");
+    }
+
+    #[test]
+    fn registry_returns_same_instance_and_checks_kind() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("x_total", &[("seg", "cloud")]);
+        let b = reg.counter_with("x_total", &[("seg", "cloud")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same handle");
+        let other = reg.counter_with("x_total", &[("seg", "middle")]);
+        assert_eq!(other.get(), 0, "different labels, different counter");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = reg.gauge_with("x_total", &[("seg", "cloud")]);
+        }));
+        assert!(r.is_err(), "kind mismatch must panic");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("req_total", &[("seg", "cloud")]).add(3);
+        reg.gauge("temp").set(1.5);
+        let h = reg.histogram("rtt_ms");
+        h.observe(10.0);
+        h.observe(200.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert!(text.contains("req_total{seg=\"cloud\"} 3"), "{text}");
+        assert!(text.contains("# TYPE temp gauge"), "{text}");
+        assert!(text.contains("temp 1.5"), "{text}");
+        assert!(text.contains("# TYPE rtt_ms histogram"), "{text}");
+        assert!(text.contains("rtt_ms_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("rtt_ms_count 2"), "{text}");
+        // Cumulative: the +Inf bucket equals the count.
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").inc();
+        reg.histogram("h").observe(5.0);
+        let j = reg.render_json();
+        assert!(j.starts_with('[') && j.ends_with(']'), "{j}");
+        assert!(j.contains("\"name\":\"a_total\""), "{j}");
+        assert!(j.contains("\"kind\":\"histogram\""), "{j}");
+        assert!(j.contains("\"p50\":"), "{j}");
+        assert_eq!(j.matches("{\"name\"").count(), 2);
+    }
+}

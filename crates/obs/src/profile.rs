@@ -1,0 +1,218 @@
+//! Per-tick stage profiling.
+//!
+//! [`StageTimings`] is a small, copy-around breakdown of where one
+//! engine tick spent its time, suitable for embedding in a tick's
+//! output struct. [`StageClock`] is the accumulator the engine drives:
+//! `lap("stage")` charges the elapsed time since the previous lap to
+//! that stage, so interleaved per-bucket work can keep adding to the
+//! same named stages.
+
+use std::time::{Duration, Instant};
+
+/// Named stage durations for one engine tick, in pipeline order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    stages: Vec<(&'static str, Duration)>,
+    total: Duration,
+}
+
+impl StageTimings {
+    /// An empty profile.
+    pub fn new() -> StageTimings {
+        StageTimings::default()
+    }
+
+    /// Adds `d` to the named stage (creating it in insertion order on
+    /// first use).
+    pub fn add(&mut self, stage: &'static str, d: Duration) {
+        if let Some((_, acc)) = self.stages.iter_mut().find(|(n, _)| *n == stage) {
+            *acc += d;
+        } else {
+            self.stages.push((stage, d));
+        }
+    }
+
+    /// Sets the whole-tick wall duration (measured independently of the
+    /// per-stage laps; may exceed their sum by untimed overhead).
+    pub fn set_total(&mut self, d: Duration) {
+        self.total = d;
+    }
+
+    /// Whole-tick wall duration.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Sum of the per-stage durations (≤ [`total`](Self::total) when
+    /// the total was measured around the stages).
+    pub fn stage_sum(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration charged to `stage`, if any.
+    pub fn get(&self, stage: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|(n, _)| *n == stage)
+            .map(|(_, d)| *d)
+    }
+
+    /// Stages in first-use order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        self.stages.iter().copied()
+    }
+
+    /// Number of distinct stages recorded.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when no stage has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// One-line human rendering, e.g.
+    /// `ingest=120µs aggregation=340µs … (total 612µs)`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, (name, d)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}={}", name, fmt_duration(*d)));
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&format!("(total {})", fmt_duration(self.total)));
+        out
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Drives a [`StageTimings`] from inside a tick: each
+/// [`lap`](StageClock::lap) charges time-since-last-lap to a stage.
+pub struct StageClock {
+    timings: StageTimings,
+    tick_start: Instant,
+    last: Instant,
+}
+
+impl Default for StageClock {
+    fn default() -> StageClock {
+        StageClock::start()
+    }
+}
+
+impl StageClock {
+    /// Starts the clock at the top of a tick.
+    pub fn start() -> StageClock {
+        let now = Instant::now();
+        StageClock {
+            timings: StageTimings::new(),
+            tick_start: now,
+            last: now,
+        }
+    }
+
+    /// Charges the time since the previous lap (or since start) to
+    /// `stage`, then resets the lap marker.
+    pub fn lap(&mut self, stage: &'static str) {
+        let now = Instant::now();
+        self.timings.add(stage, now - self.last);
+        self.last = now;
+    }
+
+    /// Resets the lap marker without charging anyone — use before a
+    /// stage when intervening time should not count (e.g. between
+    /// buckets).
+    pub fn skip(&mut self) {
+        self.last = Instant::now();
+    }
+
+    /// Stops the clock, stamping the whole-tick total.
+    pub fn finish(mut self) -> StageTimings {
+        self.timings.set_total(self.tick_start.elapsed());
+        self.timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_by_name_in_first_use_order() {
+        let mut t = StageTimings::new();
+        t.add("a", Duration::from_micros(10));
+        t.add("b", Duration::from_micros(5));
+        t.add("a", Duration::from_micros(7));
+        assert_eq!(t.get("a"), Some(Duration::from_micros(17)));
+        assert_eq!(t.get("b"), Some(Duration::from_micros(5)));
+        assert_eq!(t.get("c"), None);
+        let names: Vec<&str> = t.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(t.stage_sum(), Duration::from_micros(22));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn clock_charges_laps_and_totals() {
+        let mut clock = StageClock::start();
+        std::thread::sleep(Duration::from_millis(2));
+        clock.lap("first");
+        std::thread::sleep(Duration::from_millis(1));
+        clock.lap("second");
+        clock.lap("second"); // near-zero lap accumulates
+        let t = clock.finish();
+        assert!(t.get("first").unwrap() >= Duration::from_millis(2));
+        assert!(t.get("second").unwrap() >= Duration::from_millis(1));
+        assert!(t.total() >= t.stage_sum(), "total wraps all laps");
+    }
+
+    #[test]
+    fn skip_discards_elapsed_time() {
+        let mut clock = StageClock::start();
+        std::thread::sleep(Duration::from_millis(2));
+        clock.skip();
+        clock.lap("after-skip");
+        let t = clock.finish();
+        assert!(
+            t.get("after-skip").unwrap() < Duration::from_millis(2),
+            "skipped time must not be charged"
+        );
+        assert!(
+            t.total() >= Duration::from_millis(2),
+            "total still counts it"
+        );
+    }
+
+    #[test]
+    fn render_includes_stages_and_total() {
+        let mut t = StageTimings::new();
+        t.add("ingest", Duration::from_micros(120));
+        t.add("blame", Duration::from_millis(3));
+        t.set_total(Duration::from_millis(4));
+        let s = t.render();
+        assert!(s.contains("ingest=120.0µs"), "{s}");
+        assert!(s.contains("blame=3.00ms"), "{s}");
+        assert!(s.contains("(total 4.00ms)"), "{s}");
+
+        let empty = StageTimings::new().render();
+        assert_eq!(empty, "(total 0ns)");
+    }
+}

@@ -52,7 +52,11 @@ impl ActivityModel {
                 h if (17.0..23.0).contains(&h) => 0.95,
                 _ => 0.45,
             };
-            return if weekend { (base * 1.15).min(1.0) } else { base };
+            return if weekend {
+                (base * 1.15).min(1.0)
+            } else {
+                base
+            };
         }
         // Home broadband.
         let base: f64 = match lh {
@@ -166,11 +170,7 @@ mod tests {
         let topo = blameit_topology::Topology::generate(TopologyConfig::tiny(2));
         let m = ActivityModel::default();
         // Pick a populous block so Poisson noise doesn't swamp the signal.
-        let c = topo
-            .clients
-            .iter()
-            .max_by_key(|c| c.population)
-            .unwrap();
+        let c = topo.clients.iter().max_by_key(|c| c.population).unwrap();
         let t = SimTime::from_hours(20);
         let mut sum_p = 0u64;
         let mut sum_s = 0u64;

@@ -45,8 +45,7 @@ impl ChurnModel {
                 if ro.options.len() < 2 {
                     continue; // nowhere to churn to
                 }
-                let mut rng =
-                    DetRng::from_keys(seed, &[0xC4_42, loc.id.0 as u64, pi as u64]);
+                let mut rng = DetRng::from_keys(seed, &[0xC4_42, loc.id.0 as u64, pi as u64]);
                 let n = rng.poisson(rate_per_day * days);
                 if n == 0 {
                     continue;
@@ -93,7 +92,13 @@ impl ChurnModel {
     /// Index of the live route option for (loc, prefix index) at `t`:
     /// the number of change points at or before `t`, cycling through
     /// the available options.
-    pub fn option_index(&self, loc: CloudLocId, prefix_idx: u32, n_options: usize, t: SimTime) -> usize {
+    pub fn option_index(
+        &self,
+        loc: CloudLocId,
+        prefix_idx: u32,
+        n_options: usize,
+        t: SimTime,
+    ) -> usize {
         if n_options <= 1 {
             return 0;
         }

@@ -36,7 +36,10 @@ impl Iterator for QuartetStream<'_> {
 
     fn next(&mut self) -> Option<Self::Item> {
         let b = self.buckets.next()?;
-        Some((b, self.world.quartets_in(b)))
+        let mut span = blameit_obs::span!("blameit::collector", "quartet_bucket", bucket = b.0);
+        let quartets = self.world.quartets_in(b);
+        span.record("quartets", quartets.len());
+        Some((b, quartets))
     }
 }
 
@@ -105,6 +108,11 @@ impl DatasetSummary {
     /// Scans `range` and accumulates the summary. This walks every
     /// bucket; use short ranges or sampled summaries for large worlds.
     pub fn collect(world: &World, range: TimeRange) -> DatasetSummary {
+        let _span = blameit_obs::span!(
+            "blameit::collector",
+            "dataset_summary",
+            buckets = range.num_buckets(),
+        );
         let mut s = DatasetSummary::default();
         let mut p24s = HashSet::new();
         let mut prefixes = HashSet::new();
@@ -160,7 +168,10 @@ mod tests {
         let s = DatasetSummary::collect(&w, r);
         assert_eq!(s.buckets, 24);
         assert!(s.quartets > 0);
-        assert!(s.rtt_measurements >= s.quartets, "each quartet has ≥1 sample");
+        assert!(
+            s.rtt_measurements >= s.quartets,
+            "each quartet has ≥1 sample"
+        );
         assert!(s.client_p24s > 0);
         assert!(s.client_p24s <= w.topology().clients.len());
         assert!(s.bgp_prefixes <= w.topology().prefixes.len());
@@ -173,7 +184,10 @@ mod tests {
     fn location_stream_matches_quartets() {
         let w = World::new(WorldConfig::tiny(1, 21));
         let loc = w.topology().cloud_locations[0].id;
-        let r = TimeRange::new(crate::time::SimTime(150 * 300), crate::time::SimTime(152 * 300));
+        let r = TimeRange::new(
+            crate::time::SimTime(150 * 300),
+            crate::time::SimTime(152 * 300),
+        );
         for (bucket, records) in LocationRecordStream::new(&w, loc, r) {
             // Record counts agree with the quartet fast path.
             let quartet_total: u32 = w
@@ -199,6 +213,9 @@ mod tests {
     fn summary_deterministic() {
         let w = World::new(WorldConfig::tiny(1, 8));
         let r = TimeRange::new(crate::time::SimTime(0), crate::time::SimTime(3600));
-        assert_eq!(DatasetSummary::collect(&w, r), DatasetSummary::collect(&w, r));
+        assert_eq!(
+            DatasetSummary::collect(&w, r),
+            DatasetSummary::collect(&w, r)
+        );
     }
 }

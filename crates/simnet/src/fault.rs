@@ -255,7 +255,10 @@ impl FaultSchedule {
                 };
                 faults.push(Fault {
                     id: FaultId(0),
-                    target: FaultTarget::MiddleAs { asn: a.asn, via_path },
+                    target: FaultTarget::MiddleAs {
+                        asn: a.asn,
+                        via_path,
+                    },
                     start,
                     duration_secs: sample_duration_secs(&mut rng),
                     added_ms: rng.lognormal(35f64.ln(), 0.6).clamp(10.0, 300.0),
@@ -285,7 +288,8 @@ impl FaultSchedule {
         // Per-/24 faults (lots of tiny, fleeting last-mile issues).
         {
             let mut rng = DetRng::from_keys(seed, &[0xFA_04]);
-            let n = rng.poisson(rates.client_prefix_per_k_day * topo.clients.len() as f64 / 1000.0 * days);
+            let n = rng
+                .poisson(rates.client_prefix_per_k_day * topo.clients.len() as f64 / 1000.0 * days);
             for _ in 0..n {
                 let c = &topo.clients[rng.index(topo.clients.len())];
                 let start = range.start + rng.below(range.secs());
@@ -363,11 +367,7 @@ pub fn as_home_region(topo: &Topology, asn: Asn) -> Option<Region> {
     if total == 0 {
         return None;
     }
-    let (best_idx, best) = counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, c)| **c)
-        .unwrap();
+    let (best_idx, best) = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap();
     // "Home" only if a strict majority of PoPs are there.
     if *best * 2 > total {
         Some(Region::ALL[best_idx])
@@ -470,7 +470,13 @@ mod tests {
             assert_eq!(x.target, y.target);
         }
         let c = FaultSchedule::generate(&t, TimeRange::days(2), &FaultRates::default(), 6);
-        assert!(a.len() != c.len() || a.faults().iter().zip(c.faults()).any(|(x, y)| x.start != y.start));
+        assert!(
+            a.len() != c.len()
+                || a.faults()
+                    .iter()
+                    .zip(c.faults())
+                    .any(|(x, y)| x.start != y.start)
+        );
     }
 
     #[test]
@@ -497,7 +503,10 @@ mod tests {
                 })
                 .map(|a| a.asn)
                 .collect();
-            let total: usize = ases.iter().map(|a| counts.get(a).copied().unwrap_or(0)).sum();
+            let total: usize = ases
+                .iter()
+                .map(|a| counts.get(a).copied().unwrap_or(0))
+                .sum();
             total as f64 / ases.len() as f64
         };
         let immature = rate(&|m| m < 0.6);
@@ -524,17 +533,23 @@ mod tests {
         for (i, f) in merged.faults().iter().enumerate() {
             assert_eq!(f.id, FaultId(i as u32));
         }
-        assert!(merged.active_at(SimTime(60)).any(|f| matches!(
-            f.target,
-            FaultTarget::CloudLocation(CloudLocId(0))
-        )));
+        assert!(merged
+            .active_at(SimTime(60))
+            .any(|f| matches!(f.target, FaultTarget::CloudLocation(CloudLocId(0)))));
     }
 
     #[test]
     fn target_segments() {
-        assert_eq!(FaultTarget::CloudLocation(CloudLocId(0)).segment(), Segment::Cloud);
         assert_eq!(
-            FaultTarget::MiddleAs { asn: Asn(1), via_path: None }.segment(),
+            FaultTarget::CloudLocation(CloudLocId(0)).segment(),
+            Segment::Cloud
+        );
+        assert_eq!(
+            FaultTarget::MiddleAs {
+                asn: Asn(1),
+                via_path: None
+            }
+            .segment(),
             Segment::Middle
         );
         assert_eq!(FaultTarget::ClientAs(Asn(1)).segment(), Segment::Client);

@@ -119,10 +119,7 @@ impl LatencyModel {
         if window == 0.0 {
             return 0.0;
         }
-        let mut rng = DetRng::from_keys(
-            self.seed,
-            &[0xC016, c.p24.block() as u64, t.day() as u64],
-        );
+        let mut rng = DetRng::from_keys(self.seed, &[0xC016, c.p24.block() as u64, t.day() as u64]);
         // Only a subset of last miles actually congest on a given
         // evening; a universal bump would make *every* quartet of a
         // location cross its median at night, which would read as a
@@ -141,7 +138,11 @@ impl LatencyModel {
     /// baselines decay (Fig. 13's accuracy-vs-frequency trade-off).
     /// Deterministic per (path, day); returns the drifted AS and the
     /// added round-trip milliseconds.
-    pub fn path_drift(&self, route: &RouteOption, t: SimTime) -> Option<(blameit_topology::Asn, f64)> {
+    pub fn path_drift(
+        &self,
+        route: &RouteOption,
+        t: SimTime,
+    ) -> Option<(blameit_topology::Asn, f64)> {
         if route.as_hops.len() <= 2 {
             return None; // no middle AS to drift
         }
@@ -173,13 +174,14 @@ impl LatencyModel {
         // the cloud's network contribution on this path.
         let cloud_exit = route.as_hops.first().map_or(0.0, |h| h.cum_oneway_ms);
         let middle_oneway = route.middle_oneway_ms();
-        let client_oneway =
-            route.total_oneway_ms - cloud_exit - middle_oneway;
+        let client_oneway = route.total_oneway_ms - cloud_exit - middle_oneway;
         let drift_ms = self.path_drift(route, t).map_or(0.0, |(_, ms)| ms);
         SegRtt {
             cloud_ms: cl.base_cloud_ms + 2.0 * cloud_exit,
             middle_ms: 2.0 * middle_oneway + drift_ms,
-            client_ms: 2.0 * client_oneway + self.last_mile_ms(c) + self.evening_congestion(topo, c, t),
+            client_ms: 2.0 * client_oneway
+                + self.last_mile_ms(c)
+                + self.evening_congestion(topo, c, t),
         }
     }
 
@@ -252,7 +254,13 @@ mod tests {
         let m = LatencyModel::default();
         for c in t.clients.iter().take(40) {
             let ro = t.routes_for(c.primary_loc, c);
-            let seg = m.baseline(&t, c.primary_loc, c, &ro.options[0], SimTime::from_hours(10));
+            let seg = m.baseline(
+                &t,
+                c.primary_loc,
+                c,
+                &ro.options[0],
+                SimTime::from_hours(10),
+            );
             assert!(seg.cloud_ms > 0.0);
             assert!(seg.middle_ms >= 0.0);
             assert!(seg.client_ms > 0.0);

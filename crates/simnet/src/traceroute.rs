@@ -64,7 +64,11 @@ impl Traceroute {
 
     /// RTT at the final responding hop (end-to-end), if any.
     pub fn end_to_end_ms(&self) -> Option<f64> {
-        self.hops.iter().rev().find(|h| h.responded).map(|h| h.rtt_ms)
+        self.hops
+            .iter()
+            .rev()
+            .find(|h| h.responded)
+            .map(|h| h.rtt_ms)
     }
 
     /// The ordered list of ASes observed (responding hops only).
@@ -120,7 +124,12 @@ mod tests {
     #[test]
     fn contributions_are_hop_deltas() {
         // The paper's India example: 4, 6, 8, 9 ms hops.
-        let t = tr(vec![(1, 4.0, true), (2, 6.0, true), (3, 8.0, true), (4, 9.0, true)]);
+        let t = tr(vec![
+            (1, 4.0, true),
+            (2, 6.0, true),
+            (3, 8.0, true),
+            (4, 9.0, true),
+        ]);
         let c = t.as_contributions();
         assert_eq!(c.len(), 4);
         assert!((c[0].1 - 4.0).abs() < 1e-9);

@@ -260,9 +260,7 @@ impl World {
                 }
                 FaultTarget::MiddleAs { asn, via_path } => {
                     let middle = &self.topo.paths.get(route.path_id).middle;
-                    if middle.contains(&asn)
-                        && via_path.is_none_or(|p| p == route.path_id)
-                    {
+                    if middle.contains(&asn) && via_path.is_none_or(|p| p == route.path_id) {
                         middle_infl.push((asn, f.added_ms, f.id));
                     }
                 }
@@ -287,7 +285,12 @@ impl World {
         // Dominant single cause.
         let mut candidates: Vec<(Segment, Asn, f64, Option<FaultId>)> = Vec::new();
         if cloud_infl_ms > 0.0 {
-            candidates.push((Segment::Cloud, self.topo.cloud_asn, cloud_infl_ms, cloud_fault));
+            candidates.push((
+                Segment::Cloud,
+                self.topo.cloud_asn,
+                cloud_infl_ms,
+                cloud_fault,
+            ));
         }
         for (asn, ms, fid) in &middle_infl {
             candidates.push((Segment::Middle, *asn, *ms, Some(*fid)));
@@ -296,9 +299,8 @@ impl World {
         if client_total > 0.0 {
             candidates.push((Segment::Client, c.origin, client_total, client_fault));
         }
-        let total: f64 = cloud_infl_ms
-            + middle_infl.iter().map(|m| m.1).sum::<f64>()
-            + client_total;
+        let total: f64 =
+            cloud_infl_ms + middle_infl.iter().map(|m| m.1).sum::<f64>() + client_total;
         let (culprit, dominant_fraction) = match candidates
             .iter()
             .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
@@ -341,7 +343,12 @@ impl World {
     /// The quartet observation for (location, client, bucket), or
     /// `None` if the client does not use that location or recorded no
     /// connections in the bucket.
-    pub fn quartet(&self, loc: CloudLocId, c: &ClientBlock, bucket: TimeBucket) -> Option<QuartetObs> {
+    pub fn quartet(
+        &self,
+        loc: CloudLocId,
+        c: &ClientBlock,
+        bucket: TimeBucket,
+    ) -> Option<QuartetObs> {
         let secondary = self.connection_kind(loc, c)?;
         let t = bucket.mid();
         let mut act_rng = DetRng::from_keys(
@@ -392,7 +399,12 @@ impl World {
 
     /// Sample-level RTT records for one quartet (slow path; same
     /// connection count as [`World::quartet`], individual noise draws).
-    pub fn rtt_records(&self, loc: CloudLocId, c: &ClientBlock, bucket: TimeBucket) -> Vec<RttRecord> {
+    pub fn rtt_records(
+        &self,
+        loc: CloudLocId,
+        c: &ClientBlock,
+        bucket: TimeBucket,
+    ) -> Vec<RttRecord> {
         let Some(secondary) = self.connection_kind(loc, c) else {
             return Vec::new();
         };
@@ -459,7 +471,7 @@ impl World {
         let mut hops = Vec::with_capacity(n_hops);
         for (i, h) in route.as_hops.iter().enumerate() {
             let mut rtt = 2.0 * h.cum_oneway_ms + 1.0; // +1 ms server stack
-            // Cloud faults delay every probe the server sends.
+                                                       // Cloud faults delay every probe the server sends.
             rtt += gt.cloud_infl_ms;
             // Reverse-path faults delay every reply.
             rtt += reverse_infl;
@@ -485,9 +497,8 @@ impl World {
             if is_last {
                 // Final hop sits past the last mile, inside the client
                 // network.
-                rtt += self.cfg.latency.last_mile_ms(c)
-                    + gt.client_fault_infl_ms
-                    + gt.congestion_ms;
+                rtt +=
+                    self.cfg.latency.last_mile_ms(c) + gt.client_fault_infl_ms + gt.congestion_ms;
             }
             rtt += rng.normal() * noise.hop_sigma_ms;
             let responded = i == 0 || is_last || !rng.chance(noise.non_response_prob);
@@ -519,7 +530,12 @@ impl World {
     /// the client-to-cloud paths." Hops run client-first; reverse-path
     /// middle faults inflate hops at/after the faulty AS, so a
     /// reverse diff *can* localize what the forward probe cannot.
-    pub fn reverse_traceroute(&self, loc: CloudLocId, p24: Prefix24, t: SimTime) -> Option<Traceroute> {
+    pub fn reverse_traceroute(
+        &self,
+        loc: CloudLocId,
+        p24: Prefix24,
+        t: SimTime,
+    ) -> Option<Traceroute> {
         let c = self.topo.client(p24)?;
         let route = self.reverse_route_at(loc, c, t).clone();
         let gt = self.ground_truth(loc, c, t);
@@ -641,8 +657,7 @@ mod tests {
                 // spike can dominate a small sample), so only compare
                 // well-populated quartets, within a loose band.
                 if q.n >= 20 {
-                    let mean: f64 =
-                        recs.iter().map(|r| r.rtt_ms).sum::<f64>() / recs.len() as f64;
+                    let mean: f64 = recs.iter().map(|r| r.rtt_ms).sum::<f64>() / recs.len() as f64;
                     let rel = (mean - q.mean_rtt_ms).abs() / q.mean_rtt_ms;
                     assert!(rel < 0.25, "rel diff {rel} (n={})", q.n);
                     checked += 1;
@@ -708,7 +723,9 @@ mod tests {
         }]);
         let gt = w2.ground_truth(c.primary_loc, &c, SimTime(600));
         assert!(
-            gt.middle_infl.iter().any(|(a, ms, _)| *a == asn && *ms >= 80.0),
+            gt.middle_infl
+                .iter()
+                .any(|(a, ms, _)| *a == asn && *ms >= 80.0),
             "scoped middle fault must hit its own path"
         );
         // A client on a different path via a different middle is spared.
@@ -722,7 +739,10 @@ mod tests {
             })
             .unwrap();
         let gt2 = w2.ground_truth(other.primary_loc, other, SimTime(600));
-        assert!(gt2.middle_infl.iter().all(|(_, _, fid)| *fid != FaultId(0) || gt2.middle_infl.is_empty()));
+        assert!(gt2
+            .middle_infl
+            .iter()
+            .all(|(_, _, fid)| *fid != FaultId(0) || gt2.middle_infl.is_empty()));
     }
 
     #[test]
@@ -742,7 +762,10 @@ mod tests {
         let mut w2 = w.clone();
         w2.add_faults(vec![Fault {
             id: FaultId(0),
-            target: FaultTarget::MiddleAs { asn, via_path: None },
+            target: FaultTarget::MiddleAs {
+                asn,
+                via_path: None,
+            },
             start: SimTime(0),
             duration_secs: 86_400,
             added_ms: 60.0,
@@ -768,7 +791,9 @@ mod tests {
     #[test]
     fn traceroute_unknown_prefix_is_none() {
         let w = tiny_world(1, 1);
-        assert!(w.traceroute(CloudLocId(0), Prefix24::from_block(0xFFFFFF), SimTime(0)).is_none());
+        assert!(w
+            .traceroute(CloudLocId(0), Prefix24::from_block(0xFFFFFF), SimTime(0))
+            .is_none());
     }
 
     #[test]
@@ -777,11 +802,20 @@ mod tests {
         // Scan for a home-broadband client in its local evening with
         // material congestion.
         let mut found = false;
-        'outer: for c in w.topology().clients.iter().filter(|c| !c.mobile && !c.enterprise) {
+        'outer: for c in w
+            .topology()
+            .clients
+            .iter()
+            .filter(|c| !c.mobile && !c.enterprise)
+        {
             for h in 0..24u64 {
                 let t = SimTime::from_hours(h);
                 let gt = w.ground_truth(c.primary_loc, c, t);
-                if gt.congestion_ms > 5.0 && gt.cloud_infl_ms == 0.0 && gt.middle_infl.is_empty() && gt.client_fault_infl_ms == 0.0 {
+                if gt.congestion_ms > 5.0
+                    && gt.cloud_infl_ms == 0.0
+                    && gt.middle_infl.is_empty()
+                    && gt.client_fault_infl_ms == 0.0
+                {
                     if let Some(culprit) = gt.culprit {
                         assert_eq!(culprit.segment, Segment::Client);
                         assert_eq!(culprit.asn, c.origin);

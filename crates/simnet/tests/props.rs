@@ -1,69 +1,74 @@
-//! Property-based tests for the telemetry simulator.
+//! Property-based tests for the telemetry simulator, driven by the
+//! in-repo seeded harness in `blameit_topology::testkit`.
 
 use blameit_simnet::time::{local_hour, BUCKETS_PER_DAY, BUCKET_SECS};
-use blameit_simnet::{
-    Fault, FaultId, FaultSchedule, FaultTarget, SimTime, TimeBucket, TimeRange,
-};
+use blameit_simnet::{Fault, FaultId, FaultSchedule, FaultTarget, SimTime, TimeBucket, TimeRange};
+use blameit_topology::testkit::check;
 use blameit_topology::{Asn, CloudLocId};
-use proptest::prelude::*;
 
-proptest! {
-    /// Bucket arithmetic: every instant falls in exactly its bucket.
-    #[test]
-    fn bucket_contains_instant(secs in 0u64..10_000_000) {
+/// Bucket arithmetic: every instant falls in exactly its bucket.
+#[test]
+fn bucket_contains_instant() {
+    check("bucket_contains_instant", 256, |rng| {
+        let secs = rng.below(10_000_000);
         let t = SimTime(secs);
         let b = t.bucket();
-        prop_assert!(b.start() <= t);
-        prop_assert!(t < b.end());
-        prop_assert_eq!(b.end().secs() - b.start().secs(), BUCKET_SECS);
-        prop_assert_eq!(b.slot_in_day(), b.0 % BUCKETS_PER_DAY);
-        prop_assert_eq!(b.day(), t.day());
-    }
+        assert!(b.start() <= t);
+        assert!(t < b.end());
+        assert_eq!(b.end().secs() - b.start().secs(), BUCKET_SECS);
+        assert_eq!(b.slot_in_day(), b.0 % BUCKETS_PER_DAY);
+        assert_eq!(b.day(), t.day());
+    });
+}
 
-    /// Range bucket iteration is contiguous and inside the range.
-    #[test]
-    fn range_buckets_contiguous(start in 0u64..1_000_000, len in 0u64..200_000) {
+/// Range bucket iteration is contiguous and inside the range.
+#[test]
+fn range_buckets_contiguous() {
+    check("range_buckets_contiguous", 128, |rng| {
+        let start = rng.below(1_000_000);
+        let len = rng.below(200_000);
         let r = TimeRange::new(SimTime(start), SimTime(start + len));
         let buckets: Vec<TimeBucket> = r.buckets().collect();
-        prop_assert_eq!(buckets.len() as u32, r.num_buckets());
+        assert_eq!(buckets.len() as u32, r.num_buckets());
         for w in buckets.windows(2) {
-            prop_assert_eq!(w[1].0, w[0].0 + 1);
+            assert_eq!(w[1].0, w[0].0 + 1);
         }
         for b in &buckets {
-            prop_assert!(r.contains(b.start()));
+            assert!(r.contains(b.start()));
         }
-    }
+    });
+}
 
-    /// Local solar hour stays in [0, 24) for any longitude.
-    #[test]
-    fn local_hour_bounded(secs in 0u64..10_000_000, lon in -180.0f64..180.0) {
+/// Local solar hour stays in [0, 24) for any longitude.
+#[test]
+fn local_hour_bounded() {
+    check("local_hour_bounded", 256, |rng| {
+        let secs = rng.below(10_000_000);
+        let lon = rng.range_f64(-180.0, 180.0);
         let h = local_hour(SimTime(secs), lon);
-        prop_assert!((0.0..24.0).contains(&h), "{h}");
-    }
+        assert!((0.0..24.0).contains(&h), "{h}");
+    });
+}
 
-    /// FaultSchedule::active_at equals a linear scan, for arbitrary
-    /// fault sets and probe instants.
-    #[test]
-    fn active_at_equals_linear_scan(
-        faults in proptest::collection::vec(
-            (0u64..100_000, 60u64..50_000, 10.0f64..100.0),
-            0..40
-        ),
-        probes in proptest::collection::vec(0u64..200_000, 1..20)
-    ) {
-        let fault_objs: Vec<Fault> = faults
-            .iter()
-            .map(|(start, dur, ms)| Fault {
+/// FaultSchedule::active_at equals a linear scan, for arbitrary fault
+/// sets and probe instants.
+#[test]
+fn active_at_equals_linear_scan() {
+    check("active_at_equals_linear_scan", 64, |rng| {
+        let nfaults = rng.below(40) as usize;
+        let fault_objs: Vec<Fault> = (0..nfaults)
+            .map(|_| Fault {
                 id: FaultId(0),
                 target: FaultTarget::CloudLocation(CloudLocId(0)),
-                start: SimTime(*start),
-                duration_secs: *dur,
-                added_ms: *ms,
+                start: SimTime(rng.below(100_000)),
+                duration_secs: rng.range_u64(60, 49_999),
+                added_ms: rng.range_f64(10.0, 100.0),
             })
             .collect();
         let schedule = FaultSchedule::from_faults(fault_objs);
-        for p in probes {
-            let t = SimTime(p);
+        let nprobes = rng.range_u64(1, 19) as usize;
+        for _ in 0..nprobes {
+            let t = SimTime(rng.below(200_000));
             let fast: Vec<FaultId> = schedule.active_at(t).map(|f| f.id).collect();
             let slow: Vec<FaultId> = schedule
                 .faults()
@@ -71,20 +76,27 @@ proptest! {
                 .filter(|f| f.active_at(t))
                 .map(|f| f.id)
                 .collect();
-            prop_assert_eq!(fast, slow);
+            assert_eq!(fast, slow);
         }
-    }
+    });
+}
 
-    /// Schedules are sorted and ids are dense after from_faults,
-    /// regardless of input order.
-    #[test]
-    fn from_faults_normalizes(mut starts in proptest::collection::vec(0u64..100_000, 1..50)) {
+/// Schedules are sorted and ids are dense after from_faults, regardless
+/// of input order.
+#[test]
+fn from_faults_normalizes() {
+    check("from_faults_normalizes", 128, |rng| {
+        let n = rng.range_u64(1, 49) as usize;
+        let mut starts: Vec<u64> = (0..n).map(|_| rng.below(100_000)).collect();
         starts.reverse();
         let faults: Vec<Fault> = starts
             .iter()
             .map(|s| Fault {
                 id: FaultId(9999),
-                target: FaultTarget::MiddleAs { asn: Asn(1), via_path: None },
+                target: FaultTarget::MiddleAs {
+                    asn: Asn(1),
+                    via_path: None,
+                },
                 start: SimTime(*s),
                 duration_secs: 60,
                 added_ms: 10.0,
@@ -92,10 +104,10 @@ proptest! {
             .collect();
         let schedule = FaultSchedule::from_faults(faults);
         for (i, f) in schedule.faults().iter().enumerate() {
-            prop_assert_eq!(f.id, FaultId(i as u32));
+            assert_eq!(f.id, FaultId(i as u32));
             if i > 0 {
-                prop_assert!(schedule.faults()[i - 1].start <= f.start);
+                assert!(schedule.faults()[i - 1].start <= f.start);
             }
         }
-    }
+    });
 }

@@ -26,7 +26,10 @@ fn reverse_route_is_deterministic_and_sometimes_differs() {
         let f = w.route_at(c.primary_loc, c, t);
         let r1 = w.reverse_route_at(c.primary_loc, c, t);
         let r2 = w.reverse_route_at(c.primary_loc, c, t);
-        assert_eq!(r1.path_id, r2.path_id, "reverse choice must be deterministic");
+        assert_eq!(
+            r1.path_id, r2.path_id,
+            "reverse choice must be deterministic"
+        );
         total += 1;
         if r1.path_id != f.path_id || r1.total_oneway_ms != f.total_oneway_ms {
             asymmetric += 1;
@@ -71,7 +74,9 @@ fn reverse_fault_inflates_rtt_but_not_forward_hop_structure() {
     // Ground truth sees the inflation as a middle issue.
     let gt = w.ground_truth(c.primary_loc, &c, t);
     assert!(
-        gt.middle_infl.iter().any(|(a, ms, _)| *a == asn && *ms >= 75.0),
+        gt.middle_infl
+            .iter()
+            .any(|(a, ms, _)| *a == asn && *ms >= 75.0),
         "reverse fault must inflate the handshake RTT"
     );
 
@@ -82,8 +87,14 @@ fn reverse_fault_inflates_rtt_but_not_forward_hop_structure() {
     let after = w.traceroute(c.primary_loc, c.p24, t).unwrap();
     let d_first = after.hops[0].rtt_ms - before.hops[0].rtt_ms;
     let d_last = after.end_to_end_ms().unwrap() - before.end_to_end_ms().unwrap();
-    assert!(d_first > 60.0, "first hop already carries the reply delay: {d_first}");
-    assert!((d_last - d_first).abs() < 15.0, "shift is uniform: {d_first} vs {d_last}");
+    assert!(
+        d_first > 60.0,
+        "first hop already carries the reply delay: {d_first}"
+    );
+    assert!(
+        (d_last - d_first).abs() < 15.0,
+        "shift is uniform: {d_first} vs {d_last}"
+    );
 
     // The reverse traceroute localizes it: the faulty AS's contribution
     // rises by ~the fault.
@@ -109,7 +120,11 @@ fn reverse_traceroute_runs_client_first() {
     let c = &w.topology().clients[0];
     let t = SimTime::from_hours(12);
     let tr = w.reverse_traceroute(c.primary_loc, c.p24, t).unwrap();
-    assert_eq!(tr.hops.first().unwrap().asn, c.origin, "first hop is the client AS");
+    assert_eq!(
+        tr.hops.first().unwrap().asn,
+        c.origin,
+        "first hop is the client AS"
+    );
     assert_eq!(
         tr.hops.last().unwrap().asn,
         w.topology().cloud_asn,
@@ -123,6 +138,10 @@ fn reverse_traceroute_runs_client_first() {
     }
     // Unknown prefix → None.
     assert!(w
-        .reverse_traceroute(c.primary_loc, blameit_topology::Prefix24::from_block(0xFFFFFF), t)
+        .reverse_traceroute(
+            c.primary_loc,
+            blameit_topology::Prefix24::from_block(0xFFFFFF),
+            t
+        )
         .is_none());
 }

@@ -4,7 +4,9 @@
 use blameit_simnet::{Segment, SimTime, TimeBucket, World, WorldConfig};
 
 fn worlds() -> impl Iterator<Item = World> {
-    [11u64, 22, 33].into_iter().map(|s| World::new(WorldConfig::tiny(1, s)))
+    [11u64, 22, 33]
+        .into_iter()
+        .map(|s| World::new(WorldConfig::tiny(1, s)))
 }
 
 #[test]
@@ -16,7 +18,8 @@ fn quartet_means_center_on_ground_truth() {
             let c = w.topology().client(q.p24).unwrap();
             let gt = w.ground_truth(q.loc, c, bucket.mid());
             if q.n >= 20 {
-                rel_errors.push((q.mean_rtt_ms - gt.inflated_total_ms()).abs() / gt.inflated_total_ms());
+                rel_errors
+                    .push((q.mean_rtt_ms - gt.inflated_total_ms()).abs() / gt.inflated_total_ms());
             }
         }
         assert!(!rel_errors.is_empty());
@@ -66,11 +69,7 @@ fn ground_truth_culprit_matches_inflations() {
                     assert!((0.0..=1.0 + 1e-9).contains(&gt.dominant_fraction));
                     // The culprit's own contribution is the max.
                     let client_total = gt.client_fault_infl_ms + gt.congestion_ms;
-                    let max_middle = gt
-                        .middle_infl
-                        .iter()
-                        .map(|m| m.1)
-                        .fold(0.0f64, f64::max);
+                    let max_middle = gt.middle_infl.iter().map(|m| m.1).fold(0.0f64, f64::max);
                     let winner = match culprit.segment {
                         Segment::Cloud => gt.cloud_infl_ms,
                         Segment::Middle => max_middle,
@@ -85,7 +84,10 @@ fn ground_truth_culprit_matches_inflations() {
                 }
             }
         }
-        assert!(with_culprit > 0, "faulty worlds must show culprits somewhere");
+        assert!(
+            with_culprit > 0,
+            "faulty worlds must show culprits somewhere"
+        );
     }
 }
 

@@ -382,9 +382,18 @@ mod tests {
 
     #[test]
     fn atom_equality() {
-        let a = BgpAtom { path: PathId(1), origin: Asn(30) };
-        let b = BgpAtom { path: PathId(1), origin: Asn(30) };
-        let c = BgpAtom { path: PathId(1), origin: Asn(31) };
+        let a = BgpAtom {
+            path: PathId(1),
+            origin: Asn(30),
+        };
+        let b = BgpAtom {
+            path: PathId(1),
+            origin: Asn(30),
+        };
+        let c = BgpAtom {
+            path: PathId(1),
+            origin: Asn(31),
+        };
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -166,11 +166,16 @@ impl Topology {
     /// range outside `8..=24`, or an empty metro catalogue).
     pub fn generate(config: TopologyConfig) -> Topology {
         assert!(
-            (8..=24).contains(&config.prefix_len.0) && config.prefix_len.0 <= config.prefix_len.1 && config.prefix_len.1 <= 24,
+            (8..=24).contains(&config.prefix_len.0)
+                && config.prefix_len.0 <= config.prefix_len.1
+                && config.prefix_len.1 <= 24,
             "prefix_len must be within 8..=24 and ordered"
         );
         assert!(config.tier1_count >= 1, "need at least one tier-1");
-        assert!(config.transits_per_region >= 1, "need at least one transit per region");
+        assert!(
+            config.transits_per_region >= 1,
+            "need at least one transit per region"
+        );
 
         let mut rng = DetRng::from_keys(config.seed, &[0x7090_1057]);
         let metros = builtin_metros();
@@ -258,36 +263,41 @@ impl Topology {
                 .id;
             for (loc_i, src) in loc_pop.iter().enumerate() {
                 let loc = CloudLocId(loc_i as u16);
-                let idx = *route_cache.entry((loc, origin_pop)).or_insert_with(|| {
-                    let pop_paths = graph.diverse_paths(*src, origin_pop, config.route_alternates);
-                    if pop_paths.is_empty() {
-                        let dump = |pop: PopId| -> String {
-                            graph
-                                .neighbors(pop)
-                                .map(|(n, ms, k)| {
-                                    let np = graph.pop(n);
-                                    format!("{}@{}({:?},{:.1}ms,t={})", np.asn, np.metro, k, ms, np.transit_ok)
-                                })
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        };
-                        panic!(
+                let idx =
+                    *route_cache.entry((loc, origin_pop)).or_insert_with(|| {
+                        let pop_paths =
+                            graph.diverse_paths(*src, origin_pop, config.route_alternates);
+                        if pop_paths.is_empty() {
+                            let dump = |pop: PopId| -> String {
+                                graph
+                                    .neighbors(pop)
+                                    .map(|(n, ms, k)| {
+                                        let np = graph.pop(n);
+                                        format!(
+                                            "{}@{}({:?},{:.1}ms,t={})",
+                                            np.asn, np.metro, k, ms, np.transit_ok
+                                        )
+                                    })
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            };
+                            panic!(
                             "no route from {loc} to {} — generator must keep the graph connected
 src {} nbrs: [{}]
 dst {} nbrs: [{}]",
                             p.origin, src, dump(*src), origin_pop, dump(origin_pop)
                         );
-                    }
-                    let options: Vec<RouteOption> = pop_paths
-                        .iter()
-                        .map(|pp| build_route_option(pp, &graph, &ases, &as_index, &mut paths))
-                        .collect();
-                    bgp.push_routes(RouteOptions {
-                        loc,
-                        origin: p.origin,
-                        options,
-                    })
-                });
+                        }
+                        let options: Vec<RouteOption> = pop_paths
+                            .iter()
+                            .map(|pp| build_route_option(pp, &graph, &ases, &as_index, &mut paths))
+                            .collect();
+                        bgp.push_routes(RouteOptions {
+                            loc,
+                            origin: p.origin,
+                            options,
+                        })
+                    });
                 bgp.bind_prefix(loc, p.prefix, idx);
             }
         }
@@ -404,7 +414,9 @@ dst {} nbrs: [{}]",
 
     /// Cloud locations in a region.
     pub fn locations_in(&self, region: Region) -> impl Iterator<Item = &CloudLocation> {
-        self.cloud_locations.iter().filter(move |c| c.region == region)
+        self.cloud_locations
+            .iter()
+            .filter(move |c| c.region == region)
     }
 
     /// Client blocks whose anycast primary is the given location.
@@ -428,7 +440,7 @@ impl PrefixAllocator {
 
     fn alloc(&mut self, len: u8) -> IpPrefix {
         let span = 1u32 << (24 - len); // /24 blocks covered
-        // Align to span.
+                                       // Align to span.
         let start = self.next_block.div_ceil(span) * span;
         self.next_block = start + span;
         IpPrefix::new(start << 8, len)
@@ -831,7 +843,8 @@ impl Builder<'_> {
             }
         }
         let (x, y, ms) = best.expect("both ASes must have PoPs");
-        self.graph.add_link(x, y, ms.max(0.3) + 1.0, LinkKind::Peering);
+        self.graph
+            .add_link(x, y, ms.max(0.3) + 1.0, LinkKind::Peering);
     }
 }
 
@@ -857,7 +870,10 @@ mod tests {
         let c = Topology::generate(TopologyConfig::tiny(6));
         // A different seed shifts at least the populations.
         assert!(
-            a.clients.iter().zip(&c.clients).any(|(x, y)| x.population != y.population)
+            a.clients
+                .iter()
+                .zip(&c.clients)
+                .any(|(x, y)| x.population != y.population)
                 || a.clients.len() != c.clients.len()
         );
     }
@@ -887,7 +903,11 @@ mod tests {
             for opt in &ro.options {
                 let mut prev = -1.0;
                 for h in &opt.as_hops {
-                    assert!(h.cum_oneway_ms > prev, "non-monotone hops: {:?}", opt.as_hops);
+                    assert!(
+                        h.cum_oneway_ms > prev,
+                        "non-monotone hops: {:?}",
+                        opt.as_hops
+                    );
                     prev = h.cum_oneway_ms;
                 }
                 assert!((opt.total_oneway_ms - prev).abs() < 1e-9);

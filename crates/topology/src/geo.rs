@@ -167,11 +167,11 @@ pub fn builtin_metros() -> Vec<Metro> {
         ("br-south", Region::Brazil, -23.5, -46.6), // São Paulo
         ("br-east", Region::Brazil, -22.9, -43.2),  // Rio de Janeiro
         // Australia
-        ("au-east", Region::Australia, -33.9, 151.2),  // Sydney
+        ("au-east", Region::Australia, -33.9, 151.2), // Sydney
         ("au-southeast", Region::Australia, -37.8, 145.0), // Melbourne
         // East Asia
-        ("ea-japan", Region::EastAsia, 35.7, 139.7),    // Tokyo
-        ("ea-korea", Region::EastAsia, 37.6, 127.0),    // Seoul
+        ("ea-japan", Region::EastAsia, 35.7, 139.7), // Tokyo
+        ("ea-korea", Region::EastAsia, 37.6, 127.0), // Seoul
         ("ea-southeast", Region::EastAsia, 1.35, 103.8), // Singapore
         ("ea-hongkong", Region::EastAsia, 22.3, 114.2), // Hong Kong
         // Africa & Middle East
@@ -186,7 +186,10 @@ pub fn builtin_metros() -> Vec<Metro> {
             id: MetroId(i as u16),
             name: (*name).to_string(),
             region: *region,
-            location: GeoPoint { lat: *lat, lon: *lon },
+            location: GeoPoint {
+                lat: *lat,
+                lon: *lon,
+            },
         })
         .collect()
 }
@@ -217,8 +220,14 @@ mod tests {
     #[test]
     fn haversine_known_distance() {
         // London ↔ New York is about 5570 km.
-        let london = GeoPoint { lat: 51.5, lon: -0.1 };
-        let nyc = GeoPoint { lat: 40.7, lon: -74.0 };
+        let london = GeoPoint {
+            lat: 51.5,
+            lon: -0.1,
+        };
+        let nyc = GeoPoint {
+            lat: 40.7,
+            lon: -74.0,
+        };
         let d = london.distance_km(nyc);
         assert!((5500.0..5700.0).contains(&d), "got {d}");
     }
@@ -226,15 +235,24 @@ mod tests {
     #[test]
     fn fiber_delay_transatlantic() {
         // One-way London ↔ NYC over fiber: ~35–45 ms with stretch.
-        let london = GeoPoint { lat: 51.5, lon: -0.1 };
-        let nyc = GeoPoint { lat: 40.7, lon: -74.0 };
+        let london = GeoPoint {
+            lat: 51.5,
+            lon: -0.1,
+        };
+        let nyc = GeoPoint {
+            lat: 40.7,
+            lon: -74.0,
+        };
         let ms = london.fiber_delay_ms(nyc);
         assert!((30.0..50.0).contains(&ms), "got {ms}");
     }
 
     #[test]
     fn zero_distance() {
-        let p = GeoPoint { lat: 10.0, lon: 20.0 };
+        let p = GeoPoint {
+            lat: 10.0,
+            lon: 20.0,
+        };
         assert!(p.distance_km(p) < 1e-9);
         assert!(p.fiber_delay_ms(p) < 1e-9);
     }

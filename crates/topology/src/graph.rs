@@ -115,7 +115,12 @@ impl AsGraph {
     /// Adds a PoP with explicit transit capability.
     pub fn add_pop_with(&mut self, asn: Asn, metro: MetroId, transit_ok: bool) -> PopId {
         let id = PopId(self.pops.len() as u32);
-        self.pops.push(Pop { id, asn, metro, transit_ok });
+        self.pops.push(Pop {
+            id,
+            asn,
+            metro,
+            transit_ok,
+        });
         self.adj.push(Vec::new());
         id
     }
@@ -133,8 +138,16 @@ impl AsGraph {
         );
         assert!((a.0 as usize) < self.pops.len(), "unknown pop {a}");
         assert!((b.0 as usize) < self.pops.len(), "unknown pop {b}");
-        self.adj[a.0 as usize].push(Edge { to: b, latency_ms, kind });
-        self.adj[b.0 as usize].push(Edge { to: a, latency_ms, kind });
+        self.adj[a.0 as usize].push(Edge {
+            to: b,
+            latency_ms,
+            kind,
+        });
+        self.adj[b.0 as usize].push(Edge {
+            to: a,
+            latency_ms,
+            kind,
+        });
     }
 
     /// Number of PoPs.
@@ -219,7 +232,11 @@ impl AsGraph {
         let mut prev: Vec<Option<(PopId, bool)>> = vec![None; n * 2];
         let mut heap = BinaryHeap::new();
         dist[idx(src, true)] = 0.0;
-        heap.push(State { cost: 0.0, node: src, chain: true });
+        heap.push(State {
+            cost: 0.0,
+            node: src,
+            chain: true,
+        });
 
         let mut final_state: Option<(PopId, bool)> = None;
         while let Some(State { cost, node, chain }) = heap.pop() {
@@ -252,7 +269,11 @@ impl AsGraph {
                 if next < *d - 1e-12 {
                     *d = next;
                     prev[idx(e.to, next_chain)] = Some((node, chain));
-                    heap.push(State { cost: next, node: e.to, chain: next_chain });
+                    heap.push(State {
+                        cost: next,
+                        node: e.to,
+                        chain: next_chain,
+                    });
                 }
             }
         }
@@ -300,7 +321,9 @@ impl AsGraph {
         let mut penalized: Vec<(PopId, PopId)> = Vec::new();
         for _ in 0..k {
             let path = self.shortest_path_with(src, dst, |a, b, kind| {
-                let hit = penalized.iter().any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a));
+                let hit = penalized
+                    .iter()
+                    .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a));
                 if hit && kind == LinkKind::Peering {
                     50.0
                 } else if hit {

@@ -350,7 +350,13 @@ mod tests {
 
     #[test]
     fn ipprefix_parse_errors() {
-        for bad in ["10.1.0.0", "10.1.0.0/33", "10.1.0/16", "a.b.c.d/8", "10.1.0.0.0/16"] {
+        for bad in [
+            "10.1.0.0",
+            "10.1.0.0/33",
+            "10.1.0/16",
+            "a.b.c.d/8",
+            "10.1.0.0.0/16",
+        ] {
             assert!(bad.parse::<IpPrefix>().is_err(), "{bad} should not parse");
         }
     }

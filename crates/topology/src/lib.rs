@@ -32,6 +32,7 @@ pub mod geo;
 pub mod graph;
 pub mod ip;
 pub mod rng;
+pub mod testkit;
 
 pub use asn::{AsInfo, AsRole, Asn};
 pub use bgp::{BgpAtom, BgpChurnEvent, BgpPath, BgpTable, PathId, RouteEntry};

@@ -56,7 +56,9 @@ impl DetRng {
         let mut acc = seed ^ 0x6A09_E667_F3BC_C909;
         for (i, k) in keys.iter().enumerate() {
             // Mix position so permuted keys differ.
-            acc = splitmix64_mix(acc ^ k.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)));
+            acc = splitmix64_mix(
+                acc ^ k.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            );
         }
         let mut sm = acc;
         let mut s = [0u64; 4];
@@ -68,7 +70,10 @@ impl DetRng {
         if s == [0, 0, 0, 0] {
             s[0] = 0x9E37_79B9_7F4A_7C15;
         }
-        DetRng { s, spare_normal: None }
+        DetRng {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Derives a child stream keyed by additional values; the parent is
@@ -82,10 +87,7 @@ impl DetRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -107,7 +109,10 @@ impl DetRng {
     /// # Panics
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.f64()
     }
 

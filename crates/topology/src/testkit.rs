@@ -1,0 +1,108 @@
+//! Seeded property-test harness.
+//!
+//! A tiny in-repo replacement for the subset of `proptest` the
+//! workspace used (the build environment is offline, so external dev
+//! dependencies cannot be downloaded). It runs a closure against many
+//! independently seeded [`DetRng`]s and, on failure, reports the case
+//! index and seed so the exact failing input can be replayed:
+//!
+//! ```
+//! use blameit_topology::testkit::check;
+//!
+//! check("u64_roundtrip", 256, |rng| {
+//!     let v = rng.next_u64();
+//!     assert_eq!(v, u64::from_le_bytes(v.to_le_bytes()));
+//! });
+//! ```
+//!
+//! Unlike proptest there is no shrinking: generators are the `DetRng`
+//! methods themselves, and a failing case is reproduced by running the
+//! same property with [`check_one`] and the reported seed.
+
+use crate::rng::DetRng;
+
+/// Base seed for every property, fixed so CI failures reproduce
+/// locally. Override per-run with `BLAMEIT_TEST_SEED=<u64>`.
+pub const DEFAULT_SEED: u64 = 0x0516_C00D_5EED;
+
+fn base_seed() -> u64 {
+    match std::env::var("BLAMEIT_TEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("BLAMEIT_TEST_SEED must be a u64, got {s:?}")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// FNV-1a, folding the property name into the seed keys.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `prop` against `cases` independently seeded RNGs; panics with
+/// the failing case's index and seed on the first failure.
+pub fn check(name: &str, cases: u64, mut prop: impl FnMut(&mut DetRng)) {
+    let seed = base_seed();
+    for case in 0..cases {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = DetRng::from_keys(seed, &[hash_name(name), case]);
+            prop(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property {name:?} failed at case {case}/{cases} \
+                 (replay: check_one({name:?}, {seed:#x}, {case}, ..) \
+                 or rerun with BLAMEIT_TEST_SEED={seed})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Replays a single case of a property (see the failure message from
+/// [`check`]).
+pub fn check_one(name: &str, seed: u64, case: u64, mut prop: impl FnMut(&mut DetRng)) {
+    let mut rng = DetRng::from_keys(seed, &[hash_name(name), case]);
+    prop(&mut rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_runs_all_cases_with_distinct_seeds() {
+        let mut seen = std::collections::HashSet::new();
+        check("distinct", 32, |rng| {
+            seen.insert(rng.next_u64());
+        });
+        assert_eq!(seen.len(), 32, "each case gets its own stream");
+    }
+
+    #[test]
+    fn failure_reports_and_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            check("always-fails", 4, |_rng| panic!("intentional"));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn check_one_replays_the_same_stream() {
+        let mut first = 0;
+        check("replay", 3, |rng| {
+            first = rng.next_u64();
+        });
+        let mut replayed = 0;
+        check_one("replay", DEFAULT_SEED, 2, |rng| {
+            replayed = rng.next_u64();
+        });
+        assert_eq!(first, replayed, "case 2 is the last case run by check");
+    }
+}

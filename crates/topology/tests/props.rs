@@ -1,76 +1,93 @@
-//! Property-based tests for the topology substrate.
+//! Property-based tests for the topology substrate, driven by the
+//! in-repo seeded harness in [`blameit_topology::testkit`].
 
 use blameit_topology::rng::DetRng;
+use blameit_topology::testkit::check;
 use blameit_topology::{AsGraph, Asn, IpPrefix, LinkKind, MetroId, Prefix24};
-use proptest::prelude::*;
 
-proptest! {
-    /// Prefix24 ↔ block number ↔ address round-trips.
-    #[test]
-    fn prefix24_roundtrips(block in 0u32..(1 << 24)) {
+/// Prefix24 ↔ block number ↔ address round-trips.
+#[test]
+fn prefix24_roundtrips() {
+    check("prefix24_roundtrips", 256, |rng| {
+        let block = rng.below(1 << 24) as u32;
         let p = Prefix24::from_block(block);
-        prop_assert_eq!(p.block(), block);
-        prop_assert_eq!(Prefix24::containing(p.base_addr()), p);
-        prop_assert_eq!(Prefix24::containing(p.addr(255)), p);
+        assert_eq!(p.block(), block);
+        assert_eq!(Prefix24::containing(p.base_addr()), p);
+        assert_eq!(Prefix24::containing(p.addr(255)), p);
         let parsed: Prefix24 = p.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, p);
-    }
+        assert_eq!(parsed, p);
+    });
+}
 
-    /// IpPrefix display/parse round-trips and masking is idempotent.
-    #[test]
-    fn ipprefix_roundtrips(base in any::<u32>(), len in 0u8..=32) {
+/// IpPrefix display/parse round-trips and masking is idempotent.
+#[test]
+fn ipprefix_roundtrips() {
+    check("ipprefix_roundtrips", 256, |rng| {
+        let base = rng.next_u64() as u32;
+        let len = rng.below(33) as u8;
         let p = IpPrefix::new(base, len);
-        prop_assert_eq!(IpPrefix::new(p.base(), p.len()), p);
+        assert_eq!(IpPrefix::new(p.base(), p.len()), p);
         let parsed: IpPrefix = p.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, p);
-        prop_assert!(p.contains(p.base()));
-        prop_assert!(p.covers(p));
-    }
+        assert_eq!(parsed, p);
+        assert!(p.contains(p.base()));
+        assert!(p.covers(p));
+    });
+}
 
-    /// Splitting a prefix yields disjoint children that exactly tile it.
-    #[test]
-    fn split_tiles_parent(base in any::<u32>(), len in 4u8..=20, bits in 1u8..=3) {
+/// Splitting a prefix yields disjoint children that exactly tile it.
+#[test]
+fn split_tiles_parent() {
+    check("split_tiles_parent", 128, |rng| {
+        let base = rng.next_u64() as u32;
+        let len = rng.range_u64(4, 20) as u8;
+        let bits = rng.range_u64(1, 3) as u8;
         let p = IpPrefix::new(base, len);
         let children: Vec<IpPrefix> = p.split(bits).collect();
-        prop_assert_eq!(children.len(), 1usize << bits);
+        assert_eq!(children.len(), 1usize << bits);
         for (i, c) in children.iter().enumerate() {
-            prop_assert!(p.covers(*c));
-            prop_assert_eq!(c.len(), len + bits);
+            assert!(p.covers(*c));
+            assert_eq!(c.len(), len + bits);
             for other in &children[i + 1..] {
-                prop_assert!(!c.covers(*other) && !other.covers(*c));
+                assert!(!c.covers(*other) && !other.covers(*c));
             }
         }
         if len + bits <= 24 {
             let child_24s: u32 = children.iter().map(|c| c.num_24s()).sum();
-            prop_assert_eq!(child_24s, p.num_24s());
+            assert_eq!(child_24s, p.num_24s());
         }
-    }
+    });
+}
 
-    /// The deterministic RNG's streams are reproducible and its uniform
-    /// draws respect their bounds.
-    #[test]
-    fn detrng_reproducible_and_bounded(seed in any::<u64>(), keys in proptest::collection::vec(any::<u64>(), 0..4)) {
+/// The deterministic RNG's streams are reproducible and its uniform
+/// draws respect their bounds.
+#[test]
+fn detrng_reproducible_and_bounded() {
+    check("detrng_reproducible_and_bounded", 64, |rng| {
+        let seed = rng.next_u64();
+        let nkeys = rng.below(4) as usize;
+        let keys: Vec<u64> = (0..nkeys).map(|_| rng.next_u64()).collect();
         let mut a = DetRng::from_keys(seed, &keys);
         let mut b = DetRng::from_keys(seed, &keys);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
         let mut r = DetRng::from_keys(seed, &keys);
         for _ in 0..64 {
             let x = r.f64();
-            prop_assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&x));
             let n = r.below(17);
-            prop_assert!(n < 17);
+            assert!(n < 17);
             let e = r.exponential(3.0);
-            prop_assert!(e >= 0.0);
+            assert!(e >= 0.0);
         }
-    }
+    });
+}
 
-    /// Valley-free shortest paths never traverse a non-transit PoP of a
-    /// third AS, and cumulative latencies are strictly increasing.
-    #[test]
-    fn random_graph_paths_are_valley_free(seed in any::<u64>()) {
-        let mut rng = DetRng::new(seed);
+/// Valley-free shortest paths never traverse a non-transit PoP of a
+/// third AS, and cumulative latencies are strictly increasing.
+#[test]
+fn random_graph_paths_are_valley_free() {
+    check("random_graph_paths_are_valley_free", 64, |rng| {
         let mut g = AsGraph::new();
         // Random 3-tier graph: 1 source AS, 4 transit ASes over 3
         // metros, 6 leaf ASes.
@@ -104,22 +121,23 @@ proptest! {
             }
         }
         for &dst in &leaf_pops {
-            let Some(path) = g.shortest_path(src_pop, dst) else { continue };
+            let Some(path) = g.shortest_path(src_pop, dst) else {
+                continue;
+            };
             // Strictly increasing cumulative latency.
             for w in path.cum_ms.windows(2) {
-                prop_assert!(w[1] > w[0]);
+                assert!(w[1] > w[0]);
             }
             // No third-party non-transit PoP in the interior.
             let src_asn = g.pop(src_pop).asn;
             let dst_asn = g.pop(dst).asn;
             for pop in &path.pops[1..path.pops.len() - 1] {
                 let p = g.pop(*pop);
-                prop_assert!(
+                assert!(
                     p.transit_ok || p.asn == src_asn || p.asn == dst_asn,
-                    "valley through {:?}",
-                    p
+                    "valley through {p:?}"
                 );
             }
         }
-    }
+    });
 }

@@ -3,9 +3,9 @@
 use blameit_topology::{AsRole, Topology, TopologyConfig};
 
 fn seeds() -> impl Iterator<Item = Topology> {
-    [101u64, 202, 303].into_iter().map(|s| {
-        Topology::generate(TopologyConfig::tiny(s))
-    })
+    [101u64, 202, 303]
+        .into_iter()
+        .map(|s| Topology::generate(TopologyConfig::tiny(s)))
 }
 
 #[test]
@@ -67,9 +67,7 @@ fn anycast_assignment_is_nearest() {
         for c in t.clients.iter().take(80) {
             let primary_ms = t.routes_for(c.primary_loc, c).options[0].total_oneway_ms;
             for loc in &t.cloud_locations {
-                assert!(
-                    primary_ms <= t.routes_for(loc.id, c).options[0].total_oneway_ms + 1e-9
-                );
+                assert!(primary_ms <= t.routes_for(loc.id, c).options[0].total_oneway_ms + 1e-9);
             }
             if let Some(sec) = c.secondary_loc {
                 assert_ne!(sec, c.primary_loc);
@@ -82,10 +80,7 @@ fn anycast_assignment_is_nearest() {
 fn as_inventory_is_consistent() {
     for t in seeds() {
         // Exactly one cloud AS.
-        assert_eq!(
-            t.ases.iter().filter(|a| a.role == AsRole::Cloud).count(),
-            1
-        );
+        assert_eq!(t.ases.iter().filter(|a| a.role == AsRole::Cloud).count(), 1);
         assert_eq!(
             t.ases.iter().find(|a| a.role == AsRole::Cloud).unwrap().asn,
             t.cloud_asn

@@ -12,7 +12,7 @@
 //! ```
 
 use blameit::{
-    assign_blames, enrich_bucket, Blame, BadnessThresholds, BlameConfig, ExpectedRttLearner,
+    assign_blames, enrich_bucket, BadnessThresholds, Blame, BlameConfig, ExpectedRttLearner,
     MiddleGrouping, RttKey, WorldBackend,
 };
 use blameit_bench::{quiet_world, Scale};
@@ -36,7 +36,10 @@ fn main() {
     let asn = world.topology().paths.get(path).middle[0];
     world.add_faults(vec![Fault {
         id: FaultId(0),
-        target: FaultTarget::MiddleAs { asn, via_path: Some(path) },
+        target: FaultTarget::MiddleAs {
+            asn,
+            via_path: Some(path),
+        },
         start: SimTime::from_days(1),
         duration_secs: 24 * 3600,
         added_ms: 120.0,
@@ -68,12 +71,19 @@ fn main() {
         MiddleGrouping::BgpPath,
         MiddleGrouping::AsMetro,
     ] {
-        let cfg = BlameConfig { grouping, ..BlameConfig::default() };
+        let cfg = BlameConfig {
+            grouping,
+            ..BlameConfig::default()
+        };
         // Learn day-0 expectations under this grouping.
         let mut learner = ExpectedRttLearner::new(1);
         for b in TimeRange::days(1).buckets().step_by(4) {
             for q in enrich_bucket(&backend, b, &thresholds) {
-                learner.observe(RttKey::Cloud(q.obs.loc, q.obs.mobile), b.day(), q.obs.mean_rtt_ms);
+                learner.observe(
+                    RttKey::Cloud(q.obs.loc, q.obs.mobile),
+                    b.day(),
+                    q.obs.mean_rtt_ms,
+                );
                 learner.observe(
                     RttKey::Middle(cfg.grouping.key(&q.info), q.obs.mobile),
                     b.day(),

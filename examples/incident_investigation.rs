@@ -6,7 +6,7 @@
 //! cargo run --release --example incident_investigation
 //! ```
 
-use blameit::{Blame, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit::{BadnessThresholds, Blame, BlameItConfig, BlameItEngine, WorldBackend};
 use blameit_bench::{quiet_world, Scale};
 use blameit_simnet::{Fault, FaultId, FaultTarget, SimTime, TimeRange};
 use blameit_topology::Region;
@@ -74,6 +74,10 @@ fn main() {
     println!(
         "\nconclusion: {} of in-incident verdicts blame the cloud — {}",
         blameit_bench::fmt::pct(cloud_frac),
-        if cloud_frac > 0.8 { "matches the manual investigation" } else { "unexpected; inspect" }
+        if cloud_frac > 0.8 {
+            "matches the manual investigation"
+        } else {
+            "unexpected; inspect"
+        }
     );
 }

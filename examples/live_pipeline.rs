@@ -1,12 +1,13 @@
 //! Live pipeline: stream one simulated day through the BlameIt engine
 //! tick by tick, printing a one-line operations dashboard per tick —
-//! what §6.1's production deployment feeds to network operators.
+//! what §6.1's production deployment feeds to network operators — plus
+//! the per-tick stage profile and a final metrics snapshot.
 //!
 //! ```text
 //! cargo run --release --example live_pipeline
 //! ```
 
-use blameit::{tally, Blame, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit::{tally, BadnessThresholds, Blame, BlameItConfig, BlameItEngine, WorldBackend};
 use blameit_simnet::{SimTime, TimeRange, World, WorldConfig};
 
 fn main() {
@@ -49,9 +50,12 @@ fn main() {
             out.localizations.len(),
             top.unwrap_or_default(),
         );
+        println!("    stages: {}", out.stage_timings.render());
     }
     println!(
         "\nday summary: {} blame verdicts; {} background + {} on-demand probes total",
         total_blames, engine.background_probes_total, engine.on_demand_probes_total
     );
+    println!("\nmetrics snapshot:\n");
+    print!("{}", engine.metrics().registry().render_prometheus());
 }

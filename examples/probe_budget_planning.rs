@@ -59,8 +59,14 @@ fn main() {
         affected_p24s: vec![Prefix24::from_block(200)],
     };
 
-    println!("issue A: {} affected prefixes, ~30 clients, short history", issue_a.affected_p24s.len());
-    println!("issue B: {} affected prefix,  ~100 clients, long history\n", issue_b.affected_p24s.len());
+    println!(
+        "issue A: {} affected prefixes, ~30 clients, short history",
+        issue_a.affected_p24s.len()
+    );
+    println!(
+        "issue B: {} affected prefix,  ~100 clients, long history\n",
+        issue_b.affected_p24s.len()
+    );
 
     let ranked = prioritize(vec![issue_a, issue_b], &durations, &clients);
     println!("client-time-product ranking:");

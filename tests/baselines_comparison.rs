@@ -1,7 +1,9 @@
 //! Cross-crate integration: the comparator systems and BlameIt run over
 //! the same backend, and the paper's qualitative orderings hold.
 
-use blameit::{Backend, BadnessThresholds, BlameItConfig, BlameItEngine, ProbeTarget, WorldBackend};
+use blameit::{
+    Backend, BadnessThresholds, BlameItConfig, BlameItEngine, ProbeTarget, WorldBackend,
+};
 use blameit_baselines::{boolean_tomography, ActiveOnlyMonitor, TrinocularMonitor};
 use blameit_bench::{organic_world, Scale};
 use blameit_simnet::{SimTime, TimeRange};
@@ -11,11 +13,12 @@ fn targets(world: &blameit_simnet::World) -> Vec<ProbeTarget> {
     let mut map: HashMap<_, ProbeTarget> = HashMap::new();
     for c in &world.topology().clients {
         let route = world.route_at(c.primary_loc, c, SimTime::ZERO);
-        map.entry((c.primary_loc, route.path_id)).or_insert(ProbeTarget {
-            loc: c.primary_loc,
-            path: route.path_id,
-            p24: c.p24,
-        });
+        map.entry((c.primary_loc, route.path_id))
+            .or_insert(ProbeTarget {
+                loc: c.primary_loc,
+                path: route.path_id,
+                p24: c.p24,
+            });
     }
     map.into_values().collect()
 }

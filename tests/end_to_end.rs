@@ -2,7 +2,7 @@
 //! stack — topology → telemetry → Algorithm 1 → prioritization →
 //! active localization → alerts — and the ground truth adjudicates.
 
-use blameit::{Backend, Blame, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit::{Backend, BadnessThresholds, Blame, BlameItConfig, BlameItEngine, WorldBackend};
 use blameit_bench::{quiet_world, Scale};
 use blameit_simnet::{Fault, FaultId, FaultTarget, SimTime, TimeRange};
 
@@ -31,8 +31,7 @@ fn middle_fault_world() -> (blameit_simnet::World, blameit_topology::Asn, f64) {
     // Pick the middle AS with the lowest worst-location share (most
     // diverse), breaking ties toward higher total coverage.
     let mut best: Option<(blameit_topology::Asn, f64, usize)> = None;
-    let mut candidates: Vec<blameit_topology::Asn> =
-        counts.keys().map(|(_, a)| *a).collect();
+    let mut candidates: Vec<blameit_topology::Asn> = counts.keys().map(|(_, a)| *a).collect();
     candidates.sort();
     candidates.dedup();
     for asn in candidates {
@@ -60,7 +59,10 @@ fn middle_fault_world() -> (blameit_simnet::World, blameit_topology::Asn, f64) {
     let (asn, share, _) = best.expect("a usable middle AS exists");
     world.add_faults(vec![Fault {
         id: FaultId(0),
-        target: FaultTarget::MiddleAs { asn, via_path: None },
+        target: FaultTarget::MiddleAs {
+            asn,
+            via_path: None,
+        },
         start: SimTime::from_days(2),
         duration_secs: 4 * 3600,
         added_ms: 80.0,
@@ -128,7 +130,10 @@ fn middle_fault_detected_prioritized_and_localized() {
         );
     }
     assert!(localized_correct, "the active phase must name {faulty_as}");
-    assert!(saw_middle_alert, "operators must get a middle alert naming the culprit");
+    assert!(
+        saw_middle_alert,
+        "operators must get a middle alert naming the culprit"
+    );
 }
 
 #[test]

@@ -11,7 +11,7 @@
 //! the cloud because every quartet exceeds its learned expectation.
 
 use blameit::{
-    assign_blames, enrich_bucket, Blame, BadnessThresholds, BlameConfig, ExpectedRttLearner,
+    assign_blames, enrich_bucket, BadnessThresholds, Blame, BlameConfig, ExpectedRttLearner,
     RttKey, WorldBackend,
 };
 use blameit_bench::{quiet_world, Scale};
@@ -66,7 +66,11 @@ fn learned_expectation_catches_partial_threshold_breach() {
     let mut learner = ExpectedRttLearner::new(1);
     for bucket in TimeRange::days(1).buckets().step_by(2) {
         for q in enrich_bucket(&backend, bucket, &thresholds) {
-            learner.observe(RttKey::Cloud(q.obs.loc, q.obs.mobile), bucket.day(), q.obs.mean_rtt_ms);
+            learner.observe(
+                RttKey::Cloud(q.obs.loc, q.obs.mobile),
+                bucket.day(),
+                q.obs.mean_rtt_ms,
+            );
             learner.observe(
                 RttKey::Middle(cfg.grouping.key(&q.info), q.obs.mobile),
                 bucket.day(),

@@ -1,0 +1,118 @@
+//! Integration: the observability layer reflects what the engine did.
+//!
+//! Runs a real engine over a simulated day and cross-checks the
+//! metrics registry and per-tick stage profile against the tick
+//! outputs themselves.
+
+use blameit::{
+    metrics::stage, BadnessThresholds, Blame, BlameItConfig, BlameItEngine, WorldBackend,
+};
+use blameit_obs::MetricsRegistry;
+use blameit_simnet::{SimTime, TimeRange, World, WorldConfig};
+use std::sync::Arc;
+
+fn run_day(world: &World) -> (BlameItEngine, Vec<blameit::TickOutput>) {
+    let thresholds = BadnessThresholds::default_for(world);
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut engine = BlameItEngine::with_metrics(BlameItConfig::new(thresholds), registry);
+    let mut backend = WorldBackend::new(world);
+    engine.warmup(&backend, TimeRange::days(1), 2);
+    let outs = engine.run(
+        &mut backend,
+        TimeRange::new(SimTime::from_days(1), SimTime::from_days(2)),
+    );
+    (engine, outs)
+}
+
+#[test]
+fn stage_timings_are_consistent() {
+    let world = World::new(WorldConfig::tiny(2, 7));
+    let (_, outs) = run_day(&world);
+    assert!(!outs.is_empty());
+    for out in &outs {
+        let t = &out.stage_timings;
+        assert!(t.total() > std::time::Duration::ZERO, "tick took time");
+        assert!(
+            t.stage_sum() <= t.total(),
+            "stage laps are disjoint slices of the tick: {} > {}",
+            t.stage_sum().as_nanos(),
+            t.total().as_nanos()
+        );
+        // Every recorded stage is a canonical one, in pipeline order.
+        let names: Vec<&str> = t.iter().map(|(n, _)| n).collect();
+        for n in &names {
+            assert!(stage::ALL.contains(n), "unknown stage {n}");
+        }
+        let positions: Vec<usize> = names
+            .iter()
+            .map(|n| stage::ALL.iter().position(|s| s == n).unwrap())
+            .collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted, "stages in pipeline order");
+        // Each tick exercises at least the passive path.
+        assert!(t.get(stage::INGEST).is_some());
+        assert!(t.get(stage::PASSIVE).is_some());
+    }
+}
+
+#[test]
+fn blame_counters_match_tick_outputs() {
+    let world = World::new(WorldConfig::tiny(2, 7));
+    let (engine, outs) = run_day(&world);
+    let m = engine.metrics();
+
+    let mut by_segment = [0u64; 5];
+    let mut blamed = 0u64;
+    let mut alerts = 0u64;
+    let mut on_demand = 0u64;
+    let mut background = 0u64;
+    for out in &outs {
+        for b in &out.blames {
+            let idx = Blame::ALL.iter().position(|x| *x == b.blame).unwrap();
+            by_segment[idx] += 1;
+        }
+        blamed += out.blames.len() as u64;
+        alerts += out.alerts.len() as u64;
+        on_demand += out.on_demand_probes;
+        background += out.background_probes;
+    }
+
+    assert_eq!(m.ticks.get(), outs.len() as u64);
+    // `quartets_processed` counts every enriched quartet, of which the
+    // blamed (bad) ones are a subset.
+    assert!(blamed > 0, "the day produced bad quartets");
+    assert!(m.quartets_processed.get() >= blamed);
+    for (i, b) in Blame::ALL.into_iter().enumerate() {
+        assert_eq!(m.blame_counter(b).get(), by_segment[i], "{b}");
+    }
+    assert_eq!(m.alerts.get(), alerts);
+    assert_eq!(m.on_demand_probes.get(), on_demand);
+    assert_eq!(m.background_probes.get(), background);
+    assert_eq!(m.tick_duration_us.count(), outs.len() as u64);
+    assert_eq!(m.quartet_rtt_ms.count(), m.quartets_processed.get());
+    // Baselines were stored, and the staleness gauges describe them.
+    assert!(m.baselines_stored.get() > 0.0);
+    assert!(m.baseline_staleness_max_secs.get() >= m.baseline_staleness_mean_secs.get());
+}
+
+#[test]
+fn registry_renders_after_real_run() {
+    let world = World::new(WorldConfig::tiny(2, 7));
+    let (engine, outs) = run_day(&world);
+    let prom = engine.metrics().registry().render_prometheus();
+    assert!(
+        prom.contains(&format!("blameit_ticks_total {}", outs.len())),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("# TYPE blameit_stage_duration_us histogram"),
+        "{prom}"
+    );
+    let json = engine.metrics().registry().render_json();
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert!(
+        json.contains("\"blameit_quartets_processed_total\""),
+        "{json}"
+    );
+}

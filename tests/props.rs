@@ -1,65 +1,86 @@
-//! Cross-crate property-based tests (proptest): invariants that must
-//! hold for arbitrary inputs, spanning the public APIs of the
-//! workspace crates.
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary inputs, spanning the public APIs of the workspace crates.
+//! Driven by the in-repo seeded harness in `blameit_topology::testkit`.
 
 use blameit::{aggregate_records, diff_contributions, ks_two_sample};
 use blameit_simnet::{RttRecord, SimTime};
+use blameit_topology::rng::DetRng;
+use blameit_topology::testkit::check;
 use blameit_topology::{Asn, CloudLocId, IpPrefix, Prefix24};
-use proptest::prelude::*;
 
-fn arb_record() -> impl Strategy<Value = RttRecord> {
-    (0u16..8, 0u32..64, any::<bool>(), 0u64..3600, 1.0f64..500.0).prop_map(
-        |(loc, block, mobile, secs, rtt)| RttRecord {
-            loc: CloudLocId(loc),
-            p24: Prefix24::from_block(block),
-            mobile,
-            at: SimTime(secs),
-            rtt_ms: rtt,
-        },
-    )
+fn arb_record(rng: &mut DetRng) -> RttRecord {
+    RttRecord {
+        loc: CloudLocId(rng.below(8) as u16),
+        p24: Prefix24::from_block(rng.below(64) as u32),
+        mobile: rng.chance(0.5),
+        at: SimTime(rng.below(3600)),
+        rtt_ms: rng.range_f64(1.0, 500.0),
+    }
 }
 
-proptest! {
-    /// Aggregation conserves samples and respects RTT bounds.
-    #[test]
-    fn aggregation_conserves_mass(records in proptest::collection::vec(arb_record(), 0..300)) {
+/// Aggregation conserves samples and respects RTT bounds.
+#[test]
+fn aggregation_conserves_mass() {
+    check("aggregation_conserves_mass", 64, |rng| {
+        let n = rng.below(300) as usize;
+        let records: Vec<RttRecord> = (0..n).map(|_| arb_record(rng)).collect();
         let quartets = aggregate_records(&records);
         let total: u64 = quartets.iter().map(|q| q.n as u64).sum();
-        prop_assert_eq!(total, records.len() as u64);
-        let lo = records.iter().map(|r| r.rtt_ms).fold(f64::INFINITY, f64::min);
-        let hi = records.iter().map(|r| r.rtt_ms).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(total, records.len() as u64);
+        let lo = records
+            .iter()
+            .map(|r| r.rtt_ms)
+            .fold(f64::INFINITY, f64::min);
+        let hi = records
+            .iter()
+            .map(|r| r.rtt_ms)
+            .fold(f64::NEG_INFINITY, f64::max);
         for q in &quartets {
-            prop_assert!(q.n >= 1);
-            prop_assert!(q.mean_rtt_ms >= lo - 1e-9 && q.mean_rtt_ms <= hi + 1e-9);
+            assert!(q.n >= 1);
+            assert!(q.mean_rtt_ms >= lo - 1e-9 && q.mean_rtt_ms <= hi + 1e-9);
         }
         // Keys are unique.
-        let mut keys: Vec<_> = quartets.iter().map(|q| (q.loc, q.p24, q.mobile, q.bucket)).collect();
+        let mut keys: Vec<_> = quartets
+            .iter()
+            .map(|q| (q.loc, q.p24, q.mobile, q.bucket))
+            .collect();
         keys.sort();
         keys.dedup();
-        prop_assert_eq!(keys.len(), quartets.len());
-    }
+        assert_eq!(keys.len(), quartets.len());
+    });
+}
 
-    /// The traceroute diff is antisymmetric in its inputs and never
-    /// names a culprit below the floor.
-    #[test]
-    fn diff_antisymmetry(
-        contributions in proptest::collection::vec((100u32..140, 0.0f64..100.0), 1..12)
-    ) {
-        let a: Vec<(Asn, f64)> = contributions.iter().map(|(x, ms)| (Asn(*x), *ms)).collect();
+/// The traceroute diff is antisymmetric in its inputs and never names a
+/// culprit below the floor.
+#[test]
+fn diff_antisymmetry() {
+    check("diff_antisymmetry", 128, |rng| {
+        let n = rng.range_u64(1, 11) as usize;
+        let a: Vec<(Asn, f64)> = (0..n)
+            .map(|_| {
+                (
+                    Asn(rng.range_u64(100, 139) as u32),
+                    rng.range_f64(0.0, 100.0),
+                )
+            })
+            .collect();
         let d = diff_contributions(&a, &a);
-        prop_assert!(d.culprit.is_none(), "identical traceroutes have no culprit");
+        assert!(d.culprit.is_none(), "identical traceroutes have no culprit");
         for row in &d.rows {
-            prop_assert!(row.delta_ms().abs() < 1e-9);
+            assert!(row.delta_ms().abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// Raising one AS's contribution by more than the floor names it.
-    #[test]
-    fn diff_names_the_raised_as(
-        contributions in proptest::collection::vec((100u32..200, 0.0f64..50.0), 1..10),
-        idx in 0usize..10,
-        bump in 10.0f64..200.0
-    ) {
+/// Raising one AS's contribution by more than the floor names it.
+#[test]
+fn diff_names_the_raised_as() {
+    check("diff_names_the_raised_as", 128, |rng| {
+        let n = rng.range_u64(1, 9) as usize;
+        let contributions: Vec<(u32, f64)> = (0..n)
+            .map(|_| (rng.range_u64(100, 199) as u32, rng.range_f64(0.0, 50.0)))
+            .collect();
+        let bump = rng.range_f64(10.0, 200.0);
         // Dedup ASNs to keep one contribution each.
         let mut base: Vec<(Asn, f64)> = Vec::new();
         for (x, ms) in &contributions {
@@ -67,37 +88,47 @@ proptest! {
                 base.push((Asn(*x), *ms));
             }
         }
-        let idx = idx % base.len();
+        let idx = rng.index(base.len());
         let mut cur = base.clone();
         cur[idx].1 += bump;
         let d = diff_contributions(&base, &cur);
-        prop_assert_eq!(d.culprit, Some(base[idx].0));
-    }
+        assert_eq!(d.culprit, Some(base[idx].0));
+    });
+}
 
-    /// KS of a sample against itself never rejects; the statistic is in
-    /// [0, 1]; and the test is symmetric.
-    #[test]
-    fn ks_properties(xs in proptest::collection::vec(0.0f64..1000.0, 1..200),
-                     ys in proptest::collection::vec(0.0f64..1000.0, 1..200)) {
+/// KS of a sample against itself never rejects; the statistic is in
+/// [0, 1]; and the test is symmetric.
+#[test]
+fn ks_properties() {
+    check("ks_properties", 64, |rng| {
+        let nx = rng.range_u64(1, 199) as usize;
+        let ny = rng.range_u64(1, 199) as usize;
+        let xs: Vec<f64> = (0..nx).map(|_| rng.range_f64(0.0, 1000.0)).collect();
+        let ys: Vec<f64> = (0..ny).map(|_| rng.range_f64(0.0, 1000.0)).collect();
         let same = ks_two_sample(&xs, &xs).unwrap();
-        prop_assert!(same.statistic < 1e-9);
+        assert!(same.statistic < 1e-9);
         let r1 = ks_two_sample(&xs, &ys).unwrap();
         let r2 = ks_two_sample(&ys, &xs).unwrap();
-        prop_assert!((r1.statistic - r2.statistic).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&r1.statistic));
-        prop_assert!((0.0..=1.0).contains(&r1.p_value));
-    }
+        assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&r1.statistic));
+        assert!((0.0..=1.0).contains(&r1.p_value));
+    });
+}
 
-    /// Prefix containment is consistent between the /24 and
-    /// variable-length views.
-    #[test]
-    fn prefix_containment_consistent(base in 0u32..=u32::MAX, len in 8u8..=24, host in any::<u8>()) {
+/// Prefix containment is consistent between the /24 and variable-length
+/// views.
+#[test]
+fn prefix_containment_consistent() {
+    check("prefix_containment_consistent", 256, |rng| {
+        let base = rng.next_u64() as u32;
+        let len = rng.range_u64(8, 24) as u8;
+        let host = rng.next_u64() as u8;
         let p = IpPrefix::new(base, len);
         for p24 in p.iter_24s().take(4) {
-            prop_assert!(p.covers_24(p24));
-            prop_assert!(p.contains(p24.addr(host)));
-            prop_assert!(p.covers(p24.as_prefix()));
+            assert!(p.covers_24(p24));
+            assert!(p.contains(p24.addr(host)));
+            assert!(p.covers(p24.as_prefix()));
         }
-        prop_assert_eq!(p.num_24s(), 1u32 << (24 - len));
-    }
+        assert_eq!(p.num_24s(), 1u32 << (24 - len));
+    });
 }
