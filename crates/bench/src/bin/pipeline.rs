@@ -1,0 +1,109 @@
+//! Sharded-tick scaling benchmark.
+//!
+//! Runs the same warmed engine evaluation at increasing thread counts
+//! (`1, 2, 4, … --threads`) on one world, times the eval window, and
+//! verifies the determinism contract the sharded tick promises: the
+//! canonical tick transcript at every thread count is *byte-identical*
+//! to the single-threaded run. Also reports how evenly the location
+//! shard key spreads a bucket's quartets, since shard balance bounds
+//! the achievable speedup.
+
+use blameit::{
+    render_tick_transcript, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend,
+};
+use blameit_bench::{fmt, Args, Scale};
+use blameit_simnet::{partition_quartets, SimTime, TimeRange};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.u64("seed", 2019);
+    let days = args.u64("days", 2).max(2);
+    let warmup_days = args.u64("warmup", 1).min(days - 1);
+    let max_threads = args.u64("threads", 8).max(1) as usize;
+    let scale = args.scale(Scale::Default);
+
+    fmt::banner("perf", "Sharded engine tick: scaling and determinism");
+    // Wall-clock speedup is bounded by the host: on a single-core
+    // machine every thread count degenerates to ~1.0x (only the
+    // determinism assertion is meaningful there).
+    println!(
+        "host cores available: {}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let world = blameit_bench::organic_world(scale, days, seed);
+    let eval = TimeRange::new(SimTime::from_days(warmup_days), SimTime::from_days(days));
+    let thresholds = BadnessThresholds::default_for(&world);
+
+    // Shard balance of the location key on a representative bucket.
+    let probe_bucket = eval.start.bucket();
+    let quartets = world.quartets_in(probe_bucket);
+    let shards = partition_quartets(&quartets, max_threads);
+    let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+    let max = sizes.iter().copied().max().unwrap_or(0);
+    let ideal = quartets.len() as f64 / sizes.len().max(1) as f64;
+    println!(
+        "shard balance at {} ({} quartets over {} shards): sizes {:?}, max/ideal {:.2}",
+        probe_bucket,
+        quartets.len(),
+        sizes.len(),
+        sizes,
+        max as f64 / ideal.max(1.0),
+    );
+    println!();
+
+    let mut threads = Vec::new();
+    let mut n = 1;
+    while n < max_threads {
+        threads.push(n);
+        n *= 2;
+    }
+    threads.push(max_threads);
+    threads.dedup();
+
+    let mut reference: Option<String> = None;
+    let mut base_secs = 0.0;
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for &t in &threads {
+        let mut cfg = BlameItConfig::new(thresholds.clone());
+        cfg.parallelism = t;
+        let mut engine = BlameItEngine::new(cfg);
+        let mut backend = WorldBackend::with_parallelism(&world, t);
+        engine.warmup(&backend, TimeRange::days(warmup_days), 2);
+
+        let started = Instant::now();
+        let outs = engine.run(&mut backend, eval);
+        let secs = started.elapsed().as_secs_f64();
+
+        let transcript = render_tick_transcript(&outs);
+        match &reference {
+            None => {
+                reference = Some(transcript);
+                base_secs = secs;
+            }
+            Some(r) => assert_eq!(
+                *r, transcript,
+                "transcript at {t} threads diverged from the single-threaded run"
+            ),
+        }
+        rows.push((format!("{t}"), secs, base_secs / secs));
+        println!(
+            "  threads={t:<3} eval {:.2}s  speedup {:.2}x  (ticks={}, transcript ok)",
+            secs,
+            base_secs / secs,
+            outs.len()
+        );
+    }
+
+    println!();
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("at least one row");
+    println!(
+        "best: {:.2}x at {} threads over {} eval day(s); every transcript byte-identical",
+        best.2,
+        best.0,
+        days - warmup_days
+    );
+}

@@ -1,11 +1,14 @@
 //! Runs every experiment binary in sequence (the full paper
 //! reproduction), forwarding common flags, and reports wall-clock per
-//! experiment. Use `--scale tiny` for a fast smoke pass.
+//! experiment. Use `--scale tiny` for a fast smoke pass and
+//! `--threads N` to run every experiment's engine sharded over N
+//! worker threads (exported as `BLAMEIT_THREADS` to the children).
 
 use std::process::Command;
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
+    "pipeline",
     "table1",
     "table2",
     "fig2",
@@ -31,6 +34,13 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() {
     let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` also becomes BLAMEIT_THREADS for the children, so
+    // experiments that don't parse the flag still run sharded.
+    let threads = forwarded
+        .windows(2)
+        .rev()
+        .find(|w| w[0] == "--threads")
+        .map(|w| w[1].clone());
     let me = std::env::current_exe().expect("current_exe");
     let dir = me.parent().expect("bin dir");
 
@@ -40,8 +50,12 @@ fn main() {
         let path = dir.join(exp);
         let started = Instant::now();
         println!();
-        let status = Command::new(&path)
-            .args(&forwarded)
+        let mut cmd = Command::new(&path);
+        cmd.args(&forwarded);
+        if let Some(t) = &threads {
+            cmd.env("BLAMEIT_THREADS", t);
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
         println!(

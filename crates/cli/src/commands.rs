@@ -54,6 +54,10 @@ COMMON FLAGS:
   --scale tiny|small|default   world size        (default: small)
   --seed N                     determinism seed  (default: 2019)
   --days D                     simulated days    (command-specific default)
+  --threads N                  engine tick worker threads; 0 = auto
+                               (available cores, or BLAMEIT_THREADS).
+                               Output is byte-identical at any N.
+                               `trace` defaults to 1 for a readable tree.
 ";
 
 /// Dispatches a command line (excluding `argv[0]`). Returns the rendered
@@ -251,10 +255,27 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn run_engine(world: &World, warmup_days: u64, eval: TimeRange, tickets: u64, out: &mut String) {
-    let thresholds = BadnessThresholds::default_for(world);
-    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
-    let mut backend = WorldBackend::new(world);
+/// Engine config for `world` with the `--threads` override applied
+/// (`0` keeps the default: available cores or `BLAMEIT_THREADS`).
+fn engine_config(world: &World, threads: usize) -> BlameItConfig {
+    let mut cfg = BlameItConfig::new(BadnessThresholds::default_for(world));
+    if threads > 0 {
+        cfg.parallelism = threads;
+    }
+    cfg
+}
+
+fn run_engine(
+    world: &World,
+    warmup_days: u64,
+    eval: TimeRange,
+    tickets: u64,
+    threads: usize,
+    out: &mut String,
+) {
+    let cfg = engine_config(world, threads);
+    let mut backend = WorldBackend::with_parallelism(world, cfg.parallelism);
+    let mut engine = BlameItEngine::new(cfg);
     engine.warmup(&backend, TimeRange::days(warmup_days), 2);
 
     let mut blames = Vec::new();
@@ -314,6 +335,7 @@ fn cmd_analyze(args: &Args) -> Result<String, CliError> {
         warmup,
         TimeRange::new(SimTime::from_days(warmup), SimTime::from_days(days)),
         tickets,
+        args.u64("threads", 0) as usize,
         &mut out,
     );
     Ok(out)
@@ -403,6 +425,7 @@ fn cmd_inject(args: &Args) -> Result<String, CliError> {
         warmup,
         TimeRange::new(start, start + hours * 3_600),
         args.u64("tickets", 1),
+        args.u64("threads", 0) as usize,
         &mut out,
     );
     Ok(out)
@@ -464,10 +487,10 @@ fn cmd_probe(args: &Args) -> Result<String, CliError> {
 
 /// Builds a warmed-up engine over `world` and evaluates
 /// `[warmup_days, days)`; returns the engine for metric inspection.
-fn warmed_engine_run(world: &World, warmup_days: u64, days: u64) -> BlameItEngine {
-    let thresholds = BadnessThresholds::default_for(world);
-    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
-    let mut backend = WorldBackend::new(world);
+fn warmed_engine_run(world: &World, warmup_days: u64, days: u64, threads: usize) -> BlameItEngine {
+    let cfg = engine_config(world, threads);
+    let mut backend = WorldBackend::with_parallelism(world, cfg.parallelism);
+    let mut engine = BlameItEngine::new(cfg);
     engine.warmup(&backend, TimeRange::days(warmup_days), 2);
     engine.run(
         &mut backend,
@@ -480,7 +503,7 @@ fn cmd_metrics(args: &Args) -> Result<String, CliError> {
     let days = args.u64("days", 2).max(2);
     let warmup = args.u64("warmup", 1).min(days - 1);
     let world = organic_world(args.scale(Scale::Small), days, args.u64("seed", 2019));
-    let engine = warmed_engine_run(&world, warmup, days);
+    let engine = warmed_engine_run(&world, warmup, days, args.u64("threads", 0) as usize);
     let registry = engine.metrics().registry();
     if args.get("json").is_some() {
         Ok(format!("{}\n", registry.render_json()))
@@ -497,9 +520,11 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     // world's first post-warmup tick issues hundreds of background
     // traceroutes (one span each).
     let world = organic_world(args.scale(Scale::Tiny), warmup + 1, seed);
-    let thresholds = BadnessThresholds::default_for(&world);
-    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
-    let mut backend = WorldBackend::new(&world);
+    // Default to one thread: worker spans open at thread-local depth 0,
+    // so a multi-threaded tick would flatten the rendered tree.
+    let cfg = engine_config(&world, args.u64("threads", 1).max(1) as usize);
+    let mut backend = WorldBackend::with_parallelism(&world, cfg.parallelism);
+    let mut engine = BlameItEngine::new(cfg);
     engine.warmup(&backend, TimeRange::days(warmup), 2);
 
     let per_tick = engine.config().tick_buckets;
@@ -718,5 +743,30 @@ mod tests {
         let a = run_s(&["simulate", "--scale", "tiny", "--seed", "5"]).unwrap();
         let b = run_s(&["simulate", "--scale", "tiny", "--seed", "5"]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_output() {
+        let base = [
+            "inject",
+            "--scale",
+            "tiny",
+            "--target",
+            "cloud:0",
+            "--ms",
+            "120",
+            "--at-hour",
+            "26",
+            "--hours",
+            "1",
+        ];
+        let with_threads = |n: &str| {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend(["--threads", n]);
+            run_s(&argv).unwrap()
+        };
+        let one = with_threads("1");
+        assert!(one.contains("blame fractions"), "{one}");
+        assert_eq!(one, with_threads("4"), "sharded run must match legacy");
     }
 }

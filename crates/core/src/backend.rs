@@ -12,6 +12,7 @@
 use blameit_simnet::{QuartetObs, SimTime, TimeBucket, TimeRange, Traceroute, World};
 use blameit_topology::bgp::BgpChurnEvent;
 use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24, Region};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Routing metadata for one (location, client /24) pair at an instant —
 /// what the paper's "IP-AS Table" and "BGP Table" joins provide.
@@ -32,7 +33,11 @@ pub struct RouteInfo {
 }
 
 /// Everything BlameIt needs from the serving infrastructure.
-pub trait Backend {
+///
+/// `Sync` is a supertrait so the sharded tick can hand `&B` to scoped
+/// worker threads; implementations keep any mutable accounting (like
+/// the probe counter) behind interior mutability.
+pub trait Backend: Sync {
     /// All quartet observations recorded in a bucket.
     fn quartets_in(&self, bucket: TimeBucket) -> Vec<QuartetObs>;
 
@@ -41,7 +46,7 @@ pub trait Backend {
     fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo>;
 
     /// Issues a traceroute (counted!). `None` for unknown targets.
-    fn traceroute(&mut self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute>;
+    fn traceroute(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute>;
 
     /// IBGP-listener churn events within a range.
     fn churn_events(&self, range: TimeRange) -> Vec<BgpChurnEvent>;
@@ -54,16 +59,37 @@ pub trait Backend {
 }
 
 /// [`Backend`] over a simulated [`World`], with probe accounting.
+///
+/// The probe counter is atomic so concurrent shard workers can issue
+/// traceroutes through a shared `&WorldBackend` without losing counts.
+/// Quartet ingest — the per-client activity/latency sampling that
+/// dominates a tick at scale — fans out over [`crate::shard::parallel_map`];
+/// each client's quartets are pure functions of `(seed, ids, bucket)`,
+/// and the order-preserving map keeps the stream byte-identical to the
+/// sequential loop at any thread count.
 #[derive(Debug)]
 pub struct WorldBackend<'w> {
     world: &'w World,
-    probes: u64,
+    probes: AtomicU64,
+    parallelism: usize,
 }
 
 impl<'w> WorldBackend<'w> {
-    /// Wraps a world.
+    /// Wraps a world; ingest parallelism defaults to
+    /// [`crate::shard::default_parallelism`] (safe because the output
+    /// does not depend on the thread count).
     pub fn new(world: &'w World) -> Self {
-        WorldBackend { world, probes: 0 }
+        Self::with_parallelism(world, crate::shard::default_parallelism())
+    }
+
+    /// Wraps a world with an explicit ingest thread count (`0` and `1`
+    /// both mean inline sequential ingest).
+    pub fn with_parallelism(world: &'w World, parallelism: usize) -> Self {
+        WorldBackend {
+            world,
+            probes: AtomicU64::new(0),
+            parallelism: parallelism.max(1),
+        }
     }
 
     /// The wrapped world (for evaluation-side ground-truth queries).
@@ -73,13 +99,27 @@ impl<'w> WorldBackend<'w> {
 
     /// Resets the probe counter (e.g. after a warm-up phase).
     pub fn reset_probes(&mut self) {
-        self.probes = 0;
+        self.probes.store(0, Ordering::Relaxed);
     }
 }
 
 impl Backend for WorldBackend<'_> {
     fn quartets_in(&self, bucket: TimeBucket) -> Vec<QuartetObs> {
-        self.world.quartets_in(bucket)
+        // Same order as `World::quartets_in`: per client, primary then
+        // secondary, clients in topology order.
+        let world = self.world;
+        let clients = &world.topology().clients;
+        crate::shard::parallel_map(self.parallelism, clients, |_, c| {
+            [
+                world.quartet(c.primary_loc, c, bucket),
+                c.secondary_loc
+                    .and_then(|sec| world.quartet(sec, c, bucket)),
+            ]
+        })
+        .into_iter()
+        .flatten()
+        .flatten()
+        .collect()
     }
 
     fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo> {
@@ -96,14 +136,14 @@ impl Backend for WorldBackend<'_> {
         })
     }
 
-    fn traceroute(&mut self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute> {
+    fn traceroute(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute> {
         let mut span = blameit_obs::span!(
             "blameit::backend",
             "traceroute",
             loc = loc.0,
             at = at.secs()
         );
-        self.probes += 1;
+        self.probes.fetch_add(1, Ordering::Relaxed);
         let tr = self.world.traceroute(loc, p24, at);
         span.record("hops", tr.as_ref().map_or(0, |t| t.hops.len()));
         tr
@@ -123,7 +163,7 @@ impl Backend for WorldBackend<'_> {
     }
 
     fn probes_issued(&self) -> u64 {
-        self.probes
+        self.probes.load(Ordering::Relaxed)
     }
 }
 
@@ -154,6 +194,18 @@ mod tests {
         assert_eq!(b.probes_issued(), 2);
         b.reset_probes();
         assert_eq!(b.probes_issued(), 0);
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential_world_order() {
+        let w = World::new(WorldConfig::tiny(2, 7));
+        for bucket in [TimeBucket(0), TimeBucket(12), TimeBucket(100)] {
+            let want = w.quartets_in(bucket);
+            for par in [1, 2, 8] {
+                let b = WorldBackend::with_parallelism(&w, par);
+                assert_eq!(b.quartets_in(bucket), want, "par={par}");
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,9 @@
 //! * [`incident`] — consecutive-bad-bucket tracking (§2.3).
 //! * [`pipeline`] — the 15-minute [`pipeline::BlameItEngine`] tying it
 //!   together (§6.1).
+//! * [`shard`] — scoped-thread fan-out helpers behind the sharded
+//!   tick (`BlameItConfig::parallelism`); output is byte-identical
+//!   at any thread count.
 //! * [`report`] — blame-fraction tallies (Fig. 8/9).
 //! * [`metrics`] — per-engine metric handles and the canonical stage
 //!   names of the tick profile (built on `blameit-obs`).
@@ -57,6 +60,7 @@ pub mod pipeline;
 pub mod priority;
 pub mod quartet;
 pub mod report;
+pub mod shard;
 pub mod stats;
 pub mod thresholds;
 
@@ -70,13 +74,17 @@ pub use grouping::{MiddleGrouping, MiddleKey};
 pub use history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
 pub use incident::{Incident, IncidentTracker, OpenIncident};
 pub use ks::{ks_two_sample, KsResult};
-pub use metrics::EngineMetrics;
-pub use passive::{assign_blames, AggregateStats, Blame, BlameConfig, BlameResult};
+pub use metrics::{EngineMetrics, ShardMetrics};
+pub use passive::{
+    aggregate_pass, assign_blames, AggregateStats, Blame, BlameConfig, BlameResult,
+    PassiveAggregates,
+};
 pub use pipeline::{Alert, BlameItConfig, BlameItEngine, MiddleLocalization, TickOutput};
 pub use priority::{prioritize, select_within_budget, MiddleIssue, PrioritizedIssue};
 pub use quartet::{
-    aggregate_records, enrich_bucket, enrich_bucket_min_samples, enrich_obs, split_half_ks,
-    EnrichedQuartet, MIN_SAMPLES,
+    aggregate_records, enrich_bucket, enrich_bucket_min_samples, enrich_obs, enrich_obs_sharded,
+    split_half_ks, EnrichedQuartet, MIN_SAMPLES,
 };
-pub use report::{tally, tally_by_day, tally_by_region, BlameCounts};
+pub use report::{render_tick_transcript, tally, tally_by_day, tally_by_region, BlameCounts};
+pub use shard::{default_parallelism, parallel_map, run_sharded, ShardPlan};
 pub use thresholds::BadnessThresholds;

@@ -126,6 +126,57 @@ impl EngineMetrics {
             }
         }
     }
+
+    /// Folds one shard's scratch metrics into the shared instruments.
+    /// Counters add and the RTT histogram merges bucket-wise
+    /// ([`Histogram::merge_from`]), both order-independent — absorbing
+    /// shards in any order yields the same rendered exposition as the
+    /// sequential path.
+    pub fn absorb_shard(&self, shard: &ShardMetrics) {
+        self.quartets_processed.add(shard.quartets);
+        for (i, n) in shard.blames.iter().enumerate() {
+            if *n > 0 {
+                self.blames[i].add(*n);
+            }
+        }
+        self.quartet_rtt_ms.merge_from(&shard.rtt_ms);
+    }
+}
+
+/// Per-shard metric scratch: a worker thread records locally (no
+/// contention on the shared registry instruments) and the coordinator
+/// absorbs the scratch after the join via
+/// [`EngineMetrics::absorb_shard`].
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Enriched quartets this shard processed.
+    quartets: u64,
+    /// Blame verdicts by segment (`Blame::ALL` order).
+    blames: [u64; 5],
+    /// Mean RTT of processed quartets, milliseconds.
+    rtt_ms: Histogram,
+}
+
+impl ShardMetrics {
+    /// Fresh, empty scratch.
+    pub fn new() -> ShardMetrics {
+        ShardMetrics::default()
+    }
+
+    /// Records one processed quartet and its mean RTT.
+    pub fn observe_quartet(&mut self, mean_rtt_ms: f64) {
+        self.quartets += 1;
+        self.rtt_ms.observe(mean_rtt_ms);
+    }
+
+    /// Records one blame verdict.
+    pub fn record_blame(&mut self, blame: Blame) {
+        let idx = Blame::ALL
+            .iter()
+            .position(|b| *b == blame)
+            .expect("Blame::ALL covers every variant");
+        self.blames[idx] += 1;
+    }
 }
 
 fn as_us(d: Duration) -> f64 {
@@ -166,6 +217,38 @@ mod tests {
         // Unknown stage names are ignored, not registered.
         let active = reg.histogram_with("blameit_stage_duration_us", &[("stage", stage::ACTIVE)]);
         assert_eq!(active.count(), 0);
+    }
+
+    #[test]
+    fn shard_scratch_absorbs_like_direct_recording() {
+        let direct = EngineMetrics::new(Arc::new(MetricsRegistry::new()));
+        let sharded = EngineMetrics::new(Arc::new(MetricsRegistry::new()));
+        let samples = [
+            (12.5, Blame::Cloud),
+            (80.0, Blame::Middle),
+            (33.0, Blame::Middle),
+        ];
+        // Legacy path: straight into the shared instruments.
+        for (rtt, blame) in samples {
+            direct.quartets_processed.add(1);
+            direct.quartet_rtt_ms.observe(rtt);
+            direct.blame_counter(blame).inc();
+        }
+        // Sharded path: two scratches, absorbed in arbitrary order.
+        let mut a = ShardMetrics::new();
+        a.observe_quartet(80.0);
+        a.record_blame(Blame::Middle);
+        let mut b = ShardMetrics::new();
+        b.observe_quartet(12.5);
+        b.record_blame(Blame::Cloud);
+        b.observe_quartet(33.0);
+        b.record_blame(Blame::Middle);
+        sharded.absorb_shard(&b);
+        sharded.absorb_shard(&a);
+        assert_eq!(
+            direct.registry().render_prometheus(),
+            sharded.registry().render_prometheus()
+        );
     }
 
     #[test]

@@ -143,28 +143,33 @@ impl AggregateStats {
     }
 }
 
-/// Runs Algorithm 1 over one bucket's enriched quartets. Returns a
-/// verdict for every **bad** quartet plus the aggregate statistics.
+/// The read-only product of the sequential aggregate pass: everything a
+/// per-quartet verdict needs. Immutable once built, so shard workers
+/// can evaluate [`PassiveAggregates::verdict`] concurrently.
+#[derive(Clone, Debug)]
+pub struct PassiveAggregates {
+    /// Per-location / per-middle-key counts for reporting.
+    pub stats: AggregateStats,
+    /// (p24 block, mobile, loc) triples that saw good RTT this bucket.
+    good_elsewhere: HashSet<(u32, bool, CloudLocId)>,
+}
+
+/// The sequential aggregate pass over one bucket's enriched quartets:
+/// counts quartets and above-expected quartets per cloud location and
+/// per middle key, and records which (/24, mobile) pairs saw good RTT
+/// somewhere. A quartet with no learned expectation yet counts toward
+/// the total but not the bad count (conservative: unlearned keys can't
+/// produce cloud/middle blame).
 ///
-/// `expected` must have been fed prior history (the learner is *not*
-/// updated here; the pipeline owns that, and updates it only after
-/// blame assignment so the current bucket never sees its own data).
-pub fn assign_blames(
+/// This stays on one thread because it reads the [`ExpectedRttLearner`]
+/// (whose lookup cache is not thread-safe); the per-quartet verdicts it
+/// enables are pure and shard freely.
+pub fn aggregate_pass(
     quartets: &[EnrichedQuartet],
     expected: &ExpectedRttLearner,
     cfg: &BlameConfig,
-) -> (Vec<BlameResult>, AggregateStats) {
-    let mut span = blameit_obs::span!(
-        "blameit::passive",
-        "assign_blames",
-        quartets = quartets.len()
-    );
+) -> PassiveAggregates {
     let mut stats = AggregateStats::default();
-
-    // Aggregate pass: count quartets and above-expected quartets per
-    // cloud location and per middle key. A quartet with no learned
-    // expectation yet counts toward the total but not the bad count
-    // (conservative: unlearned keys can't produce cloud/middle blame).
     for q in quartets {
         let loc_entry = stats.cloud.entry(q.obs.loc).or_default();
         loc_entry.0 += 1;
@@ -182,28 +187,29 @@ pub fn assign_blames(
             }
         }
     }
-
-    // (p24, mobile) pairs that saw good RTT somewhere this bucket.
     let good_elsewhere: HashSet<(u32, bool, CloudLocId)> = quartets
         .iter()
         .filter(|q| !q.bad)
         .map(|q| (q.obs.p24.block(), q.obs.mobile, q.obs.loc))
         .collect();
-    let has_good_to_other_loc = |q: &EnrichedQuartet| {
-        good_elsewhere.iter().any(|(blk, mob, loc)| {
-            *blk == q.obs.p24.block() && *mob == q.obs.mobile && *loc != q.obs.loc
-        })
-    };
+    PassiveAggregates {
+        stats,
+        good_elsewhere,
+    }
+}
 
-    let min_q = cfg.min_aggregate_quartets;
-    let mut out = Vec::new();
-    for q in quartets {
+impl PassiveAggregates {
+    /// Algorithm 1's hierarchical elimination for one quartet: `None`
+    /// for good quartets, otherwise the verdict. Pure — depends only on
+    /// the quartet and the precomputed aggregates.
+    pub fn verdict(&self, q: &EnrichedQuartet, cfg: &BlameConfig) -> Option<BlameResult> {
         if !q.bad {
-            continue;
+            return None;
         }
+        let min_q = cfg.min_aggregate_quartets;
         let key = cfg.grouping.key(&q.info);
-        let (cloud_n, cloud_bad) = stats.cloud[&q.obs.loc];
-        let (mid_n, mid_bad) = stats.middle[&key];
+        let (cloud_n, cloud_bad) = self.stats.cloud[&q.obs.loc];
+        let (mid_n, mid_bad) = self.stats.middle[&key];
         let blame = if cloud_n <= min_q {
             Blame::Insufficient
         } else if cloud_bad as f64 / cloud_n as f64 >= cfg.tau {
@@ -212,22 +218,51 @@ pub fn assign_blames(
             Blame::Insufficient
         } else if mid_bad as f64 / mid_n as f64 >= cfg.tau {
             Blame::Middle
-        } else if has_good_to_other_loc(q) {
+        } else if self.has_good_to_other_loc(q) {
             Blame::Ambiguous
         } else {
             Blame::Client
         };
-        out.push(BlameResult {
+        Some(BlameResult {
             obs: q.obs,
             path: q.info.path,
             middle_key: key,
             origin: q.info.origin,
             region: q.info.region,
             blame,
-        });
+        })
     }
+
+    fn has_good_to_other_loc(&self, q: &EnrichedQuartet) -> bool {
+        self.good_elsewhere.iter().any(|(blk, mob, loc)| {
+            *blk == q.obs.p24.block() && *mob == q.obs.mobile && *loc != q.obs.loc
+        })
+    }
+}
+
+/// Runs Algorithm 1 over one bucket's enriched quartets. Returns a
+/// verdict for every **bad** quartet plus the aggregate statistics.
+///
+/// `expected` must have been fed prior history (the learner is *not*
+/// updated here; the pipeline owns that, and updates it only after
+/// blame assignment so the current bucket never sees its own data).
+pub fn assign_blames(
+    quartets: &[EnrichedQuartet],
+    expected: &ExpectedRttLearner,
+    cfg: &BlameConfig,
+) -> (Vec<BlameResult>, AggregateStats) {
+    let mut span = blameit_obs::span!(
+        "blameit::passive",
+        "assign_blames",
+        quartets = quartets.len()
+    );
+    let agg = aggregate_pass(quartets, expected, cfg);
+    let out: Vec<BlameResult> = quartets
+        .iter()
+        .filter_map(|q| agg.verdict(q, cfg))
+        .collect();
     span.record("verdicts", out.len());
-    (out, stats)
+    (out, agg.stats)
 }
 
 #[cfg(test)]

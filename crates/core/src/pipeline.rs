@@ -18,10 +18,11 @@ use crate::background::{BackgroundScheduler, BaselineStore, ProbeTarget};
 use crate::grouping::MiddleKey;
 use crate::history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
 use crate::incident::IncidentTracker;
-use crate::metrics::{stage, EngineMetrics};
-use crate::passive::{assign_blames, Blame, BlameConfig, BlameResult};
+use crate::metrics::{stage, EngineMetrics, ShardMetrics};
+use crate::passive::{aggregate_pass, Blame, BlameConfig, BlameResult};
 use crate::priority::{prioritize, select_within_budget, MiddleIssue, PrioritizedIssue};
-use crate::quartet::{enrich_bucket, enrich_obs, EnrichedQuartet, MIN_SAMPLES};
+use crate::quartet::{enrich_obs_sharded, EnrichedQuartet, MIN_SAMPLES};
+use crate::shard::{parallel_map, run_sharded, ShardPlan};
 use crate::thresholds::BadnessThresholds;
 use blameit_obs::{span, MetricsRegistry, StageClock, StageTimings};
 use blameit_simnet::{SimTime, TimeBucket, TimeRange};
@@ -49,6 +50,11 @@ pub struct BlameItConfig {
     pub max_alerts: usize,
     /// Seed for the expected-RTT reservoir.
     pub seed: u64,
+    /// Worker threads for the sharded tick. `1` runs the exact legacy
+    /// single-threaded path inline; any value produces byte-identical
+    /// `TickOutput` (shard outputs merge under a canonical sort).
+    /// Defaults to `BLAMEIT_THREADS` or the machine's available cores.
+    pub parallelism: usize,
 }
 
 impl BlameItConfig {
@@ -63,6 +69,7 @@ impl BlameItConfig {
             tick_buckets: 3,
             max_alerts: 10,
             seed: 0x0B1A_3E17,
+            parallelism: crate::shard::default_parallelism(),
         }
     }
 }
@@ -246,7 +253,15 @@ impl BlameItEngine {
             if !(i as u32).is_multiple_of(sample_every) {
                 continue;
             }
-            let enriched = enrich_bucket(backend, bucket, &self.cfg.thresholds);
+            let obs = backend.quartets_in(bucket);
+            let enriched = enrich_obs_sharded(
+                backend,
+                obs,
+                bucket,
+                &self.cfg.thresholds,
+                MIN_SAMPLES,
+                self.cfg.parallelism,
+            );
             if sample_every == 1 {
                 let mut per_path: HashMap<(CloudLocId, PathId), (u32, u32)> = HashMap::new();
                 for q in &enriched {
@@ -297,7 +312,17 @@ impl BlameItEngine {
 
     /// Runs one 15-minute analysis tick starting at `start`, consuming
     /// `cfg.tick_buckets` buckets of telemetry.
+    ///
+    /// With `cfg.parallelism > 1` the heavy stages fan out over scoped
+    /// worker threads (see [`crate::shard`]); the output is
+    /// byte-identical to `parallelism = 1` because every parallel stage
+    /// is a pure map over a deterministically ordered worklist whose
+    /// results merge under a canonical sort.
     pub fn tick<B: Backend>(&mut self, backend: &mut B, start: TimeBucket) -> TickOutput {
+        // Shared view for worker threads; mutation below stays on the
+        // coordinator (probe accounting is interior-mutable).
+        let backend: &B = backend;
+        let nthreads = self.cfg.parallelism.max(1);
         let mut tick_span = span!("blameit::pipeline", "tick", start_bucket = start.0);
         let mut clock = StageClock::start();
         let mut out = TickOutput::default();
@@ -318,24 +343,59 @@ impl BlameItEngine {
             clock.lap(stage::INGEST);
             let enriched = {
                 let mut s = span!("blameit::pipeline", stage::AGGREGATION, raw = obs.len());
-                let e = enrich_obs(backend, obs, bucket, &self.cfg.thresholds, MIN_SAMPLES);
+                let e = enrich_obs_sharded(
+                    backend,
+                    obs,
+                    bucket,
+                    &self.cfg.thresholds,
+                    MIN_SAMPLES,
+                    nthreads,
+                );
                 s.record("enriched", e.len());
                 e
             };
             clock.lap(stage::AGGREGATION);
-            let passive_span = span!(
+            let mut passive_span = span!(
                 "blameit::pipeline",
                 stage::PASSIVE,
                 quartets = enriched.len()
             );
-            self.metrics.quartets_processed.add(enriched.len() as u64);
-            for q in &enriched {
-                self.metrics.quartet_rtt_ms.observe(q.obs.mean_rtt_ms);
+            // The aggregate pass stays on the coordinator (it reads the
+            // expected-RTT learner, whose lookup cache is not
+            // thread-safe); per-quartet verdicts are pure against the
+            // resulting aggregates and shard by cloud location —
+            // Algorithm 1's elimination is independent across
+            // locations. Each shard records into scratch metrics that
+            // are absorbed after the join (histogram merges are
+            // order-independent, so rendered metrics match the legacy
+            // path exactly).
+            let agg = aggregate_pass(&enriched, &self.expected, &self.cfg.blame);
+            let blame_cfg = self.cfg.blame;
+            let plan = ShardPlan::by_key(&enriched, nthreads, |q| q.obs.loc);
+            let shard_out = run_sharded(nthreads, &plan, |_, idxs| {
+                let mut scratch = ShardMetrics::new();
+                let mut verdicts: Vec<(usize, BlameResult)> = Vec::new();
+                for &i in idxs {
+                    let q = &enriched[i];
+                    scratch.observe_quartet(q.obs.mean_rtt_ms);
+                    if let Some(r) = agg.verdict(q, &blame_cfg) {
+                        scratch.record_blame(r.blame);
+                        verdicts.push((i, r));
+                    }
+                }
+                (verdicts, scratch)
+            });
+            let mut indexed: Vec<(usize, BlameResult)> = Vec::new();
+            for (verdicts, scratch) in shard_out {
+                self.metrics.absorb_shard(&scratch);
+                indexed.extend(verdicts);
             }
-            let (blames, stats) = assign_blames(&enriched, &self.expected, &self.cfg.blame);
-            for b in &blames {
-                self.metrics.blame_counter(b.blame).inc();
-            }
+            // Canonical merge: original input order, as one thread
+            // would have produced.
+            indexed.sort_unstable_by_key(|(i, _)| *i);
+            let blames: Vec<BlameResult> = indexed.into_iter().map(|(_, r)| r).collect();
+            let stats = agg.stats;
+            passive_span.record("verdicts", blames.len());
 
             // Incident continuity for middle issues.
             let bad_middle: Vec<(CloudLocId, PathId)> = blames
@@ -398,8 +458,12 @@ impl BlameItEngine {
         }
 
         let priority_span = span!("blameit::pipeline", stage::PRIORITY);
-        // Build and prioritize middle issues.
-        let issues: Vec<MiddleIssue> = middle_acc
+        // Build and prioritize middle issues. `middle_acc` is a
+        // HashMap, so impose the canonical (loc, path) order before
+        // ranking — prioritize's tie-break keeps the result total
+        // either way, but emission order must never lean on hash-seed
+        // luck.
+        let mut issues: Vec<MiddleIssue> = middle_acc
             .into_iter()
             .map(|((loc, path), m)| {
                 let elapsed = self
@@ -417,6 +481,7 @@ impl BlameItEngine {
                 }
             })
             .collect();
+        issues.sort_unstable_by_key(|i| (i.loc, i.path));
         let ranked = prioritize(issues, &self.durations, &self.client_hist);
         let selected: Vec<PrioritizedIssue> =
             select_within_budget(&ranked, self.cfg.probe_budget_per_loc)
@@ -438,50 +503,78 @@ impl BlameItEngine {
             selected = selected.len()
         );
         let mut culprit_by_issue: HashMap<(CloudLocId, PathId), Asn> = HashMap::new();
-        for p in selected {
-            let probe_at = p.issue.bucket.mid();
-            // Probe an *affected* /24 (§5.3 targets the clients of the
-            // issue). Its last mile may differ from the /24 the
-            // background baseline was measured toward; that difference
-            // lands in the client hop, so the client AS gets a raised
-            // culprit floor in the diff below.
-            let p24 = p.issue.affected_p24s[0];
-            let client_origin = backend
-                .route_info(p.issue.loc, p24, probe_at)
-                .map(|i| i.origin);
-            let tr = backend.traceroute(p.issue.loc, p24, probe_at);
-            self.on_demand_probes_total += 1;
-            out.on_demand_probes += 1;
-            // Diff against the newest baseline that predates the whole
-            // badness *episode* (gap-tolerant): a mid-incident baseline
-            // already carries the inflation (§5.2 compares against the
-            // pre-fault picture), and overnight detection gaps must not
-            // fool the lookup into using one.
-            let incident_start = self
-                .episodes
-                .get(&(p.issue.loc, p.issue.path))
-                .map(|(start, _)| start.start())
-                .unwrap_or_else(|| {
-                    p.issue
-                        .bucket
-                        .minus(p.issue.elapsed_buckets.saturating_sub(1))
-                        .start()
-                });
-            // Detection lags the fault (τ must be breached, activity
-            // must suffice, and a tick must run); pad the lookup so a
-            // baseline taken shortly before *detection* — but possibly
-            // after the true onset — is not trusted.
-            let incident_start = incident_start - 9 * blameit_simnet::BUCKET_SECS;
-            let diff = tr.as_ref().and_then(|t| {
-                self.baselines
-                    .get_before(p.issue.loc, p.issue.path, incident_start)
-                    .or_else(|| self.baselines.oldest(p.issue.loc, p.issue.path))
+        // Probe sequentially in rank order (probe accounting and the
+        // issue→probe attribution stay in the legacy order), then diff
+        // each traceroute against its baseline concurrently — the diff
+        // is a pure function of the probe and the (unmodified-in-this-
+        // stage) baseline store — and merge back in rank order.
+        struct ProbedIssue {
+            issue: PrioritizedIssue,
+            probe_at: SimTime,
+            p24: Prefix24,
+            client_origin: Option<Asn>,
+            tr: Option<blameit_simnet::Traceroute>,
+            incident_start: SimTime,
+        }
+        let probed: Vec<ProbedIssue> = selected
+            .into_iter()
+            .map(|p| {
+                let probe_at = p.issue.bucket.mid();
+                // Probe an *affected* /24 (§5.3 targets the clients of
+                // the issue). Its last mile may differ from the /24 the
+                // background baseline was measured toward; that
+                // difference lands in the client hop, so the client AS
+                // gets a raised culprit floor in the diff below.
+                let p24 = p.issue.affected_p24s[0];
+                let client_origin = backend
+                    .route_info(p.issue.loc, p24, probe_at)
+                    .map(|i| i.origin);
+                let tr = backend.traceroute(p.issue.loc, p24, probe_at);
+                self.on_demand_probes_total += 1;
+                out.on_demand_probes += 1;
+                // Diff against the newest baseline that predates the
+                // whole badness *episode* (gap-tolerant): a mid-incident
+                // baseline already carries the inflation (§5.2 compares
+                // against the pre-fault picture), and overnight
+                // detection gaps must not fool the lookup into using
+                // one.
+                let incident_start = self
+                    .episodes
+                    .get(&(p.issue.loc, p.issue.path))
+                    .map(|(start, _)| start.start())
+                    .unwrap_or_else(|| {
+                        p.issue
+                            .bucket
+                            .minus(p.issue.elapsed_buckets.saturating_sub(1))
+                            .start()
+                    });
+                // Detection lags the fault (τ must be breached, activity
+                // must suffice, and a tick must run); pad the lookup so
+                // a baseline taken shortly before *detection* — but
+                // possibly after the true onset — is not trusted.
+                let incident_start = incident_start - 9 * blameit_simnet::BUCKET_SECS;
+                ProbedIssue {
+                    issue: p,
+                    probe_at,
+                    p24,
+                    client_origin,
+                    tr,
+                    incident_start,
+                }
+            })
+            .collect();
+        let baselines = &self.baselines;
+        let diffs = parallel_map(nthreads, &probed, |_, p| {
+            p.tr.as_ref().and_then(|t| {
+                baselines
+                    .get_before(p.issue.issue.loc, p.issue.issue.path, p.incident_start)
+                    .or_else(|| baselines.oldest(p.issue.issue.loc, p.issue.issue.path))
                     .map(|base| {
                         diff_contributions_with_floor(
                             &base.contributions,
                             &t.as_contributions(),
                             |asn| {
-                                if Some(asn) == client_origin {
+                                if Some(asn) == p.client_origin {
                                     // Covers the last-mile spread between
                                     // the probed /24 and the baseline's
                                     // /24 (up to ~32 ms for cellular) plus
@@ -493,17 +586,19 @@ impl BlameItEngine {
                             },
                         )
                     })
-            });
+            })
+        });
+        for (p, diff) in probed.into_iter().zip(diffs) {
             let culprit = diff.as_ref().and_then(|d| d.culprit);
             if let Some(c) = culprit {
-                culprit_by_issue.insert((p.issue.loc, p.issue.path), c);
+                culprit_by_issue.insert((p.issue.issue.loc, p.issue.issue.path), c);
             }
             out.localizations.push(MiddleLocalization {
-                probed_at: probe_at,
-                probed_p24: p24,
+                probed_at: p.probe_at,
+                probed_p24: p.p24,
                 diff,
                 culprit,
-                issue: p,
+                issue: p.issue,
             });
         }
         self.metrics.on_demand_probes.add(out.on_demand_probes);
@@ -513,7 +608,10 @@ impl BlameItEngine {
         // Background probes: periodic + churn-triggered.
         let baseline_span = span!("blameit::pipeline", stage::BASELINE);
         let now = start.plus(self.cfg.tick_buckets).start();
-        let periodic: Vec<ProbeTarget> = self
+        // `rep_p24` is a HashMap: sort the candidate list so the probe
+        // order never depends on hash-seed iteration order (the
+        // scheduler re-sorts, but the invariant belongs at the source).
+        let mut periodic: Vec<ProbeTarget> = self
             .rep_p24
             .iter()
             .map(|((loc, path), p24)| ProbeTarget {
@@ -522,6 +620,7 @@ impl BlameItEngine {
                 p24: *p24,
             })
             .collect();
+        periodic.sort_unstable();
         let churn_targets: Vec<ProbeTarget> = if self.cfg.churn_triggered {
             // Robust to ticks scheduled before the warmup cursor (the
             // caller's business, but never a panic).
@@ -558,26 +657,43 @@ impl BlameItEngine {
         };
         self.churn_cursor = now;
         let now_bucket = now.bucket();
-        for t in self.scheduler.due(now, &periodic, &churn_targets) {
-            // Never re-baseline a path inside (or shortly after) a
-            // badness episode: the measurement would carry the
-            // inflation and evict the healthy pre-incident picture the
-            // diff needs (§5.2).
-            let in_episode = self
-                .episodes
-                .get(&(t.loc, t.path))
-                .is_some_and(|(_, last)| {
-                    now_bucket.0.saturating_sub(last.0) <= EPISODE_GAP_BUCKETS
-                });
-            if in_episode {
-                self.metrics.probes_suppressed_episode.inc();
-                continue;
-            }
-            if let Some(tr) = backend.traceroute(t.loc, t.p24, now) {
+        // Episode suppression first (sequential — it reads engine
+        // state), leaving an ordered worklist of targets to probe.
+        let targets: Vec<ProbeTarget> = self
+            .scheduler
+            .due(now, &periodic, &churn_targets)
+            .into_iter()
+            .filter(|t| {
+                // Never re-baseline a path inside (or shortly after) a
+                // badness episode: the measurement would carry the
+                // inflation and evict the healthy pre-incident picture
+                // the diff needs (§5.2).
+                let in_episode = self
+                    .episodes
+                    .get(&(t.loc, t.path))
+                    .is_some_and(|(_, last)| {
+                        now_bucket.0.saturating_sub(last.0) <= EPISODE_GAP_BUCKETS
+                    });
+                if in_episode {
+                    self.metrics.probes_suppressed_episode.inc();
+                }
+                !in_episode
+            })
+            .collect();
+        // Refresh probes run concurrently — each is a pure query of the
+        // backend — and their results apply to the baseline store in
+        // the due-list order, exactly as the sequential loop did.
+        let refreshed = parallel_map(nthreads, &targets, |_, t| {
+            backend.traceroute(t.loc, t.p24, now).map(|tr| {
                 // Key by the path actually live at probe time.
                 let live_path = backend
                     .route_info(t.loc, t.p24, now)
                     .map_or(t.path, |i| i.path);
+                (live_path, tr)
+            })
+        });
+        for (t, probe) in targets.iter().zip(refreshed) {
+            if let Some((live_path, tr)) = probe {
                 self.baselines.update(t.loc, live_path, &tr);
                 self.baseline_p24.insert((t.loc, live_path), t.p24);
             }

@@ -72,14 +72,34 @@ pub fn enrich_obs<B: Backend>(
     thresholds: &BadnessThresholds,
     min_samples: u32,
 ) -> Vec<EnrichedQuartet> {
-    obs.into_iter()
-        .filter(|q| q.n >= min_samples)
-        .filter_map(|obs| {
-            let info = backend.route_info(obs.loc, obs.p24, bucket.mid())?;
-            let bad = obs.mean_rtt_ms > thresholds.get(info.region, obs.mobile);
-            Some(EnrichedQuartet { obs, info, bad })
+    enrich_obs_sharded(backend, obs, bucket, thresholds, min_samples, 1)
+}
+
+/// [`enrich_obs`] fanned out over `parallelism` worker threads: the
+/// routing join is a pure per-quartet lookup, so the observation list
+/// splits into contiguous chunks and the enriched output keeps the
+/// input order exactly (`parallelism <= 1` is a plain sequential map).
+pub fn enrich_obs_sharded<B: Backend>(
+    backend: &B,
+    obs: Vec<QuartetObs>,
+    bucket: TimeBucket,
+    thresholds: &BadnessThresholds,
+    min_samples: u32,
+    parallelism: usize,
+) -> Vec<EnrichedQuartet> {
+    let kept: Vec<QuartetObs> = obs.into_iter().filter(|q| q.n >= min_samples).collect();
+    crate::shard::parallel_map(parallelism, &kept, |_, obs| {
+        let info = backend.route_info(obs.loc, obs.p24, bucket.mid())?;
+        let bad = obs.mean_rtt_ms > thresholds.get(info.region, obs.mobile);
+        Some(EnrichedQuartet {
+            obs: *obs,
+            info,
+            bad,
         })
-        .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Groups raw RTT records into quartet observations (the aggregation

@@ -8,9 +8,9 @@
 
 use crate::active::TracrouteDiffResult;
 use crate::passive::{Blame, BlameResult};
-use crate::pipeline::{Alert, MiddleLocalization};
+use crate::pipeline::{Alert, MiddleLocalization, TickOutput};
 use blameit_topology::Region;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -91,22 +91,126 @@ pub fn tally(results: &[BlameResult]) -> BlameCounts {
     c
 }
 
-/// Tallies per region (Fig. 9's view).
-pub fn tally_by_region(results: &[BlameResult]) -> HashMap<Region, BlameCounts> {
-    let mut out: HashMap<Region, BlameCounts> = HashMap::new();
+/// Tallies per region (Fig. 9's view). Ordered map, so report loops
+/// iterate regions canonically rather than in hash order.
+pub fn tally_by_region(results: &[BlameResult]) -> BTreeMap<Region, BlameCounts> {
+    let mut out: BTreeMap<Region, BlameCounts> = BTreeMap::new();
     for r in results {
         out.entry(r.region).or_default().add(r.blame);
     }
     out
 }
 
-/// Tallies per day (Fig. 8's view).
-pub fn tally_by_day(results: &[BlameResult]) -> HashMap<u32, BlameCounts> {
-    let mut out: HashMap<u32, BlameCounts> = HashMap::new();
+/// Tallies per day (Fig. 8's view). Ordered map, so report loops
+/// iterate days canonically rather than in hash order.
+pub fn tally_by_day(results: &[BlameResult]) -> BTreeMap<u32, BlameCounts> {
+    let mut out: BTreeMap<u32, BlameCounts> = BTreeMap::new();
     for r in results {
         out.entry(r.obs.bucket.day()).or_default().add(r.blame);
     }
     out
+}
+
+/// Serializes tick outputs into a canonical, line-oriented transcript
+/// covering everything that must be invariant across thread counts:
+/// blames, ranked issues, probe decisions, localizations, alerts, probe
+/// counts, and the stage-timing *keys* (durations are wall-clock, so
+/// only the key set and order are canonical). Floats print with their
+/// shortest round-trip representation, so equal transcripts mean
+/// bit-equal outputs. Shared by the golden regression snapshot and the
+/// parallel-determinism suite.
+pub fn render_tick_transcript(outs: &[TickOutput]) -> String {
+    let mut s = String::new();
+    for (i, out) in outs.iter().enumerate() {
+        writeln!(
+            s,
+            "tick {i} on_demand={} background={}",
+            out.on_demand_probes, out.background_probes
+        )
+        .unwrap();
+        for b in &out.blames {
+            writeln!(
+                s,
+                "  blame loc={} p24={} mobile={} bucket={} n={} mean={:?} \
+                 path={} key={:?} origin={} region={:?} verdict={}",
+                b.obs.loc,
+                b.obs.p24,
+                b.obs.mobile,
+                b.obs.bucket.0,
+                b.obs.n,
+                b.obs.mean_rtt_ms,
+                b.path,
+                b.middle_key,
+                b.origin,
+                b.region,
+                b.blame
+            )
+            .unwrap();
+        }
+        for r in &out.ranked_issues {
+            let p24s: Vec<String> = r
+                .issue
+                .affected_p24s
+                .iter()
+                .map(|p| p.to_string())
+                .collect();
+            writeln!(
+                s,
+                "  issue loc={} path={} key={:?} bucket={} elapsed={} clients={} \
+                 p24s=[{}] remaining={:?} predicted={:?} product={:?}",
+                r.issue.loc,
+                r.issue.path,
+                r.issue.middle_key,
+                r.issue.bucket.0,
+                r.issue.elapsed_buckets,
+                r.issue.current_clients,
+                p24s.join(","),
+                r.expected_remaining_buckets,
+                r.predicted_clients,
+                r.client_time_product
+            )
+            .unwrap();
+        }
+        for l in &out.localizations {
+            let diff = match &l.diff {
+                None => "none".to_string(),
+                Some(d) => {
+                    let rows: Vec<String> = d
+                        .rows
+                        .iter()
+                        .map(|r| format!("{}:{:?}->{:?}", r.asn, r.baseline_ms, r.current_ms))
+                        .collect();
+                    format!("[{}]", rows.join(","))
+                }
+            };
+            writeln!(
+                s,
+                "  localization loc={} path={} at={} p24={} culprit={:?} diff={}",
+                l.issue.issue.loc, l.issue.issue.path, l.probed_at, l.probed_p24, l.culprit, diff
+            )
+            .unwrap();
+        }
+        for a in &out.alerts {
+            writeln!(
+                s,
+                "  alert bucket={} blame={} loc={} path={:?} client_as={:?} culprit={:?} \
+                 connections={} p24s={} confidence={:?}",
+                a.bucket.0,
+                a.blame,
+                a.loc,
+                a.path,
+                a.client_as,
+                a.culprit,
+                a.impacted_connections,
+                a.impacted_p24s,
+                a.confidence
+            )
+            .unwrap();
+        }
+        let stages: Vec<&str> = out.stage_timings.iter().map(|(n, _)| n).collect();
+        writeln!(s, "  stages [{}]", stages.join(",")).unwrap();
+    }
+    s
 }
 
 /// Renders one operator ticket for an alert — the auto-filed
@@ -268,6 +372,39 @@ mod tests {
         assert_eq!(by_day[&1].total(), 1);
         let all = tally(&results);
         assert_eq!(all.total(), 3);
+    }
+
+    #[test]
+    fn tallies_iterate_in_canonical_order() {
+        // Insertion order is adversarial; iteration must still be
+        // sorted (this is what kept hash-order out of the reports).
+        let results = vec![
+            result(Blame::Client, Region::UnitedStates, 5),
+            result(Blame::Middle, Region::India, 0),
+            result(Blame::Cloud, Region::Europe, 3),
+            result(Blame::Middle, Region::India, 3),
+        ];
+        let days: Vec<u32> = tally_by_day(&results).keys().copied().collect();
+        assert_eq!(days, vec![0, 3, 5]);
+        let regions: Vec<Region> = tally_by_region(&results).keys().copied().collect();
+        let mut sorted = regions.clone();
+        sorted.sort();
+        assert_eq!(regions, sorted);
+        assert_eq!(regions.len(), 3);
+    }
+
+    #[test]
+    fn transcript_covers_every_section() {
+        let out = TickOutput {
+            blames: vec![result(Blame::Middle, Region::India, 0)],
+            on_demand_probes: 2,
+            background_probes: 7,
+            ..TickOutput::default()
+        };
+        let t = render_tick_transcript(&[out]);
+        assert!(t.starts_with("tick 0 on_demand=2 background=7\n"), "{t}");
+        assert!(t.contains("verdict=middle"), "{t}");
+        assert!(t.contains("stages []"), "{t}");
     }
 
     #[test]

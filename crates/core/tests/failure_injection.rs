@@ -14,7 +14,11 @@ use blameit_topology::{CloudLocId, Prefix24};
 /// probability (deterministically, per call site).
 struct FlakyBackend<'w> {
     inner: WorldBackend<'w>,
-    rng: std::cell::RefCell<DetRng>,
+    // Mutex (not RefCell): `Backend: Sync` so the sharded tick can call
+    // into it from worker threads. The lock order under parallelism > 1
+    // is nondeterministic, which is fine here — these tests assert
+    // robustness, not exact outputs.
+    rng: std::sync::Mutex<DetRng>,
     drop_traceroute: f64,
     drop_bucket: f64,
     drop_route_info: f64,
@@ -24,7 +28,7 @@ impl<'w> FlakyBackend<'w> {
     fn new(world: &'w World, seed: u64) -> Self {
         FlakyBackend {
             inner: WorldBackend::new(world),
-            rng: std::cell::RefCell::new(DetRng::from_keys(seed, &[0xF1A2])),
+            rng: std::sync::Mutex::new(DetRng::from_keys(seed, &[0xF1A2])),
             drop_traceroute: 0.5,
             drop_bucket: 0.2,
             drop_route_info: 0.1,
@@ -34,21 +38,21 @@ impl<'w> FlakyBackend<'w> {
 
 impl Backend for FlakyBackend<'_> {
     fn quartets_in(&self, bucket: TimeBucket) -> Vec<QuartetObs> {
-        if self.rng.borrow_mut().chance(self.drop_bucket) {
+        if self.rng.lock().unwrap().chance(self.drop_bucket) {
             return Vec::new(); // a whole bucket of telemetry lost
         }
         self.inner.quartets_in(bucket)
     }
 
     fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo> {
-        if self.rng.borrow_mut().chance(self.drop_route_info) {
+        if self.rng.lock().unwrap().chance(self.drop_route_info) {
             return None; // BGP/IP-AS join failed for this row
         }
         self.inner.route_info(loc, p24, at)
     }
 
-    fn traceroute(&mut self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute> {
-        if self.rng.borrow_mut().chance(self.drop_traceroute) {
+    fn traceroute(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute> {
+        if self.rng.lock().unwrap().chance(self.drop_traceroute) {
             // Probe still costs (the packet was sent), result lost.
             let _ = self.inner.traceroute(loc, p24, at);
             return None;
@@ -108,7 +112,7 @@ fn missing_telemetry_does_not_fabricate_blame() {
         fn route_info(&self, _: CloudLocId, _: Prefix24, _: SimTime) -> Option<RouteInfo> {
             None
         }
-        fn traceroute(&mut self, _: CloudLocId, _: Prefix24, _: SimTime) -> Option<Traceroute> {
+        fn traceroute(&self, _: CloudLocId, _: Prefix24, _: SimTime) -> Option<Traceroute> {
             None
         }
         fn churn_events(&self, _: TimeRange) -> Vec<BgpChurnEvent> {

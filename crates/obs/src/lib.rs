@@ -40,6 +40,6 @@ pub mod trace;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profile::{StageClock, StageTimings};
 pub use trace::{
-    add_subscriber, clear_subscribers, render_tree, with_subscriber, JsonlWriter, RingCollector,
-    Span, SpanEvent, Subscriber,
+    add_subscriber, clear_subscribers, local_subscribers, render_tree, with_subscriber,
+    with_subscribers, JsonlWriter, RingCollector, Span, SpanEvent, Subscriber,
 };

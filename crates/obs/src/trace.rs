@@ -181,12 +181,15 @@ pub fn clear_subscribers() {
     subs.clear();
 }
 
-struct LocalGuard;
+struct LocalGuard(usize);
 
 impl Drop for LocalGuard {
     fn drop(&mut self) {
         LOCAL_SUBSCRIBERS.with(|l| {
-            l.borrow_mut().pop();
+            let mut subs = l.borrow_mut();
+            for _ in 0..self.0 {
+                subs.pop();
+            }
         });
     }
 }
@@ -194,9 +197,29 @@ impl Drop for LocalGuard {
 /// Runs `f` with `s` installed as a subscriber on *this thread only*.
 /// Nests; unwind-safe (the subscriber is removed even on panic).
 pub fn with_subscriber<R>(s: Arc<dyn Subscriber>, f: impl FnOnce() -> R) -> R {
+    with_subscribers(vec![s], f)
+}
+
+/// Snapshot of this thread's scoped subscribers, in installation order.
+///
+/// Scoped subscribers are thread-local, so spans opened on a worker
+/// thread would otherwise be invisible to a [`with_subscriber`] capture
+/// on the spawning thread. A coordinator takes this snapshot before
+/// `std::thread::scope` and each worker re-installs it with
+/// [`with_subscribers`].
+pub fn local_subscribers() -> Vec<Arc<dyn Subscriber>> {
+    LOCAL_SUBSCRIBERS.with(|l| l.borrow().clone())
+}
+
+/// Runs `f` with a whole set of scoped subscribers installed on *this
+/// thread* — the worker-side counterpart of [`local_subscribers`].
+/// Nests; unwind-safe (all installed subscribers are removed even on
+/// panic).
+pub fn with_subscribers<R>(subs: Vec<Arc<dyn Subscriber>>, f: impl FnOnce() -> R) -> R {
     epoch();
-    LOCAL_SUBSCRIBERS.with(|l| l.borrow_mut().push(s));
-    let _guard = LocalGuard;
+    let n = subs.len();
+    LOCAL_SUBSCRIBERS.with(|l| l.borrow_mut().extend(subs));
+    let _guard = LocalGuard(n);
     f()
 }
 
@@ -554,6 +577,33 @@ mod tests {
         assert!(lines[1].starts_with("  ingest"), "{tree}");
         assert!(lines[2].starts_with("  blame"), "{tree}");
         assert!(lines[3].starts_with("    inner-most"), "{tree}");
+    }
+
+    #[test]
+    fn subscriber_snapshot_propagates_to_worker_threads() {
+        let ring = RingCollector::new(64);
+        with_subscriber(ring.clone(), || {
+            let snapshot = local_subscribers();
+            assert_eq!(snapshot.len(), 1);
+            std::thread::scope(|scope| {
+                for shard in 0..2u64 {
+                    let subs = snapshot.clone();
+                    scope.spawn(move || {
+                        with_subscribers(subs, || {
+                            let _s = span!("test", "worker", shard = shard);
+                        });
+                    });
+                }
+            });
+            // Workers popped their copies; this thread's stack intact.
+            assert_eq!(local_subscribers().len(), 1);
+        });
+        let events = ring.events();
+        assert_eq!(events.len(), 2, "both worker spans captured");
+        assert!(events.iter().all(|e| e.name == "worker"));
+        // After the outer scope, a fresh span is not captured.
+        let _after = span!("test", "uncaptured");
+        assert_eq!(ring.len(), 2);
     }
 
     #[test]

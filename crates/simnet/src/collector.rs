@@ -9,8 +9,50 @@
 use crate::measure::{QuartetObs, RttRecord};
 use crate::time::{TimeBucket, TimeRange};
 use crate::world::World;
+use blameit_topology::rng::DetRng;
 use blameit_topology::CloudLocId;
 use std::collections::HashSet;
+
+/// Key domain separating shard RNG streams from every other simulator
+/// stream.
+const SHARD_STREAM_KEY: u64 = 0x5AAD;
+
+/// A deterministic RNG stream for one shard of one bucket's analysis.
+///
+/// Keyed on `(world seed, bucket, shard index)` — never on thread
+/// identity or scheduling order — so a consumer that fans a bucket out
+/// over N workers draws exactly the same randomness per shard no matter
+/// how many OS threads back the pool or how they interleave.
+pub fn shard_rng(world: &World, bucket: TimeBucket, shard: usize) -> DetRng {
+    DetRng::from_keys(
+        world.config().seed,
+        &[SHARD_STREAM_KEY, bucket.0 as u64, shard as u64],
+    )
+}
+
+/// One [`shard_rng`] stream per shard, `0..nshards`.
+pub fn shard_rngs(world: &World, bucket: TimeBucket, nshards: usize) -> Vec<DetRng> {
+    (0..nshards).map(|s| shard_rng(world, bucket, s)).collect()
+}
+
+/// Partitions a bucket's quartets into at most `nshards` shards keyed
+/// by cloud location: every quartet of a location lands on the same
+/// shard (location-level aggregates never straddle shards), locations
+/// spread round-robin in sorted order, and quartets keep their input
+/// order within a shard. Purely a function of the quartet list, so the
+/// partition is identical across runs and thread counts.
+pub fn partition_quartets(quartets: &[QuartetObs], nshards: usize) -> Vec<Vec<QuartetObs>> {
+    let mut locs: Vec<CloudLocId> = quartets.iter().map(|q| q.loc).collect();
+    locs.sort_unstable();
+    locs.dedup();
+    let n = nshards.clamp(1, locs.len().max(1));
+    let mut shards: Vec<Vec<QuartetObs>> = vec![Vec::new(); n];
+    for q in quartets {
+        let slot = locs.binary_search(&q.loc).expect("loc collected above") % n;
+        shards[slot].push(*q);
+    }
+    shards
+}
 
 /// Streaming iterator over the quartets of consecutive buckets.
 ///
@@ -207,6 +249,61 @@ mod tests {
                 assert!(w2[0].at <= w2[1].at);
             }
         }
+    }
+
+    #[test]
+    fn shard_rngs_deterministic_and_distinct() {
+        let w = World::new(WorldConfig::tiny(1, 13));
+        let b = TimeBucket(42);
+        let draw = |mut r: DetRng| -> Vec<u64> { (0..4).map(|_| r.next_u64()).collect() };
+        // Same (world, bucket, shard) → same stream, regardless of how
+        // many shards were requested alongside it.
+        let a = shard_rngs(&w, b, 4);
+        let c = shard_rngs(&w, b, 8);
+        for (i, rng) in a.into_iter().enumerate() {
+            assert_eq!(draw(rng), draw(c[i].clone()), "shard {i}");
+        }
+        // Different shard / bucket / seed → different streams.
+        let base = draw(shard_rng(&w, b, 0));
+        assert_ne!(base, draw(shard_rng(&w, b, 1)));
+        assert_ne!(base, draw(shard_rng(&w, TimeBucket(43), 0)));
+        let w2 = World::new(WorldConfig::tiny(1, 14));
+        assert_ne!(base, draw(shard_rng(&w2, b, 0)));
+    }
+
+    #[test]
+    fn partition_keeps_locations_whole_and_order_stable() {
+        let w = World::new(WorldConfig::tiny(2, 7));
+        let quartets = w.quartets_in(TimeBucket(150));
+        assert!(!quartets.is_empty());
+        for nshards in [1, 2, 4, 64] {
+            let shards = partition_quartets(&quartets, nshards);
+            // Nothing lost, nothing duplicated.
+            let total: usize = shards.iter().map(Vec::len).sum();
+            assert_eq!(total, quartets.len(), "nshards={nshards}");
+            // A location appears on exactly one shard.
+            let mut seen = HashSet::new();
+            for shard in &shards {
+                let locs: HashSet<_> = shard.iter().map(|q| q.loc).collect();
+                for loc in locs {
+                    assert!(seen.insert(loc), "loc {loc:?} straddles shards");
+                }
+            }
+            // Within a shard, input order is preserved.
+            for shard in &shards {
+                let mut cursor = 0;
+                for q in shard {
+                    let pos = quartets[cursor..]
+                        .iter()
+                        .position(|o| o == q)
+                        .expect("shard item comes from the input");
+                    cursor += pos + 1;
+                }
+            }
+        }
+        // Requesting more shards than locations degrades gracefully.
+        let locs: HashSet<_> = quartets.iter().map(|q| q.loc).collect();
+        assert!(partition_quartets(&quartets, 1000).len() <= locs.len());
     }
 
     #[test]

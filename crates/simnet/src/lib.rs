@@ -46,7 +46,9 @@ pub use blameit_topology::rng;
 
 pub use activity::ActivityModel;
 pub use churn::ChurnModel;
-pub use collector::{DatasetSummary, LocationRecordStream, QuartetStream};
+pub use collector::{
+    partition_quartets, shard_rng, shard_rngs, DatasetSummary, LocationRecordStream, QuartetStream,
+};
 pub use fault::{Fault, FaultId, FaultRates, FaultSchedule, FaultTarget, Segment};
 pub use latency::{LatencyModel, SegRtt};
 pub use measure::{QuartetObs, RttRecord};

@@ -9,6 +9,12 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> BLAMEIT_THREADS=8 cargo test --workspace -q"
+BLAMEIT_THREADS=8 cargo test --workspace -q
+
+echo "==> cargo test --release -q --test parallel_determinism --test golden_output"
+cargo test --release -q --test parallel_determinism --test golden_output
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 

@@ -1,0 +1,96 @@
+//! Golden regression: the full blame/alert stream of one fixed
+//! seed+scenario, serialized through the canonical tick transcript and
+//! pinned under `tests/golden/`. Any change to verdict logic, ranking,
+//! localization, probe scheduling, or emission order shows up as a
+//! transcript diff.
+//!
+//! To re-bless after an intentional behavior change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_output
+//! ```
+
+use blameit::{
+    render_tick_transcript, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend,
+};
+use blameit_bench::{quiet_world, Scale};
+use blameit_simnet::{Fault, FaultId, FaultTarget, SimTime, TimeRange};
+use blameit_topology::CloudLocId;
+use std::path::PathBuf;
+
+const SEED: u64 = 20190519; // SIGCOMM '19 camera-ready vintage
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("tick_transcript.txt")
+}
+
+/// The pinned scenario: a quiet tiny world, one +110 ms cloud fault at
+/// hour 25 for two hours, evaluated over the fault's first 90 minutes.
+fn transcript() -> String {
+    let mut world = quiet_world(Scale::Tiny, 2, SEED);
+    world.add_faults(vec![Fault {
+        id: FaultId(0),
+        target: FaultTarget::CloudLocation(CloudLocId(0)),
+        start: SimTime::from_hours(25),
+        duration_secs: 2 * 3_600,
+        added_ms: 110.0,
+    }]);
+    let mut cfg = BlameItConfig::new(BadnessThresholds::default_for(&world));
+    // Pin the thread count so the golden run does not depend on the
+    // machine — though the whole point of the sharded tick is that it
+    // wouldn't anyway.
+    cfg.parallelism = 2;
+    let mut engine = BlameItEngine::new(cfg);
+    let mut backend = WorldBackend::with_parallelism(&world, 2);
+    engine.warmup(&backend, TimeRange::days(1), 2);
+    let start = SimTime::from_hours(25);
+    let outs = engine.run(&mut backend, TimeRange::new(start, start + 90 * 60));
+    render_tick_transcript(&outs)
+}
+
+#[test]
+fn blame_and_alert_stream_matches_golden() {
+    let got = transcript();
+    let path = golden_path();
+    if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {} ({} bytes)", path.display(), got.len());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with BLESS=1 cargo test --test golden_output",
+            path.display()
+        )
+    });
+    assert!(
+        got.contains("blame "),
+        "scenario must produce verdicts; transcript:\n{got}"
+    );
+    similar_assert(&want, &got);
+}
+
+/// assert_eq! with a first-divergence report instead of dumping two
+/// multi-kilobyte strings.
+fn similar_assert(want: &str, got: &str) {
+    if want == got {
+        return;
+    }
+    for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+        assert_eq!(
+            w,
+            g,
+            "golden transcript diverges at line {} (re-bless with BLESS=1 if intended)",
+            i + 1
+        );
+    }
+    panic!(
+        "golden transcript length changed: {} vs {} lines (re-bless with BLESS=1 if intended)",
+        want.lines().count(),
+        got.lines().count()
+    );
+}

@@ -1,0 +1,132 @@
+//! The sharded tick's determinism contract: for any seed and any
+//! thread count, `TickOutput` — blames, ranked issues, localizations,
+//! alerts, probe decisions, stage-timing keys — is byte-identical to
+//! the single-threaded run. Verified through the canonical tick
+//! transcript, which serializes every one of those sections.
+
+use blameit::{
+    render_tick_transcript, BadnessThresholds, BlameItConfig, BlameItEngine, TickOutput,
+    WorldBackend,
+};
+use blameit_bench::{quiet_world, Scale};
+use blameit_simnet::{Fault, FaultId, FaultTarget, SimTime, TimeRange, World};
+use blameit_topology::rng::DetRng;
+use blameit_topology::testkit::check;
+use blameit_topology::Asn;
+
+/// A quiet tiny world with one cloud fault and one middle fault chosen
+/// by `rng` (plus the faults' start), so both the passive and active
+/// phases have real work.
+fn faulty_world(rng: &mut DetRng) -> (World, SimTime) {
+    let mut world = quiet_world(Scale::Tiny, 2, rng.next_u64());
+    let topo = world.topology();
+    let loc = topo.clients[rng.index(topo.clients.len())].primary_loc;
+    let mut middles: Vec<Asn> = topo
+        .clients
+        .iter()
+        .flat_map(|c| {
+            let route = &topo.routes_for(c.primary_loc, c).options[0];
+            topo.paths.get(route.path_id).middle.clone()
+        })
+        .collect();
+    middles.sort_unstable();
+    middles.dedup();
+    let middle = *rng.pick(&middles);
+    let start = SimTime::from_hours(25 + rng.below(3));
+    world.add_faults(vec![
+        Fault {
+            id: FaultId(0),
+            target: FaultTarget::CloudLocation(loc),
+            start,
+            duration_secs: 2 * 3_600,
+            added_ms: rng.range_f64(60.0, 140.0),
+        },
+        Fault {
+            id: FaultId(1),
+            target: FaultTarget::MiddleAs {
+                asn: middle,
+                via_path: None,
+            },
+            start,
+            duration_secs: 2 * 3_600,
+            added_ms: rng.range_f64(60.0, 140.0),
+        },
+    ]);
+    (world, start)
+}
+
+/// Warm an engine on day 0 and evaluate one faulty hour at the given
+/// thread count.
+fn run_at(world: &World, threads: usize, eval: TimeRange) -> Vec<TickOutput> {
+    let mut cfg = BlameItConfig::new(BadnessThresholds::default_for(world));
+    cfg.parallelism = threads;
+    let mut engine = BlameItEngine::new(cfg);
+    let mut backend = WorldBackend::with_parallelism(world, threads);
+    engine.warmup(&backend, TimeRange::days(1), 2);
+    engine.run(&mut backend, eval)
+}
+
+#[test]
+fn tick_output_identical_across_thread_counts() {
+    check("parallel_determinism", 8, |rng| {
+        let (world, fault_start) = faulty_world(rng);
+        let eval = TimeRange::new(fault_start, fault_start + 3_600);
+        let reference = run_at(&world, 1, eval);
+        let reference_transcript = render_tick_transcript(&reference);
+        assert!(
+            reference.iter().any(|o| !o.blames.is_empty()),
+            "the injected faults must produce verdicts to compare"
+        );
+        for threads in [2, 4, 8] {
+            let outs = run_at(&world, threads, eval);
+            assert_eq!(
+                reference_transcript,
+                render_tick_transcript(&outs),
+                "transcript at {threads} threads diverged"
+            );
+            // Stage-timing *keys* must agree tick by tick (durations are
+            // wall time and legitimately differ).
+            for (a, b) in reference.iter().zip(&outs) {
+                let keys = |o: &TickOutput| -> Vec<String> {
+                    o.stage_timings.iter().map(|(k, _)| k.to_string()).collect()
+                };
+                assert_eq!(keys(a), keys(b));
+            }
+        }
+    });
+}
+
+#[test]
+fn alerts_emit_in_canonical_order() {
+    // The alert stream is a rendered surface: any HashMap-ordered
+    // emission upstream shows up here as an out-of-order pair. The
+    // canonical key is impact (descending), then (loc, path, client_as).
+    let mut rng = DetRng::from_keys(0xA1E7, &[0]);
+    let (world, fault_start) = faulty_world(&mut rng);
+    let outs = run_at(
+        &world,
+        4,
+        TimeRange::new(fault_start, fault_start + 2 * 3_600),
+    );
+    let mut alerts_seen = 0;
+    for out in &outs {
+        for pair in out.alerts.windows(2) {
+            let key = |a: &blameit::Alert| {
+                (
+                    std::cmp::Reverse(a.impacted_connections),
+                    a.loc,
+                    a.path,
+                    a.client_as,
+                )
+            };
+            assert!(
+                key(&pair[0]) <= key(&pair[1]),
+                "alerts out of canonical order: {:?} then {:?}",
+                (pair[0].loc, pair[0].path, pair[0].impacted_connections),
+                (pair[1].loc, pair[1].path, pair[1].impacted_connections),
+            );
+        }
+        alerts_seen += out.alerts.len();
+    }
+    assert!(alerts_seen > 0, "the faulty window must alert");
+}

@@ -2,11 +2,14 @@
 //! arbitrary inputs, spanning the public APIs of the workspace crates.
 //! Driven by the in-repo seeded harness in `blameit_topology::testkit`.
 
-use blameit::{aggregate_records, diff_contributions, ks_two_sample};
-use blameit_simnet::{RttRecord, SimTime};
+use blameit::{
+    aggregate_records, diff_contributions, ks_two_sample, prioritize, select_within_budget,
+    ClientCountHistory, DurationHistory, MiddleIssue, MiddleKey,
+};
+use blameit_simnet::{RttRecord, SimTime, TimeBucket};
 use blameit_topology::rng::DetRng;
 use blameit_topology::testkit::check;
-use blameit_topology::{Asn, CloudLocId, IpPrefix, Prefix24};
+use blameit_topology::{Asn, CloudLocId, IpPrefix, PathId, Prefix24};
 
 fn arb_record(rng: &mut DetRng) -> RttRecord {
     RttRecord {
@@ -112,6 +115,133 @@ fn ks_properties() {
         assert!((r1.statistic - r2.statistic).abs() < 1e-12);
         assert!((0.0..=1.0).contains(&r1.statistic));
         assert!((0.0..=1.0).contains(&r1.p_value));
+    });
+}
+
+fn arb_issue(rng: &mut DetRng) -> MiddleIssue {
+    let path = PathId(rng.below(24) as u32);
+    MiddleIssue {
+        loc: CloudLocId(rng.below(6) as u16),
+        path,
+        middle_key: MiddleKey::Path(path),
+        bucket: TimeBucket(rng.below(4000) as u32),
+        elapsed_buckets: rng.below(12) as u32,
+        current_clients: rng.below(100_000),
+        affected_p24s: vec![Prefix24::from_block(path.0)],
+    }
+}
+
+fn arb_issues(rng: &mut DetRng) -> (Vec<MiddleIssue>, DurationHistory, ClientCountHistory) {
+    let n = rng.range_u64(1, 40) as usize;
+    let mut issues = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..n {
+        let i = arb_issue(rng);
+        // One issue per (loc, path), as the pipeline emits.
+        if seen.insert((i.loc, i.path)) {
+            issues.push(i);
+        }
+    }
+    let mut durations = DurationHistory::new();
+    for _ in 0..rng.below(60) {
+        durations.record(PathId(rng.below(24) as u32), rng.below(30) as u32 + 1);
+    }
+    let mut clients = ClientCountHistory::new();
+    for _ in 0..rng.below(60) {
+        clients.record(
+            PathId(rng.below(24) as u32),
+            TimeBucket(rng.below(4000) as u32),
+            rng.below(1_000_000),
+        );
+    }
+    (issues, durations, clients)
+}
+
+/// The per-location budget is never exceeded, and the selection is the
+/// per-location prefix of the ranking: scanning `ranked` and keeping
+/// the first `per_loc` issues of each location reproduces it exactly.
+#[test]
+fn budget_selection_is_ranked_prefix() {
+    check("budget_selection_is_ranked_prefix", 128, |rng| {
+        let (issues, durations, clients) = arb_issues(rng);
+        let total = issues.len();
+        let ranked = prioritize(issues, &durations, &clients);
+        let per_loc = rng.below(5) as usize;
+        let picked = select_within_budget(&ranked, per_loc);
+        let mut used: std::collections::HashMap<CloudLocId, usize> =
+            std::collections::HashMap::new();
+        for p in &picked {
+            *used.entry(p.issue.loc).or_default() += 1;
+        }
+        assert!(
+            used.values().all(|u| *u <= per_loc),
+            "budget {per_loc} exceeded: {used:?}"
+        );
+        // Order-preserving subsequence of the ranking…
+        let mut cursor = 0;
+        for p in &picked {
+            let pos = ranked[cursor..]
+                .iter()
+                .position(|r| std::ptr::eq(*p, r))
+                .expect("picked issues appear in rank order");
+            cursor += pos + 1;
+        }
+        // …and exactly the greedy per-location prefix.
+        let mut greedy_used: std::collections::HashMap<CloudLocId, usize> =
+            std::collections::HashMap::new();
+        let greedy: Vec<_> = ranked
+            .iter()
+            .filter(|r| {
+                let u = greedy_used.entry(r.issue.loc).or_default();
+                *u += 1;
+                *u <= per_loc
+            })
+            .collect();
+        assert_eq!(greedy.len(), picked.len());
+        for (g, p) in greedy.iter().zip(&picked) {
+            assert!(std::ptr::eq(*g, *p));
+        }
+        // A budget covering everything selects everything, in order.
+        let all = select_within_budget(&ranked, total.max(1));
+        assert_eq!(all.len(), ranked.len());
+    });
+}
+
+/// Ranking is a deterministic function of the issue *set*: shuffling
+/// the input changes nothing, equal client-time products break ties by
+/// (location, path), and products are sorted descending.
+#[test]
+fn prioritize_is_order_insensitive_with_total_tie_break() {
+    check("prioritize_order_insensitive", 128, |rng| {
+        let (mut issues, durations, clients) = arb_issues(rng);
+        // Force some exact product ties: clone volumes across paths.
+        if issues.len() >= 2 {
+            let c = issues[0].current_clients;
+            let e = issues[0].elapsed_buckets;
+            let half = issues.len() / 2;
+            for i in issues.iter_mut().take(half) {
+                i.current_clients = c;
+                i.elapsed_buckets = e;
+            }
+        }
+        let key = |r: &blameit::PrioritizedIssue| (r.issue.loc, r.issue.path);
+        let a = prioritize(issues.clone(), &durations, &clients);
+        rng.shuffle(&mut issues);
+        let b = prioritize(issues, &durations, &clients);
+        assert_eq!(
+            a.iter().map(key).collect::<Vec<_>>(),
+            b.iter().map(key).collect::<Vec<_>>(),
+            "shuffled input must rank identically"
+        );
+        for w in a.windows(2) {
+            assert!(
+                w[0].client_time_product >= w[1].client_time_product,
+                "descending products"
+            );
+            if w[0].client_time_product == w[1].client_time_product {
+                assert!(key(&w[0]) < key(&w[1]), "ties break by (loc, path)");
+            }
+        }
     });
 }
 
