@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext_reverse",
     "probe_overhead",
     "incidents",
+    "chaos",
 ];
 
 fn main() {

@@ -3,10 +3,12 @@
 //! Each command takes parsed [`Args`] and a writer, so tests can run
 //! commands in-process and inspect their output.
 
-use blameit::{tally, BadnessThresholds, BlameItConfig, BlameItEngine, WorldBackend};
+use blameit::{
+    tally, Backend, BadnessThresholds, BlameItConfig, BlameItEngine, ChaosBackend, WorldBackend,
+};
 use blameit_bench::{organic_world, quiet_world, Args, Scale};
 use blameit_simnet::{
-    DatasetSummary, Fault, FaultId, FaultTarget, Segment, SimTime, TimeRange, World,
+    DatasetSummary, Fault, FaultId, FaultPlan, FaultTarget, Segment, SimTime, TimeRange, World,
 };
 use blameit_topology::{AsRole, Asn, CloudLocId, Prefix24, Region};
 use std::fmt::Write as _;
@@ -58,6 +60,13 @@ COMMON FLAGS:
                                (available cores, or BLAMEIT_THREADS).
                                Output is byte-identical at any N.
                                `trace` defaults to 1 for a readable tree.
+  --fault-plan NAME            (analyze/inject) run under a chaos plan
+                               degrading the measurement plane:
+                               none|mild|heavy|probe-storm. The engine
+                               retries, degrades verdicts, and reports
+                               every injected/absorbed fault.
+  --fault-seed N               chaos plan seed (default: 0xC4A05);
+                               output is deterministic per (seed, plan).
 ";
 
 /// Dispatches a command line (excluding `argv[0]`). Returns the rendered
@@ -265,17 +274,82 @@ fn engine_config(world: &World, threads: usize) -> BlameItConfig {
     cfg
 }
 
+/// Parses `--fault-plan`/`--fault-seed` into a chaos plan, if any.
+fn parse_fault_plan(args: &Args) -> Result<Option<FaultPlan>, CliError> {
+    let Some(name) = args.get("fault-plan") else {
+        return Ok(None);
+    };
+    let seed = args.u64("fault-seed", 0xC4A05);
+    FaultPlan::parse(name, seed).map(Some).map_err(err)
+}
+
 fn run_engine(
     world: &World,
     warmup_days: u64,
     eval: TimeRange,
     tickets: u64,
     threads: usize,
+    plan: Option<FaultPlan>,
     out: &mut String,
 ) {
     let cfg = engine_config(world, threads);
-    let mut backend = WorldBackend::with_parallelism(world, cfg.parallelism);
-    let mut engine = BlameItEngine::new(cfg);
+    let parallelism = cfg.parallelism;
+    let engine = BlameItEngine::new(cfg);
+    match plan {
+        None => {
+            let backend = WorldBackend::with_parallelism(world, parallelism);
+            drive(engine, backend, warmup_days, eval, tickets, out);
+        }
+        Some(plan) => {
+            // Share the engine's registry so injected faults and the
+            // engine's absorption counters land in one exposition.
+            let backend = ChaosBackend::with_registry(
+                WorldBackend::with_parallelism(world, parallelism),
+                plan,
+                engine.metrics().registry(),
+            );
+            let (engine, backend) = drive(engine, backend, warmup_days, eval, tickets, out);
+            let s = backend.stats();
+            let m = engine.metrics();
+            writeln!(
+                out,
+                "chaos: {} faults injected (probe timeouts {}, truncated {}, delayed {}, \
+                 quartet batches dropped {}, route lookups dropped {}, churn duplicated {}, \
+                 churn delayed {})",
+                s.total(),
+                s.probe_timeouts,
+                s.probes_truncated,
+                s.probes_delayed,
+                s.quartet_batches_dropped,
+                s.route_infos_dropped,
+                s.churn_duplicated,
+                s.churn_delayed,
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "chaos: absorbed with {} probe retries, {} lost attempts, {} degraded verdicts, \
+                 {} baseline quarantines, {} background retries",
+                m.probe_retries.get(),
+                m.probe_attempts_lost.get(),
+                m.degraded_total(),
+                m.baseline_quarantines.get(),
+                m.background_retries.get(),
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// Warmup + evaluation loop shared by the plain and chaos paths.
+fn drive<B: Backend>(
+    mut engine: BlameItEngine,
+    mut backend: B,
+    warmup_days: u64,
+    eval: TimeRange,
+    tickets: u64,
+    out: &mut String,
+) -> (BlameItEngine, B) {
     engine.warmup(&backend, TimeRange::days(warmup_days), 2);
 
     let mut blames = Vec::new();
@@ -321,6 +395,7 @@ fn run_engine(
         engine.background_probes_total, engine.on_demand_probes_total
     )
     .unwrap();
+    (engine, backend)
 }
 
 fn cmd_analyze(args: &Args) -> Result<String, CliError> {
@@ -328,6 +403,7 @@ fn cmd_analyze(args: &Args) -> Result<String, CliError> {
     let warmup = args.u64("warmup", 1).min(days - 1);
     let tickets = args.u64("tickets", 0);
     let world = organic_world(args.scale(Scale::Small), days, args.u64("seed", 2019));
+    let plan = parse_fault_plan(args)?;
     let mut out = String::new();
     writeln!(out, "alerts (top per 15-min tick, first 40):").unwrap();
     run_engine(
@@ -336,6 +412,7 @@ fn cmd_analyze(args: &Args) -> Result<String, CliError> {
         TimeRange::new(SimTime::from_days(warmup), SimTime::from_days(days)),
         tickets,
         args.u64("threads", 0) as usize,
+        plan,
         &mut out,
     );
     Ok(out)
@@ -404,6 +481,7 @@ fn cmd_inject(args: &Args) -> Result<String, CliError> {
 
     let mut world = quiet_world(args.scale(Scale::Small), days, args.u64("seed", 2019));
     let (target, segment) = parse_target(&world, target_s)?;
+    let plan = parse_fault_plan(args)?;
     world.add_faults(vec![Fault {
         id: FaultId(0),
         target,
@@ -426,6 +504,7 @@ fn cmd_inject(args: &Args) -> Result<String, CliError> {
         TimeRange::new(start, start + hours * 3_600),
         args.u64("tickets", 1),
         args.u64("threads", 0) as usize,
+        plan,
         &mut out,
     );
     Ok(out)
@@ -691,6 +770,79 @@ mod tests {
         assert!(out.contains("injected +120 ms cloud fault"), "{out}");
         assert!(out.contains("cloud"), "{out}");
         assert!(out.contains("blame fractions"), "{out}");
+    }
+
+    #[test]
+    fn fault_plan_output_is_thread_invariant() {
+        let argv = |threads: &'static str| {
+            [
+                "inject",
+                "--scale",
+                "tiny",
+                "--target",
+                "cloud:0",
+                "--ms",
+                "110",
+                "--at-hour",
+                "26",
+                "--hours",
+                "2",
+                "--fault-plan",
+                "heavy",
+                "--fault-seed",
+                "77",
+                "--threads",
+                threads,
+            ]
+        };
+        let one = run_s(&argv("1")).unwrap();
+        let four = run_s(&argv("4")).unwrap();
+        assert!(one.contains("faults injected"), "{one}");
+        assert_eq!(one, four, "chaos output must not depend on --threads");
+    }
+
+    #[test]
+    fn fault_plan_none_matches_plain_run() {
+        let base = [
+            "inject",
+            "--scale",
+            "tiny",
+            "--target",
+            "cloud:0",
+            "--ms",
+            "110",
+            "--at-hour",
+            "26",
+            "--hours",
+            "2",
+        ];
+        let plain = run_s(&base).unwrap();
+        let mut with_none: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        with_none.extend(["--fault-plan", "none"].iter().map(|s| s.to_string()));
+        let chaotic = run(&with_none).unwrap();
+        // Identical engine output; the chaos run only appends its summary.
+        let prefix: String = chaotic
+            .lines()
+            .take_while(|l| !l.starts_with("chaos:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(plain, prefix, "a no-op plan must not perturb the engine");
+        assert!(chaotic.contains("chaos: 0 faults injected"), "{chaotic}");
+    }
+
+    #[test]
+    fn fault_plan_rejects_unknown_name() {
+        let err = run_s(&[
+            "analyze",
+            "--scale",
+            "tiny",
+            "--days",
+            "2",
+            "--fault-plan",
+            "bogus",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("unknown fault plan"), "{}", err.0);
     }
 
     #[test]

@@ -148,6 +148,94 @@ pub fn combine_directional_diffs(
     }
 }
 
+/// Why a middle-segment blame could not be pinned on a culprit AS.
+///
+/// The engine never silently misattributes: when localization evidence
+/// is incomplete it records exactly which link of the evidence chain
+/// broke, and the reason flows into transcripts, tickets, and the
+/// `blameit_degraded_verdicts_total{reason=…}` counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnlocalizedReason {
+    /// Every traceroute attempt timed out (retries exhausted).
+    ProbeTimeout,
+    /// The best evidence was a truncated traceroute whose surviving
+    /// prefix showed no material delta.
+    TruncatedProbe,
+    /// No background baseline exists for the (location, path).
+    NoBaseline,
+    /// The only available baseline is older than the quarantine age.
+    StaleBaseline,
+    /// A full diff ran but no AS rose above the material-delta floor.
+    NoMaterialDelta,
+    /// The per-tick probe deadline budget was exhausted before this
+    /// issue could be probed.
+    DeadlineBudget,
+}
+
+impl UnlocalizedReason {
+    /// Every reason, in display order.
+    pub const ALL: [UnlocalizedReason; 6] = [
+        UnlocalizedReason::ProbeTimeout,
+        UnlocalizedReason::TruncatedProbe,
+        UnlocalizedReason::NoBaseline,
+        UnlocalizedReason::StaleBaseline,
+        UnlocalizedReason::NoMaterialDelta,
+        UnlocalizedReason::DeadlineBudget,
+    ];
+
+    /// Stable snake_case label (metric label value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnlocalizedReason::ProbeTimeout => "probe_timeout",
+            UnlocalizedReason::TruncatedProbe => "truncated_probe",
+            UnlocalizedReason::NoBaseline => "no_baseline",
+            UnlocalizedReason::StaleBaseline => "stale_baseline",
+            UnlocalizedReason::NoMaterialDelta => "no_material_delta",
+            UnlocalizedReason::DeadlineBudget => "deadline_budget",
+        }
+    }
+}
+
+impl std::fmt::Display for UnlocalizedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of one active-phase localization attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LocalizationVerdict {
+    /// The diff named a culprit AS.
+    Culprit(Asn),
+    /// Degraded verdict: the middle segment stays blamed but no AS can
+    /// honestly be named, for the recorded reason.
+    MiddleUnlocalized {
+        /// Which link of the evidence chain broke.
+        reason: UnlocalizedReason,
+    },
+}
+
+impl LocalizationVerdict {
+    /// The culprit, when localized.
+    pub fn culprit(&self) -> Option<Asn> {
+        match self {
+            LocalizationVerdict::Culprit(asn) => Some(*asn),
+            LocalizationVerdict::MiddleUnlocalized { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LocalizationVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalizationVerdict::Culprit(asn) => write!(f, "culprit({asn:?})"),
+            LocalizationVerdict::MiddleUnlocalized { reason } => {
+                write!(f, "unlocalized({reason})")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,10 +9,15 @@
 //! traceroute issued (probe volume is a headline metric: BlameIt
 //! claims 72× fewer probes than an active-only solution, §6.5).
 
-use blameit_simnet::{QuartetObs, SimTime, TimeBucket, TimeRange, Traceroute, World};
+use blameit_obs::metrics::{Counter, MetricsRegistry};
+use blameit_simnet::{
+    ChurnFault, FaultPlan, ProbeFault, QuartetObs, SimTime, TimeBucket, TimeRange, Traceroute,
+    World,
+};
 use blameit_topology::bgp::BgpChurnEvent;
 use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24, Region};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Routing metadata for one (location, client /24) pair at an instant —
 /// what the paper's "IP-AS Table" and "BGP Table" joins provide.
@@ -167,6 +172,238 @@ impl Backend for WorldBackend<'_> {
     }
 }
 
+/// Per-kind injection counts of a [`ChaosBackend`], in a fixed order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Traceroutes answered with `None`.
+    pub probe_timeouts: u64,
+    /// Traceroutes returned with a truncated hop list.
+    pub probes_truncated: u64,
+    /// Traceroutes whose result timestamp was pushed forward.
+    pub probes_delayed: u64,
+    /// Whole quartet buckets dropped.
+    pub quartet_batches_dropped: u64,
+    /// Route-table lookups answered with `None`.
+    pub route_infos_dropped: u64,
+    /// Churn events delivered twice.
+    pub churn_duplicated: u64,
+    /// Churn events delivered late.
+    pub churn_delayed: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.probe_timeouts
+            + self.probes_truncated
+            + self.probes_delayed
+            + self.quartet_batches_dropped
+            + self.route_infos_dropped
+            + self.churn_duplicated
+            + self.churn_delayed
+    }
+}
+
+/// Indices into the per-kind counter arrays; order matches
+/// [`ChaosStats`] field order and `KIND_LABELS`.
+const KIND_PROBE_TIMEOUT: usize = 0;
+const KIND_PROBE_TRUNCATED: usize = 1;
+const KIND_PROBE_DELAYED: usize = 2;
+const KIND_BATCH_DROPPED: usize = 3;
+const KIND_ROUTE_DROPPED: usize = 4;
+const KIND_CHURN_DUPLICATED: usize = 5;
+const KIND_CHURN_DELAYED: usize = 6;
+const KIND_LABELS: [&str; 7] = [
+    "probe_timeout",
+    "probe_truncated",
+    "probe_delayed",
+    "quartet_batch_dropped",
+    "route_info_dropped",
+    "churn_duplicated",
+    "churn_delayed",
+];
+
+/// [`Backend`] decorator that injects the measurement-plane faults of a
+/// [`FaultPlan`] between the engine and any inner backend.
+///
+/// Every fault decision is keyed on `(plan seed, entity ids, time)` —
+/// never on call order or thread identity — so a wrapped run stays
+/// byte-deterministic at any thread count, and a zero-rate plan is
+/// fully transparent (same answers, same probe accounting).
+#[derive(Debug)]
+pub struct ChaosBackend<B> {
+    inner: B,
+    plan: FaultPlan,
+    injected: [AtomicU64; 7],
+    counters: Option<[Arc<Counter>; 7]>,
+}
+
+impl<B: Backend> ChaosBackend<B> {
+    /// Wraps `inner` with a fault plan.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        ChaosBackend {
+            inner,
+            plan,
+            injected: Default::default(),
+            counters: None,
+        }
+    }
+
+    /// Wraps `inner` and additionally mirrors every injection into
+    /// `blameit_chaos_faults_injected_total{kind=…}` counters on
+    /// `registry` (share the registry with the engine to get one
+    /// exposition covering both sides).
+    pub fn with_registry(inner: B, plan: FaultPlan, registry: &MetricsRegistry) -> Self {
+        let counters = KIND_LABELS.map(|kind| {
+            registry.counter_with("blameit_chaos_faults_injected_total", &[("kind", kind)])
+        });
+        ChaosBackend {
+            inner,
+            plan,
+            injected: Default::default(),
+            counters: Some(counters),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of per-kind injection counts.
+    pub fn stats(&self) -> ChaosStats {
+        let n = |i: usize| self.injected[i].load(Ordering::Relaxed);
+        ChaosStats {
+            probe_timeouts: n(KIND_PROBE_TIMEOUT),
+            probes_truncated: n(KIND_PROBE_TRUNCATED),
+            probes_delayed: n(KIND_PROBE_DELAYED),
+            quartet_batches_dropped: n(KIND_BATCH_DROPPED),
+            route_infos_dropped: n(KIND_ROUTE_DROPPED),
+            churn_duplicated: n(KIND_CHURN_DUPLICATED),
+            churn_delayed: n(KIND_CHURN_DELAYED),
+        }
+    }
+
+    /// Total faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.stats().total()
+    }
+
+    fn inject(&self, kind: usize) {
+        self.injected[kind].fetch_add(1, Ordering::Relaxed);
+        if let Some(counters) = &self.counters {
+            counters[kind].inc();
+        }
+        let _span = blameit_obs::span!("blameit::chaos", "inject", kind = KIND_LABELS[kind]);
+    }
+}
+
+impl<B: Backend> Backend for ChaosBackend<B> {
+    fn quartets_in(&self, bucket: TimeBucket) -> Vec<QuartetObs> {
+        if self.plan.drop_quartet_batch(bucket) {
+            self.inject(KIND_BATCH_DROPPED);
+            return Vec::new();
+        }
+        self.inner.quartets_in(bucket)
+    }
+
+    fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo> {
+        if self.plan.drop_route_info(loc, p24, at) {
+            self.inject(KIND_ROUTE_DROPPED);
+            return None;
+        }
+        self.inner.route_info(loc, p24, at)
+    }
+
+    fn traceroute(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute> {
+        // The inner backend is always consulted so the probe *counts*:
+        // a timed-out traceroute was still sent.
+        let tr = self.inner.traceroute(loc, p24, at);
+        match self.plan.probe_fault(loc, p24, at) {
+            ProbeFault::None => tr,
+            ProbeFault::Timeout => {
+                self.inject(KIND_PROBE_TIMEOUT);
+                None
+            }
+            ProbeFault::Truncate { keep_fraction } => {
+                let mut tr = tr?;
+                if tr.hops.len() < 2 {
+                    // Nothing to cut without emptying the result; a
+                    // one-hop answer degenerates to a timeout.
+                    self.inject(KIND_PROBE_TIMEOUT);
+                    return None;
+                }
+                let keep = ((tr.hops.len() as f64 * keep_fraction).ceil() as usize)
+                    .clamp(1, tr.hops.len() - 1);
+                tr.hops.truncate(keep);
+                self.inject(KIND_PROBE_TRUNCATED);
+                Some(tr)
+            }
+            ProbeFault::Slow { by_secs } => {
+                let mut tr = tr?;
+                tr.at = tr.at + by_secs;
+                self.inject(KIND_PROBE_DELAYED);
+                Some(tr)
+            }
+        }
+    }
+
+    fn churn_events(&self, range: TimeRange) -> Vec<BgpChurnEvent> {
+        if !self.plan.has_churn_faults() {
+            return self.inner.churn_events(range);
+        }
+        // Widen the query backwards so events delayed *into* this
+        // window are seen. The fate of an event is keyed on its own
+        // identity, and engine consumers query contiguous
+        // non-overlapping windows, so each event is delivered exactly
+        // once (at its effective time) and duplicates exactly twice.
+        let lookback = self.plan.max_churn_delay_secs();
+        let wide = TimeRange::new(
+            SimTime(range.start.secs().saturating_sub(lookback)),
+            range.end,
+        );
+        let mut out = Vec::new();
+        for e in self.inner.churn_events(wide) {
+            let original = range.contains(SimTime(e.at_secs));
+            match self.plan.churn_fault(&e) {
+                ChurnFault::Deliver => {
+                    if original {
+                        out.push(e);
+                    }
+                }
+                ChurnFault::Duplicate => {
+                    if original {
+                        self.inject(KIND_CHURN_DUPLICATED);
+                        out.push(e);
+                        out.push(e);
+                    }
+                }
+                ChurnFault::Delay(d) => {
+                    if range.contains(SimTime(e.at_secs + d)) {
+                        self.inject(KIND_CHURN_DELAYED);
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|e| (e.at_secs, e.loc, e.prefix));
+        out
+    }
+
+    fn cloud_locations(&self) -> Vec<CloudLocId> {
+        self.inner.cloud_locations()
+    }
+
+    fn probes_issued(&self) -> u64 {
+        self.inner.probes_issued()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +453,164 @@ mod tests {
             b.cloud_locations().len(),
             w.topology().cloud_locations.len()
         );
+    }
+
+    #[test]
+    fn noop_chaos_backend_is_transparent() {
+        let w = World::new(WorldConfig::tiny(2, 21));
+        let plain = WorldBackend::new(&w);
+        let chaos = ChaosBackend::new(WorldBackend::new(&w), FaultPlan::none(1));
+        let c = &w.topology().clients[0];
+        for bucket in [TimeBucket(0), TimeBucket(30), TimeBucket(288)] {
+            assert_eq!(chaos.quartets_in(bucket), plain.quartets_in(bucket));
+        }
+        let t = SimTime::from_hours(12);
+        assert_eq!(
+            chaos.route_info(c.primary_loc, c.p24, t),
+            plain.route_info(c.primary_loc, c.p24, t)
+        );
+        assert_eq!(
+            chaos.traceroute(c.primary_loc, c.p24, t),
+            plain.traceroute(c.primary_loc, c.p24, t)
+        );
+        let day = TimeRange::days(1);
+        assert_eq!(chaos.churn_events(day), plain.churn_events(day));
+        assert_eq!(chaos.probes_issued(), plain.probes_issued());
+        assert_eq!(chaos.stats(), ChaosStats::default());
+        assert_eq!(chaos.faults_injected(), 0);
+    }
+
+    #[test]
+    fn timed_out_probes_still_count() {
+        let w = World::new(WorldConfig::tiny(1, 8));
+        let plan = FaultPlan {
+            probe_timeout: 1.0,
+            ..FaultPlan::none(2)
+        };
+        let chaos = ChaosBackend::new(WorldBackend::new(&w), plan);
+        let c = &w.topology().clients[0];
+        assert!(chaos
+            .traceroute(c.primary_loc, c.p24, SimTime(600))
+            .is_none());
+        assert_eq!(chaos.probes_issued(), 1);
+        assert_eq!(chaos.stats().probe_timeouts, 1);
+    }
+
+    #[test]
+    fn truncated_probes_lose_their_tail_but_keep_a_hop() {
+        let w = World::new(WorldConfig::tiny(1, 8));
+        let plan = FaultPlan {
+            probe_truncate: 1.0,
+            ..FaultPlan::none(3)
+        };
+        let chaos = ChaosBackend::new(WorldBackend::new(&w), plan);
+        let inner = WorldBackend::new(&w);
+        let c = &w.topology().clients[0];
+        let t = SimTime::from_hours(10);
+        let full = inner.traceroute(c.primary_loc, c.p24, t).unwrap();
+        let cut = chaos.traceroute(c.primary_loc, c.p24, t).unwrap();
+        assert!(!cut.hops.is_empty());
+        assert!(cut.hops.len() < full.hops.len());
+        assert_eq!(cut.hops[..], full.hops[..cut.hops.len()]);
+        assert_eq!(chaos.stats().probes_truncated, 1);
+    }
+
+    #[test]
+    fn slow_probes_arrive_late() {
+        let w = World::new(WorldConfig::tiny(1, 8));
+        let plan = FaultPlan {
+            probe_slow: 1.0,
+            slow_by_secs: 45,
+            ..FaultPlan::none(4)
+        };
+        let chaos = ChaosBackend::new(WorldBackend::new(&w), plan);
+        let c = &w.topology().clients[0];
+        let t = SimTime::from_hours(10);
+        let tr = chaos.traceroute(c.primary_loc, c.p24, t).unwrap();
+        assert_eq!(tr.at, t + 45);
+        assert_eq!(chaos.stats().probes_delayed, 1);
+    }
+
+    #[test]
+    fn dropped_batches_are_empty_and_counted() {
+        let w = World::new(WorldConfig::tiny(2, 8));
+        let plan = FaultPlan {
+            drop_quartet_batch: 1.0,
+            ..FaultPlan::none(5)
+        };
+        let chaos = ChaosBackend::new(WorldBackend::new(&w), plan);
+        assert!(chaos.quartets_in(TimeBucket(140)).is_empty());
+        assert_eq!(chaos.stats().quartet_batches_dropped, 1);
+    }
+
+    #[test]
+    fn delayed_churn_delivers_exactly_once_across_windows() {
+        let w = World::new(WorldConfig::tiny(2, 77));
+        let plan = FaultPlan {
+            churn_delay: 1.0,
+            churn_delay_secs: 900,
+            ..FaultPlan::none(6)
+        };
+        let chaos = ChaosBackend::new(WorldBackend::new(&w), plan);
+        let inner = WorldBackend::new(&w);
+        // Query two days in consecutive 900 s windows; every event of
+        // day 0 must appear exactly once, shifted into a later window.
+        let horizon = 2 * 86_400;
+        let mut delivered = Vec::new();
+        let mut t = 0;
+        while t < horizon {
+            delivered.extend(chaos.churn_events(TimeRange::new(SimTime(t), SimTime(t + 900))));
+            t += 900;
+        }
+        let mut want = inner.churn_events(TimeRange::new(SimTime(0), SimTime(horizon - 900)));
+        want.sort_by_key(|e| (e.at_secs, e.loc, e.prefix));
+        let mut got: Vec<_> = delivered
+            .iter()
+            .filter(|e| e.at_secs + 900 < horizon)
+            .copied()
+            .collect();
+        got.sort_by_key(|e| (e.at_secs, e.loc, e.prefix));
+        assert!(!want.is_empty(), "the world must churn");
+        assert_eq!(got, want);
+        assert_eq!(chaos.stats().churn_delayed, delivered.len() as u64);
+    }
+
+    #[test]
+    fn duplicated_churn_delivers_exactly_twice() {
+        let w = World::new(WorldConfig::tiny(2, 77));
+        let plan = FaultPlan {
+            churn_duplicate: 1.0,
+            ..FaultPlan::none(7)
+        };
+        let chaos = ChaosBackend::new(WorldBackend::new(&w), plan);
+        let inner = WorldBackend::new(&w);
+        let day = TimeRange::days(1);
+        let got = chaos.churn_events(day);
+        let want = inner.churn_events(day);
+        assert!(!want.is_empty(), "the world must churn");
+        assert_eq!(got.len(), 2 * want.len());
+        for pair in got.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+        assert_eq!(chaos.stats().churn_duplicated, want.len() as u64);
+    }
+
+    #[test]
+    fn registry_mirror_counts_injections() {
+        let w = World::new(WorldConfig::tiny(1, 8));
+        let registry = MetricsRegistry::new();
+        let plan = FaultPlan {
+            probe_timeout: 1.0,
+            ..FaultPlan::none(8)
+        };
+        let chaos = ChaosBackend::with_registry(WorldBackend::new(&w), plan, &registry);
+        let c = &w.topology().clients[0];
+        chaos.traceroute(c.primary_loc, c.p24, SimTime(600));
+        chaos.traceroute(c.primary_loc, c.p24, SimTime(900));
+        let counter = registry.counter_with(
+            "blameit_chaos_faults_injected_total",
+            &[("kind", "probe_timeout")],
+        );
+        assert_eq!(counter.get(), 2);
     }
 }

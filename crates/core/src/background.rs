@@ -170,6 +170,15 @@ impl BackgroundScheduler {
         self.period_secs
     }
 
+    /// Forgets the last-probed time for `(loc, path)`, making the
+    /// target due again on the next tick. The engine calls this when a
+    /// background refresh fails (e.g. the traceroute timed out under a
+    /// chaos plan) so one lost probe doesn't leave a baseline stale for
+    /// a whole period.
+    pub fn retry_soon(&mut self, loc: CloudLocId, path: PathId) {
+        self.last.remove(&(loc, path));
+    }
+
     /// Computes the probes due at `now`:
     ///
     /// * every periodic target whose last probe is older than the
@@ -251,6 +260,19 @@ mod tests {
         // And it resets the periodic clock.
         let due2 = s.due(SimTime(200), &targets, &[]);
         assert!(due2.is_empty());
+    }
+
+    #[test]
+    fn retry_soon_makes_a_target_due_again() {
+        let mut s = BackgroundScheduler::new(1000, false);
+        let targets = [target(0, 1), target(0, 2)];
+        s.due(SimTime(0), &targets, &[]);
+        assert!(s.due(SimTime(300), &targets, &[]).is_empty());
+        s.retry_soon(CloudLocId(0), PathId(2));
+        let due = s.due(SimTime(600), &targets, &[]);
+        assert_eq!(due, vec![target(0, 2)]);
+        // The retried probe resets its clock like any other.
+        assert!(s.due(SimTime(900), &targets, &[]).is_empty());
     }
 
     #[test]

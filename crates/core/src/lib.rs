@@ -66,9 +66,9 @@ pub mod thresholds;
 
 pub use active::{
     combine_directional_diffs, diff_contributions, diff_contributions_with_floor, diff_traceroutes,
-    AsDelta, TracrouteDiffResult,
+    AsDelta, LocalizationVerdict, TracrouteDiffResult, UnlocalizedReason,
 };
-pub use backend::{Backend, RouteInfo, WorldBackend};
+pub use backend::{Backend, ChaosBackend, ChaosStats, RouteInfo, WorldBackend};
 pub use background::{BackgroundScheduler, BaselineEntry, BaselineStore, ProbeTarget};
 pub use grouping::{MiddleGrouping, MiddleKey};
 pub use history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
@@ -80,7 +80,9 @@ pub use passive::{
     PassiveAggregates,
 };
 pub use pipeline::{Alert, BlameItConfig, BlameItEngine, MiddleLocalization, TickOutput};
-pub use priority::{prioritize, select_within_budget, MiddleIssue, PrioritizedIssue};
+pub use priority::{
+    prioritize, select_within_budget, select_within_budgets, MiddleIssue, PrioritizedIssue,
+};
 pub use quartet::{
     aggregate_records, enrich_bucket, enrich_bucket_min_samples, enrich_obs, enrich_obs_sharded,
     split_half_ks, EnrichedQuartet, MIN_SAMPLES,

@@ -8,6 +8,7 @@
 //!
 //! [`BlameItEngine::metrics`]: crate::pipeline::BlameItEngine::metrics
 
+use crate::active::UnlocalizedReason;
 use crate::passive::Blame;
 use blameit_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::Arc;
@@ -58,6 +59,26 @@ pub struct EngineMetrics {
     /// Background probes skipped because the path was inside a badness
     /// episode.
     pub probes_suppressed_episode: Arc<Counter>,
+    /// Issues left unprobed because the per-tick probe deadline budget
+    /// ran out.
+    pub probes_suppressed_deadline: Arc<Counter>,
+    /// On-demand traceroute retries after a lost or truncated attempt.
+    pub probe_retries: Arc<Counter>,
+    /// On-demand traceroute attempts that timed out or missed the
+    /// per-probe deadline.
+    pub probe_attempts_lost: Arc<Counter>,
+    /// On-demand traceroute attempts that came back truncated.
+    pub probe_attempts_truncated: Arc<Counter>,
+    /// Diffs refused because the only available baseline exceeded the
+    /// quarantine age.
+    pub baseline_quarantines: Arc<Counter>,
+    /// Background baseline refreshes whose traceroute failed.
+    pub background_probe_failures: Arc<Counter>,
+    /// Failed background refreshes rescheduled for the next tick.
+    pub background_retries: Arc<Counter>,
+    /// Degraded `MiddleUnlocalized` verdicts by reason
+    /// (`UnlocalizedReason::ALL` order).
+    degraded: [Arc<Counter>; 6],
     /// Operator alerts emitted.
     pub alerts: Arc<Counter>,
     /// Whole-tick wall time, microseconds.
@@ -91,6 +112,17 @@ impl EngineMetrics {
                 .counter_with("blameit_probes_suppressed_total", &[("reason", "budget")]),
             probes_suppressed_episode: registry
                 .counter_with("blameit_probes_suppressed_total", &[("reason", "episode")]),
+            probes_suppressed_deadline: registry
+                .counter_with("blameit_probes_suppressed_total", &[("reason", "deadline")]),
+            probe_retries: registry.counter("blameit_probe_retries_total"),
+            probe_attempts_lost: registry.counter("blameit_probe_attempts_lost_total"),
+            probe_attempts_truncated: registry.counter("blameit_probe_attempts_truncated_total"),
+            baseline_quarantines: registry.counter("blameit_baseline_quarantines_total"),
+            background_probe_failures: registry.counter("blameit_background_probe_failures_total"),
+            background_retries: registry.counter("blameit_background_retries_total"),
+            degraded: UnlocalizedReason::ALL.map(|r| {
+                registry.counter_with("blameit_degraded_verdicts_total", &[("reason", r.label())])
+            }),
             alerts: registry.counter("blameit_alerts_total"),
             tick_duration_us: registry.histogram("blameit_tick_duration_us"),
             stage_us,
@@ -105,6 +137,20 @@ impl EngineMetrics {
     /// The registry behind the handles.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The degraded-verdict counter for one reason.
+    pub fn degraded_counter(&self, reason: UnlocalizedReason) -> &Arc<Counter> {
+        let idx = UnlocalizedReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("UnlocalizedReason::ALL covers every variant");
+        &self.degraded[idx]
+    }
+
+    /// Total degraded verdicts across all reasons.
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded.iter().map(|c| c.get()).sum()
     }
 
     /// The blame counter for one segment.
@@ -249,6 +295,19 @@ mod tests {
             direct.registry().render_prometheus(),
             sharded.registry().render_prometheus()
         );
+    }
+
+    #[test]
+    fn degraded_counters_cover_every_reason() {
+        let m = EngineMetrics::new(Arc::new(MetricsRegistry::new()));
+        assert_eq!(m.degraded_total(), 0);
+        for r in UnlocalizedReason::ALL {
+            m.degraded_counter(r).inc();
+        }
+        for r in UnlocalizedReason::ALL {
+            assert_eq!(m.degraded_counter(r).get(), 1, "{r}");
+        }
+        assert_eq!(m.degraded_total(), UnlocalizedReason::ALL.len() as u64);
     }
 
     #[test]

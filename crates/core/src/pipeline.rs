@@ -12,7 +12,10 @@
 //! the simulator (with ground truth available for scoring) or any other
 //! data plane.
 
-use crate::active::{diff_contributions_with_floor, TracrouteDiffResult, MIN_CULPRIT_DELTA_MS};
+use crate::active::{
+    diff_contributions_with_floor, LocalizationVerdict, TracrouteDiffResult, UnlocalizedReason,
+    MIN_CULPRIT_DELTA_MS,
+};
 use crate::backend::Backend;
 use crate::background::{BackgroundScheduler, BaselineStore, ProbeTarget};
 use crate::grouping::MiddleKey;
@@ -20,14 +23,14 @@ use crate::history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, Rt
 use crate::incident::IncidentTracker;
 use crate::metrics::{stage, EngineMetrics, ShardMetrics};
 use crate::passive::{aggregate_pass, Blame, BlameConfig, BlameResult};
-use crate::priority::{prioritize, select_within_budget, MiddleIssue, PrioritizedIssue};
+use crate::priority::{prioritize, select_within_budgets, MiddleIssue, PrioritizedIssue};
 use crate::quartet::{enrich_obs_sharded, EnrichedQuartet, MIN_SAMPLES};
 use crate::shard::{parallel_map, run_sharded, ShardPlan};
 use crate::thresholds::BadnessThresholds;
 use blameit_obs::{span, MetricsRegistry, StageClock, StageTimings};
-use blameit_simnet::{SimTime, TimeBucket, TimeRange};
+use blameit_simnet::{Segment, SimTime, TimeBucket, TimeRange};
 use blameit_topology::{Asn, CloudLocId, PathId, Prefix24};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -48,6 +51,25 @@ pub struct BlameItConfig {
     pub tick_buckets: u32,
     /// Maximum operator alerts emitted per tick.
     pub max_alerts: usize,
+    /// On-demand traceroute attempts per issue (first try + retries).
+    pub probe_max_attempts: u32,
+    /// Base of the deterministic exponential backoff between on-demand
+    /// attempts, seconds: retry `k` waits `base << (k-1)` after the
+    /// previous attempt's cost.
+    pub probe_backoff_base_secs: u64,
+    /// Per-probe deadline, seconds: a traceroute whose answer arrives
+    /// later than this after issue (or not at all) counts as lost.
+    pub probe_timeout_secs: u64,
+    /// Per-tick time budget for on-demand probing, seconds. Issues the
+    /// budget cannot cover get a `DeadlineBudget` degraded verdict
+    /// instead of a probe. Probes that answer instantly cost nothing,
+    /// so healthy runs never hit this.
+    pub probe_deadline_budget_secs: u64,
+    /// Quarantine age for baselines, seconds: a diff against a baseline
+    /// older than this is refused (`StaleBaseline`) rather than
+    /// trusted. The default (4 days) sits above the store's normal
+    /// retention span so healthy runs never quarantine.
+    pub baseline_max_age_secs: u64,
     /// Seed for the expected-RTT reservoir.
     pub seed: u64,
     /// Worker threads for the sharded tick. `1` runs the exact legacy
@@ -68,6 +90,11 @@ impl BlameItConfig {
             churn_triggered: true,
             tick_buckets: 3,
             max_alerts: 10,
+            probe_max_attempts: 3,
+            probe_backoff_base_secs: 30,
+            probe_timeout_secs: 30,
+            probe_deadline_budget_secs: 600,
+            baseline_max_age_secs: 4 * 86_400,
             seed: 0x0B1A_3E17,
             parallelism: crate::shard::default_parallelism(),
         }
@@ -79,14 +106,21 @@ impl BlameItConfig {
 pub struct MiddleLocalization {
     /// The prioritized issue that was probed.
     pub issue: PrioritizedIssue,
-    /// When the on-demand probe ran.
+    /// When the probe that produced the evidence ran (the first
+    /// attempt's issue time when no attempt answered).
     pub probed_at: SimTime,
     /// The /24 probed.
     pub probed_p24: Prefix24,
-    /// Per-AS diff against the background baseline; `None` if no
-    /// baseline existed for the path yet.
+    /// Traceroute attempts spent on this issue (0 when the deadline
+    /// budget dropped it unprobed).
+    pub attempts: u32,
+    /// Per-AS diff against the background baseline; `None` when no
+    /// usable probe answer or no trustworthy baseline existed.
     pub diff: Option<TracrouteDiffResult>,
-    /// The culprit AS, if the diff names one.
+    /// The localization outcome: a culprit AS, or a degraded
+    /// `MiddleUnlocalized` verdict with the recorded reason.
+    pub verdict: LocalizationVerdict,
+    /// The culprit AS, if the diff names one (`verdict.culprit()`).
     pub culprit: Option<Asn>,
 }
 
@@ -166,6 +200,11 @@ pub struct BlameItEngine {
     /// baseline predating the whole episode, and background probing
     /// must not re-baseline inside one.
     episodes: HashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
+    /// (loc, path) pairs whose last background refresh failed and has
+    /// already been rescheduled once — bounds the retry to one, so a
+    /// permanently-unanswerable target degrades to its normal period
+    /// instead of probing every tick.
+    bg_failed_once: HashSet<(CloudLocId, PathId)>,
     churn_cursor: SimTime,
     metrics: EngineMetrics,
     /// Lifetime probe counters.
@@ -197,6 +236,7 @@ impl BlameItEngine {
             baseline_p24: HashMap::new(),
             monitored_prefixes: std::collections::HashSet::new(),
             episodes: HashMap::new(),
+            bg_failed_once: HashSet::new(),
             churn_cursor: SimTime::ZERO,
             on_demand_probes_total: 0,
             background_probes_total: 0,
@@ -483,11 +523,17 @@ impl BlameItEngine {
             .collect();
         issues.sort_unstable_by_key(|i| (i.loc, i.path));
         let ranked = prioritize(issues, &self.durations, &self.client_hist);
-        let selected: Vec<PrioritizedIssue> =
-            select_within_budget(&ranked, self.cfg.probe_budget_per_loc)
-                .into_iter()
-                .cloned()
-                .collect();
+        // The global cap is a coarse safety valve (one issue per budget
+        // second would already be pathological); the real limit is the
+        // probe deadline budget applied during the active phase.
+        let selected: Vec<PrioritizedIssue> = select_within_budgets(
+            &ranked,
+            self.cfg.probe_budget_per_loc,
+            self.cfg.probe_deadline_budget_secs.max(1) as usize,
+        )
+        .into_iter()
+        .cloned()
+        .collect();
         self.metrics
             .probes_suppressed_budget
             .add((ranked.len() - selected.len()) as u64);
@@ -515,23 +561,28 @@ impl BlameItEngine {
             client_origin: Option<Asn>,
             tr: Option<blameit_simnet::Traceroute>,
             incident_start: SimTime,
+            attempts: u32,
+            /// The kept evidence is a truncated traceroute.
+            truncated: bool,
+            /// Dropped unprobed: the deadline budget ran out first.
+            deadline_dropped: bool,
         }
+        // Probe time the tick can spend: lost attempts burn the
+        // per-probe timeout, slow answers their wait. Instant answers
+        // (the healthy case) cost nothing, so the budget only bites
+        // when the measurement plane misbehaves.
+        let probe_timeout = self.cfg.probe_timeout_secs;
+        let mut deadline_left = self.cfg.probe_deadline_budget_secs;
         let probed: Vec<ProbedIssue> = selected
             .into_iter()
             .map(|p| {
-                let probe_at = p.issue.bucket.mid();
+                let first_at = p.issue.bucket.mid();
                 // Probe an *affected* /24 (§5.3 targets the clients of
                 // the issue). Its last mile may differ from the /24 the
                 // background baseline was measured toward; that
                 // difference lands in the client hop, so the client AS
                 // gets a raised culprit floor in the diff below.
                 let p24 = p.issue.affected_p24s[0];
-                let client_origin = backend
-                    .route_info(p.issue.loc, p24, probe_at)
-                    .map(|i| i.origin);
-                let tr = backend.traceroute(p.issue.loc, p24, probe_at);
-                self.on_demand_probes_total += 1;
-                out.on_demand_probes += 1;
                 // Diff against the newest baseline that predates the
                 // whole badness *episode* (gap-tolerant): a mid-incident
                 // baseline already carries the inflation (§5.2 compares
@@ -553,50 +604,209 @@ impl BlameItEngine {
                 // a baseline taken shortly before *detection* — but
                 // possibly after the true onset — is not trusted.
                 let incident_start = incident_start - 9 * blameit_simnet::BUCKET_SECS;
+                if deadline_left < probe_timeout {
+                    self.metrics.probes_suppressed_deadline.inc();
+                    return ProbedIssue {
+                        issue: p,
+                        probe_at: first_at,
+                        p24,
+                        client_origin: None,
+                        tr: None,
+                        incident_start,
+                        attempts: 0,
+                        truncated: false,
+                        deadline_dropped: true,
+                    };
+                }
+                let client_origin = backend
+                    .route_info(p.issue.loc, p24, first_at)
+                    .map(|i| i.origin);
+                // Bounded retry with deterministic exponential backoff:
+                // re-issue at a later SimTime, so the answer re-derives
+                // purely from (seed, target, time) and the whole loop
+                // stays byte-deterministic at any thread count.
+                let mut at = first_at;
+                let mut evidence: Option<blameit_simnet::Traceroute> = None;
+                let mut evidence_at = first_at;
+                let mut truncated = false;
+                let mut attempts = 0u32;
+                loop {
+                    attempts += 1;
+                    let mut attempt_span = span!(
+                        "blameit::pipeline",
+                        "probe_attempt",
+                        loc = p.issue.loc.0 as u64,
+                        attempt = attempts as u64
+                    );
+                    let got = backend.traceroute(p.issue.loc, p24, at);
+                    self.on_demand_probes_total += 1;
+                    out.on_demand_probes += 1;
+                    // Classify the attempt: lost (no answer, or an
+                    // answer past the per-probe deadline), truncated
+                    // (the hop list never reaches the client AS), or
+                    // complete.
+                    let mut done = false;
+                    let cost = match got {
+                        None => {
+                            self.metrics.probe_attempts_lost.inc();
+                            attempt_span.record("outcome", "lost");
+                            probe_timeout
+                        }
+                        Some(t) => {
+                            let wait = t.at.secs().saturating_sub(at.secs());
+                            if wait > probe_timeout {
+                                self.metrics.probe_attempts_lost.inc();
+                                attempt_span.record("outcome", "late");
+                                probe_timeout
+                            } else if t.hops.last().is_none_or(|h| h.segment != Segment::Client) {
+                                // Keep truncated evidence: a later
+                                // complete answer overrides it, and a
+                                // partial diff can still clear or
+                                // convict the surviving prefix.
+                                self.metrics.probe_attempts_truncated.inc();
+                                attempt_span.record("outcome", "truncated");
+                                evidence_at = t.at;
+                                evidence = Some(t);
+                                truncated = true;
+                                wait
+                            } else {
+                                attempt_span.record("outcome", "complete");
+                                evidence_at = t.at;
+                                evidence = Some(t);
+                                truncated = false;
+                                done = true;
+                                wait
+                            }
+                        }
+                    };
+                    deadline_left = deadline_left.saturating_sub(cost);
+                    if done
+                        || attempts >= self.cfg.probe_max_attempts
+                        || deadline_left < probe_timeout
+                    {
+                        break;
+                    }
+                    let backoff = self.cfg.probe_backoff_base_secs << (attempts - 1).min(16) as u64;
+                    at = at + cost + backoff;
+                    self.metrics.probe_retries.inc();
+                }
                 ProbedIssue {
                     issue: p,
-                    probe_at,
+                    probe_at: evidence_at,
                     p24,
                     client_origin,
-                    tr,
+                    tr: evidence,
                     incident_start,
+                    attempts,
+                    truncated,
+                    deadline_dropped: false,
                 }
             })
             .collect();
+        // Diff outcome per issue, computed concurrently (pure function
+        // of the probe and the unmodified-in-this-stage baseline store).
+        enum DiffOutcome {
+            NoProbe,
+            NoBaseline,
+            Stale,
+            Diffed(TracrouteDiffResult),
+        }
         let baselines = &self.baselines;
+        let max_age = self.cfg.baseline_max_age_secs;
         let diffs = parallel_map(nthreads, &probed, |_, p| {
-            p.tr.as_ref().and_then(|t| {
-                baselines
-                    .get_before(p.issue.issue.loc, p.issue.issue.path, p.incident_start)
-                    .or_else(|| baselines.oldest(p.issue.issue.loc, p.issue.issue.path))
-                    .map(|base| {
-                        diff_contributions_with_floor(
-                            &base.contributions,
-                            &t.as_contributions(),
-                            |asn| {
-                                if Some(asn) == p.client_origin {
-                                    // Covers the last-mile spread between
-                                    // the probed /24 and the baseline's
-                                    // /24 (up to ~32 ms for cellular) plus
-                                    // evening-congestion variation.
-                                    55.0
-                                } else {
-                                    MIN_CULPRIT_DELTA_MS
-                                }
-                            },
-                        )
-                    })
-            })
+            let Some(t) = p.tr.as_ref() else {
+                return DiffOutcome::NoProbe;
+            };
+            let Some(base) = baselines
+                .get_before(p.issue.issue.loc, p.issue.issue.path, p.incident_start)
+                .or_else(|| baselines.oldest(p.issue.issue.loc, p.issue.issue.path))
+            else {
+                return DiffOutcome::NoBaseline;
+            };
+            // Stale-baseline quarantine: a comparison picture this old
+            // reflects a path that may have reshaped entirely; naming a
+            // culprit from it would be misattribution, not evidence.
+            if p.probe_at.secs().saturating_sub(base.at.secs()) > max_age {
+                return DiffOutcome::Stale;
+            }
+            DiffOutcome::Diffed(diff_contributions_with_floor(
+                &base.contributions,
+                &t.as_contributions(),
+                |asn| {
+                    if Some(asn) == p.client_origin {
+                        // Covers the last-mile spread between
+                        // the probed /24 and the baseline's
+                        // /24 (up to ~32 ms for cellular) plus
+                        // evening-congestion variation.
+                        55.0
+                    } else {
+                        MIN_CULPRIT_DELTA_MS
+                    }
+                },
+            ))
         });
-        for (p, diff) in probed.into_iter().zip(diffs) {
-            let culprit = diff.as_ref().and_then(|d| d.culprit);
+        for (p, outcome) in probed.into_iter().zip(diffs) {
+            let (verdict, diff) = if p.deadline_dropped {
+                (
+                    LocalizationVerdict::MiddleUnlocalized {
+                        reason: UnlocalizedReason::DeadlineBudget,
+                    },
+                    None,
+                )
+            } else {
+                match outcome {
+                    DiffOutcome::NoProbe => (
+                        LocalizationVerdict::MiddleUnlocalized {
+                            reason: UnlocalizedReason::ProbeTimeout,
+                        },
+                        None,
+                    ),
+                    DiffOutcome::NoBaseline => (
+                        LocalizationVerdict::MiddleUnlocalized {
+                            reason: UnlocalizedReason::NoBaseline,
+                        },
+                        None,
+                    ),
+                    DiffOutcome::Stale => {
+                        self.metrics.baseline_quarantines.inc();
+                        (
+                            LocalizationVerdict::MiddleUnlocalized {
+                                reason: UnlocalizedReason::StaleBaseline,
+                            },
+                            None,
+                        )
+                    }
+                    DiffOutcome::Diffed(d) => {
+                        let verdict = match d.culprit {
+                            Some(c) => LocalizationVerdict::Culprit(c),
+                            // A clean diff with no material delta is an
+                            // honest "nothing stands out"; the same from
+                            // a truncated probe only cleared the
+                            // surviving prefix of the path.
+                            None if p.truncated => LocalizationVerdict::MiddleUnlocalized {
+                                reason: UnlocalizedReason::TruncatedProbe,
+                            },
+                            None => LocalizationVerdict::MiddleUnlocalized {
+                                reason: UnlocalizedReason::NoMaterialDelta,
+                            },
+                        };
+                        (verdict, Some(d))
+                    }
+                }
+            };
+            if let LocalizationVerdict::MiddleUnlocalized { reason } = verdict {
+                self.metrics.degraded_counter(reason).inc();
+            }
+            let culprit = verdict.culprit();
             if let Some(c) = culprit {
                 culprit_by_issue.insert((p.issue.issue.loc, p.issue.issue.path), c);
             }
             out.localizations.push(MiddleLocalization {
                 probed_at: p.probe_at,
                 probed_p24: p.p24,
+                attempts: p.attempts,
                 diff,
+                verdict,
                 culprit,
                 issue: p.issue,
             });
@@ -693,9 +903,25 @@ impl BlameItEngine {
             })
         });
         for (t, probe) in targets.iter().zip(refreshed) {
-            if let Some((live_path, tr)) = probe {
-                self.baselines.update(t.loc, live_path, &tr);
-                self.baseline_p24.insert((t.loc, live_path), t.p24);
+            match probe {
+                Some((live_path, tr)) => {
+                    self.baselines.update(t.loc, live_path, &tr);
+                    self.baseline_p24.insert((t.loc, live_path), t.p24);
+                    self.bg_failed_once.remove(&(t.loc, t.path));
+                }
+                None => {
+                    // A lost refresh must not leave the baseline stale
+                    // for a whole period: forget the scheduler clock so
+                    // the target is due again next tick — but only
+                    // once, so a permanently-unanswerable target (e.g.
+                    // a churned prefix with no known /24) settles back
+                    // to its normal cadence.
+                    self.metrics.background_probe_failures.inc();
+                    if self.bg_failed_once.insert((t.loc, t.path)) {
+                        self.scheduler.retry_soon(t.loc, t.path);
+                        self.metrics.background_retries.inc();
+                    }
+                }
             }
             self.background_probes_total += 1;
             out.background_probes += 1;

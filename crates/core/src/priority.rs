@@ -86,9 +86,25 @@ pub fn prioritize(
 /// location rather than per AS, §5.3): keeps at most `per_loc` issues
 /// for each location, preserving rank order.
 pub fn select_within_budget(ranked: &[PrioritizedIssue], per_loc: usize) -> Vec<&PrioritizedIssue> {
+    select_within_budgets(ranked, per_loc, usize::MAX)
+}
+
+/// [`select_within_budget`] with an additional global cap: at most
+/// `max_total` issues overall, rank order first. The global cap is the
+/// coarse safety valve for chaos runs — the fine-grained limit is the
+/// engine's per-tick probe *deadline* budget, which accounts for time
+/// actually spent retrying.
+pub fn select_within_budgets(
+    ranked: &[PrioritizedIssue],
+    per_loc: usize,
+    max_total: usize,
+) -> Vec<&PrioritizedIssue> {
     let mut used: HashMap<CloudLocId, usize> = HashMap::new();
     let mut out = Vec::new();
     for p in ranked {
+        if out.len() >= max_total {
+            break;
+        }
         let u = used.entry(p.issue.loc).or_insert(0);
         if *u < per_loc {
             *u += 1;
@@ -207,6 +223,28 @@ mod tests {
         // Highest-impact issues survive the cut.
         assert_eq!(picked[0].issue.path, PathId(1));
         assert_eq!(picked[1].issue.path, PathId(2));
+    }
+
+    #[test]
+    fn global_cap_trims_after_rank() {
+        let durations = DurationHistory::new();
+        let clients = ClientCountHistory::new();
+        let issues = vec![
+            issue(0, 1, 1, 400),
+            issue(1, 2, 1, 300),
+            issue(2, 3, 1, 200),
+            issue(3, 4, 1, 100),
+        ];
+        let ranked = prioritize(issues, &durations, &clients);
+        let picked = select_within_budgets(&ranked, 5, 2);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].issue.path, PathId(1));
+        assert_eq!(picked[1].issue.path, PathId(2));
+        // usize::MAX cap reduces to the per-location rule.
+        assert_eq!(
+            select_within_budgets(&ranked, 5, usize::MAX).len(),
+            select_within_budget(&ranked, 5).len()
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`BlameResult`]s so the experiment harness and operators' reports
 //! share one implementation.
 
-use crate::active::TracrouteDiffResult;
+use crate::active::{LocalizationVerdict, TracrouteDiffResult};
 use crate::passive::{Blame, BlameResult};
 use crate::pipeline::{Alert, MiddleLocalization, TickOutput};
 use blameit_topology::Region;
@@ -185,8 +185,15 @@ pub fn render_tick_transcript(outs: &[TickOutput]) -> String {
             };
             writeln!(
                 s,
-                "  localization loc={} path={} at={} p24={} culprit={:?} diff={}",
-                l.issue.issue.loc, l.issue.issue.path, l.probed_at, l.probed_p24, l.culprit, diff
+                "  localization loc={} path={} at={} p24={} attempts={} verdict={} culprit={:?} diff={}",
+                l.issue.issue.loc,
+                l.issue.issue.path,
+                l.probed_at,
+                l.probed_p24,
+                l.attempts,
+                l.verdict,
+                l.culprit,
+                diff
             )
             .unwrap();
         }
@@ -256,10 +263,22 @@ pub fn render_ticket(alert: &Alert, localization: Option<&MiddleLocalization>) -
         writeln!(out).unwrap();
         writeln!(
             out,
-            "### Active localization (probe at {}, target {})",
-            l.probed_at, l.probed_p24
+            "### Active localization (probe at {}, target {}, {} attempt{})",
+            l.probed_at,
+            l.probed_p24,
+            l.attempts,
+            if l.attempts == 1 { "" } else { "s" }
         )
         .unwrap();
+        if let LocalizationVerdict::MiddleUnlocalized { reason } = l.verdict {
+            writeln!(
+                out,
+                "
+**degraded verdict**: middle segment confirmed but no culprit AS \
+could honestly be named ({reason})"
+            )
+            .unwrap();
+        }
         match &l.diff {
             Some(d) => {
                 writeln!(out).unwrap();
@@ -268,7 +287,7 @@ pub fn render_ticket(alert: &Alert, localization: Option<&MiddleLocalization>) -
             None => writeln!(
                 out,
                 "
-no pre-incident baseline was available"
+no usable probe/baseline evidence was available"
             )
             .unwrap(),
         }
@@ -448,7 +467,9 @@ mod tests {
             },
             probed_at: SimTime(3_750),
             probed_p24: Prefix24::from_block(9),
+            attempts: 1,
             diff: Some(diff),
+            verdict: LocalizationVerdict::Culprit(Asn(112)),
             culprit: Some(Asn(112)),
         };
         let t = render_ticket(&alert, Some(&localization));
@@ -456,6 +477,24 @@ mod tests {
         assert!(t.contains("culprit AS: AS112"));
         assert!(t.contains("| AS112 | 2.0 | 58.0 | +56.0 |"), "{t}");
         assert!(t.contains("peering & transit team"));
+        assert!(t.contains("1 attempt)"), "{t}");
+        assert!(!t.contains("degraded verdict"), "{t}");
+
+        // Degraded-verdict ticket: retries exhausted, no diff.
+        let degraded = MiddleLocalization {
+            attempts: 3,
+            diff: None,
+            verdict: LocalizationVerdict::MiddleUnlocalized {
+                reason: crate::active::UnlocalizedReason::ProbeTimeout,
+            },
+            culprit: None,
+            ..localization.clone()
+        };
+        let t = render_ticket(&alert, Some(&degraded));
+        assert!(t.contains("3 attempts)"), "{t}");
+        assert!(t.contains("**degraded verdict**"), "{t}");
+        assert!(t.contains("(probe_timeout)"), "{t}");
+        assert!(t.contains("no usable probe/baseline evidence"), "{t}");
 
         // Client ticket without localization.
         let client_alert = Alert {

@@ -1,76 +1,61 @@
 //! Failure injection: the engine must stay correct when the data plane
 //! misbehaves — traceroutes time out, telemetry goes missing, routing
-//! lookups fail. Production telemetry pipelines do all of these (§6.1
-//! describes storage-bucket ordering loss as one real quirk).
+//! lookups fail, BGP updates arrive twice. Production telemetry
+//! pipelines do all of these (§6.1 describes storage-bucket ordering
+//! loss as one real quirk). All faults come from the seeded
+//! [`ChaosBackend`]/[`FaultPlan`] layer, so every run here is exactly
+//! reproducible — unlike the hand-rolled flaky wrapper these tests
+//! started with, whose shared-RNG decisions depended on call order.
 
-use blameit::{Backend, BadnessThresholds, BlameItConfig, BlameItEngine, RouteInfo, WorldBackend};
-use blameit_simnet::{QuartetObs, SimTime, TimeBucket, TimeRange, Traceroute, World, WorldConfig};
+use blameit::{
+    render_tick_transcript, Backend, BadnessThresholds, BlameItConfig, BlameItEngine, ChaosBackend,
+    LocalizationVerdict, RouteInfo, UnlocalizedReason, WorldBackend,
+};
+use blameit_simnet::{
+    Fault, FaultId, FaultPlan, FaultTarget, QuartetObs, SimTime, TimeBucket, TimeRange, Traceroute,
+    World, WorldConfig,
+};
 use blameit_topology::bgp::BgpChurnEvent;
-use blameit_topology::rng::DetRng;
-use blameit_topology::{CloudLocId, Prefix24};
+use blameit_topology::{Asn, CloudLocId, Prefix24};
 
-/// A backend wrapper that drops traceroutes, hides buckets of
-/// telemetry, and fails routing lookups, each with configured
-/// probability (deterministically, per call site).
-struct FlakyBackend<'w> {
-    inner: WorldBackend<'w>,
-    // Mutex (not RefCell): `Backend: Sync` so the sharded tick can call
-    // into it from worker threads. The lock order under parallelism > 1
-    // is nondeterministic, which is fine here — these tests assert
-    // robustness, not exact outputs.
-    rng: std::sync::Mutex<DetRng>,
-    drop_traceroute: f64,
-    drop_bucket: f64,
-    drop_route_info: f64,
-}
-
-impl<'w> FlakyBackend<'w> {
-    fn new(world: &'w World, seed: u64) -> Self {
-        FlakyBackend {
-            inner: WorldBackend::new(world),
-            rng: std::sync::Mutex::new(DetRng::from_keys(seed, &[0xF1A2])),
-            drop_traceroute: 0.5,
-            drop_bucket: 0.2,
-            drop_route_info: 0.1,
-        }
+/// The legacy flaky-pipeline mix, expressed as a fault plan.
+fn flaky_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        probe_timeout: 0.5,
+        drop_quartet_batch: 0.2,
+        drop_route_info: 0.1,
+        ..FaultPlan::none(seed)
     }
 }
 
-impl Backend for FlakyBackend<'_> {
-    fn quartets_in(&self, bucket: TimeBucket) -> Vec<QuartetObs> {
-        if self.rng.lock().unwrap().chance(self.drop_bucket) {
-            return Vec::new(); // a whole bucket of telemetry lost
-        }
-        self.inner.quartets_in(bucket)
-    }
-
-    fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo> {
-        if self.rng.lock().unwrap().chance(self.drop_route_info) {
-            return None; // BGP/IP-AS join failed for this row
-        }
-        self.inner.route_info(loc, p24, at)
-    }
-
-    fn traceroute(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<Traceroute> {
-        if self.rng.lock().unwrap().chance(self.drop_traceroute) {
-            // Probe still costs (the packet was sent), result lost.
-            let _ = self.inner.traceroute(loc, p24, at);
-            return None;
-        }
-        self.inner.traceroute(loc, p24, at)
-    }
-
-    fn churn_events(&self, range: TimeRange) -> Vec<BgpChurnEvent> {
-        self.inner.churn_events(range)
-    }
-
-    fn cloud_locations(&self) -> Vec<CloudLocId> {
-        self.inner.cloud_locations()
-    }
-
-    fn probes_issued(&self) -> u64 {
-        self.inner.probes_issued()
-    }
+/// A tiny world carrying one strong middle-AS fault in hours 25–27,
+/// so the active phase has probes to lose.
+fn middle_fault_world(days: u64, seed: u64) -> (World, Asn, SimTime) {
+    let mut world = World::new(WorldConfig::tiny(days, seed));
+    let topo = world.topology();
+    let mut middles: Vec<Asn> = topo
+        .clients
+        .iter()
+        .flat_map(|c| {
+            let route = &topo.routes_for(c.primary_loc, c).options[0];
+            topo.paths.get(route.path_id).middle.clone()
+        })
+        .collect();
+    middles.sort_unstable();
+    middles.dedup();
+    let culprit = middles[0];
+    let start = SimTime::from_hours(25);
+    world.add_faults(vec![Fault {
+        id: FaultId(0),
+        target: FaultTarget::MiddleAs {
+            asn: culprit,
+            via_path: None,
+        },
+        start,
+        duration_secs: 2 * 3_600,
+        added_ms: 110.0,
+    }]);
+    (world, culprit, start)
 }
 
 #[test]
@@ -78,12 +63,16 @@ fn engine_survives_flaky_data_plane() {
     let world = World::new(WorldConfig::tiny(2, 55));
     let thresholds = BadnessThresholds::default_for(&world);
     let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
-    let mut backend = FlakyBackend::new(&world, 3);
+    let mut backend = ChaosBackend::new(WorldBackend::new(&world), flaky_plan(3));
 
     engine.warmup(&backend, TimeRange::days(1), 2);
     let start = SimTime::from_days(1);
     let outs = engine.run(&mut backend, TimeRange::new(start, start + 6 * 3600));
     assert_eq!(outs.len(), 24, "every tick must complete despite flakiness");
+    assert!(
+        backend.faults_injected() > 0,
+        "the plan must actually have fired"
+    );
 
     // It still produces verdicts from the telemetry that did arrive…
     let total_blames: usize = outs.iter().map(|o| o.blames.len()).sum();
@@ -97,8 +86,30 @@ fn engine_survives_flaky_data_plane() {
             if let Some(d) = &l.diff {
                 assert!(!d.rows.is_empty());
             }
+            assert!(l.attempts >= 1, "every localization records its attempts");
+            match l.verdict {
+                LocalizationVerdict::Culprit(asn) => assert_eq!(l.culprit, Some(asn)),
+                LocalizationVerdict::MiddleUnlocalized { .. } => assert_eq!(l.culprit, None),
+            }
         }
     }
+}
+
+#[test]
+fn flaky_data_plane_is_reproducible() {
+    // The point of replacing the hand-rolled wrapper: the same (world
+    // seed, fault seed) pair must give the same transcript, run twice.
+    let run = || {
+        let world = World::new(WorldConfig::tiny(2, 55));
+        let thresholds = BadnessThresholds::default_for(&world);
+        let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+        let mut backend = ChaosBackend::new(WorldBackend::new(&world), flaky_plan(3));
+        engine.warmup(&backend, TimeRange::days(1), 2);
+        let start = SimTime::from_days(1);
+        let outs = engine.run(&mut backend, TimeRange::new(start, start + 2 * 3600));
+        render_tick_transcript(&outs)
+    };
+    assert_eq!(run(), run());
 }
 
 #[test]
@@ -150,9 +161,13 @@ fn dropped_route_info_drops_the_quartet_not_the_bucket() {
     let world = World::new(WorldConfig::tiny(1, 9));
     let thresholds = BadnessThresholds::default_for(&world);
     let full = WorldBackend::new(&world);
-    let mut flaky = FlakyBackend::new(&world, 4);
-    flaky.drop_bucket = 0.0;
-    flaky.drop_route_info = 0.3;
+    let flaky = ChaosBackend::new(
+        WorldBackend::new(&world),
+        FaultPlan {
+            drop_route_info: 0.3,
+            ..FaultPlan::none(4)
+        },
+    );
 
     let bucket = TimeBucket(150);
     let all = blameit::enrich_bucket(&full, bucket, &thresholds);
@@ -168,4 +183,131 @@ fn dropped_route_info_drops_the_quartet_not_the_bucket() {
     for q in &partial {
         assert!(world.topology().client(q.obs.p24).is_some());
     }
+}
+
+#[test]
+fn retry_exhaustion_degrades_honestly() {
+    // Every traceroute lost: the active phase must burn its attempt
+    // budget, record the retries, and return degraded verdicts — never
+    // a fabricated culprit, never a panic.
+    let (world, _culprit, start) = middle_fault_world(2, 21);
+    let thresholds = BadnessThresholds::default_for(&world);
+    let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+    let mut backend = ChaosBackend::new(
+        WorldBackend::new(&world),
+        FaultPlan {
+            probe_timeout: 1.0,
+            ..FaultPlan::none(8)
+        },
+    );
+    engine.warmup(&backend, TimeRange::days(1), 2);
+    let outs = engine.run(&mut backend, TimeRange::new(start, start + 2 * 3_600));
+
+    let locs: Vec<_> = outs.iter().flat_map(|o| o.localizations.iter()).collect();
+    assert!(
+        !locs.is_empty(),
+        "the middle fault must still rank probes despite total probe loss"
+    );
+    for l in &locs {
+        assert_eq!(l.culprit, None, "no probe evidence → no culprit");
+        match l.verdict {
+            LocalizationVerdict::MiddleUnlocalized {
+                reason: UnlocalizedReason::ProbeTimeout,
+            } => assert!(
+                l.attempts >= 1,
+                "an attempted probe records how many tries it burned"
+            ),
+            LocalizationVerdict::MiddleUnlocalized {
+                reason: UnlocalizedReason::DeadlineBudget,
+            } => {}
+            ref v => panic!("unexpected verdict under total probe loss: {v}"),
+        }
+    }
+    assert!(
+        locs.iter().any(|l| l.attempts > 1),
+        "at least one probe must have been retried"
+    );
+    let m = engine.metrics();
+    assert!(m.probe_retries.get() > 0, "retries must be counted");
+    assert!(m.probe_attempts_lost.get() > 0);
+    assert_eq!(
+        m.degraded_total(),
+        locs.len() as u64,
+        "every unlocalized verdict lands in a degraded counter"
+    );
+}
+
+#[test]
+fn duplicated_bgp_updates_are_absorbed() {
+    // Every churn event delivered twice: the background scheduler's
+    // per-(loc, path) dedup must absorb the duplicates, leaving the
+    // whole engine output byte-identical to the clean run.
+    let run = |plan: Option<FaultPlan>| {
+        let world = World::new(WorldConfig::tiny(2, 31));
+        let thresholds = BadnessThresholds::default_for(&world);
+        let mut engine = BlameItEngine::new(BlameItConfig::new(thresholds));
+        let start = SimTime::from_days(1);
+        let eval = TimeRange::new(start, start + 6 * 3_600);
+        match plan {
+            None => {
+                let mut backend = WorldBackend::new(&world);
+                engine.warmup(&backend, TimeRange::days(1), 2);
+                let outs = engine.run(&mut backend, eval);
+                (render_tick_transcript(&outs), 0)
+            }
+            Some(plan) => {
+                let mut backend = ChaosBackend::new(WorldBackend::new(&world), plan);
+                engine.warmup(&backend, TimeRange::days(1), 2);
+                let outs = engine.run(&mut backend, eval);
+                (
+                    render_tick_transcript(&outs),
+                    backend.stats().churn_duplicated,
+                )
+            }
+        }
+    };
+    let (clean, _) = run(None);
+    let (doubled, duplicated) = run(Some(FaultPlan {
+        churn_duplicate: 1.0,
+        ..FaultPlan::none(6)
+    }));
+    assert!(duplicated > 0, "the world must have churn in the window");
+    assert_eq!(
+        clean, doubled,
+        "duplicate BGP updates must not change any verdict or probe"
+    );
+}
+
+#[test]
+fn late_bgp_updates_never_probe_twice() {
+    // Every churn event delayed by 20 minutes: baseline refreshes move,
+    // but each update still triggers at most one churn probe — the
+    // delayed event is delivered exactly once (in its later window),
+    // never dropped and never replayed.
+    let world = World::new(WorldConfig::tiny(2, 31));
+    let clean_events: Vec<BgpChurnEvent> = {
+        let b = WorldBackend::new(&world);
+        b.churn_events(TimeRange::new(SimTime::ZERO, SimTime::from_days(2)))
+    };
+    let plan = FaultPlan {
+        churn_delay: 1.0,
+        churn_delay_secs: 1_200,
+        ..FaultPlan::none(6)
+    };
+    let chaos = ChaosBackend::new(WorldBackend::new(&world), plan);
+    // Walk the whole horizon in engine-sized windows (plus one delay's
+    // worth of slack past the end, where the last events surface) and
+    // collect what the engine would see.
+    let mut seen: Vec<BgpChurnEvent> = Vec::new();
+    let mut t = 0u64;
+    while t < 2 * 86_400 + 1_800 {
+        seen.extend(chaos.churn_events(TimeRange::new(SimTime(t), SimTime(t + 900))));
+        t += 900;
+    }
+    assert_eq!(
+        seen.len(),
+        clean_events.len(),
+        "delay must conserve the event count (no loss, no replay)"
+    );
+    assert!(chaos.stats().churn_delayed > 0);
 }

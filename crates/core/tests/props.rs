@@ -131,6 +131,123 @@ fn client_prediction_bounded() {
     });
 }
 
+/// Median and quantiles are order statistics: exactly invariant under
+/// any permutation of the sample; the mean to float tolerance.
+#[test]
+fn stats_permutation_invariant() {
+    check("stats_permutation_invariant", 128, |rng| {
+        let n = rng.range_u64(1, 199) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+        let mut shuffled = xs.clone();
+        rng.shuffle(&mut shuffled);
+        assert_eq!(
+            blameit::stats::median(&xs),
+            blameit::stats::median(&shuffled)
+        );
+        for i in 0..=4 {
+            let q = f64::from(i) / 4.0;
+            assert_eq!(
+                blameit::stats::quantile(&xs, q),
+                blameit::stats::quantile(&shuffled, q),
+                "q={q}"
+            );
+        }
+        let (a, b) = (
+            blameit::stats::mean(&xs).unwrap(),
+            blameit::stats::mean(&shuffled).unwrap(),
+        );
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    });
+}
+
+/// Appending a new sample at (or above) the current maximum can never
+/// lower any quantile — growing evidence of slowness must not make a
+/// distribution look faster.
+#[test]
+fn quantiles_monotone_under_max_appends() {
+    check("quantiles_monotone_under_max_appends", 128, |rng| {
+        let n = rng.range_u64(1, 99) as usize;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1e3)).collect();
+        let before: Vec<f64> = (0..=10)
+            .map(|i| blameit::stats::quantile(&xs, f64::from(i) / 10.0).unwrap())
+            .collect();
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let extra = rng.range_u64(1, 20);
+        for _ in 0..extra {
+            xs.push(max + rng.range_f64(0.0, 100.0));
+        }
+        for (i, prev) in before.iter().enumerate() {
+            let now = blameit::stats::quantile(&xs, i as f64 / 10.0).unwrap();
+            assert!(
+                now >= prev - 1e-9,
+                "q={} dropped {prev} -> {now}",
+                i as f64 / 10.0
+            );
+        }
+    });
+}
+
+/// The KS statistic is a proper distance-like quantity: bounded in
+/// [0, 1], symmetric in its arguments, exactly zero on identical
+/// samples, and undefined (None) when either sample is empty.
+#[test]
+fn ks_statistic_properties() {
+    check("ks_statistic_properties", 128, |rng| {
+        let n = rng.range_u64(1, 99) as usize;
+        let m = rng.range_u64(1, 99) as usize;
+        let shift = rng.range_f64(0.0, 80.0);
+        let a: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 100.0)).collect();
+        let b: Vec<f64> = (0..m).map(|_| rng.range_f64(0.0, 100.0) + shift).collect();
+        let ab = blameit::ks_two_sample(&a, &b).unwrap();
+        assert!(
+            (0.0..=1.0).contains(&ab.statistic),
+            "statistic {} out of range",
+            ab.statistic
+        );
+        assert!((0.0..=1.0).contains(&ab.p_value));
+        let ba = blameit::ks_two_sample(&b, &a).unwrap();
+        assert!((ab.statistic - ba.statistic).abs() <= 1e-12, "asymmetric");
+        let aa = blameit::ks_two_sample(&a, &a).unwrap();
+        assert_eq!(aa.statistic, 0.0, "identical samples must have D = 0");
+        assert!(blameit::ks_two_sample(&[], &a).is_none());
+        assert!(blameit::ks_two_sample(&a, &[]).is_none());
+    });
+}
+
+/// Calibrated badness targets are monotone in the calibration knobs:
+/// a higher quantile or more headroom can only raise (never lower)
+/// every (region, device-class) threshold.
+#[test]
+fn calibrated_thresholds_monotone_in_knobs() {
+    use blameit_simnet::{World, WorldConfig};
+    use blameit_topology::Region;
+    let world = World::new(WorldConfig::tiny(1, 7));
+    check("calibrated_thresholds_monotone_in_knobs", 32, |rng| {
+        let q_lo = rng.range_f64(0.5, 0.9);
+        let q_hi = rng.range_f64(q_lo, 0.99);
+        let headroom = rng.range_f64(1.0, 1.4);
+        let usa = rng.range_f64(0.6, 1.0);
+        let base = blameit::BadnessThresholds::calibrate(&world, q_lo, headroom, usa);
+        let higher_q = blameit::BadnessThresholds::calibrate(&world, q_hi, headroom, usa);
+        let more_headroom =
+            blameit::BadnessThresholds::calibrate(&world, q_lo, headroom * 1.2, usa);
+        for region in Region::ALL {
+            for mobile in [false, true] {
+                let b = base.get(region, mobile);
+                assert!(b > 0.0, "{region:?} threshold must be positive");
+                assert!(
+                    higher_q.get(region, mobile) >= b - 1e-9,
+                    "{region:?}/mobile={mobile} fell when the quantile rose"
+                );
+                assert!(
+                    more_headroom.get(region, mobile) >= b - 1e-9,
+                    "{region:?}/mobile={mobile} fell when headroom rose"
+                );
+            }
+        }
+    });
+}
+
 /// Algorithm 1 over an empty learner never blames cloud or middle (no
 /// expectations → no aggregate can cross τ), and produces exactly one
 /// verdict per bad quartet.

@@ -1,0 +1,389 @@
+//! Measurement-plane fault plans.
+//!
+//! The [`fault`](crate::fault) module degrades the *network* — the
+//! ground truth BlameIt is trying to localize. This module degrades the
+//! *measurement plane itself*: traceroutes that time out or come back
+//! truncated, IBGP churn notifications that arrive late or twice,
+//! quartet batches the collector loses, route-table lookups that miss.
+//! Diagnosis systems must keep working when their own telemetry
+//! misbehaves, and a [`FaultPlan`] is the seeded, deterministic
+//! schedule of exactly that misbehavior.
+//!
+//! Every decision is a pure function of `(plan seed, fault kind,
+//! entity ids, time)` via [`DetRng::from_keys`] — never of call order
+//! or thread identity — so a chaos run is byte-reproducible at any
+//! thread count, which is what lets the engine's determinism contract
+//! extend to chaos runs (`tests/chaos_determinism.rs`).
+
+use crate::time::{SimTime, TimeBucket};
+use blameit_topology::bgp::BgpChurnEvent;
+use blameit_topology::rng::DetRng;
+use blameit_topology::{CloudLocId, Prefix24};
+
+// Domain-separation tags: each fault family draws from its own keyed
+// stream so, e.g., raising the probe-timeout rate never perturbs which
+// churn events get delayed.
+const TAG_PROBE: u64 = 0xC4A0_0001;
+const TAG_BATCH: u64 = 0xC4A0_0002;
+const TAG_ROUTE: u64 = 0xC4A0_0003;
+const TAG_CHURN: u64 = 0xC4A0_0004;
+
+/// What happens to one traceroute issued at a given `(loc, p24, at)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProbeFault {
+    /// Delivered untouched.
+    None,
+    /// The probe is lost: the caller sees no answer at all.
+    Timeout,
+    /// Only a prefix of the hops comes back (ICMP filtered past some
+    /// point); `keep_fraction` of the hop list survives, at least one
+    /// hop and never the full path.
+    Truncate {
+        /// Fraction of hops retained, in (0, 1).
+        keep_fraction: f64,
+    },
+    /// The answer arrives, but late: its timestamp is pushed forward.
+    Slow {
+        /// Extra seconds before the result is usable.
+        by_secs: u64,
+    },
+}
+
+/// What happens to one IBGP churn notification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnFault {
+    /// Delivered once, on time.
+    Deliver,
+    /// Delivered twice (session bounce replays the update).
+    Duplicate,
+    /// Delivered once, this many seconds late.
+    Delay(u64),
+}
+
+/// A seeded schedule of measurement-plane faults.
+///
+/// All rates are probabilities in `[0, 1]`, applied independently per
+/// entity; fields are public so tests can dial one knob in isolation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault decision (independent of the world seed).
+    pub seed: u64,
+    /// Probability a traceroute times out entirely.
+    pub probe_timeout: f64,
+    /// Probability a traceroute comes back truncated.
+    pub probe_truncate: f64,
+    /// Probability a traceroute result is delayed.
+    pub probe_slow: f64,
+    /// Delay applied to slow probes, seconds.
+    pub slow_by_secs: u64,
+    /// Probability a whole quartet bucket is dropped by the collector.
+    pub drop_quartet_batch: f64,
+    /// Probability a route-table lookup misses.
+    pub drop_route_info: f64,
+    /// Probability a churn event is delivered twice.
+    pub churn_duplicate: f64,
+    /// Probability a churn event is delivered late.
+    pub churn_delay: f64,
+    /// Lateness applied to delayed churn events, seconds.
+    pub churn_delay_secs: u64,
+}
+
+impl FaultPlan {
+    /// The all-zero plan: a `ChaosBackend` carrying it is transparent.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            probe_timeout: 0.0,
+            probe_truncate: 0.0,
+            probe_slow: 0.0,
+            slow_by_secs: 0,
+            drop_quartet_batch: 0.0,
+            drop_route_info: 0.0,
+            churn_duplicate: 0.0,
+            churn_delay: 0.0,
+            churn_delay_secs: 0,
+        }
+    }
+
+    /// Mild degradation: the kind of background loss a healthy
+    /// production measurement plane lives with.
+    pub fn mild(seed: u64) -> Self {
+        FaultPlan {
+            probe_timeout: 0.10,
+            probe_truncate: 0.05,
+            probe_slow: 0.05,
+            slow_by_secs: 20,
+            drop_quartet_batch: 0.02,
+            drop_route_info: 0.02,
+            churn_duplicate: 0.05,
+            churn_delay: 0.10,
+            churn_delay_secs: 600,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Heavy degradation: a measurement plane having a bad day. The
+    /// 30% probe-timeout rate is the issue's acceptance bound.
+    pub fn heavy(seed: u64) -> Self {
+        FaultPlan {
+            probe_timeout: 0.30,
+            probe_truncate: 0.15,
+            probe_slow: 0.10,
+            slow_by_secs: 120,
+            drop_quartet_batch: 0.10,
+            drop_route_info: 0.10,
+            churn_duplicate: 0.15,
+            churn_delay: 0.30,
+            churn_delay_secs: 1_800,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Probe-plane-only storm: half the traceroutes die, a quarter of
+    /// the rest truncate, but passive telemetry is intact.
+    pub fn probe_storm(seed: u64) -> Self {
+        FaultPlan {
+            probe_timeout: 0.50,
+            probe_truncate: 0.25,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// A plan that only times out probes, at the given rate — the knob
+    /// the `chaos` bench sweeps.
+    pub fn probe_timeouts(rate: f64, seed: u64) -> Self {
+        FaultPlan {
+            probe_timeout: rate,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Parses a named plan (`none`, `mild`, `heavy`, `probe-storm`).
+    pub fn parse(name: &str, seed: u64) -> Result<FaultPlan, String> {
+        match name {
+            "none" => Ok(FaultPlan::none(seed)),
+            "mild" => Ok(FaultPlan::mild(seed)),
+            "heavy" => Ok(FaultPlan::heavy(seed)),
+            "probe-storm" => Ok(FaultPlan::probe_storm(seed)),
+            other => Err(format!(
+                "unknown fault plan '{other}' (expected none|mild|heavy|probe-storm)"
+            )),
+        }
+    }
+
+    /// True if every rate is zero (the plan injects nothing).
+    pub fn is_noop(&self) -> bool {
+        self.probe_timeout == 0.0
+            && self.probe_truncate == 0.0
+            && self.probe_slow == 0.0
+            && self.drop_quartet_batch == 0.0
+            && self.drop_route_info == 0.0
+            && self.churn_duplicate == 0.0
+            && self.churn_delay == 0.0
+    }
+
+    /// True if the plan touches the churn feed at all.
+    pub fn has_churn_faults(&self) -> bool {
+        self.churn_duplicate > 0.0 || self.churn_delay > 0.0
+    }
+
+    /// Worst-case lateness of any churn event under this plan — how far
+    /// back a consumer must widen its query window to see delayed
+    /// events whose effective delivery time falls inside it.
+    pub fn max_churn_delay_secs(&self) -> u64 {
+        if self.churn_delay > 0.0 {
+            self.churn_delay_secs
+        } else {
+            0
+        }
+    }
+
+    /// The fate of a traceroute issued at `(loc, p24, at)`. Fault
+    /// classes are checked in a fixed order (timeout, truncate, slow)
+    /// from one keyed stream, so the decision is a pure function of
+    /// the arguments.
+    pub fn probe_fault(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> ProbeFault {
+        let mut rng = DetRng::from_keys(
+            self.seed,
+            &[TAG_PROBE, loc.0 as u64, p24.block() as u64, at.secs()],
+        );
+        if rng.chance(self.probe_timeout) {
+            return ProbeFault::Timeout;
+        }
+        if rng.chance(self.probe_truncate) {
+            return ProbeFault::Truncate {
+                keep_fraction: rng.range_f64(0.25, 0.75),
+            };
+        }
+        if rng.chance(self.probe_slow) {
+            return ProbeFault::Slow {
+                by_secs: self.slow_by_secs,
+            };
+        }
+        ProbeFault::None
+    }
+
+    /// Whether the collector loses this whole quartet bucket.
+    pub fn drop_quartet_batch(&self, bucket: TimeBucket) -> bool {
+        let mut rng = DetRng::from_keys(self.seed, &[TAG_BATCH, u64::from(bucket.0)]);
+        rng.chance(self.drop_quartet_batch)
+    }
+
+    /// Whether the route-table lookup for `(loc, p24)` at `at` misses.
+    pub fn drop_route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> bool {
+        let mut rng = DetRng::from_keys(
+            self.seed,
+            &[TAG_ROUTE, loc.0 as u64, p24.block() as u64, at.secs()],
+        );
+        rng.chance(self.drop_route_info)
+    }
+
+    /// The fate of one churn notification. Keyed on the event's own
+    /// identity, so the answer is the same no matter which query window
+    /// surfaces it — the property that makes delayed events deliver
+    /// exactly once across consecutive windows.
+    pub fn churn_fault(&self, e: &BgpChurnEvent) -> ChurnFault {
+        let mut rng = DetRng::from_keys(
+            self.seed,
+            &[
+                TAG_CHURN,
+                e.at_secs,
+                e.loc.0 as u64,
+                e.prefix.base() as u64,
+                e.prefix.len() as u64,
+            ],
+        );
+        if rng.chance(self.churn_duplicate) {
+            return ChurnFault::Duplicate;
+        }
+        if rng.chance(self.churn_delay) {
+            return ChurnFault::Delay(self.churn_delay_secs);
+        }
+        ChurnFault::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_args(i: u64) -> (CloudLocId, Prefix24, SimTime) {
+        (
+            CloudLocId((i % 5) as u16),
+            Prefix24::from_block((1000 + i) as u32),
+            SimTime(300 * i),
+        )
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_entity() {
+        let plan = FaultPlan::heavy(7);
+        for i in 0..200 {
+            let (loc, p24, at) = probe_args(i);
+            assert_eq!(
+                plan.probe_fault(loc, p24, at),
+                plan.probe_fault(loc, p24, at)
+            );
+            assert_eq!(
+                plan.drop_quartet_batch(TimeBucket(i as u32)),
+                plan.drop_quartet_batch(TimeBucket(i as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::none(3);
+        assert!(plan.is_noop());
+        assert!(!plan.has_churn_faults());
+        assert_eq!(plan.max_churn_delay_secs(), 0);
+        for i in 0..200 {
+            let (loc, p24, at) = probe_args(i);
+            assert_eq!(plan.probe_fault(loc, p24, at), ProbeFault::None);
+            assert!(!plan.drop_quartet_batch(TimeBucket(i as u32)));
+            assert!(!plan.drop_route_info(loc, p24, at));
+        }
+    }
+
+    #[test]
+    fn unit_rates_always_fire() {
+        let plan = FaultPlan {
+            probe_timeout: 1.0,
+            drop_quartet_batch: 1.0,
+            drop_route_info: 1.0,
+            ..FaultPlan::none(9)
+        };
+        assert!(!plan.is_noop());
+        for i in 0..50 {
+            let (loc, p24, at) = probe_args(i);
+            assert_eq!(plan.probe_fault(loc, p24, at), ProbeFault::Timeout);
+            assert!(plan.drop_quartet_batch(TimeBucket(i as u32)));
+            assert!(plan.drop_route_info(loc, p24, at));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::probe_timeouts(0.3, 11);
+        let n = 2_000;
+        let hits = (0..n)
+            .filter(|&i| {
+                let (loc, p24, at) = probe_args(i);
+                plan.probe_fault(loc, p24, at) == ProbeFault::Timeout
+            })
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed timeout rate {rate}");
+    }
+
+    #[test]
+    fn truncate_fraction_in_open_interval() {
+        let plan = FaultPlan {
+            probe_truncate: 1.0,
+            ..FaultPlan::none(5)
+        };
+        for i in 0..100 {
+            let (loc, p24, at) = probe_args(i);
+            match plan.probe_fault(loc, p24, at) {
+                ProbeFault::Truncate { keep_fraction } => {
+                    assert!((0.25..0.75).contains(&keep_fraction));
+                }
+                other => panic!("expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn churn_fate_keyed_on_event_identity() {
+        use blameit_topology::{IpPrefix, PathId};
+        let plan = FaultPlan::heavy(13);
+        let mk = |at_secs: u64, base: u32| BgpChurnEvent {
+            at_secs,
+            loc: CloudLocId(1),
+            prefix: IpPrefix::new(base, 22),
+            old_path: PathId(0),
+            new_path: PathId(1),
+        };
+        for i in 0..100u64 {
+            let e = mk(i * 60, (i as u32) << 10);
+            assert_eq!(plan.churn_fault(&e), plan.churn_fault(&e));
+            // Path ids are *not* part of the key: the same flip seen
+            // through different table snapshots gets the same fate.
+            let mut e2 = e;
+            e2.old_path = PathId(7);
+            assert_eq!(plan.churn_fault(&e), plan.churn_fault(&e2));
+        }
+    }
+
+    #[test]
+    fn parse_named_plans() {
+        assert!(FaultPlan::parse("none", 1).unwrap().is_noop());
+        assert_eq!(FaultPlan::parse("mild", 2).unwrap(), FaultPlan::mild(2));
+        assert_eq!(FaultPlan::parse("heavy", 3).unwrap(), FaultPlan::heavy(3));
+        assert_eq!(
+            FaultPlan::parse("probe-storm", 4).unwrap(),
+            FaultPlan::probe_storm(4)
+        );
+        assert!(FaultPlan::parse("catastrophic", 5).is_err());
+    }
+}

@@ -19,6 +19,9 @@
 //!   schedule generation with region-dependent middle-fault rates.
 //! * [`churn`] — BGP route flips per (location, prefix), calibrated to
 //!   the paper's two-thirds-stable-per-day observation (§5.4).
+//! * [`chaos`] — seeded measurement-plane fault plans (probe timeouts,
+//!   truncated traceroutes, late/duplicated churn, dropped batches) for
+//!   the chaos test suite and the `ChaosBackend` decorator.
 //! * [`measure`] — RTT records and quartet observations.
 //! * [`traceroute`] — simulated per-AS-hop traceroutes (§5.2).
 //! * [`collector`] — bucket-by-bucket quartet streams and Table-2-style
@@ -32,6 +35,7 @@
 //! re-derived in isolation, identically, on any platform.
 
 pub mod activity;
+pub mod chaos;
 pub mod churn;
 pub mod collector;
 pub mod fault;
@@ -45,6 +49,7 @@ pub mod world;
 pub use blameit_topology::rng;
 
 pub use activity::ActivityModel;
+pub use chaos::{ChurnFault, FaultPlan, ProbeFault};
 pub use churn::ChurnModel;
 pub use collector::{
     partition_quartets, shard_rng, shard_rngs, DatasetSummary, LocationRecordStream, QuartetStream,

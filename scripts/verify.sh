@@ -15,6 +15,9 @@ BLAMEIT_THREADS=8 cargo test --workspace -q
 echo "==> cargo test --release -q --test parallel_determinism --test golden_output"
 cargo test --release -q --test parallel_determinism --test golden_output
 
+echo "==> BLAMEIT_THREADS=8 cargo test --release -q --test chaos_determinism"
+BLAMEIT_THREADS=8 cargo test --release -q --test chaos_determinism
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 

@@ -1,0 +1,145 @@
+//! The chaos layer's determinism contract: for a fixed (seed, fault
+//! plan) pair, every fault decision and every engine-side recovery —
+//! retries, backoff re-issues, degraded verdicts, baseline
+//! quarantines — is a pure function of identity keys, never of thread
+//! interleaving. Verified the same way PR 2 verified the sharded tick:
+//! the canonical tick transcript must be byte-identical at every
+//! thread count. A 0%-fault plan must additionally be a perfect no-op:
+//! it reproduces the pinned golden transcript exactly.
+
+use blameit::{
+    render_tick_transcript, BadnessThresholds, BlameItConfig, BlameItEngine, ChaosBackend,
+    TickOutput, WorldBackend,
+};
+use blameit_bench::{quiet_world, Scale};
+use blameit_simnet::{Fault, FaultId, FaultPlan, FaultTarget, SimTime, TimeRange, World};
+use blameit_topology::rng::DetRng;
+use blameit_topology::testkit::check;
+use blameit_topology::{Asn, CloudLocId};
+
+/// A quiet tiny world with one cloud fault and one middle fault chosen
+/// by `rng`, so the passive, active, and background phases all have
+/// real work for the chaos plan to disturb.
+fn faulty_world(rng: &mut DetRng) -> (World, SimTime) {
+    let mut world = quiet_world(Scale::Tiny, 2, rng.next_u64());
+    let topo = world.topology();
+    let loc = topo.clients[rng.index(topo.clients.len())].primary_loc;
+    let mut middles: Vec<Asn> = topo
+        .clients
+        .iter()
+        .flat_map(|c| {
+            let route = &topo.routes_for(c.primary_loc, c).options[0];
+            topo.paths.get(route.path_id).middle.clone()
+        })
+        .collect();
+    middles.sort_unstable();
+    middles.dedup();
+    let middle = *rng.pick(&middles);
+    let start = SimTime::from_hours(25 + rng.below(3));
+    world.add_faults(vec![
+        Fault {
+            id: FaultId(0),
+            target: FaultTarget::CloudLocation(loc),
+            start,
+            duration_secs: 2 * 3_600,
+            added_ms: rng.range_f64(60.0, 140.0),
+        },
+        Fault {
+            id: FaultId(1),
+            target: FaultTarget::MiddleAs {
+                asn: middle,
+                via_path: None,
+            },
+            start,
+            duration_secs: 2 * 3_600,
+            added_ms: rng.range_f64(60.0, 140.0),
+        },
+    ]);
+    (world, start)
+}
+
+/// Warm an engine on day 0 and evaluate one faulty hour through a
+/// chaos-wrapped backend at the given thread count.
+fn run_with_plan(
+    world: &World,
+    plan: FaultPlan,
+    threads: usize,
+    eval: TimeRange,
+) -> Vec<TickOutput> {
+    let mut cfg = BlameItConfig::new(BadnessThresholds::default_for(world));
+    cfg.parallelism = threads;
+    let mut engine = BlameItEngine::new(cfg);
+    let mut backend = ChaosBackend::new(WorldBackend::with_parallelism(world, threads), plan);
+    engine.warmup(&backend, TimeRange::days(1), 2);
+    engine.run(&mut backend, eval)
+}
+
+#[test]
+fn chaos_transcript_identical_across_thread_counts() {
+    check("chaos_determinism", 6, |rng| {
+        let (world, fault_start) = faulty_world(rng);
+        let eval = TimeRange::new(fault_start, fault_start + 3_600);
+        let plans = [
+            FaultPlan::mild(rng.next_u64()),
+            FaultPlan::heavy(rng.next_u64()),
+            FaultPlan::probe_storm(rng.next_u64()),
+        ];
+        for plan in plans {
+            let reference = run_with_plan(&world, plan, 1, eval);
+            let reference_transcript = render_tick_transcript(&reference);
+            assert!(
+                reference.iter().any(|o| !o.blames.is_empty()),
+                "the injected faults must produce verdicts to compare"
+            );
+            let outs = run_with_plan(&world, plan, 4, eval);
+            assert_eq!(
+                reference_transcript,
+                render_tick_transcript(&outs),
+                "chaos transcript at 4 threads diverged (plan {plan:?})"
+            );
+        }
+    });
+}
+
+#[test]
+fn zero_fault_plan_reproduces_golden_transcript() {
+    // The exact pinned scenario from tests/golden_output.rs, run
+    // through a ChaosBackend with an all-zero plan: the decorator must
+    // be perfectly transparent, down to the byte.
+    const SEED: u64 = 20190519;
+    let mut world = quiet_world(Scale::Tiny, 2, SEED);
+    world.add_faults(vec![Fault {
+        id: FaultId(0),
+        target: FaultTarget::CloudLocation(CloudLocId(0)),
+        start: SimTime::from_hours(25),
+        duration_secs: 2 * 3_600,
+        added_ms: 110.0,
+    }]);
+    let mut cfg = BlameItConfig::new(BadnessThresholds::default_for(&world));
+    cfg.parallelism = 2;
+    let mut engine = BlameItEngine::new(cfg);
+    let mut backend = ChaosBackend::new(
+        WorldBackend::with_parallelism(&world, 2),
+        FaultPlan::none(SEED),
+    );
+    engine.warmup(&backend, TimeRange::days(1), 2);
+    let start = SimTime::from_hours(25);
+    let outs = engine.run(&mut backend, TimeRange::new(start, start + 90 * 60));
+    let got = render_tick_transcript(&outs);
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("tick_transcript.txt");
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with BLESS=1 cargo test --test golden_output",
+            path.display()
+        )
+    });
+    assert_eq!(backend.stats().total(), 0, "a none plan injects nothing");
+    assert_eq!(
+        want, got,
+        "a 0%-fault ChaosBackend must reproduce the golden transcript byte-for-byte"
+    );
+}
