@@ -1,0 +1,134 @@
+//! Recovery-time bench: how long does `DurableEngine::open` take as a
+//! function of journal lag (ticks journaled since the last snapshot)?
+//!
+//! Recovery cost = newest-snapshot decode + deterministic replay of
+//! the journal gap, so it should grow linearly in the lag — this bench
+//! plots that line, plus the snapshot sizes and write latencies the
+//! persistence layer pays per checkpoint. Respects `BLAMEIT_STATE_DIR`
+//! (exported by `run_all`) for where state directories are created;
+//! every directory is removed afterwards.
+
+use blameit::{BadnessThresholds, BlameItConfig, DurableEngine, StartMode, WorldBackend};
+use blameit_bench::{fmt, quiet_world, Args, Scale};
+use blameit_obs::MetricsRegistry;
+use blameit_simnet::{Fault, FaultId, FaultTarget, SimTime, TimeRange, World};
+use blameit_topology::CloudLocId;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A quiet world with one cloud fault so the persisted state carries
+/// real incidents, episodes, and baselines.
+fn bench_world(scale: Scale, seed: u64) -> (World, TimeRange) {
+    let mut world = quiet_world(scale, 2, seed);
+    let start = SimTime::from_hours(25);
+    world.add_faults(vec![Fault {
+        id: FaultId(0),
+        target: FaultTarget::CloudLocation(CloudLocId(0)),
+        start,
+        duration_secs: 2 * 3_600,
+        added_ms: 110.0,
+    }]);
+    // 22h of evaluation keeps the range inside the 2-day world while
+    // leaving enough ticks for the largest journal lag below.
+    (world, TimeRange::new(start, start + 22 * 3_600))
+}
+
+fn state_root() -> PathBuf {
+    std::env::var_os("BLAMEIT_STATE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+fn main() {
+    let args = Args::parse_from(std::env::args().skip(1));
+    let scale = args.scale(Scale::Tiny);
+    let seed = args.u64("seed", 2019);
+    let threads = args.u64("threads", 0) as usize;
+    let (world, eval) = bench_world(scale, seed);
+
+    fmt::banner(
+        "recovery",
+        "crash-recovery wall time vs journal lag (snapshot decode + deterministic replay)",
+    );
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let mut snapshot_bytes = 0u64;
+    for lag in [0u64, 2, 4, 8, 16] {
+        let dir = state_root().join(format!(
+            "blameit-bench-recovery-{lag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cfg = BlameItConfig::new(BadnessThresholds::default_for(&world));
+        if threads > 0 {
+            cfg.parallelism = threads;
+        }
+        cfg.state_dir = Some(dir.clone());
+        // Snapshot cadence chosen so exactly `lag` ticks of the run
+        // end up journaled beyond the last snapshot.
+        let total_ticks = (eval.buckets().count() as u32) / cfg.tick_buckets;
+        cfg.snapshot_every_ticks = if lag == 0 {
+            1
+        } else {
+            lag.min(total_ticks as u64) as u32
+        };
+
+        let mut backend = WorldBackend::with_parallelism(&world, cfg.parallelism);
+        let registry = Arc::new(MetricsRegistry::new());
+        let (mut durable, _) =
+            DurableEngine::open(cfg.clone(), registry, &mut backend).expect("open fresh");
+        durable
+            .warmup_and_checkpoint(&backend, TimeRange::days(1), 2)
+            .expect("warmup checkpoint");
+        let ticks = lag.max(1).min(total_ticks as u64) as usize;
+        let starts: Vec<_> = eval.buckets().step_by(cfg.tick_buckets as usize).collect();
+        for start in starts.iter().take(ticks) {
+            durable.tick(&mut backend, *start).expect("durable tick");
+        }
+        if lag > 0 {
+            // Drop the post-run snapshot if one landed on the last
+            // tick, so recovery really replays `lag` ticks from the
+            // warmup checkpoint.
+            let store = blameit::StateStore::create(&dir).expect("store");
+            for (tick, path) in store.list_snapshots().expect("list") {
+                if tick > 0 {
+                    std::fs::remove_file(path).expect("rm snapshot");
+                }
+            }
+        }
+        drop(durable);
+
+        let t0 = Instant::now();
+        let registry = Arc::new(MetricsRegistry::new());
+        let (reopened, report) = DurableEngine::open(cfg, registry, &mut backend).expect("recover");
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.mode, StartMode::Recovered);
+        let snap = blameit::StateStore::create(&dir)
+            .and_then(|s| s.list_snapshots())
+            .ok()
+            .and_then(|s| s.last().and_then(|(_, p)| std::fs::metadata(p).ok()))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        snapshot_bytes = snapshot_bytes.max(snap);
+        rows.push((
+            format!(
+                "lag {:>2} tick(s) ({} replayed)",
+                lag, report.ticks_replayed
+            ),
+            elapsed_ms,
+        ));
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).expect("cleanup state dir");
+    }
+
+    fmt::series("recovery wall time (ms)", &rows);
+    fmt::kv_table(&[
+        (
+            "snapshot size (bytes, post-warmup)",
+            snapshot_bytes.to_string(),
+        ),
+        ("seed", seed.to_string()),
+    ]);
+}

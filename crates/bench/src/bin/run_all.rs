@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "probe_overhead",
     "incidents",
     "chaos",
+    "recovery",
 ];
 
 fn main() {
@@ -45,6 +46,12 @@ fn main() {
     let me = std::env::current_exe().expect("current_exe");
     let dir = me.parent().expect("bin dir");
 
+    // A per-run scratch directory for experiments that persist engine
+    // state (exported as BLAMEIT_STATE_DIR), removed at the end so
+    // repeated runs never see each other's snapshots.
+    let state_dir = std::env::temp_dir().join(format!("blameit-run-all-{}", std::process::id()));
+    std::fs::create_dir_all(&state_dir).expect("create run state dir");
+
     let mut failed = Vec::new();
     let total = Instant::now();
     for exp in EXPERIMENTS {
@@ -53,6 +60,7 @@ fn main() {
         println!();
         let mut cmd = Command::new(&path);
         cmd.args(&forwarded);
+        cmd.env("BLAMEIT_STATE_DIR", &state_dir);
         if let Some(t) = &threads {
             cmd.env("BLAMEIT_THREADS", t);
         }
@@ -67,6 +75,7 @@ fn main() {
             failed.push(*exp);
         }
     }
+    let _ = std::fs::remove_dir_all(&state_dir);
     println!();
     println!(
         "[run_all] {} experiments in {:.1}s; failures: {:?}",

@@ -11,6 +11,8 @@
 //!                  [--ms X] [--at-hour H] [--hours D] …   # incident investigation
 //! blameit probe    --loc <n> [--p24 A.B.C.0/24] [--at-secs T]
 //!                                                         # one simulated traceroute
+//! blameit analyze  --state-dir DIR [--resume 1]           # durable run / crash recovery
+//! blameit fsck     <dir>                                  # validate a state directory
 //! ```
 //!
 //! Every command is deterministic in `--seed`. The library half of the

@@ -31,7 +31,7 @@ pub struct ProbeTarget {
 /// contains the inflation and would diff to nothing.
 #[derive(Clone, Debug, Default)]
 pub struct BaselineStore {
-    map: HashMap<(CloudLocId, PathId), std::collections::VecDeque<BaselineEntry>>,
+    pub(crate) map: HashMap<(CloudLocId, PathId), std::collections::VecDeque<BaselineEntry>>,
 }
 
 /// One stored baseline.
@@ -143,9 +143,9 @@ impl BaselineStore {
 /// Decides which background probes are due.
 #[derive(Clone, Debug)]
 pub struct BackgroundScheduler {
-    period_secs: u64,
-    churn_triggered: bool,
-    last: HashMap<(CloudLocId, PathId), SimTime>,
+    pub(crate) period_secs: u64,
+    pub(crate) churn_triggered: bool,
+    pub(crate) last: HashMap<(CloudLocId, PathId), SimTime>,
 }
 
 impl BackgroundScheduler {

@@ -33,19 +33,22 @@ pub enum RttKey {
 /// Rolling per-day reservoirs with a windowed median, one per key.
 #[derive(Clone, Debug)]
 pub struct ExpectedRttLearner {
-    window_days: u32,
-    day_cap: usize,
-    map: HashMap<RttKey, VecDeque<(u32, Vec<f64>)>>,
+    pub(crate) window_days: u32,
+    pub(crate) day_cap: usize,
+    pub(crate) map: HashMap<RttKey, VecDeque<(u32, Vec<f64>)>>,
     /// Per-(key, day) observation counts, for reservoir replacement.
-    counts: HashMap<RttKey, u64>,
+    pub(crate) counts: HashMap<RttKey, u64>,
     /// Median cache, refreshed once per key per day: recomputing the
     /// window median on every lookup is an O(window · log) sort per
     /// quartet and dominates month-long runs; the paper's expected
     /// values are day-granular anyway (the median of the last 14
-    /// *days*).
-    cache: std::cell::RefCell<HashMap<RttKey, (u32, Option<f64>)>>,
-    rng: DetRng,
-    latest_day: u32,
+    /// *days*). An entry freezes the median at whatever observations
+    /// existed at first lookup that day, so it is part of durable
+    /// state: snapshots persist it verbatim (recomputing it later in
+    /// the day would see more data and diverge).
+    pub(crate) cache: std::cell::RefCell<HashMap<RttKey, (u32, Option<f64>)>>,
+    pub(crate) rng: DetRng,
+    pub(crate) latest_day: u32,
 }
 
 impl ExpectedRttLearner {
@@ -148,9 +151,9 @@ impl ExpectedRttLearner {
 /// Empirical incident durations per BGP path, with a global fallback.
 #[derive(Clone, Debug, Default)]
 pub struct DurationHistory {
-    per_path: HashMap<PathId, VecDeque<u32>>,
-    global: VecDeque<u32>,
-    cap: usize,
+    pub(crate) per_path: HashMap<PathId, VecDeque<u32>>,
+    pub(crate) global: VecDeque<u32>,
+    pub(crate) cap: usize,
 }
 
 impl DurationHistory {
@@ -212,8 +215,8 @@ impl DurationHistory {
 /// Per-(path, time-of-day) client-volume history over a few days.
 #[derive(Clone, Debug)]
 pub struct ClientCountHistory {
-    window_days: u32,
-    map: HashMap<(PathId, u16), VecDeque<(u32, u64)>>,
+    pub(crate) window_days: u32,
+    pub(crate) map: HashMap<(PathId, u16), VecDeque<(u32, u64)>>,
 }
 
 impl ClientCountHistory {

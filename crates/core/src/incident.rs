@@ -58,8 +58,8 @@ impl OpenIncident {
 /// ```
 #[derive(Clone, Debug)]
 pub struct IncidentTracker<K: Eq + Hash + Clone> {
-    open: HashMap<K, OpenIncident>,
-    last_bucket: Option<TimeBucket>,
+    pub(crate) open: HashMap<K, OpenIncident>,
+    pub(crate) last_bucket: Option<TimeBucket>,
 }
 
 impl<K: Eq + Hash + Clone> Default for IncidentTracker<K> {

@@ -39,6 +39,9 @@
 //! * [`incident`] — consecutive-bad-bucket tracking (§2.3).
 //! * [`pipeline`] — the 15-minute [`pipeline::BlameItEngine`] tying it
 //!   together (§6.1).
+//! * [`persist`] — durable engine state: versioned CRC'd snapshots, an
+//!   fsync'd tick journal, crash recovery by snapshot + deterministic
+//!   replay, and the kill-point crash harness hooks.
 //! * [`shard`] — scoped-thread fan-out helpers behind the sharded
 //!   tick (`BlameItConfig::parallelism`); output is byte-identical
 //!   at any thread count.
@@ -56,6 +59,7 @@ pub mod incident;
 pub mod ks;
 pub mod metrics;
 pub mod passive;
+pub mod persist;
 pub mod pipeline;
 pub mod priority;
 pub mod quartet;
@@ -78,6 +82,10 @@ pub use metrics::{EngineMetrics, ShardMetrics};
 pub use passive::{
     aggregate_pass, assign_blames, AggregateStats, Blame, BlameConfig, BlameResult,
     PassiveAggregates,
+};
+pub use persist::{
+    fsck, tick_digest, CodecError, DurableEngine, FsckReport, PersistError, PersistMetrics,
+    RecoveryReport, StartMode, StateStore,
 };
 pub use pipeline::{Alert, BlameItConfig, BlameItEngine, MiddleLocalization, TickOutput};
 pub use priority::{

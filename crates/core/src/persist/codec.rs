@@ -1,0 +1,433 @@
+//! Hand-rolled byte codec for snapshots and journals.
+//!
+//! Dependency-free, little-endian, bounds-checked. The framing is
+//! deliberately simple: a 7-byte preamble (magic, format version, file
+//! kind) whose every bit-flip lands on a value check, followed by
+//! sections of `id · length · payload · crc32(id ‖ length ‖ payload)` —
+//! so any corruption past the preamble fails the CRC rather than
+//! misparsing. Decoding arbitrary bytes must *error*, never panic:
+//! every read is bounds-checked and every length is validated against
+//! the remaining input before allocation.
+
+/// File magic: every persisted file starts with these four bytes.
+pub const MAGIC: [u8; 4] = *b"BLIT";
+
+/// Snapshot/journal format version. Bump on any layout change; loaders
+/// refuse other versions rather than guessing.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// File kinds (byte 7 of the preamble).
+pub const KIND_SNAPSHOT: u8 = 1;
+/// Journal file kind.
+pub const KIND_JOURNAL: u8 = 2;
+
+/// A decode failure. Carries enough context for `fsck` to report where
+/// a file went bad; never panics on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before a read of `wanted` bytes at `at`.
+    Truncated {
+        /// Offset of the failed read.
+        at: usize,
+        /// Bytes the read needed.
+        wanted: usize,
+    },
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u16),
+    /// The file kind byte matches neither snapshot nor journal.
+    BadKind(u8),
+    /// A section's CRC32 does not match its contents.
+    BadCrc {
+        /// The section's id byte.
+        section: u8,
+    },
+    /// Structurally invalid content (bad enum tag, impossible length).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { at, wanted } => {
+                write!(f, "truncated: needed {wanted} byte(s) at offset {at}")
+            }
+            CodecError::BadMagic => write!(f, "bad magic (not a blameit state file)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported format version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            CodecError::BadKind(k) => write!(f, "unknown file kind {k}"),
+            CodecError::BadCrc { section } => write!(f, "CRC mismatch in section {section}"),
+            CodecError::Invalid(what) => write!(f, "invalid content: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// CRC32 (IEEE, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Little-endian byte writer.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far (borrowed).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an f64 as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends an `Option<f64>` as a presence byte plus bits.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+        }
+    }
+
+    /// Appends a collection length as u64.
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                at: self.pos,
+                wanted: n,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an f64 from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool byte (must be 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool byte not 0/1")),
+        }
+    }
+
+    /// Reads an `Option<f64>`.
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            _ => Err(CodecError::Invalid("option byte not 0/1")),
+        }
+    }
+
+    /// Reads a collection length and validates it against the bytes
+    /// remaining (each element needs at least `min_elem_bytes`), so a
+    /// corrupted length can never trigger a huge allocation.
+    pub fn len(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.u64()?;
+        let budget = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if n > budget {
+            return Err(CodecError::Invalid("length exceeds remaining input"));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Writes the 7-byte file preamble.
+pub fn write_preamble(w: &mut ByteWriter, kind: u8) {
+    w.put_bytes(&MAGIC);
+    w.put_u16(FORMAT_VERSION);
+    w.put_u8(kind);
+}
+
+/// Validates the 7-byte preamble and returns the reader positioned
+/// after it.
+pub fn read_preamble<'a>(bytes: &'a [u8], want_kind: u8) -> Result<ByteReader<'a>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind = r.u8()?;
+    if kind != want_kind {
+        if kind != KIND_SNAPSHOT && kind != KIND_JOURNAL {
+            return Err(CodecError::BadKind(kind));
+        }
+        return Err(CodecError::Invalid("wrong file kind for this loader"));
+    }
+    Ok(r)
+}
+
+/// Appends one framed section: `id · len · payload · crc32(id‖len‖payload)`.
+pub fn write_section(w: &mut ByteWriter, id: u8, payload: &[u8]) {
+    w.put_u8(id);
+    w.put_u64(payload.len() as u64);
+    let mut crc_input = Vec::with_capacity(9 + payload.len());
+    crc_input.push(id);
+    crc_input.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    crc_input.extend_from_slice(payload);
+    w.put_bytes(payload);
+    w.put_u32(crc32(&crc_input));
+}
+
+/// Reads one framed section, validating its CRC. Returns `(id, payload)`.
+pub fn read_section<'a>(r: &mut ByteReader<'a>) -> Result<(u8, &'a [u8]), CodecError> {
+    let id = r.u8()?;
+    let len = r.u64()?;
+    if len > r.remaining() as u64 {
+        return Err(CodecError::Truncated {
+            at: r.pos(),
+            wanted: len as usize,
+        });
+    }
+    let payload = r.take(len as usize)?;
+    let stored = r.u32()?;
+    let mut crc_input = Vec::with_capacity(9 + payload.len());
+    crc_input.push(id);
+    crc_input.extend_from_slice(&len.to_le_bytes());
+    crc_input.extend_from_slice(payload);
+    if crc32(&crc_input) != stored {
+        return Err(CodecError::BadCrc { section: id });
+    }
+    Ok((id, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(513);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_f64(-0.125);
+        w.put_bool(true);
+        w.put_opt_f64(None);
+        w.put_opt_f64(Some(f64::NAN));
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 513);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert!(r.opt_f64().unwrap().unwrap().is_nan());
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(r.u8(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn section_roundtrip_and_crc() {
+        let mut w = ByteWriter::new();
+        write_preamble(&mut w, KIND_SNAPSHOT);
+        write_section(&mut w, 3, b"hello");
+        let mut bytes = w.into_bytes();
+        let mut r = read_preamble(&bytes, KIND_SNAPSHOT).unwrap();
+        let (id, payload) = read_section(&mut r).unwrap();
+        assert_eq!((id, payload), (3, b"hello".as_slice()));
+
+        // Any single-byte corruption past the preamble fails the CRC
+        // (or a value check) — including the id and length bytes.
+        for i in 7..bytes.len() {
+            bytes[i] ^= 0x10;
+            let res = read_preamble(&bytes, KIND_SNAPSHOT)
+                .and_then(|mut r| read_section(&mut r).map(|_| ()));
+            assert!(res.is_err(), "flip at {i} went undetected");
+            bytes[i] ^= 0x10;
+        }
+    }
+
+    #[test]
+    fn preamble_rejects_garbage() {
+        assert_eq!(
+            read_preamble(b"no", KIND_SNAPSHOT).unwrap_err(),
+            CodecError::Truncated { at: 0, wanted: 4 }
+        );
+        assert_eq!(
+            read_preamble(b"nope", KIND_SNAPSHOT).unwrap_err(),
+            CodecError::BadMagic
+        );
+        assert_eq!(
+            read_preamble(b"XXXXxxxxx", KIND_SNAPSHOT).unwrap_err(),
+            CodecError::BadMagic
+        );
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_u16(99);
+        w.put_u8(KIND_SNAPSHOT);
+        assert_eq!(
+            read_preamble(&w.into_bytes(), KIND_SNAPSHOT).unwrap_err(),
+            CodecError::UnsupportedVersion(99)
+        );
+        let mut w = ByteWriter::new();
+        write_preamble(&mut w, 9);
+        assert_eq!(
+            read_preamble(&w.into_bytes(), KIND_SNAPSHOT).unwrap_err(),
+            CodecError::BadKind(9)
+        );
+        let mut w = ByteWriter::new();
+        write_preamble(&mut w, KIND_JOURNAL);
+        assert!(read_preamble(&w.into_bytes(), KIND_SNAPSHOT).is_err());
+    }
+
+    #[test]
+    fn length_validation_blocks_huge_allocs() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // absurd length
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.len(1).is_err());
+    }
+}

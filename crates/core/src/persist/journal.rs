@@ -1,0 +1,360 @@
+//! The append-only tick journal.
+//!
+//! One fixed-size record per completed tick: `tick index · start
+//! bucket · output digest · crc32`. Appends are fsync'd before the
+//! tick's output is considered durable, so after any crash the journal
+//! names exactly the ticks whose effects must be replayed on top of
+//! the last snapshot. A torn final record (crash mid-append) is
+//! detected by its CRC/size and truncated away on recovery — the tick
+//! it described simply re-runs.
+//!
+//! Layout:
+//!
+//! ```text
+//! header   MAGIC(4) · version(2) · kind=2(1) · seed(8)          15 B
+//! record   tick(8) · bucket(4) · digest(8) · crc32(4)           24 B
+//! ```
+//!
+//! Record `i` always carries tick index `i` (the journal is reset
+//! together with the post-warmup snapshot), which `scan` verifies —
+//! trust in the journal ends at the first record that fails its CRC
+//! or breaks the sequence.
+
+use super::codec::{crc32, ByteReader, ByteWriter, CodecError, KIND_JOURNAL, MAGIC};
+use super::PersistError;
+use crate::pipeline::TickOutput;
+use crate::report::render_tick_transcript;
+use blameit_simnet::TimeBucket;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal file name inside a state directory.
+pub const JOURNAL_FILE: &str = "journal.blj";
+
+/// Header bytes: 7-byte preamble + 8-byte seed.
+pub const HEADER_BYTES: u64 = 15;
+
+/// Fixed record size.
+pub const RECORD_BYTES: u64 = 24;
+
+/// One journal record: a completed tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Zero-based tick index since the post-warmup checkpoint.
+    pub tick: u64,
+    /// The tick's start bucket — replay calls `tick(backend, bucket)`.
+    pub bucket: TimeBucket,
+    /// FNV-1a 64 digest of the tick's rendered transcript.
+    pub digest: u64,
+}
+
+/// FNV-1a 64-bit hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// The digest journaled for a tick: a hash of its canonical transcript
+/// rendering, so replay verification checks the *entire* observable
+/// output, not a summary of it.
+pub fn tick_digest(out: &TickOutput) -> u64 {
+    fnv1a64(render_tick_transcript(std::slice::from_ref(out)).as_bytes())
+}
+
+fn encode_record(rec: &JournalRecord) -> [u8; RECORD_BYTES as usize] {
+    let mut w = ByteWriter::new();
+    w.put_u64(rec.tick);
+    w.put_u32(rec.bucket.0);
+    w.put_u64(rec.digest);
+    let body = w.into_bytes();
+    let crc = crc32(&body);
+    let mut out = [0u8; RECORD_BYTES as usize];
+    out[..20].copy_from_slice(&body);
+    out[20..].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_record(bytes: &[u8]) -> Result<JournalRecord, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let tick = r.u64()?;
+    let bucket = TimeBucket(r.u32()?);
+    let digest = r.u64()?;
+    let stored = r.u32()?;
+    if crc32(&bytes[..20]) != stored {
+        return Err(CodecError::BadCrc { section: 0 });
+    }
+    Ok(JournalRecord {
+        tick,
+        bucket,
+        digest,
+    })
+}
+
+fn encode_header(seed: u64) -> [u8; HEADER_BYTES as usize] {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u16(super::codec::FORMAT_VERSION);
+    w.put_u8(KIND_JOURNAL);
+    w.put_u64(seed);
+    let bytes = w.into_bytes();
+    let mut out = [0u8; HEADER_BYTES as usize];
+    out.copy_from_slice(&bytes);
+    out
+}
+
+/// The journal's path inside `dir`.
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+/// Result of scanning a journal file.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// Seed from the header.
+    pub seed: u64,
+    /// Every valid record, in order (record `i` has tick `i`).
+    pub records: Vec<JournalRecord>,
+    /// File length covered by the header plus valid records.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` — a torn final record (crash residue) or
+    /// deeper corruption; zero for a clean journal.
+    pub trailing_bytes: u64,
+}
+
+/// Scans the journal in `dir`. Returns `Ok(None)` when no journal file
+/// exists; errors only on an unreadable/invalid *header* (a file that
+/// is not a journal at all). Record-level damage is reported via
+/// `trailing_bytes`, never an error — the valid prefix is still
+/// useful.
+pub fn scan(dir: &Path) -> Result<Option<JournalScan>, PersistError> {
+    let path = journal_path(dir);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut r = ByteReader::new(&bytes);
+    if r.take(4).map_err(PersistError::Codec)? != MAGIC {
+        return Err(CodecError::BadMagic.into());
+    }
+    let version = r.u16().map_err(PersistError::Codec)?;
+    if version != super::codec::FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version).into());
+    }
+    let kind = r.u8().map_err(PersistError::Codec)?;
+    if kind != KIND_JOURNAL {
+        return Err(CodecError::BadKind(kind).into());
+    }
+    let seed = r.u64().map_err(PersistError::Codec)?;
+
+    let mut records = Vec::new();
+    let mut valid_len = HEADER_BYTES;
+    while r.remaining() as u64 >= RECORD_BYTES {
+        let chunk = r.take(RECORD_BYTES as usize).expect("checked remaining");
+        match decode_record(chunk) {
+            Ok(rec) if rec.tick == records.len() as u64 => {
+                records.push(rec);
+                valid_len += RECORD_BYTES;
+            }
+            // Bad CRC or out-of-sequence tick: trust ends here.
+            _ => break,
+        }
+    }
+    let trailing_bytes = bytes.len() as u64 - valid_len;
+    Ok(Some(JournalScan {
+        seed,
+        records,
+        valid_len,
+        trailing_bytes,
+    }))
+}
+
+/// Truncates the journal to its valid prefix (drops a torn tail).
+pub fn truncate_torn(dir: &Path, valid_len: u64) -> std::io::Result<()> {
+    let f = OpenOptions::new().write(true).open(journal_path(dir))?;
+    f.set_len(valid_len)?;
+    f.sync_data()
+}
+
+/// An open journal, appending fsync'd records.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Opens the journal in `dir`, creating it (header only) if absent
+    /// or empty. An existing journal must carry the same seed —
+    /// replaying another seed's records would silently diverge.
+    pub fn open_or_create(dir: &Path, seed: u64) -> Result<Journal, PersistError> {
+        let path = journal_path(dir);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(&encode_header(seed))?;
+            file.sync_data()?;
+        } else {
+            let mut header = [0u8; HEADER_BYTES as usize];
+            file.read_exact(&mut header).map_err(|_| {
+                PersistError::Codec(CodecError::Truncated {
+                    at: 0,
+                    wanted: HEADER_BYTES as usize,
+                })
+            })?;
+            let expected = encode_header(seed);
+            if header[..7] != expected[..7] {
+                return Err(CodecError::BadMagic.into());
+            }
+            if header != expected {
+                let found = u64::from_le_bytes(header[7..].try_into().unwrap());
+                return Err(PersistError::ConfigMismatch(format!(
+                    "journal seed {found:#x} != engine seed {seed:#x}"
+                )));
+            }
+        }
+        Ok(Journal { file })
+    }
+
+    /// Truncates and re-headers the journal (called with the
+    /// post-warmup checkpoint: tick indices restart at zero).
+    pub fn reset(dir: &Path, seed: u64) -> Result<Journal, PersistError> {
+        let path = journal_path(dir);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(&encode_header(seed))?;
+        file.sync_data()?;
+        drop(file);
+        Journal::open_or_create(dir, seed)
+    }
+
+    /// Appends one record and fsyncs — on return the tick is durable.
+    pub fn append(&mut self, rec: &JournalRecord) -> std::io::Result<()> {
+        self.file.write_all(&encode_record(rec))?;
+        self.file.sync_data()
+    }
+
+    /// Appends only a prefix of the record — the kill-point harness's
+    /// torn write. `fraction` of the record's bytes reach the file
+    /// (clamped to at least 1, at most all-but-the-CRC), and no fsync
+    /// happens, exactly as a crash mid-append would leave it.
+    pub fn append_torn(&mut self, rec: &JournalRecord, fraction: f64) -> std::io::Result<()> {
+        let bytes = encode_record(rec);
+        let n = ((RECORD_BYTES as f64 * fraction) as usize).clamp(1, RECORD_BYTES as usize - 2);
+        self.file.write_all(&bytes[..n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("blameit-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(tick: u64) -> JournalRecord {
+        JournalRecord {
+            tick,
+            bucket: TimeBucket(100 + tick as u32 * 3),
+            digest: 0xD15C_0000 + tick,
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let mut j = Journal::open_or_create(&dir, 7).unwrap();
+        for t in 0..5 {
+            j.append(&rec(t)).unwrap();
+        }
+        let scan = scan(&dir).unwrap().unwrap();
+        assert_eq!(scan.seed, 7);
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.records[3], rec(3));
+        assert_eq!(scan.trailing_bytes, 0);
+        // Reopen and keep appending.
+        drop(j);
+        let mut j = Journal::open_or_create(&dir, 7).unwrap();
+        j.append(&rec(5)).unwrap();
+        assert_eq!(super::scan(&dir).unwrap().unwrap().records.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_detected_and_truncated() {
+        let dir = tmp_dir("torn");
+        let mut j = Journal::open_or_create(&dir, 7).unwrap();
+        j.append(&rec(0)).unwrap();
+        j.append(&rec(1)).unwrap();
+        j.append_torn(&rec(2), 0.5).unwrap();
+        drop(j);
+        let s = scan(&dir).unwrap().unwrap();
+        assert_eq!(s.records.len(), 2, "torn record must not count");
+        assert!(s.trailing_bytes > 0);
+        truncate_torn(&dir, s.valid_len).unwrap();
+        let s = scan(&dir).unwrap().unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.trailing_bytes, 0);
+        // Appending after truncation continues the sequence.
+        let mut j = Journal::open_or_create(&dir, 7).unwrap();
+        j.append(&rec(2)).unwrap();
+        assert_eq!(scan(&dir).unwrap().unwrap().records.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_ends_trust() {
+        let dir = tmp_dir("corrupt");
+        let mut j = Journal::open_or_create(&dir, 7).unwrap();
+        for t in 0..4 {
+            j.append(&rec(t)).unwrap();
+        }
+        drop(j);
+        let path = journal_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit in record 2.
+        let off = (HEADER_BYTES + 2 * RECORD_BYTES + 5) as usize;
+        bytes[off] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let s = scan(&dir).unwrap().unwrap();
+        assert_eq!(s.records.len(), 2, "trust ends at the flipped record");
+        assert_eq!(s.trailing_bytes, 2 * RECORD_BYTES);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seed_mismatch_refused() {
+        let dir = tmp_dir("seed");
+        Journal::open_or_create(&dir, 7).unwrap();
+        let err = Journal::open_or_create(&dir, 8).unwrap_err();
+        assert!(matches!(err, PersistError::ConfigMismatch(_)), "{err}");
+        // Reset replaces the seed.
+        Journal::reset(&dir, 8).unwrap();
+        assert_eq!(scan(&dir).unwrap().unwrap().seed, 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_none() {
+        let dir = tmp_dir("missing");
+        assert!(scan(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,110 @@
+//! Durable engine state: versioned snapshots, a tick journal, and
+//! crash recovery.
+//!
+//! BlameIt's value lives in *learned* state — 14-day expected-RTT
+//! medians, per-path baselines, incident-duration histories — and a
+//! restart that discards it reverts every verdict to
+//! `no_baseline`/`insufficient` for days. This module makes the engine
+//! survive crashes mid-tick:
+//!
+//! * [`codec`] — hand-rolled, versioned, CRC-per-section byte framing.
+//!   Any bit flip past the 7-byte preamble fails a CRC; preamble flips
+//!   fail a value check. Decoding never panics on garbage.
+//! * [`snapshot`] — serializes every field of [`BlameItEngine`] that
+//!   influences future ticks (learners, baselines, scheduler clocks,
+//!   incident/episode state, RNG positions). Metrics are write-only
+//!   and deliberately excluded.
+//! * [`journal`] — an append-only, fsync'd record per completed tick
+//!   (tick index, start bucket, output digest). Recovery = newest
+//!   valid snapshot + deterministic replay of the journaled ticks
+//!   through the seeded engine, verifying each digest.
+//! * [`store`] — atomic snapshot writes (temp file + rename), last-N
+//!   retention, and the `fsck` invariant checker.
+//! * [`durable`] — [`DurableEngine`], the tick loop with named kill
+//!   points wired to [`blameit_simnet::CrashPlan`] so the crash
+//!   harness can abort at exactly the moments a real crash would.
+//!
+//! The durability contract leans entirely on the engine's
+//! byte-determinism: state + seed + backend fully determine every
+//! future tick, so a journal replay reproduces the pre-crash run
+//! byte-for-byte (`tests/crash_recovery.rs` proves it for every kill
+//! point × seeds × thread counts).
+//!
+//! [`BlameItEngine`]: crate::pipeline::BlameItEngine
+//! [`DurableEngine`]: durable::DurableEngine
+
+pub mod codec;
+pub mod durable;
+pub mod journal;
+pub mod snapshot;
+pub mod store;
+
+pub use codec::CodecError;
+pub use durable::{DurableEngine, PersistMetrics, RecoveryReport, StartMode};
+pub use journal::{tick_digest, Journal, JournalRecord};
+pub use snapshot::SnapshotState;
+pub use store::{fsck, FsckReport, StateStore};
+
+use blameit_simnet::CrashPoint;
+
+/// Why a persistence operation failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The configuration has no `state_dir`.
+    NoStateDir,
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A snapshot or journal failed to decode.
+    Codec(CodecError),
+    /// The on-disk state was produced under a different identity
+    /// (seed / tick width) than the engine trying to load it.
+    ConfigMismatch(String),
+    /// A replayed tick's digest did not match its journal record —
+    /// the backend or engine is not the one that produced the journal.
+    ReplayDivergence {
+        /// The diverging tick index.
+        tick: u64,
+        /// Digest the journal recorded.
+        expected: u64,
+        /// Digest the replay produced.
+        got: u64,
+    },
+    /// A simulated crash fired (kill-point harness only): the tick
+    /// aborted with on-disk state exactly as a real crash would leave
+    /// it.
+    Crashed(CrashPoint),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::NoStateDir => write!(f, "no state_dir configured"),
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Codec(e) => write!(f, "decode error: {e}"),
+            PersistError::ConfigMismatch(what) => write!(f, "config mismatch: {what}"),
+            PersistError::ReplayDivergence {
+                tick,
+                expected,
+                got,
+            } => write!(
+                f,
+                "replay diverged at tick {tick}: journal digest {expected:016x}, replay {got:016x}"
+            ),
+            PersistError::Crashed(p) => write!(f, "simulated crash at {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CodecError> for PersistError {
+    fn from(e: CodecError) -> Self {
+        PersistError::Codec(e)
+    }
+}

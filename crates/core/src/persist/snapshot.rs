@@ -1,0 +1,848 @@
+//! Snapshot encode/decode for the full [`BlameItEngine`] state.
+//!
+//! Everything that influences a future tick is serialized: the
+//! expected-RTT learner (including its reservoir RNG position), the
+//! duration/client-count histories, open incidents, the baseline
+//! store, scheduler clocks, probe-target maps, episode windows, and
+//! the churn cursor — and the learner's median cache, whose entries
+//! freeze the median at first-lookup time within a day and therefore
+//! cannot be recomputed from the reservoirs alone. Deliberately
+//! excluded: metrics (write-only observability, not engine state).
+//!
+//! Encoding is canonical: every hash map is emitted sorted by its
+//! encoded key bytes, so two state-equal engines produce identical
+//! snapshots regardless of hash-seed iteration order. All floats are
+//! stored as IEEE-754 bit patterns (exact round-trip).
+
+use super::codec::{
+    read_preamble, read_section, write_preamble, write_section, ByteReader, ByteWriter, CodecError,
+    KIND_SNAPSHOT,
+};
+use super::PersistError;
+use crate::background::{BackgroundScheduler, BaselineEntry, BaselineStore};
+use crate::grouping::MiddleKey;
+use crate::history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
+use crate::incident::{IncidentTracker, OpenIncident};
+use crate::pipeline::BlameItEngine;
+use blameit_simnet::{SimTime, TimeBucket};
+use blameit_topology::rng::DetRng;
+use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+// Section ids, in file order.
+const SEC_IDENTITY: u8 = 1;
+const SEC_EXPECTED: u8 = 2;
+const SEC_DURATIONS: u8 = 3;
+const SEC_CLIENT_HIST: u8 = 4;
+const SEC_INCIDENTS: u8 = 5;
+const SEC_BASELINES: u8 = 6;
+const SEC_SCHEDULER: u8 = 7;
+const SEC_ENGINE: u8 = 8;
+
+/// A fully decoded snapshot, not yet bound to an engine.
+///
+/// Holding plain structs (rather than writing straight into an engine)
+/// lets `fsck` and the property tests validate a snapshot end-to-end
+/// without constructing a pipeline.
+pub struct SnapshotState {
+    /// Seed the engine ran under (identity — must match on load).
+    pub seed: u64,
+    /// Buckets per tick (identity — must match on load).
+    pub tick_buckets: u32,
+    /// Completed ticks at the moment the snapshot was taken; journal
+    /// records at or beyond this index replay on top of it.
+    pub ticks_done: u64,
+    /// The expected-RTT learner, RNG position included.
+    pub expected: ExpectedRttLearner,
+    /// Per-path incident-duration history.
+    pub durations: DurationHistory,
+    /// Per-(path, time-of-day) client volumes.
+    pub client_hist: ClientCountHistory,
+    /// Open incidents at snapshot time.
+    pub incidents_open: HashMap<(CloudLocId, PathId), OpenIncident>,
+    /// Last bucket the incident tracker saw.
+    pub incidents_last_bucket: Option<TimeBucket>,
+    /// The background-traceroute baseline store.
+    pub baselines: BaselineStore,
+    /// Background scheduler period.
+    pub scheduler_period_secs: u64,
+    /// Background scheduler churn triggering.
+    pub scheduler_churn_triggered: bool,
+    /// Background scheduler last-probed clocks.
+    pub scheduler_last: HashMap<(CloudLocId, PathId), SimTime>,
+    /// Representative probe /24 per (loc, path).
+    pub rep_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    /// The /24 each stored baseline was measured toward.
+    pub baseline_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    /// (location, prefix) pairs observed carrying traffic.
+    pub monitored_prefixes: HashSet<(CloudLocId, IpPrefix)>,
+    /// Badness episodes per (loc, path).
+    pub episodes: HashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
+    /// Background targets already granted their one fast retry.
+    pub bg_failed_once: HashSet<(CloudLocId, PathId)>,
+    /// Where the churn feed was consumed up to.
+    pub churn_cursor: SimTime,
+    /// Lifetime on-demand probe count.
+    pub on_demand_probes_total: u64,
+    /// Lifetime background probe count.
+    pub background_probes_total: u64,
+}
+
+impl SnapshotState {
+    /// Installs this state onto `engine`, consuming it. Fails with
+    /// [`PersistError::ConfigMismatch`] when the snapshot identity
+    /// (seed, tick width) differs from the engine's configuration —
+    /// replaying another identity's journal would silently diverge.
+    /// Returns the snapshot's `ticks_done`.
+    pub fn apply(self, engine: &mut BlameItEngine) -> Result<u64, PersistError> {
+        if engine.cfg.seed != self.seed {
+            return Err(PersistError::ConfigMismatch(format!(
+                "snapshot seed {:#x} != engine seed {:#x}",
+                self.seed, engine.cfg.seed
+            )));
+        }
+        if engine.cfg.tick_buckets != self.tick_buckets {
+            return Err(PersistError::ConfigMismatch(format!(
+                "snapshot tick_buckets {} != engine tick_buckets {}",
+                self.tick_buckets, engine.cfg.tick_buckets
+            )));
+        }
+        engine.expected = self.expected;
+        engine.durations = self.durations;
+        engine.client_hist = self.client_hist;
+        engine.incidents = IncidentTracker {
+            open: self.incidents_open,
+            last_bucket: self.incidents_last_bucket,
+        };
+        engine.baselines = self.baselines;
+        engine.scheduler = BackgroundScheduler {
+            period_secs: self.scheduler_period_secs,
+            churn_triggered: self.scheduler_churn_triggered,
+            last: self.scheduler_last,
+        };
+        engine.rep_p24 = self.rep_p24;
+        engine.baseline_p24 = self.baseline_p24;
+        engine.monitored_prefixes = self.monitored_prefixes;
+        engine.episodes = self.episodes;
+        engine.bg_failed_once = self.bg_failed_once;
+        engine.churn_cursor = self.churn_cursor;
+        engine.on_demand_probes_total = self.on_demand_probes_total;
+        engine.background_probes_total = self.background_probes_total;
+        Ok(self.ticks_done)
+    }
+}
+
+impl SnapshotState {
+    /// Captures (clones) the engine's durable state after `ticks_done`
+    /// completed ticks.
+    pub(crate) fn capture(engine: &BlameItEngine, ticks_done: u64) -> SnapshotState {
+        SnapshotState {
+            seed: engine.cfg.seed,
+            tick_buckets: engine.cfg.tick_buckets,
+            ticks_done,
+            expected: engine.expected.clone(),
+            durations: engine.durations.clone(),
+            client_hist: engine.client_hist.clone(),
+            incidents_open: engine.incidents.open.clone(),
+            incidents_last_bucket: engine.incidents.last_bucket,
+            baselines: engine.baselines.clone(),
+            scheduler_period_secs: engine.scheduler.period_secs,
+            scheduler_churn_triggered: engine.scheduler.churn_triggered,
+            scheduler_last: engine.scheduler.last.clone(),
+            rep_p24: engine.rep_p24.clone(),
+            baseline_p24: engine.baseline_p24.clone(),
+            monitored_prefixes: engine.monitored_prefixes.clone(),
+            episodes: engine.episodes.clone(),
+            bg_failed_once: engine.bg_failed_once.clone(),
+            churn_cursor: engine.churn_cursor,
+            on_demand_probes_total: engine.on_demand_probes_total,
+            background_probes_total: engine.background_probes_total,
+        }
+    }
+
+    /// Serializes to the canonical snapshot byte format. This is the
+    /// *only* writer of the format ([`encode`] routes through it), so
+    /// the property tests exercising it from outside the crate cover
+    /// the exact bytes the engine persists.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        write_preamble(&mut w, KIND_SNAPSHOT);
+
+        let mut s = ByteWriter::new();
+        s.put_u64(self.seed);
+        s.put_u32(self.tick_buckets);
+        s.put_u64(self.ticks_done);
+        write_section(&mut w, SEC_IDENTITY, &s.into_bytes());
+
+        write_section(&mut w, SEC_EXPECTED, &encode_expected(&self.expected));
+        write_section(&mut w, SEC_DURATIONS, &encode_durations(&self.durations));
+        write_section(
+            &mut w,
+            SEC_CLIENT_HIST,
+            &encode_client_hist(&self.client_hist),
+        );
+        write_section(
+            &mut w,
+            SEC_INCIDENTS,
+            &encode_incidents(&self.incidents_open, self.incidents_last_bucket),
+        );
+        write_section(&mut w, SEC_BASELINES, &encode_baselines(&self.baselines));
+        write_section(
+            &mut w,
+            SEC_SCHEDULER,
+            &encode_scheduler(
+                self.scheduler_period_secs,
+                self.scheduler_churn_triggered,
+                &self.scheduler_last,
+            ),
+        );
+        write_section(&mut w, SEC_ENGINE, &encode_engine_misc(self));
+        w.into_bytes()
+    }
+}
+
+/// Encodes the engine's full durable state after `ticks_done`
+/// completed ticks.
+pub fn encode(engine: &BlameItEngine, ticks_done: u64) -> Vec<u8> {
+    SnapshotState::capture(engine, ticks_done).to_bytes()
+}
+
+/// Decodes a snapshot. Errors (never panics) on any corruption:
+/// preamble flips hit value checks, everything after hits a section
+/// CRC before its payload is even parsed.
+pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
+    let mut r = read_preamble(bytes, KIND_SNAPSHOT)?;
+    let expect = [
+        SEC_IDENTITY,
+        SEC_EXPECTED,
+        SEC_DURATIONS,
+        SEC_CLIENT_HIST,
+        SEC_INCIDENTS,
+        SEC_BASELINES,
+        SEC_SCHEDULER,
+        SEC_ENGINE,
+    ];
+    let mut payloads: Vec<&[u8]> = Vec::with_capacity(expect.len());
+    for want in expect {
+        let (id, payload) = read_section(&mut r)?;
+        if id != want {
+            return Err(CodecError::Invalid("sections out of order"));
+        }
+        payloads.push(payload);
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes after last section"));
+    }
+
+    let mut ident = ByteReader::new(payloads[0]);
+    let seed = ident.u64()?;
+    let tick_buckets = ident.u32()?;
+    let ticks_done = ident.u64()?;
+
+    let expected = decode_expected(payloads[1])?;
+    let durations = decode_durations(payloads[2])?;
+    let client_hist = decode_client_hist(payloads[3])?;
+    let (incidents_open, incidents_last_bucket) = decode_incidents(payloads[4])?;
+    let baselines = decode_baselines(payloads[5])?;
+    let (scheduler_period_secs, scheduler_churn_triggered, scheduler_last) =
+        decode_scheduler(payloads[6])?;
+
+    let mut e = ByteReader::new(payloads[7]);
+    let rep_p24 = get_map(&mut e, 10, get_loc_path, |r| {
+        Ok(Prefix24::from_block(get_block(r)?))
+    })?;
+    let baseline_p24 = get_map(&mut e, 10, get_loc_path, |r| {
+        Ok(Prefix24::from_block(get_block(r)?))
+    })?;
+    let n = e.len(7)?;
+    let mut monitored_prefixes = HashSet::with_capacity(n);
+    for _ in 0..n {
+        let loc = CloudLocId(e.u16()?);
+        let base = e.u32()?;
+        let len = e.u8()?;
+        if len > 32 {
+            return Err(CodecError::Invalid("prefix length > 32"));
+        }
+        monitored_prefixes.insert((loc, IpPrefix::new(base, len)));
+    }
+    let episodes = get_map(&mut e, 14, get_loc_path, |r| {
+        Ok((TimeBucket(r.u32()?), TimeBucket(r.u32()?)))
+    })?;
+    let n = e.len(6)?;
+    let mut bg_failed_once = HashSet::with_capacity(n);
+    for _ in 0..n {
+        bg_failed_once.insert(get_loc_path(&mut e)?);
+    }
+    let churn_cursor = SimTime(e.u64()?);
+    let on_demand_probes_total = e.u64()?;
+    let background_probes_total = e.u64()?;
+    if e.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in engine section"));
+    }
+
+    Ok(SnapshotState {
+        seed,
+        tick_buckets,
+        ticks_done,
+        expected,
+        durations,
+        client_hist,
+        incidents_open,
+        incidents_last_bucket,
+        baselines,
+        scheduler_period_secs,
+        scheduler_churn_triggered,
+        scheduler_last,
+        rep_p24,
+        baseline_p24,
+        monitored_prefixes,
+        episodes,
+        bg_failed_once,
+        churn_cursor,
+        on_demand_probes_total,
+        background_probes_total,
+    })
+}
+
+// ---- canonical map framing -------------------------------------------------
+
+/// Writes a map as `count · (key · value)…`, sorted by encoded key
+/// bytes — canonical regardless of hash iteration order.
+fn put_map<K, V>(
+    w: &mut ByteWriter,
+    map: &HashMap<K, V>,
+    mut put_key: impl FnMut(&mut ByteWriter, &K),
+    mut put_val: impl FnMut(&mut ByteWriter, &V),
+) {
+    let mut entries: Vec<(Vec<u8>, Vec<u8>)> = map
+        .iter()
+        .map(|(k, v)| {
+            let mut kw = ByteWriter::new();
+            put_key(&mut kw, k);
+            let mut vw = ByteWriter::new();
+            put_val(&mut vw, v);
+            (kw.into_bytes(), vw.into_bytes())
+        })
+        .collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    w.put_len(entries.len());
+    for (k, v) in entries {
+        w.put_bytes(&k);
+        w.put_bytes(&v);
+    }
+}
+
+/// Reads a map written by [`put_map`].
+fn get_map<K: std::hash::Hash + Eq, V>(
+    r: &mut ByteReader<'_>,
+    min_entry_bytes: usize,
+    mut get_key: impl FnMut(&mut ByteReader<'_>) -> Result<K, CodecError>,
+    mut get_val: impl FnMut(&mut ByteReader<'_>) -> Result<V, CodecError>,
+) -> Result<HashMap<K, V>, CodecError> {
+    let n = r.len(min_entry_bytes)?;
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = get_key(r)?;
+        let v = get_val(r)?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+// ---- key/leaf encoders -----------------------------------------------------
+
+fn put_loc_path(w: &mut ByteWriter, k: &(CloudLocId, PathId)) {
+    w.put_u16(k.0 .0);
+    w.put_u32(k.1 .0);
+}
+
+fn get_loc_path(r: &mut ByteReader<'_>) -> Result<(CloudLocId, PathId), CodecError> {
+    Ok((CloudLocId(r.u16()?), PathId(r.u32()?)))
+}
+
+fn get_block(r: &mut ByteReader<'_>) -> Result<u32, CodecError> {
+    let block = r.u32()?;
+    if block >= 1 << 24 {
+        return Err(CodecError::Invalid("/24 block number out of range"));
+    }
+    Ok(block)
+}
+
+fn put_middle_key(w: &mut ByteWriter, k: &MiddleKey) {
+    match k {
+        MiddleKey::Path(p) => {
+            w.put_u8(0);
+            w.put_u32(p.0);
+        }
+        MiddleKey::Atom(p, a) => {
+            w.put_u8(1);
+            w.put_u32(p.0);
+            w.put_u32(a.0);
+        }
+        MiddleKey::Prefix(p, pre) => {
+            w.put_u8(2);
+            w.put_u32(p.0);
+            w.put_u32(pre.base());
+            w.put_u8(pre.len());
+        }
+        MiddleKey::AsMetro(a, m) => {
+            w.put_u8(3);
+            w.put_u32(a.0);
+            w.put_u16(m.0);
+        }
+    }
+}
+
+fn get_middle_key(r: &mut ByteReader<'_>) -> Result<MiddleKey, CodecError> {
+    match r.u8()? {
+        0 => Ok(MiddleKey::Path(PathId(r.u32()?))),
+        1 => Ok(MiddleKey::Atom(PathId(r.u32()?), Asn(r.u32()?))),
+        2 => {
+            let p = PathId(r.u32()?);
+            let base = r.u32()?;
+            let len = r.u8()?;
+            if len > 32 {
+                return Err(CodecError::Invalid("prefix length > 32"));
+            }
+            Ok(MiddleKey::Prefix(p, IpPrefix::new(base, len)))
+        }
+        3 => Ok(MiddleKey::AsMetro(Asn(r.u32()?), MetroId(r.u16()?))),
+        _ => Err(CodecError::Invalid("unknown MiddleKey tag")),
+    }
+}
+
+fn put_rtt_key(w: &mut ByteWriter, k: &RttKey) {
+    match k {
+        RttKey::Cloud(loc, mobile) => {
+            w.put_u8(0);
+            w.put_u16(loc.0);
+            w.put_bool(*mobile);
+        }
+        RttKey::Middle(mk, mobile) => {
+            w.put_u8(1);
+            put_middle_key(w, mk);
+            w.put_bool(*mobile);
+        }
+    }
+}
+
+fn get_rtt_key(r: &mut ByteReader<'_>) -> Result<RttKey, CodecError> {
+    match r.u8()? {
+        0 => Ok(RttKey::Cloud(CloudLocId(r.u16()?), r.bool()?)),
+        1 => {
+            let mk = get_middle_key(r)?;
+            Ok(RttKey::Middle(mk, r.bool()?))
+        }
+        _ => Err(CodecError::Invalid("unknown RttKey tag")),
+    }
+}
+
+// ---- sections --------------------------------------------------------------
+
+fn encode_expected(l: &ExpectedRttLearner) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(l.window_days);
+    w.put_u64(l.day_cap as u64);
+    w.put_u32(l.latest_day);
+    let (s, spare) = l.rng.state();
+    for word in s {
+        w.put_u64(word);
+    }
+    w.put_opt_f64(spare);
+    put_map(&mut w, &l.map, put_rtt_key, |w, series| {
+        w.put_len(series.len());
+        for (day, values) in series {
+            w.put_u32(*day);
+            w.put_len(values.len());
+            for v in values {
+                w.put_f64(*v);
+            }
+        }
+    });
+    put_map(&mut w, &l.counts, put_rtt_key, |w, c| w.put_u64(*c));
+    // The median cache MUST be persisted: a cached entry freezes the
+    // median at whatever observations existed at first lookup that
+    // day, while `observe` keeps growing the underlying reservoirs. A
+    // recovered engine recomputing the entry from the full map would
+    // see a different (later) view of the same day and diverge.
+    let cache = l.cache.borrow();
+    put_map(&mut w, &cache, put_rtt_key, |w, (day, value)| {
+        w.put_u32(*day);
+        w.put_opt_f64(*value);
+    });
+    w.into_bytes()
+}
+
+fn decode_expected(payload: &[u8]) -> Result<ExpectedRttLearner, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let window_days = r.u32()?;
+    if window_days < 1 {
+        return Err(CodecError::Invalid("expected-RTT window must be >= 1 day"));
+    }
+    let day_cap = r.u64()? as usize;
+    let latest_day = r.u32()?;
+    let mut s = [0u64; 4];
+    for word in &mut s {
+        *word = r.u64()?;
+    }
+    let spare = r.opt_f64()?;
+    let map = get_map(&mut r, 12, get_rtt_key, |r| {
+        let n = r.len(12)?;
+        let mut series: VecDeque<(u32, Vec<f64>)> = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let day = r.u32()?;
+            let m = r.len(8)?;
+            let mut values = Vec::with_capacity(m);
+            for _ in 0..m {
+                values.push(r.f64()?);
+            }
+            series.push_back((day, values));
+        }
+        Ok(series)
+    })?;
+    let counts = get_map(&mut r, 12, get_rtt_key, |r| r.u64())?;
+    let cache = get_map(&mut r, 12, get_rtt_key, |r| {
+        let day = r.u32()?;
+        Ok((day, r.opt_f64()?))
+    })?;
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in expected section"));
+    }
+    Ok(ExpectedRttLearner {
+        window_days,
+        day_cap,
+        map,
+        counts,
+        cache: std::cell::RefCell::new(cache),
+        rng: DetRng::from_state(s, spare),
+        latest_day,
+    })
+}
+
+fn encode_durations(d: &DurationHistory) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(d.cap as u64);
+    put_map(
+        &mut w,
+        &d.per_path,
+        |w, p| w.put_u32(p.0),
+        |w, q| {
+            w.put_len(q.len());
+            for v in q {
+                w.put_u32(*v);
+            }
+        },
+    );
+    w.put_len(d.global.len());
+    for v in &d.global {
+        w.put_u32(*v);
+    }
+    w.into_bytes()
+}
+
+fn decode_durations(payload: &[u8]) -> Result<DurationHistory, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let cap = r.u64()? as usize;
+    let per_path = get_map(
+        &mut r,
+        12,
+        |r| Ok(PathId(r.u32()?)),
+        |r| {
+            let n = r.len(4)?;
+            let mut q = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                q.push_back(r.u32()?);
+            }
+            Ok(q)
+        },
+    )?;
+    let n = r.len(4)?;
+    let mut global = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        global.push_back(r.u32()?);
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in durations section"));
+    }
+    Ok(DurationHistory {
+        per_path,
+        global,
+        cap,
+    })
+}
+
+fn encode_client_hist(h: &ClientCountHistory) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(h.window_days);
+    put_map(
+        &mut w,
+        &h.map,
+        |w, (p, slot)| {
+            w.put_u32(p.0);
+            w.put_u16(*slot);
+        },
+        |w, q| {
+            w.put_len(q.len());
+            for (day, count) in q {
+                w.put_u32(*day);
+                w.put_u64(*count);
+            }
+        },
+    );
+    w.into_bytes()
+}
+
+fn decode_client_hist(payload: &[u8]) -> Result<ClientCountHistory, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let window_days = r.u32()?;
+    if window_days < 1 {
+        return Err(CodecError::Invalid("client-count window must be >= 1 day"));
+    }
+    let map = get_map(
+        &mut r,
+        14,
+        |r| Ok((PathId(r.u32()?), r.u16()?)),
+        |r| {
+            let n = r.len(12)?;
+            let mut q = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                let day = r.u32()?;
+                let count = r.u64()?;
+                q.push_back((day, count));
+            }
+            Ok(q)
+        },
+    )?;
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in client section"));
+    }
+    Ok(ClientCountHistory { window_days, map })
+}
+
+fn encode_incidents(open: &OpenIncidents, last_bucket: Option<TimeBucket>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match last_bucket {
+        None => w.put_u8(0),
+        Some(b) => {
+            w.put_u8(1);
+            w.put_u32(b.0);
+        }
+    }
+    put_map(&mut w, open, put_loc_path, |w, inc| {
+        w.put_u32(inc.start.0);
+        w.put_u32(inc.buckets);
+    });
+    w.into_bytes()
+}
+
+type OpenIncidents = HashMap<(CloudLocId, PathId), OpenIncident>;
+
+fn decode_incidents(payload: &[u8]) -> Result<(OpenIncidents, Option<TimeBucket>), CodecError> {
+    let mut r = ByteReader::new(payload);
+    let last_bucket = match r.u8()? {
+        0 => None,
+        1 => Some(TimeBucket(r.u32()?)),
+        _ => return Err(CodecError::Invalid("option byte not 0/1")),
+    };
+    let open = get_map(&mut r, 14, get_loc_path, |r| {
+        Ok(OpenIncident {
+            start: TimeBucket(r.u32()?),
+            buckets: r.u32()?,
+        })
+    })?;
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in incident section"));
+    }
+    Ok((open, last_bucket))
+}
+
+fn encode_baselines(b: &BaselineStore) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_map(&mut w, &b.map, put_loc_path, |w, q| {
+        w.put_len(q.len());
+        for e in q {
+            w.put_u64(e.at.secs());
+            w.put_len(e.contributions.len());
+            for (asn, ms) in &e.contributions {
+                w.put_u32(asn.0);
+                w.put_f64(*ms);
+            }
+        }
+    });
+    w.into_bytes()
+}
+
+fn decode_baselines(payload: &[u8]) -> Result<BaselineStore, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let map = get_map(&mut r, 14, get_loc_path, |r| {
+        let n = r.len(16)?;
+        let mut q = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let at = SimTime(r.u64()?);
+            let m = r.len(12)?;
+            let mut contributions = Vec::with_capacity(m);
+            for _ in 0..m {
+                let asn = Asn(r.u32()?);
+                contributions.push((asn, r.f64()?));
+            }
+            q.push_back(BaselineEntry { contributions, at });
+        }
+        Ok(q)
+    })?;
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in baseline section"));
+    }
+    Ok(BaselineStore { map })
+}
+
+fn encode_scheduler(
+    period_secs: u64,
+    churn_triggered: bool,
+    last: &HashMap<(CloudLocId, PathId), SimTime>,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(period_secs);
+    w.put_bool(churn_triggered);
+    put_map(&mut w, last, put_loc_path, |w, t| w.put_u64(t.secs()));
+    w.into_bytes()
+}
+
+type SchedulerParts = (u64, bool, HashMap<(CloudLocId, PathId), SimTime>);
+
+fn decode_scheduler(payload: &[u8]) -> Result<SchedulerParts, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let period_secs = r.u64()?;
+    if period_secs == 0 {
+        return Err(CodecError::Invalid("scheduler period must be positive"));
+    }
+    let churn_triggered = r.bool()?;
+    let last = get_map(&mut r, 14, get_loc_path, |r| Ok(SimTime(r.u64()?)))?;
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in scheduler section"));
+    }
+    Ok((period_secs, churn_triggered, last))
+}
+
+fn encode_engine_misc(s: &SnapshotState) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_map(&mut w, &s.rep_p24, put_loc_path, |w, p| {
+        w.put_u32(p.block())
+    });
+    put_map(&mut w, &s.baseline_p24, put_loc_path, |w, p| {
+        w.put_u32(p.block())
+    });
+    let mut prefixes: Vec<(CloudLocId, IpPrefix)> = s.monitored_prefixes.iter().copied().collect();
+    prefixes.sort_unstable_by_key(|(loc, p)| (loc.0, p.base(), p.len()));
+    w.put_len(prefixes.len());
+    for (loc, p) in prefixes {
+        w.put_u16(loc.0);
+        w.put_u32(p.base());
+        w.put_u8(p.len());
+    }
+    put_map(&mut w, &s.episodes, put_loc_path, |w, (start, last)| {
+        w.put_u32(start.0);
+        w.put_u32(last.0);
+    });
+    let mut failed: Vec<(CloudLocId, PathId)> = s.bg_failed_once.iter().copied().collect();
+    failed.sort_unstable();
+    w.put_len(failed.len());
+    for k in failed {
+        put_loc_path(&mut w, &k);
+    }
+    w.put_u64(s.churn_cursor.secs());
+    w.put_u64(s.on_demand_probes_total);
+    w.put_u64(s.background_probes_total);
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::WorldBackend;
+    use crate::pipeline::BlameItConfig;
+    use crate::thresholds::BadnessThresholds;
+    use blameit_simnet::{TimeRange, World, WorldConfig};
+
+    fn small_engine() -> (BlameItEngine, World) {
+        let w = World::new(WorldConfig::tiny(2, 42));
+        let th = BadnessThresholds::default_for(&w);
+        let mut cfg = BlameItConfig::new(th);
+        cfg.parallelism = 1;
+        let mut engine = BlameItEngine::new(cfg);
+        let backend = WorldBackend::new(&w);
+        engine.warmup(
+            &backend,
+            TimeRange::new(SimTime::ZERO, SimTime::from_days(1)),
+            4,
+        );
+        (engine, w)
+    }
+
+    #[test]
+    fn encode_is_canonical_and_roundtrips() {
+        let (mut engine, w) = small_engine();
+        let mut backend = WorldBackend::new(&w);
+        engine.tick(&mut backend, SimTime::from_days(1).bucket());
+        let a = encode(&engine, 1);
+        let b = encode(&engine, 1);
+        assert_eq!(a, b, "same state must encode identically");
+
+        let state = decode(&a).unwrap();
+        assert_eq!(state.ticks_done, 1);
+        // Applying onto a config-identical fresh engine and re-encoding
+        // reproduces the exact bytes: the snapshot captures everything
+        // it claims to.
+        let mut fresh = BlameItEngine::new(engine.config().clone());
+        state.apply(&mut fresh).unwrap();
+        assert_eq!(encode(&fresh, 1), a);
+    }
+
+    #[test]
+    fn apply_refuses_wrong_identity() {
+        let (engine, _w) = small_engine();
+        let bytes = encode(&engine, 0);
+        let mut cfg = engine.config().clone();
+        cfg.seed ^= 1;
+        let mut other = BlameItEngine::new(cfg);
+        let err = decode(&bytes).unwrap().apply(&mut other).unwrap_err();
+        assert!(matches!(err, PersistError::ConfigMismatch(_)), "{err}");
+
+        let mut cfg = engine.config().clone();
+        cfg.tick_buckets += 1;
+        let mut other = BlameItEngine::new(cfg);
+        let err = decode(&bytes).unwrap().apply(&mut other).unwrap_err();
+        assert!(matches!(err, PersistError::ConfigMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let (engine, _w) = small_engine();
+        let bytes = encode(&engine, 3);
+        // Flipping any single bit anywhere must make decode error —
+        // stride through the file to keep the test fast on big states.
+        let stride = (bytes.len() / 257).max(1);
+        for i in (0..bytes.len()).step_by(stride) {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                assert!(
+                    decode(&corrupt).is_err(),
+                    "bit {bit} of byte {i} flipped undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let (engine, _w) = small_engine();
+        let bytes = encode(&engine, 0);
+        for cut in [0, 1, 6, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is also rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode(&extended).is_err());
+    }
+}

@@ -1,0 +1,489 @@
+//! Snapshot files on disk: atomic writes, retention, and `fsck`.
+//!
+//! Snapshots are named `snapshot-<ticks_done, zero-padded>.snap` and
+//! written atomically: encode to `.snapshot-<n>.tmp`, fsync, rename
+//! over, fsync the directory. A crash mid-write leaves only a `.tmp`
+//! file that loaders never look at. The last
+//! [`StateStore::DEFAULT_RETAIN`] snapshots are kept so a corrupted
+//! newest file falls back to an older one (the journal is never
+//! truncated, so older snapshots can always replay forward).
+
+use super::{journal, snapshot};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const SNAP_PREFIX: &str = "snapshot-";
+const SNAP_SUFFIX: &str = ".snap";
+const TMP_SUFFIX: &str = ".tmp";
+
+/// A state directory holding snapshots (and the journal).
+#[derive(Clone, Debug)]
+pub struct StateStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl StateStore {
+    /// Snapshots kept on disk (newest N).
+    pub const DEFAULT_RETAIN: usize = 3;
+
+    /// Opens (creating if needed) the state directory.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<StateStore> {
+        Self::with_retain(dir, Self::DEFAULT_RETAIN)
+    }
+
+    /// Opens with a custom retention count (≥ 1).
+    pub fn with_retain(dir: impl Into<PathBuf>, retain: usize) -> std::io::Result<StateStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(StateStore {
+            dir,
+            retain: retain.max(1),
+        })
+    }
+
+    /// The directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The final path of the snapshot taken after `ticks_done` ticks.
+    pub fn snapshot_path(&self, ticks_done: u64) -> PathBuf {
+        self.dir
+            .join(format!("{SNAP_PREFIX}{ticks_done:010}{SNAP_SUFFIX}"))
+    }
+
+    /// Every snapshot on disk as `(ticks_done, path)`, ascending.
+    pub fn list_snapshots(&self) -> std::io::Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(tick) = parse_snapshot_name(name) {
+                out.push((tick, entry.path()));
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Leftover `.tmp` files (crash residue; harmless but reportable).
+    pub fn list_tmp_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(TMP_SUFFIX) && name.starts_with('.') {
+                out.push(entry.path());
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Writes a snapshot atomically (temp + fsync + rename + dir
+    /// fsync) and prunes beyond the retention count.
+    pub fn write_snapshot(&self, ticks_done: u64, bytes: &[u8]) -> std::io::Result<PathBuf> {
+        let tmp = self.tmp_path(ticks_done);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        let path = self.snapshot_path(ticks_done);
+        fs::rename(&tmp, &path)?;
+        // Persist the rename itself: fsync the directory (a no-op on
+        // platforms where directories cannot be opened).
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// Writes only a prefix of the snapshot's temp file and *never*
+    /// renames — the kill-point harness's half-written snapshot. The
+    /// previous snapshot remains the newest valid one.
+    pub fn write_snapshot_torn(
+        &self,
+        ticks_done: u64,
+        bytes: &[u8],
+        fraction: f64,
+    ) -> std::io::Result<PathBuf> {
+        let tmp = self.tmp_path(ticks_done);
+        let n = ((bytes.len() as f64 * fraction) as usize).clamp(1, bytes.len().saturating_sub(1));
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes[..n])?;
+        Ok(tmp)
+    }
+
+    /// Removes every blameit-owned file in the directory — snapshots,
+    /// leftover temp files, the journal — so a fresh (non-resume) run
+    /// can reuse it without tripping over another run's identity.
+    /// Foreign files are left alone. Returns the number removed.
+    pub fn wipe(&self) -> std::io::Result<usize> {
+        let mut removed = 0usize;
+        for (_, path) in self.list_snapshots()? {
+            fs::remove_file(path)?;
+            removed += 1;
+        }
+        for path in self.list_tmp_files()? {
+            fs::remove_file(path)?;
+            removed += 1;
+        }
+        let journal = journal::journal_path(&self.dir);
+        if journal.exists() {
+            fs::remove_file(journal)?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    fn tmp_path(&self, ticks_done: u64) -> PathBuf {
+        self.dir
+            .join(format!(".{SNAP_PREFIX}{ticks_done:010}{TMP_SUFFIX}"))
+    }
+
+    fn prune(&self) -> std::io::Result<()> {
+        let snaps = self.list_snapshots()?;
+        if snaps.len() > self.retain {
+            for (_, path) in &snaps[..snaps.len() - self.retain] {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix(SNAP_PREFIX)?
+        .strip_suffix(SNAP_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// One fsck finding.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum FsckSeverity {
+    /// Informational (healthy file).
+    Ok,
+    /// Survivable oddity (crash residue recovery handles).
+    Warning,
+    /// Corruption or an invariant violation.
+    Error,
+}
+
+/// Human-readable integrity report for a state directory.
+#[derive(Debug)]
+pub struct FsckReport {
+    /// The directory checked.
+    pub dir: PathBuf,
+    /// One `(severity, message)` per finding, in check order.
+    pub findings: Vec<(FsckSeverity, String)>,
+    /// Snapshot files examined.
+    pub snapshots_checked: usize,
+    /// Valid journal records found.
+    pub journal_records: u64,
+}
+
+impl FsckReport {
+    /// True when no finding is an error (warnings allowed — recovery
+    /// handles crash residue by design).
+    pub fn ok(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|(s, _)| *s == FsckSeverity::Error)
+            .count()
+    }
+
+    fn push(&mut self, sev: FsckSeverity, msg: impl Into<String>) {
+        self.findings.push((sev, msg.into()));
+    }
+
+    /// The full report as display text.
+    pub fn render(&self) -> String {
+        let mut out = format!("fsck {}\n", self.dir.display());
+        for (sev, msg) in &self.findings {
+            let tag = match sev {
+                FsckSeverity::Ok => "ok   ",
+                FsckSeverity::Warning => "warn ",
+                FsckSeverity::Error => "ERROR",
+            };
+            out.push_str(&format!("  {tag} {msg}\n"));
+        }
+        let errors = self.errors();
+        out.push_str(&format!(
+            "{} snapshot(s), {} journal record(s), {} error(s): {}\n",
+            self.snapshots_checked,
+            self.journal_records,
+            errors,
+            if errors == 0 { "CLEAN" } else { "CORRUPT" }
+        ));
+        out
+    }
+}
+
+/// Validates every snapshot/journal invariant in `dir`:
+///
+/// * each `snapshot-*.snap` decodes fully (magic, version, every
+///   section CRC, structural parse) and its filename matches the
+///   `ticks_done` inside;
+/// * all snapshots and the journal agree on one seed;
+/// * journal records have valid CRCs and sequential tick indices, and
+///   any trailing bytes are at most one torn record (crash residue —
+///   warning), not a deeper unparseable region (error);
+/// * the journal reaches at least as far as every snapshot, so replay
+///   has the records it needs;
+/// * leftover `.tmp` files are reported (warning).
+pub fn fsck(dir: &Path) -> FsckReport {
+    let mut report = FsckReport {
+        dir: dir.to_path_buf(),
+        findings: Vec::new(),
+        snapshots_checked: 0,
+        journal_records: 0,
+    };
+    if !dir.is_dir() {
+        report.push(FsckSeverity::Error, "state directory does not exist");
+        return report;
+    }
+    let store = match StateStore::create(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(FsckSeverity::Error, format!("cannot open directory: {e}"));
+            return report;
+        }
+    };
+
+    let mut seeds: Vec<(String, u64)> = Vec::new();
+    let mut max_snapshot_ticks = 0u64;
+    let snaps = store.list_snapshots().unwrap_or_default();
+    for (tick, path) in &snaps {
+        report.snapshots_checked += 1;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                report.push(FsckSeverity::Error, format!("{name}: unreadable: {e}"));
+                continue;
+            }
+        };
+        match snapshot::decode(&bytes) {
+            Ok(state) => {
+                if state.ticks_done != *tick {
+                    report.push(
+                        FsckSeverity::Error,
+                        format!(
+                            "{name}: filename says tick {tick} but contents say {}",
+                            state.ticks_done
+                        ),
+                    );
+                } else {
+                    report.push(
+                        FsckSeverity::Ok,
+                        format!(
+                            "{name}: valid ({} bytes, seed {:#x}, tick {})",
+                            bytes.len(),
+                            state.seed,
+                            state.ticks_done
+                        ),
+                    );
+                }
+                max_snapshot_ticks = max_snapshot_ticks.max(state.ticks_done);
+                seeds.push((name, state.seed));
+            }
+            Err(e) => {
+                report.push(FsckSeverity::Error, format!("{name}: corrupt: {e}"));
+            }
+        }
+    }
+    if snaps.is_empty() {
+        report.push(FsckSeverity::Warning, "no snapshots found");
+    }
+
+    match journal::scan(dir) {
+        Ok(None) => report.push(FsckSeverity::Warning, "no journal found"),
+        Ok(Some(scan)) => {
+            report.journal_records = scan.records.len() as u64;
+            seeds.push((journal::JOURNAL_FILE.to_string(), scan.seed));
+            if scan.trailing_bytes == 0 {
+                report.push(
+                    FsckSeverity::Ok,
+                    format!(
+                        "{}: {} record(s), clean tail",
+                        journal::JOURNAL_FILE,
+                        scan.records.len()
+                    ),
+                );
+            } else if scan.trailing_bytes <= journal::RECORD_BYTES {
+                report.push(
+                    FsckSeverity::Warning,
+                    format!(
+                        "{}: torn tail ({} byte(s) of crash residue after record {}; recovery truncates it)",
+                        journal::JOURNAL_FILE,
+                        scan.trailing_bytes,
+                        scan.records.len()
+                    ),
+                );
+            } else {
+                report.push(
+                    FsckSeverity::Error,
+                    format!(
+                        "{}: {} unparseable byte(s) after record {} — more than one torn record",
+                        journal::JOURNAL_FILE,
+                        scan.trailing_bytes,
+                        scan.records.len()
+                    ),
+                );
+            }
+            if (scan.records.len() as u64) < max_snapshot_ticks {
+                report.push(
+                    FsckSeverity::Error,
+                    format!(
+                        "journal has {} record(s) but a snapshot claims {} completed tick(s)",
+                        scan.records.len(),
+                        max_snapshot_ticks
+                    ),
+                );
+            }
+        }
+        Err(e) => report.push(
+            FsckSeverity::Error,
+            format!("{}: invalid header: {e}", journal::JOURNAL_FILE),
+        ),
+    }
+
+    if seeds.len() > 1 {
+        let first = seeds[0].1;
+        for (name, seed) in &seeds[1..] {
+            if *seed != first {
+                report.push(
+                    FsckSeverity::Error,
+                    format!(
+                        "seed mismatch: {} has {:#x}, {} has {:#x}",
+                        seeds[0].0, first, name, seed
+                    ),
+                );
+            }
+        }
+    }
+
+    for tmp in store.list_tmp_files().unwrap_or_default() {
+        report.push(
+            FsckSeverity::Warning,
+            format!(
+                "leftover temp file {} (crash residue; never loaded)",
+                tmp.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            ),
+        );
+    }
+    report
+}
+
+/// Atomic-write helper used by callers outside the snapshot flow
+/// (kept here so every durable file in the state dir goes through the
+/// same temp-fsync-rename discipline).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp-write");
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("blameit-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn retention_prunes_oldest() {
+        let dir = tmp_dir("retain");
+        let store = StateStore::with_retain(&dir, 2).unwrap();
+        for t in [4u64, 8, 12] {
+            store.write_snapshot(t, b"not-a-real-snapshot").unwrap();
+        }
+        let ticks: Vec<u64> = store
+            .list_snapshots()
+            .unwrap()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(ticks, vec![8, 12]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_leaves_only_tmp() {
+        let dir = tmp_dir("torn");
+        let store = StateStore::create(&dir).unwrap();
+        store.write_snapshot_torn(4, &[1u8; 100], 0.5).unwrap();
+        assert!(store.list_snapshots().unwrap().is_empty());
+        let tmps = store.list_tmp_files().unwrap();
+        assert_eq!(tmps.len(), 1);
+        assert_eq!(std::fs::metadata(&tmps[0]).unwrap().len(), 50);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_missing_dir_is_error() {
+        let report = fsck(Path::new("/nonexistent/blameit-state"));
+        assert!(!report.ok());
+        assert!(report.render().contains("does not exist"));
+    }
+
+    #[test]
+    fn wipe_removes_only_blameit_files() {
+        let dir = tmp_dir("wipe");
+        let store = StateStore::create(&dir).unwrap();
+        store.write_snapshot(4, b"x").unwrap();
+        store.write_snapshot_torn(8, &[0u8; 16], 0.5).unwrap();
+        std::fs::write(journal::journal_path(&dir), b"j").unwrap();
+        std::fs::write(dir.join("keep.txt"), b"mine").unwrap();
+        assert_eq!(store.wipe().unwrap(), 3);
+        assert!(store.list_snapshots().unwrap().is_empty());
+        assert!(!journal::journal_path(&dir).exists());
+        assert!(dir.join("keep.txt").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_flags_garbage_snapshot() {
+        let dir = tmp_dir("fsck");
+        let store = StateStore::create(&dir).unwrap();
+        store.write_snapshot(4, b"garbage-bytes").unwrap();
+        let report = fsck(&dir);
+        assert!(!report.ok());
+        assert!(report.render().contains("corrupt"), "{}", report.render());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -72,6 +72,12 @@ pub struct BlameItConfig {
     pub baseline_max_age_secs: u64,
     /// Seed for the expected-RTT reservoir.
     pub seed: u64,
+    /// Directory for durable engine state (snapshots + tick journal).
+    /// `None` disables persistence entirely.
+    pub state_dir: Option<std::path::PathBuf>,
+    /// Write a snapshot every this-many completed ticks (journal
+    /// records are written every tick regardless).
+    pub snapshot_every_ticks: u32,
     /// Worker threads for the sharded tick. `1` runs the exact legacy
     /// single-threaded path inline; any value produces byte-identical
     /// `TickOutput` (shard outputs merge under a canonical sort).
@@ -96,6 +102,8 @@ impl BlameItConfig {
             probe_deadline_budget_secs: 600,
             baseline_max_age_secs: 4 * 86_400,
             seed: 0x0B1A_3E17,
+            state_dir: None,
+            snapshot_every_ticks: 4,
             parallelism: crate::shard::default_parallelism(),
         }
     }
@@ -177,36 +185,37 @@ const EPISODE_GAP_BUCKETS: u32 = 96;
 /// The BlameIt engine: all state for continuous operation.
 #[derive(Clone, Debug)]
 pub struct BlameItEngine {
-    cfg: BlameItConfig,
-    expected: ExpectedRttLearner,
-    durations: DurationHistory,
-    client_hist: ClientCountHistory,
-    incidents: IncidentTracker<(CloudLocId, PathId)>,
-    baselines: BaselineStore,
-    scheduler: BackgroundScheduler,
+    pub(crate) cfg: BlameItConfig,
+    pub(crate) expected: ExpectedRttLearner,
+    pub(crate) durations: DurationHistory,
+    pub(crate) client_hist: ClientCountHistory,
+    pub(crate) incidents: IncidentTracker<(CloudLocId, PathId)>,
+    pub(crate) baselines: BaselineStore,
+    pub(crate) scheduler: BackgroundScheduler,
     /// Representative probe target per (loc, path), refreshed from
     /// observed traffic.
-    rep_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    pub(crate) rep_p24: HashMap<(CloudLocId, PathId), Prefix24>,
     /// The /24 each stored baseline was measured toward — on-demand
     /// probes must target the same /24 for a comparable diff.
-    baseline_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    pub(crate) baseline_p24: HashMap<(CloudLocId, PathId), Prefix24>,
     /// (location, announced prefix) pairs observed carrying traffic;
     /// churn events for anything else are not ours to probe.
-    monitored_prefixes: std::collections::HashSet<(CloudLocId, blameit_topology::IpPrefix)>,
+    pub(crate) monitored_prefixes:
+        std::collections::HashSet<(CloudLocId, blameit_topology::IpPrefix)>,
     /// Badness *episodes* per (loc, path): (first bad bucket, last bad
     /// bucket), where runs separated by less than [`EPISODE_GAP_BUCKETS`]
     /// merge. Incidents fragment overnight when traffic (and thus
     /// quartets) thins out; the diff must still compare against a
     /// baseline predating the whole episode, and background probing
     /// must not re-baseline inside one.
-    episodes: HashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
+    pub(crate) episodes: HashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
     /// (loc, path) pairs whose last background refresh failed and has
     /// already been rescheduled once — bounds the retry to one, so a
     /// permanently-unanswerable target degrades to its normal period
     /// instead of probing every tick.
-    bg_failed_once: HashSet<(CloudLocId, PathId)>,
-    churn_cursor: SimTime,
-    metrics: EngineMetrics,
+    pub(crate) bg_failed_once: HashSet<(CloudLocId, PathId)>,
+    pub(crate) churn_cursor: SimTime,
+    pub(crate) metrics: EngineMetrics,
     /// Lifetime probe counters.
     pub on_demand_probes_total: u64,
     /// Lifetime background probe count.

@@ -1,0 +1,233 @@
+//! Property tests for the snapshot codec, driven by the in-repo
+//! seeded harness in `blameit_topology::testkit`.
+//!
+//! Three invariants, over *arbitrary* learner/history states:
+//!
+//! 1. **Canonical round-trip** — `to_bytes → decode → to_bytes` is the
+//!    identity on bytes (so state-equal engines persist identically,
+//!    regardless of hash-map iteration order), and the decoded learner
+//!    answers lookups exactly like the original.
+//! 2. **Bit-flip fuzz** — flipping any single bit of a valid snapshot
+//!    makes `decode` return an error; it must never panic and never
+//!    silently accept.
+//! 3. **Truncation fuzz** — every proper prefix of a valid snapshot is
+//!    rejected as an error, never a panic.
+
+use blameit::persist::snapshot::{decode, SnapshotState};
+use blameit::{
+    BaselineStore, ClientCountHistory, DurationHistory, ExpectedRttLearner, MiddleKey,
+    OpenIncident, RttKey,
+};
+use blameit_simnet::{SimTime, TimeBucket};
+use blameit_topology::rng::DetRng;
+use blameit_topology::testkit::check;
+use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24};
+use std::collections::{HashMap, HashSet};
+
+/// A random expected-RTT series key, covering every variant.
+fn arbitrary_rtt_key(rng: &mut DetRng) -> RttKey {
+    let mobile = rng.chance(0.5);
+    match rng.below(5) {
+        0 => RttKey::Cloud(CloudLocId(rng.below(30) as u16), mobile),
+        1 => RttKey::Middle(MiddleKey::Path(PathId(rng.below(50) as u32)), mobile),
+        2 => RttKey::Middle(
+            MiddleKey::Atom(PathId(rng.below(50) as u32), Asn(rng.below(500) as u32)),
+            mobile,
+        ),
+        3 => RttKey::Middle(
+            MiddleKey::Prefix(
+                PathId(rng.below(50) as u32),
+                IpPrefix::new(rng.next_u64() as u32, rng.below(33) as u8),
+            ),
+            mobile,
+        ),
+        _ => RttKey::Middle(
+            MiddleKey::AsMetro(Asn(rng.below(500) as u32), MetroId(rng.below(40) as u16)),
+            mobile,
+        ),
+    }
+}
+
+/// An arbitrary learner: random window, random observation stream in
+/// non-decreasing day order, with `expected()` lookups interleaved so
+/// the median cache holds entries frozen at *different* fill times —
+/// the part of the state that cannot be recomputed from the
+/// reservoirs.
+fn arbitrary_learner(rng: &mut DetRng) -> (ExpectedRttLearner, Vec<RttKey>) {
+    let mut learner = ExpectedRttLearner::with_window(rng.range_u64(1, 20) as u32, rng.next_u64());
+    let keys: Vec<RttKey> = (0..rng.range_u64(1, 12))
+        .map(|_| arbitrary_rtt_key(rng))
+        .collect();
+    let mut day = 0u32;
+    for _ in 0..rng.range_u64(1, 400) {
+        if rng.chance(0.02) {
+            day += rng.below(4) as u32;
+        }
+        let key = *rng.pick(&keys);
+        learner.observe(key, day, rng.range_f64(1.0, 500.0));
+        if rng.chance(0.1) {
+            // Freeze this key's median at the current mid-day view.
+            let _ = learner.expected(*rng.pick(&keys));
+        }
+    }
+    (learner, keys)
+}
+
+fn arbitrary_durations(rng: &mut DetRng) -> DurationHistory {
+    let mut d = DurationHistory::new();
+    for _ in 0..rng.range_u64(0, 600) {
+        d.record(PathId(rng.below(20) as u32), rng.range_u64(1, 300) as u32);
+    }
+    d
+}
+
+fn arbitrary_client_hist(rng: &mut DetRng) -> ClientCountHistory {
+    let mut h = ClientCountHistory::with_window(rng.range_u64(1, 5) as u32);
+    for _ in 0..rng.range_u64(0, 300) {
+        h.record(
+            PathId(rng.below(20) as u32),
+            TimeBucket(rng.below(96 * 20) as u32),
+            rng.below(10_000),
+        );
+    }
+    h
+}
+
+fn loc_path(rng: &mut DetRng) -> (CloudLocId, PathId) {
+    (
+        CloudLocId(rng.below(30) as u16),
+        PathId(rng.below(50) as u32),
+    )
+}
+
+/// A full snapshot state with arbitrary learner/history contents and
+/// randomized scalars and maps everywhere else the public API reaches.
+fn arbitrary_state(rng: &mut DetRng) -> (SnapshotState, Vec<RttKey>) {
+    let (expected, keys) = arbitrary_learner(rng);
+    let mut incidents_open = HashMap::new();
+    let mut rep_p24 = HashMap::new();
+    let mut episodes = HashMap::new();
+    let mut monitored_prefixes = HashSet::new();
+    let mut bg_failed_once = HashSet::new();
+    let mut scheduler_last = HashMap::new();
+    for _ in 0..rng.below(20) {
+        incidents_open.insert(
+            loc_path(rng),
+            OpenIncident {
+                start: TimeBucket(rng.below(96 * 20) as u32),
+                buckets: rng.below(200) as u32,
+            },
+        );
+        rep_p24.insert(
+            loc_path(rng),
+            Prefix24::from_block(rng.below(1 << 24) as u32),
+        );
+        let start = rng.below(96 * 20) as u32;
+        episodes.insert(
+            loc_path(rng),
+            (TimeBucket(start), TimeBucket(start + rng.below(96) as u32)),
+        );
+        monitored_prefixes.insert((
+            CloudLocId(rng.below(30) as u16),
+            IpPrefix::new(rng.next_u64() as u32, rng.below(33) as u8),
+        ));
+        bg_failed_once.insert(loc_path(rng));
+        scheduler_last.insert(loc_path(rng), SimTime(rng.next_u64() >> 20));
+    }
+    let state = SnapshotState {
+        seed: rng.next_u64(),
+        tick_buckets: rng.range_u64(1, 12) as u32,
+        ticks_done: rng.below(100_000),
+        expected,
+        durations: arbitrary_durations(rng),
+        client_hist: arbitrary_client_hist(rng),
+        incidents_open,
+        incidents_last_bucket: rng
+            .chance(0.7)
+            .then(|| TimeBucket(rng.below(96 * 20) as u32)),
+        baselines: BaselineStore::new(),
+        scheduler_period_secs: rng.range_u64(1, 86_400),
+        scheduler_churn_triggered: rng.chance(0.5),
+        scheduler_last,
+        rep_p24: rep_p24.clone(),
+        baseline_p24: rep_p24,
+        monitored_prefixes,
+        episodes,
+        bg_failed_once,
+        churn_cursor: SimTime(rng.next_u64() >> 20),
+        on_demand_probes_total: rng.below(1 << 40),
+        background_probes_total: rng.below(1 << 40),
+    };
+    (state, keys)
+}
+
+#[test]
+fn snapshot_roundtrip_is_canonical_and_lossless() {
+    check("persist_roundtrip", 48, |rng| {
+        let (state, keys) = arbitrary_state(rng);
+        let bytes = state.to_bytes();
+        let decoded = decode(&bytes).expect("a freshly encoded snapshot must decode");
+        assert_eq!(
+            bytes,
+            decoded.to_bytes(),
+            "decode ∘ encode must be the identity on bytes"
+        );
+        // The decoded learner answers exactly like the original —
+        // including cache entries frozen mid-day.
+        let round = decode(&bytes).unwrap();
+        for key in keys {
+            assert_eq!(state.expected.expected(key), round.expected.expected(key));
+        }
+        assert_eq!(
+            state.durations.total_recorded(),
+            round.durations.total_recorded()
+        );
+        for p in 0..20 {
+            for elapsed in [0u32, 3, 50] {
+                assert_eq!(
+                    state.durations.expected_remaining(PathId(p), elapsed),
+                    round.durations.expected_remaining(PathId(p), elapsed),
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn bit_flip_fuzz_is_rejected_never_panics() {
+    check("persist_bitflip", 24, |rng| {
+        let (state, _) = arbitrary_state(rng);
+        let bytes = state.to_bytes();
+        for _ in 0..64 {
+            let pos = rng.index(bytes.len());
+            let bit = 1u8 << rng.below(8);
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= bit;
+            assert!(
+                decode(&corrupt).is_err(),
+                "flipping bit {bit:#x} at byte {pos}/{} was accepted",
+                bytes.len()
+            );
+        }
+    });
+}
+
+#[test]
+fn truncation_fuzz_is_rejected_never_panics() {
+    check("persist_truncation", 24, |rng| {
+        let (state, _) = arbitrary_state(rng);
+        let bytes = state.to_bytes();
+        for _ in 0..32 {
+            let cut = rng.index(bytes.len());
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes was accepted",
+                bytes.len()
+            );
+        }
+        // And a few bytes of appended garbage is also rejected.
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0xAB; 3]);
+        assert!(decode(&extended).is_err());
+    });
+}

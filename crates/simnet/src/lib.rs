@@ -22,6 +22,9 @@
 //! * [`chaos`] — seeded measurement-plane fault plans (probe timeouts,
 //!   truncated traceroutes, late/duplicated churn, dropped batches) for
 //!   the chaos test suite and the `ChaosBackend` decorator.
+//! * [`crash`] — seeded process-kill plans for the persistence layer's
+//!   kill-point crash harness (torn journal records, half-written
+//!   snapshots).
 //! * [`measure`] — RTT records and quartet observations.
 //! * [`traceroute`] — simulated per-AS-hop traceroutes (§5.2).
 //! * [`collector`] — bucket-by-bucket quartet streams and Table-2-style
@@ -38,6 +41,7 @@ pub mod activity;
 pub mod chaos;
 pub mod churn;
 pub mod collector;
+pub mod crash;
 pub mod fault;
 pub mod latency;
 pub mod measure;
@@ -54,6 +58,7 @@ pub use churn::ChurnModel;
 pub use collector::{
     partition_quartets, shard_rng, shard_rngs, DatasetSummary, LocationRecordStream, QuartetStream,
 };
+pub use crash::{CrashPlan, CrashPoint};
 pub use fault::{Fault, FaultId, FaultRates, FaultSchedule, FaultTarget, Segment};
 pub use latency::{LatencyModel, SegRtt};
 pub use measure::{QuartetObs, RttRecord};

@@ -83,6 +83,24 @@ impl DetRng {
         DetRng::from_keys(base, keys)
     }
 
+    /// The generator's full state, for checkpointing: the four xoshiro
+    /// state words plus the cached spare normal variate. Restoring via
+    /// [`DetRng::from_state`] resumes the stream exactly where it left
+    /// off — required for byte-identical replay after a crash.
+    pub fn state(&self) -> ([u64; 4], Option<f64>) {
+        (self.s, self.spare_normal)
+    }
+
+    /// Rebuilds a generator from a state captured by [`DetRng::state`].
+    /// The all-zero state (never produced by a healthy generator) is
+    /// nudged to a fixed non-zero word, mirroring `from_keys`.
+    pub fn from_state(mut s: [u64; 4], spare_normal: Option<f64>) -> DetRng {
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        DetRng { s, spare_normal }
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -416,6 +434,21 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.lognormal(0.0, 0.5) > 0.0);
         }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut r = DetRng::from_keys(99, &[4, 2]);
+        r.normal(); // populate the spare so both state halves matter
+        let (s, spare) = r.state();
+        let mut resumed = DetRng::from_state(s, spare);
+        for _ in 0..64 {
+            assert_eq!(r.next_u64(), resumed.next_u64());
+        }
+        assert_eq!(r.normal().to_bits(), resumed.normal().to_bits());
+        // The all-zero state is nudged, never a stuck generator.
+        let mut z = DetRng::from_state([0; 4], None);
+        assert_ne!(z.next_u64() | z.next_u64() | z.next_u64(), 0);
     }
 
     #[test]

@@ -18,6 +18,9 @@ cargo test --release -q --test parallel_determinism --test golden_output
 echo "==> BLAMEIT_THREADS=8 cargo test --release -q --test chaos_determinism"
 BLAMEIT_THREADS=8 cargo test --release -q --test chaos_determinism
 
+echo "==> BLAMEIT_THREADS=8 cargo test --release -q --test crash_recovery"
+BLAMEIT_THREADS=8 cargo test --release -q --test crash_recovery
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
