@@ -103,7 +103,7 @@ impl ActiveOnlyMonitor {
                 .into_iter()
                 .map(|a| {
                     let mut xs = per_as.remove(&a).unwrap();
-                    xs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                    xs.sort_by(|x, y| x.total_cmp(y));
                     let mid = blameit::stats::quantile_sorted(&xs, 0.5);
                     (a, mid)
                 })

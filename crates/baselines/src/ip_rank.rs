@@ -40,8 +40,7 @@ pub fn rank_by_prefix_count(records: &mut [ImpactRecord]) {
 pub fn rank_by_impact(records: &mut [ImpactRecord]) {
     records.sort_by(|a, b| {
         b.impact
-            .partial_cmp(&a.impact)
-            .unwrap()
+            .total_cmp(&a.impact)
             .then_with(|| (a.loc, a.path).cmp(&(b.loc, b.path)))
     });
 }

@@ -97,8 +97,7 @@ pub fn implicate(
         .collect();
     out.sort_by(|a, b| {
         b.badness_rate()
-            .partial_cmp(&a.badness_rate())
-            .unwrap()
+            .total_cmp(&a.badness_rate())
             .then_with(|| a.attribute.cmp(&b.attribute))
     });
     out

@@ -83,7 +83,7 @@ pub fn middle_issues(world: &World, range: TimeRange) -> Vec<OracleIssue> {
         }
         let loc = *per_loc
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
             .map(|(l, _)| l)
             .unwrap();
         out.push(OracleIssue {

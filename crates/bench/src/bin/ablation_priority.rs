@@ -67,7 +67,7 @@ fn main() {
                         .ground_truth(p.issue.loc, client, p.issue.bucket.mid())
                         .middle_infl
                         .iter()
-                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
                         .map(|m| m.2)
                 });
             if let Some(f) = fault {
@@ -105,12 +105,7 @@ fn main() {
 
     // Impact-ranked.
     let mut by_estimate = detected.clone();
-    by_estimate.sort_by(|a, b| {
-        estimates[b]
-            .partial_cmp(&estimates[a])
-            .unwrap()
-            .then(a.cmp(b))
-    });
+    by_estimate.sort_by(|a, b| estimates[b].total_cmp(&estimates[a]).then(a.cmp(b)));
     // Detection order.
     let mut by_detection = detected.clone();
     by_detection.sort_by_key(|f| (first_detect[f], *f));
@@ -125,7 +120,7 @@ fn main() {
     random_cov /= 20.0;
     // Oracle ceiling for this budget.
     let mut by_truth: Vec<FaultId> = oracle.keys().copied().collect();
-    by_truth.sort_by(|a, b| oracle[b].partial_cmp(&oracle[a]).unwrap().then(a.cmp(b)));
+    by_truth.sort_by(|a, b| oracle[b].total_cmp(&oracle[a]).then(a.cmp(b)));
 
     let ranked_cov = coverage(&by_estimate);
     let fifo_cov = coverage(&by_detection);

@@ -61,7 +61,7 @@ fn ratios(world: &World, grouping: MiddleGrouping, warmup_days: u64, days: u64) 
         .filter(|(n, _)| *n >= 3)
         .map(|(n, ok)| *ok as f64 / *n as f64)
         .collect();
-    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ratios.sort_by(|a, b| a.total_cmp(b));
     ratios
 }
 

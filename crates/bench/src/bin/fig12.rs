@@ -66,7 +66,7 @@ fn main() {
             let fault = gt
                 .middle_infl
                 .iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|m| m.2);
             if let Some(f) = fault {
                 let e = per_issue
@@ -99,7 +99,7 @@ fn main() {
 
     // Oracle ordering CDF.
     let mut by_true: Vec<(FaultId, f64)> = true_product.clone().into_iter().collect();
-    by_true.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    by_true.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let total: f64 = by_true.iter().map(|x| x.1).sum();
     let mut acc = 0.0;
     let curve: Vec<(f64, f64)> = by_true
@@ -124,7 +124,7 @@ fn main() {
 
     // BlameIt's ordering, measured in *true* impact.
     let mut by_est: Vec<(FaultId, f64)> = estimates.iter().map(|(f, e)| (*f, *e)).collect();
-    by_est.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    by_est.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let k = (by_true.len() as f64 * 0.05).ceil() as usize;
     let blameit_top5_impact: f64 = by_est
         .iter()

@@ -45,7 +45,7 @@ fn main() {
         .filter(|(_, (_, tot))| *tot >= 8)
         .map(|(a, (e, t))| (*a, *e as f64 / *t as f64))
         .collect();
-    isps.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    isps.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let isp1 = isps.first().map(|x| x.0);
     let isp2 = isps.last().map(|x| x.0);
 

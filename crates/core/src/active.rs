@@ -112,7 +112,7 @@ pub fn diff_contributions_with_floor(
     let culprit = rows
         .iter()
         .filter(|r| r.delta_ms() >= floor_ms(r.asn))
-        .max_by(|a, b| a.delta_ms().partial_cmp(&b.delta_ms()).unwrap())
+        .max_by(|a, b| a.delta_ms().total_cmp(&b.delta_ms()))
         .map(|r| r.asn);
 
     TracrouteDiffResult { rows, culprit }
@@ -137,7 +137,7 @@ pub fn combine_directional_diffs(
         d.rows
             .iter()
             .filter(|r| r.delta_ms() >= MIN_CULPRIT_DELTA_MS)
-            .max_by(|a, b| a.delta_ms().partial_cmp(&b.delta_ms()).unwrap())
+            .max_by(|a, b| a.delta_ms().total_cmp(&b.delta_ms()))
             .map(|r| (r.asn, r.delta_ms()))
     };
     match (best(forward), best(reverse)) {

@@ -123,8 +123,13 @@ impl BaselineStore {
 
     /// The newest entry of every (location, path) pair — what the
     /// staleness gauges summarize.
+    ///
+    /// Iteration order is the hash map's: the only consumer reduces to
+    /// max/sum/count gauges, which are order-insensitive. Anything that
+    /// emits per-entry output must sort first.
     pub fn iter_newest(&self) -> impl Iterator<Item = ((CloudLocId, PathId), &BaselineEntry)> {
         self.map
+            // lint:allow(unordered-iteration): sole consumer folds into max/sum/count staleness gauges; no per-entry output escapes
             .iter()
             .filter_map(|(k, q)| q.back().map(|e| (*k, e)))
     }

@@ -138,7 +138,7 @@ impl ExpectedRttLearner {
         if all.is_empty() {
             return None;
         }
-        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all.sort_by(|a, b| a.total_cmp(b));
         Some(crate::stats::quantile_sorted(&all, 0.5))
     }
 

@@ -8,8 +8,7 @@
 //! duration history that powers probe prioritization (§5.3).
 
 use blameit_simnet::TimeBucket;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// A completed run of consecutive bad buckets for one key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +46,13 @@ impl OpenIncident {
 
 /// Tracks runs of consecutive bad buckets per key.
 ///
+/// Open incidents live in a `BTreeMap` so that the order in which
+/// incidents *close* (and therefore the order their durations reach the
+/// duration history, the snapshot, and any transcript line) is a pure
+/// function of the keys — never of a hasher seed. This is part of the
+/// determinism contract enforced by `blameit-lint`'s
+/// `unordered-iteration` rule.
+///
 /// ```
 /// use blameit::IncidentTracker;
 /// use blameit_simnet::TimeBucket;
@@ -57,22 +63,22 @@ impl OpenIncident {
 /// assert_eq!(closed[0].buckets, 2);
 /// ```
 #[derive(Clone, Debug)]
-pub struct IncidentTracker<K: Eq + Hash + Clone> {
-    pub(crate) open: HashMap<K, OpenIncident>,
+pub struct IncidentTracker<K: Ord + Clone> {
+    pub(crate) open: BTreeMap<K, OpenIncident>,
     pub(crate) last_bucket: Option<TimeBucket>,
 }
 
-impl<K: Eq + Hash + Clone> Default for IncidentTracker<K> {
+impl<K: Ord + Clone> Default for IncidentTracker<K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Eq + Hash + Clone> IncidentTracker<K> {
+impl<K: Ord + Clone> IncidentTracker<K> {
     /// An empty tracker.
     pub fn new() -> Self {
         IncidentTracker {
-            open: HashMap::new(),
+            open: BTreeMap::new(),
             last_bucket: None,
         }
     }
@@ -96,7 +102,7 @@ impl<K: Eq + Hash + Clone> IncidentTracker<K> {
         self.last_bucket = Some(bucket);
 
         let mut closed = Vec::new();
-        let mut still_bad: HashMap<K, OpenIncident> = HashMap::new();
+        let mut still_bad: BTreeMap<K, OpenIncident> = BTreeMap::new();
         for key in bad_keys {
             // Callers feed one entry per bad quartet; a key repeats for
             // every quartet sharing the segment. Only the first sighting
@@ -136,8 +142,10 @@ impl<K: Eq + Hash + Clone> IncidentTracker<K> {
                 }
             }
         }
-        // Whatever remains in `open` turned good: close it.
-        for (key, inc) in self.open.drain() {
+        // Whatever remains in `open` turned good: close it, in key
+        // order (BTreeMap iteration), after the gap-closes above (which
+        // follow the caller's feed order).
+        for (key, inc) in std::mem::take(&mut self.open) {
             closed.push(Incident {
                 key,
                 start: inc.start,
@@ -148,11 +156,12 @@ impl<K: Eq + Hash + Clone> IncidentTracker<K> {
         closed
     }
 
-    /// Closes everything (end of run). Returns the final incidents.
+    /// Closes everything (end of run). Returns the final incidents,
+    /// ordered by start bucket (ties broken by key: the sort is stable
+    /// and the drain below yields key order).
     pub fn finish(&mut self) -> Vec<Incident<K>> {
-        let mut closed: Vec<Incident<K>> = self
-            .open
-            .drain()
+        let mut closed: Vec<Incident<K>> = std::mem::take(&mut self.open)
+            .into_iter()
             .map(|(key, inc)| Incident {
                 key,
                 start: inc.start,

@@ -37,8 +37,8 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
     }
     let mut sa: Vec<f64> = a.to_vec();
     let mut sb: Vec<f64> = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sb.sort_by(|x, y| x.total_cmp(y));
 
     let (na, nb) = (sa.len(), sb.len());
     let (mut ia, mut ib) = (0usize, 0usize);

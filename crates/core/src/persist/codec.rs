@@ -84,6 +84,7 @@ const CRC_TABLE: [u32; 256] = {
             };
             k += 1;
         }
+        // lint:allow(panic-in-decode): const-eval table build, i ranges over 0..256 by construction — cannot see runtime input
         table[i] = c;
         i += 1;
     }
@@ -94,6 +95,7 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // lint:allow(panic-in-decode): index is masked to 0..=255 and CRC_TABLE has 256 entries — infallible for any input byte
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -209,8 +211,17 @@ impl<'a> ByteReader<'a> {
                 wanted: n,
             });
         }
+        // lint:allow(panic-in-decode): range is in bounds — the remaining() guard above returned Truncated otherwise
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
+        Ok(out)
+    }
+
+    /// Takes exactly `N` bytes as a fixed-size array.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let bytes = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
         Ok(out)
     }
 
@@ -221,17 +232,17 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a little-endian u16.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian u32.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian u64.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads an f64 from its bit pattern.

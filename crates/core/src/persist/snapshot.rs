@@ -27,7 +27,7 @@ use crate::pipeline::BlameItEngine;
 use blameit_simnet::{SimTime, TimeBucket};
 use blameit_topology::rng::DetRng;
 use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 // Section ids, in file order.
 const SEC_IDENTITY: u8 = 1;
@@ -59,7 +59,7 @@ pub struct SnapshotState {
     /// Per-(path, time-of-day) client volumes.
     pub client_hist: ClientCountHistory,
     /// Open incidents at snapshot time.
-    pub incidents_open: HashMap<(CloudLocId, PathId), OpenIncident>,
+    pub incidents_open: BTreeMap<(CloudLocId, PathId), OpenIncident>,
     /// Last bucket the incident tracker saw.
     pub incidents_last_bucket: Option<TimeBucket>,
     /// The background-traceroute baseline store.
@@ -233,21 +233,26 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
     if r.remaining() != 0 {
         return Err(CodecError::Invalid("trailing bytes after last section"));
     }
+    let [p_ident, p_expected, p_durations, p_client, p_incidents, p_baselines, p_scheduler, p_engine] =
+        payloads.as_slice()
+    else {
+        return Err(CodecError::Invalid("wrong section count"));
+    };
 
-    let mut ident = ByteReader::new(payloads[0]);
+    let mut ident = ByteReader::new(p_ident);
     let seed = ident.u64()?;
     let tick_buckets = ident.u32()?;
     let ticks_done = ident.u64()?;
 
-    let expected = decode_expected(payloads[1])?;
-    let durations = decode_durations(payloads[2])?;
-    let client_hist = decode_client_hist(payloads[3])?;
-    let (incidents_open, incidents_last_bucket) = decode_incidents(payloads[4])?;
-    let baselines = decode_baselines(payloads[5])?;
+    let expected = decode_expected(p_expected)?;
+    let durations = decode_durations(p_durations)?;
+    let client_hist = decode_client_hist(p_client)?;
+    let (incidents_open, incidents_last_bucket) = decode_incidents(p_incidents)?;
+    let baselines = decode_baselines(p_baselines)?;
     let (scheduler_period_secs, scheduler_churn_triggered, scheduler_last) =
-        decode_scheduler(payloads[6])?;
+        decode_scheduler(p_scheduler)?;
 
-    let mut e = ByteReader::new(payloads[7]);
+    let mut e = ByteReader::new(p_engine);
     let rep_p24 = get_map(&mut e, 10, get_loc_path, |r| {
         Ok(Prefix24::from_block(get_block(r)?))
     })?;
@@ -307,15 +312,16 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
 // ---- canonical map framing -------------------------------------------------
 
 /// Writes a map as `count · (key · value)…`, sorted by encoded key
-/// bytes — canonical regardless of hash iteration order.
-fn put_map<K, V>(
+/// bytes — canonical regardless of the source container's iteration
+/// order (accepts `&HashMap`, `&BTreeMap`, or any `(&K, &V)` iterator).
+fn put_map<'a, K: 'a, V: 'a>(
     w: &mut ByteWriter,
-    map: &HashMap<K, V>,
+    map: impl IntoIterator<Item = (&'a K, &'a V)>,
     mut put_key: impl FnMut(&mut ByteWriter, &K),
     mut put_val: impl FnMut(&mut ByteWriter, &V),
 ) {
     let mut entries: Vec<(Vec<u8>, Vec<u8>)> = map
-        .iter()
+        .into_iter()
         .map(|(k, v)| {
             let mut kw = ByteWriter::new();
             put_key(&mut kw, k);
@@ -332,21 +338,22 @@ fn put_map<K, V>(
     }
 }
 
-/// Reads a map written by [`put_map`].
-fn get_map<K: std::hash::Hash + Eq, V>(
+/// Reads a map written by [`put_map`] into whatever map type the call
+/// site needs (`HashMap`, `BTreeMap`, …).
+fn get_map<M: FromIterator<(K, V)>, K, V>(
     r: &mut ByteReader<'_>,
     min_entry_bytes: usize,
     mut get_key: impl FnMut(&mut ByteReader<'_>) -> Result<K, CodecError>,
     mut get_val: impl FnMut(&mut ByteReader<'_>) -> Result<V, CodecError>,
-) -> Result<HashMap<K, V>, CodecError> {
+) -> Result<M, CodecError> {
     let n = r.len(min_entry_bytes)?;
-    let mut map = HashMap::with_capacity(n);
+    let mut entries = Vec::with_capacity(n);
     for _ in 0..n {
         let k = get_key(r)?;
         let v = get_val(r)?;
-        map.insert(k, v);
+        entries.push((k, v));
     }
-    Ok(map)
+    Ok(entries.into_iter().collect())
 }
 
 // ---- key/leaf encoders -----------------------------------------------------
@@ -466,7 +473,7 @@ fn encode_expected(l: &ExpectedRttLearner) -> Vec<u8> {
     // recovered engine recomputing the entry from the full map would
     // see a different (later) view of the same day and diverge.
     let cache = l.cache.borrow();
-    put_map(&mut w, &cache, put_rtt_key, |w, (day, value)| {
+    put_map(&mut w, &*cache, put_rtt_key, |w, (day, value)| {
         w.put_u32(*day);
         w.put_opt_f64(*value);
     });
@@ -635,7 +642,7 @@ fn encode_incidents(open: &OpenIncidents, last_bucket: Option<TimeBucket>) -> Ve
     w.into_bytes()
 }
 
-type OpenIncidents = HashMap<(CloudLocId, PathId), OpenIncident>;
+type OpenIncidents = BTreeMap<(CloudLocId, PathId), OpenIncident>;
 
 fn decode_incidents(payload: &[u8]) -> Result<(OpenIncidents, Option<TimeBucket>), CodecError> {
     let mut r = ByteReader::new(payload);

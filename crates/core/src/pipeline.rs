@@ -320,10 +320,12 @@ impl BlameItEngine {
                         e.1 += 1;
                     }
                 }
-                let bad_keys = per_path
+                let mut bad_keys: Vec<(CloudLocId, PathId)> = per_path
                     .into_iter()
                     .filter(|(_, (n, bad))| *n >= 3 && *bad * 2 >= *n)
-                    .map(|(k, _)| k);
+                    .map(|(k, _)| k)
+                    .collect();
+                bad_keys.sort_unstable();
                 for inc in tracker.observe(bucket, bad_keys) {
                     self.durations.record(inc.key.1, inc.buckets);
                 }
@@ -354,7 +356,9 @@ impl BlameItEngine {
                 .or_insert(q.obs.p24);
             self.monitored_prefixes.insert((q.obs.loc, q.info.prefix));
         }
-        for (path, clients) in per_path_clients {
+        let mut per_path_sorted: Vec<(PathId, u64)> = per_path_clients.into_iter().collect();
+        per_path_sorted.sort_unstable();
+        for (path, clients) in per_path_sorted {
             self.client_hist.record(path, bucket, clients);
         }
     }

@@ -75,8 +75,7 @@ pub fn prioritize(
         .collect();
     out.sort_by(|a, b| {
         b.client_time_product
-            .partial_cmp(&a.client_time_product)
-            .unwrap()
+            .total_cmp(&a.client_time_product)
             .then_with(|| (a.issue.loc, a.issue.path).cmp(&(b.issue.loc, b.issue.path)))
     });
     out

@@ -26,7 +26,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&v, q))
 }
 
@@ -63,7 +63,7 @@ pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len() as f64;
     let mut out: Vec<(f64, f64)> = Vec::new();
     for (i, x) in v.iter().enumerate() {

@@ -22,7 +22,7 @@ use blameit_simnet::{SimTime, TimeBucket};
 use blameit_topology::rng::DetRng;
 use blameit_topology::testkit::check;
 use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// A random expected-RTT series key, covering every variant.
 fn arbitrary_rtt_key(rng: &mut DetRng) -> RttKey {
@@ -104,7 +104,7 @@ fn loc_path(rng: &mut DetRng) -> (CloudLocId, PathId) {
 /// randomized scalars and maps everywhere else the public API reaches.
 fn arbitrary_state(rng: &mut DetRng) -> (SnapshotState, Vec<RttKey>) {
     let (expected, keys) = arbitrary_learner(rng);
-    let mut incidents_open = HashMap::new();
+    let mut incidents_open = BTreeMap::new();
     let mut rep_p24 = HashMap::new();
     let mut episodes = HashMap::new();
     let mut monitored_prefixes = HashSet::new();

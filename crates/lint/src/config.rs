@@ -1,0 +1,124 @@
+//! `lint.toml` — the per-module allowlist.
+//!
+//! The file holds one `[allow]` table mapping rule IDs to path-prefix
+//! lists; any file whose workspace-relative path starts with a listed
+//! prefix is exempt from that rule (suppressions are still counted and
+//! reported in `--json`). This is deliberately a tiny TOML subset —
+//! sections, `key = ["a", "b"]` single-line string arrays, `#`
+//! comments — parsed by hand so the linter stays dependency-free.
+//!
+//! ```toml
+//! [allow]
+//! wall-clock = ["crates/obs/", "crates/bench/src/bin/"]
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Parsed allowlist configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// rule id → path prefixes exempt from that rule.
+    pub allow: BTreeMap<String, Vec<String>>,
+}
+
+impl Config {
+    /// True if `path` (workspace-relative, `/`-separated) is exempt
+    /// from `rule`.
+    pub fn allows(&self, rule: &str, path: &str) -> bool {
+        self.allow
+            .get(rule)
+            .is_some_and(|prefixes| prefixes.iter().any(|p| path.starts_with(p.as_str())))
+    }
+
+    /// Parses the `lint.toml` subset. Unknown sections are ignored;
+    /// malformed lines are errors (a silently dropped allowlist entry
+    /// would surface as a confusing violation).
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{}: expected `key = [..]`", idx + 1));
+            };
+            if section != "allow" {
+                continue;
+            }
+            let key = key.trim().trim_matches('"').to_string();
+            let prefixes = parse_string_array(value.trim())
+                .map_err(|e| format!("lint.toml:{}: {}", idx + 1, e))?;
+            cfg.allow.entry(key).or_default().extend(prefixes);
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strips a `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` into its strings.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a `[..]` array, got `{value}`"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let s = item
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{item}`"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allow_sections() {
+        let cfg = Config::parse(
+            "# comment\n[allow]\nwall-clock = [\"crates/obs/\", \"crates/bench/\"] # trailing\n\n[other]\nx = [\"y\"]\n",
+        )
+        .unwrap();
+        assert!(cfg.allows("wall-clock", "crates/obs/src/trace.rs"));
+        assert!(cfg.allows("wall-clock", "crates/bench/src/bin/run_all.rs"));
+        assert!(!cfg.allows("wall-clock", "crates/core/src/pipeline.rs"));
+        assert!(!cfg.allows("float-order", "crates/obs/src/trace.rs"));
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Config::parse("[allow]\nwall-clock = nope\n").is_err());
+        assert!(Config::parse("[allow]\njust words\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_missing_are_fine() {
+        let cfg = Config::parse("").unwrap();
+        assert!(!cfg.allows("wall-clock", "anything.rs"));
+    }
+}

@@ -1,0 +1,540 @@
+//! A small, purpose-built Rust lexer.
+//!
+//! `blameit-lint` needs just enough lexical structure to pattern-match
+//! determinism hazards without false positives from comments, string
+//! literals, or doc text: `Instant::now` inside a doc comment is prose,
+//! inside code it is a violation. A full parser (`syn`) would pull a
+//! proc-macro dependency closure into the workspace; this tokenizer
+//! covers the subset the rules need:
+//!
+//! - line/block comments (nested), with `lint:allow(rule): reason`
+//!   annotations extracted as [`AllowComment`]s rather than discarded;
+//! - string/char/byte/raw-string literals (contents never tokenized);
+//! - raw identifiers (`r#type`), lifetimes vs. char literals;
+//! - attributes, so `#[cfg(test)]` modules and `#[test]` functions can
+//!   be marked and skipped by rules (test code may use `unwrap`, wall
+//!   clocks, etc. freely — the contract binds product code).
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `(`, `[`, …).
+    Punct,
+    /// String, char, byte-string, or raw-string literal.
+    Literal,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// True when the token sits inside a `#[cfg(test)]` module or a
+    /// `#[test]` function body (filled in by [`mark_test_regions`]).
+    pub in_test: bool,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A `lint:allow(<rule>): <reason>` annotation found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowComment {
+    pub rule: String,
+    pub reason: String,
+    /// Line the annotation appears on.
+    pub line: u32,
+}
+
+/// Lexer output for one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<AllowComment>,
+}
+
+/// Tokenizes `src`, extracting allow-annotations and marking test
+/// regions. Never fails: unterminated constructs are consumed to EOF.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    let mut lexed = lx.out;
+    mark_test_regions(&mut lexed.toks);
+    lexed
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_lit(line, col),
+                'b' | 'r' if self.starts_string_prefix() => self.prefixed_lit(line, col),
+                '\'' => self.quote(line, col),
+                c if is_ident_start(c) => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    let c = self.bump().unwrap();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+    }
+
+    /// Does the cursor sit on a `b"`, `r"`, `br"`, `b'`, or `r#"`-style
+    /// literal prefix (as opposed to an identifier starting with b/r)?
+    fn starts_string_prefix(&self) -> bool {
+        let mut i = 0;
+        if self.peek(0) == Some('b') {
+            i = 1;
+        }
+        if self.peek(i) == Some('r') {
+            // br"…", r"…", or raw with hashes: br#…", r#…". `r#ident`
+            // is a raw identifier, so hashes must lead to a quote.
+            let mut j = i + 1;
+            while self.peek(j) == Some('#') {
+                j += 1;
+            }
+            return self.peek(j) == Some('"') && (j > i + 1 || self.peek(i + 1) == Some('"'));
+        }
+        // b"…" or b'…'
+        i == 1 && matches!(self.peek(1), Some('"') | Some('\''))
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.scan_allow(&text, start_line);
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        let mut text_line = self.line;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('\n'), _) => {
+                    self.scan_allow(&text, text_line);
+                    text.clear();
+                    self.bump();
+                    text_line = self.line;
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.scan_allow(&text, text_line);
+    }
+
+    /// Extracts a `lint:allow(<rule>): <reason>` annotation from one
+    /// line of comment text, if present.
+    fn scan_allow(&mut self, text: &str, line: u32) {
+        let Some(at) = text.find("lint:allow(") else {
+            return;
+        };
+        let rest = &text[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            return;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').unwrap_or(after).trim().to_string();
+        self.out.allows.push(AllowComment { rule, reason, line });
+    }
+
+    fn string_lit(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line, col);
+    }
+
+    fn prefixed_lit(&mut self, line: u32, col: u32) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            self.quote(line, col); // b'x'
+            return;
+        }
+        let raw = self.peek(0) == Some('r');
+        if raw {
+            self.bump();
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+                         // Raw string: ends at `"` followed by `hashes` hash marks.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for k in 0..hashes {
+                        if self.peek(k) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.push(TokKind::Literal, String::new(), line, col);
+        } else {
+            self.string_lit(line, col); // b"…"
+        }
+    }
+
+    /// A `'` is either a char literal or a lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump(); // `'`
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: skip the backslash and the
+                // escaped character (which may itself be `'`), then
+                // consume to the closing quote (covers `'\u{1F600}'`).
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Literal, String::new(), line, col);
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char literal; `'a` (no closing quote after
+                // the ident run) is a lifetime.
+                let mut run = 1;
+                while self.peek(run).map(is_ident_continue) == Some(true) {
+                    run += 1;
+                }
+                if self.peek(run) == Some('\'') {
+                    for _ in 0..=run {
+                        self.bump();
+                    }
+                    self.push(TokKind::Literal, String::new(), line, col);
+                } else {
+                    let mut name = String::from("'");
+                    while self.peek(0).map(is_ident_continue) == Some(true) {
+                        name.push(self.bump().unwrap());
+                    }
+                    self.push(TokKind::Lifetime, name, line, col);
+                }
+            }
+            Some(_) => {
+                // `'(' `, `'\u{..}'`, etc.: consume to closing quote.
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Literal, String::new(), line, col);
+            }
+            None => {}
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut name = String::new();
+        name.push(self.bump().unwrap());
+        // Raw identifier `r#type`: strip the prefix, keep the name.
+        if name == "r"
+            && self.peek(0) == Some('#')
+            && self.peek(1).map(is_ident_start) == Some(true)
+        {
+            self.bump();
+            name.clear();
+        }
+        while self.peek(0).map(is_ident_continue) == Some(true) {
+            name.push(self.bump().unwrap());
+        }
+        self.push(TokKind::Ident, name, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).map(|d| d.is_ascii_digit()) == Some(true) {
+                // `1.5` continues the number; `1.max(2)` and `0..n` do not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line, col);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks tokens inside `#[cfg(test)] mod … { … }` blocks and `#[test]`
+/// function bodies with `in_test = true`, so rules can skip them.
+///
+/// The scan is lexical: a test-flavored attribute (`#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`) arms a latch; the next
+/// balanced `{ … }` block before a top-level `;` is the test region.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0;
+    let mut armed = false;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            // Scan the attribute to its matching `]`.
+            let mut depth = 0usize;
+            let mut has_test = false;
+            let mut has_not = false;
+            let mut j = i + 1;
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].is_ident("test") || toks[j].is_ident("tests") {
+                    has_test = true;
+                } else if toks[j].is_ident("not") {
+                    // `#[cfg(not(test))]` gates *product* code; treating
+                    // it as test would silently skip real hazards.
+                    has_not = true;
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                armed = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        if armed {
+            if toks[i].is_punct(';') {
+                // `#[cfg(test)] use …;` — no block to skip.
+                armed = false;
+            } else if toks[i].is_punct('{') {
+                let mut depth = 0usize;
+                while i < toks.len() {
+                    if toks[i].is_punct('{') {
+                        depth += 1;
+                    } else if toks[i].is_punct('}') {
+                        depth -= 1;
+                    }
+                    toks[i].in_test = true;
+                    i += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                armed = false;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_idents() {
+        let src = r##"
+// Instant::now in prose
+/* block SystemTime::now */
+let x = "Instant::now()";
+let y = r#"SystemTime::now"#;
+let z = b"thread_rng";
+fn real() { foo(); }
+"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "Instant" || s == "SystemTime"));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; g(c, nl); }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        let ids = idents("let r#type = 1; let plain = r#type;");
+        assert_eq!(ids, vec!["let", "type", "let", "plain", "type"]);
+    }
+
+    #[test]
+    fn allow_annotations_extracted() {
+        let src = "// lint:allow(wall-clock): metrics-only timing\nfn f() {}\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.allows,
+            vec![AllowComment {
+                rule: "wall-clock".into(),
+                reason: "metrics-only timing".into(),
+                line: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn cfg_test_modules_marked() {
+        let src = "fn prod() { a(); }\n#[cfg(test)]\nmod tests {\n fn t() { b(); }\n}\nfn prod2() { c(); }\n";
+        let lexed = lex(src);
+        let a = lexed.toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        let c = lexed.toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert!(!a.in_test);
+        assert!(b.in_test);
+        assert!(!c.in_test);
+    }
+
+    #[test]
+    fn test_attr_fn_marked_and_latch_clears_on_semi() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { x(); }\n#[test]\nfn t() { y(); }\n";
+        let lexed = lex(src);
+        let x = lexed.toks.iter().find(|t| t.is_ident("x")).unwrap();
+        let y = lexed.toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert!(!x.in_test);
+        assert!(y.in_test);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(ids, vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let lexed = lex("for i in 0..10 { let x = 1.5; let y = 2.max(3); }");
+        let nums: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "2", "3"]);
+    }
+}

@@ -1,0 +1,216 @@
+//! `blameit-lint` — workspace static analysis for the determinism
+//! contract.
+//!
+//! Every subsystem in this workspace (sharded tick, chaos layer,
+//! durable snapshots + journal replay) rests on one invariant: for a
+//! fixed seed and fault plan, the tick transcript is byte-identical at
+//! any thread count. The dynamic suites (golden transcripts, 6-seed
+//! determinism matrices, persist fuzz) catch violations only when a
+//! scenario happens to exercise them; this crate makes the common
+//! hazard classes a compile-gate instead. See `rules` for the rule
+//! set and `docs/ARCHITECTURE.md` for the rule ↔ dynamic-suite table.
+//!
+//! The crate is dependency-free by design: it carries its own small
+//! Rust lexer (`lexer`) instead of `syn`, so linting the workspace
+//! costs one token pass per file and no build-dependency closure.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use config::Config;
+use diag::{Report, Suppressed};
+use rules::FileCtx;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Lints one file's source text under its workspace-relative `path`,
+/// appending into `report`. `path` decides rule scoping (e.g.
+/// `panic-in-decode` only fires in persist decode files), which is why
+/// fixtures are linted under *virtual* paths.
+pub fn lint_source(path: &str, src: &str, cfg: &Config, report: &mut Report) {
+    let lexed = lexer::lex(src);
+    let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+    let ctx = FileCtx {
+        path,
+        toks: &lexed.toks,
+        lines: &lines,
+    };
+    let mut raw = Vec::new();
+    for rule in rules::all_rules() {
+        rule.check(&ctx, &mut raw);
+    }
+    if raw.is_empty() {
+        return;
+    }
+
+    // Lines each allow-annotation applies to: its own line (trailing
+    // comment) and the next line that has code on it (own-line comment
+    // above the statement).
+    let token_lines: BTreeSet<u32> = lexed.toks.iter().map(|t| t.line).collect();
+    let targets = |allow_line: u32| -> [u32; 2] {
+        let next = token_lines
+            .range(allow_line + 1..)
+            .next()
+            .copied()
+            .unwrap_or(allow_line);
+        [allow_line, next]
+    };
+
+    'diags: for d in raw {
+        if cfg.allows(d.rule, path) {
+            report.suppressed.push(Suppressed {
+                rule: d.rule,
+                path: d.path,
+                line: d.line,
+                how: "config",
+                reason: String::new(),
+            });
+            continue;
+        }
+        for a in &lexed.allows {
+            if a.rule == d.rule && targets(a.line).contains(&d.line) {
+                report.suppressed.push(Suppressed {
+                    rule: d.rule,
+                    path: d.path,
+                    line: d.line,
+                    how: "annotation",
+                    reason: a.reason.clone(),
+                });
+                continue 'diags;
+            }
+        }
+        report.diagnostics.push(d);
+    }
+}
+
+/// Collects the `.rs` files the workspace lint covers: everything under
+/// `crates/`, `src/`, `tests/`, and `examples/`, excluding build
+/// output and lint fixtures (fixtures are deliberately-bad code,
+/// exercised by `--self-check` and the fixture tests instead).
+pub fn walk_workspace(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut out);
+    }
+    // Canonical order keeps reports byte-stable across platforms.
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints the whole workspace rooted at `root`, reading `lint.toml` from
+/// the root if present.
+pub fn run_workspace(root: &Path) -> Result<Report, String> {
+    let cfg = load_config(root)?;
+    let mut report = Report::default();
+    for path in walk_workspace(root) {
+        let rel = rel_path(root, &path);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+        lint_source(&rel, &src, &cfg, &mut report);
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Loads `lint.toml` from `root`; a missing file means an empty config.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => Config::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("lint.toml: read failed: {e}")),
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// The virtual workspace path a rule's fixtures are linted under, so
+/// path-scoped rules fire on them.
+pub fn fixture_virtual_path(rule_id: &str) -> String {
+    match rule_id {
+        "panic-in-decode" => "crates/core/src/persist/codec.rs".to_string(),
+        _ => format!("crates/core/src/fixture_{}.rs", rule_id.replace('-', "_")),
+    }
+}
+
+/// Outcome of checking one fixture file.
+#[derive(Debug)]
+pub struct FixtureResult {
+    pub rule: String,
+    pub file: String,
+    pub pass: bool,
+    pub detail: String,
+}
+
+/// Runs every rule's bad/good/allow fixtures under
+/// `crates/lint/tests/fixtures/<rule>/` and checks the contract:
+/// `bad.rs` trips the rule, `good.rs` is clean, `allow.rs` is clean
+/// *because* of annotations (suppressions present, reasons recorded).
+pub fn self_check(root: &Path) -> Result<Vec<FixtureResult>, String> {
+    let cfg = Config::default(); // fixtures never consult lint.toml
+    let mut results = Vec::new();
+    for rule in rules::all_rules() {
+        let id = rule.id();
+        let dir = root.join("crates/lint/tests/fixtures").join(id);
+        let vpath = fixture_virtual_path(id);
+        for kind in ["bad.rs", "good.rs", "allow.rs"] {
+            let fpath = dir.join(kind);
+            let src = std::fs::read_to_string(&fpath)
+                .map_err(|e| format!("{}: read failed: {e}", fpath.display()))?;
+            let mut report = Report::default();
+            lint_source(&vpath, &src, &cfg, &mut report);
+            let hits = report.diagnostics.iter().filter(|d| d.rule == id).count();
+            let suppressed = report
+                .suppressed
+                .iter()
+                .filter(|s| s.rule == id && s.how == "annotation" && !s.reason.is_empty())
+                .count();
+            let (pass, detail) = match kind {
+                "bad.rs" => (
+                    hits >= 1,
+                    format!("{hits} diagnostic(s), expected >= 1"),
+                ),
+                "good.rs" => (hits == 0, format!("{hits} diagnostic(s), expected 0")),
+                _ => (
+                    hits == 0 && suppressed >= 1,
+                    format!(
+                        "{hits} diagnostic(s) (expected 0), {suppressed} reasoned suppression(s) (expected >= 1)"
+                    ),
+                ),
+            };
+            results.push(FixtureResult {
+                rule: id.to_string(),
+                file: format!("{id}/{kind}"),
+                pass,
+                detail,
+            });
+        }
+    }
+    Ok(results)
+}

@@ -1,0 +1,702 @@
+//! The determinism rule set.
+//!
+//! Each rule is a lexical pattern over the token stream of one file,
+//! deny-by-default, with two escape hatches handled by the driver: an
+//! inline `// lint:allow(<rule>): <reason>` annotation, and a per-module
+//! path allowlist in `lint.toml`. Rules skip `#[cfg(test)]` / `#[test]`
+//! regions — the contract binds product code; tests are free to use
+//! wall clocks and `unwrap`.
+//!
+//! Rules are heuristics, deliberately: a lexer cannot prove dataflow.
+//! Each one is tuned so that every firing is either a real hazard or a
+//! place where a one-line annotation documents *why* it is safe — which
+//! is exactly the audit trail the determinism contract wants.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use std::collections::BTreeSet;
+
+/// Everything a rule gets to look at for one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub path: &'a str,
+    pub toks: &'a [Tok],
+    /// Raw source lines (1-based indexing via `line - 1`).
+    pub lines: &'a [String],
+}
+
+impl FileCtx<'_> {
+    fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    fn diag(&self, rule: &'static str, tok: &Tok, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: self.path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            snippet: self.snippet(tok.line),
+        }
+    }
+}
+
+/// A determinism rule.
+pub trait Rule {
+    /// Stable rule ID, used in diagnostics, annotations, and lint.toml.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--rules` and the docs table.
+    fn summary(&self) -> &'static str;
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>);
+}
+
+/// The full registry, in diagnostic-ID order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(AmbientEntropy),
+        Box::new(FloatOrder),
+        Box::new(PanicInDecode),
+        Box::new(ThreadIdentity),
+        Box::new(UnorderedIteration),
+        Box::new(WallClock),
+    ]
+}
+
+/// True if `toks[i..]` starts with the given `(is_ident, text)`
+/// pattern, where punctuation entries match single chars.
+fn seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, p)| {
+        toks.get(i + k).is_some_and(|t| {
+            if p.chars().count() == 1 && !p.chars().next().unwrap().is_alphanumeric() && *p != "_" {
+                t.is_punct(p.chars().next().unwrap())
+            } else {
+                t.is_ident(p)
+            }
+        })
+    })
+}
+
+// ---------------------------------------------------------------- wall-clock
+
+/// `Instant::now` / `SystemTime::now` / `.elapsed()` in sim code.
+///
+/// Wall time differs across hosts, runs, and thread counts; anything it
+/// feeds (beyond operator-facing metrics) diverges the tick transcript.
+/// Sim code must use sim time. `.elapsed()` is only flagged in files
+/// that also name `Instant`/`SystemTime`, so sim-time methods that
+/// happen to be called `elapsed` do not trip it.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "wall-clock"
+    }
+    fn summary(&self) -> &'static str {
+        "Instant::now/SystemTime::now/.elapsed() outside obs & bench: sim code must use sim time"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        let has_std_time = f
+            .toks
+            .iter()
+            .any(|t| !t.in_test && (t.is_ident("Instant") || t.is_ident("SystemTime")));
+        for (i, t) in f.toks.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            for src in ["Instant", "SystemTime"] {
+                if seq(f.toks, i, &[src, ":", ":", "now"]) {
+                    out.push(f.diag(
+                        self.id(),
+                        t,
+                        format!("`{src}::now` reads the wall clock; sim code must derive time from the tick (sim time) so transcripts replay byte-identically"),
+                    ));
+                }
+            }
+            if has_std_time && seq(f.toks, i, &[".", "elapsed", "("]) {
+                out.push(f.diag(
+                    self.id(),
+                    &f.toks[i + 1],
+                    "`.elapsed()` measures wall time in a file that uses std::time; route durations through sim time or annotate if metrics-only".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- thread-identity
+
+/// `thread::current()` / `ThreadId` anywhere in product code.
+///
+/// The sharded tick promises byte-identical transcripts at any thread
+/// count; the moment RNG seeding or emission keys on which thread ran
+/// the work, that promise is gone. Shard RNG keys on
+/// (seed, bucket, shard) only — see `simnet::shard_rng`.
+pub struct ThreadIdentity;
+
+impl Rule for ThreadIdentity {
+    fn id(&self) -> &'static str {
+        "thread-identity"
+    }
+    fn summary(&self) -> &'static str {
+        "thread::current()/ThreadId near RNG or emission: key on (seed, bucket, shard) instead"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        for (i, t) in f.toks.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            if seq(f.toks, i, &["thread", ":", ":", "current"]) {
+                out.push(f.diag(
+                    self.id(),
+                    t,
+                    "`thread::current()` makes output depend on which worker ran the shard; derive identity from (seed, bucket, shard) keys".to_string(),
+                ));
+            }
+            if t.is_ident("ThreadId") {
+                out.push(f.diag(
+                    self.id(),
+                    t,
+                    "`ThreadId` is scheduler-assigned and varies run to run; key RNG/emission on (seed, bucket, shard) instead".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- ambient-entropy
+
+/// `rand`, `RandomState`, and other nondeterministic seed sources.
+///
+/// All randomness must flow through `DetRng::from_keys(seed, …)` —
+/// counter-based, platform-stable, thread-count-independent. Ambient
+/// entropy (OS RNG, hasher randomization, time-derived seeds) breaks
+/// replay and the 6-seed determinism suites cannot even detect it
+/// reliably, because every run is its own seed.
+pub struct AmbientEntropy;
+
+impl Rule for AmbientEntropy {
+    fn id(&self) -> &'static str {
+        "ambient-entropy"
+    }
+    fn summary(&self) -> &'static str {
+        "rand/RandomState/OS entropy outside DetRng: all randomness must be seed-keyed"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        for (i, t) in f.toks.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            if seq(f.toks, i, &["rand", ":", ":"])
+                || seq(f.toks, i, &["use", "rand", ";"])
+                || seq(f.toks, i, &["extern", "crate", "rand"])
+            {
+                out.push(f.diag(
+                    self.id(),
+                    t,
+                    "the `rand` crate draws ambient entropy; use `DetRng::from_keys(seed, …)` so every draw is replayable".to_string(),
+                ));
+            }
+            for ident in [
+                "RandomState",
+                "thread_rng",
+                "from_entropy",
+                "OsRng",
+                "getrandom",
+            ] {
+                if t.is_ident(ident) {
+                    out.push(f.diag(
+                        self.id(),
+                        t,
+                        format!("`{ident}` is an ambient entropy source; all randomness must be keyed on the run seed via DetRng"),
+                    ));
+                }
+            }
+            if t.is_ident("UNIX_EPOCH") {
+                out.push(f.diag(
+                    self.id(),
+                    t,
+                    "time-since-epoch is a wall-clock-derived value; deriving ids or seeds from it varies per run".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- float-order
+
+/// `partial_cmp` inside a sort/min/max comparator.
+///
+/// `partial_cmp(..).unwrap()` panics on NaN, and `unwrap_or(Equal)`
+/// silently turns NaN into an unstable pivot — either way the order is
+/// not total and the emitted ranking can differ between otherwise
+/// identical runs. Comparators over floats must use `f64::total_cmp`.
+pub struct FloatOrder;
+
+const COMPARATOR_FNS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+impl Rule for FloatOrder {
+    fn id(&self) -> &'static str {
+        "float-order"
+    }
+    fn summary(&self) -> &'static str {
+        "partial_cmp in sort/min/max comparators: use total_cmp for a total, NaN-safe order"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        let toks = f.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.in_test || t.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            if !COMPARATOR_FNS.contains(&t.text.as_str())
+                || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            // Scan the comparator's argument list to the matching `)`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                if toks[j].is_punct('(') {
+                    depth += 1;
+                } else if toks[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].is_ident("partial_cmp") {
+                    out.push(f.diag(
+                        self.id(),
+                        &toks[j],
+                        format!(
+                            "`partial_cmp` inside `{}` is not a total order (NaN panics or compares Equal); use `f64::total_cmp`",
+                            t.text
+                        ),
+                    ));
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- panic-in-decode
+
+/// `unwrap`/`expect`/`panic!`/indexing in persist decode paths.
+///
+/// The persist_props fuzz contract: decoding arbitrary bytes must
+/// return `Err`, never panic — a panic on a torn journal tail or a
+/// bit-flipped snapshot turns recoverable corruption into a crash loop.
+/// Applies to `crates/core/src/persist/{codec,journal,snapshot}.rs`.
+pub struct PanicInDecode;
+
+const DECODE_FILES: &[&str] = &[
+    "crates/core/src/persist/codec.rs",
+    "crates/core/src/persist/journal.rs",
+    "crates/core/src/persist/snapshot.rs",
+];
+
+impl Rule for PanicInDecode {
+    fn id(&self) -> &'static str {
+        "panic-in-decode"
+    }
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic!/indexing in persist decode paths: corrupt input must return Err"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        if !DECODE_FILES.contains(&f.path) {
+            return;
+        }
+        let toks = f.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.in_test {
+                continue;
+            }
+            for m in ["unwrap", "expect"] {
+                if seq(toks, i, &[".", m, "("]) {
+                    out.push(f.diag(
+                        self.id(),
+                        &toks[i + 1],
+                        format!("`.{m}()` in a decode path panics on corrupt input; return a codec error (persist_props fuzz contract)"),
+                    ));
+                }
+            }
+            for m in [
+                "panic",
+                "unreachable",
+                "todo",
+                "unimplemented",
+                "assert",
+                "assert_eq",
+                "assert_ne",
+            ] {
+                if t.is_ident(m) && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    out.push(f.diag(
+                        self.id(),
+                        t,
+                        format!("`{m}!` in a decode path can fire on corrupt input; return a codec error instead"),
+                    ));
+                }
+            }
+            // Postfix indexing `x[..]` can panic on short input. Array
+            // types/literals (`[u8; 4]`), macros (`vec![`), and
+            // attributes (`#[`) are not postfix positions.
+            if t.is_punct('[') && i > 0 {
+                let prev = &toks[i - 1];
+                let postfix = (prev.kind == crate::lexer::TokKind::Ident
+                    && !is_keyword(&prev.text))
+                    || prev.is_punct(')')
+                    || prev.is_punct(']');
+                if postfix {
+                    out.push(f.diag(
+                        self.id(),
+                        t,
+                        "indexing in a decode path panics when input is shorter than expected; use `get()`/`take()` and return an error".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let" | "in" | "if" | "else" | "match" | "return" | "mut" | "ref" | "move" | "box"
+    )
+}
+
+// ------------------------------------------------------ unordered-iteration
+
+/// Iterating a `HashMap`/`HashSet` in `crates/core/src/` without an
+/// order-restoring or order-insensitive sink.
+///
+/// Hash iteration order is unspecified and (for transcripts, alerts,
+/// snapshots, metrics absorption) was the single largest source of
+/// nondeterminism fixed in the sharded-tick PR. The rule tracks names
+/// declared as hash containers in the file and flags iteration over
+/// them, *except* when the same statement sorts the result, collects
+/// into a BTree container, or reduces order-insensitively (`sum`,
+/// `count`, `len`, `is_empty`, `all`, `any`, `contains…`), or when a
+/// sort appears within the next three lines.
+pub struct UnorderedIteration;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+const SORT_FAMILY: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+];
+
+const ORDER_INSENSITIVE: &[&str] = &[
+    "sum",
+    "count",
+    "len",
+    "is_empty",
+    "all",
+    "any",
+    "contains",
+    "contains_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+impl Rule for UnorderedIteration {
+    fn id(&self) -> &'static str {
+        "unordered-iteration"
+    }
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet iteration in core without sort/BTree/order-insensitive sink"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        if !f.path.starts_with("crates/core/src/") {
+            return;
+        }
+        let toks = f.toks;
+        let names = hash_typed_names(toks);
+        if names.is_empty() {
+            return;
+        }
+        let sort_lines: BTreeSet<u32> = toks
+            .iter()
+            .filter(|t| SORT_FAMILY.contains(&t.text.as_str()))
+            .map(|t| t.line)
+            .collect();
+
+        let is_waiver_word = |t: &Tok| {
+            SORT_FAMILY.contains(&t.text.as_str()) || ORDER_INSENSITIVE.contains(&t.text.as_str())
+        };
+        let mut flag = |f: &FileCtx, idx: usize, name: &str, waivable: bool| {
+            let mut waived = false;
+            let mut stmt_end_line = toks[idx].line;
+            if waivable {
+                // Waiver 1a: statement prefix declares an ordered
+                // destination (`let x: BTreeMap<…> = m.iter()…`).
+                // Waiver words only count at chain depth 0 — words
+                // inside closure bodies say nothing about the sink.
+                let mut depth = 0isize;
+                let mut j = idx;
+                while j > 0 && idx - j < 200 {
+                    j -= 1;
+                    let t = &toks[j];
+                    if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth += 1;
+                    } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && depth == 0 {
+                        break;
+                    } else if depth == 0 && is_waiver_word(t) {
+                        waived = true;
+                        break;
+                    }
+                }
+                // Waiver 1b: the chain itself ends in a sort, a BTree
+                // collect, or an order-insensitive reduction.
+                let mut depth = 0isize;
+                let mut j = idx;
+                while j < toks.len() && j < idx + 400 {
+                    let t = &toks[j];
+                    stmt_end_line = t.line;
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && depth == 0 {
+                        break;
+                    } else if depth == 0 && is_waiver_word(t) {
+                        waived = true;
+                        break;
+                    }
+                    j += 1;
+                }
+                // Waiver 2: an explicit sort within three lines after
+                // the statement (collect-then-sort as two statements).
+                if !waived {
+                    waived = sort_lines
+                        .iter()
+                        .any(|l| *l >= toks[idx].line && *l <= stmt_end_line + 3);
+                }
+            }
+            if !waived {
+                out.push(f.diag(
+                    self.id(),
+                    &toks[idx],
+                    format!(
+                        "iteration over hash container `{name}` feeds downstream state in arbitrary order; sort before emitting, collect into a BTreeMap/BTreeSet, or annotate why order cannot matter"
+                    ),
+                ));
+            }
+        };
+
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.in_test || t.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            // `name.iter()` / `self.name.keys()` / …
+            if names.contains(&t.text)
+                && seq(toks, i + 1, &["."])
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+                && toks.get(i + 3).is_some_and(|p| p.is_punct('('))
+            {
+                flag(f, i + 2, &t.text, true);
+            }
+            // `for pat in [&mut] name { … }` (direct Iterator impl).
+            if t.is_ident("for") {
+                if let Some(j) = (i + 1..(i + 14).min(toks.len())).find(|j| toks[*j].is_ident("in"))
+                {
+                    let mut k = j + 1;
+                    while toks
+                        .get(k)
+                        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+                    {
+                        k += 1;
+                    }
+                    if toks.get(k).is_some_and(|t| {
+                        t.kind == crate::lexer::TokKind::Ident && names.contains(&t.text)
+                    }) && toks.get(k + 1).is_some_and(|t| t.is_punct('{'))
+                    {
+                        // A `for` body can do anything with the items;
+                        // no lexical waiver applies — sort first or
+                        // annotate why order cannot matter.
+                        let name = toks[k].text.clone();
+                        flag(f, k, &name, false);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collects identifiers declared in this file with a hash-container
+/// type: `name: HashMap<…>` (fields, params, typed lets) and
+/// `name = HashMap::new()` / `with_capacity`.
+fn hash_typed_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Strip a `path::segments::` prefix walking backwards.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == crate::lexer::TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = &toks[j - 1];
+        if prev.is_punct(':') && j >= 2 {
+            // `name: HashMap<…>` — make sure it is a single `:`.
+            if j >= 3 && toks[j - 2].is_punct(':') {
+                continue;
+            }
+            let cand = &toks[j - 2];
+            if cand.kind == crate::lexer::TokKind::Ident && !is_keyword(&cand.text) {
+                names.insert(cand.text.clone());
+            }
+        } else if prev.is_punct('=') && j >= 2 {
+            // `let [mut] name = HashMap::new()`.
+            let cand = &toks[j - 2];
+            if cand.kind == crate::lexer::TokKind::Ident && !is_keyword(&cand.text) {
+                names.insert(cand.text.clone());
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check_one(rule: &dyn Rule, path: &str, src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        let ctx = FileCtx {
+            path,
+            toks: &lexed.toks,
+            lines: &lines,
+        };
+        let mut out = Vec::new();
+        rule.check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn rule_ids_are_sorted_and_unique() {
+        let ids: Vec<_> = all_rules().iter().map(|r| r.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "registry must stay in ID order, no dups");
+    }
+
+    #[test]
+    fn elapsed_needs_std_time_in_file() {
+        let sim = "fn f(o: &Incident) -> u64 { o.elapsed() }";
+        assert!(check_one(&WallClock, "crates/core/src/x.rs", sim).is_empty());
+        let wall = "use std::time::Instant;\nfn f(t: Instant) -> u128 { t.elapsed().as_nanos() }";
+        assert_eq!(check_one(&WallClock, "crates/core/src/x.rs", wall).len(), 1);
+    }
+
+    #[test]
+    fn hash_names_found_through_paths_and_new() {
+        let src = "struct S { counts: std::collections::HashMap<u32, u64> }\nfn f() { let mut seen = HashSet::new(); seen.len(); }";
+        let names = hash_typed_names(&lex(src).toks);
+        assert!(names.contains("counts"));
+        assert!(names.contains("seen"));
+    }
+
+    #[test]
+    fn unordered_iteration_waivers() {
+        let flagged = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) { for (k, v) in &m { emit(k, v); } }";
+        assert_eq!(
+            check_one(&UnorderedIteration, "crates/core/src/x.rs", flagged).len(),
+            1
+        );
+        let sorted_chain = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) { let mut v: Vec<_> = m.iter().collect(); v.sort(); }";
+        assert!(check_one(&UnorderedIteration, "crates/core/src/x.rs", sorted_chain).is_empty());
+        let sum = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) -> u32 { m.values().sum() }";
+        assert!(check_one(&UnorderedIteration, "crates/core/src/x.rs", sum).is_empty());
+        let next_line_sort = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) { let mut v: Vec<_> = m.keys().copied().collect();\n v.sort_unstable();\n }";
+        assert!(check_one(&UnorderedIteration, "crates/core/src/x.rs", next_line_sort).is_empty());
+        // Outside crates/core the rule is silent.
+        assert!(check_one(&UnorderedIteration, "crates/cli/src/x.rs", flagged).is_empty());
+    }
+
+    #[test]
+    fn float_order_only_in_comparators() {
+        let bad = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(check_one(&FloatOrder, "crates/core/src/x.rs", bad).len(), 1);
+        let good = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(check_one(&FloatOrder, "crates/core/src/x.rs", good).is_empty());
+        let outside =
+            "impl PartialOrd for S { fn partial_cmp(&self, o: &S) -> Option<Ordering> { None } }";
+        assert!(check_one(&FloatOrder, "crates/core/src/x.rs", outside).is_empty());
+    }
+
+    #[test]
+    fn panic_in_decode_scope_and_postfix_index() {
+        let src = "fn decode(b: &[u8]) -> u8 { let x = b[0]; x }";
+        assert_eq!(
+            check_one(&PanicInDecode, "crates/core/src/persist/codec.rs", src).len(),
+            1
+        );
+        assert!(check_one(&PanicInDecode, "crates/core/src/pipeline.rs", src).is_empty());
+        let arr_ty = "fn f() -> [u8; 2] { let a: [u8; 2] = [0, 1]; a }";
+        assert!(check_one(&PanicInDecode, "crates/core/src/persist/codec.rs", arr_ty).is_empty());
+        let mac = "fn f() -> Vec<u8> { vec![0; 4] }";
+        assert!(check_one(&PanicInDecode, "crates/core/src/persist/codec.rs", mac).is_empty());
+    }
+
+    #[test]
+    fn ambient_entropy_patterns() {
+        let bad = "use rand::Rng;\nfn f() { let s = RandomState::new(); }";
+        let diags = check_one(&AmbientEntropy, "crates/core/src/x.rs", bad);
+        assert_eq!(diags.len(), 2);
+        let good =
+            "fn f(seed: u64) { let mut rng = DetRng::from_keys(seed, &[1]); rng.next_u64(); }";
+        assert!(check_one(&AmbientEntropy, "crates/core/src/x.rs", good).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Fixture contract tests: every rule must trip on its `bad.rs`, stay
+//! quiet on its `good.rs`, and suppress-with-reason on its `allow.rs`.
+//! This is the same check `blameit-lint --self-check` runs in CI, so a
+//! rule regression fails both the test suite and the lint job.
+
+use blameit_lint::diag::Report;
+use blameit_lint::{fixture_virtual_path, lint_source, run_workspace, self_check};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn every_fixture_expectation_holds() {
+    let results = self_check(&repo_root()).expect("fixtures readable");
+    // 6 rules × {bad, good, allow}.
+    assert_eq!(results.len(), 18, "one fixture triple per rule");
+    let failures: Vec<String> = results
+        .iter()
+        .filter(|r| !r.pass)
+        .map(|r| format!("{}: {}", r.file, r.detail))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "fixture contract broken:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn allow_fixture_reasons_reach_json() {
+    // The `--json` report must carry each annotation's reason, so a
+    // reviewer (or a dashboard) can audit every suppression without
+    // opening the source.
+    for rule in blameit_lint::rules::all_rules() {
+        let id = rule.id();
+        let path = repo_root()
+            .join("crates/lint/tests/fixtures")
+            .join(id)
+            .join("allow.rs");
+        let src = std::fs::read_to_string(&path).expect("allow fixture readable");
+        let mut report = Report::default();
+        lint_source(
+            &fixture_virtual_path(id),
+            &src,
+            &Default::default(),
+            &mut report,
+        );
+        let json = report.render_json();
+        let suppressed: Vec<_> = report.suppressed.iter().filter(|s| s.rule == id).collect();
+        assert!(
+            !suppressed.is_empty(),
+            "{id}/allow.rs produced no suppression"
+        );
+        for s in suppressed {
+            assert_eq!(s.how, "annotation");
+            assert!(!s.reason.is_empty(), "{id}/allow.rs reason missing");
+            assert!(
+                json.contains(&s.reason),
+                "{id}/allow.rs reason not in --json output"
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The tree must lint clean with the checked-in lint.toml — the
+    // same gate scripts/verify.sh and the CI lint job enforce.
+    let report = run_workspace(&repo_root()).expect("workspace lint runs");
+    assert!(
+        report.ok(),
+        "workspace has lint violations:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 100, "walker found too few files");
+}

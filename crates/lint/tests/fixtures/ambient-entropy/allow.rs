@@ -1,0 +1,6 @@
+// Fixture: entropy outside the engine may be annotated.
+pub fn demo_shuffle_seed() -> u64 {
+    // lint:allow(ambient-entropy): demo-only jitter outside the engine; results are never recorded or replayed
+    let hasher = std::collections::hash_map::RandomState::new();
+    std::hash::BuildHasher::hash_one(&hasher, 0u8)
+}

@@ -1,0 +1,6 @@
+// Fixture: ambient entropy sources outside DetRng.
+use std::collections::hash_map::RandomState;
+
+pub fn hasher_seed() -> RandomState {
+    RandomState::new()
+}

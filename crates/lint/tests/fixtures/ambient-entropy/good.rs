@@ -1,0 +1,7 @@
+// Fixture: all randomness keyed on the run seed via DetRng.
+use blameit_topology::rng::DetRng;
+
+pub fn jitter_ms(seed: u64, path: u32) -> f64 {
+    let mut rng = DetRng::from_keys(seed, path as u64);
+    rng.next_f64() * 3.0
+}

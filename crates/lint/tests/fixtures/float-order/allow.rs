@@ -1,0 +1,5 @@
+// Fixture: a justified partial_cmp comparator may be annotated.
+pub fn rank(estimates: &mut Vec<f64>) {
+    // lint:allow(float-order): inputs are validated finite at the API boundary; kept to mirror the paper's pseudocode
+    estimates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,4 @@
+// Fixture: partial order inside a sort comparator.
+pub fn rank(estimates: &mut Vec<f64>) {
+    estimates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

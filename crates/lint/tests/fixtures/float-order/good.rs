@@ -1,0 +1,5 @@
+// Fixture: total_cmp gives a total order (NaN included) — stable
+// rankings across runs.
+pub fn rank(estimates: &mut Vec<f64>) {
+    estimates.sort_by(|a, b| a.total_cmp(b));
+}

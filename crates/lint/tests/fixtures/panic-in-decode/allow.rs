@@ -1,0 +1,9 @@
+// Fixture: provably in-bounds indexing may be annotated.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        // lint:allow(panic-in-decode): index is masked to 0..=255 and CRC_TABLE has 256 entries — infallible for any input
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}

@@ -1,0 +1,6 @@
+// Fixture: panics reachable from untrusted bytes in a decode path.
+pub fn decode_header(bytes: &[u8]) -> (u8, u32) {
+    let kind = bytes[0];
+    let len = u32::from_le_bytes(bytes[1..5].try_into().unwrap());
+    (kind, len)
+}

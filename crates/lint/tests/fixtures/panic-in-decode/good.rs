@@ -1,0 +1,9 @@
+// Fixture: bounds-checked reads that return errors on corrupt input.
+pub fn decode_header(r: &mut ByteReader<'_>) -> Result<(u8, u32), CodecError> {
+    let kind = r.u8()?;
+    let len = r.u32()?;
+    if len > MAX_SECTION {
+        return Err(CodecError::Invalid("section too large"));
+    }
+    Ok((kind, len))
+}

@@ -1,0 +1,5 @@
+// Fixture: a debug-only label may read thread identity if annotated.
+pub fn debug_worker_label() -> String {
+    // lint:allow(thread-identity): debug log label only; never keys RNG draws or emission order
+    format!("{:?}", std::thread::current().id())
+}

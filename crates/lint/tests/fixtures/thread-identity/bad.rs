@@ -1,0 +1,4 @@
+// Fixture: thread identity leaking into output labels.
+pub fn shard_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

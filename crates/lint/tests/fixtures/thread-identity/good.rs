@@ -1,0 +1,5 @@
+// Fixture: identity derived from (seed, shard) is stable at any
+// thread count.
+pub fn shard_tag(seed: u64, shard: usize) -> String {
+    format!("shard-{seed:x}-{shard}")
+}

@@ -1,0 +1,9 @@
+// Fixture: hash-order iteration feeding an emitted transcript.
+use std::collections::HashMap;
+
+pub fn emit(transcript: &mut Vec<String>) {
+    let counts: HashMap<u32, u64> = HashMap::new();
+    for (path, n) in counts {
+        transcript.push(format!("{path} {n}"));
+    }
+}

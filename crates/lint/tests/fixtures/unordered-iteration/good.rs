@@ -1,0 +1,16 @@
+// Fixture: ordered container, or collect-then-sort before emitting.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn emit(transcript: &mut Vec<String>) {
+    let counts: BTreeMap<u32, u64> = BTreeMap::new();
+    for (path, n) in counts {
+        transcript.push(format!("{path} {n}"));
+    }
+
+    let extra: HashMap<u32, u64> = HashMap::new();
+    let mut rows: Vec<(u32, u64)> = extra.iter().map(|(k, v)| (*k, *v)).collect();
+    rows.sort_unstable();
+    for (path, n) in rows {
+        transcript.push(format!("{path} {n}"));
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: metrics-only wall time is legitimate when annotated.
+use std::time::Instant;
+
+pub fn report_runtime_ms() -> f64 {
+    // lint:allow(wall-clock): metrics-only timing for an operator report; never feeds sim state
+    let started = Instant::now();
+    // lint:allow(wall-clock): metrics-only timing for an operator report; never feeds sim state
+    started.elapsed().as_secs_f64() * 1e3
+}

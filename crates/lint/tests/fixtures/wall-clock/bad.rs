@@ -1,0 +1,7 @@
+// Fixture: wall-clock must fire on real-time reads in sim code.
+use std::time::Instant;
+
+pub fn tick_duration_secs() -> f64 {
+    let started = Instant::now();
+    started.elapsed().as_secs_f64()
+}

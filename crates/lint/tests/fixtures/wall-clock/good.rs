@@ -1,0 +1,6 @@
+// Fixture: durations derived from sim time are replayable and clean.
+use blameit_simnet::SimTime;
+
+pub fn tick_duration_secs(start: SimTime, end: SimTime) -> u64 {
+    end.secs().saturating_sub(start.secs())
+}

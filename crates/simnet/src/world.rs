@@ -301,21 +301,19 @@ impl World {
         }
         let total: f64 =
             cloud_infl_ms + middle_infl.iter().map(|m| m.1).sum::<f64>() + client_total;
-        let (culprit, dominant_fraction) = match candidates
-            .iter()
-            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
-        {
-            Some((seg, asn, ms, fid)) if total >= 5.0 => (
-                Some(Culprit {
-                    segment: *seg,
-                    asn: *asn,
-                    fault: *fid,
-                }),
-                ms / total,
-            ),
-            Some((_, _, ms, _)) => (None, ms / total),
-            None => (None, 1.0),
-        };
+        let (culprit, dominant_fraction) =
+            match candidates.iter().max_by(|a, b| a.2.total_cmp(&b.2)) {
+                Some((seg, asn, ms, fid)) if total >= 5.0 => (
+                    Some(Culprit {
+                        segment: *seg,
+                        asn: *asn,
+                        fault: *fid,
+                    }),
+                    ms / total,
+                ),
+                Some((_, _, ms, _)) => (None, ms / total),
+                None => (None, 1.0),
+            };
 
         GroundTruth {
             baseline,

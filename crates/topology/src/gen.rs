@@ -315,7 +315,7 @@ dst {} nbrs: [{}]",
                     (cl.id, ro.options[0].total_oneway_ms)
                 })
                 .collect();
-            latencies.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            latencies.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             let primary_loc = latencies[0].0;
             let second = latencies.get(1).map(|x| x.0);
 

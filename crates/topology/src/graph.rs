@@ -207,8 +207,7 @@ impl AsGraph {
                 // Min-heap by cost, then by node id for determinism.
                 other
                     .cost
-                    .partial_cmp(&self.cost)
-                    .unwrap_or(Ordering::Equal)
+                    .total_cmp(&self.cost)
                     .then_with(|| other.node.0.cmp(&self.node.0))
                     .then_with(|| other.chain.cmp(&self.chain))
             }

@@ -3,6 +3,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo run --release -p blameit-lint -- --self-check"
+cargo run --release -p blameit-lint -- --self-check
+
+echo "==> cargo run --release -p blameit-lint"
+cargo run --release -p blameit-lint
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
