@@ -4,8 +4,9 @@
 //! commands in-process and inspect their output.
 
 use blameit::{
-    fsck, tally, Backend, BadnessThresholds, BlameItConfig, BlameItEngine, ChaosBackend,
-    DurableEngine, StartMode, StateStore, TickOutput, WorldBackend,
+    fsck, render_blame_explain, render_localization_explain, tally, Backend, BadnessThresholds,
+    BlameItConfig, BlameItEngine, ChaosBackend, DurableEngine, MiddleLocalization, StartMode,
+    StateStore, TickOutput, UnlocalizedReason, WorldBackend,
 };
 use blameit_bench::{organic_world, quiet_world, Args, Scale};
 use blameit_simnet::{
@@ -50,10 +51,19 @@ COMMANDS:
   fsck       Validate a state directory written by --state-dir: every
              snapshot CRC + structure, journal records, seed agreement.
              Exits non-zero (with a report) on corruption.
+  explain    Render the provenance chain behind a verdict as a tree:
+             blameit explain quartet:<loc>/<p24> | incident:<loc>
+             (--limit N caps matches shown; with --target and the
+             inject flags it explains that injected scenario, otherwise
+             an analyze-style organic run)
+  flight     Flight recorder: `blameit flight dump` runs the engine and
+             prints the recorder ring as JSONL (--out FILE to write it;
+             --fault-plan to watch chaos-burst triggers fire)
   inject     Inject one incident and investigate it end to end
   probe      Print one simulated traceroute
   metrics    Run the engine and dump its metrics registry
-             (Prometheus text exposition; --json 1 for a JSON dump)
+             (Prometheus text exposition; --json 1 for a JSON dump;
+             --filter PREFIX keeps only matching metric names)
   trace      Run engine ticks under tracing, print the span tree
              (--ticks N for more than one tick; defaults to --scale tiny)
   help       This text
@@ -89,10 +99,17 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Ok(USAGE.to_string());
     };
-    // `fsck <dir>` takes the CLI's only positional argument, so it is
-    // dispatched before `Args::parse_from` (which rejects positionals).
+    // `fsck <dir>`, `explain <selector>`, and `flight <sub>` take
+    // positional arguments, so they are dispatched before
+    // `Args::parse_from` (which rejects positionals).
     if cmd == "fsck" {
         return cmd_fsck(rest);
+    }
+    if cmd == "explain" {
+        return cmd_explain(rest);
+    }
+    if cmd == "flight" {
+        return cmd_flight(rest);
     }
     let args = Args::parse_from(rest.iter().cloned());
     match cmd.as_str() {
@@ -417,6 +434,25 @@ fn render_run_summary(blames: &[blameit::BlameResult], engine: &BlameItEngine, o
         engine.background_probes_total, engine.on_demand_probes_total
     )
     .unwrap();
+    // Degraded-verdict breakdown: why middle localizations fell back
+    // to `MiddleUnlocalized`, by reason (zero reasons elided).
+    let m = engine.metrics();
+    if m.degraded_total() > 0 {
+        let parts: Vec<String> = UnlocalizedReason::ALL
+            .iter()
+            .filter_map(|r| {
+                let n = m.degraded_counter(*r).get();
+                (n > 0).then(|| format!("{r} {n}"))
+            })
+            .collect();
+        writeln!(
+            out,
+            "degraded verdicts: {} ({})",
+            m.degraded_total(),
+            parts.join(", ")
+        )
+        .unwrap();
+    }
 }
 
 /// Warmup + evaluation loop shared by the plain and chaos paths.
@@ -528,6 +564,216 @@ fn cmd_fsck(rest: &[String]) -> Result<String, CliError> {
         // Corruption must exit non-zero; the report itself is the
         // error message.
         Err(CliError(rendered.trim_end().to_string()))
+    }
+}
+
+/// What `blameit explain <selector>` should explain.
+enum ExplainSelector {
+    /// One quartet's Algorithm-1 verdict(s): `quartet:<loc>/<p24>`.
+    Quartet { loc: CloudLocId, p24: Prefix24 },
+    /// Middle localizations observed from one location: `incident:<loc>`.
+    Incident { loc: CloudLocId },
+}
+
+fn parse_selector(s: &str) -> Result<ExplainSelector, CliError> {
+    let usage = "selector must be quartet:<loc>/<p24> (e.g. quartet:0/10.80.0.0/24) \
+                 or incident:<loc> (e.g. incident:0)";
+    let (kind, rest) = s.split_once(':').ok_or_else(|| err(usage))?;
+    match kind {
+        "quartet" => {
+            let (loc_s, p24_s) = rest.split_once('/').ok_or_else(|| err(usage))?;
+            let loc = loc_s
+                .parse()
+                .map_err(|_| err(format!("bad cloud location {loc_s:?}")))?;
+            let p24 = p24_s
+                .parse()
+                .map_err(|e| err(format!("bad /24 {p24_s:?}: {e}")))?;
+            Ok(ExplainSelector::Quartet {
+                loc: CloudLocId(loc),
+                p24,
+            })
+        }
+        "incident" => {
+            let loc = rest
+                .parse()
+                .map_err(|_| err(format!("bad cloud location {rest:?}")))?;
+            Ok(ExplainSelector::Incident {
+                loc: CloudLocId(loc),
+            })
+        }
+        other => Err(err(format!("unknown selector kind {other:?}; {usage}"))),
+    }
+}
+
+/// Runs the scenario the explain/flight verbs operate on and returns
+/// every tick output. With `--target` this is the `inject` scenario
+/// (quiet world + one fault, evaluated over the fault window);
+/// otherwise the `analyze` scenario (organic world, post-warmup days).
+fn scenario_ticks(args: &Args) -> Result<Vec<TickOutput>, CliError> {
+    let threads = args.u64("threads", 0) as usize;
+    let seed = args.u64("seed", 2019);
+    if let Some(target_s) = args.get("target") {
+        let ms = args.f64("ms", 80.0);
+        let at_hour = args.u64("at-hour", 26).max(25);
+        let hours = args.u64("hours", 3);
+        let days = (at_hour + hours) / 24 + 2;
+        let mut world = quiet_world(args.scale(Scale::Small), days, seed);
+        let (target, _) = parse_target(&world, target_s)?;
+        let start = SimTime::from_hours(at_hour);
+        world.add_faults(vec![Fault {
+            id: FaultId(0),
+            target,
+            start,
+            duration_secs: hours * 3_600,
+            added_ms: ms,
+        }]);
+        // Learn on quiet day 0, then burn in from day 1 to the fault
+        // start so background probes build middle baselines — without
+        // them every localization degrades to `no_baseline` and the
+        // provenance tree has no per-AS delta to show.
+        let cfg = engine_config(&world, threads);
+        let mut backend = WorldBackend::with_parallelism(&world, cfg.parallelism);
+        let mut engine = BlameItEngine::new(cfg);
+        engine.warmup(&backend, TimeRange::days(1), 2);
+        engine.run(&mut backend, TimeRange::new(SimTime::from_days(1), start));
+        Ok(engine.run(&mut backend, TimeRange::new(start, start + hours * 3_600)))
+    } else {
+        let days = args.u64("days", 2).max(2);
+        let warmup = args.u64("warmup", 1).min(days - 1);
+        let world = organic_world(args.scale(Scale::Small), days, seed);
+        Ok(collect_ticks(
+            &world,
+            warmup,
+            TimeRange::new(SimTime::from_days(warmup), SimTime::from_days(days)),
+            threads,
+        ))
+    }
+}
+
+/// Warms up an engine over `world` and returns the evaluated ticks.
+fn collect_ticks(
+    world: &World,
+    warmup_days: u64,
+    eval: TimeRange,
+    threads: usize,
+) -> Vec<TickOutput> {
+    let cfg = engine_config(world, threads);
+    let mut backend = WorldBackend::with_parallelism(world, cfg.parallelism);
+    let mut engine = BlameItEngine::new(cfg);
+    engine.warmup(&backend, TimeRange::days(warmup_days), 2);
+    engine.run(&mut backend, eval)
+}
+
+/// `explain <selector>`: render the provenance chain behind verdicts
+/// matching the selector as a tree, newest-run scenario first match.
+fn cmd_explain(rest: &[String]) -> Result<String, CliError> {
+    let Some((selector, flags)) = rest.split_first() else {
+        return Err(err(
+            "explain requires a selector: blameit explain quartet:<loc>/<p24> | incident:<loc>",
+        ));
+    };
+    let sel = parse_selector(selector)?;
+    let args = Args::parse_from(flags.iter().cloned());
+    let limit = args.u64("limit", 3).max(1) as usize;
+    let ticks = scenario_ticks(&args)?;
+    let mut out = String::new();
+    match sel {
+        ExplainSelector::Quartet { loc, p24 } => {
+            let matches: Vec<&blameit::BlameResult> = ticks
+                .iter()
+                .flat_map(|t| t.blames.iter())
+                .filter(|b| b.obs.loc == loc && b.obs.p24 == p24)
+                .collect();
+            if matches.is_empty() {
+                return Err(err(format!(
+                    "no verdicts for quartet loc={loc} p24={p24} in this scenario \
+                     (try `blameit topo` / `blameit routes` for valid ids)"
+                )));
+            }
+            writeln!(
+                out,
+                "{} verdict(s) for quartet loc={loc} p24={p24}; showing {}:",
+                matches.len(),
+                matches.len().min(limit)
+            )
+            .unwrap();
+            for b in matches.iter().take(limit) {
+                out.push('\n');
+                out.push_str(&render_blame_explain(b));
+            }
+        }
+        ExplainSelector::Incident { loc } => {
+            let matches: Vec<&MiddleLocalization> = ticks
+                .iter()
+                .flat_map(|t| t.localizations.iter())
+                .filter(|l| l.issue.issue.loc == loc)
+                .collect();
+            if matches.is_empty() {
+                return Err(err(format!(
+                    "no middle localizations at loc={loc} in this scenario \
+                     (middle incidents need a middle-segment fault; try \
+                     `blameit explain incident:<loc> --target middle:<asn> ...`)"
+                )));
+            }
+            writeln!(
+                out,
+                "{} middle localization(s) at loc={loc}; showing {}:",
+                matches.len(),
+                matches.len().min(limit)
+            )
+            .unwrap();
+            for l in matches.iter().take(limit) {
+                out.push('\n');
+                out.push_str(&render_localization_explain(l));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `flight dump [--out FILE]`: run the engine over the scenario and
+/// dump the flight-recorder ring (trigger log + recent tick frames)
+/// as JSONL.
+fn cmd_flight(rest: &[String]) -> Result<String, CliError> {
+    let Some((sub, flags)) = rest.split_first() else {
+        return Err(err("flight requires a subcommand: blameit flight dump"));
+    };
+    if sub != "dump" {
+        return Err(err(format!(
+            "unknown flight subcommand {sub:?}; try `blameit flight dump`"
+        )));
+    }
+    let args = Args::parse_from(flags.iter().cloned());
+    let days = args.u64("days", 2).max(2);
+    let warmup = args.u64("warmup", 1).min(days - 1);
+    let world = organic_world(args.scale(Scale::Small), days, args.u64("seed", 2019));
+    let plan = parse_fault_plan(&args)?;
+    let cfg = engine_config(&world, args.u64("threads", 0) as usize);
+    let parallelism = cfg.parallelism;
+    let mut engine = BlameItEngine::new(cfg);
+    let eval = TimeRange::new(SimTime::from_days(warmup), SimTime::from_days(days));
+    match plan {
+        None => {
+            let mut backend = WorldBackend::with_parallelism(&world, parallelism);
+            engine.warmup(&backend, TimeRange::days(warmup), 2);
+            engine.run(&mut backend, eval);
+        }
+        Some(plan) => {
+            let mut backend = ChaosBackend::with_registry(
+                WorldBackend::with_parallelism(&world, parallelism),
+                plan,
+                engine.metrics().registry(),
+            );
+            engine.warmup(&backend, TimeRange::days(warmup), 2);
+            engine.run(&mut backend, eval);
+        }
+    }
+    let dump = engine.flight_dump_manual(SimTime::from_days(days).secs(), "cli flight dump");
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &dump).map_err(|e| err(format!("write {path}: {e}")))?;
+        Ok(format!("wrote {} byte(s) to {path}\n", dump.len()))
+    } else {
+        Ok(dump)
     }
 }
 
@@ -697,10 +943,11 @@ fn cmd_metrics(args: &Args) -> Result<String, CliError> {
     let world = organic_world(args.scale(Scale::Small), days, args.u64("seed", 2019));
     let engine = warmed_engine_run(&world, warmup, days, args.u64("threads", 0) as usize);
     let registry = engine.metrics().registry();
+    let filter = args.get("filter").unwrap_or("");
     if args.get("json").is_some() {
-        Ok(format!("{}\n", registry.render_json()))
+        Ok(format!("{}\n", registry.render_json_filtered(filter)))
     } else {
-        Ok(registry.render_prometheus())
+        Ok(registry.render_prometheus_filtered(filter))
     }
 }
 
@@ -992,6 +1239,191 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("\"p99\":"), "{out}");
+    }
+
+    #[test]
+    fn explain_rejects_bad_selectors() {
+        assert!(run_s(&["explain"]).is_err());
+        assert!(run_s(&["explain", "nonsense"]).is_err());
+        assert!(run_s(&["explain", "bogus:1"]).is_err());
+        assert!(run_s(&["explain", "quartet:zz/1.0.0.0/24"]).is_err());
+        assert!(run_s(&["explain", "quartet:0"]).is_err());
+        assert!(run_s(&["explain", "incident:zz"]).is_err());
+    }
+
+    #[test]
+    fn explain_incident_renders_provenance_chain() {
+        let out = run_s(&[
+            "explain",
+            "incident:0",
+            "--scale",
+            "tiny",
+            "--target",
+            "middle:104",
+            "--ms",
+            "100",
+            "--at-hour",
+            "30",
+            "--hours",
+            "2",
+            "--limit",
+            "1",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("middle localization(s) at loc=cloud0"),
+            "{out}"
+        );
+        assert!(out.contains("├─ incident: opened at bucket"), "{out}");
+        assert!(out.contains("├─ priority: client-time product"), "{out}");
+        assert!(out.contains("├─ probe: target"), "{out}");
+        assert!(out.contains("├─ baseline: "), "{out}");
+        assert!(out.contains("└─ verdict: culprit(AS104)"), "{out}");
+        assert!(out.contains("per-AS delta:"), "{out}");
+        assert!(out.contains("AS104 baseline="), "{out}");
+    }
+
+    #[test]
+    fn explain_quartet_renders_algorithm1_branch() {
+        // A /24 served by cloud0 in the quiet tiny world; the injected
+        // cloud fault guarantees it carries verdicts during the window.
+        let world = quiet_world(Scale::Tiny, 2, 2019);
+        let p24 = world
+            .topology()
+            .clients_of(CloudLocId(0))
+            .next()
+            .unwrap()
+            .p24;
+        let out = run_s(&[
+            "explain",
+            &format!("quartet:0/{p24}"),
+            "--scale",
+            "tiny",
+            "--target",
+            "cloud:0",
+            "--ms",
+            "120",
+            "--at-hour",
+            "30",
+            "--hours",
+            "2",
+            "--limit",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("verdict(s) for quartet loc=cloud0"), "{out}");
+        assert!(out.contains("├─ observed: n="), "{out}");
+        assert!(out.contains("└─ algorithm-1: "), "{out}");
+        assert!(out.contains("tau 0.8"), "{out}");
+        assert!(out.contains("└─ evidence: cloud="), "{out}");
+    }
+
+    #[test]
+    fn explain_reports_no_matches_as_error() {
+        let e = run_s(&[
+            "explain",
+            "quartet:0/9.9.9.0/24",
+            "--scale",
+            "tiny",
+            "--days",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("no verdicts"), "{}", e.0);
+    }
+
+    #[test]
+    fn flight_dump_emits_jsonl_ring() {
+        assert!(run_s(&["flight"]).is_err());
+        assert!(run_s(&["flight", "bogus"]).is_err());
+        let out = run_s(&["flight", "dump", "--scale", "tiny", "--days", "2"]).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(!lines.is_empty());
+        // Trigger log first (the manual dump itself always logs one),
+        // then the frame ring; every line is a JSON object.
+        assert!(
+            lines.iter().any(|l| l.contains("\"trigger\":\"manual\"")),
+            "{out}"
+        );
+        assert!(
+            lines.iter().any(|l| l.starts_with("{\"kind\":\"frame\"")),
+            "{out}"
+        );
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+        // Byte-identical across thread counts.
+        let again = run_s(&[
+            "flight",
+            "dump",
+            "--scale",
+            "tiny",
+            "--days",
+            "2",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(out, again, "flight dump must not depend on --threads");
+    }
+
+    #[test]
+    fn metrics_filter_selects_prefix_in_sorted_order() {
+        let out = run_s(&[
+            "metrics",
+            "--scale",
+            "tiny",
+            "--days",
+            "2",
+            "--filter",
+            "blameit_blames",
+        ])
+        .unwrap();
+        assert!(out.contains("blameit_blames_total{segment="), "{out}");
+        assert!(!out.contains("blameit_ticks_total"), "{out}");
+        let names: Vec<&str> = out
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .map(|l| l.split_whitespace().next().unwrap())
+            .collect();
+        assert!(!names.is_empty());
+        for n in &names {
+            assert!(n.starts_with("blameit_blames"), "{n}");
+        }
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "exposition must render in sorted order");
+        // JSON path honors the filter too.
+        let j = run_s(&[
+            "metrics",
+            "--scale",
+            "tiny",
+            "--days",
+            "2",
+            "--filter",
+            "zzz_nothing",
+            "--json",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(j.trim(), "[]", "{j}");
+    }
+
+    #[test]
+    fn analyze_summary_breaks_down_degraded_verdicts() {
+        let out = run_s(&["analyze", "--scale", "tiny", "--days", "2"]).unwrap();
+        assert!(out.contains("degraded verdicts: "), "{out}");
+        // Reason labels come straight from UnlocalizedReason.
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("degraded verdicts: "))
+            .unwrap();
+        assert!(
+            UnlocalizedReason::ALL
+                .iter()
+                .any(|r| line.contains(r.label())),
+            "{line}"
+        );
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct OpenIncident {
     pub start: TimeBucket,
     /// Consecutive bad buckets so far (≥ 1).
     pub buckets: u32,
+    /// Bad observations folded in so far (one per fed key instance —
+    /// repeats within a bucket count). Provenance evidence: how much
+    /// passive signal this incident rests on.
+    pub observations: u64,
 }
 
 impl OpenIncident {
@@ -107,13 +111,16 @@ impl<K: Ord + Clone> IncidentTracker<K> {
             // Callers feed one entry per bad quartet; a key repeats for
             // every quartet sharing the segment. Only the first sighting
             // in a bucket may advance (or open) the incident — a repeat
-            // must not reset the accumulated run.
-            if still_bad.contains_key(&key) {
+            // must not reset the accumulated run, but it does count as
+            // evidence.
+            if let Some(inc) = still_bad.get_mut(&key) {
+                inc.observations += 1;
                 continue;
             }
             match self.open.remove(&key) {
                 Some(mut inc) if contiguous => {
                     inc.buckets += 1;
+                    inc.observations += 1;
                     still_bad.insert(key, inc);
                 }
                 Some(inc) => {
@@ -128,6 +135,7 @@ impl<K: Ord + Clone> IncidentTracker<K> {
                         OpenIncident {
                             start: bucket,
                             buckets: 1,
+                            observations: 1,
                         },
                     );
                 }
@@ -137,6 +145,7 @@ impl<K: Ord + Clone> IncidentTracker<K> {
                         OpenIncident {
                             start: bucket,
                             buckets: 1,
+                            observations: 1,
                         },
                     );
                 }
@@ -274,5 +283,22 @@ mod tests {
         assert_eq!(t.open_incident(&1).unwrap().elapsed(), 10);
         let closed = t.observe(TimeBucket(10), []);
         assert_eq!(closed[0].buckets, 10);
+    }
+
+    #[test]
+    fn observations_count_every_sighting() {
+        // 4 sightings per bucket × 3 buckets = 12 observations, while
+        // elapsed stays 3 — the provenance distinction between "how
+        // long" and "how much evidence".
+        let mut t: IncidentTracker<u32> = IncidentTracker::new();
+        for b in 0..3 {
+            t.observe(TimeBucket(b), [1, 1, 1, 1]);
+        }
+        let inc = t.open_incident(&1).unwrap();
+        assert_eq!(inc.elapsed(), 3);
+        assert_eq!(inc.observations, 12);
+        // A gap resets the count along with the run.
+        t.observe(TimeBucket(5), [1, 1]);
+        assert_eq!(t.open_incident(&1).unwrap().observations, 2);
     }
 }

@@ -39,6 +39,9 @@
 //! * [`incident`] — consecutive-bad-bucket tracking (§2.3).
 //! * [`pipeline`] — the 15-minute [`pipeline::BlameItEngine`] tying it
 //!   together (§6.1).
+//! * [`provenance`] — the structured evidence chain attached to every
+//!   verdict: Algorithm-1 fractions vs. τ, baseline ages, probe
+//!   retries, priority/budget position.
 //! * [`persist`] — durable engine state: versioned CRC'd snapshots, an
 //!   fsync'd tick journal, crash recovery by snapshot + deterministic
 //!   replay, and the kill-point crash harness hooks.
@@ -62,6 +65,7 @@ pub mod passive;
 pub mod persist;
 pub mod pipeline;
 pub mod priority;
+pub mod provenance;
 pub mod quartet;
 pub mod report;
 pub mod shard;
@@ -91,10 +95,17 @@ pub use pipeline::{Alert, BlameItConfig, BlameItEngine, MiddleLocalization, Tick
 pub use priority::{
     prioritize, select_within_budget, select_within_budgets, MiddleIssue, PrioritizedIssue,
 };
+pub use provenance::{
+    BaselineEvidence, IncidentEvidence, PassiveEvidence, PriorityEvidence, ProbeEvidence,
+    Provenance,
+};
 pub use quartet::{
     aggregate_records, enrich_bucket, enrich_bucket_min_samples, enrich_obs, enrich_obs_sharded,
     split_half_ks, EnrichedQuartet, MIN_SAMPLES,
 };
-pub use report::{render_tick_transcript, tally, tally_by_day, tally_by_region, BlameCounts};
+pub use report::{
+    render_blame_explain, render_localization_explain, render_tick_transcript, tally, tally_by_day,
+    tally_by_region, BlameCounts,
+};
 pub use shard::{default_parallelism, parallel_map, run_sharded, ShardPlan};
 pub use thresholds::BadnessThresholds;

@@ -93,6 +93,22 @@ pub struct EngineMetrics {
     pub baseline_staleness_max_secs: Arc<Gauge>,
     /// Mean over pairs of the freshest baseline's age, seconds.
     pub baseline_staleness_mean_secs: Arc<Gauge>,
+    /// Middle localizations attempted (every probed or deadline-dropped
+    /// issue; the denominator of the coverage SLO).
+    pub middle_localizations: Arc<Counter>,
+    /// Middle localizations that named a culprit AS (the numerator).
+    pub middle_culprits_found: Arc<Counter>,
+    /// SLO: fraction of middle localizations that named a culprit —
+    /// the Fig. 12/13 coverage axis, live.
+    pub middle_localization_coverage: Arc<Gauge>,
+    /// SLO: fraction of the per-tick probe deadline budget consumed
+    /// last tick (1.0 = the budget bit).
+    pub probe_budget_utilization: Arc<Gauge>,
+    /// SLO: cumulative seconds of baseline age consumed by diffs — the
+    /// staleness "burn" that, unchecked, ends in quarantines.
+    pub baseline_staleness_burn_secs: Arc<Counter>,
+    /// Flight-recorder dump triggers fired.
+    pub flight_triggers: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -130,6 +146,13 @@ impl EngineMetrics {
             baselines_stored: registry.gauge("blameit_baselines_stored"),
             baseline_staleness_max_secs: registry.gauge("blameit_baseline_staleness_max_secs"),
             baseline_staleness_mean_secs: registry.gauge("blameit_baseline_staleness_mean_secs"),
+            middle_localizations: registry.counter("blameit_middle_localizations_total"),
+            middle_culprits_found: registry.counter("blameit_middle_culprits_found_total"),
+            middle_localization_coverage: registry.gauge("blameit_middle_localization_coverage"),
+            probe_budget_utilization: registry.gauge("blameit_probe_budget_utilization"),
+            baseline_staleness_burn_secs: registry
+                .counter("blameit_baseline_staleness_burn_secs_total"),
+            flight_triggers: registry.counter("blameit_flight_triggers_total"),
             registry,
         }
     }
@@ -308,6 +331,27 @@ mod tests {
             assert_eq!(m.degraded_counter(r).get(), 1, "{r}");
         }
         assert_eq!(m.degraded_total(), UnlocalizedReason::ALL.len() as u64);
+    }
+
+    #[test]
+    fn slo_instruments_render_under_stable_names() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let m = EngineMetrics::new(reg.clone());
+        m.middle_localizations.add(4);
+        m.middle_culprits_found.add(3);
+        m.middle_localization_coverage.set(0.75);
+        m.probe_budget_utilization.set(0.2);
+        m.baseline_staleness_burn_secs.add(3_600);
+        let text = reg.render_prometheus();
+        for name in [
+            "blameit_middle_localizations_total 4",
+            "blameit_middle_culprits_found_total 3",
+            "blameit_middle_localization_coverage 0.75",
+            "blameit_probe_budget_utilization 0.2",
+            "blameit_baseline_staleness_burn_secs_total 3600",
+        ] {
+            assert!(text.contains(name), "{name} missing from:\n{text}");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::grouping::{MiddleGrouping, MiddleKey};
 use crate::history::{ExpectedRttLearner, RttKey};
+use crate::provenance::PassiveEvidence;
 use crate::quartet::EnrichedQuartet;
 use blameit_simnet::QuartetObs;
 use blameit_topology::{Asn, CloudLocId, PathId, Region};
@@ -112,6 +113,8 @@ pub struct BlameResult {
     pub region: Region,
     /// The verdict.
     pub blame: Blame,
+    /// Why: the Algorithm-1 evidence the verdict rests on.
+    pub passive: PassiveEvidence,
 }
 
 /// Per-aggregate statistics computed during blame assignment, exposed
@@ -210,6 +213,7 @@ impl PassiveAggregates {
         let key = cfg.grouping.key(&q.info);
         let (cloud_n, cloud_bad) = self.stats.cloud[&q.obs.loc];
         let (mid_n, mid_bad) = self.stats.middle[&key];
+        let good_elsewhere = self.has_good_to_other_loc(q);
         let blame = if cloud_n <= min_q {
             Blame::Insufficient
         } else if cloud_bad as f64 / cloud_n as f64 >= cfg.tau {
@@ -218,7 +222,7 @@ impl PassiveAggregates {
             Blame::Insufficient
         } else if mid_bad as f64 / mid_n as f64 >= cfg.tau {
             Blame::Middle
-        } else if self.has_good_to_other_loc(q) {
+        } else if good_elsewhere {
             Blame::Ambiguous
         } else {
             Blame::Client
@@ -230,6 +234,16 @@ impl PassiveAggregates {
             origin: q.info.origin,
             region: q.info.region,
             blame,
+            passive: PassiveEvidence {
+                branch: blame,
+                tau: cfg.tau,
+                min_aggregate: min_q,
+                cloud_n,
+                cloud_bad,
+                middle_n: mid_n,
+                middle_bad: mid_bad,
+                good_elsewhere,
+            },
         })
     }
 
@@ -322,6 +336,13 @@ mod tests {
         assert_eq!(res.len(), 1);
         assert_eq!(res[0].blame, Blame::Cloud);
         assert!((stats.cloud_bad_fraction(CloudLocId(0)) - 1.0).abs() < 1e-9);
+        // The verdict carries its own evidence: branch, counts, τ.
+        let ev = &res[0].passive;
+        assert_eq!(ev.branch, Blame::Cloud);
+        assert_eq!((ev.cloud_n, ev.cloud_bad), (10, 10));
+        assert!((ev.tau - cfg.tau).abs() < 1e-12);
+        assert_eq!(ev.min_aggregate, cfg.min_aggregate_quartets);
+        assert!(!ev.good_elsewhere);
     }
 
     #[test]
@@ -384,6 +405,7 @@ mod tests {
             .find(|r| r.obs.loc == CloudLocId(0) && r.obs.p24 == Prefix24::from_block(0))
             .unwrap();
         assert_eq!(mine.blame, Blame::Ambiguous);
+        assert!(mine.passive.good_elsewhere);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 pub const MAGIC: [u8; 4] = *b"BLIT";
 
 /// Snapshot/journal format version. Bump on any layout change; loaders
-/// refuse other versions rather than guessing.
-pub const FORMAT_VERSION: u16 = 1;
+/// refuse other versions rather than guessing. v2: open incidents carry
+/// an observation count (verdict provenance).
+pub const FORMAT_VERSION: u16 = 2;
 
 /// File kinds (byte 7 of the preamble).
 pub const KIND_SNAPSHOT: u8 = 1;
@@ -178,6 +179,12 @@ impl ByteWriter {
     pub fn put_len(&mut self, n: usize) {
         self.put_u64(n as u64);
     }
+
+    /// Appends a UTF-8 string as length + bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.put_bytes(s.as_bytes());
+    }
 }
 
 /// Bounds-checked little-endian reader over a byte slice.
@@ -265,6 +272,18 @@ impl<'a> ByteReader<'a> {
             0 => Ok(None),
             1 => Ok(Some(self.f64()?)),
             _ => Err(CodecError::Invalid("option byte not 0/1")),
+        }
+    }
+
+    /// Reads a string written by [`ByteWriter::put_str`]. The length is
+    /// validated against the remaining input before the bytes are
+    /// touched, and the content must be valid UTF-8.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => Err(CodecError::Invalid("string is not valid UTF-8")),
         }
     }
 

@@ -246,6 +246,14 @@ impl DurableEngine {
             StartMode::RecoveredFallback => {
                 metrics.starts_recovered.inc();
                 metrics.recoveries_fallback.inc();
+                // A fallback recovery means at least one snapshot was
+                // corrupt — exactly the anomaly the flight recorder
+                // exists to capture, so log (and possibly dump) it.
+                engine.fire_flight_trigger(
+                    engine.churn_cursor.secs(),
+                    blameit_obs::FlightTrigger::RecoveryFallback,
+                    format!("recovered after rejecting {rejected} snapshot(s)"),
+                );
             }
         }
         metrics.replayed_ticks.add(replayed.len() as u64);

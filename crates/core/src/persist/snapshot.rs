@@ -24,6 +24,7 @@ use crate::grouping::MiddleKey;
 use crate::history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
 use crate::incident::{IncidentTracker, OpenIncident};
 use crate::pipeline::BlameItEngine;
+use blameit_obs::{FlightDumpEvent, FlightFrame, FlightTrigger};
 use blameit_simnet::{SimTime, TimeBucket};
 use blameit_topology::rng::DetRng;
 use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24};
@@ -38,6 +39,7 @@ const SEC_INCIDENTS: u8 = 5;
 const SEC_BASELINES: u8 = 6;
 const SEC_SCHEDULER: u8 = 7;
 const SEC_ENGINE: u8 = 8;
+const SEC_FLIGHT: u8 = 9;
 
 /// A fully decoded snapshot, not yet bound to an engine.
 ///
@@ -86,6 +88,12 @@ pub struct SnapshotState {
     pub on_demand_probes_total: u64,
     /// Lifetime background probe count.
     pub background_probes_total: u64,
+    /// Flight-recorder frames at snapshot time, oldest first. Persisted
+    /// so a post-recovery dump shows the same history an uninterrupted
+    /// run would.
+    pub flight_frames: Vec<FlightFrame>,
+    /// Flight-recorder trigger log at snapshot time.
+    pub flight_dumps: Vec<FlightDumpEvent>,
 }
 
 impl SnapshotState {
@@ -128,6 +136,7 @@ impl SnapshotState {
         engine.churn_cursor = self.churn_cursor;
         engine.on_demand_probes_total = self.on_demand_probes_total;
         engine.background_probes_total = self.background_probes_total;
+        engine.flight.restore(self.flight_frames, self.flight_dumps);
         Ok(self.ticks_done)
     }
 }
@@ -157,6 +166,8 @@ impl SnapshotState {
             churn_cursor: engine.churn_cursor,
             on_demand_probes_total: engine.on_demand_probes_total,
             background_probes_total: engine.background_probes_total,
+            flight_frames: engine.flight.frames(),
+            flight_dumps: engine.flight.dump_events(),
         }
     }
 
@@ -197,6 +208,11 @@ impl SnapshotState {
             ),
         );
         write_section(&mut w, SEC_ENGINE, &encode_engine_misc(self));
+        write_section(
+            &mut w,
+            SEC_FLIGHT,
+            &encode_flight(&self.flight_frames, &self.flight_dumps),
+        );
         w.into_bytes()
     }
 }
@@ -221,6 +237,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
         SEC_BASELINES,
         SEC_SCHEDULER,
         SEC_ENGINE,
+        SEC_FLIGHT,
     ];
     let mut payloads: Vec<&[u8]> = Vec::with_capacity(expect.len());
     for want in expect {
@@ -233,7 +250,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
     if r.remaining() != 0 {
         return Err(CodecError::Invalid("trailing bytes after last section"));
     }
-    let [p_ident, p_expected, p_durations, p_client, p_incidents, p_baselines, p_scheduler, p_engine] =
+    let [p_ident, p_expected, p_durations, p_client, p_incidents, p_baselines, p_scheduler, p_engine, p_flight] =
         payloads.as_slice()
     else {
         return Err(CodecError::Invalid("wrong section count"));
@@ -285,6 +302,8 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
         return Err(CodecError::Invalid("trailing bytes in engine section"));
     }
 
+    let (flight_frames, flight_dumps) = decode_flight(p_flight)?;
+
     Ok(SnapshotState {
         seed,
         tick_buckets,
@@ -306,6 +325,8 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
         churn_cursor,
         on_demand_probes_total,
         background_probes_total,
+        flight_frames,
+        flight_dumps,
     })
 }
 
@@ -638,6 +659,7 @@ fn encode_incidents(open: &OpenIncidents, last_bucket: Option<TimeBucket>) -> Ve
     put_map(&mut w, open, put_loc_path, |w, inc| {
         w.put_u32(inc.start.0);
         w.put_u32(inc.buckets);
+        w.put_u64(inc.observations);
     });
     w.into_bytes()
 }
@@ -655,12 +677,87 @@ fn decode_incidents(payload: &[u8]) -> Result<(OpenIncidents, Option<TimeBucket>
         Ok(OpenIncident {
             start: TimeBucket(r.u32()?),
             buckets: r.u32()?,
+            observations: r.u64()?,
         })
     })?;
     if r.remaining() != 0 {
         return Err(CodecError::Invalid("trailing bytes in incident section"));
     }
     Ok((open, last_bucket))
+}
+
+fn encode_flight(frames: &[FlightFrame], dumps: &[FlightDumpEvent]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_len(frames.len());
+    for f in frames {
+        w.put_u64(f.sim_secs);
+        w.put_u32(f.bucket);
+        w.put_str(&f.transcript);
+        w.put_len(f.stages.len());
+        for s in &f.stages {
+            w.put_str(s);
+        }
+        w.put_len(f.deltas.len());
+        for (name, v) in &f.deltas {
+            w.put_str(name);
+            w.put_f64(*v);
+        }
+    }
+    w.put_len(dumps.len());
+    for d in dumps {
+        w.put_u64(d.sim_secs);
+        w.put_str(d.trigger.label());
+        w.put_str(&d.detail);
+    }
+    w.into_bytes()
+}
+
+fn decode_flight(payload: &[u8]) -> Result<(Vec<FlightFrame>, Vec<FlightDumpEvent>), CodecError> {
+    let mut r = ByteReader::new(payload);
+    let n = r.len(20)?;
+    let mut frames = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sim_secs = r.u64()?;
+        let bucket = r.u32()?;
+        let transcript = r.str()?;
+        let n_stages = r.len(8)?;
+        let mut stages = Vec::with_capacity(n_stages);
+        for _ in 0..n_stages {
+            stages.push(r.str()?);
+        }
+        let n_deltas = r.len(16)?;
+        let mut deltas = Vec::with_capacity(n_deltas);
+        for _ in 0..n_deltas {
+            let name = r.str()?;
+            let v = r.f64()?;
+            deltas.push((name, v));
+        }
+        frames.push(FlightFrame {
+            sim_secs,
+            bucket,
+            transcript,
+            stages,
+            deltas,
+        });
+    }
+    let n = r.len(24)?;
+    let mut dumps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sim_secs = r.u64()?;
+        let label = r.str()?;
+        let trigger = FlightTrigger::from_label(&label)
+            .ok_or(CodecError::Invalid("unknown flight trigger label"))?;
+        let detail = r.str()?;
+        dumps.push(FlightDumpEvent {
+            sim_secs,
+            trigger,
+            detail,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in flight section"));
+    }
+    Ok((frames, dumps))
 }
 
 fn encode_baselines(b: &BaselineStore) -> Vec<u8> {

@@ -24,10 +24,13 @@ use crate::incident::IncidentTracker;
 use crate::metrics::{stage, EngineMetrics, ShardMetrics};
 use crate::passive::{aggregate_pass, Blame, BlameConfig, BlameResult};
 use crate::priority::{prioritize, select_within_budgets, MiddleIssue, PrioritizedIssue};
+use crate::provenance::{BaselineEvidence, IncidentEvidence, ProbeEvidence, Provenance};
 use crate::quartet::{enrich_obs_sharded, EnrichedQuartet, MIN_SAMPLES};
 use crate::shard::{parallel_map, run_sharded, ShardPlan};
 use crate::thresholds::BadnessThresholds;
-use blameit_obs::{span, MetricsRegistry, StageClock, StageTimings};
+use blameit_obs::{
+    span, FlightFrame, FlightRecorder, FlightTrigger, MetricsRegistry, StageClock, StageTimings,
+};
 use blameit_simnet::{Segment, SimTime, TimeBucket, TimeRange};
 use blameit_topology::{Asn, CloudLocId, PathId, Prefix24};
 use std::collections::{HashMap, HashSet};
@@ -83,6 +86,18 @@ pub struct BlameItConfig {
     /// `TickOutput` (shard outputs merge under a canonical sort).
     /// Defaults to `BLAMEIT_THREADS` or the machine's available cores.
     pub parallelism: usize,
+    /// Flight-recorder ring capacity (recent tick frames kept).
+    pub flight_capacity: usize,
+    /// Flight trigger: a tick with at least this many degraded
+    /// (`MiddleUnlocalized`) verdicts requests a dump. `0` disables.
+    pub flight_degraded_spike: u64,
+    /// Flight trigger: a tick whose probe loop absorbed at least this
+    /// many lost/late attempts requests a dump. `0` disables.
+    pub flight_chaos_burst: u64,
+    /// Directory flight dumps are written to when a trigger fires
+    /// (`flight-<sim_secs>-<trigger>.jsonl`). `None` keeps the trigger
+    /// log in memory only.
+    pub flight_dump_dir: Option<std::path::PathBuf>,
 }
 
 impl BlameItConfig {
@@ -105,6 +120,10 @@ impl BlameItConfig {
             state_dir: None,
             snapshot_every_ticks: 4,
             parallelism: crate::shard::default_parallelism(),
+            flight_capacity: blameit_obs::flight::DEFAULT_FLIGHT_CAPACITY,
+            flight_degraded_spike: 3,
+            flight_chaos_burst: 4,
+            flight_dump_dir: None,
         }
     }
 }
@@ -130,6 +149,9 @@ pub struct MiddleLocalization {
     pub verdict: LocalizationVerdict,
     /// The culprit AS, if the diff names one (`verdict.culprit()`).
     pub culprit: Option<Asn>,
+    /// The evidence chain behind the verdict: incident context,
+    /// priority/budget position, probe attempts, baseline age.
+    pub provenance: Provenance,
 }
 
 /// An operator alert (the auto-filed ticket of §6.1).
@@ -216,6 +238,9 @@ pub struct BlameItEngine {
     pub(crate) bg_failed_once: HashSet<(CloudLocId, PathId)>,
     pub(crate) churn_cursor: SimTime,
     pub(crate) metrics: EngineMetrics,
+    /// The deterministic flight ring: recent tick frames + trigger log.
+    /// Part of the snapshot, so dumps survive crash→recover→resume.
+    pub(crate) flight: FlightRecorder,
     /// Lifetime probe counters.
     pub on_demand_probes_total: u64,
     /// Lifetime background probe count.
@@ -247,6 +272,7 @@ impl BlameItEngine {
             episodes: HashMap::new(),
             bg_failed_once: HashSet::new(),
             churn_cursor: SimTime::ZERO,
+            flight: FlightRecorder::new(cfg.flight_capacity),
             on_demand_probes_total: 0,
             background_probes_total: 0,
             cfg,
@@ -262,6 +288,19 @@ impl BlameItEngine {
     /// Prometheus text / JSON via [`EngineMetrics::registry`]).
     pub fn metrics(&self) -> &EngineMetrics {
         &self.metrics
+    }
+
+    /// The flight recorder (interior-mutable: triggers and manual dumps
+    /// go through a shared reference).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Fires the on-demand (`Manual`) flight trigger and returns the
+    /// recorder's JSONL dump — the `blameit flight dump` path.
+    pub fn flight_dump_manual(&self, sim_secs: u64, detail: impl Into<String>) -> String {
+        self.fire_flight_trigger(sim_secs, FlightTrigger::Manual, detail.into());
+        self.flight.dump_jsonl()
     }
 
     /// The learned expected-RTT store (read access for reporting).
@@ -575,10 +614,18 @@ impl BlameItEngine {
             tr: Option<blameit_simnet::Traceroute>,
             incident_start: SimTime,
             attempts: u32,
+            /// Attempts that answered nothing usable (lost or late).
+            lost_attempts: u32,
+            /// Backoff waited across retries, seconds.
+            backoff_secs: u64,
             /// The kept evidence is a truncated traceroute.
             truncated: bool,
             /// Dropped unprobed: the deadline budget ran out first.
             deadline_dropped: bool,
+            /// Rank within the selected (budgeted) set this tick.
+            rank: usize,
+            /// The middle incident this probe serves.
+            incident_ev: IncidentEvidence,
         }
         // Probe time the tick can spend: lost attempts burn the
         // per-probe timeout, slow answers their wait. Instant answers
@@ -586,10 +633,24 @@ impl BlameItEngine {
         // when the measurement plane misbehaves.
         let probe_timeout = self.cfg.probe_timeout_secs;
         let mut deadline_left = self.cfg.probe_deadline_budget_secs;
+        let candidates = out.ranked_issues.len();
+        let selected_n = selected.len();
         let probed: Vec<ProbedIssue> = selected
             .into_iter()
-            .map(|p| {
+            .enumerate()
+            .map(|(rank, p)| {
                 let first_at = p.issue.bucket.mid();
+                // Incident evidence for the provenance chain: the open
+                // incident this probe serves (closed-mid-tick incidents
+                // fall back to the issue's own bucket, observation-free).
+                let open = self.incidents.open_incident(&(p.issue.loc, p.issue.path));
+                let incident_ev = IncidentEvidence {
+                    start_bucket: open.map_or(p.issue.bucket, |o| o.start),
+                    elapsed_buckets: p.issue.elapsed_buckets,
+                    observations: open.map_or(0, |o| o.observations),
+                    current_clients: p.issue.current_clients,
+                    affected_p24s: p.issue.affected_p24s.len(),
+                };
                 // Probe an *affected* /24 (§5.3 targets the clients of
                 // the issue). Its last mile may differ from the /24 the
                 // background baseline was measured toward; that
@@ -627,8 +688,12 @@ impl BlameItEngine {
                         tr: None,
                         incident_start,
                         attempts: 0,
+                        lost_attempts: 0,
+                        backoff_secs: 0,
                         truncated: false,
                         deadline_dropped: true,
+                        rank,
+                        incident_ev,
                     };
                 }
                 let client_origin = backend
@@ -643,6 +708,8 @@ impl BlameItEngine {
                 let mut evidence_at = first_at;
                 let mut truncated = false;
                 let mut attempts = 0u32;
+                let mut lost_attempts = 0u32;
+                let mut backoff_secs = 0u64;
                 loop {
                     attempts += 1;
                     let mut attempt_span = span!(
@@ -662,6 +729,7 @@ impl BlameItEngine {
                     let cost = match got {
                         None => {
                             self.metrics.probe_attempts_lost.inc();
+                            lost_attempts += 1;
                             attempt_span.record("outcome", "lost");
                             probe_timeout
                         }
@@ -669,6 +737,7 @@ impl BlameItEngine {
                             let wait = t.at.secs().saturating_sub(at.secs());
                             if wait > probe_timeout {
                                 self.metrics.probe_attempts_lost.inc();
+                                lost_attempts += 1;
                                 attempt_span.record("outcome", "late");
                                 probe_timeout
                             } else if t.hops.last().is_none_or(|h| h.segment != Segment::Client) {
@@ -701,6 +770,7 @@ impl BlameItEngine {
                     }
                     let backoff = self.cfg.probe_backoff_base_secs << (attempts - 1).min(16) as u64;
                     at = at + cost + backoff;
+                    backoff_secs += backoff;
                     self.metrics.probe_retries.inc();
                 }
                 ProbedIssue {
@@ -711,8 +781,12 @@ impl BlameItEngine {
                     tr: evidence,
                     incident_start,
                     attempts,
+                    lost_attempts,
+                    backoff_secs,
                     truncated,
                     deadline_dropped: false,
+                    rank,
+                    incident_ev,
                 }
             })
             .collect();
@@ -727,22 +801,43 @@ impl BlameItEngine {
         let baselines = &self.baselines;
         let max_age = self.cfg.baseline_max_age_secs;
         let diffs = parallel_map(nthreads, &probed, |_, p| {
-            let Some(t) = p.tr.as_ref() else {
-                return DiffOutcome::NoProbe;
-            };
-            let Some(base) = baselines
+            // Baseline evidence is recorded whether or not a diff runs:
+            // "which picture would we have compared against, and how
+            // old was it" belongs in the provenance of timeouts too.
+            let base = baselines
                 .get_before(p.issue.issue.loc, p.issue.issue.path, p.incident_start)
-                .or_else(|| baselines.oldest(p.issue.issue.loc, p.issue.issue.path))
-            else {
-                return DiffOutcome::NoBaseline;
+                .or_else(|| baselines.oldest(p.issue.issue.loc, p.issue.issue.path));
+            let baseline_ev = match base {
+                None => BaselineEvidence::Missing,
+                Some(b) => {
+                    let age = p.probe_at.secs().saturating_sub(b.at.secs());
+                    if age > max_age {
+                        BaselineEvidence::Stale {
+                            at_secs: b.at.secs(),
+                            age_secs: age,
+                            max_age_secs: max_age,
+                        }
+                    } else {
+                        BaselineEvidence::Fresh {
+                            at_secs: b.at.secs(),
+                            age_secs: age,
+                        }
+                    }
+                }
+            };
+            let Some(t) = p.tr.as_ref() else {
+                return (DiffOutcome::NoProbe, baseline_ev);
+            };
+            let Some(base) = base else {
+                return (DiffOutcome::NoBaseline, baseline_ev);
             };
             // Stale-baseline quarantine: a comparison picture this old
             // reflects a path that may have reshaped entirely; naming a
             // culprit from it would be misattribution, not evidence.
-            if p.probe_at.secs().saturating_sub(base.at.secs()) > max_age {
-                return DiffOutcome::Stale;
+            if matches!(baseline_ev, BaselineEvidence::Stale { .. }) {
+                return (DiffOutcome::Stale, baseline_ev);
             }
-            DiffOutcome::Diffed(diff_contributions_with_floor(
+            let diffed = DiffOutcome::Diffed(diff_contributions_with_floor(
                 &base.contributions,
                 &t.as_contributions(),
                 |asn| {
@@ -756,9 +851,10 @@ impl BlameItEngine {
                         MIN_CULPRIT_DELTA_MS
                     }
                 },
-            ))
+            ));
+            (diffed, baseline_ev)
         });
-        for (p, outcome) in probed.into_iter().zip(diffs) {
+        for (p, (outcome, baseline_ev)) in probed.into_iter().zip(diffs) {
             let (verdict, diff) = if p.deadline_dropped {
                 (
                     LocalizationVerdict::MiddleUnlocalized {
@@ -814,6 +910,11 @@ impl BlameItEngine {
             if let Some(c) = culprit {
                 culprit_by_issue.insert((p.issue.issue.loc, p.issue.issue.path), c);
             }
+            // SLO: seconds of baseline age consumed by localizations —
+            // the "staleness burn" that precedes quarantines.
+            if let Some(age) = baseline_ev.age_secs() {
+                self.metrics.baseline_staleness_burn_secs.add(age);
+            }
             out.localizations.push(MiddleLocalization {
                 probed_at: p.probe_at,
                 probed_p24: p.p24,
@@ -821,10 +922,43 @@ impl BlameItEngine {
                 diff,
                 verdict,
                 culprit,
+                provenance: Provenance {
+                    incident: p.incident_ev,
+                    priority: p.issue.evidence(p.rank, selected_n, candidates),
+                    probe: ProbeEvidence {
+                        attempts: p.attempts,
+                        lost_attempts: p.lost_attempts,
+                        truncated: p.truncated,
+                        deadline_dropped: p.deadline_dropped,
+                        backoff_secs: p.backoff_secs,
+                    },
+                    baseline: baseline_ev,
+                },
                 issue: p.issue,
             });
         }
         self.metrics.on_demand_probes.add(out.on_demand_probes);
+        // SLO instruments derived from this tick's active phase.
+        let budget = self.cfg.probe_deadline_budget_secs.max(1);
+        self.metrics
+            .probe_budget_utilization
+            .set((budget - deadline_left.min(budget)) as f64 / budget as f64);
+        let attempted = out.localizations.len() as u64;
+        let localized = out
+            .localizations
+            .iter()
+            .filter(|l| l.culprit.is_some())
+            .count() as u64;
+        self.metrics.middle_localizations.add(attempted);
+        self.metrics.middle_culprits_found.add(localized);
+        let loc_total = self.metrics.middle_localizations.get();
+        self.metrics
+            .middle_localization_coverage
+            .set(if loc_total == 0 {
+                0.0
+            } else {
+                self.metrics.middle_culprits_found.get() as f64 / loc_total as f64
+            });
         drop(active_span);
         clock.lap(stage::ACTIVE);
 
@@ -1012,7 +1146,106 @@ impl BlameItEngine {
         self.metrics.observe_stage_timings(&out.stage_timings);
         tick_span.record("blames", out.blames.len());
         tick_span.record("alerts", out.alerts.len());
+        self.record_flight_frame(start, &out);
         out
+    }
+
+    /// Appends this tick's frame to the flight ring and evaluates the
+    /// dump-trigger predicates. Everything recorded is a pure function
+    /// of the tick output and sim time — no wall clock, no registry
+    /// diffing (a registry resets on restart; the tick output does
+    /// not), so the ring is byte-identical across thread counts and
+    /// across crash→recover→resume.
+    fn record_flight_frame(&mut self, start: TimeBucket, out: &TickOutput) {
+        let sim_secs = start.start().secs();
+        let tally = crate::report::tally(&out.blames);
+        let degraded = out
+            .localizations
+            .iter()
+            .filter(|l| matches!(l.verdict, LocalizationVerdict::MiddleUnlocalized { .. }))
+            .count() as u64;
+        let absorbed: u64 = out
+            .localizations
+            .iter()
+            .map(|l| l.provenance.probe.lost_attempts as u64)
+            .sum();
+        let mut deltas: Vec<(String, f64)> = vec![
+            ("blameit_alerts_total".into(), out.alerts.len() as f64),
+            ("blameit_degraded_verdicts_total".into(), degraded as f64),
+            (
+                "blameit_middle_localizations_total".into(),
+                out.localizations.len() as f64,
+            ),
+            (
+                "blameit_middle_culprits_found_total".into(),
+                out.localizations
+                    .iter()
+                    .filter(|l| l.culprit.is_some())
+                    .count() as f64,
+            ),
+            (
+                "blameit_on_demand_probes_total".into(),
+                out.on_demand_probes as f64,
+            ),
+            (
+                "blameit_background_probes_total".into(),
+                out.background_probes as f64,
+            ),
+            ("blameit_probe_attempts_lost_total".into(), absorbed as f64),
+        ];
+        for b in Blame::ALL {
+            deltas.push((
+                format!("blameit_blames_total{{verdict={b}}}"),
+                tally.count(b) as f64,
+            ));
+        }
+        deltas.sort_by(|a, b| a.0.cmp(&b.0));
+        self.flight.record(FlightFrame {
+            sim_secs,
+            bucket: start.0,
+            transcript: crate::report::render_tick_transcript(std::slice::from_ref(out)),
+            stages: out
+                .stage_timings
+                .iter()
+                .map(|(n, _)| n.to_string())
+                .collect(),
+            deltas,
+        });
+        let spike = self.cfg.flight_degraded_spike;
+        if spike > 0 && degraded >= spike {
+            self.fire_flight_trigger(
+                sim_secs,
+                FlightTrigger::DegradedSpike,
+                format!("{degraded} degraded verdicts in one tick (threshold {spike})"),
+            );
+        }
+        let burst = self.cfg.flight_chaos_burst;
+        if burst > 0 && absorbed >= burst {
+            self.fire_flight_trigger(
+                sim_secs,
+                FlightTrigger::ChaosBurst,
+                format!("{absorbed} probe attempts absorbed in one tick (threshold {burst})"),
+            );
+        }
+    }
+
+    /// Logs a trigger and, when a dump directory is configured, writes
+    /// the current ring as `flight-<sim_secs>-<trigger>.jsonl`. Dump
+    /// I/O failures are swallowed: observability must never take the
+    /// engine down.
+    pub(crate) fn fire_flight_trigger(
+        &self,
+        sim_secs: u64,
+        trigger: FlightTrigger,
+        detail: String,
+    ) {
+        self.flight.trigger(sim_secs, trigger, detail);
+        self.metrics.flight_triggers.inc();
+        if let Some(dir) = &self.cfg.flight_dump_dir {
+            let path = dir.join(format!("flight-{sim_secs:09}-{}.jsonl", trigger.label()));
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(path, self.flight.dump_jsonl());
+        }
     }
 
     /// Convenience: runs ticks across a whole range, returning every

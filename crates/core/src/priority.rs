@@ -11,6 +11,7 @@
 
 use crate::grouping::MiddleKey;
 use crate::history::{ClientCountHistory, DurationHistory};
+use crate::provenance::PriorityEvidence;
 use blameit_simnet::TimeBucket;
 use blameit_topology::{CloudLocId, PathId, Prefix24};
 use std::collections::HashMap;
@@ -46,6 +47,27 @@ pub struct PrioritizedIssue {
     pub predicted_clients: f64,
     /// The ranking score: duration × clients.
     pub client_time_product: f64,
+}
+
+impl PrioritizedIssue {
+    /// The provenance record of this issue's ranking: its score and
+    /// where it landed in the budgeted selection (`budget_rank` of
+    /// `selected` issues chosen out of `candidates` competing).
+    pub fn evidence(
+        &self,
+        budget_rank: usize,
+        selected: usize,
+        candidates: usize,
+    ) -> PriorityEvidence {
+        PriorityEvidence {
+            client_time_product: self.client_time_product,
+            predicted_clients: self.predicted_clients,
+            expected_remaining_buckets: self.expected_remaining_buckets,
+            budget_rank,
+            selected,
+            candidates,
+        }
+    }
 }
 
 /// Scores and ranks middle issues by client-time product, descending.
@@ -244,6 +266,17 @@ mod tests {
             select_within_budgets(&ranked, 5, usize::MAX).len(),
             select_within_budget(&ranked, 5).len()
         );
+    }
+
+    #[test]
+    fn evidence_captures_score_and_budget_position() {
+        let durations = DurationHistory::new();
+        let clients = ClientCountHistory::new();
+        let ranked = prioritize(vec![issue(0, 1, 1, 400)], &durations, &clients);
+        let ev = ranked[0].evidence(0, 1, 3);
+        assert_eq!((ev.budget_rank, ev.selected, ev.candidates), (0, 1, 3));
+        assert!((ev.client_time_product - ranked[0].client_time_product).abs() < 1e-12);
+        assert!((ev.predicted_clients - 400.0).abs() < 1e-12);
     }
 
     #[test]

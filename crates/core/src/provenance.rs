@@ -1,0 +1,420 @@
+//! Verdict provenance: the *argument* behind every blame.
+//!
+//! BlameIt's operator value is not the label but the evidence chain —
+//! which Algorithm-1 branch fired, against which measured fractions vs.
+//! τ, which baseline (and how old) anchored the traceroute diff, how
+//! many probe attempts the chaos layer absorbed, and where the issue
+//! ranked in the client-time-product budget (§4–§5). This module holds
+//! the structured evidence records; they are captured where the
+//! decisions happen ([`crate::passive`], [`crate::priority`], the probe
+//! loop in [`crate::pipeline`]) and attached to [`crate::BlameResult`]
+//! and [`crate::MiddleLocalization`].
+//!
+//! Everything here is plain deterministic data: no wall clock, no
+//! thread identity, floats rendered with `{:?}` so transcripts round
+//! trip bit-exactly. The compact renders below are part of the
+//! canonical tick transcript (see [`crate::report`]) and therefore part
+//! of the determinism contract.
+
+use crate::passive::Blame;
+use blameit_simnet::TimeBucket;
+use std::fmt;
+
+/// Algorithm-1 evidence for one bad quartet: the measured aggregate
+/// fractions the hierarchical elimination compared against τ, and which
+/// branch fired as a result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PassiveEvidence {
+    /// The branch taken (duplicates `BlameResult::blame` so the record
+    /// is self-contained once detached from its verdict).
+    pub branch: Blame,
+    /// τ at decision time.
+    pub tau: f64,
+    /// Aggregates at or below this count are insufficient.
+    pub min_aggregate: usize,
+    /// Quartets observed at the cloud location this bucket.
+    pub cloud_n: usize,
+    /// Of those, how many exceeded the learned expected RTT × margin.
+    pub cloud_bad: usize,
+    /// Quartets observed on the middle segment this bucket.
+    pub middle_n: usize,
+    /// Of those, how many exceeded the learned expected RTT × margin.
+    pub middle_bad: usize,
+    /// The same /24 saw good RTT to another location this bucket (the
+    /// Ambiguous-branch evidence).
+    pub good_elsewhere: bool,
+}
+
+impl PassiveEvidence {
+    /// Measured cloud bad fraction (0 with no quartets).
+    pub fn cloud_fraction(&self) -> f64 {
+        if self.cloud_n == 0 {
+            0.0
+        } else {
+            self.cloud_bad as f64 / self.cloud_n as f64
+        }
+    }
+
+    /// Measured middle bad fraction (0 with no quartets).
+    pub fn middle_fraction(&self) -> f64 {
+        if self.middle_n == 0 {
+            0.0
+        } else {
+            self.middle_bad as f64 / self.middle_n as f64
+        }
+    }
+
+    /// Canonical single-line render used in the tick transcript.
+    pub fn render_compact(&self) -> String {
+        format!(
+            "cloud={}/{} middle={}/{} tau={:?} min={} good_elsewhere={}",
+            self.cloud_bad,
+            self.cloud_n,
+            self.middle_bad,
+            self.middle_n,
+            self.tau,
+            self.min_aggregate,
+            self.good_elsewhere
+        )
+    }
+
+    /// The human sentence for the branch taken, with the comparison
+    /// that decided it spelled out.
+    pub fn describe_branch(&self) -> String {
+        match self.branch {
+            Blame::Insufficient if self.cloud_n <= self.min_aggregate => format!(
+                "insufficient: cloud aggregate has {} quartet(s), need > {}",
+                self.cloud_n, self.min_aggregate
+            ),
+            Blame::Insufficient => format!(
+                "insufficient: middle aggregate has {} quartet(s), need > {}",
+                self.middle_n, self.min_aggregate
+            ),
+            Blame::Cloud => format!(
+                "cloud: {}/{} location quartets above expected ({:?} >= tau {:?})",
+                self.cloud_bad,
+                self.cloud_n,
+                self.cloud_fraction(),
+                self.tau
+            ),
+            Blame::Middle => format!(
+                "middle: {}/{} segment quartets above expected ({:?} >= tau {:?}); cloud cleared at {:?}",
+                self.middle_bad,
+                self.middle_n,
+                self.middle_fraction(),
+                self.tau,
+                self.cloud_fraction()
+            ),
+            Blame::Ambiguous => format!(
+                "ambiguous: /24 saw good RTT to another location this bucket; cloud {:?} and middle {:?} both below tau {:?}",
+                self.cloud_fraction(),
+                self.middle_fraction(),
+                self.tau
+            ),
+            Blame::Client => format!(
+                "client: cloud {:?} and middle {:?} below tau {:?}, no good RTT elsewhere",
+                self.cloud_fraction(),
+                self.middle_fraction(),
+                self.tau
+            ),
+        }
+    }
+}
+
+/// The middle-incident context a localization ran under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IncidentEvidence {
+    /// Bucket the incident opened at.
+    pub start_bucket: TimeBucket,
+    /// Buckets elapsed since the incident opened.
+    pub elapsed_buckets: u32,
+    /// Bad-quartet observations folded into the incident so far.
+    pub observations: u64,
+    /// Clients currently affected (this bucket).
+    pub current_clients: u64,
+    /// Distinct affected /24s (this bucket).
+    pub affected_p24s: usize,
+}
+
+impl IncidentEvidence {
+    /// Canonical single-line render.
+    pub fn render_compact(&self) -> String {
+        format!(
+            "start={} elapsed={} obs={} clients={} p24s={}",
+            self.start_bucket.0,
+            self.elapsed_buckets,
+            self.observations,
+            self.current_clients,
+            self.affected_p24s
+        )
+    }
+}
+
+/// Where the issue landed in the client-time-product prioritization
+/// (§5.3) and the probe budgets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PriorityEvidence {
+    /// The score: predicted clients × expected remaining duration.
+    pub client_time_product: f64,
+    /// Predicted client count for the rest of the incident.
+    pub predicted_clients: f64,
+    /// Expected remaining duration (buckets).
+    pub expected_remaining_buckets: f64,
+    /// 0-based rank among the issues *selected* for probing this tick.
+    pub budget_rank: usize,
+    /// Issues selected this tick (the budget actually spent).
+    pub selected: usize,
+    /// Issues that competed this tick before budgeting.
+    pub candidates: usize,
+}
+
+impl PriorityEvidence {
+    /// Canonical single-line render.
+    pub fn render_compact(&self) -> String {
+        format!(
+            "rank={}/{} of {} product={:?} predicted={:?} remaining={:?}",
+            self.budget_rank,
+            self.selected,
+            self.candidates,
+            self.client_time_product,
+            self.predicted_clients,
+            self.expected_remaining_buckets
+        )
+    }
+}
+
+/// What the on-demand probe loop went through: retries, chaos
+/// absorptions, and deadline pressure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeEvidence {
+    /// Attempts issued (1 = first try succeeded).
+    pub attempts: u32,
+    /// Attempts absorbed as lost/late (the chaos layer's doing, or a
+    /// genuinely unresponsive path — the engine cannot tell).
+    pub lost_attempts: u32,
+    /// The answer that arrived was truncated.
+    pub truncated: bool,
+    /// The issue ran out of per-tick probe deadline budget.
+    pub deadline_dropped: bool,
+    /// Total backoff waited across retries (seconds).
+    pub backoff_secs: u64,
+}
+
+impl ProbeEvidence {
+    /// Canonical single-line render.
+    pub fn render_compact(&self) -> String {
+        format!(
+            "attempts={} lost={} truncated={} deadline_dropped={} backoff_secs={}",
+            self.attempts,
+            self.lost_attempts,
+            self.truncated,
+            self.deadline_dropped,
+            self.backoff_secs
+        )
+    }
+}
+
+/// The historical traceroute baseline the diff ran against — or why
+/// there was none.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineEvidence {
+    /// No baseline existed for (loc, path).
+    Missing,
+    /// A baseline existed but exceeded the max age and was quarantined.
+    Stale {
+        /// Sim time the baseline was taken (seconds).
+        at_secs: u64,
+        /// Its age at probe time (seconds).
+        age_secs: u64,
+        /// The configured quarantine threshold (seconds).
+        max_age_secs: u64,
+    },
+    /// A usable baseline anchored the diff.
+    Fresh {
+        /// Sim time the baseline was taken (seconds).
+        at_secs: u64,
+        /// Its age at probe time (seconds).
+        age_secs: u64,
+    },
+}
+
+impl BaselineEvidence {
+    /// Age of the baseline consulted, if any.
+    pub fn age_secs(&self) -> Option<u64> {
+        match self {
+            BaselineEvidence::Missing => None,
+            BaselineEvidence::Stale { age_secs, .. } | BaselineEvidence::Fresh { age_secs, .. } => {
+                Some(*age_secs)
+            }
+        }
+    }
+
+    /// Canonical single-line render.
+    pub fn render_compact(&self) -> String {
+        match self {
+            BaselineEvidence::Missing => "missing".to_string(),
+            BaselineEvidence::Stale {
+                at_secs,
+                age_secs,
+                max_age_secs,
+            } => format!("stale@{at_secs} age={age_secs} max={max_age_secs}"),
+            BaselineEvidence::Fresh { at_secs, age_secs } => {
+                format!("fresh@{at_secs} age={age_secs}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for BaselineEvidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_compact())
+    }
+}
+
+/// The full evidence chain behind one middle localization attempt:
+/// incident context → priority/budget position → probe attempts →
+/// baseline → (diff table lives on the localization itself).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Provenance {
+    /// The incident that triggered the probe.
+    pub incident: IncidentEvidence,
+    /// Priority score and budget position.
+    pub priority: PriorityEvidence,
+    /// Probe attempts/retries/absorptions.
+    pub probe: ProbeEvidence,
+    /// Baseline value and age (or why none).
+    pub baseline: BaselineEvidence,
+}
+
+impl Provenance {
+    /// Canonical single-line render used in the tick transcript.
+    pub fn render_compact(&self) -> String {
+        format!(
+            "incident[{}] priority[{}] probe[{}] baseline[{}]",
+            self.incident.render_compact(),
+            self.priority.render_compact(),
+            self.probe.render_compact(),
+            self.baseline.render_compact()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn passive(branch: Blame) -> PassiveEvidence {
+        PassiveEvidence {
+            branch,
+            tau: 0.8,
+            min_aggregate: 5,
+            cloud_n: 60,
+            cloud_bad: 54,
+            middle_n: 40,
+            middle_bad: 12,
+            good_elsewhere: false,
+        }
+    }
+
+    #[test]
+    fn fractions_divide_safely() {
+        let mut e = passive(Blame::Cloud);
+        assert!((e.cloud_fraction() - 0.9).abs() < 1e-12);
+        assert!((e.middle_fraction() - 0.3).abs() < 1e-12);
+        e.cloud_n = 0;
+        e.middle_n = 0;
+        assert_eq!(e.cloud_fraction(), 0.0);
+        assert_eq!(e.middle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn compact_render_is_debug_formatted() {
+        // `{:?}` float formatting is what makes transcripts bit-exact;
+        // a `{}`-formatted 0.8 would also print "0.8", so pin a value
+        // whose Display and Debug renders differ in precision habits.
+        let mut e = passive(Blame::Cloud);
+        e.tau = 0.8;
+        assert_eq!(
+            e.render_compact(),
+            "cloud=54/60 middle=12/40 tau=0.8 min=5 good_elsewhere=false"
+        );
+    }
+
+    #[test]
+    fn describe_branch_names_the_comparison() {
+        assert!(passive(Blame::Cloud).describe_branch().contains(">= tau"));
+        let mut e = passive(Blame::Insufficient);
+        e.cloud_n = 3;
+        assert!(e.describe_branch().contains("cloud aggregate"));
+        e.cloud_n = 60;
+        e.middle_n = 2;
+        assert!(e.describe_branch().contains("middle aggregate"));
+        assert!(passive(Blame::Client).describe_branch().contains("client"));
+        assert!(passive(Blame::Ambiguous)
+            .describe_branch()
+            .contains("good RTT"));
+    }
+
+    #[test]
+    fn baseline_render_variants() {
+        assert_eq!(BaselineEvidence::Missing.render_compact(), "missing");
+        assert_eq!(
+            BaselineEvidence::Stale {
+                at_secs: 100,
+                age_secs: 400_000,
+                max_age_secs: 345_600,
+            }
+            .render_compact(),
+            "stale@100 age=400000 max=345600"
+        );
+        assert_eq!(
+            BaselineEvidence::Fresh {
+                at_secs: 86_400,
+                age_secs: 3_600,
+            }
+            .render_compact(),
+            "fresh@86400 age=3600"
+        );
+        assert_eq!(BaselineEvidence::Missing.age_secs(), None);
+    }
+
+    #[test]
+    fn provenance_compact_chains_all_sections() {
+        let p = Provenance {
+            incident: IncidentEvidence {
+                start_bucket: TimeBucket(300),
+                elapsed_buckets: 4,
+                observations: 9,
+                current_clients: 52,
+                affected_p24s: 3,
+            },
+            priority: PriorityEvidence {
+                client_time_product: 123.5,
+                predicted_clients: 52.0,
+                expected_remaining_buckets: 2.375,
+                budget_rank: 0,
+                selected: 3,
+                candidates: 7,
+            },
+            probe: ProbeEvidence {
+                attempts: 2,
+                lost_attempts: 1,
+                truncated: false,
+                deadline_dropped: false,
+                backoff_secs: 30,
+            },
+            baseline: BaselineEvidence::Fresh {
+                at_secs: 86_400,
+                age_secs: 3_600,
+            },
+        };
+        let line = p.render_compact();
+        assert_eq!(
+            line,
+            "incident[start=300 elapsed=4 obs=9 clients=52 p24s=3] \
+             priority[rank=0/3 of 7 product=123.5 predicted=52.0 remaining=2.375] \
+             probe[attempts=2 lost=1 truncated=false deadline_dropped=false backoff_secs=30] \
+             baseline[fresh@86400 age=3600]"
+        );
+    }
+}

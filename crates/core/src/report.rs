@@ -132,7 +132,7 @@ pub fn render_tick_transcript(outs: &[TickOutput]) -> String {
             writeln!(
                 s,
                 "  blame loc={} p24={} mobile={} bucket={} n={} mean={:?} \
-                 path={} key={:?} origin={} region={:?} verdict={}",
+                 path={} key={:?} origin={} region={:?} verdict={} prov=[{}]",
                 b.obs.loc,
                 b.obs.p24,
                 b.obs.mobile,
@@ -143,7 +143,8 @@ pub fn render_tick_transcript(outs: &[TickOutput]) -> String {
                 b.middle_key,
                 b.origin,
                 b.region,
-                b.blame
+                b.blame,
+                b.passive.render_compact()
             )
             .unwrap();
         }
@@ -185,7 +186,7 @@ pub fn render_tick_transcript(outs: &[TickOutput]) -> String {
             };
             writeln!(
                 s,
-                "  localization loc={} path={} at={} p24={} attempts={} verdict={} culprit={:?} diff={}",
+                "  localization loc={} path={} at={} p24={} attempts={} verdict={} culprit={:?} diff={} prov=[{}]",
                 l.issue.issue.loc,
                 l.issue.issue.path,
                 l.probed_at,
@@ -193,7 +194,8 @@ pub fn render_tick_transcript(outs: &[TickOutput]) -> String {
                 l.attempts,
                 l.verdict,
                 l.culprit,
-                diff
+                diff,
+                l.provenance.render_compact()
             )
             .unwrap();
         }
@@ -218,6 +220,103 @@ pub fn render_tick_transcript(outs: &[TickOutput]) -> String {
         writeln!(s, "  stages [{}]", stages.join(",")).unwrap();
     }
     s
+}
+
+/// Renders the provenance tree behind one passive verdict — the
+/// `blameit explain quartet:…` view. Pure text over deterministic
+/// evidence, so the output is stable enough for golden tests.
+pub fn render_blame_explain(b: &BlameResult) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "quartet loc={} p24={} mobile={} bucket={}",
+        b.obs.loc, b.obs.p24, b.obs.mobile, b.obs.bucket.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "├─ observed: n={} mean_rtt_ms={:?} path={} key={:?} origin={} region={:?}",
+        b.obs.n, b.obs.mean_rtt_ms, b.path, b.middle_key, b.origin, b.region
+    )
+    .unwrap();
+    writeln!(out, "├─ verdict: {}", b.blame).unwrap();
+    writeln!(out, "└─ algorithm-1: {}", b.passive.describe_branch()).unwrap();
+    writeln!(out, "   └─ evidence: {}", b.passive.render_compact()).unwrap();
+    out
+}
+
+/// Renders the provenance tree behind one active localization — the
+/// `blameit explain incident:…` view: incident context, priority and
+/// budget position, probe attempts, baseline age, and the per-AS
+/// traceroute delta table.
+pub fn render_localization_explain(l: &MiddleLocalization) -> String {
+    let mut out = String::new();
+    let p = &l.provenance;
+    writeln!(
+        out,
+        "incident loc={} path={} key={:?}",
+        l.issue.issue.loc, l.issue.issue.path, l.issue.issue.middle_key
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "├─ incident: opened at bucket {}, {} bucket(s) elapsed, {} bad observation(s), \
+         {} client(s) across {} /24(s)",
+        p.incident.start_bucket.0,
+        p.incident.elapsed_buckets,
+        p.incident.observations,
+        p.incident.current_clients,
+        p.incident.affected_p24s
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "├─ priority: client-time product {:?} (predicted {:?} clients × {:?} remaining \
+         buckets), rank {} of {} selected from {} candidate(s)",
+        p.priority.client_time_product,
+        p.priority.predicted_clients,
+        p.priority.expected_remaining_buckets,
+        p.priority.budget_rank,
+        p.priority.selected,
+        p.priority.candidates
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "├─ probe: target {} at {}, {} attempt(s), {} lost, backoff {}s{}{}",
+        l.probed_p24,
+        l.probed_at,
+        p.probe.attempts,
+        p.probe.lost_attempts,
+        p.probe.backoff_secs,
+        if p.probe.truncated { ", truncated" } else { "" },
+        if p.probe.deadline_dropped {
+            ", dropped at deadline"
+        } else {
+            ""
+        }
+    )
+    .unwrap();
+    writeln!(out, "├─ baseline: {}", p.baseline.render_compact()).unwrap();
+    writeln!(out, "└─ verdict: {}", l.verdict).unwrap();
+    match &l.diff {
+        Some(d) => {
+            writeln!(out, "   └─ per-AS delta:").unwrap();
+            for r in &d.rows {
+                writeln!(
+                    out,
+                    "      {} baseline={:?}ms now={:?}ms delta={:?}ms",
+                    r.asn,
+                    r.baseline_ms,
+                    r.current_ms,
+                    r.delta_ms()
+                )
+                .unwrap();
+            }
+        }
+        None => writeln!(out, "   └─ per-AS delta: none (no usable probe/baseline)").unwrap(),
+    }
+    out
 }
 
 /// Renders one operator ticket for an alert — the auto-filed
@@ -347,6 +446,16 @@ mod tests {
             origin: Asn(1),
             region,
             blame,
+            passive: crate::provenance::PassiveEvidence {
+                branch: blame,
+                tau: 0.8,
+                min_aggregate: 5,
+                cloud_n: 12,
+                cloud_bad: 2,
+                middle_n: 12,
+                middle_bad: 11,
+                good_elsewhere: false,
+            },
         }
     }
 
@@ -471,6 +580,34 @@ mod tests {
             diff: Some(diff),
             verdict: LocalizationVerdict::Culprit(Asn(112)),
             culprit: Some(Asn(112)),
+            provenance: crate::provenance::Provenance {
+                incident: crate::provenance::IncidentEvidence {
+                    start_bucket: TimeBucket(12),
+                    elapsed_buckets: 4,
+                    observations: 17,
+                    current_clients: 4200,
+                    affected_p24s: 1,
+                },
+                priority: crate::provenance::PriorityEvidence {
+                    client_time_product: 24_600.0,
+                    predicted_clients: 4100.0,
+                    expected_remaining_buckets: 6.0,
+                    budget_rank: 0,
+                    selected: 1,
+                    candidates: 1,
+                },
+                probe: crate::provenance::ProbeEvidence {
+                    attempts: 1,
+                    lost_attempts: 0,
+                    truncated: false,
+                    deadline_dropped: false,
+                    backoff_secs: 0,
+                },
+                baseline: crate::provenance::BaselineEvidence::Fresh {
+                    at_secs: 600,
+                    age_secs: 3_150,
+                },
+            },
         };
         let t = render_ticket(&alert, Some(&localization));
         assert!(t.contains("P2 (peering/transit)"), "{t}");
@@ -508,6 +645,121 @@ mod tests {
         assert!(t2.contains("P3"));
         assert!(t2.contains("client AS: AS150"));
         assert!(t2.contains("no internal action"));
+    }
+
+    #[test]
+    fn blame_explain_tree_shows_branch_and_evidence() {
+        let t = render_blame_explain(&result(Blame::Middle, Region::Europe, 1));
+        assert!(t.starts_with("quartet loc=cloud0 p24="), "{t}");
+        assert!(t.contains("├─ observed: n=10"), "{t}");
+        assert!(t.contains("├─ verdict: middle"), "{t}");
+        assert!(t.contains("└─ algorithm-1: "), "{t}");
+        assert!(
+            t.contains("└─ evidence: cloud=2/12 middle=11/12 tau=0.8"),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn localization_explain_tree_shows_full_chain() {
+        use crate::active::diff_contributions;
+        use crate::pipeline::MiddleLocalization;
+        use crate::priority::{MiddleIssue, PrioritizedIssue};
+        use blameit_simnet::SimTime;
+        use blameit_topology::{CloudLocId, PathId, Prefix24};
+
+        let diff = diff_contributions(
+            &[(Asn(100), 4.0), (Asn(112), 2.0)],
+            &[(Asn(100), 4.0), (Asn(112), 58.0)],
+        );
+        let l = MiddleLocalization {
+            issue: PrioritizedIssue {
+                issue: MiddleIssue {
+                    loc: CloudLocId(3),
+                    path: PathId(7),
+                    middle_key: MiddleKey::Path(PathId(7)),
+                    bucket: TimeBucket(12),
+                    elapsed_buckets: 4,
+                    current_clients: 4200,
+                    affected_p24s: vec![Prefix24::from_block(9)],
+                },
+                expected_remaining_buckets: 6.0,
+                predicted_clients: 4100.0,
+                client_time_product: 24_600.0,
+            },
+            probed_at: SimTime(3_750),
+            probed_p24: Prefix24::from_block(9),
+            attempts: 2,
+            diff: Some(diff),
+            verdict: LocalizationVerdict::Culprit(Asn(112)),
+            culprit: Some(Asn(112)),
+            provenance: crate::provenance::Provenance {
+                incident: crate::provenance::IncidentEvidence {
+                    start_bucket: TimeBucket(12),
+                    elapsed_buckets: 4,
+                    observations: 17,
+                    current_clients: 4200,
+                    affected_p24s: 1,
+                },
+                priority: crate::provenance::PriorityEvidence {
+                    client_time_product: 24_600.0,
+                    predicted_clients: 4100.0,
+                    expected_remaining_buckets: 6.0,
+                    budget_rank: 0,
+                    selected: 1,
+                    candidates: 3,
+                },
+                probe: crate::provenance::ProbeEvidence {
+                    attempts: 2,
+                    lost_attempts: 1,
+                    truncated: false,
+                    deadline_dropped: false,
+                    backoff_secs: 2,
+                },
+                baseline: crate::provenance::BaselineEvidence::Fresh {
+                    at_secs: 600,
+                    age_secs: 3_150,
+                },
+            },
+        };
+        let t = render_localization_explain(&l);
+        assert!(t.starts_with("incident loc=cloud3 path=path7"), "{t}");
+        assert!(
+            t.contains("opened at bucket 12, 4 bucket(s) elapsed"),
+            "{t}"
+        );
+        assert!(t.contains("17 bad observation(s)"), "{t}");
+        assert!(
+            t.contains("client-time product 24600.0 (predicted 4100.0 clients × 6.0"),
+            "{t}"
+        );
+        assert!(
+            t.contains("rank 0 of 1 selected from 3 candidate(s)"),
+            "{t}"
+        );
+        assert!(t.contains("2 attempt(s), 1 lost, backoff 2s"), "{t}");
+        assert!(t.contains("├─ baseline: fresh@600 age=3150"), "{t}");
+        assert!(t.contains("└─ verdict: culprit(AS112)"), "{t}");
+        assert!(
+            t.contains("AS112 baseline=2.0ms now=58.0ms delta=56.0ms"),
+            "{t}"
+        );
+
+        // Degraded path: no diff table, reason in the verdict line.
+        let degraded = MiddleLocalization {
+            diff: None,
+            verdict: LocalizationVerdict::MiddleUnlocalized {
+                reason: crate::active::UnlocalizedReason::ProbeTimeout,
+            },
+            culprit: None,
+            ..l
+        };
+        let t = render_localization_explain(&degraded);
+        assert!(t.contains("└─ verdict: unlocalized(probe_timeout)"), "{t}");
+        assert!(
+            t.contains("└─ per-AS delta: none (no usable probe/baseline)"),
+            "{t}"
+        );
     }
 
     #[test]

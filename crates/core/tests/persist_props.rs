@@ -116,6 +116,7 @@ fn arbitrary_state(rng: &mut DetRng) -> (SnapshotState, Vec<RttKey>) {
             OpenIncident {
                 start: TimeBucket(rng.below(96 * 20) as u32),
                 buckets: rng.below(200) as u32,
+                observations: rng.below(10_000),
             },
         );
         rep_p24.insert(
@@ -157,8 +158,37 @@ fn arbitrary_state(rng: &mut DetRng) -> (SnapshotState, Vec<RttKey>) {
         churn_cursor: SimTime(rng.next_u64() >> 20),
         on_demand_probes_total: rng.below(1 << 40),
         background_probes_total: rng.below(1 << 40),
+        flight_frames: arbitrary_flight_frames(rng),
+        flight_dumps: arbitrary_flight_dumps(rng),
     };
     (state, keys)
+}
+
+fn arbitrary_flight_frames(rng: &mut DetRng) -> Vec<blameit_obs::FlightFrame> {
+    (0..rng.below(6))
+        .map(|_| blameit_obs::FlightFrame {
+            sim_secs: rng.next_u64() >> 20,
+            bucket: rng.below(96 * 20) as u32,
+            transcript: format!("tick {}\n  blames=0\n", rng.below(100)),
+            stages: (0..rng.below(4)).map(|i| format!("stage-{i}")).collect(),
+            deltas: (0..rng.below(4))
+                .map(|i| (format!("blameit_metric_{i}"), rng.below(1000) as f64))
+                .collect(),
+        })
+        .collect()
+}
+
+fn arbitrary_flight_dumps(rng: &mut DetRng) -> Vec<blameit_obs::FlightDumpEvent> {
+    (0..rng.below(4))
+        .map(|_| {
+            let t = blameit_obs::FlightTrigger::ALL[rng.below(4) as usize % 4];
+            blameit_obs::FlightDumpEvent {
+                sim_secs: rng.next_u64() >> 20,
+                trigger: t,
+                detail: format!("detail-{}", rng.below(50)),
+            }
+        })
+        .collect()
 }
 
 #[test]

@@ -439,8 +439,8 @@ impl Rule for UnorderedIteration {
             return;
         }
         let toks = f.toks;
-        let names = hash_typed_names(toks);
-        if names.is_empty() {
+        let events = binding_events(toks);
+        if events.iter().all(|e| !e.hash) {
             return;
         }
         let sort_lines: BTreeSet<u32> = toks
@@ -526,7 +526,7 @@ impl Rule for UnorderedIteration {
                 continue;
             }
             // `name.iter()` / `self.name.keys()` / …
-            if names.contains(&t.text)
+            if is_hash_at(&events, &t.text, i)
                 && seq(toks, i + 1, &["."])
                 && toks
                     .get(i + 2)
@@ -547,7 +547,7 @@ impl Rule for UnorderedIteration {
                         k += 1;
                     }
                     if toks.get(k).is_some_and(|t| {
-                        t.kind == crate::lexer::TokKind::Ident && names.contains(&t.text)
+                        t.kind == crate::lexer::TokKind::Ident && is_hash_at(&events, &t.text, k)
                     }) && toks.get(k + 1).is_some_and(|t| t.is_punct('{'))
                     {
                         // A `for` body can do anything with the items;
@@ -562,11 +562,51 @@ impl Rule for UnorderedIteration {
     }
 }
 
-/// Collects identifiers declared in this file with a hash-container
-/// type: `name: HashMap<…>` (fields, params, typed lets) and
-/// `name = HashMap::new()` / `with_capacity`.
-fn hash_typed_names(toks: &[Tok]) -> BTreeSet<String> {
-    let mut names = BTreeSet::new();
+/// One binding classification event: from token index `idx` onward,
+/// `name` refers to a hash container (`hash: true`) or not. Shadowed
+/// rebindings (`let rows = hash_map; … let rows: Vec<_> = …;`) emit a
+/// later event that overrides the earlier classification, so a name's
+/// meaning follows the program text instead of being file-global.
+struct BindingEvent {
+    idx: usize,
+    name: String,
+    hash: bool,
+}
+
+/// Index of the end of the statement containing token `from`: the
+/// first `;` at depth 0, or the closing brace of the enclosing block.
+/// A binding takes effect *after* its own statement, so the old
+/// binding still governs uses inside the initializer
+/// (`let m: Vec<_> = m.iter()…` iterates the hash `m`).
+fn stmt_end(toks: &[Tok], from: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = from;
+    while j < toks.len() && j < from + 400 {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Collects binding events for hash-container classification, sorted
+/// by position. Hash-positive events come from `name: HashMap<…>`
+/// (fields, params, typed lets) and `name = HashMap::new()`-style
+/// initializers; every plain `let [mut] name` additionally emits a
+/// hash-negative event so rebinding a name to an ordered container
+/// clears it. Fields and params classify file-wide (idx 0); `let`
+/// bindings and local assignments classify from their statement end.
+fn binding_events(toks: &[Tok]) -> Vec<BindingEvent> {
+    let mut events = Vec::new();
     for i in 0..toks.len() {
         let t = &toks[i];
         if t.in_test || !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
@@ -585,24 +625,82 @@ fn hash_typed_names(toks: &[Tok]) -> BTreeSet<String> {
             continue;
         }
         let prev = &toks[j - 1];
-        if prev.is_punct(':') && j >= 2 {
+        let (cand_idx, is_annotation) = if prev.is_punct(':') && j >= 2 {
             // `name: HashMap<…>` — make sure it is a single `:`.
             if j >= 3 && toks[j - 2].is_punct(':') {
                 continue;
             }
-            let cand = &toks[j - 2];
-            if cand.kind == crate::lexer::TokKind::Ident && !is_keyword(&cand.text) {
-                names.insert(cand.text.clone());
-            }
+            (j - 2, true)
         } else if prev.is_punct('=') && j >= 2 {
-            // `let [mut] name = HashMap::new()`.
-            let cand = &toks[j - 2];
-            if cand.kind == crate::lexer::TokKind::Ident && !is_keyword(&cand.text) {
-                names.insert(cand.text.clone());
-            }
+            // `let [mut] name = HashMap::new()`, `self.name = HashMap…`.
+            (j - 2, false)
+        } else {
+            continue;
+        };
+        let cand = &toks[cand_idx];
+        if cand.kind != crate::lexer::TokKind::Ident || is_keyword(&cand.text) {
+            continue;
+        }
+        let before = cand_idx.checked_sub(1).map(|b| &toks[b]);
+        let let_bound = matches!(before, Some(b) if b.is_ident("let") || b.is_ident("mut"));
+        let field_like = matches!(before, Some(b) if b.is_punct('.'));
+        // Fields and params (annotations outside `let`, or assignments
+        // through `self.`/`x.`) hold for the whole file; local
+        // bindings hold from the end of their own statement.
+        let idx = if field_like || (is_annotation && !let_bound) {
+            0
+        } else {
+            stmt_end(toks, i)
+        };
+        events.push(BindingEvent {
+            idx,
+            name: cand.text.clone(),
+            hash: true,
+        });
+    }
+    // Shadowing rebindings: every `let [mut] name` clears the name
+    // from its statement end, unless a hash event above re-marks it.
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || !t.is_ident("let") {
+            continue;
+        }
+        let mut k = i + 1;
+        if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        let Some(name_tok) = toks.get(k) else {
+            continue;
+        };
+        if name_tok.kind != crate::lexer::TokKind::Ident || is_keyword(&name_tok.text) {
+            continue;
+        }
+        events.push(BindingEvent {
+            idx: stmt_end(toks, k),
+            name: name_tok.text.clone(),
+            hash: false,
+        });
+    }
+    // At equal positions (a hash-typed `let` emits both events at the
+    // same statement end) the hash-positive event must win, so sort
+    // false-before-true and let the lookup take the last match.
+    events.sort_by_key(|e| (e.idx, e.hash));
+    events
+}
+
+/// Whether `name` refers to a hash container at token index `use_idx`:
+/// the classification of the last binding event at or before the use.
+fn is_hash_at(events: &[BindingEvent], name: &str, use_idx: usize) -> bool {
+    let mut hash = false;
+    for e in events {
+        if e.idx > use_idx {
+            break;
+        }
+        if e.name == name {
+            hash = e.hash;
         }
     }
-    names
+    hash
 }
 
 #[cfg(test)]
@@ -643,9 +741,57 @@ mod tests {
     #[test]
     fn hash_names_found_through_paths_and_new() {
         let src = "struct S { counts: std::collections::HashMap<u32, u64> }\nfn f() { let mut seen = HashSet::new(); seen.len(); }";
-        let names = hash_typed_names(&lex(src).toks);
-        assert!(names.contains("counts"));
-        assert!(names.contains("seen"));
+        let toks = &lex(src).toks;
+        let events = binding_events(toks);
+        // `counts` is a field: hash from the start of the file.
+        assert!(is_hash_at(&events, "counts", 0));
+        // `seen` is a local `let`: hash only after its statement.
+        assert!(is_hash_at(&events, "seen", toks.len() - 1));
+        assert!(!is_hash_at(&events, "seen", 0));
+        assert!(!is_hash_at(&events, "other", toks.len() - 1));
+    }
+
+    #[test]
+    fn rebinding_tracks_shadowed_names() {
+        // hash → ordered rebinding: the `for` iterates the sorted Vec,
+        // not the map; must NOT flag.
+        let cleared = "use std::collections::HashMap;\n\
+             fn f(m: HashMap<u32, u32>) {\n\
+             let mut rows: Vec<_> = m.iter().map(|(k, v)| (*k, *v)).collect();\n\
+             rows.sort_unstable();\n\
+             let m = rows;\n\
+             for (k, v) in &m { emit(k, v); }\n\
+             }";
+        assert!(
+            check_one(&UnorderedIteration, "crates/core/src/x.rs", cleared).is_empty(),
+            "rebinding to an ordered container must clear the name"
+        );
+        // ordered → hash rebinding: the later `let` re-marks the name;
+        // must flag the iteration after it.
+        let remarked = "use std::collections::HashMap;\n\
+             fn f() {\n\
+             let m: Vec<(u32, u32)> = Vec::new();\n\
+             for (k, v) in &m { emit(k, v); }\n\
+             let m: HashMap<u32, u32> = HashMap::new();\n\
+             for (k, v) in &m { emit(k, v); }\n\
+             }";
+        assert_eq!(
+            check_one(&UnorderedIteration, "crates/core/src/x.rs", remarked).len(),
+            1,
+            "rebinding to a hash container must re-mark the name"
+        );
+        // The shadowing initializer still sees the old hash binding:
+        // `let m: Vec<_> = m.iter()…` without a sort must flag.
+        let initializer = "use std::collections::HashMap;\n\
+             fn f(m: HashMap<u32, u32>) {\n\
+             let m: Vec<_> = m.iter().map(|(k, v)| (*k, *v)).collect();\n\
+             emit_all(m);\n\
+             }";
+        assert_eq!(
+            check_one(&UnorderedIteration, "crates/core/src/x.rs", initializer).len(),
+            1,
+            "uses inside the shadowing initializer refer to the old binding"
+        );
     }
 
     #[test]

@@ -7,3 +7,17 @@ pub fn emit(transcript: &mut Vec<String>) {
         transcript.push(format!("{path} {n}"));
     }
 }
+
+// Shadowed rebinding: `rows` starts ordered, but the later `let`
+// rebinds it to a hash container — iterating it afterwards is
+// hash-order again and must still trip.
+pub fn emit_rebound(transcript: &mut Vec<String>) {
+    let rows: Vec<(u32, u64)> = Vec::new();
+    for (path, n) in &rows {
+        transcript.push(format!("{path} {n}"));
+    }
+    let rows: HashMap<u32, u64> = HashMap::new();
+    for (path, n) in &rows {
+        transcript.push(format!("{path} {n}"));
+    }
+}

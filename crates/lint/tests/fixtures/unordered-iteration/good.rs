@@ -14,3 +14,16 @@ pub fn emit(transcript: &mut Vec<String>) {
         transcript.push(format!("{path} {n}"));
     }
 }
+
+// Shadowed rebinding: `extra` starts as a hash container, but the
+// second `let` rebinds it to the sorted rows — iterating the rebound
+// name is ordered and must stay quiet.
+pub fn emit_rebound(transcript: &mut Vec<String>) {
+    let extra: HashMap<u32, u64> = HashMap::new();
+    let mut rows: Vec<(u32, u64)> = extra.iter().map(|(k, v)| (*k, *v)).collect();
+    rows.sort_unstable();
+    let extra = rows;
+    for (path, n) in extra {
+        transcript.push(format!("{path} {n}"));
+    }
+}

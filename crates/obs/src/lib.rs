@@ -1,6 +1,6 @@
 //! # blameit-obs — dependency-free observability for the BlameIt engine
 //!
-//! Three pillars, all built on `std` alone (the workspace builds with
+//! Four pillars, all built on `std` alone (the workspace builds with
 //! no network access, so this crate takes zero external dependencies):
 //!
 //! * [`metrics`] — a process-wide (or per-engine) registry of lock-free
@@ -14,6 +14,9 @@
 //!   an indented per-tick span tree.
 //! * [`profile`] — [`StageTimings`]/[`StageClock`] for the per-tick
 //!   stage breakdown embedded in the engine's `TickOutput`.
+//! * [`flight`] — a deterministic [`FlightRecorder`]: a bounded ring of
+//!   recent tick transcripts, stage outlines, and metric deltas, keyed
+//!   on sim time and dumpable as JSONL when a trigger predicate fires.
 //!
 //! ```
 //! use blameit_obs::{span, MetricsRegistry, RingCollector, StageClock};
@@ -32,11 +35,13 @@
 //! println!("{}", reg.render_prometheus());
 //! ```
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use flight::{FlightDumpEvent, FlightFrame, FlightRecorder, FlightTrigger};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profile::{StageClock, StageTimings};
 pub use trace::{

@@ -432,10 +432,20 @@ impl MetricsRegistry {
     /// Prometheus text exposition (one `# TYPE` line per metric name,
     /// histograms as cumulative `_bucket{le=…}` + `_sum` + `_count`).
     pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_filtered("")
+    }
+
+    /// [`render_prometheus`](Self::render_prometheus) restricted to
+    /// metrics whose name starts with `prefix` (names sort under the
+    /// registry's `BTreeMap`, so output order is stable).
+    pub fn render_prometheus_filtered(&self, prefix: &str) -> String {
         let snap = self.snapshot();
         let mut out = String::new();
         let mut last_name = String::new();
         for ((name, labels), metric) in &snap {
+            if !name.starts_with(prefix) {
+                continue;
+            }
             if *name != last_name {
                 out.push_str(&format!("# TYPE {name} {}\n", metric.kind()));
                 last_name = name.clone();
@@ -484,12 +494,23 @@ impl MetricsRegistry {
     /// and value (counters/gauges) or summary stats + buckets
     /// (histograms).
     pub fn render_json(&self) -> String {
+        self.render_json_filtered("")
+    }
+
+    /// [`render_json`](Self::render_json) restricted to metrics whose
+    /// name starts with `prefix`.
+    pub fn render_json_filtered(&self, prefix: &str) -> String {
         let snap = self.snapshot();
         let mut out = String::from("[");
-        for (i, ((name, labels), metric)) in snap.iter().enumerate() {
-            if i > 0 {
+        let mut emitted = 0usize;
+        for ((name, labels), metric) in snap.iter() {
+            if !name.starts_with(prefix) {
+                continue;
+            }
+            if emitted > 0 {
                 out.push(',');
             }
+            emitted += 1;
             out.push_str("{\"name\":");
             push_json_str(&mut out, name);
             out.push_str(",\"kind\":");
@@ -711,6 +732,26 @@ mod tests {
         assert!(text.contains("rtt_ms_bucket{le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("rtt_ms_count 2"), "{text}");
         // Cumulative: the +Inf bucket equals the count.
+    }
+
+    #[test]
+    fn filtered_rendering_selects_by_prefix() {
+        let reg = MetricsRegistry::new();
+        reg.counter("blameit_a_total").inc();
+        reg.counter("other_total").inc();
+        let text = reg.render_prometheus_filtered("blameit_");
+        assert!(text.contains("blameit_a_total"), "{text}");
+        assert!(!text.contains("other_total"), "{text}");
+        let j = reg.render_json_filtered("blameit_");
+        assert!(
+            j.contains("blameit_a_total") && !j.contains("other_total"),
+            "{j}"
+        );
+        let none = reg.render_json_filtered("zzz");
+        assert_eq!(none, "[]");
+        // The empty prefix is the unfiltered render.
+        assert_eq!(reg.render_prometheus_filtered(""), reg.render_prometheus());
+        assert_eq!(reg.render_json_filtered(""), reg.render_json());
     }
 
     #[test]

@@ -27,6 +27,12 @@ BLAMEIT_THREADS=8 cargo test --release -q --test chaos_determinism
 echo "==> BLAMEIT_THREADS=8 cargo test --release -q --test crash_recovery"
 BLAMEIT_THREADS=8 cargo test --release -q --test crash_recovery
 
+echo "==> blameit explain (golden scenario)"
+cargo run --release -q -p blameit-cli -- \
+  explain incident:0 --scale tiny --seed 2019 --target middle:104 \
+  --ms 100 --at-hour 30 --hours 2 --limit 2 \
+  | diff - tests/golden/explain_incident.txt
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 

@@ -220,6 +220,54 @@ fn kill_point_matrix_recovery_is_byte_identical() {
     });
 }
 
+#[test]
+fn flight_recorder_survives_crash_recovery() {
+    // The flight recorder is persisted state: after a crash at any
+    // kill point, the recovered-and-resumed ring must dump JSONL
+    // byte-identical to an in-memory engine that never persisted or
+    // crashed at all (snapshot restore + journal replay re-record the
+    // post-snapshot frames).
+    let mut rng = DetRng::from_keys(21, &[0xF1]);
+    let (world, fault_start) = faulty_world(&mut rng);
+    let eval = TimeRange::new(fault_start, fault_start + 3_600);
+
+    let mut cfg = BlameItConfig::new(BadnessThresholds::default_for(&world));
+    cfg.parallelism = 1;
+    let mut reference = BlameItEngine::new(cfg);
+    let mut backend = WorldBackend::with_parallelism(&world, 1);
+    reference.warmup(&backend, TimeRange::days(1), 2);
+    reference.run(&mut backend, eval);
+    let want = reference.flight().dump_jsonl();
+    assert!(
+        want.contains("\"kind\":\"frame\""),
+        "the reference run must record flight frames:\n{want}"
+    );
+
+    for point in CrashPoint::ALL {
+        let kill_tick = match point {
+            CrashPoint::MidJournal | CrashPoint::PostJournal => 2,
+            CrashPoint::PreSnapshot | CrashPoint::MidSnapshotWrite => 1,
+        };
+        let dir = state_dir(&format!("flight-{point}"));
+        let plan = CrashPlan::kill_at(kill_tick, point, 0x5EED);
+        let (_, crash_tick) = run_until_crash(&world, &dir, 1, eval, plan, point);
+        assert_eq!(crash_tick, kill_tick, "{point}");
+
+        let cfg = config(&world, &dir, 1);
+        let mut backend = WorldBackend::with_parallelism(&world, 1);
+        let registry = Arc::new(MetricsRegistry::new());
+        let (mut durable, report) = DurableEngine::open(cfg, registry, &mut backend).unwrap();
+        assert_eq!(report.mode, StartMode::Recovered, "{point}");
+        durable.run(&mut backend, eval).unwrap();
+        assert_eq!(
+            want,
+            durable.engine().flight().dump_jsonl(),
+            "flight dump diverged after {point} recovery"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 /// Runs a full durable window to completion and returns the state dir
 /// plus the reference transcript.
 fn completed_run(tag: &str, seed: u64) -> (World, PathBuf, TimeRange) {

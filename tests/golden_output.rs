@@ -21,10 +21,14 @@ use std::path::PathBuf;
 const SEED: u64 = 20190519; // SIGCOMM '19 camera-ready vintage
 
 fn golden_path() -> PathBuf {
+    golden_file("tick_transcript.txt")
+}
+
+fn golden_file(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("tick_transcript.txt")
+        .join(name)
 }
 
 /// The pinned scenario: a quiet tiny world, one +110 ms cloud fault at
@@ -51,27 +55,66 @@ fn transcript() -> String {
     render_tick_transcript(&outs)
 }
 
-#[test]
-fn blame_and_alert_stream_matches_golden() {
-    let got = transcript();
-    let path = golden_path();
+/// Blesses `got` into `path` under BLESS=1, otherwise compares.
+fn bless_or_compare(path: &std::path::Path, got: &str) {
     if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &got).unwrap();
+        std::fs::write(path, got).unwrap();
         eprintln!("blessed {} ({} bytes)", path.display(), got.len());
         return;
     }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let want = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
             "missing golden file {} ({e}); regenerate with BLESS=1 cargo test --test golden_output",
             path.display()
         )
     });
+    similar_assert(&want, got);
+}
+
+#[test]
+fn blame_and_alert_stream_matches_golden() {
+    let got = transcript();
     assert!(
         got.contains("blame "),
         "scenario must produce verdicts; transcript:\n{got}"
     );
-    similar_assert(&want, &got);
+    bless_or_compare(&golden_path(), &got);
+}
+
+#[test]
+fn explain_incident_matches_golden() {
+    // The `explain` surface is golden-pinned end to end: an injected
+    // +100 ms middle-AS fault, localized and rendered with its full
+    // provenance chain (Algorithm-1 branch, priority/budget position,
+    // probe attempts, baseline age, per-AS delta table).
+    let argv: Vec<String> = [
+        "explain",
+        "incident:0",
+        "--scale",
+        "tiny",
+        "--seed",
+        "2019",
+        "--target",
+        "middle:104",
+        "--ms",
+        "100",
+        "--at-hour",
+        "30",
+        "--hours",
+        "2",
+        "--limit",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let got = blameit_cli::run(&argv).expect("explain must succeed on the pinned scenario");
+    assert!(
+        got.contains("culprit(AS104)"),
+        "the injected middle fault must be localized; output:\n{got}"
+    );
+    bless_or_compare(&golden_file("explain_incident.txt"), &got);
 }
 
 /// assert_eq! with a first-divergence report instead of dumping two

@@ -56,14 +56,26 @@ fn faulty_world(rng: &mut DetRng) -> (World, SimTime) {
 }
 
 /// Warm an engine on day 0 and evaluate one faulty hour at the given
-/// thread count.
-fn run_at(world: &World, threads: usize, eval: TimeRange) -> Vec<TickOutput> {
+/// thread count, keeping the engine alive so post-run surfaces (the
+/// flight recorder) can be inspected.
+fn run_engine_at(
+    world: &World,
+    threads: usize,
+    eval: TimeRange,
+) -> (BlameItEngine, Vec<TickOutput>) {
     let mut cfg = BlameItConfig::new(BadnessThresholds::default_for(world));
     cfg.parallelism = threads;
     let mut engine = BlameItEngine::new(cfg);
     let mut backend = WorldBackend::with_parallelism(world, threads);
     engine.warmup(&backend, TimeRange::days(1), 2);
-    engine.run(&mut backend, eval)
+    let outs = engine.run(&mut backend, eval);
+    (engine, outs)
+}
+
+/// Warm an engine on day 0 and evaluate one faulty hour at the given
+/// thread count.
+fn run_at(world: &World, threads: usize, eval: TimeRange) -> Vec<TickOutput> {
+    run_engine_at(world, threads, eval).1
 }
 
 #[test]
@@ -94,6 +106,73 @@ fn tick_output_identical_across_thread_counts() {
             }
         }
     });
+}
+
+#[test]
+fn provenance_and_flight_recorder_identical_across_thread_counts() {
+    // The observability surfaces are part of the determinism contract:
+    // every verdict must carry populated evidence, and the flight
+    // recorder's JSONL dump must be byte-identical at any parallelism.
+    let mut rng = DetRng::from_keys(0xF11, &[0]);
+    let (world, fault_start) = faulty_world(&mut rng);
+    let eval = TimeRange::new(fault_start, fault_start + 3_600);
+    let (engine1, outs1) = run_engine_at(&world, 1, eval);
+
+    let (mut blames, mut locs) = (0, 0);
+    for out in &outs1 {
+        for b in &out.blames {
+            blames += 1;
+            assert_eq!(
+                b.passive.branch, b.blame,
+                "evidence branch must match the verdict"
+            );
+            assert!(b.passive.tau > 0.0, "τ must be recorded at decision time");
+            assert!(
+                b.passive.cloud_n + b.passive.middle_n > 0,
+                "a verdict cannot rest on zero observed quartets"
+            );
+        }
+        for l in &out.localizations {
+            locs += 1;
+            assert_eq!(
+                l.provenance.probe.attempts, l.attempts,
+                "probe evidence must agree with the localization record"
+            );
+            assert!(
+                l.provenance.incident.affected_p24s > 0,
+                "a probed issue affects at least one /24"
+            );
+            assert!(
+                l.provenance.priority.budget_rank < l.provenance.priority.selected
+                    && l.provenance.priority.selected <= l.provenance.priority.candidates,
+                "budget position must be internally consistent: {}",
+                l.provenance.priority.render_compact()
+            );
+        }
+    }
+    assert!(
+        blames > 0 && locs > 0,
+        "the faulty hour must produce both verdicts and localizations"
+    );
+
+    let dump1 = engine1.flight().dump_jsonl();
+    assert!(
+        dump1.contains("\"kind\":\"frame\""),
+        "the eval window must record flight frames:\n{dump1}"
+    );
+    for threads in [2, 4] {
+        let (engine_n, outs_n) = run_engine_at(&world, threads, eval);
+        assert_eq!(
+            render_tick_transcript(&outs1),
+            render_tick_transcript(&outs_n),
+            "transcript at {threads} threads diverged"
+        );
+        assert_eq!(
+            dump1,
+            engine_n.flight().dump_jsonl(),
+            "flight dump at {threads} threads diverged"
+        );
+    }
 }
 
 #[test]
