@@ -76,10 +76,49 @@ fn main() {
         }
     }
     let _ = std::fs::remove_dir_all(&state_dir);
+
+    // The scenario regression library rides along: every named
+    // scenario replays against its golden transcript and `[expect]`
+    // block at 1 and 4 engine threads via the `blameit` CLI (built
+    // into the same target dir).
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the repo root")
+        .to_path_buf();
+    for scenario_threads in ["1", "4"] {
+        let started = Instant::now();
+        println!();
+        let status = Command::new(dir.join("blameit"))
+            .args([
+                "scenario",
+                "check",
+                "--all",
+                "1",
+                "--threads",
+                scenario_threads,
+                "--dir",
+            ])
+            .arg(repo_root.join("scenarios"))
+            .arg("--golden-dir")
+            .arg(repo_root.join("tests/golden/scenarios"))
+            .arg("--fail-dir")
+            .arg(repo_root.join("target/scenario-failures"))
+            .status()
+            .expect("failed to launch the blameit CLI for scenario check");
+        println!(
+            "[run_all] scenario check (threads={scenario_threads}) finished in {:.1}s with {status}",
+            started.elapsed().as_secs_f64()
+        );
+        if !status.success() {
+            failed.push("scenario-check");
+        }
+    }
+
     println!();
     println!(
         "[run_all] {} experiments in {:.1}s; failures: {:?}",
-        EXPERIMENTS.len(),
+        EXPERIMENTS.len() + 2,
         total.elapsed().as_secs_f64(),
         failed
     );

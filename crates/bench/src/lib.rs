@@ -25,4 +25,6 @@ pub mod scenarios;
 
 pub use args::Args;
 pub use eval::{score_blames, score_incident, ConfusionMatrix, IncidentVerdict};
-pub use scenarios::{incident_suite, organic_world, quiet_world, IncidentScenario, Scale};
+pub use scenarios::{
+    incident_suite, organic_world, quiet_world, world_config, IncidentScenario, Scale,
+};

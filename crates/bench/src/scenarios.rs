@@ -45,34 +45,40 @@ impl Scale {
     }
 }
 
+/// The [`WorldConfig`] behind [`organic_world`]/[`quiet_world`],
+/// exposed so scenario files (`blameit-scenario`) can override model
+/// knobs — activity, latency, churn, topology — before the world is
+/// built. `quiet` zeroes generated faults and churn.
+pub fn world_config(scale: Scale, days: u64, seed: u64, quiet: bool) -> WorldConfig {
+    let mut cfg = WorldConfig {
+        topology: scale.topology(seed ^ 0x7090),
+        ..WorldConfig::new(days, seed)
+    };
+    if quiet {
+        cfg.fault_rates = FaultRates {
+            cloud_per_loc_day: 0.0,
+            middle_per_as_day: 0.0,
+            client_as_per_day: 0.0,
+            client_prefix_per_k_day: 0.0,
+            middle_path_scoped_frac: 0.0,
+        };
+        cfg.churn_rate_per_day = 0.0;
+    }
+    cfg
+}
+
 /// A world with organic (generated) faults and churn — the standard
 /// measurement-study setting.
 pub fn organic_world(scale: Scale, days: u64, seed: u64) -> World {
     let _span = blameit_obs::span!("blameit::bench", "organic_world", days = days, seed = seed);
-    let cfg = WorldConfig {
-        topology: scale.topology(seed ^ 0x7090),
-        ..WorldConfig::new(days, seed)
-    };
-    World::new(cfg)
+    World::new(world_config(scale, days, seed, false))
 }
 
 /// A world with *no* generated faults and no churn: scenarios inject
 /// their own.
 pub fn quiet_world(scale: Scale, days: u64, seed: u64) -> World {
     let _span = blameit_obs::span!("blameit::bench", "quiet_world", days = days, seed = seed);
-    let mut cfg = WorldConfig {
-        topology: scale.topology(seed ^ 0x7090),
-        ..WorldConfig::new(days, seed)
-    };
-    cfg.fault_rates = FaultRates {
-        cloud_per_loc_day: 0.0,
-        middle_per_as_day: 0.0,
-        client_as_per_day: 0.0,
-        client_prefix_per_k_day: 0.0,
-        middle_path_scoped_frac: 0.0,
-    };
-    cfg.churn_rate_per_day = 0.0;
-    World::new(cfg)
+    World::new(world_config(scale, days, seed, true))
 }
 
 /// One scripted incident with ground truth, for the §6.3 validation.

@@ -59,6 +59,17 @@ COMMANDS:
   flight     Flight recorder: `blameit flight dump` runs the engine and
              prints the recorder ring as JSONL (--out FILE to write it;
              --fault-plan to watch chaos-burst triggers fire)
+  scenario   Declarative scenario library (see docs/SCENARIOS.md):
+               blameit scenario list             catalog the library
+               blameit scenario run <name|path>  run one, print report +
+                                                 transcript
+               blameit scenario check <name>|--all 1
+                                                 run + golden transcript
+                                                 compare + [expect] block
+             (--dir DIR scenario library, default `scenarios`;
+              --golden-dir DIR goldens, default `tests/golden/scenarios`;
+              --bless 1 or BLESS=1 re-pins goldens; failing transcripts
+              land in --fail-dir, default `target/scenario-failures`)
   inject     Inject one incident and investigate it end to end
   probe      Print one simulated traceroute
   metrics    Run the engine and dump its metrics registry
@@ -99,9 +110,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Ok(USAGE.to_string());
     };
-    // `fsck <dir>`, `explain <selector>`, and `flight <sub>` take
-    // positional arguments, so they are dispatched before
-    // `Args::parse_from` (which rejects positionals).
+    // `fsck <dir>`, `explain <selector>`, `flight <sub>`, and
+    // `scenario <sub> [name]` take positional arguments, so they are
+    // dispatched before `Args::parse_from` (which rejects positionals).
     if cmd == "fsck" {
         return cmd_fsck(rest);
     }
@@ -110,6 +121,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     }
     if cmd == "flight" {
         return cmd_flight(rest);
+    }
+    if cmd == "scenario" {
+        return cmd_scenario(rest);
     }
     let args = Args::parse_from(rest.iter().cloned());
     match cmd.as_str() {
@@ -775,6 +789,262 @@ fn cmd_flight(rest: &[String]) -> Result<String, CliError> {
     } else {
         Ok(dump)
     }
+}
+
+/// `scenario list|run|check`: the declarative scenario library
+/// (crates/scenario, format reference in docs/SCENARIOS.md).
+fn cmd_scenario(rest: &[String]) -> Result<String, CliError> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err(err(
+            "scenario requires a subcommand: blameit scenario list|run|check",
+        ));
+    };
+    let (positional, flags) = match rest.first() {
+        Some(s) if !s.starts_with("--") => (Some(s.clone()), &rest[1..]),
+        _ => (None, rest),
+    };
+    let args = Args::parse_from(flags.iter().cloned());
+    let dir = args.get("dir").unwrap_or("scenarios").to_string();
+    let threads = args.u64("threads", 0) as usize;
+    match sub.as_str() {
+        "list" => scenario_list(&dir),
+        "run" => {
+            let name = positional.ok_or_else(|| {
+                err("scenario run requires a name or path: blameit scenario run <name>")
+            })?;
+            scenario_run_one(&scenario_path(&dir, &name), threads)
+        }
+        "check" => {
+            let all = args.u64("all", 0) == 1;
+            let checker = ScenarioChecker {
+                golden_dir: PathBuf::from(
+                    args.get("golden-dir").unwrap_or("tests/golden/scenarios"),
+                ),
+                fail_dir: PathBuf::from(args.get("fail-dir").unwrap_or("target/scenario-failures")),
+                bless: args.u64("bless", 0) == 1
+                    || std::env::var("BLESS").ok().as_deref() == Some("1"),
+                threads,
+            };
+            let paths = match (all, positional) {
+                (true, _) => scenario_files(&dir)?,
+                (false, Some(name)) => vec![scenario_path(&dir, &name)],
+                (false, None) => return Err(err(
+                    "scenario check requires a name or `--all 1`: blameit scenario check <name>",
+                )),
+            };
+            scenario_check(&checker, &paths)
+        }
+        other => Err(err(format!(
+            "unknown scenario subcommand {other:?}; try list, run, or check"
+        ))),
+    }
+}
+
+/// A bare name resolves inside the library dir; anything with a path
+/// separator or a `.scn` suffix is used as-is.
+fn scenario_path(dir: &str, name_or_path: &str) -> PathBuf {
+    if name_or_path.ends_with(".scn") || name_or_path.contains('/') {
+        PathBuf::from(name_or_path)
+    } else {
+        Path::new(dir).join(format!("{name_or_path}.scn"))
+    }
+}
+
+/// Every `*.scn` in the library dir, sorted by file name.
+fn scenario_files(dir: &str) -> Result<Vec<PathBuf>, CliError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| err(format!("scenario dir {dir}: {e}")))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(err(format!("scenario dir {dir}: no .scn files")));
+    }
+    Ok(files)
+}
+
+/// Loads and compiles one scenario file, insisting the file stem match
+/// the declared `name` (so `scenario run <name>` round-trips).
+fn load_compiled(path: &Path) -> Result<blameit_scenario::CompiledScenario, CliError> {
+    let spec = blameit_scenario::load_scenario(path).map_err(|e| err(e.to_string()))?;
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+    if stem != spec.name {
+        return Err(err(format!(
+            "{}: file stem {stem:?} does not match declared name {:?}",
+            path.display(),
+            spec.name
+        )));
+    }
+    blameit_scenario::compile(&path.display().to_string(), spec).map_err(|e| err(e.to_string()))
+}
+
+fn scenario_list(dir: &str) -> Result<String, CliError> {
+    let mut out = String::new();
+    let files = scenario_files(dir)?;
+    writeln!(out, "{} scenario(s) in {dir}:", files.len()).unwrap();
+    for path in &files {
+        match load_compiled(path) {
+            Ok(scn) => {
+                let spec = &scn.spec;
+                let mut traits = Vec::new();
+                if !spec.faults.is_empty() {
+                    traits.push(format!("{} fault(s)", spec.faults.len()));
+                }
+                if spec.chaos.is_some() {
+                    traits.push("chaos".to_string());
+                }
+                if spec.crash.is_some() {
+                    traits.push("crash".to_string());
+                }
+                traits.push(format!("{} expectation(s)", spec.expect.len()));
+                writeln!(out, "  {:<28} {}", spec.name, spec.summary).unwrap();
+                writeln!(out, "  {:<28}   [{}]", "", traits.join(", ")).unwrap();
+            }
+            Err(e) => writeln!(out, "  {}: ERROR {e}", path.display()).unwrap(),
+        }
+    }
+    Ok(out)
+}
+
+fn scenario_run_one(path: &Path, threads: usize) -> Result<String, CliError> {
+    let scn = load_compiled(path)?;
+    let file = path.display().to_string();
+    let run =
+        blameit_scenario::run_scenario(&file, &scn, threads).map_err(|e| err(e.to_string()))?;
+    let failures = blameit_scenario::evaluate(&scn.spec, &run);
+    let mut out = blameit_scenario::render_report(&scn.spec, &run, &failures);
+    writeln!(out, "transcript:").unwrap();
+    for line in run.transcript.lines() {
+        writeln!(out, "  {line}").unwrap();
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(CliError(out.trim_end().to_string()))
+    }
+}
+
+/// Shared settings for `scenario check`.
+struct ScenarioChecker {
+    golden_dir: PathBuf,
+    fail_dir: PathBuf,
+    bless: bool,
+    threads: usize,
+}
+
+fn scenario_check(c: &ScenarioChecker, paths: &[PathBuf]) -> Result<String, CliError> {
+    let mut out = String::new();
+    let mut failed = 0usize;
+    for path in paths {
+        match scenario_check_one(c, path) {
+            Ok(line) => out.push_str(&line),
+            Err(block) => {
+                failed += 1;
+                out.push_str(&block);
+            }
+        }
+    }
+    writeln!(
+        out,
+        "checked {} scenario(s): {} pass, {failed} fail (threads={})",
+        paths.len(),
+        paths.len() - failed,
+        c.threads
+    )
+    .unwrap();
+    if failed == 0 {
+        Ok(out)
+    } else {
+        Err(CliError(out.trim_end().to_string()))
+    }
+}
+
+/// One scenario: run, compare the golden transcript (or re-pin it when
+/// blessing), evaluate the `[expect]` block. On failure the transcript
+/// is written to the fail dir so CI can upload it as an artifact.
+fn scenario_check_one(c: &ScenarioChecker, path: &Path) -> Result<String, String> {
+    let fail = |name: &str, lines: Vec<String>| -> String {
+        let mut block = format!("FAIL {name}\n");
+        for l in lines {
+            block.push_str(&format!("  {l}\n"));
+        }
+        block
+    };
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("?")
+        .to_string();
+    let scn = load_compiled(path).map_err(|e| fail(&name, vec![e.0]))?;
+    let file = path.display().to_string();
+    let run = blameit_scenario::run_scenario(&file, &scn, c.threads)
+        .map_err(|e| fail(&name, vec![e.to_string()]))?;
+
+    let mut failures = blameit_scenario::evaluate(&scn.spec, &run);
+    let golden = c.golden_dir.join(format!("{name}.txt"));
+    let mut blessed = false;
+    if c.bless {
+        if let Err(e) = std::fs::create_dir_all(&c.golden_dir)
+            .and_then(|()| std::fs::write(&golden, &run.transcript))
+        {
+            failures.push(format!("bless {}: {e}", golden.display()));
+        } else {
+            blessed = true;
+        }
+    } else {
+        match std::fs::read_to_string(&golden) {
+            Ok(want) => {
+                if want != run.transcript {
+                    failures.push(format!(
+                        "golden transcript mismatch vs {} ({})",
+                        golden.display(),
+                        first_transcript_diff(&run.transcript, &want)
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!(
+                "golden {}: {e} (bless with `blameit scenario check {name} --bless 1`)",
+                golden.display()
+            )),
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "PASS {name} ({} expectation(s){})\n",
+            scn.spec.expect.len(),
+            if blessed {
+                ", golden blessed"
+            } else {
+                ", golden ok"
+            }
+        ))
+    } else {
+        let dump = c.fail_dir.join(format!("{name}.txt"));
+        match std::fs::create_dir_all(&c.fail_dir)
+            .and_then(|()| std::fs::write(&dump, &run.transcript))
+        {
+            Ok(()) => failures.push(format!("transcript written to {}", dump.display())),
+            Err(e) => failures.push(format!("could not write failing transcript: {e}")),
+        }
+        Err(fail(&name, failures))
+    }
+}
+
+/// Locates the first differing line between a run transcript and its
+/// golden, for a pointed mismatch message.
+fn first_transcript_diff(got: &str, want: &str) -> String {
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            return format!("first diff at line {}: got {g:?}, golden {w:?}", i + 1);
+        }
+    }
+    format!(
+        "line count differs: got {}, golden {}",
+        got.lines().count(),
+        want.lines().count()
+    )
 }
 
 /// Parses `cloud:<loc-id>`, `middle:<asn>`, or `client:<asn>`.

@@ -1,0 +1,55 @@
+//! Positioned scenario errors.
+
+/// A scenario load, compile, or run failure, positioned at the line
+/// that caused it. Line 0 means the error concerns the file (or run)
+/// as a whole rather than one line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// The scenario file (as given to the loader — typically a path).
+    pub file: String,
+    /// 1-based line the error points at; 0 for whole-file errors.
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ScenarioError {
+    /// An error at a specific line.
+    pub fn at(file: &str, line: u32, msg: impl Into<String>) -> Self {
+        ScenarioError {
+            file: file.to_string(),
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// A whole-file error (no meaningful line).
+    pub fn whole(file: &str, msg: impl Into<String>) -> Self {
+        ScenarioError::at(file, 0, msg)
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.file, self.msg)
+        } else {
+            write!(f, "{}:{}: {}", self.file, self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ScenarioError::at("scenarios/x.scn", 7, "unknown key \"zap\"");
+        assert_eq!(e.to_string(), "scenarios/x.scn:7: unknown key \"zap\"");
+        let w = ScenarioError::whole("x.scn", "missing [eval] section");
+        assert_eq!(w.to_string(), "x.scn: missing [eval] section");
+    }
+}

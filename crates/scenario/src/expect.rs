@@ -1,0 +1,317 @@
+//! Evaluates a scenario's `[expect]` block against a [`ScenarioRun`].
+//!
+//! Each failed expectation becomes one human-readable line stating the
+//! assertion, the observed value, and where the evidence was looked
+//! for. Degraded-reason minimums are checked on three surfaces at
+//! once — the localization records, the engine's metric counters, and
+//! the transcript's `unlocalized(<reason>)` provenance text — so a
+//! regression on any surface fails the scenario.
+
+use crate::run::ScenarioRun;
+use crate::spec::{Expectation, ScenarioSpec};
+use blameit::UnlocalizedReason;
+
+/// Checks every `[expect]` assertion; returns one message per failure
+/// (empty = pass).
+pub fn evaluate(spec: &ScenarioSpec, run: &ScenarioRun) -> Vec<String> {
+    let r = &run.report;
+    let mut failures = Vec::new();
+    let mut fail = |msg: String| failures.push(msg);
+    for e in &spec.expect {
+        match e {
+            Expectation::BlamesMin(n) => {
+                let got = r.blames.total();
+                if got < *n {
+                    fail(format!("expected ≥ {n} blame verdicts, got {got}"));
+                }
+            }
+            Expectation::BlamesMax(n) => {
+                let got = r.blames.total();
+                if got > *n {
+                    fail(format!("expected ≤ {n} blame verdicts, got {got}"));
+                }
+            }
+            Expectation::BlameMin(blame, n) => {
+                let got = r.blames.count(*blame);
+                if got < *n {
+                    fail(format!("expected ≥ {n} `{blame}` verdicts, got {got}"));
+                }
+            }
+            Expectation::BlameMax(blame, n) => {
+                let got = r.blames.count(*blame);
+                if got > *n {
+                    fail(format!("expected ≤ {n} `{blame}` verdicts, got {got}"));
+                }
+            }
+            Expectation::LocalizationsMin(n) => {
+                if r.localizations < *n {
+                    fail(format!(
+                        "expected ≥ {n} localization attempts, got {}",
+                        r.localizations
+                    ));
+                }
+            }
+            Expectation::LocalizationsMax(n) => {
+                if r.localizations > *n {
+                    fail(format!(
+                        "expected ≤ {n} localization attempts, got {}",
+                        r.localizations
+                    ));
+                }
+            }
+            Expectation::CulpritAs(asn) => {
+                if !r.culprits.contains(asn) {
+                    fail(format!(
+                        "expected AS{asn} among named culprits, got [{}]",
+                        r.culprits
+                            .iter()
+                            .map(|a| format!("AS{a}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+            }
+            Expectation::DegradedMin(reason, n) => {
+                degraded_min(*reason, *n, run, &mut fail);
+            }
+            Expectation::DegradedMax(reason, n) => {
+                let got = degraded_count(r.degraded_verdicts, *reason);
+                if got > *n {
+                    fail(format!(
+                        "expected ≤ {n} degraded `{}` verdicts, got {got}",
+                        reason.label()
+                    ));
+                }
+            }
+            Expectation::DegradedTotalMax(n) => {
+                let got: u64 = r.degraded_verdicts.iter().sum();
+                if got > *n {
+                    fail(format!("expected ≤ {n} degraded verdicts total, got {got}"));
+                }
+            }
+            Expectation::AlertsMin(n) => {
+                if r.alerts < *n {
+                    fail(format!("expected ≥ {n} alerts, got {}", r.alerts));
+                }
+            }
+            Expectation::AlertsMax(n) => {
+                if r.alerts > *n {
+                    fail(format!("expected ≤ {n} alerts, got {}", r.alerts));
+                }
+            }
+            Expectation::FlightTrigger(label) => {
+                if !r.flight_triggers.iter().any(|t| t == label) {
+                    fail(format!(
+                        "expected flight trigger `{label}` to fire, fired: [{}]",
+                        r.flight_triggers.join(", ")
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn degraded_count(counts: [u64; 6], reason: UnlocalizedReason) -> u64 {
+    let i = UnlocalizedReason::ALL
+        .iter()
+        .position(|r| *r == reason)
+        .expect("ALL covers every reason");
+    counts[i]
+}
+
+/// `degraded_<reason>_min`: the reason must show up in the verdict
+/// records, in the engine's metric counters (when the run kept them),
+/// and in the transcript's provenance text.
+fn degraded_min(
+    reason: UnlocalizedReason,
+    n: u64,
+    run: &ScenarioRun,
+    fail: &mut impl FnMut(String),
+) {
+    let label = reason.label();
+    let got = degraded_count(run.report.degraded_verdicts, reason);
+    if got < n {
+        fail(format!(
+            "expected ≥ {n} degraded `{label}` verdicts, got {got}"
+        ));
+        return;
+    }
+    if let Some(metrics) = run.report.degraded_metrics {
+        let counted = degraded_count(metrics, reason);
+        if counted < n {
+            fail(format!(
+                "degraded `{label}`: verdict records show {got} but the \
+                 metrics counter only advanced by {counted} (metrics surface regressed)"
+            ));
+        }
+    }
+    let marker = format!("unlocalized({label})");
+    if !run.transcript.contains(&marker) {
+        fail(format!(
+            "degraded `{label}`: `{marker}` never appears in the transcript \
+             (provenance surface regressed)"
+        ));
+    }
+}
+
+/// Renders a one-scenario result block: PASS/FAIL, the report
+/// aggregates, and any failure lines, indented ready for the CLI.
+pub fn render_report(spec: &ScenarioSpec, run: &ScenarioRun, failures: &[String]) -> String {
+    use std::fmt::Write;
+    let r = &run.report;
+    let mut out = String::new();
+    let verdict = if failures.is_empty() { "PASS" } else { "FAIL" };
+    writeln!(
+        out,
+        "{verdict} {} ({} expectation(s))",
+        spec.name,
+        spec.expect.len()
+    )
+    .unwrap();
+    writeln!(out, "  {}", spec.summary).unwrap();
+    writeln!(
+        out,
+        "  ticks={} blames={} localizations={} culprits=[{}] degraded={} alerts={}",
+        r.ticks,
+        r.blames.total(),
+        r.localizations,
+        r.culprits
+            .iter()
+            .map(|a| format!("AS{a}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        r.degraded_verdicts.iter().sum::<u64>(),
+        r.alerts
+    )
+    .unwrap();
+    let by_blame: Vec<String> = blameit::Blame::ALL
+        .iter()
+        .filter_map(|b| {
+            let c = r.blames.count(*b);
+            (c > 0).then(|| format!("{b}={c}"))
+        })
+        .collect();
+    if !by_blame.is_empty() {
+        writeln!(out, "  blame: {}", by_blame.join(" ")).unwrap();
+    }
+    let degraded: Vec<String> = UnlocalizedReason::ALL
+        .iter()
+        .filter_map(|reason| {
+            let c = degraded_count(r.degraded_verdicts, *reason);
+            (c > 0).then(|| format!("{}={c}", reason.label()))
+        })
+        .collect();
+    if !degraded.is_empty() {
+        writeln!(out, "  degraded: {}", degraded.join(" ")).unwrap();
+    }
+    if !r.flight_triggers.is_empty() {
+        writeln!(out, "  flight: {}", r.flight_triggers.join(", ")).unwrap();
+    }
+    for f in failures {
+        writeln!(out, "  FAIL: {f}").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{ScenarioReport, ScenarioRun};
+    use crate::spec::*;
+    use blameit::{Blame, BlameCounts};
+
+    fn spec_with(expect: Vec<Expectation>) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "t".into(),
+            summary: "test".into(),
+            world: WorldSpec::default(),
+            workload: WorkloadSpec::default(),
+            faults: Vec::new(),
+            chaos: None,
+            crash: None,
+            engine: EngineSpec::default(),
+            eval: EvalSpec {
+                start_hour: 24.0,
+                duration_mins: 45,
+            },
+            expect,
+        }
+    }
+
+    fn run_with(transcript: &str) -> ScenarioRun {
+        let mut blames = BlameCounts::new();
+        blames.add(Blame::Cloud);
+        blames.add(Blame::Middle);
+        ScenarioRun {
+            transcript: transcript.into(),
+            flight_dump: String::new(),
+            report: ScenarioReport {
+                ticks: 3,
+                blames,
+                localizations: 1,
+                culprits: vec![104],
+                degraded_verdicts: [1, 0, 0, 0, 0, 0],
+                degraded_metrics: Some([1, 0, 0, 0, 0, 0]),
+                alerts: 1,
+                flight_triggers: vec!["degraded-spike".into()],
+            },
+        }
+    }
+
+    #[test]
+    fn passing_expectations_produce_no_failures() {
+        let spec = spec_with(vec![
+            Expectation::BlamesMin(2),
+            Expectation::BlameMin(Blame::Middle, 1),
+            Expectation::CulpritAs(104),
+            Expectation::DegradedMin(UnlocalizedReason::ProbeTimeout, 1),
+            Expectation::AlertsMax(5),
+            Expectation::FlightTrigger("degraded-spike".into()),
+        ]);
+        let run = run_with("tick 0\n  localization ... unlocalized(probe_timeout)\n");
+        assert_eq!(evaluate(&spec, &run), Vec::<String>::new());
+        assert!(render_report(&spec, &run, &[]).starts_with("PASS t"));
+    }
+
+    #[test]
+    fn each_surface_of_degraded_min_is_checked() {
+        let spec = spec_with(vec![Expectation::DegradedMin(
+            UnlocalizedReason::ProbeTimeout,
+            1,
+        )]);
+        // Verdict records say 1 but the transcript lacks the marker.
+        let run = run_with("tick 0\n");
+        let fails = evaluate(&spec, &run);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("provenance surface"), "{fails:?}");
+        // Metrics counter lagging is its own failure.
+        let mut lagging = run_with("unlocalized(probe_timeout)");
+        lagging.report.degraded_metrics = Some([0; 6]);
+        let fails = evaluate(&spec, &lagging);
+        assert!(fails[0].contains("metrics counter"), "{fails:?}");
+        // Crash runs (no metrics) only check verdicts + transcript.
+        let mut crashy = run_with("unlocalized(probe_timeout)");
+        crashy.report.degraded_metrics = None;
+        assert!(evaluate(&spec, &crashy).is_empty());
+    }
+
+    #[test]
+    fn failures_name_the_observed_value() {
+        let spec = spec_with(vec![
+            Expectation::BlamesMin(100),
+            Expectation::CulpritAs(9),
+            Expectation::FlightTrigger("chaos-burst".into()),
+            Expectation::DegradedTotalMax(0),
+        ]);
+        let run = run_with("x");
+        let fails = evaluate(&spec, &run);
+        assert_eq!(fails.len(), 4);
+        assert!(fails[0].contains("got 2"), "{fails:?}");
+        assert!(fails[1].contains("AS104"), "{fails:?}");
+        assert!(fails[2].contains("degraded-spike"), "{fails:?}");
+        let report = render_report(&spec, &run, &fails);
+        assert!(report.starts_with("FAIL t"), "{report}");
+        assert!(report.contains("degraded: probe_timeout=1"), "{report}");
+    }
+}

@@ -1,0 +1,718 @@
+//! The line-oriented scenario parser and validator.
+//!
+//! Grammar (one construct per line):
+//!
+//! ```text
+//! # comment (blank lines ignored)
+//! key = value          # top level: name, summary
+//! [section]            # world, workload, fault, chaos, crash,
+//!                      # engine, eval, expect
+//! key = value          # keys belong to the open section
+//! ```
+//!
+//! Only `[fault]` may repeat. Unknown sections, unknown keys, bad
+//! values, and duplicate keys are rejected with a `file:line` error —
+//! the parser never panics on any input (see the mutation property
+//! test in `tests/scenario_props.rs`).
+
+use crate::error::ScenarioError;
+use crate::spec::{
+    ChaosSpec, CrashSpec, EngineSpec, EvalSpec, Expectation, FaultSpec, ScenarioSpec, WorkloadSpec,
+    WorldSpec,
+};
+use blameit::{Blame, UnlocalizedReason};
+use blameit_bench::Scale;
+use blameit_simnet::CrashPoint;
+use std::path::Path;
+
+/// Loads and parses one scenario file from disk.
+pub fn load_scenario(path: &Path) -> Result<ScenarioSpec, ScenarioError> {
+    let file = path.display().to_string();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ScenarioError::whole(&file, format!("cannot read scenario file: {e}")))?;
+    parse_scenario(&file, &text)
+}
+
+/// Parses scenario text. `file` is only used to position errors.
+pub fn parse_scenario(file: &str, text: &str) -> Result<ScenarioSpec, ScenarioError> {
+    let mut p = Parser::new(file);
+    for (i, raw_line) in text.lines().enumerate() {
+        p.line(i as u32 + 1, raw_line)?;
+    }
+    p.finish()
+}
+
+/// Section the cursor is in.
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    Top,
+    World,
+    Workload,
+    Fault,
+    Chaos,
+    Crash,
+    Engine,
+    Eval,
+    Expect,
+}
+
+/// A half-built `[crash]` section (fields arrive line by line).
+#[derive(Default)]
+struct CrashDraft {
+    kill_tick: Option<u64>,
+    kill_point: Option<CrashPoint>,
+    seed: Option<u64>,
+    line: u32,
+}
+
+/// A half-built `[fault]` section.
+#[derive(Default)]
+struct FaultDraft {
+    target: Option<(String, u32)>,
+    start_hour: Option<f64>,
+    duration_mins: Option<u64>,
+    added_ms: Option<f64>,
+    line: u32,
+}
+
+/// A half-built `[eval]` section.
+#[derive(Default)]
+struct EvalDraft {
+    start_hour: Option<f64>,
+    duration_mins: Option<u64>,
+    line: u32,
+}
+
+struct Parser {
+    file: String,
+    section: Section,
+    name: Option<String>,
+    summary: String,
+    world: WorldSpec,
+    workload: WorkloadSpec,
+    faults: Vec<FaultSpec>,
+    fault: Option<FaultDraft>,
+    chaos: Option<ChaosSpec>,
+    crash: Option<CrashDraft>,
+    engine: EngineSpec,
+    eval: Option<EvalDraft>,
+    expect: Vec<Expectation>,
+    seen_sections: Vec<&'static str>,
+}
+
+impl Parser {
+    fn new(file: &str) -> Self {
+        Parser {
+            file: file.to_string(),
+            section: Section::Top,
+            name: None,
+            summary: String::new(),
+            world: WorldSpec::default(),
+            workload: WorkloadSpec::default(),
+            faults: Vec::new(),
+            fault: None,
+            chaos: None,
+            crash: None,
+            engine: EngineSpec::default(),
+            eval: None,
+            expect: Vec::new(),
+            seen_sections: Vec::new(),
+        }
+    }
+
+    fn err(&self, line: u32, msg: impl Into<String>) -> ScenarioError {
+        ScenarioError::at(&self.file, line, msg)
+    }
+
+    fn line(&mut self, n: u32, raw: &str) -> Result<(), ScenarioError> {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(self.err(n, format!("malformed section header {line:?}")));
+            };
+            return self.open_section(n, name.trim());
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(self.err(
+                n,
+                format!("expected `key = value`, a `[section]`, or a `#` comment, got {line:?}"),
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if key.is_empty() {
+            return Err(self.err(n, "empty key before `=`"));
+        }
+        match self.section {
+            Section::Top => self.top_key(n, key, value),
+            Section::World => self.world_key(n, key, value),
+            Section::Workload => self.workload_key(n, key, value),
+            Section::Fault => self.fault_key(n, key, value),
+            Section::Chaos => self.chaos_key(n, key, value),
+            Section::Crash => self.crash_key(n, key, value),
+            Section::Engine => self.engine_key(n, key, value),
+            Section::Eval => self.eval_key(n, key, value),
+            Section::Expect => self.expect_key(n, key, value),
+        }
+    }
+
+    fn open_section(&mut self, n: u32, name: &str) -> Result<(), ScenarioError> {
+        self.close_fault()?;
+        let (section, tag): (Section, &'static str) = match name {
+            "world" => (Section::World, "world"),
+            "workload" => (Section::Workload, "workload"),
+            "fault" => (Section::Fault, "fault"),
+            "chaos" => (Section::Chaos, "chaos"),
+            "crash" => (Section::Crash, "crash"),
+            "engine" => (Section::Engine, "engine"),
+            "eval" => (Section::Eval, "eval"),
+            "expect" => (Section::Expect, "expect"),
+            other => {
+                return Err(self.err(
+                    n,
+                    format!(
+                        "unknown section [{other}]; expected one of [world] [workload] [fault] \
+                         [chaos] [crash] [engine] [eval] [expect]"
+                    ),
+                ))
+            }
+        };
+        if section != Section::Fault && self.seen_sections.contains(&tag) {
+            return Err(self.err(n, format!("duplicate section [{tag}]")));
+        }
+        self.seen_sections.push(tag);
+        match section {
+            Section::Fault => {
+                self.fault = Some(FaultDraft {
+                    line: n,
+                    ..FaultDraft::default()
+                })
+            }
+            Section::Chaos => self.chaos = Some(ChaosSpec::default()),
+            Section::Crash => {
+                self.crash = Some(CrashDraft {
+                    line: n,
+                    ..CrashDraft::default()
+                })
+            }
+            Section::Eval => {
+                self.eval = Some(EvalDraft {
+                    line: n,
+                    ..EvalDraft::default()
+                })
+            }
+            _ => {}
+        }
+        self.section = section;
+        Ok(())
+    }
+
+    /// Completes the open `[fault]` section, checking required keys.
+    fn close_fault(&mut self) -> Result<(), ScenarioError> {
+        let Some(draft) = self.fault.take() else {
+            return Ok(());
+        };
+        let line = draft.line;
+        let (target, target_line) = draft
+            .target
+            .ok_or_else(|| self.err(line, "[fault] is missing `target`"))?;
+        self.faults.push(FaultSpec {
+            target,
+            target_line,
+            start_hour: draft
+                .start_hour
+                .ok_or_else(|| self.err(line, "[fault] is missing `start_hour`"))?,
+            duration_mins: draft
+                .duration_mins
+                .ok_or_else(|| self.err(line, "[fault] is missing `duration_mins`"))?,
+            added_ms: draft
+                .added_ms
+                .ok_or_else(|| self.err(line, "[fault] is missing `added_ms`"))?,
+        });
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<ScenarioSpec, ScenarioError> {
+        self.close_fault()?;
+        let name = self
+            .name
+            .take()
+            .ok_or_else(|| ScenarioError::whole(&self.file, "missing required `name = ...`"))?;
+        let Some(eval) = self.eval.take() else {
+            return Err(ScenarioError::whole(&self.file, "missing [eval] section"));
+        };
+        let eval = EvalSpec {
+            start_hour: eval
+                .start_hour
+                .ok_or_else(|| self.err(eval.line, "[eval] is missing `start_hour`"))?,
+            duration_mins: eval
+                .duration_mins
+                .ok_or_else(|| self.err(eval.line, "[eval] is missing `duration_mins`"))?,
+        };
+        let crash = match self.crash.take() {
+            None => None,
+            Some(draft) => {
+                let line = draft.line;
+                Some(CrashSpec {
+                    kill_tick: draft
+                        .kill_tick
+                        .ok_or_else(|| self.err(line, "[crash] is missing `kill_tick`"))?,
+                    kill_point: draft
+                        .kill_point
+                        .ok_or_else(|| self.err(line, "[crash] is missing `kill_point`"))?,
+                    seed: draft.seed.unwrap_or(0xC4A5),
+                    line,
+                })
+            }
+        };
+        Ok(ScenarioSpec {
+            name,
+            summary: self.summary,
+            world: self.world,
+            workload: self.workload,
+            faults: self.faults,
+            chaos: self.chaos,
+            crash,
+            engine: self.engine,
+            eval,
+            expect: self.expect,
+        })
+    }
+
+    // ── per-section key handlers ────────────────────────────────────
+
+    fn top_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        match key {
+            "name" => {
+                if self.name.is_some() {
+                    return Err(self.err(n, "duplicate `name`"));
+                }
+                if value.is_empty()
+                    || !value
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                {
+                    return Err(self.err(
+                        n,
+                        format!("scenario name {value:?} must be non-empty [a-z0-9-]"),
+                    ));
+                }
+                self.name = Some(value.to_string());
+                Ok(())
+            }
+            "summary" => {
+                self.summary = value.to_string();
+                Ok(())
+            }
+            other => Err(self.err(
+                n,
+                format!("unknown top-level key {other:?}; expected `name` or `summary`"),
+            )),
+        }
+    }
+
+    fn world_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        match key {
+            "scale" => {
+                self.world.scale = match value {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "default" => Scale::Default,
+                    other => {
+                        return Err(self.err(
+                            n,
+                            format!("unknown scale {other:?}; expected tiny|small|default"),
+                        ))
+                    }
+                }
+            }
+            "seed" => self.world.seed = self.u64v(n, key, value)?,
+            "days" => self.world.days = self.u64v(n, key, value)?,
+            "warmup_days" => self.world.warmup_days = self.u64v(n, key, value)?,
+            "organic" => self.world.organic = self.boolv(n, key, value)?,
+            "churn_per_day" => self.world.churn_per_day = Some(self.f64v(n, key, value)?),
+            "evening_congestion_ms" => {
+                self.world.evening_congestion_ms = Some(self.f64v(n, key, value)?)
+            }
+            "noise_sigma" => self.world.noise_sigma = Some(self.f64v(n, key, value)?),
+            "spike_prob" => self.world.spike_prob = Some(self.ratev(n, key, value)?),
+            "path_drift_prob" => self.world.path_drift_prob = Some(self.ratev(n, key, value)?),
+            "broadband_per_metro" => {
+                self.world.broadband_per_metro = Some(self.u64v(n, key, value)? as usize)
+            }
+            "mobile_per_metro" => {
+                self.world.mobile_per_metro = Some(self.u64v(n, key, value)? as usize)
+            }
+            "tier1_count" => self.world.tier1_count = Some(self.u64v(n, key, value)? as usize),
+            "transits_per_region" => {
+                self.world.transits_per_region = Some(self.u64v(n, key, value)? as usize)
+            }
+            "secondary_loc_prob" => {
+                self.world.secondary_loc_prob = Some(self.ratev(n, key, value)?)
+            }
+            other => return Err(self.err(n, format!("unknown [world] key {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn workload_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        match key {
+            "conns_per_client_bucket" => {
+                self.workload.conns_per_client_bucket = Some(self.f64v(n, key, value)?)
+            }
+            "secondary_volume_frac" => {
+                self.workload.secondary_volume_frac = Some(self.ratev(n, key, value)?)
+            }
+            other => return Err(self.err(n, format!("unknown [workload] key {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn fault_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        // Validate before borrowing the draft mutably.
+        let parsed_f64 = match key {
+            "start_hour" | "added_ms" => Some(self.f64v(n, key, value)?),
+            _ => None,
+        };
+        let parsed_u64 = match key {
+            "duration_mins" => Some(self.u64v(n, key, value)?),
+            _ => None,
+        };
+        let unknown = self.err(n, format!("unknown [fault] key {key:?}"));
+        let draft = self.fault.as_mut().expect("in [fault] section");
+        match key {
+            "target" => draft.target = Some((value.to_string(), n)),
+            "start_hour" => draft.start_hour = parsed_f64,
+            "duration_mins" => draft.duration_mins = parsed_u64,
+            "added_ms" => draft.added_ms = parsed_f64,
+            _ => return Err(unknown),
+        }
+        Ok(())
+    }
+
+    fn chaos_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        let rate = matches!(
+            key,
+            "probe_timeout"
+                | "probe_truncate"
+                | "probe_slow"
+                | "drop_quartet_batch"
+                | "drop_route_info"
+                | "churn_duplicate"
+                | "churn_delay"
+        )
+        .then(|| self.ratev(n, key, value))
+        .transpose()?;
+        let secs = matches!(key, "seed" | "slow_by_secs" | "churn_delay_secs")
+            .then(|| self.u64v(n, key, value))
+            .transpose()?;
+        let unknown = self.err(n, format!("unknown [chaos] key {key:?}"));
+        let bad_plan = self.err(
+            n,
+            format!("unknown chaos plan {value:?}; expected none|mild|heavy|probe-storm"),
+        );
+        let chaos = self.chaos.as_mut().expect("in [chaos] section");
+        match key {
+            "plan" => {
+                if !matches!(value, "none" | "mild" | "heavy" | "probe-storm") {
+                    return Err(bad_plan);
+                }
+                chaos.plan = Some(value.to_string());
+            }
+            "seed" => chaos.seed = secs,
+            "probe_timeout" => chaos.probe_timeout = rate,
+            "probe_truncate" => chaos.probe_truncate = rate,
+            "probe_slow" => chaos.probe_slow = rate,
+            "slow_by_secs" => chaos.slow_by_secs = secs,
+            "drop_quartet_batch" => chaos.drop_quartet_batch = rate,
+            "drop_route_info" => chaos.drop_route_info = rate,
+            "churn_duplicate" => chaos.churn_duplicate = rate,
+            "churn_delay" => chaos.churn_delay = rate,
+            "churn_delay_secs" => chaos.churn_delay_secs = secs,
+            _ => return Err(unknown),
+        }
+        Ok(())
+    }
+
+    fn crash_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        let num = matches!(key, "kill_tick" | "seed")
+            .then(|| self.u64v(n, key, value))
+            .transpose()?;
+        let point = (key == "kill_point")
+            .then(|| {
+                CrashPoint::ALL
+                    .into_iter()
+                    .find(|p| p.label() == value)
+                    .ok_or_else(|| {
+                        let all: Vec<&str> = CrashPoint::ALL.iter().map(|p| p.label()).collect();
+                        self.err(
+                            n,
+                            format!(
+                                "unknown kill_point {value:?}; expected one of {}",
+                                all.join("|")
+                            ),
+                        )
+                    })
+            })
+            .transpose()?;
+        let unknown = self.err(n, format!("unknown [crash] key {key:?}"));
+        let crash = self.crash.as_mut().expect("in [crash] section");
+        match key {
+            "kill_tick" => crash.kill_tick = num,
+            "kill_point" => crash.kill_point = point,
+            "seed" => crash.seed = num,
+            _ => return Err(unknown),
+        }
+        Ok(())
+    }
+
+    fn engine_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        match key {
+            "probe_budget_per_loc" => {
+                self.engine.probe_budget_per_loc = Some(self.u64v(n, key, value)? as usize)
+            }
+            "probe_max_attempts" => {
+                self.engine.probe_max_attempts = Some(self.u64v(n, key, value)? as u32)
+            }
+            "probe_timeout_secs" => {
+                self.engine.probe_timeout_secs = Some(self.u64v(n, key, value)?)
+            }
+            "probe_backoff_base_secs" => {
+                self.engine.probe_backoff_base_secs = Some(self.u64v(n, key, value)?)
+            }
+            "probe_deadline_budget_secs" => {
+                self.engine.probe_deadline_budget_secs = Some(self.u64v(n, key, value)?)
+            }
+            "baseline_max_age_secs" => {
+                self.engine.baseline_max_age_secs = Some(self.u64v(n, key, value)?)
+            }
+            "background_period_secs" => {
+                self.engine.background_period_secs = Some(self.u64v(n, key, value)?)
+            }
+            "churn_triggered" => self.engine.churn_triggered = Some(self.boolv(n, key, value)?),
+            "tick_buckets" => {
+                let v = self.u64v(n, key, value)?;
+                if v == 0 {
+                    return Err(self.err(n, "tick_buckets must be ≥ 1"));
+                }
+                self.engine.tick_buckets = Some(v as u32);
+            }
+            "max_alerts" => self.engine.max_alerts = Some(self.u64v(n, key, value)? as usize),
+            "snapshot_every_ticks" => {
+                self.engine.snapshot_every_ticks = Some(self.u64v(n, key, value)? as u32)
+            }
+            "flight_degraded_spike" => {
+                self.engine.flight_degraded_spike = Some(self.u64v(n, key, value)?)
+            }
+            "flight_chaos_burst" => {
+                self.engine.flight_chaos_burst = Some(self.u64v(n, key, value)?)
+            }
+            other => return Err(self.err(n, format!("unknown [engine] key {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn eval_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        let hour = (key == "start_hour")
+            .then(|| self.f64v(n, key, value))
+            .transpose()?;
+        let mins = (key == "duration_mins")
+            .then(|| self.u64v(n, key, value))
+            .transpose()?;
+        let unknown = self.err(n, format!("unknown [eval] key {key:?}"));
+        let eval = self.eval.as_mut().expect("in [eval] section");
+        match key {
+            "start_hour" => eval.start_hour = hour,
+            "duration_mins" => eval.duration_mins = mins,
+            _ => return Err(unknown),
+        }
+        Ok(())
+    }
+
+    fn expect_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        // `flight_trigger` and `culprit_as` take non-count values.
+        if key == "flight_trigger" {
+            if blameit_obs::FlightTrigger::from_label(value).is_none() {
+                return Err(self.err(n, format!("unknown flight trigger label {value:?}")));
+            }
+            self.expect.push(Expectation::FlightTrigger(value.into()));
+            return Ok(());
+        }
+        if key == "culprit_as" {
+            let asn = self.u64v(n, key, value)?;
+            self.expect.push(Expectation::CulpritAs(asn as u32));
+            return Ok(());
+        }
+        let count = self.u64v(n, key, value)?;
+        let e = match key {
+            "blames_min" => Expectation::BlamesMin(count),
+            "blames_max" => Expectation::BlamesMax(count),
+            "localizations_min" => Expectation::LocalizationsMin(count),
+            "localizations_max" => Expectation::LocalizationsMax(count),
+            "degraded_total_max" => Expectation::DegradedTotalMax(count),
+            "alerts_min" => Expectation::AlertsMin(count),
+            "alerts_max" => Expectation::AlertsMax(count),
+            other => {
+                if let Some(e) = blame_expect(other, count) {
+                    e
+                } else if let Some(e) = degraded_expect(other, count) {
+                    e
+                } else {
+                    return Err(self.err(n, format!("unknown [expect] key {other:?}")));
+                }
+            }
+        };
+        self.expect.push(e);
+        Ok(())
+    }
+
+    // ── value parsers ───────────────────────────────────────────────
+
+    fn u64v(&self, n: u32, key: &str, value: &str) -> Result<u64, ScenarioError> {
+        let parsed = match value
+            .strip_prefix("0x")
+            .or_else(|| value.strip_prefix("0X"))
+        {
+            Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16),
+            None => value.replace('_', "").parse(),
+        };
+        parsed.map_err(|_| {
+            self.err(
+                n,
+                format!("{key} expects an unsigned integer, got {value:?}"),
+            )
+        })
+    }
+
+    fn f64v(&self, n: u32, key: &str, value: &str) -> Result<f64, ScenarioError> {
+        let v: f64 = value
+            .parse()
+            .map_err(|_| self.err(n, format!("{key} expects a number, got {value:?}")))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(self.err(n, format!("{key} must be finite and ≥ 0, got {value}")));
+        }
+        Ok(v)
+    }
+
+    /// A probability in `[0, 1]`.
+    fn ratev(&self, n: u32, key: &str, value: &str) -> Result<f64, ScenarioError> {
+        let v = self.f64v(n, key, value)?;
+        if v > 1.0 {
+            return Err(self.err(n, format!("{key} is a probability in [0, 1], got {value}")));
+        }
+        Ok(v)
+    }
+
+    fn boolv(&self, n: u32, key: &str, value: &str) -> Result<bool, ScenarioError> {
+        match value {
+            "1" | "true" => Ok(true),
+            "0" | "false" => Ok(false),
+            other => Err(self.err(n, format!("{key} expects 0|1|true|false, got {other:?}"))),
+        }
+    }
+}
+
+/// `blame_<category>_<min|max>` keys.
+fn blame_expect(key: &str, count: u64) -> Option<Expectation> {
+    let rest = key.strip_prefix("blame_")?;
+    let (cat, bound) = rest.rsplit_once('_')?;
+    let blame = Blame::ALL.into_iter().find(|b| b.to_string() == cat)?;
+    match bound {
+        "min" => Some(Expectation::BlameMin(blame, count)),
+        "max" => Some(Expectation::BlameMax(blame, count)),
+        _ => None,
+    }
+}
+
+/// `degraded_<reason>_<min|max>` keys (snake_case reason labels).
+fn degraded_expect(key: &str, count: u64) -> Option<Expectation> {
+    let rest = key.strip_prefix("degraded_")?;
+    let (reason_s, bound) = rest.rsplit_once('_')?;
+    let reason = UnlocalizedReason::ALL
+        .into_iter()
+        .find(|r| r.label() == reason_s)?;
+    match bound {
+        "min" => Some(Expectation::DegradedMin(reason, count)),
+        "max" => Some(Expectation::DegradedMax(reason, count)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+name = smoke
+summary = minimal valid scenario
+
+[eval]
+start_hour = 24
+duration_mins = 45
+";
+
+    #[test]
+    fn minimal_scenario_parses() {
+        let spec = parse_scenario("mem.scn", MINIMAL).unwrap();
+        assert_eq!(spec.name, "smoke");
+        assert_eq!(spec.eval.duration_mins, 45);
+        assert!(spec.faults.is_empty() && spec.chaos.is_none() && spec.crash.is_none());
+    }
+
+    #[test]
+    fn unknown_key_positions_the_error() {
+        let text = format!("{MINIMAL}\n[world]\nzap = 3\n");
+        let err = parse_scenario("mem.scn", &text).unwrap_err();
+        assert_eq!(err.line, 9, "{err}");
+        assert!(
+            err.to_string().contains("unknown [world] key \"zap\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let err = parse_scenario("m.scn", &format!("{MINIMAL}[bogus]\n")).unwrap_err();
+        assert!(err.to_string().contains("unknown section [bogus]"), "{err}");
+    }
+
+    #[test]
+    fn fault_requires_all_keys() {
+        let text =
+            "name = x\n[fault]\ntarget = cloud:0\n[eval]\nstart_hour = 24\nduration_mins = 15\n";
+        let err = parse_scenario("m.scn", text).unwrap_err();
+        assert!(err.to_string().contains("missing `start_hour`"), "{err}");
+    }
+
+    #[test]
+    fn expect_grammar_covers_blames_and_reasons() {
+        let text = format!(
+            "{MINIMAL}\n[expect]\nblame_middle_min = 2\ndegraded_no_baseline_max = 0\n\
+             culprit_as = 104\nflight_trigger = degraded-spike\n"
+        );
+        let spec = parse_scenario("m.scn", &text).unwrap();
+        assert_eq!(spec.expect.len(), 4);
+        assert!(spec
+            .expect
+            .contains(&Expectation::BlameMin(Blame::Middle, 2)));
+        assert!(spec
+            .expect
+            .contains(&Expectation::DegradedMax(UnlocalizedReason::NoBaseline, 0)));
+    }
+
+    #[test]
+    fn hex_seeds_and_duplicate_sections() {
+        let text = format!("{MINIMAL}\n[chaos]\nseed = 0xC4A05\n");
+        let spec = parse_scenario("m.scn", &text).unwrap();
+        assert_eq!(spec.chaos.unwrap().seed, Some(0xC4A05));
+        let dup = format!("{MINIMAL}\n[eval]\nstart_hour = 25\nduration_mins = 15\n");
+        let err = parse_scenario("m.scn", &dup).unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate section [eval]"),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! Executes a [`CompiledScenario`] through the deterministic tick.
+//!
+//! The runner follows the CLI's three-window shape: warmup (history
+//! learning, no probes), burn-in (ticks run and discarded so background
+//! probes can build middle baselines), then the scored eval window.
+//! Scenarios with a `[chaos]` plan run through [`ChaosBackend`];
+//! scenarios with a `[crash]` section run the durable path — kill,
+//! fsck, recover, resume — and must still produce an eval transcript
+//! byte-identical to an uninterrupted run, which the runner verifies
+//! itself on every crash scenario.
+
+use crate::compile::CompiledScenario;
+use crate::error::ScenarioError;
+use blameit::{
+    fsck, render_tick_transcript, tally, BlameCounts, BlameItEngine, ChaosBackend, DurableEngine,
+    LocalizationVerdict, PersistError, StartMode, StateStore, TickOutput, UnlocalizedReason,
+    WorldBackend,
+};
+use blameit_obs::MetricsRegistry;
+use blameit_simnet::{CrashPlan, TimeBucket};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// What a scenario produced: the canonical transcript (golden-pinnable)
+/// plus the aggregates the `[expect]` block is evaluated against.
+pub struct ScenarioRun {
+    /// Canonical eval-window transcript
+    /// ([`render_tick_transcript`] output) — byte-identical at any
+    /// thread count.
+    pub transcript: String,
+    /// Flight-recorder JSONL dump taken after the run — like the
+    /// transcript, byte-identical at any thread count. On crash runs it
+    /// covers the post-recovery engine only.
+    pub flight_dump: String,
+    /// Eval-window aggregates.
+    pub report: ScenarioReport,
+}
+
+/// Aggregates over the eval window only (burn-in output is discarded,
+/// and metric counters are differenced across the burn-in/eval
+/// boundary).
+pub struct ScenarioReport {
+    /// Engine ticks in the eval window.
+    pub ticks: u64,
+    /// Passive blame tally.
+    pub blames: BlameCounts,
+    /// Active-phase localizations attempted.
+    pub localizations: u64,
+    /// Culprit ASes named, sorted and deduplicated.
+    pub culprits: Vec<u32>,
+    /// Degraded verdicts per reason, [`UnlocalizedReason::ALL`] order,
+    /// counted from the localization records.
+    pub degraded_verdicts: [u64; 6],
+    /// The same counts read back from the engine's metric counters
+    /// (eval-window delta). `None` on crash runs: counters don't
+    /// compose across a kill/recover boundary.
+    pub degraded_metrics: Option<[u64; 6]>,
+    /// Operator alerts emitted.
+    pub alerts: u64,
+    /// Flight-recorder trigger labels that fired, deduplicated, in
+    /// first-fired order.
+    pub flight_triggers: Vec<String>,
+}
+
+/// Runs `scn` at `threads` engine threads (`0` = ambient default) and
+/// returns the transcript + report. `file` positions run errors.
+pub fn run_scenario(
+    file: &str,
+    scn: &CompiledScenario,
+    threads: usize,
+) -> Result<ScenarioRun, ScenarioError> {
+    if scn.spec.crash.is_some() {
+        run_crash(file, scn, threads)
+    } else {
+        Ok(run_plain(scn, threads))
+    }
+}
+
+/// The non-durable path: plain engine, optionally behind a
+/// [`ChaosBackend`].
+fn run_plain(scn: &CompiledScenario, threads: usize) -> ScenarioRun {
+    let cfg = scn.engine_config(threads);
+    let parallelism = cfg.parallelism;
+    let mut engine = BlameItEngine::new(cfg);
+    let outs = match &scn.plan {
+        Some(plan) => {
+            let mut backend = ChaosBackend::with_registry(
+                WorldBackend::with_parallelism(&scn.world, parallelism),
+                *plan,
+                engine.metrics().registry(),
+            );
+            drive(&mut engine, &mut backend, scn)
+        }
+        None => {
+            let mut backend = WorldBackend::with_parallelism(&scn.world, parallelism);
+            drive(&mut engine, &mut backend, scn)
+        }
+    };
+    finish(&engine, outs)
+}
+
+/// Warmup + burn-in (discarded) + eval, returning eval outputs plus
+/// the metric-counter baseline captured at the burn-in/eval boundary.
+fn drive<B: blameit::Backend>(
+    engine: &mut BlameItEngine,
+    backend: &mut B,
+    scn: &CompiledScenario,
+) -> (Vec<TickOutput>, [u64; 6]) {
+    engine.warmup(backend, scn.warmup, 2);
+    if scn.burn_in.num_buckets() > 0 {
+        let _ = engine.run(backend, scn.burn_in);
+    }
+    let before = degraded_counters(engine);
+    (engine.run(backend, scn.eval), before)
+}
+
+/// The durable path: run to the kill point, fsck, reopen (recovering
+/// by snapshot + journal replay), resume, and verify the composed
+/// transcript equals an uninterrupted run's byte-for-byte.
+fn run_crash(
+    file: &str,
+    scn: &CompiledScenario,
+    threads: usize,
+) -> Result<ScenarioRun, ScenarioError> {
+    let crash = scn.spec.crash.as_ref().expect("caller checked");
+    let fail = |msg: String| ScenarioError::at(file, crash.line, msg);
+    let dir = scratch_dir(&scn.spec.name, threads);
+    let mut cfg = scn.engine_config(threads);
+    cfg.state_dir = Some(dir.clone());
+
+    let store = StateStore::create(&dir).map_err(|e| fail(format!("state dir: {e}")))?;
+    store.wipe().map_err(|e| fail(format!("state dir: {e}")))?;
+
+    let mut backend = WorldBackend::with_parallelism(&scn.world, cfg.parallelism);
+    let (mut durable, recovery) =
+        DurableEngine::open(cfg.clone(), Arc::new(MetricsRegistry::new()), &mut backend)
+            .map_err(|e| fail(format!("open: {e}")))?;
+    debug_assert_eq!(recovery.mode, StartMode::Cold, "wiped dir starts cold");
+    durable
+        .warmup_and_checkpoint(&backend, scn.warmup, 2)
+        .map_err(|e| fail(format!("warmup checkpoint: {e}")))?;
+    if scn.burn_in.num_buckets() > 0 {
+        durable
+            .run(&mut backend, scn.burn_in)
+            .map_err(|e| fail(format!("burn-in: {e}")))?;
+    }
+
+    // Eval ticks are driven bucket-by-bucket (durable `run` resumes a
+    // single whole range; our burn-in already advanced `ticks_done`).
+    let starts = eval_tick_starts(scn);
+    durable.set_crash_plan(Some(CrashPlan::kill_at(
+        scn.burn_in_ticks + crash.kill_tick,
+        crash.kill_point,
+        crash.seed,
+    )));
+    let mut outs: Vec<TickOutput> = Vec::new();
+    let mut killed = false;
+    for &start in &starts {
+        match durable.tick(&mut backend, start) {
+            Ok(out) => outs.push(out),
+            Err(PersistError::Crashed(point)) => {
+                debug_assert_eq!(point, crash.kill_point);
+                killed = true;
+                break;
+            }
+            Err(e) => return Err(fail(format!("durable tick: {e}"))),
+        }
+    }
+    if !killed {
+        return Err(fail(format!(
+            "crash plan never fired (kill_tick {} of {} eval tick(s))",
+            crash.kill_tick,
+            starts.len()
+        )));
+    }
+    drop(durable);
+
+    // The torn state must still pass fsck before we even try recovery.
+    let fsck_report = fsck(&dir);
+    if !fsck_report.ok() {
+        return Err(fail(format!(
+            "fsck found errors in the post-crash state dir:\n{}",
+            fsck_report.render()
+        )));
+    }
+
+    // Recover: snapshot + journal replay hands back every completed
+    // tick we haven't already got, then resumption runs the rest.
+    let (mut durable, recovery) =
+        DurableEngine::open(cfg, Arc::new(MetricsRegistry::new()), &mut backend)
+            .map_err(|e| fail(format!("recovery open: {e}")))?;
+    if recovery.mode == StartMode::Cold {
+        return Err(fail("recovery unexpectedly started cold".to_string()));
+    }
+    let first_missing = scn.burn_in_ticks + outs.len() as u64;
+    for (j, out) in recovery.replayed.into_iter().enumerate() {
+        if recovery.snapshot_ticks_done + j as u64 >= first_missing {
+            outs.push(out);
+        }
+    }
+    for (k, &start) in starts.iter().enumerate() {
+        if scn.burn_in_ticks + k as u64 >= durable.ticks_done() {
+            outs.push(
+                durable
+                    .tick(&mut backend, start)
+                    .map_err(|e| fail(format!("resumed tick: {e}")))?,
+            );
+        }
+    }
+    if outs.len() != starts.len() {
+        return Err(fail(format!(
+            "composed run has {} tick(s), expected {}",
+            outs.len(),
+            starts.len()
+        )));
+    }
+    let run = finish_crash(durable.engine(), outs);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The determinism contract, enforced per scenario: crash + recover
+    // + resume must be invisible in the transcript.
+    let reference = run_plain(scn, threads);
+    if reference.transcript != run.transcript {
+        return Err(fail(
+            "composed crash-run transcript differs from an uninterrupted run".to_string(),
+        ));
+    }
+    Ok(run)
+}
+
+/// Eval-window tick start buckets, mirroring `BlameItEngine::run`'s
+/// whole-ticks-only coverage.
+fn eval_tick_starts(scn: &CompiledScenario) -> Vec<TimeBucket> {
+    let tick_buckets = scn.eval.num_buckets() / scn.eval_ticks.max(1) as u32;
+    let buckets: Vec<TimeBucket> = scn.eval.buckets().collect();
+    buckets
+        .chunks(tick_buckets.max(1) as usize)
+        .take(scn.eval_ticks as usize)
+        .map(|c| c[0])
+        .collect()
+}
+
+/// A per-(scenario, thread-count, process) scratch directory for crash
+/// runs, under the system temp dir.
+fn scratch_dir(name: &str, threads: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "blameit-scn-{name}-t{threads}-p{}",
+        std::process::id()
+    ))
+}
+
+fn degraded_counters(engine: &BlameItEngine) -> [u64; 6] {
+    let m = engine.metrics();
+    UnlocalizedReason::ALL.map(|r| m.degraded_counter(r).get())
+}
+
+fn finish(engine: &BlameItEngine, (outs, before): (Vec<TickOutput>, [u64; 6])) -> ScenarioRun {
+    let after = degraded_counters(engine);
+    let mut delta = [0u64; 6];
+    for i in 0..6 {
+        delta[i] = after[i].saturating_sub(before[i]);
+    }
+    build_run(engine, outs, Some(delta))
+}
+
+fn finish_crash(engine: &BlameItEngine, outs: Vec<TickOutput>) -> ScenarioRun {
+    build_run(engine, outs, None)
+}
+
+fn build_run(
+    engine: &BlameItEngine,
+    outs: Vec<TickOutput>,
+    degraded_metrics: Option<[u64; 6]>,
+) -> ScenarioRun {
+    let transcript = render_tick_transcript(&outs);
+    let mut blames = BlameCounts::new();
+    let mut localizations = 0u64;
+    let mut culprits: Vec<u32> = Vec::new();
+    let mut degraded_verdicts = [0u64; 6];
+    let mut alerts = 0u64;
+    for out in &outs {
+        blames.merge(&tally(&out.blames));
+        alerts += out.alerts.len() as u64;
+        localizations += out.localizations.len() as u64;
+        for loc in &out.localizations {
+            match loc.verdict {
+                LocalizationVerdict::Culprit(asn) => culprits.push(asn.0),
+                LocalizationVerdict::MiddleUnlocalized { reason } => {
+                    let i = UnlocalizedReason::ALL
+                        .iter()
+                        .position(|r| *r == reason)
+                        .expect("ALL covers every reason");
+                    degraded_verdicts[i] += 1;
+                }
+            }
+        }
+    }
+    culprits.sort_unstable();
+    culprits.dedup();
+    let flight_triggers = {
+        let mut seen = Vec::new();
+        for ev in engine.flight().dump_events() {
+            let label = ev.trigger.label().to_string();
+            if !seen.contains(&label) {
+                seen.push(label);
+            }
+        }
+        seen
+    };
+    ScenarioRun {
+        transcript,
+        flight_dump: engine.flight().dump_jsonl(),
+        report: ScenarioReport {
+            ticks: outs.len() as u64,
+            blames,
+            localizations,
+            culprits,
+            degraded_verdicts,
+            degraded_metrics,
+            alerts,
+            flight_triggers,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parse::parse_scenario;
+
+    fn run_text(text: &str, threads: usize) -> ScenarioRun {
+        let scn = compile("mem.scn", parse_scenario("mem.scn", text).unwrap()).unwrap();
+        run_scenario("mem.scn", &scn, threads).unwrap()
+    }
+
+    const QUIET: &str = "\
+name = quiet
+[world]
+scale = tiny
+days = 2
+[eval]
+start_hour = 24
+duration_mins = 90
+";
+
+    #[test]
+    fn quiet_world_runs_and_reports() {
+        let run = run_text(QUIET, 1);
+        assert_eq!(run.report.ticks, 6);
+        assert!(run.report.blames.total() > 0, "traffic produces verdicts");
+        assert!(run.transcript.starts_with("tick 0 "), "{}", run.transcript);
+    }
+
+    #[test]
+    fn thread_count_is_invisible() {
+        let one = run_text(QUIET, 1);
+        let four = run_text(QUIET, 4);
+        assert_eq!(one.transcript, four.transcript);
+        assert_eq!(one.report.blames.total(), four.report.blames.total());
+    }
+
+    #[test]
+    fn chaos_timeouts_degrade_without_metrics_drift() {
+        let text = format!("{QUIET}[chaos]\nprobe_timeout = 1.0\n");
+        let run = run_text(&text, 1);
+        // Whatever localizations were attempted all failed to probe.
+        let metrics = run
+            .report
+            .degraded_metrics
+            .expect("plain run keeps metrics");
+        assert_eq!(
+            run.report.degraded_verdicts.iter().sum::<u64>(),
+            metrics.iter().sum::<u64>(),
+            "verdict records and metric deltas agree over the eval window"
+        );
+        assert!(run.report.culprits.is_empty());
+    }
+}

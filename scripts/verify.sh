@@ -27,6 +27,10 @@ BLAMEIT_THREADS=8 cargo test --release -q --test chaos_determinism
 echo "==> BLAMEIT_THREADS=8 cargo test --release -q --test crash_recovery"
 BLAMEIT_THREADS=8 cargo test --release -q --test crash_recovery
 
+echo "==> blameit scenario check --all (1 and 4 threads)"
+cargo run --release -q -p blameit-cli -- scenario check --all 1 --threads 1
+cargo run --release -q -p blameit-cli -- scenario check --all 1 --threads 4
+
 echo "==> blameit explain (golden scenario)"
 cargo run --release -q -p blameit-cli -- \
   explain incident:0 --scale tiny --seed 2019 --target middle:104 \

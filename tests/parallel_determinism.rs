@@ -176,6 +176,51 @@ fn provenance_and_flight_recorder_identical_across_thread_counts() {
 }
 
 #[test]
+fn maintenance_spike_scenario_flight_dump_identical_across_thread_counts() {
+    // The library's Fig. 8 day-24 scenario is the one that exercises
+    // the flight recorder hardest: a cloud maintenance window, two
+    // concurrent middle faults, and full probe-timeout chaos fire the
+    // `degraded-spike` trigger. Its dump — trigger frames included —
+    // must be byte-identical at any parallelism.
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join("cloud-maintenance-spike.scn");
+    let file = path.display().to_string();
+    let text = std::fs::read_to_string(&path).expect("shipped scenario must be readable");
+    let scn = blameit_scenario::compile(
+        &file,
+        blameit_scenario::parse_scenario(&file, &text).expect("shipped scenario must parse"),
+    )
+    .expect("shipped scenario must compile");
+    let one = blameit_scenario::run_scenario(&file, &scn, 1).expect("run at 1 thread");
+    assert!(
+        one.report
+            .flight_triggers
+            .iter()
+            .any(|t| t == "degraded-spike"),
+        "the maintenance spike must fire degraded-spike, fired: {:?}",
+        one.report.flight_triggers
+    );
+    assert!(
+        one.flight_dump.contains("degraded-spike"),
+        "the trigger must appear in the dump:\n{}",
+        one.flight_dump
+    );
+    for threads in [2, 4] {
+        let n = blameit_scenario::run_scenario(&file, &scn, threads)
+            .unwrap_or_else(|e| panic!("run at {threads} threads: {e}"));
+        assert_eq!(
+            one.transcript, n.transcript,
+            "transcript at {threads} threads diverged"
+        );
+        assert_eq!(
+            one.flight_dump, n.flight_dump,
+            "flight dump at {threads} threads diverged"
+        );
+    }
+}
+
+#[test]
 fn alerts_emit_in_canonical_order() {
     // The alert stream is a rendered surface: any HashMap-ordered
     // emission upstream shows up here as an out-of-order pair. The

@@ -1,0 +1,234 @@
+//! The named-scenario regression library: every `.scn` file under
+//! `scenarios/` replays through the deterministic tick at 1 and 4
+//! engine threads, must produce byte-identical transcripts at both,
+//! must satisfy its own `[expect]` block, and must match its pinned
+//! golden transcript under `tests/golden/scenarios/`.
+//!
+//! To re-pin after an intentional behavior change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test scenario_library
+//! ```
+//!
+//! (or `blameit scenario check --all 1 --bless 1`, which writes the
+//! same bytes).
+//!
+//! The suite is parameterized by the `scenario_suite!` macro — one test
+//! per scenario, so the harness runs them in parallel and a failure
+//! names its scenario. `suite_covers_every_scenario_file` guards the
+//! registration: adding a `.scn` without listing it here fails.
+
+use blameit_scenario::{compile, evaluate, parse_scenario, run_scenario, ScenarioRun};
+use blameit_topology::rng::DetRng;
+use blameit_topology::testkit::check;
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("scenarios")
+        .join(format!("{name}.txt"))
+}
+
+fn run_at(name: &str, threads: usize) -> ScenarioRun {
+    let path = scenarios_dir().join(format!("{name}.scn"));
+    let file = path.display().to_string();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("scenario {} must be readable: {e}", path.display()));
+    let spec = parse_scenario(&file, &text).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(spec.name, name, "scenario name must match its file stem");
+    let scn = compile(&file, spec).unwrap_or_else(|e| panic!("{e}"));
+    run_scenario(&file, &scn, threads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Replay at {1, 4} threads, demand byte-identical transcripts and
+/// flight dumps, check the `[expect]` block on both runs, and pin the
+/// transcript against the golden.
+fn check_scenario(name: &str) {
+    let one = run_at(name, 1);
+    let four = run_at(name, 4);
+    assert_eq!(
+        one.transcript, four.transcript,
+        "{name}: transcript at 4 threads diverged from 1 thread"
+    );
+    assert_eq!(
+        one.flight_dump, four.flight_dump,
+        "{name}: flight dump at 4 threads diverged from 1 thread"
+    );
+    for (threads, run) in [(1, &one), (4, &four)] {
+        let path = scenarios_dir().join(format!("{name}.scn"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = parse_scenario(&path.display().to_string(), &text).unwrap();
+        let failures = evaluate(&spec, run);
+        assert!(
+            failures.is_empty(),
+            "{name} at {threads} thread(s) missed expectations:\n  {}",
+            failures.join("\n  ")
+        );
+    }
+    bless_or_compare(&golden_path(name), &one.transcript, name);
+}
+
+/// Blesses `got` into `path` under BLESS=1, otherwise compares with a
+/// first-divergence report.
+fn bless_or_compare(path: &std::path::Path, got: &str, name: &str) {
+    if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, got).unwrap();
+        eprintln!("blessed {} ({} bytes)", path.display(), got.len());
+        return;
+    }
+    let want = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); re-pin with BLESS=1 cargo test --test scenario_library",
+            path.display()
+        )
+    });
+    if want == got {
+        return;
+    }
+    for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+        assert_eq!(
+            w,
+            g,
+            "{name}: golden transcript diverges at line {} (re-bless with BLESS=1 if intended)",
+            i + 1
+        );
+    }
+    panic!(
+        "{name}: golden transcript length changed: {} vs {} lines (re-bless with BLESS=1 if intended)",
+        want.lines().count(),
+        got.lines().count()
+    );
+}
+
+macro_rules! scenario_suite {
+    ($($test:ident => $name:literal),+ $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                check_scenario($name);
+            }
+        )+
+
+        /// Every `.scn` on disk must be registered above (and vice
+        /// versa): an unregistered scenario would silently skip the
+        /// {1,4}-thread replay and golden pinning.
+        #[test]
+        fn suite_covers_every_scenario_file() {
+            let mut registered: Vec<&str> = vec![$($name),+];
+            registered.sort_unstable();
+            let mut on_disk: Vec<String> = std::fs::read_dir(scenarios_dir())
+                .expect("scenarios/ must exist")
+                .map(|e| e.unwrap().path())
+                .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+                .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+                .collect();
+            on_disk.sort_unstable();
+            assert_eq!(
+                on_disk, registered,
+                "scenarios/ and the scenario_suite! registration disagree"
+            );
+        }
+    };
+}
+
+scenario_suite! {
+    bgp_route_leak => "bgp-route-leak",
+    cloud_maintenance_spike => "cloud-maintenance-spike",
+    crash_mid_incident => "crash-mid-incident",
+    ddos_scrubbing_detour => "ddos-scrubbing-detour",
+    degraded_deadline_budget => "degraded-deadline-budget",
+    degraded_no_baseline => "degraded-no-baseline",
+    degraded_no_material_delta => "degraded-no-material-delta",
+    degraded_probe_timeout => "degraded-probe-timeout",
+    degraded_stale_baseline => "degraded-stale-baseline",
+    degraded_truncated_probe => "degraded-truncated-probe",
+    flash_crowd => "flash-crowd",
+    mobile_evening_congestion => "mobile-evening-congestion",
+    multi_as_middle_failure => "multi-as-middle-failure",
+    regional_cable_cut => "regional-cable-cut",
+}
+
+// ── loader robustness ───────────────────────────────────────────────
+
+/// Deterministic mutations of real scenario files: whatever the
+/// corruption — clobbered values, duplicated or deleted lines, junk
+/// sections, truncation mid-file — the loader must return `Err` or a
+/// still-valid spec, never panic. Compilation of surviving specs must
+/// hold the same bar.
+#[test]
+fn mutated_scenario_files_error_never_panic() {
+    let sources: Vec<String> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ must exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect();
+    assert!(sources.len() >= 7, "the shipped corpus feeds the fuzzer");
+    check("scenario_fuzz", 300, |rng| {
+        let base = &sources[rng.index(sources.len())];
+        let text = mutate(base, rng);
+        if let Ok(spec) = parse_scenario("fuzz.scn", &text) {
+            // A mutation that still parses must still compile cleanly
+            // or fail with a positioned error — same no-panic bar.
+            let _ = compile("fuzz.scn", spec);
+        }
+    });
+}
+
+/// Applies 1–3 random structural mutations to a scenario source.
+fn mutate(base: &str, rng: &mut DetRng) -> String {
+    let mut lines: Vec<String> = base.lines().map(|l| l.to_string()).collect();
+    for _ in 0..1 + rng.below(3) {
+        if lines.is_empty() {
+            break;
+        }
+        let i = rng.index(lines.len());
+        match rng.below(8) {
+            // Clobber the value side of a `key = value` line.
+            0 => {
+                if let Some(eq) = lines[i].find('=') {
+                    let junk = [
+                        "",
+                        "NaN",
+                        "-3",
+                        "1e309",
+                        "tiny tiny",
+                        "999999999999999999999",
+                    ];
+                    let j = junk[rng.index(junk.len())];
+                    lines[i] = format!("{}= {}", &lines[i][..eq], j);
+                }
+            }
+            // Corrupt the key side.
+            1 => lines[i] = format!("x{}", lines[i]),
+            // Delete a line.
+            2 => {
+                lines.remove(i);
+            }
+            // Duplicate a line (repeated keys / sections).
+            3 => {
+                let l = lines[i].clone();
+                lines.insert(i, l);
+            }
+            // Insert an unknown section.
+            4 => lines.insert(i, "[garbage]".to_string()),
+            // Insert an orphan key.
+            5 => lines.insert(i, "orphan = 1".to_string()),
+            // Swap two lines (keys into the wrong section).
+            6 => {
+                let j = rng.index(lines.len());
+                lines.swap(i, j);
+            }
+            // Truncate the file at this line.
+            _ => lines.truncate(i),
+        }
+    }
+    lines.join("\n")
+}
