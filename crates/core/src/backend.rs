@@ -11,8 +11,8 @@
 
 use blameit_obs::metrics::{Counter, MetricsRegistry};
 use blameit_simnet::{
-    ChurnFault, FaultPlan, ProbeFault, QuartetObs, SimTime, TimeBucket, TimeRange, Traceroute,
-    World,
+    ChurnFault, FaultPlan, ProbeFault, QuartetObs, RttRecord, SimTime, TimeBucket, TimeRange,
+    Traceroute, World,
 };
 use blameit_topology::bgp::BgpChurnEvent;
 use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24, Region};
@@ -45,6 +45,39 @@ pub struct RouteInfo {
 pub trait Backend: Sync {
     /// All quartet observations recorded in a bucket.
     fn quartets_in(&self, bucket: TimeBucket) -> Vec<QuartetObs>;
+
+    /// The raw RTT sample stream behind a bucket, for backends that can
+    /// expose the collector feed *before* aggregation: records arrive
+    /// grouped per client (each quartet's samples contiguous), the
+    /// shape [`crate::columnar`]'s run-collapse fast path is built for.
+    /// Returns `None` when the backend only carries pre-aggregated
+    /// observations — callers must fall back to [`Backend::quartets_in`].
+    ///
+    /// Note the simulator's pre-aggregated [`Backend::quartets_in`]
+    /// means are sampled directly (a separate RNG stream), so
+    /// aggregating this record stream does not reproduce those exact
+    /// observations; the record stream is the ground truth for the
+    /// ingest bench and the columnar differential harness, while the
+    /// engine tick stays on the aggregated feed.
+    fn rtt_records_in(&self, _bucket: TimeBucket) -> Option<Vec<RttRecord>> {
+        None
+    }
+
+    /// The bucket's record stream in columnar (struct-of-arrays) form:
+    /// pre-packed subkeys plus the RTT column, sorted by key with each
+    /// key's samples in stream order — the shape the ingest kernel
+    /// consumes without touching per-record structs or its sort
+    /// fallbacks. The default columnarizes and key-sorts
+    /// [`Backend::rtt_records_in`] (the collector-side shuffle);
+    /// backends whose collector is natively columnar can override to
+    /// skip the row-form detour entirely.
+    fn record_batch_in(&self, bucket: TimeBucket) -> Option<crate::columnar::RecordBatch> {
+        self.rtt_records_in(bucket).map(|rs| {
+            let mut batch = crate::columnar::RecordBatch::from_records(bucket, &rs);
+            batch.sort_by_key();
+            batch
+        })
+    }
 
     /// Routing metadata for a (location, /24) pair at `at`; `None` for
     /// unknown clients.
@@ -125,6 +158,27 @@ impl Backend for WorldBackend<'_> {
         .flatten()
         .flatten()
         .collect()
+    }
+
+    fn rtt_records_in(&self, bucket: TimeBucket) -> Option<Vec<RttRecord>> {
+        // Same client order as `quartets_in`; each client contributes
+        // its primary-location samples then (if dual-homed) the
+        // secondary's, so every quartet's records are one contiguous
+        // run.
+        let world = self.world;
+        let clients = &world.topology().clients;
+        Some(
+            crate::shard::parallel_map(self.parallelism, clients, |_, c| {
+                let mut recs = world.rtt_records(c.primary_loc, c, bucket);
+                if let Some(sec) = c.secondary_loc {
+                    recs.extend(world.rtt_records(sec, c, bucket));
+                }
+                recs
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+        )
     }
 
     fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo> {
@@ -312,6 +366,15 @@ impl<B: Backend> Backend for ChaosBackend<B> {
         self.inner.quartets_in(bucket)
     }
 
+    fn rtt_records_in(&self, bucket: TimeBucket) -> Option<Vec<RttRecord>> {
+        // A dropped collector batch loses the raw samples too.
+        if self.plan.drop_quartet_batch(bucket) {
+            self.inject(KIND_BATCH_DROPPED);
+            return Some(Vec::new());
+        }
+        self.inner.rtt_records_in(bucket)
+    }
+
     fn route_info(&self, loc: CloudLocId, p24: Prefix24, at: SimTime) -> Option<RouteInfo> {
         if self.plan.drop_route_info(loc, p24, at) {
             self.inject(KIND_ROUTE_DROPPED);
@@ -446,6 +509,38 @@ mod tests {
     }
 
     #[test]
+    fn rtt_record_stream_is_parallelism_invariant_and_run_shaped() {
+        let w = World::new(WorldConfig::tiny(2, 7));
+        let bucket = TimeBucket(140);
+        let want = WorldBackend::with_parallelism(&w, 1)
+            .rtt_records_in(bucket)
+            .expect("world backend exposes raw records");
+        assert!(!want.is_empty());
+        for par in [2, 8] {
+            let b = WorldBackend::with_parallelism(&w, par);
+            assert_eq!(b.rtt_records_in(bucket).unwrap(), want, "par={par}");
+        }
+        // Collector shape: each quartet's samples form one contiguous
+        // run, so columnar ingest never needs its sort fallback, and
+        // the aggregate covers exactly the simulator's quartets.
+        let mut arena = crate::columnar::IngestArena::new();
+        let store = crate::columnar::aggregate_records_into(&want, &mut arena);
+        assert_eq!(arena.sort_fallbacks, 0, "stream must be run-shaped");
+        let sim = w.quartets_in(bucket);
+        assert_eq!(store.len(), sim.len());
+        let agg = store.to_obs();
+        let mut sim_sorted = sim;
+        sim_sorted.sort_by_key(|q| (q.bucket, q.loc, q.p24, q.mobile));
+        for (a, s) in agg.iter().zip(&sim_sorted) {
+            assert_eq!(
+                (a.loc, a.p24, a.mobile, a.bucket),
+                (s.loc, s.p24, s.mobile, s.bucket)
+            );
+            assert_eq!(a.n, s.n, "sample count per quartet");
+        }
+    }
+
+    #[test]
     fn backend_lists_locations() {
         let w = World::new(WorldConfig::tiny(1, 4));
         let b = WorldBackend::new(&w);
@@ -541,6 +636,9 @@ mod tests {
         let chaos = ChaosBackend::new(WorldBackend::new(&w), plan);
         assert!(chaos.quartets_in(TimeBucket(140)).is_empty());
         assert_eq!(chaos.stats().quartet_batches_dropped, 1);
+        // The raw sample stream is lost with the batch.
+        assert_eq!(chaos.rtt_records_in(TimeBucket(140)), Some(Vec::new()));
+        assert_eq!(chaos.stats().quartet_batches_dropped, 2);
     }
 
     #[test]

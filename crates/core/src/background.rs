@@ -7,9 +7,9 @@
 //! and shows 12 h + churn triggers retains 93% accuracy at 72× fewer
 //! probes than 10-minute continuous coverage.
 
+use crate::fxhash::DetHashMap;
 use blameit_simnet::{SimTime, Traceroute};
 use blameit_topology::{Asn, CloudLocId, PathId, Prefix24};
-use std::collections::HashMap;
 
 /// A background/on-demand probe target.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -31,7 +31,7 @@ pub struct ProbeTarget {
 /// contains the inflation and would diff to nothing.
 #[derive(Clone, Debug, Default)]
 pub struct BaselineStore {
-    pub(crate) map: HashMap<(CloudLocId, PathId), std::collections::VecDeque<BaselineEntry>>,
+    pub(crate) map: DetHashMap<(CloudLocId, PathId), std::collections::VecDeque<BaselineEntry>>,
 }
 
 /// One stored baseline.
@@ -150,7 +150,7 @@ impl BaselineStore {
 pub struct BackgroundScheduler {
     pub(crate) period_secs: u64,
     pub(crate) churn_triggered: bool,
-    pub(crate) last: HashMap<(CloudLocId, PathId), SimTime>,
+    pub(crate) last: DetHashMap<(CloudLocId, PathId), SimTime>,
 }
 
 impl BackgroundScheduler {
@@ -166,7 +166,7 @@ impl BackgroundScheduler {
         BackgroundScheduler {
             period_secs,
             churn_triggered,
-            last: HashMap::new(),
+            last: DetHashMap::default(),
         }
     }
 

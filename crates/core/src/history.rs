@@ -15,11 +15,12 @@
 //!   volume over the past 3 days, the predictor of how many clients an
 //!   ongoing issue will impact.
 
+use crate::fxhash::DetHashMap;
 use crate::grouping::MiddleKey;
 use blameit_simnet::TimeBucket;
 use blameit_topology::rng::DetRng;
 use blameit_topology::{CloudLocId, PathId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Key of an expected-RTT series.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -35,9 +36,9 @@ pub enum RttKey {
 pub struct ExpectedRttLearner {
     pub(crate) window_days: u32,
     pub(crate) day_cap: usize,
-    pub(crate) map: HashMap<RttKey, VecDeque<(u32, Vec<f64>)>>,
+    pub(crate) map: DetHashMap<RttKey, VecDeque<(u32, Vec<f64>)>>,
     /// Per-(key, day) observation counts, for reservoir replacement.
-    pub(crate) counts: HashMap<RttKey, u64>,
+    pub(crate) counts: DetHashMap<RttKey, u64>,
     /// Median cache, refreshed once per key per day: recomputing the
     /// window median on every lookup is an O(window · log) sort per
     /// quartet and dominates month-long runs; the paper's expected
@@ -46,7 +47,7 @@ pub struct ExpectedRttLearner {
     /// existed at first lookup that day, so it is part of durable
     /// state: snapshots persist it verbatim (recomputing it later in
     /// the day would see more data and diverge).
-    pub(crate) cache: std::cell::RefCell<HashMap<RttKey, (u32, Option<f64>)>>,
+    pub(crate) cache: std::cell::RefCell<DetHashMap<RttKey, (u32, Option<f64>)>>,
     pub(crate) rng: DetRng,
     pub(crate) latest_day: u32,
 }
@@ -63,9 +64,9 @@ impl ExpectedRttLearner {
         ExpectedRttLearner {
             window_days,
             day_cap: 64,
-            map: HashMap::new(),
-            counts: HashMap::new(),
-            cache: std::cell::RefCell::new(HashMap::new()),
+            map: DetHashMap::default(),
+            counts: DetHashMap::default(),
+            cache: std::cell::RefCell::new(DetHashMap::default()),
             rng: DetRng::from_keys(seed, &[0xE59E]),
             latest_day: 0,
         }
@@ -139,7 +140,7 @@ impl ExpectedRttLearner {
             return None;
         }
         all.sort_by(|a, b| a.total_cmp(b));
-        Some(crate::stats::quantile_sorted(&all, 0.5))
+        Some(crate::stats::median_sorted(&all))
     }
 
     /// Number of keys being tracked.
@@ -151,7 +152,7 @@ impl ExpectedRttLearner {
 /// Empirical incident durations per BGP path, with a global fallback.
 #[derive(Clone, Debug, Default)]
 pub struct DurationHistory {
-    pub(crate) per_path: HashMap<PathId, VecDeque<u32>>,
+    pub(crate) per_path: DetHashMap<PathId, VecDeque<u32>>,
     pub(crate) global: VecDeque<u32>,
     pub(crate) cap: usize,
 }
@@ -161,7 +162,7 @@ impl DurationHistory {
     /// 8192).
     pub fn new() -> Self {
         DurationHistory {
-            per_path: HashMap::new(),
+            per_path: DetHashMap::default(),
             global: VecDeque::new(),
             cap: 512,
         }
@@ -216,7 +217,7 @@ impl DurationHistory {
 #[derive(Clone, Debug)]
 pub struct ClientCountHistory {
     pub(crate) window_days: u32,
-    pub(crate) map: HashMap<(PathId, u16), VecDeque<(u32, u64)>>,
+    pub(crate) map: DetHashMap<(PathId, u16), VecDeque<(u32, u64)>>,
 }
 
 impl ClientCountHistory {
@@ -230,7 +231,7 @@ impl ClientCountHistory {
         assert!(window_days >= 1);
         ClientCountHistory {
             window_days,
-            map: HashMap::new(),
+            map: DetHashMap::default(),
         }
     }
 

@@ -24,6 +24,13 @@
 //!   traceroute agent, IBGP feed) + the simulator binding.
 //! * [`quartet`] — ⟨/24, location, device, 5-min⟩ aggregation,
 //!   enrichment, the ≥10-sample floor, split-half KS validation.
+//! * [`columnar`] — the struct-of-arrays quartet store and
+//!   arena-backed batch ingest behind [`quartet::aggregate_records`];
+//!   bit-identical to the legacy per-record path by construction and
+//!   by differential test.
+//! * [`fxhash`] — the deterministic non-sip hasher
+//!   ([`fxhash::DetHashMap`]/[`fxhash::DetHashSet`]) mandatory for
+//!   core map construction (enforced by the `sip-hasher` lint rule).
 //! * [`thresholds`] — region/device badness targets (§2.1).
 //! * [`history`] — learned expected RTTs (14-day medians, §4.3),
 //!   per-path incident-duration history, client-count history (§5.3).
@@ -56,6 +63,8 @@
 pub mod active;
 pub mod backend;
 pub mod background;
+pub mod columnar;
+pub mod fxhash;
 pub mod grouping;
 pub mod history;
 pub mod incident;
@@ -78,6 +87,14 @@ pub use active::{
 };
 pub use backend::{Backend, ChaosBackend, ChaosStats, RouteInfo, WorldBackend};
 pub use background::{BackgroundScheduler, BaselineEntry, BaselineStore, ProbeTarget};
+pub use columnar::{
+    aggregate_batch_reuse, aggregate_records_into, aggregate_records_reuse,
+    aggregate_records_sharded, pack_key, pack_subkey, unpack_key, IngestArena, QuartetStore,
+    RecordBatch,
+};
+pub use fxhash::{
+    det_map_with_capacity, det_set_with_capacity, DetHashMap, DetHashSet, DetState, FxHasher,
+};
 pub use grouping::{MiddleGrouping, MiddleKey};
 pub use history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
 pub use incident::{Incident, IncidentTracker, OpenIncident};
@@ -100,8 +117,8 @@ pub use provenance::{
     Provenance,
 };
 pub use quartet::{
-    aggregate_records, enrich_bucket, enrich_bucket_min_samples, enrich_obs, enrich_obs_sharded,
-    split_half_ks, EnrichedQuartet, MIN_SAMPLES,
+    aggregate_records, aggregate_records_reference, enrich_bucket, enrich_bucket_min_samples,
+    enrich_obs, enrich_obs_sharded, split_half_ks, EnrichedQuartet, MIN_SAMPLES,
 };
 pub use report::{
     render_blame_explain, render_localization_explain, render_tick_transcript, tally, tally_by_day,

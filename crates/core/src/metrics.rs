@@ -46,6 +46,13 @@ pub struct EngineMetrics {
     registry: Arc<MetricsRegistry>,
     /// Engine ticks completed.
     pub ticks: Arc<Counter>,
+    /// Raw quartet observations pulled from the backend at ingest,
+    /// before the ≥10-sample floor (the columnar path's input volume).
+    pub ingest_quartets: Arc<Counter>,
+    /// SLO: last tick's ingest throughput, raw quartet observations
+    /// per second of ingest-stage wall time. The live counterpart of
+    /// the `BENCH_ingest.json` quartets/sec figure.
+    pub ingest_quartets_per_sec: Arc<Gauge>,
     /// Enriched quartets processed by Algorithm 1.
     pub quartets_processed: Arc<Counter>,
     /// Blame verdicts by segment (`Blame::ALL` order).
@@ -120,6 +127,8 @@ impl EngineMetrics {
             .map(|s| registry.histogram_with("blameit_stage_duration_us", &[("stage", s)]));
         EngineMetrics {
             ticks: registry.counter("blameit_ticks_total"),
+            ingest_quartets: registry.counter("blameit_ingest_quartets_total"),
+            ingest_quartets_per_sec: registry.gauge("blameit_ingest_quartets_per_sec"),
             quartets_processed: registry.counter("blameit_quartets_processed_total"),
             blames,
             on_demand_probes: registry.counter("blameit_probes_on_demand_total"),
@@ -193,6 +202,18 @@ impl EngineMetrics {
             if let Some(idx) = stage::ALL.iter().position(|s| *s == name) {
                 self.stage_us[idx].observe(as_us(d));
             }
+        }
+    }
+
+    /// Records one tick's raw ingest volume and refreshes the
+    /// throughput gauge from the tick's ingest-stage wall time. With a
+    /// zero duration (sub-resolution ingest on an idle world) the
+    /// gauge keeps its previous value rather than spiking to infinity.
+    pub fn observe_ingest(&self, raw_quartets: u64, ingest_wall: Duration) {
+        self.ingest_quartets.add(raw_quartets);
+        let secs = ingest_wall.as_secs_f64();
+        if secs > 0.0 && raw_quartets > 0 {
+            self.ingest_quartets_per_sec.set(raw_quartets as f64 / secs);
         }
     }
 
@@ -352,6 +373,21 @@ mod tests {
         ] {
             assert!(text.contains(name), "{name} missing from:\n{text}");
         }
+    }
+
+    #[test]
+    fn ingest_instruments_track_volume_and_rate() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let m = EngineMetrics::new(reg.clone());
+        m.observe_ingest(500, Duration::from_millis(10));
+        assert_eq!(m.ingest_quartets.get(), 500);
+        assert!((m.ingest_quartets_per_sec.get() - 50_000.0).abs() < 1.0);
+        // Zero-duration ingest keeps the last rate instead of inf.
+        m.observe_ingest(7, Duration::ZERO);
+        assert_eq!(m.ingest_quartets.get(), 507);
+        assert!((m.ingest_quartets_per_sec.get() - 50_000.0).abs() < 1.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("blameit_ingest_quartets_total 507"), "{text}");
     }
 
     #[test]

@@ -21,13 +21,13 @@
 //! a handful of chatty good /24s must not mask many quiet bad ones
 //! (§4.2).
 
+use crate::fxhash::{DetHashMap, DetHashSet};
 use crate::grouping::{MiddleGrouping, MiddleKey};
 use crate::history::{ExpectedRttLearner, RttKey};
 use crate::provenance::PassiveEvidence;
 use crate::quartet::EnrichedQuartet;
 use blameit_simnet::QuartetObs;
 use blameit_topology::{Asn, CloudLocId, PathId, Region};
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Coarse blame verdict for a bad quartet.
@@ -123,9 +123,9 @@ pub struct BlameResult {
 #[derive(Clone, Debug, Default)]
 pub struct AggregateStats {
     /// Quartet count and above-expected count per cloud location.
-    pub cloud: HashMap<CloudLocId, (usize, usize)>,
+    pub cloud: DetHashMap<CloudLocId, (usize, usize)>,
     /// Quartet count and above-expected count per middle key.
-    pub middle: HashMap<MiddleKey, (usize, usize)>,
+    pub middle: DetHashMap<MiddleKey, (usize, usize)>,
 }
 
 impl AggregateStats {
@@ -154,7 +154,7 @@ pub struct PassiveAggregates {
     /// Per-location / per-middle-key counts for reporting.
     pub stats: AggregateStats,
     /// (p24 block, mobile, loc) triples that saw good RTT this bucket.
-    good_elsewhere: HashSet<(u32, bool, CloudLocId)>,
+    good_elsewhere: DetHashSet<(u32, bool, CloudLocId)>,
 }
 
 /// The sequential aggregate pass over one bucket's enriched quartets:
@@ -167,30 +167,84 @@ pub struct PassiveAggregates {
 /// This stays on one thread because it reads the [`ExpectedRttLearner`]
 /// (whose lookup cache is not thread-safe); the per-quartet verdicts it
 /// enables are pure and shard freely.
+///
+/// Columnar since the quartet-path rebuild: instead of two map upserts
+/// and two learner lookups per quartet, the pass sorts a compact index
+/// list per grouping and walks equal-key runs — one
+/// [`ExpectedRttLearner::expected`] lookup per distinct (key, device)
+/// run and one map insert per aggregate. The counts are integer sums,
+/// so the run order cannot change any value, and the learner's lookup
+/// cache ends the pass with exactly the same entries (same distinct
+/// key set), keeping snapshots byte-identical with the legacy pass.
 pub fn aggregate_pass(
     quartets: &[EnrichedQuartet],
     expected: &ExpectedRttLearner,
     cfg: &BlameConfig,
 ) -> PassiveAggregates {
     let mut stats = AggregateStats::default();
-    for q in quartets {
-        let loc_entry = stats.cloud.entry(q.obs.loc).or_default();
-        loc_entry.0 += 1;
-        if let Some(exp) = expected.expected(RttKey::Cloud(q.obs.loc, q.obs.mobile)) {
-            if q.obs.mean_rtt_ms > exp * cfg.expected_margin {
-                loc_entry.1 += 1;
+
+    // Cloud aggregates: runs of (loc, mobile), folded per loc.
+    let mut idx: Vec<u32> = (0..quartets.len() as u32).collect();
+    idx.sort_unstable_by_key(|&i| {
+        let q = &quartets[i as usize];
+        (q.obs.loc, q.obs.mobile)
+    });
+    let mut i = 0;
+    while i < idx.len() {
+        let loc = quartets[idx[i] as usize].obs.loc;
+        let (mut n, mut bad) = (0usize, 0usize);
+        while i < idx.len() {
+            let q = &quartets[idx[i] as usize];
+            if q.obs.loc != loc {
+                break;
+            }
+            let mobile = q.obs.mobile;
+            let exp = expected.expected(RttKey::Cloud(loc, mobile));
+            while i < idx.len() {
+                let q = &quartets[idx[i] as usize];
+                if q.obs.loc != loc || q.obs.mobile != mobile {
+                    break;
+                }
+                n += 1;
+                bad +=
+                    usize::from(exp.is_some_and(|e| q.obs.mean_rtt_ms > e * cfg.expected_margin));
+                i += 1;
             }
         }
-        let key = cfg.grouping.key(&q.info);
-        let mid_entry = stats.middle.entry(key).or_default();
-        mid_entry.0 += 1;
-        if let Some(exp) = expected.expected(RttKey::Middle(key, q.obs.mobile)) {
-            if q.obs.mean_rtt_ms > exp * cfg.expected_margin {
-                mid_entry.1 += 1;
-            }
-        }
+        stats.cloud.insert(loc, (n, bad));
     }
-    let good_elsewhere: HashSet<(u32, bool, CloudLocId)> = quartets
+
+    // Middle aggregates: runs of (middle key, mobile), folded per key.
+    idx.sort_unstable_by_key(|&i| {
+        let q = &quartets[i as usize];
+        (cfg.grouping.key(&q.info), q.obs.mobile)
+    });
+    let mut i = 0;
+    while i < idx.len() {
+        let key = cfg.grouping.key(&quartets[idx[i] as usize].info);
+        let (mut n, mut bad) = (0usize, 0usize);
+        while i < idx.len() {
+            let q = &quartets[idx[i] as usize];
+            if cfg.grouping.key(&q.info) != key {
+                break;
+            }
+            let mobile = q.obs.mobile;
+            let exp = expected.expected(RttKey::Middle(key, mobile));
+            while i < idx.len() {
+                let q = &quartets[idx[i] as usize];
+                if cfg.grouping.key(&q.info) != key || q.obs.mobile != mobile {
+                    break;
+                }
+                n += 1;
+                bad +=
+                    usize::from(exp.is_some_and(|e| q.obs.mean_rtt_ms > e * cfg.expected_margin));
+                i += 1;
+            }
+        }
+        stats.middle.insert(key, (n, bad));
+    }
+
+    let good_elsewhere: DetHashSet<(u32, bool, CloudLocId)> = quartets
         .iter()
         .filter(|q| !q.bad)
         .map(|q| (q.obs.p24.block(), q.obs.mobile, q.obs.loc))

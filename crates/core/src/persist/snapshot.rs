@@ -20,6 +20,7 @@ use super::codec::{
 };
 use super::PersistError;
 use crate::background::{BackgroundScheduler, BaselineEntry, BaselineStore};
+use crate::fxhash::{det_set_with_capacity, DetHashMap, DetHashSet};
 use crate::grouping::MiddleKey;
 use crate::history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
 use crate::incident::{IncidentTracker, OpenIncident};
@@ -28,7 +29,7 @@ use blameit_obs::{FlightDumpEvent, FlightFrame, FlightTrigger};
 use blameit_simnet::{SimTime, TimeBucket};
 use blameit_topology::rng::DetRng;
 use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 // Section ids, in file order.
 const SEC_IDENTITY: u8 = 1;
@@ -71,17 +72,17 @@ pub struct SnapshotState {
     /// Background scheduler churn triggering.
     pub scheduler_churn_triggered: bool,
     /// Background scheduler last-probed clocks.
-    pub scheduler_last: HashMap<(CloudLocId, PathId), SimTime>,
+    pub scheduler_last: DetHashMap<(CloudLocId, PathId), SimTime>,
     /// Representative probe /24 per (loc, path).
-    pub rep_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    pub rep_p24: DetHashMap<(CloudLocId, PathId), Prefix24>,
     /// The /24 each stored baseline was measured toward.
-    pub baseline_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    pub baseline_p24: DetHashMap<(CloudLocId, PathId), Prefix24>,
     /// (location, prefix) pairs observed carrying traffic.
-    pub monitored_prefixes: HashSet<(CloudLocId, IpPrefix)>,
+    pub monitored_prefixes: DetHashSet<(CloudLocId, IpPrefix)>,
     /// Badness episodes per (loc, path).
-    pub episodes: HashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
+    pub episodes: DetHashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
     /// Background targets already granted their one fast retry.
-    pub bg_failed_once: HashSet<(CloudLocId, PathId)>,
+    pub bg_failed_once: DetHashSet<(CloudLocId, PathId)>,
     /// Where the churn feed was consumed up to.
     pub churn_cursor: SimTime,
     /// Lifetime on-demand probe count.
@@ -277,7 +278,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
         Ok(Prefix24::from_block(get_block(r)?))
     })?;
     let n = e.len(7)?;
-    let mut monitored_prefixes = HashSet::with_capacity(n);
+    let mut monitored_prefixes = det_set_with_capacity(n);
     for _ in 0..n {
         let loc = CloudLocId(e.u16()?);
         let base = e.u32()?;
@@ -291,7 +292,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
         Ok((TimeBucket(r.u32()?), TimeBucket(r.u32()?)))
     })?;
     let n = e.len(6)?;
-    let mut bg_failed_once = HashSet::with_capacity(n);
+    let mut bg_failed_once = det_set_with_capacity(n);
     for _ in 0..n {
         bg_failed_once.insert(get_loc_path(&mut e)?);
     }
@@ -802,7 +803,7 @@ fn decode_baselines(payload: &[u8]) -> Result<BaselineStore, CodecError> {
 fn encode_scheduler(
     period_secs: u64,
     churn_triggered: bool,
-    last: &HashMap<(CloudLocId, PathId), SimTime>,
+    last: &DetHashMap<(CloudLocId, PathId), SimTime>,
 ) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(period_secs);
@@ -811,7 +812,7 @@ fn encode_scheduler(
     w.into_bytes()
 }
 
-type SchedulerParts = (u64, bool, HashMap<(CloudLocId, PathId), SimTime>);
+type SchedulerParts = (u64, bool, DetHashMap<(CloudLocId, PathId), SimTime>);
 
 fn decode_scheduler(payload: &[u8]) -> Result<SchedulerParts, CodecError> {
     let mut r = ByteReader::new(payload);

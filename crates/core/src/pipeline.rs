@@ -18,6 +18,7 @@ use crate::active::{
 };
 use crate::backend::Backend;
 use crate::background::{BackgroundScheduler, BaselineStore, ProbeTarget};
+use crate::fxhash::{DetHashMap, DetHashSet};
 use crate::grouping::MiddleKey;
 use crate::history::{ClientCountHistory, DurationHistory, ExpectedRttLearner, RttKey};
 use crate::incident::IncidentTracker;
@@ -33,7 +34,6 @@ use blameit_obs::{
 };
 use blameit_simnet::{Segment, SimTime, TimeBucket, TimeRange};
 use blameit_topology::{Asn, CloudLocId, PathId, Prefix24};
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -216,26 +216,25 @@ pub struct BlameItEngine {
     pub(crate) scheduler: BackgroundScheduler,
     /// Representative probe target per (loc, path), refreshed from
     /// observed traffic.
-    pub(crate) rep_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    pub(crate) rep_p24: DetHashMap<(CloudLocId, PathId), Prefix24>,
     /// The /24 each stored baseline was measured toward — on-demand
     /// probes must target the same /24 for a comparable diff.
-    pub(crate) baseline_p24: HashMap<(CloudLocId, PathId), Prefix24>,
+    pub(crate) baseline_p24: DetHashMap<(CloudLocId, PathId), Prefix24>,
     /// (location, announced prefix) pairs observed carrying traffic;
     /// churn events for anything else are not ours to probe.
-    pub(crate) monitored_prefixes:
-        std::collections::HashSet<(CloudLocId, blameit_topology::IpPrefix)>,
+    pub(crate) monitored_prefixes: DetHashSet<(CloudLocId, blameit_topology::IpPrefix)>,
     /// Badness *episodes* per (loc, path): (first bad bucket, last bad
     /// bucket), where runs separated by less than [`EPISODE_GAP_BUCKETS`]
     /// merge. Incidents fragment overnight when traffic (and thus
     /// quartets) thins out; the diff must still compare against a
     /// baseline predating the whole episode, and background probing
     /// must not re-baseline inside one.
-    pub(crate) episodes: HashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
+    pub(crate) episodes: DetHashMap<(CloudLocId, PathId), (TimeBucket, TimeBucket)>,
     /// (loc, path) pairs whose last background refresh failed and has
     /// already been rescheduled once — bounds the retry to one, so a
     /// permanently-unanswerable target degrades to its normal period
     /// instead of probing every tick.
-    pub(crate) bg_failed_once: HashSet<(CloudLocId, PathId)>,
+    pub(crate) bg_failed_once: DetHashSet<(CloudLocId, PathId)>,
     pub(crate) churn_cursor: SimTime,
     pub(crate) metrics: EngineMetrics,
     /// The deterministic flight ring: recent tick frames + trigger log.
@@ -266,11 +265,11 @@ impl BlameItEngine {
             incidents: IncidentTracker::new(),
             baselines: BaselineStore::new(),
             scheduler,
-            rep_p24: HashMap::new(),
-            baseline_p24: HashMap::new(),
-            monitored_prefixes: std::collections::HashSet::new(),
-            episodes: HashMap::new(),
-            bg_failed_once: HashSet::new(),
+            rep_p24: DetHashMap::default(),
+            baseline_p24: DetHashMap::default(),
+            monitored_prefixes: DetHashSet::default(),
+            episodes: DetHashMap::default(),
+            bg_failed_once: DetHashSet::default(),
             churn_cursor: SimTime::ZERO,
             flight: FlightRecorder::new(cfg.flight_capacity),
             on_demand_probes_total: 0,
@@ -351,7 +350,8 @@ impl BlameItEngine {
                 self.cfg.parallelism,
             );
             if sample_every == 1 {
-                let mut per_path: HashMap<(CloudLocId, PathId), (u32, u32)> = HashMap::new();
+                let mut per_path: DetHashMap<(CloudLocId, PathId), (u32, u32)> =
+                    DetHashMap::default();
                 for q in &enriched {
                     let e = per_path.entry((q.obs.loc, q.info.path)).or_default();
                     e.0 += 1;
@@ -379,7 +379,7 @@ impl BlameItEngine {
     /// Internal: update learners from one bucket's quartets.
     fn learn_from(&mut self, enriched: &[EnrichedQuartet], bucket: TimeBucket) {
         let day = bucket.day();
-        let mut per_path_clients: HashMap<PathId, u64> = HashMap::new();
+        let mut per_path_clients: DetHashMap<PathId, u64> = DetHashMap::default();
         for q in enriched {
             self.expected.observe(
                 RttKey::Cloud(q.obs.loc, q.obs.mobile),
@@ -422,8 +422,11 @@ impl BlameItEngine {
 
         // Per-(loc, path) accumulation of middle-segment badness for
         // issue construction, plus per-aggregate alert statistics.
-        let mut middle_acc: HashMap<(CloudLocId, PathId), MiddleAcc> = HashMap::new();
-        let mut alert_acc: HashMap<AlertKey, AlertAcc> = HashMap::new();
+        let mut middle_acc: DetHashMap<(CloudLocId, PathId), MiddleAcc> = DetHashMap::default();
+        let mut alert_acc: DetHashMap<AlertKey, AlertAcc> = DetHashMap::default();
+        // Raw observation volume for the ingest-throughput instruments
+        // (metrics only; never feeds verdicts or transcripts).
+        let mut raw_ingested: u64 = 0;
 
         for i in 0..self.cfg.tick_buckets {
             let bucket = start.plus(i);
@@ -432,6 +435,7 @@ impl BlameItEngine {
                 let _s = span!("blameit::pipeline", stage::INGEST);
                 backend.quartets_in(bucket)
             };
+            raw_ingested += obs.len() as u64;
             clock.lap(stage::INGEST);
             let enriched = {
                 let mut s = span!("blameit::pipeline", stage::AGGREGATION, raw = obs.len());
@@ -600,7 +604,7 @@ impl BlameItEngine {
             stage::ACTIVE,
             selected = selected.len()
         );
-        let mut culprit_by_issue: HashMap<(CloudLocId, PathId), Asn> = HashMap::new();
+        let mut culprit_by_issue: DetHashMap<(CloudLocId, PathId), Asn> = DetHashMap::default();
         // Probe sequentially in rank order (probe accounting and the
         // issue→probe attribution stay in the legacy order), then diff
         // each traceroute against its baseline concurrently — the diff
@@ -1144,6 +1148,12 @@ impl BlameItEngine {
         self.metrics.ticks.inc();
         out.stage_timings = clock.finish();
         self.metrics.observe_stage_timings(&out.stage_timings);
+        self.metrics.observe_ingest(
+            raw_ingested,
+            out.stage_timings
+                .get(stage::INGEST)
+                .unwrap_or(std::time::Duration::ZERO),
+        );
         tick_span.record("blames", out.blames.len());
         tick_span.record("alerts", out.alerts.len());
         self.record_flight_frame(start, &out);
@@ -1280,7 +1290,7 @@ enum AlertKey {
 #[derive(Default)]
 struct AlertAcc {
     connections: u64,
-    p24s: std::collections::HashSet<Prefix24>,
+    p24s: DetHashSet<Prefix24>,
     bucket: TimeBucket,
     confidence: f64,
 }
@@ -1305,7 +1315,7 @@ mod tests {
         };
         let mut w = World::new(cfg);
         // Fault the busiest location so aggregates are rich.
-        let mut counts: HashMap<CloudLocId, usize> = HashMap::new();
+        let mut counts: DetHashMap<CloudLocId, usize> = DetHashMap::default();
         for c in &w.topology().clients {
             *counts.entry(c.primary_loc).or_default() += 1;
         }
@@ -1379,7 +1389,7 @@ mod tests {
         );
         let out = engine.tick(&mut backend, SimTime::from_days(2).bucket());
         // On-demand probes per location ≤ budget.
-        let mut per_loc: HashMap<CloudLocId, u64> = HashMap::new();
+        let mut per_loc: DetHashMap<CloudLocId, u64> = DetHashMap::default();
         for l in &out.localizations {
             *per_loc.entry(l.issue.issue.loc).or_default() += 1;
         }

@@ -9,12 +9,12 @@
 //! space×time ranking concentrates impact ~3× better than counting
 //! affected prefixes.
 
+use crate::fxhash::DetHashMap;
 use crate::grouping::MiddleKey;
 use crate::history::{ClientCountHistory, DurationHistory};
 use crate::provenance::PriorityEvidence;
 use blameit_simnet::TimeBucket;
 use blameit_topology::{CloudLocId, PathId, Prefix24};
-use std::collections::HashMap;
 
 /// An ongoing middle-segment issue eligible for on-demand probing.
 #[derive(Clone, Debug)]
@@ -120,7 +120,7 @@ pub fn select_within_budgets(
     per_loc: usize,
     max_total: usize,
 ) -> Vec<&PrioritizedIssue> {
-    let mut used: HashMap<CloudLocId, usize> = HashMap::new();
+    let mut used: DetHashMap<CloudLocId, usize> = DetHashMap::default();
     let mut out = Vec::new();
     for p in ranked {
         if out.len() >= max_total {

@@ -8,10 +8,12 @@
 //! 10 RTT samples.
 
 use crate::backend::{Backend, RouteInfo};
+use crate::columnar::{aggregate_records_into, IngestArena};
 use crate::ks::{ks_two_sample, KsResult};
 use crate::thresholds::BadnessThresholds;
 use blameit_simnet::{QuartetObs, RttRecord, TimeBucket};
 use blameit_topology::rng::DetRng;
+// lint:allow(sip-hasher): the legacy reference aggregator below keeps the original std hasher on purpose
 use std::collections::HashMap;
 
 /// Minimum RTT samples for a quartet to be trusted (§2.1).
@@ -104,12 +106,32 @@ pub fn enrich_obs_sharded<B: Backend>(
 
 /// Groups raw RTT records into quartet observations (the aggregation
 /// the analytics cluster performs on the collector stream, §6.1).
+///
+/// Since the columnar rebuild this is a thin wrapper over
+/// [`crate::columnar::aggregate_records_into`]; output (order *and*
+/// every mean's bits) is identical to the legacy per-record upsert
+/// path, now kept as [`aggregate_records_reference`] for the
+/// differential harness and the ingest bench. Callers on a hot loop
+/// should hold their own [`IngestArena`] and call the columnar API
+/// directly to skip the per-call scratch allocation.
 pub fn aggregate_records(records: &[RttRecord]) -> Vec<QuartetObs> {
+    aggregate_records_into(records, &mut IngestArena::new()).to_obs()
+}
+
+/// The pre-columnar aggregation path: one hash upsert per record into
+/// a SipHash map, then a sort of the distinct quartets. Kept verbatim
+/// as the reference implementation the differential harness
+/// (`tests/columnar_equivalence.rs`) and the `pipeline` bench's
+/// before/after ingest measurement compare against. Not for production
+/// use — [`aggregate_records`] is ~an order of magnitude faster on
+/// collector-shaped streams.
+pub fn aggregate_records_reference(records: &[RttRecord]) -> Vec<QuartetObs> {
     #[derive(Default)]
     struct Acc {
         n: u32,
         sum: f64,
     }
+    // lint:allow(sip-hasher): reference baseline must keep the original std SipHash map it is benchmarked against
     let mut map: HashMap<_, Acc> = HashMap::new();
     for r in records {
         let key = (r.loc, r.p24, r.mobile, r.at.bucket());
@@ -232,6 +254,80 @@ mod tests {
             assert_eq!(qs.len(), 1);
             assert_eq!(qs[0].n as usize, recs.len());
         }
+    }
+
+    #[test]
+    fn columnar_matches_reference_bit_for_bit() {
+        use blameit_topology::testkit;
+        // Random record streams, including duplicate keys scattered
+        // across the batch (forcing the pair-sort fallback): the
+        // columnar path must reproduce the legacy path's output
+        // exactly, means compared by bits.
+        testkit::check("quartet::columnar_vs_reference", 64, |rng| {
+            let nrecs = rng.below(400) as usize;
+            let recs: Vec<RttRecord> = (0..nrecs)
+                .map(|_| RttRecord {
+                    loc: CloudLocId(rng.below(4) as u16),
+                    p24: Prefix24::from_block(rng.below(6) as u32),
+                    mobile: rng.chance(0.3),
+                    at: SimTime(rng.below(3 * 300)),
+                    rtt_ms: 10.0 + rng.f64() * 200.0,
+                })
+                .collect();
+            let fast = aggregate_records(&recs);
+            let slow = aggregate_records_reference(&recs);
+            assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(
+                    (f.loc, f.p24, f.mobile, f.bucket),
+                    (s.loc, s.p24, s.mobile, s.bucket)
+                );
+                assert_eq!(f.n, s.n);
+                assert_eq!(
+                    f.mean_rtt_ms.to_bits(),
+                    s.mean_rtt_ms.to_bits(),
+                    "mean bits diverged for {:?}",
+                    (f.loc, f.p24, f.mobile, f.bucket)
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn batch_ingest_is_run_order_independent() {
+        use blameit_topology::testkit;
+        // Collector streams concatenate per-client record groups; the
+        // concatenation order is an accident of collector scheduling.
+        // Permuting whole groups (keeping each key's internal sample
+        // order) must leave the aggregate bit-identical — the sort
+        // that orders runs is keyed on (key, first-index), so run
+        // order cannot leak into the output.
+        testkit::check("quartet::run_order_independence", 32, |rng| {
+            let ngroups = 2 + rng.below(12) as usize;
+            let mut groups: Vec<Vec<RttRecord>> = (0..ngroups)
+                .map(|g| {
+                    let n = 1 + rng.below(20) as usize;
+                    (0..n)
+                        .map(|_| RttRecord {
+                            loc: CloudLocId((g % 3) as u16),
+                            p24: Prefix24::from_block(g as u32),
+                            mobile: false,
+                            at: SimTime(rng.below(300)),
+                            rtt_ms: 10.0 + rng.f64() * 200.0,
+                        })
+                        .collect()
+                })
+                .collect();
+            let flat = |gs: &[Vec<RttRecord>]| gs.concat();
+            let before = aggregate_records(&flat(&groups));
+            rng.shuffle(&mut groups);
+            let after = aggregate_records(&flat(&groups));
+            assert_eq!(before.len(), after.len());
+            for (b, a) in before.iter().zip(&after) {
+                assert_eq!(b.n, a.n);
+                assert_eq!(b.mean_rtt_ms.to_bits(), a.mean_rtt_ms.to_bits());
+            }
+        });
     }
 
     #[test]

@@ -19,9 +19,9 @@
 //! the calling thread in the same order — the exact legacy code path —
 //! which is what the determinism suite compares against.
 
+use crate::fxhash::DetHashMap;
 use blameit_obs::span;
 use blameit_obs::trace::{local_subscribers, with_subscribers};
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// Worker threads available on this machine (at least 1).
@@ -67,7 +67,7 @@ impl ShardPlan {
         keys.sort_unstable();
         keys.dedup();
         let nshards = nshards.clamp(1, keys.len().max(1));
-        let assignment: HashMap<K, usize> = keys
+        let assignment: DetHashMap<K, usize> = keys
             .iter()
             .enumerate()
             .map(|(i, k)| (*k, i % nshards))

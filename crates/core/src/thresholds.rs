@@ -12,7 +12,7 @@
 //! threshold is a high quantile of fault-free baseline RTTs plus
 //! headroom — then tightened for the USA.
 
-use crate::stats::quantile;
+use crate::stats::quantile_sorted;
 use blameit_simnet::{SimTime, World};
 use blameit_topology::Region;
 
@@ -77,9 +77,16 @@ impl BadnessThresholds {
             samples[c.region.index()][usize::from(c.mobile)].push(rtt);
         }
         let mut ms = [[0.0; 2]; Region::ALL.len()];
-        for (ri, per_dev) in samples.iter().enumerate() {
-            for (di, xs) in per_dev.iter().enumerate() {
-                let q = quantile(xs, quantile_q).unwrap_or(100.0);
+        for (ri, per_dev) in samples.iter_mut().enumerate() {
+            for (di, xs) in per_dev.iter_mut().enumerate() {
+                // Sort each group once and query the sorted kernel —
+                // `stats::quantile` would copy and re-sort per call.
+                xs.sort_by(|a, b| a.total_cmp(b));
+                let q = if xs.is_empty() {
+                    100.0
+                } else {
+                    quantile_sorted(xs, quantile_q)
+                };
                 let mut v = q * headroom;
                 if Region::ALL[ri] == Region::UnitedStates {
                     v *= usa_aggressiveness;

@@ -18,11 +18,12 @@ use blameit::{
     BaselineStore, ClientCountHistory, DurationHistory, ExpectedRttLearner, MiddleKey,
     OpenIncident, RttKey,
 };
+use blameit::{DetHashMap, DetHashSet};
 use blameit_simnet::{SimTime, TimeBucket};
 use blameit_topology::rng::DetRng;
 use blameit_topology::testkit::check;
 use blameit_topology::{Asn, CloudLocId, IpPrefix, MetroId, PathId, Prefix24};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
 /// A random expected-RTT series key, covering every variant.
 fn arbitrary_rtt_key(rng: &mut DetRng) -> RttKey {
@@ -105,11 +106,11 @@ fn loc_path(rng: &mut DetRng) -> (CloudLocId, PathId) {
 fn arbitrary_state(rng: &mut DetRng) -> (SnapshotState, Vec<RttKey>) {
     let (expected, keys) = arbitrary_learner(rng);
     let mut incidents_open = BTreeMap::new();
-    let mut rep_p24 = HashMap::new();
-    let mut episodes = HashMap::new();
-    let mut monitored_prefixes = HashSet::new();
-    let mut bg_failed_once = HashSet::new();
-    let mut scheduler_last = HashMap::new();
+    let mut rep_p24 = DetHashMap::default();
+    let mut episodes = DetHashMap::default();
+    let mut monitored_prefixes = DetHashSet::default();
+    let mut bg_failed_once = DetHashSet::default();
+    let mut scheduler_last = DetHashMap::default();
     for _ in 0..rng.below(20) {
         incidents_open.insert(
             loc_path(rng),

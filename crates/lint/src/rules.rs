@@ -60,6 +60,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(AmbientEntropy),
         Box::new(FloatOrder),
         Box::new(PanicInDecode),
+        Box::new(SipHasher),
         Box::new(ThreadIdentity),
         Box::new(UnorderedIteration),
         Box::new(WallClock),
@@ -123,6 +124,52 @@ impl Rule for WallClock {
                     "`.elapsed()` measures wall time in a file that uses std::time; route durations through sim time or annotate if metrics-only".to_string(),
                 ));
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- sip-hasher
+
+/// Bare `HashMap`/`HashSet` in `crates/core`: engine maps must use the
+/// deterministic Fx-hashed aliases.
+///
+/// `std`'s default `RandomState` seeds SipHash from process entropy —
+/// slow for the short fixed-width keys the engine hashes, and a fresh
+/// iteration order every run (one more variance source while chasing a
+/// transcript diff). `crate::fxhash::{DetHashMap, DetHashSet}` are
+/// drop-in replacements constructed via `::default()` or the
+/// `det_*_with_capacity` helpers. The rule is lexical: any non-test
+/// mention of the bare std names inside `crates/core/src/` fires —
+/// type position, turbofish, or import — so the hazard is caught at
+/// the `use` line, before the first map is even built. Annotate the
+/// rare legitimate reference (the alias definitions themselves; the
+/// legacy reference aggregator kept for the differential harness).
+pub struct SipHasher;
+
+impl Rule for SipHasher {
+    fn id(&self) -> &'static str {
+        "sip-hasher"
+    }
+    fn summary(&self) -> &'static str {
+        "bare HashMap/HashSet in crates/core: use fxhash::DetHashMap/DetHashSet (deterministic, non-sip)"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        if !f.path.starts_with("crates/core/src/") {
+            return;
+        }
+        for t in f.toks {
+            if t.in_test || !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+                continue;
+            }
+            out.push(f.diag(
+                self.id(),
+                t,
+                format!(
+                    "bare `{name}` hashes with randomly-seeded SipHash; use `crate::fxhash::Det{name}` \
+                     (construct via `::default()` or `det_*_with_capacity`) or annotate why std hashing is required",
+                    name = t.text
+                ),
+            ));
         }
     }
 }
@@ -609,7 +656,17 @@ fn binding_events(toks: &[Tok]) -> Vec<BindingEvent> {
     let mut events = Vec::new();
     for i in 0..toks.len() {
         let t = &toks[i];
-        if t.in_test || !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+        // The deterministic `fxhash` aliases and their capacity
+        // helpers classify exactly like the std names: swapping the
+        // hasher fixes seeding, not iteration order, so
+        // unordered-iteration must keep watching these bindings.
+        let hash_namer = t.is_ident("HashMap")
+            || t.is_ident("HashSet")
+            || t.is_ident("DetHashMap")
+            || t.is_ident("DetHashSet")
+            || t.is_ident("det_map_with_capacity")
+            || t.is_ident("det_set_with_capacity");
+        if t.in_test || !hash_namer {
             continue;
         }
         // Strip a `path::segments::` prefix walking backwards.

@@ -1,0 +1,16 @@
+// Fixture: a deliberately std-hashed map behind annotated escapes.
+// Every bare mention needs its own annotation — the suppression
+// covers the comment's own line plus the next code line only.
+
+// lint:allow(sip-hasher): snapshot handed to external tooling that expects std's default hasher
+use std::collections::HashMap;
+
+// lint:allow(sip-hasher): snapshot handed to external tooling that expects std's default hasher
+pub fn export_counts(keys: &[u32]) -> HashMap<u32, u64> {
+    // lint:allow(sip-hasher): snapshot handed to external tooling that expects std's default hasher
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for k in keys {
+        *counts.entry(*k).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,13 @@
+// Fixture: the deterministic Fx-hashed aliases, constructed through
+// `::default()` and the sanctioned capacity helpers. No bare std
+// names anywhere, so the rule stays quiet.
+use crate::fxhash::{det_map_with_capacity, DetHashMap, DetHashSet};
+
+pub fn build_index(keys: &[u32]) -> usize {
+    let mut seen: DetHashSet<u32> = DetHashSet::default();
+    for k in keys {
+        seen.insert(*k);
+    }
+    let counts: DetHashMap<u32, u64> = det_map_with_capacity(keys.len());
+    seen.len() + counts.len()
+}
