@@ -4,7 +4,9 @@
 //! `--threads N` to run every experiment's engine sharded over N
 //! worker threads (exported as `BLAMEIT_THREADS` to the children).
 
-use std::process::Command;
+use std::io::BufRead;
+use std::path::Path;
+use std::process::{Command, Stdio};
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
@@ -115,14 +117,198 @@ fn main() {
         }
     }
 
+    // The daemon smoke rides along last: boot `blameitd` on ephemeral
+    // ports, flood it with a 10x surge through the reference feeder,
+    // scrape its HTTP endpoints while it is parked on the watermark,
+    // TERM it, then resume once from the state the surge left behind.
+    let started = Instant::now();
+    println!();
+    match daemon_smoke(dir) {
+        Ok(summary) => println!(
+            "[run_all] daemon-smoke finished in {:.1}s: {summary}",
+            started.elapsed().as_secs_f64()
+        ),
+        Err(e) => {
+            println!("[run_all] daemon-smoke FAILED: {e}");
+            failed.push("daemon-smoke");
+        }
+    }
+
     println!();
     println!(
         "[run_all] {} experiments in {:.1}s; failures: {:?}",
-        EXPERIMENTS.len() + 2,
+        EXPERIMENTS.len() + 3,
         total.elapsed().as_secs_f64(),
         failed
     );
     if !failed.is_empty() {
         std::process::exit(1);
     }
+}
+
+/// World parameters shared by the smoke daemon and its feeder — they
+/// must agree or the daemon's routing plane cannot describe the fed
+/// clients.
+const DAEMON_WORLD: &[&str] = &["--scale", "tiny", "--seed", "2019", "--days", "2"];
+
+/// A spawned `blameitd` with its printed addresses and a handle on the
+/// rest of its stdout (the exit summary arrives there after TERM).
+struct DaemonProc {
+    child: std::process::Child,
+    lines: std::io::Lines<std::io::BufReader<std::process::ChildStdout>>,
+    ingest: String,
+    http: String,
+}
+
+impl DaemonProc {
+    fn spawn(dir: &Path, state: &str, resume: bool) -> Result<Self, String> {
+        let mut cmd = Command::new(dir.join("blameitd"));
+        cmd.args(["--state-dir", state])
+            .args(DAEMON_WORLD)
+            .args(["--ingest-addr", "127.0.0.1:0", "--http-addr", "127.0.0.1:0"])
+            .args(["--queue-cap", "160000"])
+            .args(["--shed-watermark", "90000", "--per-loc-shed-cap", "30000"])
+            .stdout(Stdio::piped());
+        if resume {
+            cmd.args(["--resume", "1"]);
+        }
+        let mut child = cmd.spawn().map_err(|e| format!("blameitd: {e}"))?;
+        let mut lines = std::io::BufReader::new(child.stdout.take().expect("stdout piped")).lines();
+        let (mut ingest, mut http) = (String::new(), String::new());
+        for _ in 0..2 {
+            let line = lines
+                .next()
+                .ok_or("blameitd exited before printing its addresses")?
+                .map_err(|e| e.to_string())?;
+            if let Some(a) = line.strip_prefix("ingest=") {
+                ingest = a.to_string();
+            }
+            if let Some(a) = line.strip_prefix("http=") {
+                http = a.to_string();
+            }
+        }
+        if ingest.is_empty() || http.is_empty() {
+            return Err("blameitd did not print ingest=/http= addresses".into());
+        }
+        Ok(DaemonProc {
+            child,
+            lines,
+            ingest,
+            http,
+        })
+    }
+
+    /// Drains stdout to exit and returns the `blameitd exit:` line.
+    fn wait_summary(mut self) -> Result<String, String> {
+        let mut summary = String::new();
+        for line in &mut self.lines {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.starts_with("blameitd exit:") {
+                summary = line;
+            }
+        }
+        let status = self.child.wait().map_err(|e| e.to_string())?;
+        if !status.success() {
+            return Err(format!("blameitd exited with {status}"));
+        }
+        if summary.is_empty() {
+            return Err("blameitd printed no exit summary".into());
+        }
+        Ok(summary)
+    }
+}
+
+fn daemon_smoke(dir: &Path) -> Result<String, String> {
+    let state_dir =
+        std::env::temp_dir().join(format!("blameit-run-all-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    std::fs::create_dir_all(&state_dir).map_err(|e| format!("state dir: {e}"))?;
+    let state = state_dir.to_string_lossy().into_owned();
+
+    let tool = |args: &[&str]| -> Result<String, String> {
+        let out = Command::new(dir.join("blameit"))
+            .args(args)
+            .output()
+            .map_err(|e| format!("blameit: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "blameit {} exited with {}",
+                args.join(" "),
+                out.status
+            ));
+        }
+        Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+
+    // Surged feed without TERM: the daemon must shed, stay healthy,
+    // and keep answering scrapes afterwards.
+    let daemon = DaemonProc::spawn(dir, &state, false)?;
+    let surge_flags = [
+        "--surge-mult",
+        "10",
+        "--surge-start-hour",
+        "26",
+        "--surge-hours",
+        "1",
+        "--max-attempts",
+        "3",
+        "--max-backoff-ms",
+        "50",
+        "--no-term",
+        "1",
+    ];
+    let feed: Vec<&str> = [
+        &["feed", "--addr", &daemon.ingest][..],
+        DAEMON_WORLD,
+        &surge_flags,
+    ]
+    .concat();
+    tool(&feed)?;
+    for (path, want) in [
+        ("/healthz", "ok"),
+        ("/metrics", "blameit_ingest_queue_depth_records"),
+        ("/metrics", "blameit_shed_quartets_total"),
+        ("/alerts", ""),
+    ] {
+        let body = tool(&["scrape", "--addr", &daemon.http, "--path", path])?;
+        if !body.contains(want) {
+            return Err(format!("scrape {path}: expected {want:?} in the response"));
+        }
+    }
+    let term: Vec<&str> = [
+        &["feed", "--addr", &daemon.ingest][..],
+        DAEMON_WORLD,
+        &["--term-only", "1"],
+    ]
+    .concat();
+    tool(&term)?;
+    let summary = daemon.wait_summary()?;
+    if !summary.contains("clean_shutdown=true") {
+        return Err(format!("surged run did not shut down clean: {summary}"));
+    }
+    let shed = summary
+        .split("shed_low_impact=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    if shed == 0 {
+        return Err(format!("10x surge shed nothing: {summary}"));
+    }
+
+    // Restart from the state the surge left behind, then TERM again.
+    let daemon = DaemonProc::spawn(dir, &state, true)?;
+    let term: Vec<&str> = [
+        &["feed", "--addr", &daemon.ingest][..],
+        DAEMON_WORLD,
+        &["--term-only", "1"],
+    ]
+    .concat();
+    tool(&term)?;
+    let resumed = daemon.wait_summary()?;
+    if !resumed.contains("clean_shutdown=true") {
+        return Err(format!("resumed run did not shut down clean: {resumed}"));
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+    Ok(summary)
 }

@@ -75,6 +75,21 @@ COMMANDS:
   metrics    Run the engine and dump its metrics registry
              (Prometheus text exposition; --json 1 for a JSON dump;
              --filter PREFIX keeps only matching metric names)
+  daemon     Run the engine as a service (`blameitd`): framed ingest
+             socket with a bounded queue, backpressure (SLOW_DOWN),
+             impact-aware overload shedding, and /metrics over HTTP.
+             Requires --state-dir; serves until a feeder sends TERM.
+             (--ingest-addr/--http-addr H:P, port 0 = ephemeral;
+              --queue-cap/--shed-watermark/--per-loc-shed-cap records;
+              --sustained-ticks N overload watchdog; --resume 1 recovers)
+  feed       Replay a simulated world into a running daemon
+             (--addr H:P; --surge-mult M --surge-start-hour H
+              --surge-hours N amplifies volume to provoke shedding;
+              honors SLOW_DOWN backpressure with bounded retries;
+              --no-term 1 leaves the daemon up, --term-only 1 sends
+              just TERM so a harness can scrape between the two)
+  scrape     One HTTP GET against a running daemon
+             (--addr H:P, --path /metrics|/alerts|/healthz)
   trace      Run engine ticks under tracing, print the span tree
              (--ticks N for more than one tick; defaults to --scale tiny)
   help       This text
@@ -135,6 +150,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "probe" => cmd_probe(&args),
         "metrics" => cmd_metrics(&args),
         "trace" => cmd_trace(&args),
+        "daemon" => blameit_daemon::run_daemon(&args).map_err(err),
+        "feed" => blameit_daemon::run_feed(&args).map_err(err),
+        "scrape" => blameit_daemon::run_scrape(&args).map_err(err),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!(
             "unknown command {other:?}; try `blameit help`"

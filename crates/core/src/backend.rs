@@ -267,7 +267,10 @@ const KIND_BATCH_DROPPED: usize = 3;
 const KIND_ROUTE_DROPPED: usize = 4;
 const KIND_CHURN_DUPLICATED: usize = 5;
 const KIND_CHURN_DELAYED: usize = 6;
-const KIND_LABELS: [&str; 7] = [
+/// The `kind` labels on `blameit_chaos_faults_injected_total`, in
+/// counter-array order. Shared with the snapshot codec so chaos
+/// injection counters survive snapshot round-trips.
+pub(crate) const KIND_LABELS: [&str; 7] = [
     "probe_timeout",
     "probe_truncated",
     "probe_delayed",

@@ -41,6 +41,9 @@
 //! * [`active`] — traceroute diffing and culprit-AS selection (§5.2).
 //! * [`priority`] — client-time-product ranking and per-location probe
 //!   budgets (§5.3).
+//! * [`admission`] — bounded-ingest admission control for the daemon:
+//!   watermark-driven backpressure and impact-aware overload shedding
+//!   ordered by ascending client-time product.
 //! * [`background`] — periodic + churn-triggered baseline probes and
 //!   the baseline store (§5.4).
 //! * [`incident`] — consecutive-bad-bucket tracking (§2.3).
@@ -61,6 +64,7 @@
 //! * [`stats`], [`ks`] — numeric utilities.
 
 pub mod active;
+pub mod admission;
 pub mod backend;
 pub mod background;
 pub mod columnar;
@@ -85,6 +89,7 @@ pub use active::{
     combine_directional_diffs, diff_contributions, diff_contributions_with_floor, diff_traceroutes,
     AsDelta, LocalizationVerdict, TracrouteDiffResult, UnlocalizedReason,
 };
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, GroupScore};
 pub use backend::{Backend, ChaosBackend, ChaosStats, RouteInfo, WorldBackend};
 pub use background::{BackgroundScheduler, BaselineEntry, BaselineStore, ProbeTarget};
 pub use columnar::{

@@ -37,6 +37,20 @@ pub mod stage {
     pub const ALL: [&str; 6] = [INGEST, AGGREGATION, PASSIVE, PRIORITY, ACTIVE, BASELINE];
 }
 
+/// The `reason` labels on `blameit_shed_quartets_total`, canonical
+/// order. These are the only two ways the daemon's bounded ingest path
+/// drops data — and both are counted, never silent.
+pub mod shed_reason {
+    /// Shed by the admission controller: past the shed watermark, the
+    /// lowest client-time-product records go first.
+    pub const LOW_IMPACT: &str = "low_impact";
+    /// A whole batch refused at the queue cap with a `SLOW_DOWN` reply.
+    pub const BACKPRESSURE: &str = "backpressure";
+
+    /// All shed reasons.
+    pub const ALL: [&str; 2] = [LOW_IMPACT, BACKPRESSURE];
+}
+
 /// Cached handles for every metric the engine emits.
 ///
 /// Cloning shares the underlying registry and instruments (handles are
@@ -116,6 +130,17 @@ pub struct EngineMetrics {
     pub baseline_staleness_burn_secs: Arc<Counter>,
     /// Flight-recorder dump triggers fired.
     pub flight_triggers: Arc<Counter>,
+    /// Quartet records shed on the ingest path, by reason
+    /// (`shed_reason::ALL` order).
+    shed: [Arc<Counter>; 2],
+    /// `SLOW_DOWN` backpressure replies issued by the ingest socket.
+    pub backpressure_replies: Arc<Counter>,
+    /// SLO: records currently held in the bounded ingest queue.
+    pub ingest_queue_depth: Arc<Gauge>,
+    /// SLO: fraction of offered records admitted since startup —
+    /// 1.0 means no coverage lost; shedding under overload drags it
+    /// below 1 (the degraded-coverage signal).
+    pub ingest_coverage: Arc<Gauge>,
 }
 
 impl EngineMetrics {
@@ -162,8 +187,27 @@ impl EngineMetrics {
             baseline_staleness_burn_secs: registry
                 .counter("blameit_baseline_staleness_burn_secs_total"),
             flight_triggers: registry.counter("blameit_flight_triggers_total"),
+            shed: shed_reason::ALL
+                .map(|r| registry.counter_with("blameit_shed_quartets_total", &[("reason", r)])),
+            backpressure_replies: registry.counter("blameit_backpressure_replies_total"),
+            ingest_queue_depth: registry.gauge("blameit_ingest_queue_depth_records"),
+            ingest_coverage: registry.gauge("blameit_ingest_coverage"),
             registry,
         }
+    }
+
+    /// The shed counter for one reason label.
+    pub fn shed_counter(&self, reason: &str) -> &Arc<Counter> {
+        let idx = shed_reason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("shed_reason::ALL covers every label");
+        &self.shed[idx]
+    }
+
+    /// Total records shed across all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().map(|c| c.get()).sum()
     }
 
     /// The registry behind the handles.
@@ -388,6 +432,36 @@ mod tests {
         assert!((m.ingest_quartets_per_sec.get() - 50_000.0).abs() < 1.0);
         let text = reg.render_prometheus();
         assert!(text.contains("blameit_ingest_quartets_total 507"), "{text}");
+    }
+
+    #[test]
+    fn shed_instruments_render_under_stable_names() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let m = EngineMetrics::new(reg.clone());
+        m.shed_counter(shed_reason::LOW_IMPACT).add(7);
+        m.shed_counter(shed_reason::BACKPRESSURE).add(2);
+        m.backpressure_replies.inc();
+        m.ingest_queue_depth.set(41.0);
+        m.ingest_coverage.set(0.9);
+        assert_eq!(m.shed_total(), 9);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("blameit_shed_quartets_total{reason=\"low_impact\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("blameit_shed_quartets_total{reason=\"backpressure\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("blameit_backpressure_replies_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("blameit_ingest_queue_depth_records 41"),
+            "{text}"
+        );
+        assert!(text.contains("blameit_ingest_coverage 0.9"), "{text}");
     }
 
     #[test]

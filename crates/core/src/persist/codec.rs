@@ -14,8 +14,9 @@ pub const MAGIC: [u8; 4] = *b"BLIT";
 
 /// Snapshot/journal format version. Bump on any layout change; loaders
 /// refuse other versions rather than guessing. v2: open incidents carry
-/// an observation count (verdict provenance).
-pub const FORMAT_VERSION: u16 = 2;
+/// an observation count (verdict provenance). v3: snapshots persist the
+/// cumulative observability counters (degraded / chaos / shed).
+pub const FORMAT_VERSION: u16 = 3;
 
 /// File kinds (byte 7 of the preamble).
 pub const KIND_SNAPSHOT: u8 = 1;

@@ -42,7 +42,7 @@ pub mod store;
 pub use codec::CodecError;
 pub use durable::{DurableEngine, PersistMetrics, RecoveryReport, StartMode};
 pub use journal::{tick_digest, Journal, JournalRecord};
-pub use snapshot::SnapshotState;
+pub use snapshot::{SnapshotCounters, SnapshotState};
 pub use store::{fsck, FsckReport, StateStore};
 
 use blameit_simnet::CrashPoint;

@@ -6,8 +6,12 @@
 //! store, scheduler clocks, probe-target maps, episode windows, and
 //! the churn cursor — and the learner's median cache, whose entries
 //! freeze the median at first-lookup time within a day and therefore
-//! cannot be recomputed from the reservoirs alone. Deliberately
-//! excluded: metrics (write-only observability, not engine state).
+//! cannot be recomputed from the reservoirs alone. Since v3 the
+//! cumulative observability counters (degraded verdicts, chaos
+//! injections, ingest sheds/backpressure) are persisted too — they are
+//! not decision-path state, but restoring them keeps dashboards
+//! monotonic across crash→recover→resume. Histograms and gauges remain
+//! excluded (recomputed or refreshed every tick).
 //!
 //! Encoding is canonical: every hash map is emitted sorted by its
 //! encoded key bytes, so two state-equal engines produce identical
@@ -19,6 +23,7 @@ use super::codec::{
     KIND_SNAPSHOT,
 };
 use super::PersistError;
+use crate::active::UnlocalizedReason;
 use crate::background::{BackgroundScheduler, BaselineEntry, BaselineStore};
 use crate::fxhash::{det_set_with_capacity, DetHashMap, DetHashSet};
 use crate::grouping::MiddleKey;
@@ -41,6 +46,7 @@ const SEC_BASELINES: u8 = 6;
 const SEC_SCHEDULER: u8 = 7;
 const SEC_ENGINE: u8 = 8;
 const SEC_FLIGHT: u8 = 9;
+const SEC_COUNTERS: u8 = 10;
 
 /// A fully decoded snapshot, not yet bound to an engine.
 ///
@@ -95,6 +101,67 @@ pub struct SnapshotState {
     pub flight_frames: Vec<FlightFrame>,
     /// Flight-recorder trigger log at snapshot time.
     pub flight_dumps: Vec<FlightDumpEvent>,
+    /// Cumulative observability counters at snapshot time.
+    pub counters: SnapshotCounters,
+}
+
+/// Cumulative metric counters persisted alongside engine state (v3).
+///
+/// Not decision-path state — restoring them keeps operator counters
+/// monotonic across crash→recover→resume, and journal replay then
+/// re-increments them exactly as the uninterrupted run would have.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotCounters {
+    /// `blameit_degraded_verdicts_total{reason}`
+    /// (`UnlocalizedReason::ALL` order).
+    pub degraded: [u64; 6],
+    /// `blameit_chaos_faults_injected_total{kind}`
+    /// (`backend::KIND_LABELS` order).
+    pub chaos: [u64; 7],
+    /// `blameit_shed_quartets_total{reason}`
+    /// (`metrics::shed_reason::ALL` order).
+    pub shed: [u64; 2],
+    /// `blameit_backpressure_replies_total`.
+    pub backpressure_replies: u64,
+}
+
+impl SnapshotCounters {
+    /// Reads the current values off the engine's shared registry.
+    /// Chaos counters go through `counter_with`, which registers
+    /// zero-valued instruments when no chaos backend ever attached —
+    /// capture therefore never misses them.
+    fn capture(engine: &BlameItEngine) -> SnapshotCounters {
+        let m = &engine.metrics;
+        SnapshotCounters {
+            degraded: UnlocalizedReason::ALL.map(|r| m.degraded_counter(r).get()),
+            chaos: crate::backend::KIND_LABELS.map(|k| {
+                m.registry()
+                    .counter_with("blameit_chaos_faults_injected_total", &[("kind", k)])
+                    .get()
+            }),
+            shed: crate::metrics::shed_reason::ALL.map(|r| m.shed_counter(r).get()),
+            backpressure_replies: m.backpressure_replies.get(),
+        }
+    }
+
+    /// Seeds the engine's registry counters with the persisted values.
+    /// A `ChaosBackend::with_registry` sharing this registry picks the
+    /// same `Arc`s up, so its mirrored counters continue from here.
+    fn install(&self, engine: &BlameItEngine) {
+        let m = &engine.metrics;
+        for (r, v) in UnlocalizedReason::ALL.into_iter().zip(self.degraded) {
+            m.degraded_counter(r).store(v);
+        }
+        for (k, v) in crate::backend::KIND_LABELS.into_iter().zip(self.chaos) {
+            m.registry()
+                .counter_with("blameit_chaos_faults_injected_total", &[("kind", k)])
+                .store(v);
+        }
+        for (r, v) in crate::metrics::shed_reason::ALL.into_iter().zip(self.shed) {
+            m.shed_counter(r).store(v);
+        }
+        m.backpressure_replies.store(self.backpressure_replies);
+    }
 }
 
 impl SnapshotState {
@@ -138,6 +205,7 @@ impl SnapshotState {
         engine.on_demand_probes_total = self.on_demand_probes_total;
         engine.background_probes_total = self.background_probes_total;
         engine.flight.restore(self.flight_frames, self.flight_dumps);
+        self.counters.install(engine);
         Ok(self.ticks_done)
     }
 }
@@ -169,6 +237,7 @@ impl SnapshotState {
             background_probes_total: engine.background_probes_total,
             flight_frames: engine.flight.frames(),
             flight_dumps: engine.flight.dump_events(),
+            counters: SnapshotCounters::capture(engine),
         }
     }
 
@@ -214,6 +283,7 @@ impl SnapshotState {
             SEC_FLIGHT,
             &encode_flight(&self.flight_frames, &self.flight_dumps),
         );
+        write_section(&mut w, SEC_COUNTERS, &encode_counters(&self.counters));
         w.into_bytes()
     }
 }
@@ -239,6 +309,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
         SEC_SCHEDULER,
         SEC_ENGINE,
         SEC_FLIGHT,
+        SEC_COUNTERS,
     ];
     let mut payloads: Vec<&[u8]> = Vec::with_capacity(expect.len());
     for want in expect {
@@ -251,7 +322,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
     if r.remaining() != 0 {
         return Err(CodecError::Invalid("trailing bytes after last section"));
     }
-    let [p_ident, p_expected, p_durations, p_client, p_incidents, p_baselines, p_scheduler, p_engine, p_flight] =
+    let [p_ident, p_expected, p_durations, p_client, p_incidents, p_baselines, p_scheduler, p_engine, p_flight, p_counters] =
         payloads.as_slice()
     else {
         return Err(CodecError::Invalid("wrong section count"));
@@ -304,6 +375,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
     }
 
     let (flight_frames, flight_dumps) = decode_flight(p_flight)?;
+    let counters = decode_counters(p_counters)?;
 
     Ok(SnapshotState {
         seed,
@@ -328,6 +400,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
         background_probes_total,
         flight_frames,
         flight_dumps,
+        counters,
     })
 }
 
@@ -759,6 +832,40 @@ fn decode_flight(payload: &[u8]) -> Result<(Vec<FlightFrame>, Vec<FlightDumpEven
         return Err(CodecError::Invalid("trailing bytes in flight section"));
     }
     Ok((frames, dumps))
+}
+
+fn encode_counters(c: &SnapshotCounters) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for v in c.degraded {
+        w.put_u64(v);
+    }
+    for v in c.chaos {
+        w.put_u64(v);
+    }
+    for v in c.shed {
+        w.put_u64(v);
+    }
+    w.put_u64(c.backpressure_replies);
+    w.into_bytes()
+}
+
+fn decode_counters(payload: &[u8]) -> Result<SnapshotCounters, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let mut c = SnapshotCounters::default();
+    for v in &mut c.degraded {
+        *v = r.u64()?;
+    }
+    for v in &mut c.chaos {
+        *v = r.u64()?;
+    }
+    for v in &mut c.shed {
+        *v = r.u64()?;
+    }
+    c.backpressure_replies = r.u64()?;
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in counter section"));
+    }
+    Ok(c)
 }
 
 fn encode_baselines(b: &BaselineStore) -> Vec<u8> {

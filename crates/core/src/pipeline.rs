@@ -1242,13 +1242,9 @@ impl BlameItEngine {
     /// Logs a trigger and, when a dump directory is configured, writes
     /// the current ring as `flight-<sim_secs>-<trigger>.jsonl`. Dump
     /// I/O failures are swallowed: observability must never take the
-    /// engine down.
-    pub(crate) fn fire_flight_trigger(
-        &self,
-        sim_secs: u64,
-        trigger: FlightTrigger,
-        detail: String,
-    ) {
+    /// engine down. Public so the daemon's overload watchdog can fire
+    /// `OverloadSustained` through the same path.
+    pub fn fire_flight_trigger(&self, sim_secs: u64, trigger: FlightTrigger, detail: String) {
         self.flight.trigger(sim_secs, trigger, detail);
         self.metrics.flight_triggers.inc();
         if let Some(dir) = &self.cfg.flight_dump_dir {

@@ -14,6 +14,7 @@
 //!    rejected as an error, never a panic.
 
 use blameit::persist::snapshot::{decode, SnapshotState};
+use blameit::persist::SnapshotCounters;
 use blameit::{
     BaselineStore, ClientCountHistory, DurationHistory, ExpectedRttLearner, MiddleKey,
     OpenIncident, RttKey,
@@ -161,8 +162,24 @@ fn arbitrary_state(rng: &mut DetRng) -> (SnapshotState, Vec<RttKey>) {
         background_probes_total: rng.below(1 << 40),
         flight_frames: arbitrary_flight_frames(rng),
         flight_dumps: arbitrary_flight_dumps(rng),
+        counters: arbitrary_counters(rng),
     };
     (state, keys)
+}
+
+/// Arbitrary cumulative counter values, exercising the v3 section: the
+/// degraded/chaos/shed injection counters must survive round-trips
+/// bit-for-bit rather than silently resetting on restart.
+fn arbitrary_counters(rng: &mut DetRng) -> SnapshotCounters {
+    let mut c = SnapshotCounters::default();
+    for v in c.degraded.iter_mut().chain(c.chaos.iter_mut()) {
+        *v = rng.below(1 << 40);
+    }
+    for v in c.shed.iter_mut() {
+        *v = rng.below(1 << 40);
+    }
+    c.backpressure_replies = rng.below(1 << 40);
+    c
 }
 
 fn arbitrary_flight_frames(rng: &mut DetRng) -> Vec<blameit_obs::FlightFrame> {
@@ -182,7 +199,8 @@ fn arbitrary_flight_frames(rng: &mut DetRng) -> Vec<blameit_obs::FlightFrame> {
 fn arbitrary_flight_dumps(rng: &mut DetRng) -> Vec<blameit_obs::FlightDumpEvent> {
     (0..rng.below(4))
         .map(|_| {
-            let t = blameit_obs::FlightTrigger::ALL[rng.below(4) as usize % 4];
+            let n = blameit_obs::FlightTrigger::ALL.len() as u64;
+            let t = blameit_obs::FlightTrigger::ALL[rng.below(n) as usize];
             blameit_obs::FlightDumpEvent {
                 sim_secs: rng.next_u64() >> 20,
                 trigger: t,

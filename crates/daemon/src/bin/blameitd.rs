@@ -1,0 +1,27 @@
+//! `blameitd` — the BlameIt engine as a long-running localhost service.
+//!
+//! ```text
+//! blameitd --state-dir DIR [--scale tiny|small|default] [--seed N]
+//!          [--days D] [--warmup W] [--threads N] [--snapshot-every N]
+//!          [--ingest-addr H:P] [--http-addr H:P]
+//!          [--queue-cap N] [--shed-watermark N] [--per-loc-shed-cap N]
+//!          [--sustained-ticks N] [--resume 1]
+//! ```
+//!
+//! Binds the ingest and HTTP listeners, prints their addresses (one
+//! per line, `ingest=…` / `http=…`), then serves until a feeder sends
+//! `TERM` — at which point it drains, snapshots, compacts the WAL, and
+//! prints an exit summary. Restarting with `--resume 1` recovers from
+//! the snapshot + journal + ingest WAL, byte-identical to a run that
+//! never stopped. Implementation: [`blameit_daemon::entry::run_daemon`]
+//! (shared with `blameit daemon`).
+
+fn main() {
+    match blameit_daemon::run_daemon(&blameit_bench::Args::parse()) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("blameitd: {e}");
+            std::process::exit(2);
+        }
+    }
+}

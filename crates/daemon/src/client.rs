@@ -1,0 +1,168 @@
+//! The `feed` client: replays a simulated world into `blameitd`.
+//!
+//! Streams one [`RecordBatch`] per bucket over the ingest socket —
+//! optionally amplified through a [`SurgePlan`] to provoke the
+//! daemon's overload machinery — honoring backpressure: a `SLOW_DOWN`
+//! reply makes the feeder wait (via the injected [`Clock`]) and retry,
+//! up to a bounded number of attempts before the batch is abandoned
+//! and counted. This is the reference implementation of a well-behaved
+//! sender; its accounting is what the smoke harness and overload tests
+//! assert against.
+
+use crate::clock::Clock;
+use crate::wire::{read_frame, write_frame, Frame, WIRE_VERSION};
+use blameit::{Backend, RecordBatch, WorldBackend};
+use blameit_simnet::{SurgePlan, TimeRange, World};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Feeder knobs.
+#[derive(Clone, Debug)]
+pub struct FeedConfig {
+    /// Ingest address (`host:port`).
+    pub addr: String,
+    /// Volume amplification; an empty plan feeds the world verbatim.
+    pub surge: SurgePlan,
+    /// Attempts per batch before giving up (first try + retries).
+    pub max_attempts: u32,
+    /// Cap on one backpressure wait, milliseconds (the server's
+    /// retry-after hint is in seconds; tests cap it near zero).
+    pub max_backoff_ms: u64,
+    /// Send `TERM` (drain + snapshot + exit) after the last bucket.
+    pub term: bool,
+}
+
+impl Default for FeedConfig {
+    fn default() -> Self {
+        FeedConfig {
+            addr: "127.0.0.1:4815".to_string(),
+            surge: SurgePlan::default(),
+            max_attempts: 5,
+            max_backoff_ms: 2_000,
+            term: true,
+        }
+    }
+}
+
+/// What one feed run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FeedSummary {
+    /// Batches sent (excluding retries).
+    pub batches: u64,
+    /// Records offered (after surge amplification).
+    pub records_offered: u64,
+    /// Records the daemon admitted.
+    pub records_admitted: u64,
+    /// Records the daemon shed at admission.
+    pub records_shed: u64,
+    /// `SLOW_DOWN` replies received.
+    pub slow_downs: u64,
+    /// Batches abandoned after exhausting retries.
+    pub batches_abandoned: u64,
+    /// The daemon confirmed TERM with a durable snapshot.
+    pub terminated: bool,
+}
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Replays `world`'s RTT stream for `range` into the daemon at
+/// `cfg.addr`, bucket by bucket in order.
+pub fn feed_world(
+    world: &World,
+    range: TimeRange,
+    cfg: &FeedConfig,
+    clock: &dyn Clock,
+) -> io::Result<FeedSummary> {
+    let backend = WorldBackend::new(world);
+    let mut stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true).ok();
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: WIRE_VERSION,
+        },
+    )?;
+    match read_frame(&mut stream)? {
+        Some(Frame::Ack { .. }) => {}
+        Some(Frame::Err { msg }) => return Err(proto_err(format!("hello refused: {msg}"))),
+        other => return Err(proto_err(format!("bad hello reply: {other:?}"))),
+    }
+
+    let mut summary = FeedSummary::default();
+    for bucket in range.buckets() {
+        let records = backend
+            .rtt_records_in(bucket)
+            .expect("the world backend exposes raw records");
+        let records = cfg.surge.amplify(bucket, &records);
+        if records.is_empty() {
+            continue;
+        }
+        let batch = RecordBatch::from_records(bucket, &records);
+        summary.batches += 1;
+        summary.records_offered += batch.keys.len() as u64;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            write_frame(
+                &mut stream,
+                &Frame::Batch {
+                    batch: batch.clone(),
+                },
+            )?;
+            match read_frame(&mut stream)? {
+                Some(Frame::Ack { admitted, shed, .. }) => {
+                    summary.records_admitted += admitted;
+                    summary.records_shed += shed;
+                    break;
+                }
+                Some(Frame::SlowDown {
+                    retry_after_secs, ..
+                }) => {
+                    summary.slow_downs += 1;
+                    if attempts >= cfg.max_attempts {
+                        summary.batches_abandoned += 1;
+                        break;
+                    }
+                    clock.sleep_ms((retry_after_secs * 1_000).min(cfg.max_backoff_ms));
+                }
+                Some(Frame::Err { msg }) => {
+                    return Err(proto_err(format!("daemon refused batch: {msg}")))
+                }
+                other => return Err(proto_err(format!("bad batch reply: {other:?}"))),
+            }
+        }
+    }
+
+    if cfg.term {
+        write_frame(&mut stream, &Frame::Term)?;
+        match read_frame(&mut stream)? {
+            Some(Frame::Bye) => summary.terminated = true,
+            other => return Err(proto_err(format!("bad term reply: {other:?}"))),
+        }
+    }
+    Ok(summary)
+}
+
+/// Minimal HTTP/1.0 GET against the daemon's scrape endpoint; returns
+/// the response body. Dependency-free on purpose — the smoke harness
+/// and CLI use it to pull `/metrics` without an HTTP stack.
+pub fn http_get(addr: &str, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| proto_err("no header/body separator in HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(proto_err(format!("HTTP error: {status}")));
+    }
+    Ok(body.to_string())
+}

@@ -1,0 +1,47 @@
+//! Injectable pacing clock for the IO shell.
+//!
+//! The daemon's *decisions* (admission, shedding, tick boundaries) are
+//! data-driven and never consult a clock — see [`crate::core`]. The IO
+//! shell still needs to pace polling loops and honor retry-after
+//! hints, and that is the only thing this trait provides. Tests inject
+//! [`NoopClock`] so a full overload run completes in milliseconds and
+//! never depends on scheduler timing.
+
+/// A source of real (or fake) delay. Deliberately minimal: the shell
+/// may *wait*, it may not *read the time* — reading would invite
+/// clock-dependent behavior back into the service.
+pub trait Clock {
+    /// Blocks the caller for about `ms` milliseconds (may be a no-op
+    /// in tests).
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The production clock: actually sleeps.
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// The test clock: records how long it *would* have slept, returns
+/// immediately.
+#[derive(Default)]
+pub struct NoopClock {
+    slept_ms: std::sync::atomic::AtomicU64,
+}
+
+impl NoopClock {
+    /// Total virtual sleep requested, milliseconds.
+    pub fn slept_ms(&self) -> u64 {
+        self.slept_ms.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Clock for NoopClock {
+    fn sleep_ms(&self, ms: u64) {
+        self.slept_ms
+            .fetch_add(ms, std::sync::atomic::Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,164 @@
+//! Argv-level entry points shared by the `blameitd` binary and the
+//! `blameit daemon` / `blameit feed` / `blameit scrape` subcommands.
+//!
+//! Argument conventions follow the rest of the CLI (`--key value`,
+//! deterministic in `--seed`); both front ends parse with
+//! [`blameit_bench::Args`] and call these.
+
+use crate::client::{feed_world, http_get, FeedConfig};
+use crate::clock::WallClock;
+use crate::core::{AdmissionConfig, DaemonConfig, DaemonCore};
+use crate::server::{Server, ServerConfig};
+use blameit::{BadnessThresholds, BlameItConfig, StateStore, WorldBackend};
+use blameit_bench::{organic_world, Args, Scale};
+use blameit_obs::MetricsRegistry;
+use blameit_simnet::time::BUCKETS_PER_HOUR;
+use blameit_simnet::{SimTime, SurgePlan, TimeBucket, TimeRange};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Runs the daemon until a feeder sends `TERM`; returns the exit
+/// summary. Prints the bound addresses to stdout first (flushed) so
+/// harnesses can discover ephemeral ports.
+pub fn run_daemon(args: &Args) -> Result<String, String> {
+    let dir = args
+        .get("state-dir")
+        .map(str::to_string)
+        .ok_or_else(|| "daemon requires --state-dir DIR".to_string())?;
+    let days = args.u64("days", 2).max(2);
+    let warmup_days = args.u64("warmup", 1).min(days - 1);
+    let resume = args.get("resume").is_some_and(|v| v != "0");
+
+    let world = organic_world(args.scale(Scale::Small), days, args.u64("seed", 2019));
+    let mut cfg = BlameItConfig::new(BadnessThresholds::default_for(&world));
+    let threads = args.u64("threads", 0) as usize;
+    if threads > 0 {
+        cfg.parallelism = threads;
+    }
+    cfg.state_dir = Some(PathBuf::from(&dir));
+    cfg.flight_dump_dir = Some(PathBuf::from(&dir).join("flight"));
+    cfg.snapshot_every_ticks = args.u64("snapshot-every", 4).max(1) as u32;
+    if !resume {
+        let store = StateStore::create(&dir).map_err(|e| format!("state dir {dir}: {e}"))?;
+        store.wipe().map_err(|e| format!("state dir {dir}: {e}"))?;
+    }
+
+    let dcfg = DaemonConfig {
+        admission: AdmissionConfig {
+            queue_cap_records: args.u64("queue-cap", 50_000) as usize,
+            shed_watermark_records: args.u64("shed-watermark", 40_000) as usize,
+            per_loc_shed_cap: args.u64("per-loc-shed-cap", 1_000) as usize,
+            retry_after_secs: args.u64("retry-after", 30),
+        },
+        overload_sustained_ticks: args.u64("sustained-ticks", 3).max(1) as u32,
+    };
+
+    let backend = WorldBackend::with_parallelism(&world, cfg.parallelism);
+    let registry = Arc::new(MetricsRegistry::new());
+    let warmup = TimeRange::new(SimTime::ZERO, SimTime::from_days(warmup_days));
+    let (mut core, recovery) =
+        DaemonCore::open(cfg, dcfg, registry, backend, warmup).map_err(|e| e.to_string())?;
+    eprintln!("{}", recovery.describe());
+
+    let server = Server::bind(&ServerConfig {
+        ingest_addr: args
+            .get("ingest-addr")
+            .unwrap_or("127.0.0.1:4815")
+            .to_string(),
+        http_addr: args
+            .get("http-addr")
+            .unwrap_or("127.0.0.1:4816")
+            .to_string(),
+        poll_ms: 5,
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    println!("ingest={}", server.ingest_addr);
+    println!("http={}", server.http_addr);
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let shutdown = AtomicBool::new(false);
+    let summary = server
+        .run(&mut core, &WallClock, &shutdown)
+        .map_err(|e| e.to_string())?;
+    let s = summary.stats;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "blameitd exit: ticks={} alerts={} offered={} admitted={} shed_low_impact={} \
+         shed_backpressure={} slow_downs={} queue_peak={} clean_shutdown={}",
+        summary.ticks,
+        summary.alerts,
+        s.offered,
+        s.admitted,
+        s.shed_low_impact,
+        s.shed_backpressure,
+        s.backpressure_replies,
+        s.queue_peak,
+        summary.clean_shutdown,
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// Feeds a world into a running daemon, optionally surged; returns the
+/// feed summary. World parameters must match the daemon's for the
+/// daemon's routing/traceroute plane to describe the fed clients.
+pub fn run_feed(args: &Args) -> Result<String, String> {
+    let days = args.u64("days", 2).max(2);
+    let warmup_days = args.u64("warmup", 1).min(days - 1);
+    let world = organic_world(args.scale(Scale::Small), days, args.u64("seed", 2019));
+    // `--term-only 1` feeds nothing and just delivers TERM, so a
+    // harness can scrape a daemon it fed earlier with `--no-term 1`
+    // and still shut it down cleanly afterwards.
+    let feed_end = if args.get("term-only").is_some_and(|v| v != "0") {
+        SimTime::from_days(warmup_days)
+    } else {
+        SimTime::from_days(days)
+    };
+    let feed_range = TimeRange::new(SimTime::from_days(warmup_days), feed_end);
+
+    let mult = args.u64("surge-mult", 1).max(1) as u32;
+    let surge = if mult > 1 {
+        let start_hour = args.u64("surge-start-hour", warmup_days * 24) as u32;
+        let hours = args.u64("surge-hours", 2).max(1) as u32;
+        let start = TimeBucket(start_hour * BUCKETS_PER_HOUR);
+        let end = TimeBucket((start_hour + hours) * BUCKETS_PER_HOUR - 1);
+        SurgePlan::single(start, end, mult, args.u64("surge-seed", 0x5u64))
+    } else {
+        SurgePlan::default()
+    };
+
+    let cfg = FeedConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:4815").to_string(),
+        surge,
+        max_attempts: args.u64("max-attempts", 5).max(1) as u32,
+        max_backoff_ms: args.u64("max-backoff-ms", 2_000),
+        term: args.get("no-term").is_none_or(|v| v == "0"),
+    };
+    let summary =
+        feed_world(&world, feed_range, &cfg, &WallClock).map_err(|e| format!("feed: {e}"))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "feed done: batches={} offered={} admitted={} shed={} slow_downs={} abandoned={} terminated={}",
+        summary.batches,
+        summary.records_offered,
+        summary.records_admitted,
+        summary.records_shed,
+        summary.slow_downs,
+        summary.batches_abandoned,
+        summary.terminated,
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// One HTTP GET against a running daemon (default `/metrics`).
+pub fn run_scrape(args: &Args) -> Result<String, String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:4816").to_string();
+    let path = args.get("path").unwrap_or("/metrics").to_string();
+    http_get(&addr, &path).map_err(|e| format!("scrape {addr}{path}: {e}"))
+}

@@ -1,0 +1,321 @@
+//! The `blameitd` IO shell: ingest socket + plain-HTTP observability.
+//!
+//! A deliberately small, dependency-free, single-threaded event loop
+//! over two nonblocking localhost listeners:
+//!
+//! * the **ingest** listener speaks the framed [`crate::wire`]
+//!   protocol (one feeder connection at a time — the supported
+//!   topology, which is also what keeps ingest order deterministic);
+//! * the **http** listener answers `GET /metrics` (Prometheus text
+//!   from the engine's registry), `GET /alerts` (recent operator
+//!   alerts as JSON lines), and `GET /healthz`.
+//!
+//! All decisions happen in [`DaemonCore`]; this module only moves
+//! bytes and paces itself with an injected [`Clock`]. Graceful
+//! shutdown is protocol-level: a `TERM` frame (or the external
+//! shutdown flag) drains pending tick windows, writes a final
+//! snapshot, compacts the ingest WAL, and replies `BYE` — after which
+//! a restart recovers with zero journal replay.
+
+use crate::clock::Clock;
+use crate::core::{DaemonCore, DaemonError, IngestStats, OfferReply};
+use crate::wire::{read_frame, write_frame, Frame, WIRE_VERSION};
+use blameit::{Backend, TickOutput};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Where to listen. Port 0 binds an ephemeral port (tests); the bound
+/// addresses are on [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Ingest (framed wire protocol) listen address.
+    pub ingest_addr: String,
+    /// HTTP (metrics/alerts/health) listen address.
+    pub http_addr: String,
+    /// Idle-loop pause, milliseconds.
+    pub poll_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            ingest_addr: "127.0.0.1:0".to_string(),
+            http_addr: "127.0.0.1:0".to_string(),
+            poll_ms: 5,
+        }
+    }
+}
+
+/// What a serve loop did, for the exit report.
+#[derive(Clone, Debug, Default)]
+pub struct ServeSummary {
+    /// Engine ticks run.
+    pub ticks: u64,
+    /// Operator alerts emitted.
+    pub alerts: u64,
+    /// Ingest accounting at exit.
+    pub stats: IngestStats,
+    /// The shutdown was graceful (TERM or external flag), with a final
+    /// snapshot written.
+    pub clean_shutdown: bool,
+}
+
+/// The bound listeners.
+pub struct Server {
+    ingest: TcpListener,
+    http: TcpListener,
+    /// Actual ingest address (resolves port 0).
+    pub ingest_addr: SocketAddr,
+    /// Actual http address (resolves port 0).
+    pub http_addr: SocketAddr,
+    poll_ms: u64,
+}
+
+impl Server {
+    /// Binds both listeners (nonblocking).
+    pub fn bind(cfg: &ServerConfig) -> io::Result<Server> {
+        let ingest = TcpListener::bind(&cfg.ingest_addr)?;
+        let http = TcpListener::bind(&cfg.http_addr)?;
+        ingest.set_nonblocking(true)?;
+        http.set_nonblocking(true)?;
+        Ok(Server {
+            ingest_addr: ingest.local_addr()?,
+            http_addr: http.local_addr()?,
+            ingest,
+            http,
+            poll_ms: cfg.poll_ms,
+        })
+    }
+
+    /// Runs the serve loop until a `TERM` frame arrives or `shutdown`
+    /// is set. Both paths drain, snapshot, and compact before
+    /// returning.
+    pub fn run<B: Backend>(
+        &self,
+        core: &mut DaemonCore<B>,
+        clock: &dyn Clock,
+        shutdown: &AtomicBool,
+    ) -> Result<ServeSummary, DaemonError> {
+        let mut summary = ServeSummary::default();
+        let mut alert_ring: Vec<String> = Vec::new();
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                let outs = core.term()?;
+                note_ticks(&outs, &mut summary, &mut alert_ring);
+                summary.clean_shutdown = true;
+                break;
+            }
+            self.poll_http(core, &alert_ring);
+            match self.ingest.accept() {
+                Ok((stream, _)) => {
+                    let done =
+                        self.serve_ingest(stream, core, shutdown, &mut summary, &mut alert_ring)?;
+                    if done {
+                        summary.clean_shutdown = true;
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    clock.sleep_ms(self.poll_ms);
+                }
+                Err(e) => return Err(DaemonError::Io(e)),
+            }
+        }
+        summary.stats = core.stats();
+        Ok(summary)
+    }
+
+    /// Serves one feeder connection. Returns `Ok(true)` after a TERM
+    /// (the daemon should exit), `Ok(false)` when the peer hung up.
+    fn serve_ingest<B: Backend>(
+        &self,
+        mut stream: TcpStream,
+        core: &mut DaemonCore<B>,
+        shutdown: &AtomicBool,
+        summary: &mut ServeSummary,
+        alert_ring: &mut Vec<String>,
+    ) -> Result<bool, DaemonError> {
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .ok();
+        let mut hello_seen = false;
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                let outs = core.term()?;
+                note_ticks(&outs, summary, alert_ring);
+                return Ok(true);
+            }
+            let frame = match read_frame(&mut stream) {
+                Ok(Some(f)) => f,
+                Ok(None) => return Ok(false),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // Idle between frames: keep the scrape endpoint
+                    // responsive.
+                    self.poll_http(core, alert_ring);
+                    continue;
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    let _ = write_frame(&mut stream, &Frame::Err { msg: e.to_string() });
+                    return Ok(false);
+                }
+                Err(e) => return Err(DaemonError::Io(e)),
+            };
+            match frame {
+                Frame::Hello { version } => {
+                    if version != WIRE_VERSION {
+                        let _ = write_frame(
+                            &mut stream,
+                            &Frame::Err {
+                                msg: format!(
+                                    "wire version {version} unsupported (want {WIRE_VERSION})"
+                                ),
+                            },
+                        );
+                        return Ok(false);
+                    }
+                    hello_seen = true;
+                    write_frame(
+                        &mut stream,
+                        &Frame::Ack {
+                            admitted: 0,
+                            shed: 0,
+                            queue_depth: core.queue_depth() as u64,
+                        },
+                    )?;
+                }
+                Frame::Batch { batch } => {
+                    if !hello_seen {
+                        let _ = write_frame(
+                            &mut stream,
+                            &Frame::Err {
+                                msg: "batch before hello".to_string(),
+                            },
+                        );
+                        return Ok(false);
+                    }
+                    let reply = match core.offer(batch)? {
+                        OfferReply::Ack {
+                            admitted,
+                            shed,
+                            queue_depth,
+                        } => Frame::Ack {
+                            admitted,
+                            shed,
+                            queue_depth,
+                        },
+                        OfferReply::SlowDown {
+                            retry_after_secs,
+                            queue_depth,
+                        } => Frame::SlowDown {
+                            retry_after_secs,
+                            queue_depth,
+                        },
+                    };
+                    write_frame(&mut stream, &reply)?;
+                    let outs = core.pump()?;
+                    note_ticks(&outs, summary, alert_ring);
+                }
+                Frame::Term => {
+                    let outs = core.term()?;
+                    note_ticks(&outs, summary, alert_ring);
+                    write_frame(&mut stream, &Frame::Bye)?;
+                    return Ok(true);
+                }
+                other => {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::Err {
+                            msg: format!("unexpected frame from feeder: {other:?}"),
+                        },
+                    );
+                    return Ok(false);
+                }
+            }
+        }
+    }
+
+    /// Answers at most a few queued HTTP requests, without blocking.
+    fn poll_http<B: Backend>(&self, core: &DaemonCore<B>, alert_ring: &[String]) {
+        for _ in 0..4 {
+            match self.http.accept() {
+                Ok((stream, _)) => serve_http(stream, core, alert_ring),
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+fn note_ticks(outs: &[TickOutput], summary: &mut ServeSummary, alert_ring: &mut Vec<String>) {
+    for out in outs {
+        summary.ticks += 1;
+        summary.alerts += out.alerts.len() as u64;
+        for a in &out.alerts {
+            alert_ring.push(format!(
+                "{{\"bucket\":{},\"blame\":{:?},\"loc\":{},\"culprit\":{},\"impacted_connections\":{},\"confidence\":{:.3}}}",
+                a.bucket.0,
+                format!("{:?}", a.blame),
+                a.loc.0,
+                a.culprit.map_or("null".to_string(), |asn| asn.0.to_string()),
+                a.impacted_connections,
+                a.confidence,
+            ));
+        }
+    }
+    // Ring cap: the alert stream is an operator tail, not an archive.
+    if alert_ring.len() > 256 {
+        let excess = alert_ring.len() - 256;
+        alert_ring.drain(..excess);
+    }
+}
+
+/// One-shot HTTP/1.0 responder. Errors are swallowed: observability
+/// must never take the daemon down.
+fn serve_http<B: Backend>(mut stream: TcpStream, core: &DaemonCore<B>, alert_ring: &[String]) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    let mut buf = [0u8; 2048];
+    let n = match stream.read(&mut buf) {
+        Ok(n) => n,
+        Err(_) => return,
+    };
+    let req = String::from_utf8_lossy(&buf[..n]);
+    let path = req
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            core.engine().metrics().registry().render_prometheus(),
+        ),
+        "/alerts" => {
+            let mut body = String::new();
+            for line in alert_ring {
+                body.push_str(line);
+                body.push('\n');
+            }
+            ("200 OK", "application/json", body)
+        }
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "unknown path; try /metrics /alerts /healthz\n".to_string(),
+        ),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}

@@ -61,6 +61,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(FloatOrder),
         Box::new(PanicInDecode),
         Box::new(SipHasher),
+        Box::new(SocketIo),
         Box::new(ThreadIdentity),
         Box::new(UnorderedIteration),
         Box::new(WallClock),
@@ -170,6 +171,49 @@ impl Rule for SipHasher {
                     name = t.text
                 ),
             ));
+        }
+    }
+}
+
+// ----------------------------------------------------------------- socket-io
+
+/// `TcpListener`/`TcpStream`/`UdpSocket` outside the daemon's IO
+/// shell.
+///
+/// The standing architecture rule is *IO at the edges, determinism in
+/// the middle*: every decision `blameitd` makes lives in
+/// [`DaemonCore`], a pure function of the offered batches, and only
+/// the server/feeder shell may touch sockets (allowlisted in
+/// `lint.toml`). A socket type appearing anywhere else — the engine,
+/// the daemon's decision core, the WAL — means IO is leaking into code
+/// that must replay byte-identically without a network.
+pub struct SocketIo;
+
+impl Rule for SocketIo {
+    fn id(&self) -> &'static str {
+        "socket-io"
+    }
+    fn summary(&self) -> &'static str {
+        "TcpListener/TcpStream/UdpSocket outside the daemon IO shell: keep sockets at the edges"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        for t in f.toks {
+            if t.in_test {
+                continue;
+            }
+            for name in ["TcpListener", "TcpStream", "UdpSocket"] {
+                if t.is_ident(name) {
+                    out.push(f.diag(
+                        self.id(),
+                        t,
+                        format!(
+                            "`{name}` is raw socket IO; decisions must stay in socket-free code \
+                             (move the IO to the daemon's server/feeder shell, or annotate why \
+                             this edge is sanctioned)"
+                        ),
+                    ));
+                }
+            }
         }
     }
 }

@@ -14,8 +14,8 @@ fn repo_root() -> PathBuf {
 #[test]
 fn every_fixture_expectation_holds() {
     let results = self_check(&repo_root()).expect("fixtures readable");
-    // 7 rules × {bad, good, allow}.
-    assert_eq!(results.len(), 21, "one fixture triple per rule");
+    // 8 rules × {bad, good, allow}.
+    assert_eq!(results.len(), 24, "one fixture triple per rule");
     let failures: Vec<String> = results
         .iter()
         .filter(|r| !r.pass)

@@ -1,0 +1,12 @@
+// Fixture: a deliberate socket edge behind annotated escapes — every
+// bare mention needs its own annotation.
+
+// lint:allow(socket-io): this file IS the IO shell; decisions live behind the Core trait
+use std::net::TcpStream;
+
+pub fn open_edge(addr: &str) -> std::io::Result<()> {
+    // lint:allow(socket-io): this file IS the IO shell; decisions live behind the Core trait
+    let stream = TcpStream::connect(addr)?;
+    drop(stream);
+    Ok(())
+}

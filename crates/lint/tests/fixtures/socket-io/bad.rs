@@ -1,0 +1,11 @@
+// Fixture: raw sockets reaching into decision code. The import, the
+// bind, and the connect must all trip — IO belongs at the edges.
+use std::net::{TcpListener, TcpStream};
+
+pub fn decide_and_send(addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    drop(listener);
+    let stream = TcpStream::connect(addr)?;
+    drop(stream);
+    Ok(())
+}

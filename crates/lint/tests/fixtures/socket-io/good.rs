@@ -1,0 +1,8 @@
+// Fixture: the sanctioned shape — decisions operate on generic
+// readers/writers; whoever owns the socket stays outside. No socket
+// type is named, so the rule stays quiet.
+use std::io::{Read, Write};
+
+pub fn relay(src: &mut impl Read, dst: &mut impl Write) -> std::io::Result<u64> {
+    std::io::copy(src, dst)
+}

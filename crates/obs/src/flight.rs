@@ -39,15 +39,19 @@ pub enum FlightTrigger {
     RecoveryFallback,
     /// An explicit operator request (`blameit flight dump`).
     Manual,
+    /// The ingest path stayed overloaded (shedding or backpressure)
+    /// for several consecutive ticks — the daemon watchdog's signature.
+    OverloadSustained,
 }
 
 impl FlightTrigger {
     /// Every trigger, in canonical order.
-    pub const ALL: [FlightTrigger; 4] = [
+    pub const ALL: [FlightTrigger; 5] = [
         FlightTrigger::DegradedSpike,
         FlightTrigger::ChaosBurst,
         FlightTrigger::RecoveryFallback,
         FlightTrigger::Manual,
+        FlightTrigger::OverloadSustained,
     ];
 
     /// Stable label (used in dump files, snapshots, and file names).
@@ -57,6 +61,7 @@ impl FlightTrigger {
             FlightTrigger::ChaosBurst => "chaos-burst",
             FlightTrigger::RecoveryFallback => "recovery-fallback",
             FlightTrigger::Manual => "manual",
+            FlightTrigger::OverloadSustained => "overload-sustained",
         }
     }
 

@@ -38,6 +38,13 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Overwrites the value. Counters are monotonic in normal
+    /// operation; this exists solely for snapshot restore, where the
+    /// persisted value re-seeds a fresh process's counter.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
 }
 
 /// A gauge holding an arbitrary `f64` (stored as bits in an atomic).

@@ -12,7 +12,8 @@ use crate::spec::{ScenarioSpec, WorldSpec};
 use blameit::{BadnessThresholds, BlameItConfig};
 use blameit_bench::world_config;
 use blameit_simnet::{
-    Fault, FaultId, FaultPlan, FaultTarget, SimTime, TimeRange, World, BUCKET_SECS,
+    Fault, FaultId, FaultPlan, FaultTarget, SimTime, SurgePlan, TimeBucket, TimeRange, World,
+    BUCKET_SECS,
 };
 use blameit_topology::{Asn, CloudLocId};
 
@@ -27,6 +28,9 @@ pub struct CompiledScenario {
     /// Measurement-plane chaos plan, `None` when the scenario injects
     /// no chaos.
     pub plan: Option<FaultPlan>,
+    /// Ingest surge plan, `Some` exactly when the spec has an
+    /// `[overload]` section.
+    pub surge: Option<SurgePlan>,
     /// History-learning warmup (no probes).
     pub warmup: TimeRange,
     /// Post-warmup burn-in, warmup end → eval start: the engine runs
@@ -80,6 +84,92 @@ pub fn compile(file: &str, spec: ScenarioSpec) -> Result<CompiledScenario, Scena
                 tick_buckets
             ),
         ));
+    }
+
+    let surge = match &spec.overload {
+        None => None,
+        Some(o) => {
+            if spec.crash.is_some() {
+                return Err(ScenarioError::at(
+                    file,
+                    o.line,
+                    "[overload] does not combine with [crash] (the overload runner already \
+                     drives the durable path; crash coverage lives in the daemon test suite)",
+                ));
+            }
+            if spec.chaos.is_some() {
+                return Err(ScenarioError::at(
+                    file,
+                    o.line,
+                    "[overload] does not combine with [chaos] (the daemon feed replaces the \
+                     measurement-plane backend)",
+                ));
+            }
+            let start = hour_to_time(o.surge_start_hour);
+            let end = start + o.surge_duration_mins * 60;
+            if start < warmup_end || end > eval_end {
+                return Err(ScenarioError::at(
+                    file,
+                    o.line,
+                    format!(
+                        "surge window [{start}, {end}) must lie inside the fed range \
+                         [warmup end {warmup_end}, eval end {eval_end})"
+                    ),
+                ));
+            }
+            if end.bucket().0 <= start.bucket().0 {
+                return Err(ScenarioError::at(
+                    file,
+                    o.line,
+                    "surge_duration_mins is shorter than one 5-minute bucket",
+                ));
+            }
+            let burn_in_buckets = TimeRange::new(warmup_end, eval_start).num_buckets();
+            if !burn_in_buckets.is_multiple_of(tick_buckets) {
+                return Err(ScenarioError::at(
+                    file,
+                    o.line,
+                    format!(
+                        "[overload] needs the burn-in ({burn_in_buckets} bucket(s)) to be whole \
+                         {tick_buckets}-bucket ticks, so the daemon's continuous tick grid lands \
+                         on the eval boundary"
+                    ),
+                ));
+            }
+            if let (Some(w), Some(c)) = (o.shed_watermark_records, o.queue_cap_records) {
+                if w > c {
+                    return Err(ScenarioError::at(
+                        file,
+                        o.line,
+                        format!(
+                            "shed_watermark_records ({w}) must not exceed queue_cap_records ({c})"
+                        ),
+                    ));
+                }
+            }
+            Some(SurgePlan::single(
+                start.bucket(),
+                TimeBucket(end.bucket().0 - 1),
+                o.surge_mult,
+                o.surge_seed,
+            ))
+        }
+    };
+    for e in &spec.expect {
+        let needs_overload = matches!(
+            e,
+            crate::spec::Expectation::ShedMin(_)
+                | crate::spec::Expectation::ShedMax(_)
+                | crate::spec::Expectation::BackpressureMin(_)
+                | crate::spec::Expectation::QueuePeakMax(_)
+                | crate::spec::Expectation::TopDecileShedMax(_)
+        );
+        if needs_overload && spec.overload.is_none() {
+            return Err(ScenarioError::whole(
+                file,
+                format!("[expect] {e:?} needs an [overload] section"),
+            ));
+        }
     }
 
     if let Some(crash) = &spec.crash {
@@ -164,6 +254,7 @@ pub fn compile(file: &str, spec: ScenarioSpec) -> Result<CompiledScenario, Scena
         burn_in_ticks,
         world,
         plan,
+        surge,
         spec,
     })
 }
@@ -453,6 +544,46 @@ duration_mins = 60
             .unwrap_err()
             .to_string()
             .contains("does not combine"));
+    }
+
+    #[test]
+    fn overload_window_and_exclusions_validated() {
+        let ovl = "[overload]\nsurge_mult = 8\nsurge_start_hour = 24\nsurge_duration_mins = 30\n";
+        let c = compiled(&format!("{BASE}{ovl}")).unwrap();
+        let surge = c.surge.expect("surge compiled");
+        assert_eq!(surge.multiplier_at(blameit_simnet::TimeBucket(24 * 12)), 8);
+        assert_eq!(
+            surge.multiplier_at(blameit_simnet::TimeBucket(24 * 12 + 6)),
+            1,
+            "window is [start, start + 30min)"
+        );
+
+        let early = format!(
+            "{BASE}[overload]\nsurge_mult = 8\nsurge_start_hour = 3\nsurge_duration_mins = 30\n"
+        );
+        let err = compiled(&early).unwrap_err();
+        assert!(err.to_string().contains("must lie inside"), "{err}");
+
+        let with_crash = format!("{BASE}[crash]\nkill_tick = 1\nkill_point = post-journal\n{ovl}");
+        assert!(compiled(&with_crash)
+            .unwrap_err()
+            .to_string()
+            .contains("does not combine with [crash]"));
+
+        let inverted = format!(
+            "{BASE}[overload]\nsurge_mult = 8\nsurge_start_hour = 24\nsurge_duration_mins = 30\n\
+             queue_cap_records = 100\nshed_watermark_records = 200\n"
+        );
+        assert!(compiled(&inverted)
+            .unwrap_err()
+            .to_string()
+            .contains("must not exceed"));
+
+        let orphan = format!("{BASE}[expect]\nshed_min = 1\n");
+        assert!(compiled(&orphan)
+            .unwrap_err()
+            .to_string()
+            .contains("needs an [overload] section"));
     }
 
     #[test]

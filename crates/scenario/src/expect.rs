@@ -107,6 +107,62 @@ pub fn evaluate(spec: &ScenarioSpec, run: &ScenarioRun) -> Vec<String> {
                     ));
                 }
             }
+            Expectation::ShedMin(n)
+            | Expectation::ShedMax(n)
+            | Expectation::BackpressureMin(n)
+            | Expectation::QueuePeakMax(n)
+            | Expectation::TopDecileShedMax(n) => {
+                // Compile guarantees these only appear with [overload].
+                let Some(ovl) = &r.overload else {
+                    fail(format!("{e:?} evaluated on a run with no overload report"));
+                    continue;
+                };
+                match e {
+                    Expectation::ShedMin(_) => {
+                        if ovl.shed_low_impact < *n {
+                            fail(format!(
+                                "expected ≥ {n} impact-shed records, got {}",
+                                ovl.shed_low_impact
+                            ));
+                        }
+                    }
+                    Expectation::ShedMax(_) => {
+                        if ovl.shed_low_impact > *n {
+                            fail(format!(
+                                "expected ≤ {n} impact-shed records, got {}",
+                                ovl.shed_low_impact
+                            ));
+                        }
+                    }
+                    Expectation::BackpressureMin(_) => {
+                        if ovl.backpressure_replies < *n {
+                            fail(format!(
+                                "expected ≥ {n} SLOW_DOWN replies, got {}",
+                                ovl.backpressure_replies
+                            ));
+                        }
+                    }
+                    Expectation::QueuePeakMax(_) => {
+                        if ovl.queue_peak_records > *n {
+                            fail(format!(
+                                "expected queue peak ≤ {n} records, got {} (bounded-memory \
+                                 claim violated)",
+                                ovl.queue_peak_records
+                            ));
+                        }
+                    }
+                    Expectation::TopDecileShedMax(_) => {
+                        if ovl.top_decile_shed_records > *n {
+                            fail(format!(
+                                "expected ≤ {n} shed records from the top impact decile, got \
+                                 {} (shedding touched the groups it must protect)",
+                                ovl.top_decile_shed_records
+                            ));
+                        }
+                    }
+                    _ => unreachable!("outer match narrowed to overload expectations"),
+                }
+            }
         }
     }
     failures
@@ -208,6 +264,22 @@ pub fn render_report(spec: &ScenarioSpec, run: &ScenarioRun, failures: &[String]
     if !r.flight_triggers.is_empty() {
         writeln!(out, "  flight: {}", r.flight_triggers.join(", ")).unwrap();
     }
+    if let Some(o) = &r.overload {
+        writeln!(
+            out,
+            "  overload: offered={} admitted={} shed={} refused={} slow_downs={} \
+             abandoned={} queue_peak={} top_decile_shed={}",
+            o.offered,
+            o.admitted,
+            o.shed_low_impact,
+            o.shed_backpressure,
+            o.backpressure_replies,
+            o.batches_abandoned,
+            o.queue_peak_records,
+            o.top_decile_shed_records
+        )
+        .unwrap();
+    }
     for f in failures {
         writeln!(out, "  FAIL: {f}").unwrap();
     }
@@ -230,6 +302,7 @@ mod tests {
             faults: Vec::new(),
             chaos: None,
             crash: None,
+            overload: None,
             engine: EngineSpec::default(),
             eval: EvalSpec {
                 start_hour: 24.0,
@@ -255,6 +328,7 @@ mod tests {
                 degraded_metrics: Some([1, 0, 0, 0, 0, 0]),
                 alerts: 1,
                 flight_triggers: vec!["degraded-spike".into()],
+                overload: None,
             },
         }
     }
@@ -294,6 +368,42 @@ mod tests {
         let mut crashy = run_with("unlocalized(probe_timeout)");
         crashy.report.degraded_metrics = None;
         assert!(evaluate(&spec, &crashy).is_empty());
+    }
+
+    #[test]
+    fn overload_expectations_read_the_overload_report() {
+        use crate::run::OverloadReport;
+        let spec = spec_with(vec![
+            Expectation::ShedMin(100),
+            Expectation::BackpressureMin(2),
+            Expectation::QueuePeakMax(9_000),
+            Expectation::TopDecileShedMax(0),
+        ]);
+        let mut run = run_with("x");
+        run.report.overload = Some(OverloadReport {
+            offered: 50_000,
+            admitted: 40_000,
+            shed_low_impact: 2_000,
+            shed_backpressure: 8_000,
+            backpressure_replies: 4,
+            batches_abandoned: 1,
+            queue_peak_records: 8_500,
+            top_decile_shed_records: 0,
+        });
+        assert_eq!(evaluate(&spec, &run), Vec::<String>::new());
+        let report = render_report(&spec, &run, &[]);
+        assert!(report.contains("overload: offered=50000"), "{report}");
+
+        run.report.overload.as_mut().unwrap().queue_peak_records = 9_500;
+        run.report
+            .overload
+            .as_mut()
+            .unwrap()
+            .top_decile_shed_records = 3;
+        let fails = evaluate(&spec, &run);
+        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert!(fails[0].contains("bounded-memory"), "{fails:?}");
+        assert!(fails[1].contains("top impact decile"), "{fails:?}");
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub use compile::{compile, CompiledScenario};
 pub use error::ScenarioError;
 pub use expect::{evaluate, render_report};
 pub use parse::{load_scenario, parse_scenario};
-pub use run::{run_scenario, ScenarioReport, ScenarioRun};
+pub use run::{run_scenario, OverloadReport, ScenarioReport, ScenarioRun};
 pub use spec::{
-    ChaosSpec, CrashSpec, EngineSpec, EvalSpec, Expectation, FaultSpec, ScenarioSpec, WorkloadSpec,
-    WorldSpec,
+    ChaosSpec, CrashSpec, EngineSpec, EvalSpec, Expectation, FaultSpec, OverloadSpec, ScenarioSpec,
+    WorkloadSpec, WorldSpec,
 };

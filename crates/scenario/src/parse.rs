@@ -17,8 +17,8 @@
 
 use crate::error::ScenarioError;
 use crate::spec::{
-    ChaosSpec, CrashSpec, EngineSpec, EvalSpec, Expectation, FaultSpec, ScenarioSpec, WorkloadSpec,
-    WorldSpec,
+    ChaosSpec, CrashSpec, EngineSpec, EvalSpec, Expectation, FaultSpec, OverloadSpec, ScenarioSpec,
+    WorkloadSpec, WorldSpec,
 };
 use blameit::{Blame, UnlocalizedReason};
 use blameit_bench::Scale;
@@ -51,6 +51,7 @@ enum Section {
     Fault,
     Chaos,
     Crash,
+    Overload,
     Engine,
     Eval,
     Expect,
@@ -75,6 +76,21 @@ struct FaultDraft {
     line: u32,
 }
 
+/// A half-built `[overload]` section.
+#[derive(Default)]
+struct OverloadDraft {
+    surge_mult: Option<u32>,
+    surge_start_hour: Option<f64>,
+    surge_duration_mins: Option<u64>,
+    surge_seed: Option<u64>,
+    queue_cap_records: Option<usize>,
+    shed_watermark_records: Option<usize>,
+    per_loc_shed_cap: Option<usize>,
+    sustained_ticks: Option<u32>,
+    max_attempts: Option<u32>,
+    line: u32,
+}
+
 /// A half-built `[eval]` section.
 #[derive(Default)]
 struct EvalDraft {
@@ -94,6 +110,7 @@ struct Parser {
     fault: Option<FaultDraft>,
     chaos: Option<ChaosSpec>,
     crash: Option<CrashDraft>,
+    overload: Option<OverloadDraft>,
     engine: EngineSpec,
     eval: Option<EvalDraft>,
     expect: Vec<Expectation>,
@@ -113,6 +130,7 @@ impl Parser {
             fault: None,
             chaos: None,
             crash: None,
+            overload: None,
             engine: EngineSpec::default(),
             eval: None,
             expect: Vec::new(),
@@ -153,6 +171,7 @@ impl Parser {
             Section::Fault => self.fault_key(n, key, value),
             Section::Chaos => self.chaos_key(n, key, value),
             Section::Crash => self.crash_key(n, key, value),
+            Section::Overload => self.overload_key(n, key, value),
             Section::Engine => self.engine_key(n, key, value),
             Section::Eval => self.eval_key(n, key, value),
             Section::Expect => self.expect_key(n, key, value),
@@ -167,6 +186,7 @@ impl Parser {
             "fault" => (Section::Fault, "fault"),
             "chaos" => (Section::Chaos, "chaos"),
             "crash" => (Section::Crash, "crash"),
+            "overload" => (Section::Overload, "overload"),
             "engine" => (Section::Engine, "engine"),
             "eval" => (Section::Eval, "eval"),
             "expect" => (Section::Expect, "expect"),
@@ -175,7 +195,7 @@ impl Parser {
                     n,
                     format!(
                         "unknown section [{other}]; expected one of [world] [workload] [fault] \
-                         [chaos] [crash] [engine] [eval] [expect]"
+                         [chaos] [crash] [overload] [engine] [eval] [expect]"
                     ),
                 ))
             }
@@ -196,6 +216,12 @@ impl Parser {
                 self.crash = Some(CrashDraft {
                     line: n,
                     ..CrashDraft::default()
+                })
+            }
+            Section::Overload => {
+                self.overload = Some(OverloadDraft {
+                    line: n,
+                    ..OverloadDraft::default()
                 })
             }
             Section::Eval => {
@@ -268,6 +294,34 @@ impl Parser {
                 })
             }
         };
+        let overload = match self.overload.take() {
+            None => None,
+            Some(draft) => {
+                let line = draft.line;
+                let mult = draft
+                    .surge_mult
+                    .ok_or_else(|| self.err(line, "[overload] is missing `surge_mult`"))?;
+                if mult < 2 {
+                    return Err(self.err(line, "surge_mult must be ≥ 2 (1 is no surge)"));
+                }
+                Some(OverloadSpec {
+                    surge_mult: mult,
+                    surge_start_hour: draft.surge_start_hour.ok_or_else(|| {
+                        self.err(line, "[overload] is missing `surge_start_hour`")
+                    })?,
+                    surge_duration_mins: draft.surge_duration_mins.ok_or_else(|| {
+                        self.err(line, "[overload] is missing `surge_duration_mins`")
+                    })?,
+                    surge_seed: draft.surge_seed.unwrap_or(0xC4A0),
+                    queue_cap_records: draft.queue_cap_records,
+                    shed_watermark_records: draft.shed_watermark_records,
+                    per_loc_shed_cap: draft.per_loc_shed_cap,
+                    sustained_ticks: draft.sustained_ticks,
+                    max_attempts: draft.max_attempts.unwrap_or(3).max(1),
+                    line,
+                })
+            }
+        };
         Ok(ScenarioSpec {
             name,
             summary: self.summary,
@@ -276,6 +330,7 @@ impl Parser {
             faults: self.faults,
             chaos: self.chaos,
             crash,
+            overload,
             engine: self.engine,
             eval,
             expect: self.expect,
@@ -469,6 +524,40 @@ impl Parser {
         Ok(())
     }
 
+    fn overload_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
+        let hour = (key == "surge_start_hour")
+            .then(|| self.f64v(n, key, value))
+            .transpose()?;
+        let num = matches!(
+            key,
+            "surge_mult"
+                | "surge_duration_mins"
+                | "surge_seed"
+                | "queue_cap_records"
+                | "shed_watermark_records"
+                | "per_loc_shed_cap"
+                | "sustained_ticks"
+                | "max_attempts"
+        )
+        .then(|| self.u64v(n, key, value))
+        .transpose()?;
+        let unknown = self.err(n, format!("unknown [overload] key {key:?}"));
+        let o = self.overload.as_mut().expect("in [overload] section");
+        match key {
+            "surge_mult" => o.surge_mult = num.map(|v| v as u32),
+            "surge_start_hour" => o.surge_start_hour = hour,
+            "surge_duration_mins" => o.surge_duration_mins = num,
+            "surge_seed" => o.surge_seed = num,
+            "queue_cap_records" => o.queue_cap_records = num.map(|v| v as usize),
+            "shed_watermark_records" => o.shed_watermark_records = num.map(|v| v as usize),
+            "per_loc_shed_cap" => o.per_loc_shed_cap = num.map(|v| v as usize),
+            "sustained_ticks" => o.sustained_ticks = num.map(|v| v as u32),
+            "max_attempts" => o.max_attempts = num.map(|v| v as u32),
+            _ => return Err(unknown),
+        }
+        Ok(())
+    }
+
     fn engine_key(&mut self, n: u32, key: &str, value: &str) -> Result<(), ScenarioError> {
         match key {
             "probe_budget_per_loc" => {
@@ -555,6 +644,11 @@ impl Parser {
             "degraded_total_max" => Expectation::DegradedTotalMax(count),
             "alerts_min" => Expectation::AlertsMin(count),
             "alerts_max" => Expectation::AlertsMax(count),
+            "shed_min" => Expectation::ShedMin(count),
+            "shed_max" => Expectation::ShedMax(count),
+            "backpressure_min" => Expectation::BackpressureMin(count),
+            "queue_peak_max" => Expectation::QueuePeakMax(count),
+            "top_decile_shed_max" => Expectation::TopDecileShedMax(count),
             other => {
                 if let Some(e) = blame_expect(other, count) {
                     e
@@ -701,6 +795,33 @@ duration_mins = 45
         assert!(spec
             .expect
             .contains(&Expectation::DegradedMax(UnlocalizedReason::NoBaseline, 0)));
+    }
+
+    #[test]
+    fn overload_section_parses_and_validates() {
+        let text = format!(
+            "{MINIMAL}\n[overload]\nsurge_mult = 10\nsurge_start_hour = 24.5\n\
+             surge_duration_mins = 60\nqueue_cap_records = 9000\n\
+             shed_watermark_records = 6000\n[expect]\nshed_min = 1\n\
+             backpressure_min = 1\nqueue_peak_max = 9000\ntop_decile_shed_max = 0\n"
+        );
+        let spec = parse_scenario("m.scn", &text).unwrap();
+        let o = spec.overload.expect("overload parsed");
+        assert_eq!(o.surge_mult, 10);
+        assert_eq!(o.queue_cap_records, Some(9000));
+        assert_eq!(o.max_attempts, 3, "default attempts");
+        assert!(spec.expect.contains(&Expectation::QueuePeakMax(9000)));
+        assert!(spec.expect.contains(&Expectation::TopDecileShedMax(0)));
+
+        let missing = format!("{MINIMAL}\n[overload]\nsurge_mult = 10\n");
+        let err = parse_scenario("m.scn", &missing).unwrap_err();
+        assert!(err.to_string().contains("surge_start_hour"), "{err}");
+        let weak = format!(
+            "{MINIMAL}\n[overload]\nsurge_mult = 1\nsurge_start_hour = 24\n\
+             surge_duration_mins = 30\n"
+        );
+        let err = parse_scenario("m.scn", &weak).unwrap_err();
+        assert!(err.to_string().contains("must be ≥ 2"), "{err}");
     }
 
     #[test]

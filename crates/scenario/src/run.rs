@@ -12,12 +12,14 @@
 use crate::compile::CompiledScenario;
 use crate::error::ScenarioError;
 use blameit::{
-    fsck, render_tick_transcript, tally, BlameCounts, BlameItEngine, ChaosBackend, DurableEngine,
-    LocalizationVerdict, PersistError, StartMode, StateStore, TickOutput, UnlocalizedReason,
-    WorldBackend,
+    fsck, render_tick_transcript, tally, Backend, BlameCounts, BlameItEngine, ChaosBackend,
+    DurableEngine, LocalizationVerdict, PersistError, RecordBatch, StartMode, StateStore,
+    TickOutput, UnlocalizedReason, WorldBackend,
 };
+use blameit_daemon::{DaemonConfig, DaemonCore, OfferReply};
 use blameit_obs::MetricsRegistry;
 use blameit_simnet::{CrashPlan, TimeBucket};
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -60,6 +62,32 @@ pub struct ScenarioReport {
     /// Flight-recorder trigger labels that fired, deduplicated, in
     /// first-fired order.
     pub flight_triggers: Vec<String>,
+    /// Ingest accounting, `Some` exactly on `[overload]` runs.
+    pub overload: Option<OverloadReport>,
+}
+
+/// Eval-side ingest accounting from an `[overload]` run (cumulative
+/// over the whole feed, burn-in included — overload scenarios place
+/// their surge inside the eval window, so burn-in contributes zeros).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadReport {
+    /// Records offered (retries re-count, like the daemon's own stats).
+    pub offered: u64,
+    /// Records admitted to the queue.
+    pub admitted: u64,
+    /// Records shed by the impact-ordered controller.
+    pub shed_low_impact: u64,
+    /// Records refused wholesale at the queue cap.
+    pub shed_backpressure: u64,
+    /// `SLOW_DOWN` replies issued.
+    pub backpressure_replies: u64,
+    /// Buckets the feeder abandoned after exhausting its attempts.
+    pub batches_abandoned: u64,
+    /// Highest queue depth observed after an admit.
+    pub queue_peak_records: u64,
+    /// Shed records that ranked in the top impact decile of their own
+    /// offer (the coverage-protection claim: should stay 0).
+    pub top_decile_shed_records: u64,
 }
 
 /// Runs `scn` at `threads` engine threads (`0` = ambient default) and
@@ -71,6 +99,8 @@ pub fn run_scenario(
 ) -> Result<ScenarioRun, ScenarioError> {
     if scn.spec.crash.is_some() {
         run_crash(file, scn, threads)
+    } else if scn.spec.overload.is_some() {
+        run_overload(file, scn, threads)
     } else {
         Ok(run_plain(scn, threads))
     }
@@ -228,6 +258,158 @@ fn run_crash(
     Ok(run)
 }
 
+/// The overload path: replay the feed through the daemon's decision
+/// core ([`DaemonCore`]) with the compiled surge plan, bucket by bucket
+/// like the reference `feed` client — admission, shedding, WAL, and
+/// data-driven ticks all engaged, no sockets, no clocks.
+fn run_overload(
+    file: &str,
+    scn: &CompiledScenario,
+    threads: usize,
+) -> Result<ScenarioRun, ScenarioError> {
+    let o = scn.spec.overload.as_ref().expect("caller checked");
+    let surge = scn.surge.clone().expect("compiled with [overload]");
+    let fail = |msg: String| ScenarioError::at(file, o.line, msg);
+    let dir = scratch_dir(&scn.spec.name, threads);
+    let mut cfg = scn.engine_config(threads);
+    cfg.state_dir = Some(dir.clone());
+    let tick_buckets = cfg.tick_buckets;
+
+    let store = StateStore::create(&dir).map_err(|e| fail(format!("state dir: {e}")))?;
+    store.wipe().map_err(|e| fail(format!("state dir: {e}")))?;
+
+    let mut dcfg = DaemonConfig::default();
+    if let Some(v) = o.queue_cap_records {
+        dcfg.admission.queue_cap_records = v;
+    }
+    if let Some(v) = o.shed_watermark_records {
+        dcfg.admission.shed_watermark_records = v;
+    }
+    if let Some(v) = o.per_loc_shed_cap {
+        dcfg.admission.per_loc_shed_cap = v;
+    }
+    if let Some(v) = o.sustained_ticks {
+        dcfg.overload_sustained_ticks = v;
+    }
+
+    let inner = WorldBackend::with_parallelism(&scn.world, cfg.parallelism);
+    let feed = WorldBackend::with_parallelism(&scn.world, cfg.parallelism);
+    let (mut core, recovery) = DaemonCore::open(
+        cfg,
+        dcfg,
+        Arc::new(MetricsRegistry::new()),
+        inner,
+        scn.warmup,
+    )
+    .map_err(|e| fail(format!("open: {e}")))?;
+    debug_assert_eq!(recovery.mode, StartMode::Cold, "wiped dir starts cold");
+
+    // Feed exactly the whole-tick coverage: burn-in plus the eval
+    // ticks. Compile guarantees the burn-in is whole ticks too, so the
+    // daemon's continuous tick grid lands on the eval boundary.
+    let feed_start = scn.burn_in.start.bucket().0;
+    let feed_end = scn.eval.start.bucket().0 + scn.eval_ticks as u32 * tick_buckets;
+    let mut outs: Vec<TickOutput> = Vec::new();
+    let mut abandoned = 0u64;
+    let mut top_decile_shed = 0u64;
+    let mut baseline: Option<Option<[u64; 6]>> = None;
+    let capture_baseline = |core: &DaemonCore<WorldBackend>, b: &mut Option<Option<[u64; 6]>>| {
+        if b.is_none() && core.ticks_done() >= scn.burn_in_ticks {
+            // Exact only if no tick jumped the burn-in/eval boundary.
+            *b = Some(
+                (core.ticks_done() == scn.burn_in_ticks).then(|| degraded_counters(core.engine())),
+            );
+        }
+    };
+    capture_baseline(&core, &mut baseline);
+    for b in feed_start..feed_end {
+        let bucket = TimeBucket(b);
+        let records = feed
+            .rtt_records_in(bucket)
+            .expect("the world backend exposes raw records");
+        let records = surge.amplify(bucket, &records);
+        if records.is_empty() {
+            continue;
+        }
+        let batch = RecordBatch::from_records(bucket, &records);
+        // Score the offer with the same history `offer` will use, to
+        // mark its top impact decile before any of it can be shed.
+        let top_decile: BTreeSet<u64> = {
+            let mut sorted = batch.clone();
+            sorted.sort_by_key();
+            let scored = core.admission().score_batch(&sorted);
+            let keep = scored.len() - scored.len().div_ceil(10);
+            scored[keep..].iter().map(|g| g.subkey).collect()
+        };
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let shed_before = core.shed_log().len();
+            match core
+                .offer(batch.clone())
+                .map_err(|e| fail(format!("offer: {e}")))?
+            {
+                OfferReply::Ack { .. } => {
+                    for entry in &core.shed_log()[shed_before..] {
+                        if top_decile.contains(&entry.subkey) {
+                            top_decile_shed += u64::from(entry.records);
+                        }
+                    }
+                    break;
+                }
+                OfferReply::SlowDown { .. } => {
+                    if attempts >= o.max_attempts {
+                        abandoned += 1;
+                        break;
+                    }
+                    // No clock to wait on: draining is the only thing
+                    // that can change the next attempt's answer.
+                }
+            }
+            outs.extend(core.pump().map_err(|e| fail(format!("pump: {e}")))?);
+            capture_baseline(&core, &mut baseline);
+        }
+        outs.extend(core.pump().map_err(|e| fail(format!("pump: {e}")))?);
+        capture_baseline(&core, &mut baseline);
+    }
+    outs.extend(core.term().map_err(|e| fail(format!("term: {e}")))?);
+    capture_baseline(&core, &mut baseline);
+
+    let want = scn.burn_in_ticks + scn.eval_ticks;
+    if outs.len() as u64 != want {
+        return Err(fail(format!(
+            "overload run produced {} tick(s), expected {want} — the surge abandoned every \
+             bucket of a trailing window, stalling the feed cursor",
+            outs.len()
+        )));
+    }
+    let stats = core.stats();
+    let report = OverloadReport {
+        offered: stats.offered,
+        admitted: stats.admitted,
+        shed_low_impact: stats.shed_low_impact,
+        shed_backpressure: stats.shed_backpressure,
+        backpressure_replies: stats.backpressure_replies,
+        batches_abandoned: abandoned,
+        queue_peak_records: stats.queue_peak,
+        top_decile_shed_records: top_decile_shed,
+    };
+    let eval_outs = outs.split_off(scn.burn_in_ticks as usize);
+    let after = degraded_counters(core.engine());
+    let degraded_metrics = baseline.flatten().map(|before| {
+        let mut delta = [0u64; 6];
+        for i in 0..6 {
+            delta[i] = after[i].saturating_sub(before[i]);
+        }
+        delta
+    });
+    let mut run = build_run(core.engine(), eval_outs, degraded_metrics);
+    run.report.overload = Some(report);
+    drop(core);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(run)
+}
+
 /// Eval-window tick start buckets, mirroring `BlameItEngine::run`'s
 /// whole-ticks-only coverage.
 fn eval_tick_starts(scn: &CompiledScenario) -> Vec<TimeBucket> {
@@ -319,6 +501,7 @@ fn build_run(
             degraded_metrics,
             alerts,
             flight_triggers,
+            overload: None,
         },
     }
 }

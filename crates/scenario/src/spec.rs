@@ -27,6 +27,9 @@ pub struct ScenarioSpec {
     pub chaos: Option<ChaosSpec>,
     /// `[crash]` — process kill point, if any (runs the durable path).
     pub crash: Option<CrashSpec>,
+    /// `[overload]` — ingest surge through the daemon's bounded-queue
+    /// admission path, if any.
+    pub overload: Option<OverloadSpec>,
     /// `[engine]` — `BlameItConfig` overrides.
     pub engine: EngineSpec,
     /// `[eval]` — the scored window.
@@ -162,6 +165,36 @@ pub struct CrashSpec {
     pub line: u32,
 }
 
+/// `[overload]`: replay the feed through `blameitd`'s decision core
+/// ([`blameit_daemon::DaemonCore`]) with a seeded ingest surge, so the
+/// bounded queue, backpressure, and impact-ordered shedding are
+/// exercised and golden-pinned like any other scenario.
+#[derive(Clone, Debug)]
+pub struct OverloadSpec {
+    /// Ingest multiplier inside the surge window (≥ 2).
+    pub surge_mult: u32,
+    /// Surge onset, hours from sim start (decimals allowed).
+    pub surge_start_hour: f64,
+    /// Surge length, minutes.
+    pub surge_duration_mins: u64,
+    /// Surge jitter seed (default 0xC4A0).
+    pub surge_seed: u64,
+    /// Hard queue bound, records (default: the daemon's).
+    pub queue_cap_records: Option<usize>,
+    /// Shedding watermark, records (default: the daemon's).
+    pub shed_watermark_records: Option<usize>,
+    /// Per-location fairness cap, records (default: the daemon's).
+    pub per_loc_shed_cap: Option<usize>,
+    /// Consecutive overloaded ticks before `overload-sustained` fires
+    /// (default: the daemon's).
+    pub sustained_ticks: Option<u32>,
+    /// Offer attempts per bucket before the feeder abandons it
+    /// (default 3).
+    pub max_attempts: u32,
+    /// Source line of the `[overload]` header (for compile errors).
+    pub line: u32,
+}
+
 /// `[engine]`: `BlameItConfig` overrides.
 #[derive(Clone, Debug, Default)]
 pub struct EngineSpec {
@@ -234,4 +267,17 @@ pub enum Expectation {
     AlertsMax(u64),
     /// A flight-recorder trigger with this label must have fired.
     FlightTrigger(String),
+    /// Records shed by the impact-ordered controller ≥ n
+    /// (`[overload]` runs only).
+    ShedMin(u64),
+    /// Records shed by the impact-ordered controller ≤ n.
+    ShedMax(u64),
+    /// `SLOW_DOWN` backpressure replies ≥ n.
+    BackpressureMin(u64),
+    /// Peak queue depth after any admit ≤ n (the bounded-memory
+    /// claim; compile rejects values above the queue cap).
+    QueuePeakMax(u64),
+    /// Of the records shed, at most n ranked in the top impact decile
+    /// of their own offer (0 = the top decile was never touched).
+    TopDecileShedMax(u64),
 }

@@ -26,6 +26,8 @@
 //!   kill-point crash harness (torn journal records, half-written
 //!   snapshots).
 //! * [`measure`] — RTT records and quartet observations.
+//! * [`surge`] — seeded ingest-surge plans that replay a world at a
+//!   multiple of its natural volume, for daemon overload testing.
 //! * [`traceroute`] — simulated per-AS-hop traceroutes (§5.2).
 //! * [`collector`] — bucket-by-bucket quartet streams and Table-2-style
 //!   corpus summaries.
@@ -45,6 +47,7 @@ pub mod crash;
 pub mod fault;
 pub mod latency;
 pub mod measure;
+pub mod surge;
 pub mod time;
 pub mod traceroute;
 pub mod world;
@@ -62,6 +65,7 @@ pub use crash::{CrashPlan, CrashPoint};
 pub use fault::{Fault, FaultId, FaultRates, FaultSchedule, FaultTarget, Segment};
 pub use latency::{LatencyModel, SegRtt};
 pub use measure::{QuartetObs, RttRecord};
+pub use surge::{SurgePlan, SurgeWindow};
 pub use time::{SimTime, TimeBucket, TimeRange, BUCKETS_PER_DAY, BUCKET_SECS};
 pub use traceroute::{Traceroute, TracerouteHop, TracerouteNoise};
 pub use world::{Culprit, GroundTruth, World, WorldConfig};

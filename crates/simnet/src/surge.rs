@@ -1,0 +1,188 @@
+//! Seeded ingest-surge plans for overload testing.
+//!
+//! The daemon's admission controller is exercised by replaying a world
+//! at a multiple of its natural telemetry volume. A [`SurgePlan`] is
+//! the deterministic schedule of that amplification: inside each
+//! [`SurgeWindow`] every RTT record is duplicated `multiplier - 1`
+//! extra times, with a small seeded RTT jitter on the copies so they
+//! are not byte-identical samples (real surges are many *distinct*
+//! clients, not one packet echoed).
+//!
+//! Like everything in this crate, amplification is a pure function of
+//! `(plan seed, record identity, copy index)` — never of call order or
+//! thread identity — so a surged run is byte-reproducible and two
+//! differently-sharded feeders produce the same stream.
+
+use crate::measure::RttRecord;
+use crate::time::TimeBucket;
+use blameit_topology::rng::DetRng;
+
+/// Domain-separation tag so surge jitter never shares a stream with
+/// chaos or world randomness.
+const TAG_SURGE: u64 = 0xC4A0_0005;
+
+/// One contiguous window of amplified ingest volume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SurgeWindow {
+    /// First surged bucket (inclusive).
+    pub start: TimeBucket,
+    /// Last surged bucket (inclusive).
+    pub end: TimeBucket,
+    /// Total volume multiplier inside the window; `1` means no-op,
+    /// `10` means every record appears ten times.
+    pub multiplier: u32,
+}
+
+impl SurgeWindow {
+    /// Whether `bucket` falls inside this window.
+    pub fn contains(&self, bucket: TimeBucket) -> bool {
+        self.start.0 <= bucket.0 && bucket.0 <= self.end.0
+    }
+}
+
+/// A seeded schedule of ingest surges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SurgePlan {
+    /// Surge windows; later windows win where they overlap.
+    pub windows: Vec<SurgeWindow>,
+    /// Seed for the per-copy RTT jitter (independent of world seed).
+    pub seed: u64,
+}
+
+impl SurgePlan {
+    /// A plan with a single window.
+    pub fn single(start: TimeBucket, end: TimeBucket, multiplier: u32, seed: u64) -> Self {
+        SurgePlan {
+            windows: vec![SurgeWindow {
+                start,
+                end,
+                multiplier,
+            }],
+            seed,
+        }
+    }
+
+    /// The volume multiplier in effect at `bucket` (≥ 1).
+    pub fn multiplier_at(&self, bucket: TimeBucket) -> u32 {
+        self.windows
+            .iter()
+            .rev()
+            .find(|w| w.contains(bucket))
+            .map(|w| w.multiplier.max(1))
+            .unwrap_or(1)
+    }
+
+    /// Amplifies one bucket's records: the originals untouched and in
+    /// order, followed by `multiplier - 1` jittered copies of each, in
+    /// `(record index, copy index)` order. Jitter is keyed purely by
+    /// `(seed, record identity, copy)`, so the output is independent
+    /// of how the caller batched the stream.
+    pub fn amplify(&self, bucket: TimeBucket, records: &[RttRecord]) -> Vec<RttRecord> {
+        let m = self.multiplier_at(bucket);
+        let mut out = Vec::with_capacity(records.len() * m as usize);
+        out.extend_from_slice(records);
+        for r in records {
+            for copy in 1..m {
+                let mut rng = DetRng::from_keys(
+                    self.seed,
+                    &[
+                        TAG_SURGE,
+                        u64::from(r.loc.0),
+                        u64::from(r.p24.block()),
+                        u64::from(r.mobile),
+                        r.at.0,
+                        u64::from(copy),
+                    ],
+                );
+                let mut dup = *r;
+                // ±10% jitter: distinct samples, same latency regime,
+                // so surge copies never flip a quartet's verdict band.
+                dup.rtt_ms *= rng.range_f64(0.9, 1.1);
+                out.push(dup);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use blameit_topology::{CloudLocId, Prefix24};
+
+    fn rec(loc: u16, block: u32, at: u64, rtt: f64) -> RttRecord {
+        RttRecord {
+            loc: CloudLocId(loc),
+            p24: Prefix24::from_block(block),
+            mobile: false,
+            at: SimTime(at),
+            rtt_ms: rtt,
+        }
+    }
+
+    #[test]
+    fn outside_window_is_identity() {
+        let plan = SurgePlan::single(TimeBucket(10), TimeBucket(12), 10, 7);
+        let recs = [rec(0, 1, 100, 40.0), rec(1, 2, 101, 55.0)];
+        assert_eq!(plan.multiplier_at(TimeBucket(9)), 1);
+        assert_eq!(plan.amplify(TimeBucket(9), &recs), recs.to_vec());
+    }
+
+    #[test]
+    fn inside_window_multiplies_volume_with_bounded_jitter() {
+        let plan = SurgePlan::single(TimeBucket(10), TimeBucket(12), 10, 7);
+        let recs = [rec(0, 1, 3000, 40.0), rec(1, 2, 3001, 55.0)];
+        let out = plan.amplify(TimeBucket(10), &recs);
+        assert_eq!(out.len(), 20);
+        // Originals first, untouched.
+        assert_eq!(&out[..2], &recs[..]);
+        for d in &out[2..] {
+            let base = if d.loc == CloudLocId(0) { 40.0 } else { 55.0 };
+            assert!((d.rtt_ms / base - 1.0).abs() <= 0.1 + 1e-12);
+            assert!(d.at == SimTime(3000) || d.at == SimTime(3001));
+        }
+    }
+
+    #[test]
+    fn amplification_is_deterministic_and_batching_independent() {
+        let plan = SurgePlan::single(TimeBucket(0), TimeBucket(100), 4, 99);
+        let recs: Vec<RttRecord> = (0..8)
+            .map(|i| rec(i % 3, i as u32, 500 + u64::from(i), 30.0 + f64::from(i)))
+            .collect();
+        let whole = plan.amplify(TimeBucket(1), &recs);
+        assert_eq!(whole, plan.amplify(TimeBucket(1), &recs));
+        // Splitting the stream and amplifying the halves yields the
+        // same multiset of copies (same per-record jitter).
+        let mut split = plan.amplify(TimeBucket(1), &recs[..4]);
+        split.extend(plan.amplify(TimeBucket(1), &recs[4..]));
+        let key = |r: &RttRecord| (r.loc.0, r.p24.block(), r.at.0, r.rtt_ms.to_bits());
+        let mut a: Vec<_> = whole.iter().map(key).collect();
+        let mut b: Vec<_> = split.iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn later_windows_win_overlaps() {
+        let plan = SurgePlan {
+            windows: vec![
+                SurgeWindow {
+                    start: TimeBucket(0),
+                    end: TimeBucket(10),
+                    multiplier: 2,
+                },
+                SurgeWindow {
+                    start: TimeBucket(5),
+                    end: TimeBucket(10),
+                    multiplier: 6,
+                },
+            ],
+            seed: 1,
+        };
+        assert_eq!(plan.multiplier_at(TimeBucket(4)), 2);
+        assert_eq!(plan.multiplier_at(TimeBucket(7)), 6);
+        assert_eq!(plan.multiplier_at(TimeBucket(11)), 1);
+    }
+}

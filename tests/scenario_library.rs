@@ -150,6 +150,7 @@ scenario_suite! {
     degraded_stale_baseline => "degraded-stale-baseline",
     degraded_truncated_probe => "degraded-truncated-probe",
     flash_crowd => "flash-crowd",
+    ingest_surge_overload => "ingest-surge-overload",
     mobile_evening_congestion => "mobile-evening-congestion",
     multi_as_middle_failure => "multi-as-middle-failure",
     regional_cable_cut => "regional-cable-cut",
