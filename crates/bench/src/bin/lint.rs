@@ -1,0 +1,106 @@
+//! Lint-pipeline benchmark: cold vs warm analysis of the whole tree.
+//!
+//! The interprocedural upgrade moved `blameit-lint` from a per-file
+//! token scan to lex + rules + item parse + call graph + effect
+//! propagation over every workspace source. The per-file layer is
+//! cached on a content hash, so the steady-state cost a developer pays
+//! per run is the *warm* path: read + hash every file, hit the cache,
+//! then rebuild the graph and propagate. This bench times both paths
+//! with the same min-over-reps estimator as `BENCH_ingest.json` and
+//! writes `BENCH_lint.json` for CI to archive; the cache contract
+//! (warm ≥ 2x faster than cold) is asserted here, where a regression
+//! names the numbers instead of just failing a threshold.
+
+use blameit_bench::{fmt, json::Json, Args};
+use blameit_lint::WsOptions;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let reps = args.u64("reps", 5).max(1) as usize;
+    let root = PathBuf::from(".");
+
+    fmt::banner(
+        "lint",
+        "Whole-workspace static analysis: cold vs warm cache",
+    );
+
+    let cache_file = root.join("target/blameit-lint/bench.cache");
+    let cold_opts = WsOptions {
+        cache_file: Some(cache_file.clone()),
+    };
+
+    // Minimum across reps: the noise-robust estimator for a shared
+    // host (see pipeline.rs). Cold deletes the cache first; warm runs
+    // immediately after a populating pass.
+    let mut cold_secs = f64::INFINITY;
+    let mut warm_secs = f64::INFINITY;
+    let mut files = 0usize;
+    let mut violations = 0usize;
+    let mut suppressed = 0usize;
+    let mut nodes = 0usize;
+    let mut edges = 0usize;
+    for _ in 0..reps {
+        let _ = std::fs::remove_file(&cache_file);
+        let started = Instant::now();
+        let ws = blameit_lint::analyze_workspace(&root, &cold_opts).expect("cold analysis");
+        let report = ws.report();
+        cold_secs = cold_secs.min(started.elapsed().as_secs_f64());
+        assert_eq!(ws.cache_stats.0, 0, "cold run must miss everything");
+        files = ws.files.len();
+        violations = report.diagnostics.len();
+        suppressed = report.suppressed.len();
+        nodes = ws.graph.nodes.len();
+        edges = ws.graph.edges.len();
+
+        let started = Instant::now();
+        let ws = blameit_lint::analyze_workspace(&root, &cold_opts).expect("warm analysis");
+        let report = ws.report();
+        warm_secs = warm_secs.min(started.elapsed().as_secs_f64());
+        assert_eq!(ws.cache_stats.1, 0, "warm run must hit everything");
+        assert_eq!(
+            report.diagnostics.len(),
+            violations,
+            "cached analysis must reproduce the cold report"
+        );
+    }
+    let _ = std::fs::remove_file(&cache_file);
+
+    let speedup = cold_secs / warm_secs.max(1e-12);
+    println!(
+        "  files={files} graph: {nodes} fns, {edges} edges; report: {violations} violation(s), {suppressed} suppressed"
+    );
+    println!(
+        "  cold: {:.4}s  ({:.1} files/ms)",
+        cold_secs,
+        files as f64 / (cold_secs * 1e3)
+    );
+    println!(
+        "  warm: {:.4}s  ({:.1} files/ms)",
+        warm_secs,
+        files as f64 / (warm_secs * 1e3)
+    );
+    println!("  speedup: {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "cache contract broken: warm ({warm_secs:.4}s) must be >= 2x faster than cold ({cold_secs:.4}s)"
+    );
+
+    let out = Json::obj()
+        .field("experiment", "lint")
+        .field("reps", reps)
+        .field("files", files)
+        .field("graph_nodes", nodes)
+        .field("graph_edges", edges)
+        .field("violations", violations)
+        .field("suppressed", suppressed)
+        .field("cold_secs", cold_secs)
+        .field("warm_secs", warm_secs)
+        .field("cold_files_per_sec", files as f64 / cold_secs.max(1e-12))
+        .field("warm_files_per_sec", files as f64 / warm_secs.max(1e-12))
+        .field("speedup", speedup);
+    let path = "BENCH_lint.json";
+    std::fs::write(path, format!("{out}\n")).expect("write BENCH_lint.json");
+    println!("  wrote {path}");
+}

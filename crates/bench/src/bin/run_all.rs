@@ -11,6 +11,7 @@ use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "pipeline",
+    "lint",
     "table1",
     "table2",
     "fig2",

@@ -74,9 +74,9 @@ impl std::error::Error for CodecError {}
 /// CRC32 (IEEE, reflected) lookup table, built at compile time.
 const CRC_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
-    let mut i = 0;
+    let mut i = 0u32;
     while i < 256 {
-        let mut c = i as u32;
+        let mut c = i;
         let mut k = 0;
         while k < 8 {
             c = if c & 1 != 0 {
@@ -87,7 +87,7 @@ const CRC_TABLE: [u32; 256] = {
             k += 1;
         }
         // lint:allow(panic-in-decode): const-eval table build, i ranges over 0..256 by construction — cannot see runtime input
-        table[i] = c;
+        table[i as usize] = c;
         i += 1;
     }
     table
@@ -98,6 +98,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
         // lint:allow(panic-in-decode): index is masked to 0..=255 and CRC_TABLE has 256 entries — infallible for any input byte
+        // lint:allow(as-cast-truncation): b is a u8; u8 → u32 widens, nothing to truncate
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -162,6 +163,7 @@ impl ByteWriter {
 
     /// Appends a bool as one byte.
     pub fn put_bool(&mut self, v: bool) {
+        // lint:allow(as-cast-truncation): bool is 0 or 1; no wider value exists to lose
         self.put_u8(v as u8);
     }
 

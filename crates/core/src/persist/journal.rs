@@ -62,6 +62,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// The digest journaled for a tick: a hash of its canonical transcript
 /// rendering, so replay verification checks the *entire* observable
 /// output, not a summary of it.
+// lint:allow(transitive-effect): transcript rendering unwraps fmt::Write into a String, which is infallible
 pub fn tick_digest(out: &TickOutput) -> u64 {
     fnv1a64(render_tick_transcript(std::slice::from_ref(out)).as_bytes())
 }

@@ -130,6 +130,7 @@ impl SnapshotCounters {
     /// Chaos counters go through `counter_with`, which registers
     /// zero-valued instruments when no chaos backend ever attached —
     /// capture therefore never misses them.
+    // lint:allow(transitive-effect): shed labels are drawn from shed_reason::ALL itself; the lookup expect cannot fire
     fn capture(engine: &BlameItEngine) -> SnapshotCounters {
         let m = &engine.metrics;
         SnapshotCounters {
@@ -147,6 +148,7 @@ impl SnapshotCounters {
     /// Seeds the engine's registry counters with the persisted values.
     /// A `ChaosBackend::with_registry` sharing this registry picks the
     /// same `Arc`s up, so its mirrored counters continue from here.
+    // lint:allow(transitive-effect): shed labels are drawn from shed_reason::ALL itself; the lookup expect cannot fire
     fn install(&self, engine: &BlameItEngine) {
         let m = &engine.metrics;
         for (r, v) in UnlocalizedReason::ALL.into_iter().zip(self.degraded) {
@@ -170,6 +172,7 @@ impl SnapshotState {
     /// (seed, tick width) differs from the engine's configuration —
     /// replaying another identity's journal would silently diverge.
     /// Returns the snapshot's `ticks_done`.
+    // lint:allow(transitive-effect): flight-recorder lock().expect only propagates a *prior* panic (poisoned mutex); it cannot originate one
     pub fn apply(self, engine: &mut BlameItEngine) -> Result<u64, PersistError> {
         if engine.cfg.seed != self.seed {
             return Err(PersistError::ConfigMismatch(format!(
@@ -213,6 +216,7 @@ impl SnapshotState {
 impl SnapshotState {
     /// Captures (clones) the engine's durable state after `ticks_done`
     /// completed ticks.
+    // lint:allow(transitive-effect): flight-recorder lock().expect only propagates a *prior* panic (poisoned mutex); it cannot originate one
     pub(crate) fn capture(engine: &BlameItEngine, ticks_done: u64) -> SnapshotState {
         SnapshotState {
             seed: engine.cfg.seed,
@@ -297,6 +301,7 @@ pub fn encode(engine: &BlameItEngine, ticks_done: u64) -> Vec<u8> {
 /// Decodes a snapshot. Errors (never panics) on any corruption:
 /// preamble flips hit value checks, everything after hits a section
 /// CRC before its payload is even parsed.
+// lint:allow(transitive-effect): Prefix24::from_block is fed by get_block, which range-checks to 24 bits first — its assert cannot fire
 pub fn decode(bytes: &[u8]) -> Result<SnapshotState, CodecError> {
     let mut r = read_preamble(bytes, KIND_SNAPSHOT)?;
     let expect = [
@@ -495,6 +500,7 @@ fn put_middle_key(w: &mut ByteWriter, k: &MiddleKey) {
     }
 }
 
+// lint:allow(transitive-effect): IpPrefix::new is guarded by the explicit `len > 32` check above the call — its assert cannot fire
 fn get_middle_key(r: &mut ByteReader<'_>) -> Result<MiddleKey, CodecError> {
     match r.u8()? {
         0 => Ok(MiddleKey::Path(PathId(r.u32()?))),

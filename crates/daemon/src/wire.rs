@@ -112,6 +112,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Batch { batch } => {
             w.put_u8(KIND_BATCH);
             w.put_u32(batch.bucket.0);
+            // lint:allow(as-cast-truncation): a batch near u32::MAX keys is undecodable anyway — write_frame rejects past the 64 MiB frame cap (~8M keys)
             w.put_u32(batch.keys.len() as u32);
             for &k in &batch.keys {
                 w.put_u64(k);
@@ -143,6 +144,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Err { msg } => {
             w.put_u8(KIND_ERR);
             let b = msg.as_bytes();
+            // lint:allow(as-cast-truncation): error strings are short format! output; frames past the 64 MiB cap are rejected by write_frame
             w.put_u32(b.len() as u32);
             w.put_bytes(b);
         }
@@ -223,7 +225,19 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
 /// Writes one length-prefixed frame.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     let payload = encode_frame(frame);
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME_BYTES)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                    payload.len()
+                ),
+            )
+        })?;
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(&payload)?;
     w.flush()
 }

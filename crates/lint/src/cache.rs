@@ -1,0 +1,490 @@
+//! Per-file analysis cache.
+//!
+//! A file's `FileAnalysis` (raw diagnostics, effect sites, allow
+//! annotations, parsed items) is a pure function of its content, so it
+//! is cached keyed on an FNV-1a content hash — warm runs skip the
+//! lexer, all rules, and the item parser, and only the cross-file
+//! phases (call graph, propagation, suppression, audit) re-run. The
+//! config is deliberately *not* part of the key: suppression is
+//! resolved after analysis, so editing `lint.toml` never invalidates a
+//! single entry.
+//!
+//! The format is a line-oriented tab-separated text file (one record
+//! type per line, `\t`/`\n`/`\\` escaped) with a fingerprint header;
+//! any mismatch, truncation, or hand-edit parses as a miss, never a
+//! panic or a wrong analysis. Bump [`FINGERPRINT`] whenever rules or
+//! the analysis shape change.
+
+use crate::lexer::AllowComment;
+use crate::parse::{CallKind, CallSite, FnItem, UseAlias};
+use crate::FileAnalysis;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Bump on any rule or analysis-shape change to drop stale caches.
+pub const FINGERPRINT: &str = "blameit-lint-cache v1 rules=11+2";
+
+/// FNV-1a 64-bit over raw bytes: tiny, dependency-free, and stable
+/// across platforms — collisions would need an adversarial source
+/// file, at which point the author can also just delete the cache.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Loaded cache plus run statistics.
+#[derive(Debug, Default)]
+pub struct Cache {
+    path: PathBuf,
+    entries: BTreeMap<String, (u64, FileAnalysis)>,
+    dirty: bool,
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl Cache {
+    /// Loads the cache file; a missing, unreadable, or mismatched file
+    /// yields an empty cache.
+    pub fn load(path: &Path) -> Cache {
+        let mut cache = Cache {
+            path: path.to_path_buf(),
+            ..Cache::default()
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return cache;
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(FINGERPRINT) {
+            return cache;
+        }
+        let mut cur: Option<(String, u64, FileAnalysis)> = None;
+        let mut bad = false;
+        for line in lines {
+            let fields: Vec<String> = match split_fields(line) {
+                Some(f) => f,
+                None => {
+                    bad = true;
+                    cur = None;
+                    continue;
+                }
+            };
+            let tag = fields.first().map(|s| s.as_str()).unwrap_or("");
+            if tag == "F" {
+                if let Some((rel, hash, fa)) = cur.take() {
+                    if !bad {
+                        cache.entries.insert(rel, (hash, fa));
+                    }
+                }
+                bad = false;
+                if fields.len() == 3 {
+                    if let Ok(hash) = u64::from_str_radix(&fields[2], 16) {
+                        let fa = FileAnalysis {
+                            path: fields[1].clone(),
+                            ..FileAnalysis::default()
+                        };
+                        cur = Some((fields[1].clone(), hash, fa));
+                        continue;
+                    }
+                }
+                bad = true;
+                continue;
+            }
+            let Some((_, _, fa)) = cur.as_mut() else {
+                continue;
+            };
+            if !apply_record(fa, tag, &fields) {
+                bad = true;
+                cur = None;
+            }
+        }
+        if let Some((rel, hash, fa)) = cur.take() {
+            if !bad {
+                cache.entries.insert(rel, (hash, fa));
+            }
+        }
+        cache
+    }
+
+    /// A hit returns a clone of the cached analysis.
+    pub fn get(&mut self, rel: &str, hash: u64) -> Option<FileAnalysis> {
+        match self.entries.get(rel) {
+            Some((h, fa)) if *h == hash => {
+                self.hits += 1;
+                Some(fa.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub fn put(&mut self, rel: &str, hash: u64, fa: &FileAnalysis) {
+        self.entries.insert(rel.to_string(), (hash, fa.clone()));
+        self.dirty = true;
+    }
+
+    /// Writes the cache back if anything changed. Failures (read-only
+    /// checkout, missing parent) are reported but non-fatal — the next
+    /// run is merely cold again.
+    pub fn save(&self) -> Result<(), String> {
+        if !self.dirty {
+            return Ok(());
+        }
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("{}: create failed: {e}", parent.display()))?;
+        }
+        let mut out = String::from(FINGERPRINT);
+        out.push('\n');
+        for (rel, (hash, fa)) in &self.entries {
+            serialize_analysis(&mut out, rel, *hash, fa);
+        }
+        std::fs::write(&self.path, out)
+            .map_err(|e| format!("{}: write failed: {e}", self.path.display()))
+    }
+}
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Splits a record line into unescaped tab-separated fields.
+fn split_fields(line: &str) -> Option<Vec<String>> {
+    Some(line.split('\t').map(unesc).collect())
+}
+
+fn push_record(out: &mut String, fields: &[&str]) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push('\t');
+        }
+        esc(out, f);
+    }
+    out.push('\n');
+}
+
+/// Serializes one file's analysis. Record types: `F` header, `D` raw
+/// diagnostic, `S` effect site, `A` allow annotation (+ target line),
+/// `N` fn item (followed by its `C` call sites), `U` use alias.
+pub fn serialize_analysis(out: &mut String, rel: &str, hash: u64, fa: &FileAnalysis) {
+    push_record(out, &["F", rel, &format!("{hash:016x}")]);
+    for d in &fa.diags {
+        push_record(
+            out,
+            &[
+                "D",
+                d.rule,
+                &d.line.to_string(),
+                &d.col.to_string(),
+                &d.message,
+                &d.snippet,
+            ],
+        );
+    }
+    for s in &fa.sites {
+        push_record(
+            out,
+            &[
+                "S",
+                s.kind.as_str(),
+                &s.line.to_string(),
+                &s.col.to_string(),
+                &s.what,
+            ],
+        );
+    }
+    for (ai, a) in fa.allows.iter().enumerate() {
+        push_record(
+            out,
+            &[
+                "A",
+                &a.rule,
+                &a.line.to_string(),
+                &fa.allow_targets[ai].to_string(),
+                &a.reason,
+            ],
+        );
+    }
+    for (k, f) in fa.items.fns.iter().enumerate() {
+        let (lo, hi) = fa.fn_lines[k];
+        push_record(
+            out,
+            &[
+                "N",
+                &f.name,
+                &f.self_ty,
+                &f.module,
+                &f.line.to_string(),
+                &f.col.to_string(),
+                if f.in_test { "1" } else { "0" },
+                &lo.to_string(),
+                &hi.to_string(),
+                &fa.fn_sigs[k],
+            ],
+        );
+        for c in &f.calls {
+            push_record(
+                out,
+                &[
+                    "C",
+                    &c.name,
+                    &c.qualifier,
+                    c.kind.as_str(),
+                    &c.line.to_string(),
+                    &c.col.to_string(),
+                ],
+            );
+        }
+    }
+    for u in &fa.items.aliases {
+        push_record(out, &["U", &u.alias, &u.target]);
+    }
+}
+
+/// Applies one record to the analysis under construction; false on any
+/// malformed field (the caller then discards the whole entry).
+fn apply_record(fa: &mut FileAnalysis, tag: &str, fields: &[String]) -> bool {
+    let num = |s: &String| s.parse::<u32>().ok();
+    match tag {
+        "D" => {
+            if fields.len() != 6 {
+                return false;
+            }
+            let (Some(rule), Some(line), Some(col)) = (
+                crate::intern_rule(&fields[1]),
+                num(&fields[2]),
+                num(&fields[3]),
+            ) else {
+                return false;
+            };
+            fa.diags.push(crate::diag::Diagnostic {
+                rule,
+                path: fa.path.clone(),
+                line,
+                col,
+                message: fields[4].clone(),
+                snippet: fields[5].clone(),
+                witness: Vec::new(),
+            });
+            true
+        }
+        "S" => {
+            if fields.len() != 5 {
+                return false;
+            }
+            let (Some(kind), Some(line), Some(col)) = (
+                crate::effects::EffectKind::parse(&fields[1]),
+                num(&fields[2]),
+                num(&fields[3]),
+            ) else {
+                return false;
+            };
+            fa.sites.push(crate::effects::EffectSite {
+                kind,
+                line,
+                col,
+                what: fields[4].clone(),
+            });
+            true
+        }
+        "A" => {
+            if fields.len() != 5 {
+                return false;
+            }
+            let (Some(line), Some(target)) = (num(&fields[2]), num(&fields[3])) else {
+                return false;
+            };
+            fa.allows.push(AllowComment {
+                rule: fields[1].clone(),
+                reason: fields[4].clone(),
+                line,
+            });
+            fa.allow_targets.push(target);
+            true
+        }
+        "N" => {
+            if fields.len() != 10 {
+                return false;
+            }
+            let (Some(line), Some(col), Some(lo), Some(hi)) = (
+                num(&fields[4]),
+                num(&fields[5]),
+                num(&fields[7]),
+                num(&fields[8]),
+            ) else {
+                return false;
+            };
+            fa.items.fns.push(FnItem {
+                name: fields[1].clone(),
+                self_ty: fields[2].clone(),
+                module: fields[3].clone(),
+                line,
+                col,
+                body: (0, 0), // token extents are not needed post-analysis
+                in_test: fields[6] == "1",
+                calls: Vec::new(),
+            });
+            fa.fn_lines.push((lo, hi));
+            fa.fn_sigs.push(fields[9].clone());
+            true
+        }
+        "C" => {
+            if fields.len() != 6 {
+                return false;
+            }
+            let (Some(kind), Some(line), Some(col)) = (
+                CallKind::parse(&fields[3]),
+                num(&fields[4]),
+                num(&fields[5]),
+            ) else {
+                return false;
+            };
+            let Some(f) = fa.items.fns.last_mut() else {
+                return false;
+            };
+            f.calls.push(CallSite {
+                name: fields[1].clone(),
+                qualifier: fields[2].clone(),
+                kind,
+                line,
+                col,
+            });
+            true
+        }
+        "U" => {
+            if fields.len() != 3 {
+                return false;
+            }
+            fa.items.aliases.push(UseAlias {
+                alias: fields[1].clone(),
+                target: fields[2].clone(),
+            });
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_source;
+
+    const SRC: &str = "\
+use std::time::Instant;
+// lint:allow(wall-clock): timing shim for the harness
+fn stamp() -> std::time::Instant { Instant::now() }
+fn caller() { stamp(); helper::go(); }
+";
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let fa = analyze_source("crates/core/src/x.rs", SRC);
+        let hash = fnv64(SRC.as_bytes());
+        let mut text = String::from(FINGERPRINT);
+        text.push('\n');
+        serialize_analysis(&mut text, "crates/core/src/x.rs", hash, &fa);
+        let dir = std::env::temp_dir().join("blameit-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.cache");
+        std::fs::write(&path, &text).unwrap();
+        let mut cache = Cache::load(&path);
+        let back = cache.get("crates/core/src/x.rs", hash).expect("hit");
+        assert_eq!(back.path, fa.path);
+        assert_eq!(back.sites, fa.sites);
+        assert_eq!(back.allow_targets, fa.allow_targets);
+        assert_eq!(back.fn_lines, fa.fn_lines);
+        assert_eq!(back.fn_sigs, fa.fn_sigs);
+        assert_eq!(back.items.aliases, fa.items.aliases);
+        assert_eq!(back.items.fns.len(), fa.items.fns.len());
+        for (a, b) in back.items.fns.iter().zip(&fa.items.fns) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.calls, b.calls);
+            assert_eq!(a.in_test, b.in_test);
+        }
+        assert_eq!(back.diags.len(), fa.diags.len());
+        for (a, b) in back.diags.iter().zip(&fa.diags) {
+            assert_eq!((a.rule, a.line, a.col), (b.rule, b.line, b.col));
+            assert_eq!(a.message, b.message);
+        }
+        assert_eq!(cache.hits, 1);
+    }
+
+    #[test]
+    fn stale_hash_and_corrupt_lines_miss_without_panic() {
+        let fa = analyze_source("crates/core/src/x.rs", SRC);
+        let hash = fnv64(SRC.as_bytes());
+        let mut text = String::from(FINGERPRINT);
+        text.push('\n');
+        serialize_analysis(&mut text, "crates/core/src/x.rs", hash, &fa);
+        let dir = std::env::temp_dir().join("blameit-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.cache");
+
+        // Content changed → hash mismatch → miss.
+        std::fs::write(&path, &text).unwrap();
+        let mut cache = Cache::load(&path);
+        assert!(cache.get("crates/core/src/x.rs", hash ^ 1).is_none());
+
+        // Truncations and garbage at every prefix parse as misses.
+        for cut in (0..text.len()).step_by(37) {
+            let mut broken = text[..cut].to_string();
+            broken.push_str("\nX\tgarbage\nD\tnot-a-rule\tx\ty\tz\tw\n");
+            std::fs::write(&path, &broken).unwrap();
+            let _ = Cache::load(&path);
+        }
+
+        // Wrong fingerprint → empty cache.
+        std::fs::write(&path, format!("other-fingerprint\n{text}")).unwrap();
+        let mut cache = Cache::load(&path);
+        assert!(cache.get("crates/core/src/x.rs", hash).is_none());
+    }
+
+    #[test]
+    fn save_and_reload() {
+        let fa = analyze_source("crates/core/src/y.rs", SRC);
+        let hash = fnv64(SRC.as_bytes());
+        let dir = std::env::temp_dir().join("blameit-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("saved.cache");
+        let _ = std::fs::remove_file(&path);
+        let mut cache = Cache::load(&path);
+        cache.put("crates/core/src/y.rs", hash, &fa);
+        cache.save().unwrap();
+        let mut re = Cache::load(&path);
+        assert!(re.get("crates/core/src/y.rs", hash).is_some());
+    }
+}

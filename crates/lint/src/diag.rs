@@ -10,6 +10,10 @@ pub struct Diagnostic {
     pub message: String,
     /// The offending source line, trimmed, for context in reports.
     pub snippet: String,
+    /// For interprocedural findings: the call chain from the flagged
+    /// function to the effect site, one hop per entry. Empty for plain
+    /// lexical rules.
+    pub witness: Vec<String>,
 }
 
 /// A violation that was suppressed, and why.
@@ -55,6 +59,9 @@ impl Report {
                 "{}:{}:{}: [{}] {}\n    {}\n",
                 d.path, d.line, d.col, d.rule, d.message, d.snippet
             ));
+            for hop in &d.witness {
+                out.push_str(&format!("      {hop}\n"));
+            }
         }
         out.push_str(&format!(
             "blameit-lint: {} violation(s), {} suppressed, {} file(s) scanned\n",
@@ -81,7 +88,14 @@ impl Report {
             push_json_str(&mut out, &d.message);
             out.push_str(", \"snippet\": ");
             push_json_str(&mut out, &d.snippet);
-            out.push('}');
+            out.push_str(", \"witness\": [");
+            for (k, hop) in d.witness.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                push_json_str(&mut out, hop);
+            }
+            out.push_str("]}");
         }
         out.push_str("\n  ],\n  \"suppressed\": [");
         for (i, s) in self.suppressed.iter().enumerate() {
@@ -140,6 +154,7 @@ mod tests {
                 col: 7,
                 message: "say \"no\"".into(),
                 snippet: "x".into(),
+                witness: vec!["a -> b".into()],
             }],
             suppressed: vec![],
             files_scanned: 1,
@@ -149,6 +164,8 @@ mod tests {
         assert!(j.contains("\"violations\": 1"));
         assert!(j.contains("a\\\\b.rs"));
         assert!(j.contains("say \\\"no\\\""));
+        assert!(j.contains("\"witness\": [\"a -> b\"]"));
+        assert!(r.render_text().contains("      a -> b\n"));
         assert!(!r.ok());
     }
 
@@ -161,6 +178,7 @@ mod tests {
             col: 1,
             message: String::new(),
             snippet: String::new(),
+            witness: Vec::new(),
         };
         let mut r = Report {
             diagnostics: vec![d("b.rs", 1), d("a.rs", 9), d("a.rs", 2)],

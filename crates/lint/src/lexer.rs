@@ -210,10 +210,21 @@ impl Lexer {
     /// Extracts a `lint:allow(<rule>): <reason>` annotation from one
     /// line of comment text, if present.
     fn scan_allow(&mut self, text: &str, line: u32) {
-        let Some(at) = text.find("lint:allow(") else {
+        let mut t = text.trim_start();
+        if let Some(body) = t.strip_prefix("//") {
+            // Doc comments (`///`, `//!`) only *mention* the syntax in
+            // prose; treating those as annotations would make the
+            // suppression auditor flag every doc mention as stale.
+            if body.starts_with('/') || body.starts_with('!') {
+                return;
+            }
+            t = body.trim_start();
+        }
+        // A real escape starts its comment with `lint:allow(`;
+        // mid-sentence mentions are not annotations.
+        let Some(rest) = t.strip_prefix("lint:allow(") else {
             return;
         };
-        let rest = &text[at + "lint:allow(".len()..];
         let Some(close) = rest.find(')') else {
             return;
         };
@@ -496,6 +507,21 @@ fn real() { foo(); }
                 line: 1,
             }]
         );
+    }
+
+    #[test]
+    fn doc_mentions_are_not_annotations() {
+        let src = "\
+/// A `lint:allow(wall-clock): reason` mention in docs.
+//! syntax: `lint:allow(socket-io): why`
+// the escape hatch is lint:allow(sip-hasher): mid-sentence
+// lint:allow(float-order): the only real one here
+fn f() {}
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1, "{:?}", lexed.allows);
+        assert_eq!(lexed.allows[0].rule, "float-order");
+        assert_eq!(lexed.allows[0].line, 4);
     }
 
     #[test]

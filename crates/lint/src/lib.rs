@@ -10,26 +10,91 @@
 //! hazard classes a compile-gate instead. See `rules` for the rule
 //! set and `docs/ARCHITECTURE.md` for the rule ↔ dynamic-suite table.
 //!
+//! Since the interprocedural upgrade the pipeline has two layers:
+//!
+//! 1. **analyze** (per file, cacheable): lex, run every lexical rule
+//!    pre-suppression, extract direct effect sites, and parse items
+//!    (`fn`s, `impl` blocks, `use` aliases, call sites). The result is
+//!    a pure function of file content — see `cache`.
+//! 2. **resolve** (whole workspace): apply suppression (annotations
+//!    first, then `lint.toml`), build the call graph (`callgraph`),
+//!    propagate effects caller-ward with witness paths (`effects`),
+//!    and audit every suppression for staleness (`audit`).
+//!
 //! The crate is dependency-free by design: it carries its own small
 //! Rust lexer (`lexer`) instead of `syn`, so linting the workspace
 //! costs one token pass per file and no build-dependency closure.
 
+pub mod audit;
+pub mod cache;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
+pub mod effects;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 use config::Config;
-use diag::{Report, Suppressed};
+use diag::{Diagnostic, Report, Suppressed};
+use lexer::AllowComment;
+use parse::FileItems;
 use rules::FileCtx;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-/// Lints one file's source text under its workspace-relative `path`,
-/// appending into `report`. `path` decides rule scoping (e.g.
-/// `panic-in-decode` only fires in persist decode files), which is why
-/// fixtures are linted under *virtual* paths.
-pub fn lint_source(path: &str, src: &str, cfg: &Config, report: &mut Report) {
+/// Rule ID of the interprocedural effect pass.
+pub const TRANSITIVE_EFFECT: &str = "transitive-effect";
+/// Rule ID of the suppression auditor.
+pub const STALE_SUPPRESSION: &str = "stale-suppression";
+
+/// Maps a rule/pass ID to its `&'static str` form (diagnostics store
+/// rule IDs as statics); `None` for unknown IDs, which makes stale
+/// cache entries a miss instead of a panic.
+pub fn intern_rule(id: &str) -> Option<&'static str> {
+    if id == TRANSITIVE_EFFECT {
+        return Some(TRANSITIVE_EFFECT);
+    }
+    if id == STALE_SUPPRESSION {
+        return Some(STALE_SUPPRESSION);
+    }
+    rules::all_rules()
+        .into_iter()
+        .map(|r| r.id())
+        .find(|r| *r == id)
+}
+
+/// Everything the per-file analysis layer produces: raw (pre-
+/// suppression) rule findings, direct effect sites, allow annotations
+/// with their target lines, and the parsed items for the call graph.
+/// A pure function of (path, content) — cacheable on a content hash.
+#[derive(Debug, Default, Clone)]
+pub struct FileAnalysis {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Raw lexical-rule findings, before any suppression.
+    pub diags: Vec<Diagnostic>,
+    /// Direct effect sites, independent of rule path scoping.
+    pub sites: Vec<effects::EffectSite>,
+    /// `lint:allow` annotations found in comments.
+    pub allows: Vec<AllowComment>,
+    /// Per annotation: the last line it covers (the next line bearing
+    /// a token, for own-line comments above a statement).
+    pub allow_targets: Vec<u32>,
+    /// Parsed `fn` items, call sites, and `use` aliases.
+    pub items: FileItems,
+    /// Per fn (parallel to `items.fns`): body line range, inclusive.
+    pub fn_lines: Vec<(u32, u32)>,
+    /// Per fn: the trimmed source line of the `fn` keyword, used as
+    /// the snippet on transitive findings.
+    pub fn_sigs: Vec<String>,
+}
+
+/// Analyzes one file's source text under its workspace-relative
+/// `path`. `path` decides rule scoping (e.g. `panic-in-decode` only
+/// fires in persist decode files), which is why fixtures are analyzed
+/// under *virtual* paths.
+pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
     let lexed = lexer::lex(src);
     let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
     let ctx = FileCtx {
@@ -37,52 +102,150 @@ pub fn lint_source(path: &str, src: &str, cfg: &Config, report: &mut Report) {
         toks: &lexed.toks,
         lines: &lines,
     };
-    let mut raw = Vec::new();
+    let mut diags = Vec::new();
     for rule in rules::all_rules() {
-        rule.check(&ctx, &mut raw);
+        rule.check(&ctx, &mut diags);
     }
-    if raw.is_empty() {
-        return;
-    }
+    let sites = effects::direct_sites(&ctx);
+    let items = parse::parse_items(&lexed.toks);
 
-    // Lines each allow-annotation applies to: its own line (trailing
-    // comment) and the next line that has code on it (own-line comment
-    // above the statement).
     let token_lines: BTreeSet<u32> = lexed.toks.iter().map(|t| t.line).collect();
-    let targets = |allow_line: u32| -> [u32; 2] {
-        let next = token_lines
-            .range(allow_line + 1..)
-            .next()
-            .copied()
-            .unwrap_or(allow_line);
-        [allow_line, next]
-    };
+    let allow_targets: Vec<u32> = lexed
+        .allows
+        .iter()
+        .map(|a| {
+            token_lines
+                .range(a.line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(a.line)
+        })
+        .collect();
 
-    'diags: for d in raw {
-        if cfg.allows(d.rule, path) {
-            report.suppressed.push(Suppressed {
-                rule: d.rule,
-                path: d.path,
-                line: d.line,
-                how: "config",
-                reason: String::new(),
-            });
-            continue;
+    let fn_lines: Vec<(u32, u32)> = items
+        .fns
+        .iter()
+        .map(|f| {
+            let (_, end) = f.body;
+            if end == 0 {
+                (f.line, f.line)
+            } else {
+                let hi = lexed
+                    .toks
+                    .get(end as usize)
+                    .map(|t| t.line)
+                    .unwrap_or(f.line);
+                (f.line, hi.max(f.line))
+            }
+        })
+        .collect();
+    let fn_sigs: Vec<String> = items
+        .fns
+        .iter()
+        .map(|f| {
+            lines
+                .get(f.line as usize - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    FileAnalysis {
+        path: path.to_string(),
+        diags,
+        sites,
+        allows: lexed.allows,
+        allow_targets,
+        items,
+        fn_lines,
+        fn_sigs,
+    }
+}
+
+/// How one raw finding at `(rule, line)` resolves against a file's
+/// annotations and the workspace config. Annotations are consulted
+/// first so the suppression audit attributes liveness to the most
+/// specific escape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Suppressed by `fa.allows[idx]`.
+    Annotation(usize),
+    /// Suppressed by this `lint.toml` prefix.
+    Config(String),
+    /// Not suppressed: a real violation.
+    Open,
+}
+
+/// Resolves one site. An annotation covers every line from its own
+/// down to the next token-bearing line (so a stack of comment-line
+/// annotations covers the statement below all of them).
+pub fn resolve_site(fa: &FileAnalysis, cfg: &Config, rule: &str, line: u32) -> Resolution {
+    for (ai, a) in fa.allows.iter().enumerate() {
+        if a.rule == rule && a.line <= line && line <= fa.allow_targets[ai].max(a.line) {
+            return Resolution::Annotation(ai);
         }
-        for a in &lexed.allows {
-            if a.rule == d.rule && targets(a.line).contains(&d.line) {
+    }
+    if let Some(prefix) = cfg.allowing_prefix(rule, &fa.path) {
+        return Resolution::Config(prefix.to_string());
+    }
+    Resolution::Open
+}
+
+/// Liveness ledger for the suppression audit: every annotation and
+/// config entry that suppressed (or absorbed) something this run.
+#[derive(Debug, Default)]
+pub struct Uses {
+    /// `(file index, allow index)` pairs.
+    pub annotations: BTreeSet<(usize, usize)>,
+    /// `(rule, prefix)` pairs.
+    pub config: BTreeSet<(String, String)>,
+}
+
+/// Resolves a batch of raw diagnostics from `fa` into `report`,
+/// recording usage in `uses`.
+fn resolve_into(
+    fa: &FileAnalysis,
+    fi: usize,
+    cfg: &Config,
+    diags: Vec<Diagnostic>,
+    report: &mut Report,
+    uses: &mut Uses,
+) {
+    for d in diags {
+        match resolve_site(fa, cfg, d.rule, d.line) {
+            Resolution::Annotation(ai) => {
+                uses.annotations.insert((fi, ai));
                 report.suppressed.push(Suppressed {
                     rule: d.rule,
                     path: d.path,
                     line: d.line,
                     how: "annotation",
-                    reason: a.reason.clone(),
+                    reason: fa.allows[ai].reason.clone(),
                 });
-                continue 'diags;
             }
+            Resolution::Config(prefix) => {
+                uses.config.insert((d.rule.to_string(), prefix));
+                report.suppressed.push(Suppressed {
+                    rule: d.rule,
+                    path: d.path,
+                    line: d.line,
+                    how: "config",
+                    reason: String::new(),
+                });
+            }
+            Resolution::Open => report.diagnostics.push(d),
         }
-        report.diagnostics.push(d);
     }
+}
+
+/// Lints one file's source text, appending into `report`. Lexical
+/// rules plus suppression only — the interprocedural passes need the
+/// whole workspace and run in [`run_workspace`].
+pub fn lint_source(path: &str, src: &str, cfg: &Config, report: &mut Report) {
+    let fa = analyze_source(path, src);
+    let diags = fa.diags.clone();
+    let mut uses = Uses::default();
+    resolve_into(&fa, 0, cfg, diags, report, &mut uses);
 }
 
 /// Collects the `.rs` files the workspace lint covers: everything under
@@ -118,20 +281,104 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lints the whole workspace rooted at `root`, reading `lint.toml` from
-/// the root if present.
-pub fn run_workspace(root: &Path) -> Result<Report, String> {
+/// Workspace-analysis options.
+#[derive(Debug, Default)]
+pub struct WsOptions {
+    /// Cache file for per-file analyses; `None` disables caching.
+    pub cache_file: Option<PathBuf>,
+}
+
+/// A fully analyzed workspace: per-file analyses, config, call graph,
+/// and propagated effects. [`Workspace::report`] renders the verdict;
+/// [`Workspace::effect_map_json`] the CI artifact.
+pub struct Workspace {
+    pub files: Vec<FileAnalysis>,
+    pub cfg: Config,
+    pub graph: callgraph::CallGraph,
+    pub taint: effects::Taint,
+    /// Cache statistics of this run: `(hits, misses)`; `(0, n)` cold.
+    pub cache_stats: (usize, usize),
+}
+
+/// Analyzes the whole workspace rooted at `root`, reading `lint.toml`
+/// from the root if present.
+pub fn analyze_workspace(root: &Path, opts: &WsOptions) -> Result<Workspace, String> {
     let cfg = load_config(root)?;
-    let mut report = Report::default();
+    let mut cache = opts.cache_file.as_deref().map(cache::Cache::load);
+    let mut files = Vec::new();
     for path in walk_workspace(root) {
         let rel = rel_path(root, &path);
         let src = std::fs::read_to_string(&path)
             .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
-        lint_source(&rel, &src, &cfg, &mut report);
-        report.files_scanned += 1;
+        let hash = cache::fnv64(src.as_bytes());
+        let fa = match cache.as_mut().and_then(|c| c.get(&rel, hash)) {
+            Some(hit) => hit,
+            None => {
+                let fa = analyze_source(&rel, &src);
+                if let Some(c) = cache.as_mut() {
+                    c.put(&rel, hash, &fa);
+                }
+                fa
+            }
+        };
+        files.push(fa);
     }
-    report.sort();
-    Ok(report)
+    let cache_stats = cache
+        .as_ref()
+        .map(|c| (c.hits, c.misses))
+        .unwrap_or((0, files.len()));
+    if let Some(c) = cache.as_ref() {
+        // Best-effort: a read-only checkout just stays cold.
+        let _ = c.save();
+    }
+
+    let parsed: Vec<(&str, &FileItems)> =
+        files.iter().map(|f| (f.path.as_str(), &f.items)).collect();
+    let graph = callgraph::CallGraph::build(&parsed);
+    let taint = effects::propagate(&files, &graph, &cfg);
+    Ok(Workspace {
+        files,
+        cfg,
+        graph,
+        taint,
+        cache_stats,
+    })
+}
+
+impl Workspace {
+    /// Resolves everything into the final report: lexical rules, the
+    /// transitive-effect pass, and the suppression audit.
+    pub fn report(&self) -> Report {
+        let mut report = Report {
+            files_scanned: self.files.len(),
+            ..Report::default()
+        };
+        let mut uses = Uses::default();
+        uses.annotations
+            .extend(self.taint.used_annotations.iter().copied());
+        uses.config.extend(self.taint.used_config.iter().cloned());
+
+        for (fi, fa) in self.files.iter().enumerate() {
+            resolve_into(fa, fi, &self.cfg, fa.diags.clone(), &mut report, &mut uses);
+        }
+        for (fi, d) in effects::findings(&self.files, &self.graph, &self.cfg, &self.taint) {
+            audit::resolve_pass_diag(&self.files[fi], fi, &self.cfg, d, &mut uses, &mut report);
+        }
+        audit::run(&self.files, &self.cfg, &mut uses, &mut report);
+        report.sort();
+        report
+    }
+
+    /// The machine-readable per-function effect map (CI artifact).
+    pub fn effect_map_json(&self) -> String {
+        effects::effect_map_json(&self.graph, &self.taint)
+    }
+}
+
+/// Lints the whole workspace rooted at `root` (no cache), reading
+/// `lint.toml` from the root if present.
+pub fn run_workspace(root: &Path) -> Result<Report, String> {
+    analyze_workspace(root, &WsOptions::default()).map(|ws| ws.report())
 }
 
 /// Loads `lint.toml` from `root`; a missing file means an empty config.
@@ -155,11 +402,13 @@ fn rel_path(root: &Path, path: &Path) -> String {
 pub fn fixture_virtual_path(rule_id: &str) -> String {
     match rule_id {
         "panic-in-decode" => "crates/core/src/persist/codec.rs".to_string(),
+        "as-cast-truncation" => "crates/daemon/src/wire.rs".to_string(),
+        "hash-iteration" => "crates/daemon/src/fixture_hash_iteration.rs".to_string(),
         _ => format!("crates/core/src/fixture_{}.rs", rule_id.replace('-', "_")),
     }
 }
 
-/// Outcome of checking one fixture file.
+/// Outcome of checking one fixture file (or pass fixture tree).
 #[derive(Debug)]
 pub struct FixtureResult {
     pub rule: String,
@@ -168,10 +417,39 @@ pub struct FixtureResult {
     pub detail: String,
 }
 
+fn fixture_result(
+    id: &str,
+    file: String,
+    kind: &str,
+    hits: usize,
+    suppressed: usize,
+) -> FixtureResult {
+    let (pass, detail) = match kind {
+        "bad" => (hits >= 1, format!("{hits} diagnostic(s), expected >= 1")),
+        "good" => (hits == 0, format!("{hits} diagnostic(s), expected 0")),
+        _ => (
+            hits == 0 && suppressed >= 1,
+            format!(
+                "{hits} diagnostic(s) (expected 0), {suppressed} reasoned suppression(s) (expected >= 1)"
+            ),
+        ),
+    };
+    FixtureResult {
+        rule: id.to_string(),
+        file,
+        pass,
+        detail,
+    }
+}
+
 /// Runs every rule's bad/good/allow fixtures under
 /// `crates/lint/tests/fixtures/<rule>/` and checks the contract:
 /// `bad.rs` trips the rule, `good.rs` is clean, `allow.rs` is clean
 /// *because* of annotations (suppressions present, reasons recorded).
+/// The two interprocedural passes check the same contract over
+/// bad/good/allow *mini-workspace trees* (each a root with its own
+/// `crates/` and optional `lint.toml`), since they need call graphs
+/// and configs, not single files.
 pub fn self_check(root: &Path) -> Result<Vec<FixtureResult>, String> {
     let cfg = Config::default(); // fixtures never consult lint.toml
     let mut results = Vec::new();
@@ -179,8 +457,8 @@ pub fn self_check(root: &Path) -> Result<Vec<FixtureResult>, String> {
         let id = rule.id();
         let dir = root.join("crates/lint/tests/fixtures").join(id);
         let vpath = fixture_virtual_path(id);
-        for kind in ["bad.rs", "good.rs", "allow.rs"] {
-            let fpath = dir.join(kind);
+        for kind in ["bad", "good", "allow"] {
+            let fpath = dir.join(format!("{kind}.rs"));
             let src = std::fs::read_to_string(&fpath)
                 .map_err(|e| format!("{}: read failed: {e}", fpath.display()))?;
             let mut report = Report::default();
@@ -191,25 +469,35 @@ pub fn self_check(root: &Path) -> Result<Vec<FixtureResult>, String> {
                 .iter()
                 .filter(|s| s.rule == id && s.how == "annotation" && !s.reason.is_empty())
                 .count();
-            let (pass, detail) = match kind {
-                "bad.rs" => (
-                    hits >= 1,
-                    format!("{hits} diagnostic(s), expected >= 1"),
-                ),
-                "good.rs" => (hits == 0, format!("{hits} diagnostic(s), expected 0")),
-                _ => (
-                    hits == 0 && suppressed >= 1,
-                    format!(
-                        "{hits} diagnostic(s) (expected 0), {suppressed} reasoned suppression(s) (expected >= 1)"
-                    ),
-                ),
-            };
-            results.push(FixtureResult {
-                rule: id.to_string(),
-                file: format!("{id}/{kind}"),
-                pass,
-                detail,
-            });
+            results.push(fixture_result(
+                id,
+                format!("{id}/{kind}.rs"),
+                kind,
+                hits,
+                suppressed,
+            ));
+        }
+    }
+    for id in [TRANSITIVE_EFFECT, STALE_SUPPRESSION] {
+        for kind in ["bad", "good", "allow"] {
+            let tree = root.join("crates/lint/tests/fixtures").join(id).join(kind);
+            let report = run_workspace(&tree).map_err(|e| format!("{id}/{kind}: {e}"))?;
+            if report.files_scanned == 0 {
+                return Err(format!("{id}/{kind}: fixture tree has no files"));
+            }
+            let hits = report.diagnostics.iter().filter(|d| d.rule == id).count();
+            let suppressed = report
+                .suppressed
+                .iter()
+                .filter(|s| s.rule == id && s.how == "annotation" && !s.reason.is_empty())
+                .count();
+            results.push(fixture_result(
+                id,
+                format!("{id}/{kind}/"),
+                kind,
+                hits,
+                suppressed,
+            ));
         }
     }
     Ok(results)

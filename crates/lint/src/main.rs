@@ -11,17 +11,26 @@ blameit-lint — static analysis for the determinism contract
 
 USAGE:
     blameit-lint [--root DIR] [--json] [--self-check] [--rules]
+                 [--only IDS] [--effect-map PATH]
+                 [--cache-dir DIR | --no-cache]
 
 OPTIONS:
-    --root DIR     workspace root to lint (default: .)
-    --json         machine-readable report on stdout
-    --self-check   run the rule fixtures (bad must fail, good must
-                   pass, allow must suppress with a reason) and exit
-    --rules        list rule IDs and what they catch
-    -h, --help     this text
+    --root DIR        workspace root to lint (default: .)
+    --json            machine-readable report on stdout
+    --self-check      run the rule fixtures (bad must fail, good must
+                      pass, allow must suppress with a reason) and exit
+    --rules           list rule and pass IDs and what they catch
+    --only IDS        comma-separated rule/pass IDs: report only these
+                      (suppression audit still sees the full run)
+    --effect-map PATH write the per-function effect map JSON artifact
+    --cache-dir DIR   per-file analysis cache location
+                      (default: <root>/target/blameit-lint)
+    --no-cache        analyze every file from scratch
+    -h, --help        this text
 
 Suppression: `// lint:allow(<rule>): <reason>` on or above the line,
 or a path-prefix allowlist in <root>/lint.toml under `[allow]`.
+Unused escapes are themselves findings (`stale-suppression`).
 ";
 
 fn main() -> ExitCode {
@@ -29,6 +38,10 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut self_check = false;
     let mut list_rules = false;
+    let mut only: Option<Vec<String>> = None;
+    let mut effect_map: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_cache = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -42,6 +55,28 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--self-check" => self_check = true,
             "--rules" => list_rules = true,
+            "--only" => match args.next() {
+                Some(ids) => only = Some(ids.split(',').map(|s| s.trim().to_string()).collect()),
+                None => {
+                    eprintln!("--only needs a comma-separated ID list\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--effect-map" => match args.next() {
+                Some(p) => effect_map = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--effect-map needs a file path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--cache-dir" => match args.next() {
+                Some(p) => cache_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--cache-dir needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => no_cache = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -57,6 +92,14 @@ fn main() -> ExitCode {
         for rule in blameit_lint::rules::all_rules() {
             println!("{:<20} {}", rule.id(), rule.summary());
         }
+        println!(
+            "{:<20} fn in a protected scope reaches a nondeterministic effect through calls",
+            blameit_lint::TRANSITIVE_EFFECT
+        );
+        println!(
+            "{:<20} lint:allow annotation or lint.toml prefix that suppresses nothing",
+            blameit_lint::STALE_SUPPRESSION
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -87,17 +130,46 @@ fn main() -> ExitCode {
         };
     }
 
+    let cache_file = if no_cache {
+        None
+    } else {
+        let dir = cache_dir.unwrap_or_else(|| root.join("target/blameit-lint"));
+        Some(dir.join("analysis.cache"))
+    };
+    let opts = blameit_lint::WsOptions { cache_file };
+
     // lint:allow(wall-clock): timing the linter itself for the perf baseline, never feeds sim state
     let started = std::time::Instant::now();
-    match blameit_lint::run_workspace(&root) {
-        Ok(report) => {
+    match blameit_lint::analyze_workspace(&root, &opts) {
+        Ok(ws) => {
+            let mut report = ws.report();
+            if let Some(ids) = &only {
+                report
+                    .diagnostics
+                    .retain(|d| ids.iter().any(|id| id == d.rule));
+                report
+                    .suppressed
+                    .retain(|s| ids.iter().any(|id| id == s.rule));
+            }
+            if let Some(path) = &effect_map {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Err(e) = std::fs::write(path, ws.effect_map_json()) {
+                    eprintln!("blameit-lint: {}: write failed: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
             // lint:allow(wall-clock): metrics-only timing of the lint pass
             let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
             if json {
                 print!("{}", report.render_json());
             } else {
                 print!("{}", report.render_text());
-                eprintln!("blameit-lint: scanned in {elapsed_ms:.1} ms");
+                let (hits, misses) = ws.cache_stats;
+                eprintln!(
+                    "blameit-lint: scanned in {elapsed_ms:.1} ms (cache: {hits} hit(s), {misses} miss(es))"
+                );
             }
             if report.ok() {
                 ExitCode::SUCCESS

@@ -41,6 +41,7 @@ impl FileCtx<'_> {
             col: tok.col,
             message,
             snippet: self.snippet(tok.line),
+            witness: Vec::new(),
         }
     }
 }
@@ -58,7 +59,10 @@ pub trait Rule {
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(AmbientEntropy),
+        Box::new(AsCastTruncation),
+        Box::new(FloatKeySort),
         Box::new(FloatOrder),
+        Box::new(HashIteration),
         Box::new(PanicInDecode),
         Box::new(SipHasher),
         Box::new(SocketIo),
@@ -381,6 +385,158 @@ impl Rule for FloatOrder {
     }
 }
 
+// ------------------------------------------------------------ float-key-sort
+
+/// Float-keyed sort/min/max outside the sanctioned comparators.
+///
+/// `float-order` catches `partial_cmp`; this rule catches the other
+/// shape of the same hazard: a sort key or comparator built from
+/// `f32`/`f64` values or float literals (`sort_by_key(|x| (x.score *
+/// 1e6) as i64)` quantizes differently than the ranking math, and a
+/// float-typed key cannot even express a total order). `total_cmp` and
+/// `to_bits` are the sanctioned escape hatches — both give every bit
+/// pattern, NaN included, one fixed position.
+pub struct FloatKeySort;
+
+const KEYED_COMPARATOR_FNS: &[&str] = &[
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "sort_by_cached_key",
+    "max_by_key",
+    "min_by_key",
+    "binary_search_by_key",
+];
+
+const SANCTIONED_FLOAT_ORDER: &[&str] = &["total_cmp", "to_bits"];
+
+/// A numeric literal token that parses as a float (`1.5`, `2e9`).
+fn is_float_literal(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    if bytes.is_empty() || !bytes[0].is_ascii_digit() || text.starts_with("0x") {
+        return false;
+    }
+    text.contains('.') || text.contains('e') || text.contains('E')
+}
+
+impl Rule for FloatKeySort {
+    fn id(&self) -> &'static str {
+        "float-key-sort"
+    }
+    fn summary(&self) -> &'static str {
+        "f32/f64 inside sort/min/max keys or comparators: use total_cmp/to_bits or integer keys"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        let toks = f.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.in_test || t.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            if !(KEYED_COMPARATOR_FNS.contains(&t.text.as_str())
+                || COMPARATOR_FNS.contains(&t.text.as_str()))
+                || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            // Scan the argument list to the matching `)` for float
+            // evidence, unless a sanctioned total order appears.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut float_at: Option<usize> = None;
+            let mut sanctioned = false;
+            while j < toks.len() {
+                let a = &toks[j];
+                if a.is_punct('(') {
+                    depth += 1;
+                } else if a.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if SANCTIONED_FLOAT_ORDER.contains(&a.text.as_str()) {
+                    sanctioned = true;
+                } else if float_at.is_none()
+                    && (a.is_ident("f32")
+                        || a.is_ident("f64")
+                        || (a.kind == crate::lexer::TokKind::Num && is_float_literal(&a.text)))
+                {
+                    float_at = Some(j);
+                }
+                j += 1;
+            }
+            if let Some(fj) = float_at {
+                if !sanctioned {
+                    out.push(f.diag(
+                        self.id(),
+                        &toks[fj],
+                        format!(
+                            "float-valued key inside `{}` orders by a non-total comparison; use `total_cmp`/`to_bits` or an integer key so ranking ties break identically every run",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- as-cast-truncation
+
+/// Narrowing `as` casts in the codec paths.
+///
+/// `len() as u32` silently wraps past 4 GiB and `v as u8` drops high
+/// bits; in `persist/` and the daemon wire codec a wrapped length
+/// field is indistinguishable from corruption *two layers later*, when
+/// the decoder walks off the frame. Width changes on these paths must
+/// go through `try_from` (reject) or be annotated with the proof of
+/// range (`lint:allow(as-cast-truncation): …`).
+pub struct AsCastTruncation;
+
+/// Paths where narrowing casts feed bytes on disk or on the wire.
+const CAST_SCOPES: &[&str] = &["crates/core/src/persist/", "crates/daemon/src/wire.rs"];
+
+/// Integer types narrower than the platform-width/64-bit values that
+/// lengths, counts, and ids carry in this workspace.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+impl Rule for AsCastTruncation {
+    fn id(&self) -> &'static str {
+        "as-cast-truncation"
+    }
+    fn summary(&self) -> &'static str {
+        "narrowing `as` casts in persist/ and daemon wire codec: use try_from or annotate the range proof"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        if !CAST_SCOPES.iter().any(|p| f.path.starts_with(p)) {
+            return;
+        }
+        let toks = f.toks;
+        for i in 1..toks.len() {
+            let t = &toks[i];
+            if t.in_test || !t.is_ident("as") {
+                continue;
+            }
+            let Some(ty) = toks.get(i + 1) else { continue };
+            if !NARROW_INTS.contains(&ty.text.as_str()) {
+                continue;
+            }
+            // `use x as y` renames are not casts; the previous token of
+            // a cast is an expression end, never the `use` path start.
+            if toks[..i].iter().rev().take(8).any(|p| p.is_ident("use")) {
+                continue;
+            }
+            out.push(f.diag(
+                self.id(),
+                t,
+                format!(
+                    "`as {ty}` truncates silently on this codec path; use `{ty}::try_from` and surface the error, or annotate the range proof",
+                    ty = ty.text
+                ),
+            ));
+        }
+    }
+}
+
 // ----------------------------------------------------------- panic-in-decode
 
 /// `unwrap`/`expect`/`panic!`/indexing in persist decode paths.
@@ -391,7 +547,7 @@ impl Rule for FloatOrder {
 /// Applies to `crates/core/src/persist/{codec,journal,snapshot}.rs`.
 pub struct PanicInDecode;
 
-const DECODE_FILES: &[&str] = &[
+pub const DECODE_FILES: &[&str] = &[
     "crates/core/src/persist/codec.rs",
     "crates/core/src/persist/journal.rs",
     "crates/core/src/persist/snapshot.rs",
@@ -529,124 +685,164 @@ impl Rule for UnorderedIteration {
         if !f.path.starts_with("crates/core/src/") {
             return;
         }
-        let toks = f.toks;
-        let events = binding_events(toks);
-        if events.iter().all(|e| !e.hash) {
+        check_hash_iteration(self.id(), f, out);
+    }
+}
+
+// ------------------------------------------------------------ hash-iteration
+
+/// The same unordered-iteration hazard, extended beyond `crates/core`
+/// to the other transcript-feeding paths the ROADMAP names: the daemon
+/// (verdict batches, WAL records), the scenario runner (expectation
+/// evaluation order), and obs render paths (report sections). These
+/// crates are BTree-first today; the rule keeps growth honest — a
+/// future `HashMap` iteration feeding a wire frame or a rendered table
+/// reintroduces exactly the class of diff the sharded-tick PR killed.
+pub struct HashIteration;
+
+/// Path prefixes `hash-iteration` watches (core stays with
+/// `unordered-iteration`, so each firing names the narrower rule).
+const HASH_ITER_PATHS: &[&str] = &[
+    "crates/daemon/src/",
+    "crates/scenario/src/",
+    "crates/obs/src/",
+];
+
+impl Rule for HashIteration {
+    fn id(&self) -> &'static str {
+        "hash-iteration"
+    }
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet iteration in daemon/scenario/obs render paths without an ordered sink"
+    }
+    fn check(&self, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+        if !HASH_ITER_PATHS.iter().any(|p| f.path.starts_with(p)) {
             return;
         }
-        let sort_lines: BTreeSet<u32> = toks
-            .iter()
-            .filter(|t| SORT_FAMILY.contains(&t.text.as_str()))
-            .map(|t| t.line)
-            .collect();
+        check_hash_iteration(self.id(), f, out);
+    }
+}
 
-        let is_waiver_word = |t: &Tok| {
-            SORT_FAMILY.contains(&t.text.as_str()) || ORDER_INSENSITIVE.contains(&t.text.as_str())
-        };
-        let mut flag = |f: &FileCtx, idx: usize, name: &str, waivable: bool| {
-            let mut waived = false;
-            let mut stmt_end_line = toks[idx].line;
-            if waivable {
-                // Waiver 1a: statement prefix declares an ordered
-                // destination (`let x: BTreeMap<…> = m.iter()…`).
-                // Waiver words only count at chain depth 0 — words
-                // inside closure bodies say nothing about the sink.
-                let mut depth = 0isize;
-                let mut j = idx;
-                while j > 0 && idx - j < 200 {
-                    j -= 1;
-                    let t = &toks[j];
-                    if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
-                        depth += 1;
-                    } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
-                        depth -= 1;
-                        if depth < 0 {
-                            break;
-                        }
-                    } else if t.is_punct(';') && depth == 0 {
-                        break;
-                    } else if depth == 0 && is_waiver_word(t) {
-                        waived = true;
-                        break;
-                    }
-                }
-                // Waiver 1b: the chain itself ends in a sort, a BTree
-                // collect, or an order-insensitive reduction.
-                let mut depth = 0isize;
-                let mut j = idx;
-                while j < toks.len() && j < idx + 400 {
-                    let t = &toks[j];
-                    stmt_end_line = t.line;
-                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
-                        depth += 1;
-                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
-                        depth -= 1;
-                        if depth < 0 {
-                            break;
-                        }
-                    } else if t.is_punct(';') && depth == 0 {
-                        break;
-                    } else if depth == 0 && is_waiver_word(t) {
-                        waived = true;
+/// Shared detection body for `unordered-iteration` / `hash-iteration`:
+/// flags iteration over names bound to hash containers unless the
+/// statement (or the next three lines) restores or ignores order.
+fn check_hash_iteration(rule_id: &'static str, f: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = f.toks;
+    let events = binding_events(toks);
+    if events.iter().all(|e| !e.hash) {
+        return;
+    }
+    let sort_lines: BTreeSet<u32> = toks
+        .iter()
+        .filter(|t| SORT_FAMILY.contains(&t.text.as_str()))
+        .map(|t| t.line)
+        .collect();
+
+    let is_waiver_word = |t: &Tok| {
+        SORT_FAMILY.contains(&t.text.as_str()) || ORDER_INSENSITIVE.contains(&t.text.as_str())
+    };
+    let mut flag = |f: &FileCtx, idx: usize, name: &str, waivable: bool| {
+        let mut waived = false;
+        let mut stmt_end_line = toks[idx].line;
+        if waivable {
+            // Waiver 1a: statement prefix declares an ordered
+            // destination (`let x: BTreeMap<…> = m.iter()…`).
+            // Waiver words only count at chain depth 0 — words
+            // inside closure bodies say nothing about the sink.
+            let mut depth = 0isize;
+            let mut j = idx;
+            while j > 0 && idx - j < 200 {
+                j -= 1;
+                let t = &toks[j];
+                if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth += 1;
+                } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth -= 1;
+                    if depth < 0 {
                         break;
                     }
-                    j += 1;
-                }
-                // Waiver 2: an explicit sort within three lines after
-                // the statement (collect-then-sort as two statements).
-                if !waived {
-                    waived = sort_lines
-                        .iter()
-                        .any(|l| *l >= toks[idx].line && *l <= stmt_end_line + 3);
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                } else if depth == 0 && is_waiver_word(t) {
+                    waived = true;
+                    break;
                 }
             }
+            // Waiver 1b: the chain itself ends in a sort, a BTree
+            // collect, or an order-insensitive reduction.
+            let mut depth = 0isize;
+            let mut j = idx;
+            while j < toks.len() && j < idx + 400 {
+                let t = &toks[j];
+                stmt_end_line = t.line;
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                } else if depth == 0 && is_waiver_word(t) {
+                    waived = true;
+                    break;
+                }
+                j += 1;
+            }
+            // Waiver 2: an explicit sort within three lines after
+            // the statement (collect-then-sort as two statements).
             if !waived {
-                out.push(f.diag(
-                    self.id(),
-                    &toks[idx],
-                    format!(
-                        "iteration over hash container `{name}` feeds downstream state in arbitrary order; sort before emitting, collect into a BTreeMap/BTreeSet, or annotate why order cannot matter"
-                    ),
-                ));
+                waived = sort_lines
+                    .iter()
+                    .any(|l| *l >= toks[idx].line && *l <= stmt_end_line + 3);
             }
-        };
+        }
+        if !waived {
+            out.push(f.diag(
+                rule_id,
+                &toks[idx],
+                format!(
+                    "iteration over hash container `{name}` feeds downstream state in arbitrary order; sort before emitting, collect into a BTreeMap/BTreeSet, or annotate why order cannot matter"
+                ),
+            ));
+        }
+    };
 
-        for i in 0..toks.len() {
-            let t = &toks[i];
-            if t.in_test || t.kind != crate::lexer::TokKind::Ident {
-                continue;
-            }
-            // `name.iter()` / `self.name.keys()` / …
-            if is_hash_at(&events, &t.text, i)
-                && seq(toks, i + 1, &["."])
-                && toks
-                    .get(i + 2)
-                    .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
-                && toks.get(i + 3).is_some_and(|p| p.is_punct('('))
-            {
-                flag(f, i + 2, &t.text, true);
-            }
-            // `for pat in [&mut] name { … }` (direct Iterator impl).
-            if t.is_ident("for") {
-                if let Some(j) = (i + 1..(i + 14).min(toks.len())).find(|j| toks[*j].is_ident("in"))
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        // `name.iter()` / `self.name.keys()` / …
+        if is_hash_at(&events, &t.text, i)
+            && seq(toks, i + 1, &["."])
+            && toks
+                .get(i + 2)
+                .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+            && toks.get(i + 3).is_some_and(|p| p.is_punct('('))
+        {
+            flag(f, i + 2, &t.text, true);
+        }
+        // `for pat in [&mut] name { … }` (direct Iterator impl).
+        if t.is_ident("for") {
+            if let Some(j) = (i + 1..(i + 14).min(toks.len())).find(|j| toks[*j].is_ident("in")) {
+                let mut k = j + 1;
+                while toks
+                    .get(k)
+                    .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
                 {
-                    let mut k = j + 1;
-                    while toks
-                        .get(k)
-                        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
-                    {
-                        k += 1;
-                    }
-                    if toks.get(k).is_some_and(|t| {
-                        t.kind == crate::lexer::TokKind::Ident && is_hash_at(&events, &t.text, k)
-                    }) && toks.get(k + 1).is_some_and(|t| t.is_punct('{'))
-                    {
-                        // A `for` body can do anything with the items;
-                        // no lexical waiver applies — sort first or
-                        // annotate why order cannot matter.
-                        let name = toks[k].text.clone();
-                        flag(f, k, &name, false);
-                    }
+                    k += 1;
+                }
+                if toks.get(k).is_some_and(|t| {
+                    t.kind == crate::lexer::TokKind::Ident && is_hash_at(&events, &t.text, k)
+                }) && toks.get(k + 1).is_some_and(|t| t.is_punct('{'))
+                {
+                    // A `for` body can do anything with the items;
+                    // no lexical waiver applies — sort first or
+                    // annotate why order cannot matter.
+                    let name = toks[k].text.clone();
+                    flag(f, k, &name, false);
                 }
             }
         }
@@ -935,6 +1131,66 @@ mod tests {
         assert!(check_one(&PanicInDecode, "crates/core/src/persist/codec.rs", arr_ty).is_empty());
         let mac = "fn f() -> Vec<u8> { vec![0; 4] }";
         assert!(check_one(&PanicInDecode, "crates/core/src/persist/codec.rs", mac).is_empty());
+    }
+
+    #[test]
+    fn float_key_sort_evidence_and_sanctions() {
+        let bad = "fn f(v: &mut Vec<Row>) { v.sort_by_key(|x| (x.score * 1e6) as i64); }";
+        assert_eq!(
+            check_one(&FloatKeySort, "crates/core/src/x.rs", bad).len(),
+            1
+        );
+        let bad_cmp = "fn f(v: &mut Vec<f64>) { v.sort_unstable_by(|a, b| cmp_f64(*a, *b)); }";
+        // `f64` appears inside the comparator args? No — only in the fn
+        // signature, outside the call. Must stay quiet.
+        assert!(check_one(&FloatKeySort, "crates/core/src/x.rs", bad_cmp).is_empty());
+        let total = "fn f(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }";
+        assert!(check_one(&FloatKeySort, "crates/core/src/x.rs", total).is_empty());
+        let bits = "fn f(v: &mut Vec<f64>) { v.sort_by_key(|x| x.to_bits()); }";
+        assert!(check_one(&FloatKeySort, "crates/core/src/x.rs", bits).is_empty());
+        let ints = "fn f(v: &mut Vec<(u64, u32)>) { v.sort_by_key(|x| x.0); }";
+        assert!(check_one(&FloatKeySort, "crates/core/src/x.rs", ints).is_empty());
+        let typed = "fn f(v: &mut Vec<Row>) { v.min_by_key(|x| x.w as f64 ); }";
+        assert_eq!(
+            check_one(&FloatKeySort, "crates/core/src/x.rs", typed).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn as_cast_truncation_scope_and_types() {
+        let bad =
+            "fn put(buf: &mut Vec<u8>, len: usize) { let n = len as u32; buf.push(n as u8); }";
+        assert_eq!(
+            check_one(&AsCastTruncation, "crates/daemon/src/wire.rs", bad).len(),
+            2
+        );
+        assert_eq!(
+            check_one(&AsCastTruncation, "crates/core/src/persist/codec.rs", bad).len(),
+            2
+        );
+        // Outside the codec scopes the rule is silent.
+        assert!(check_one(&AsCastTruncation, "crates/core/src/pipeline.rs", bad).is_empty());
+        // Widening casts are fine.
+        let widen = "fn get(b: u8) -> u64 { b as u64 }";
+        assert!(check_one(&AsCastTruncation, "crates/daemon/src/wire.rs", widen).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_scope() {
+        let flagged = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) { for (k, v) in &m { emit(k, v); } }";
+        for path in [
+            "crates/daemon/src/server.rs",
+            "crates/scenario/src/runner.rs",
+            "crates/obs/src/render.rs",
+        ] {
+            assert_eq!(check_one(&HashIteration, path, flagged).len(), 1, "{path}");
+        }
+        // Core belongs to unordered-iteration; elsewhere out of scope.
+        assert!(check_one(&HashIteration, "crates/core/src/x.rs", flagged).is_empty());
+        assert!(check_one(&HashIteration, "crates/bench/src/x.rs", flagged).is_empty());
+        let ordered = "use std::collections::BTreeMap;\nfn f(m: BTreeMap<u32, u32>) { for (k, v) in &m { emit(k, v); } }";
+        assert!(check_one(&HashIteration, "crates/daemon/src/server.rs", ordered).is_empty());
     }
 
     #[test]

@@ -14,8 +14,8 @@ fn repo_root() -> PathBuf {
 #[test]
 fn every_fixture_expectation_holds() {
     let results = self_check(&repo_root()).expect("fixtures readable");
-    // 8 rules × {bad, good, allow}.
-    assert_eq!(results.len(), 24, "one fixture triple per rule");
+    // 11 lexical rules plus 2 workspace passes, × {bad, good, allow}.
+    assert_eq!(results.len(), 39, "one fixture triple per rule and pass");
     let failures: Vec<String> = results
         .iter()
         .filter(|r| !r.pass)
@@ -62,6 +62,58 @@ fn allow_fixture_reasons_reach_json() {
             );
         }
     }
+}
+
+#[test]
+fn transitive_witness_renders_in_text_and_json() {
+    // The 3-hop fixture chain (core/lib.rs → core/sched.rs →
+    // probe/lib.rs) must surface as a transitive-effect finding whose
+    // witness spells out every hop in both report formats.
+    let tree = repo_root().join("crates/lint/tests/fixtures/transitive-effect/bad");
+    let report = run_workspace(&tree).expect("fixture tree lints");
+    let finding = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "transitive-effect" && d.path == "crates/core/src/lib.rs")
+        .expect("tick_all must be flagged");
+    assert_eq!(
+        finding.witness,
+        vec![
+            "tick_all calls scheduler_advance at crates/core/src/lib.rs:8",
+            "scheduler_advance calls probe_stamp at crates/core/src/sched.rs:2",
+            "probe_stamp uses `Instant::now` at crates/probe/src/lib.rs:4",
+        ],
+    );
+    assert!(finding
+        .message
+        .contains("tick_all → scheduler_advance → probe_stamp"));
+
+    let text = report.render_text();
+    for hop in &finding.witness {
+        assert!(
+            text.contains(&format!("      {hop}\n")),
+            "text missing hop {hop}"
+        );
+    }
+    let json = report.render_json();
+    assert!(
+        json.contains("\"scheduler_advance calls probe_stamp at crates/core/src/sched.rs:2\""),
+        "witness hop missing from --json output"
+    );
+}
+
+#[test]
+fn effect_map_lists_direct_and_transitive_effects() {
+    let tree = repo_root().join("crates/lint/tests/fixtures/transitive-effect/bad");
+    let ws =
+        blameit_lint::analyze_workspace(&tree, &Default::default()).expect("fixture tree analyzes");
+    let map = ws.effect_map_json();
+    assert!(map.contains("\"blameit-lint/effect-map/v1\""));
+    assert!(map.contains("\"fn\": \"probe_stamp\""));
+    assert!(map.contains("\"direct\": [\"wall-clock\"]"));
+    // tick_all has no direct effects but inherits wall-clock.
+    assert!(map.contains("\"transitive\": [\"wall-clock\"]"));
+    assert!(map.contains("\"to\": \"scheduler_advance\""));
 }
 
 #[test]

@@ -1,0 +1,6 @@
+// Fixture: a narrowing cast with a stated range proof may be annotated.
+
+pub fn encode_shard(shard: usize, out: &mut Vec<u8>) {
+    // lint:allow(as-cast-truncation): shard count is capped at 64 by TopologyConfig::validate, fits u8
+    out.push(shard as u8);
+}

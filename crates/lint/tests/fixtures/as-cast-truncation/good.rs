@@ -1,0 +1,14 @@
+// Fixture: try_from rejects out-of-range values instead of wrapping,
+// and widening casts lose nothing — both stay quiet.
+
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) -> Result<(), String> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| format!("frame too large: {} bytes", payload.len()))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+pub fn widen_tick(tick: u32) -> u64 {
+    tick as u64
+}

@@ -1,0 +1,6 @@
+// Fixture: a float key may be annotated when ties are provably absent.
+
+pub fn rank(weights: &mut Vec<(u32, f64)>) {
+    // lint:allow(float-key-sort): weights are distinct powers of two by construction; no ties to break
+    weights.sort_by_key(|w| (w.1 * 4.0) as u64);
+}

@@ -1,0 +1,17 @@
+// Fixture: float keys in sort/min/max rank with a non-total order and
+// break ties differently across runs — both shapes must fire.
+
+pub struct Probe {
+    pub rtt_us: u64,
+}
+
+pub fn worst_first(probes: &mut Vec<Probe>) {
+    probes.sort_by_key(|p| p.rtt_us as f64 * 1.5);
+}
+
+pub fn pick_median_weight(weights: &[(u32, f64)]) -> Option<u32> {
+    weights
+        .iter()
+        .max_by(|a, b| (a.1 * 2.0).partial_cmp(&(b.1 * 2.0)).unwrap())
+        .map(|w| w.0)
+}

@@ -1,0 +1,12 @@
+// Fixture: order-insensitive folds in the daemon may be annotated.
+use std::collections::HashMap;
+
+pub fn queued_bytes(queues: &HashMap<u32, Vec<u8>>) -> usize {
+    let sizes: HashMap<u32, Vec<u8>> = queues.clone();
+    let mut total = 0;
+    // lint:allow(hash-iteration): order-insensitive sum for a backpressure gauge; no per-entry output escapes
+    for (_path, q) in sizes {
+        total += q.len();
+    }
+    total
+}

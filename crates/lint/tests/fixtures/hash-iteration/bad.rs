@@ -1,0 +1,9 @@
+// Fixture: hash-order iteration in the daemon feeding emitted output.
+use std::collections::HashMap;
+
+pub fn drain_verdicts(out: &mut Vec<String>) {
+    let pending: HashMap<u64, String> = HashMap::new();
+    for (id, verdict) in pending {
+        out.push(format!("{id} {verdict}"));
+    }
+}

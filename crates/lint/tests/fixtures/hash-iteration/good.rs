@@ -1,0 +1,16 @@
+// Fixture: ordered container, or collect-then-sort, stays quiet.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn drain_verdicts(out: &mut Vec<String>) {
+    let pending: BTreeMap<u64, String> = BTreeMap::new();
+    for (id, verdict) in pending {
+        out.push(format!("{id} {verdict}"));
+    }
+
+    let extra: HashMap<u64, u64> = HashMap::new();
+    let mut rows: Vec<(u64, u64)> = extra.iter().map(|(k, v)| (*k, *v)).collect();
+    rows.sort_unstable();
+    for (id, n) in rows {
+        out.push(format!("{id} {n}"));
+    }
+}

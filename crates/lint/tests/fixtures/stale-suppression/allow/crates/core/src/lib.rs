@@ -1,0 +1,8 @@
+// Fixture tree: a stale escape held through a migration window — the
+// stale-suppression finding itself is annotated with the hold reason.
+
+pub fn tick_count(ticks: &[u64]) -> u64 {
+    // lint:allow(stale-suppression): timer lands next sprint and the wall-clock escape returns; hold it
+    // lint:allow(wall-clock): metrics-only timing for an operator report
+    ticks.iter().sum()
+}

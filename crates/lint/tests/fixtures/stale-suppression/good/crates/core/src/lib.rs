@@ -1,0 +1,8 @@
+// Fixture tree: every escape pays rent — the annotation suppresses a
+// live wall-clock finding, so the auditor stays quiet.
+use std::time::Instant;
+
+pub fn report_runtime_us() -> u64 {
+    // lint:allow(wall-clock): metrics-only timing for an operator report; never feeds sim state
+    Instant::now().elapsed().as_micros() as u64
+}

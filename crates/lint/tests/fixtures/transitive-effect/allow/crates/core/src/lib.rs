@@ -1,0 +1,11 @@
+// Fixture tree: the wall-clock site itself is unsanctioned, but the
+// wrapper fn absorbs the taint with one justified annotation — its
+// callers (this fn) stay clean without annotating every call site.
+
+pub fn tick_all(shards: usize) -> u64 {
+    let mut acc = 0;
+    for _ in 0..shards {
+        acc += scheduler_advance();
+    }
+    acc
+}

@@ -1,0 +1,4 @@
+// lint:allow(transitive-effect): stamp feeds an operator gauge only; the tick transcript never sees it
+pub fn scheduler_advance() -> u64 {
+    probe_stamp()
+}

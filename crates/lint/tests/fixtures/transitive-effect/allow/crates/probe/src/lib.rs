@@ -1,0 +1,5 @@
+use std::time::Instant;
+
+pub fn probe_stamp() -> u64 {
+    Instant::now().elapsed().as_micros() as u64
+}

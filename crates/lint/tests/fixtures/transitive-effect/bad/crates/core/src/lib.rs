@@ -1,0 +1,11 @@
+// Fixture tree: a protected core fn reaches the wall clock through a
+// 3-hop chain spanning two crates. Both core hops must be flagged,
+// each with a full witness path.
+
+pub fn tick_all(shards: usize) -> u64 {
+    let mut acc = 0;
+    for _ in 0..shards {
+        acc += scheduler_advance();
+    }
+    acc
+}

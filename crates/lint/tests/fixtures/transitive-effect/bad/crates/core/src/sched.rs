@@ -1,0 +1,3 @@
+pub fn scheduler_advance() -> u64 {
+    probe_stamp()
+}

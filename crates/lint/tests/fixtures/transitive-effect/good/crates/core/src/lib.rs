@@ -1,0 +1,11 @@
+// Fixture tree: same call chain as bad/, but the probe crate is a
+// sanctioned wall-clock boundary in lint.toml — a justified direct
+// effect seeds no taint, so the core chain stays clean.
+
+pub fn tick_all(shards: usize) -> u64 {
+    let mut acc = 0;
+    for _ in 0..shards {
+        acc += scheduler_advance();
+    }
+    acc
+}

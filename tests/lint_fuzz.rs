@@ -1,0 +1,160 @@
+//! Property tests for the lint analysis layer.
+//!
+//! `blameit-lint` runs over every source file on every CI push, so its
+//! lexer, item parser, and rule scanners must hold the same bar the
+//! scenario loader does: whatever the input — truncated mid-token,
+//! braces unbalanced, strings unterminated, raw bytes spliced in — the
+//! analysis returns *something* and never panics. The fuzzer mutates
+//! real workspace sources deterministically (same seed → same cases,
+//! replayable via `check_one`), so a failure here is a failure anyone
+//! can reproduce.
+
+use blameit_topology::rng::DetRng;
+use blameit_topology::testkit::check;
+use std::path::Path;
+
+/// Real sources as the mutation corpus — the lint crate itself plus
+/// the gnarliest decode path it guards.
+fn corpus() -> Vec<String> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = Vec::new();
+    for rel in [
+        "crates/lint/src/lexer.rs",
+        "crates/lint/src/parse.rs",
+        "crates/lint/src/rules.rs",
+        "crates/core/src/persist/codec.rs",
+        "crates/core/src/persist/snapshot.rs",
+        "crates/daemon/src/wire.rs",
+    ] {
+        out.push(std::fs::read_to_string(root.join(rel)).expect("corpus file readable"));
+    }
+    out
+}
+
+/// Largest char-boundary index `<= at`, so byte-level truncation stays
+/// valid UTF-8 (the analyzer takes `&str`; invalid UTF-8 cannot reach
+/// it through `read_to_string` either).
+fn floor_char_boundary(s: &str, mut at: usize) -> usize {
+    at = at.min(s.len());
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+/// Applies 1–4 random structural mutations to a source file.
+fn mutate(base: &str, rng: &mut DetRng) -> String {
+    let mut text = base.to_string();
+    for _ in 0..1 + rng.below(4) {
+        if text.is_empty() {
+            break;
+        }
+        match rng.below(7) {
+            // Truncate anywhere — mid-fn, mid-comment, mid-string.
+            0 => {
+                let at = floor_char_boundary(&text, rng.index(text.len() + 1));
+                text.truncate(at);
+            }
+            // Splice in tokens that break nesting or terminate scopes
+            // the parser thinks are open.
+            1 => {
+                let junk = [
+                    "{", "}", "}}}", "{{{", "\"", "/*", "*/", "fn", "impl (", "r#\"",
+                ];
+                let at = floor_char_boundary(&text, rng.index(text.len() + 1));
+                text.insert_str(at, junk[rng.index(junk.len())]);
+            }
+            // Delete a random line.
+            2 => {
+                let mut lines: Vec<&str> = text.lines().collect();
+                if !lines.is_empty() {
+                    lines.remove(rng.index(lines.len()));
+                    text = lines.join("\n");
+                }
+            }
+            // Duplicate a random line (repeated items, double braces).
+            3 => {
+                let lines: Vec<&str> = text.lines().collect();
+                if !lines.is_empty() {
+                    let i = rng.index(lines.len());
+                    let mut rebuilt: Vec<&str> = lines.clone();
+                    rebuilt.insert(i, lines[i]);
+                    text = rebuilt.join("\n");
+                }
+            }
+            // Swap two lines (signatures away from their bodies).
+            4 => {
+                let mut lines: Vec<&str> = text.lines().collect();
+                if lines.len() >= 2 {
+                    let i = rng.index(lines.len());
+                    let j = rng.index(lines.len());
+                    lines.swap(i, j);
+                    text = lines.join("\n");
+                }
+            }
+            // Clobber one char with a brace or quote.
+            5 => {
+                let at = floor_char_boundary(&text, rng.index(text.len()));
+                let mut end = (at + 1).min(text.len());
+                while end < text.len() && !text.is_char_boundary(end) {
+                    end += 1;
+                }
+                let repl = ["{", "}", "\"", "'", "#["][rng.index(5)];
+                text.replace_range(at..end, repl);
+            }
+            // Concatenate the file with itself (duplicate items
+            // everywhere: resolver ambiguity stress).
+            _ => {
+                let copy = text.clone();
+                text.push('\n');
+                text.push_str(&copy);
+            }
+        }
+    }
+    text
+}
+
+#[test]
+fn mutated_sources_never_panic_the_analyzer() {
+    let sources = corpus();
+    check("lint_fuzz", 400, |rng| {
+        let base = &sources[rng.index(sources.len())];
+        let text = mutate(base, rng);
+        // The decode-file virtual path arms every path-scoped rule the
+        // corpus can reach, so the scan itself is exercised too.
+        let fa = blameit_lint::analyze_source("crates/core/src/persist/codec.rs", &text);
+        // Internal consistency the downstream passes rely on.
+        assert_eq!(fa.fn_lines.len(), fa.items.fns.len());
+        assert_eq!(fa.fn_sigs.len(), fa.items.fns.len());
+        assert_eq!(fa.allow_targets.len(), fa.allows.len());
+        for (ai, a) in fa.allows.iter().enumerate() {
+            assert!(
+                fa.allow_targets[ai] >= a.line,
+                "target above its annotation"
+            );
+        }
+    });
+}
+
+#[test]
+fn mutated_workspaces_never_panic_the_graph() {
+    // Whole-pipeline variant: two mutated files as one mini workspace,
+    // through the call graph, effect propagation, and the report.
+    let sources = corpus();
+    check("lint_graph_fuzz", 120, |rng| {
+        let a = mutate(&sources[rng.index(sources.len())], rng);
+        let b = mutate(&sources[rng.index(sources.len())], rng);
+        let dir = std::env::temp_dir().join(format!(
+            "blameit-lint-fuzz-{}-{}",
+            std::process::id(),
+            rng.below(u64::MAX)
+        ));
+        let src = dir.join("crates/x/src");
+        std::fs::create_dir_all(&src).expect("temp tree");
+        std::fs::write(src.join("lib.rs"), &a).expect("write a");
+        std::fs::write(src.join("other.rs"), &b).expect("write b");
+        let report = blameit_lint::run_workspace(&dir).expect("analysis runs");
+        assert_eq!(report.files_scanned, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
